@@ -1,0 +1,169 @@
+// Ablation benches for the design choices DESIGN.md calls out (§3.1.2, §4.2,
+// §6 of the paper), measured in *simulated CPU nanoseconds per operation* —
+// the currency the Figure 8 model is built on:
+//
+//   abl/uchan_batching     async-downcall batching on/off: kernel entries
+//                          per netif_rx downcall
+//   abl/zero_copy          shared-buffer hand-off vs copying transmit path
+//   abl/guard_fusion       guard-copy fused with the checksum pass vs a
+//                          separate pass
+//   abl/msi_mask_vs_remap  masking an interrupt via PCI config vs rewriting
+//                          the interrupt-remapping table (§6 "it might be
+//                          faster to mask an interrupt by remapping")
+//   abl/wakeup_latency     UDP_RR CPU sensitivity to the 4 us process wakeup
+//                          (explains the 2x CPU row of Figure 8)
+
+#include <benchmark/benchmark.h>
+
+#include "src/drivers/malicious.h"
+#include "src/base/log.h"
+#include "tests/harness.h"
+
+namespace sud {
+namespace {
+
+using testing::kMacA;
+using testing::kMacB;
+using testing::NetBench;
+
+// Simulated kernel-entry count and CPU-ns per packet with and without
+// downcall batching.
+void BM_UchanBatching(benchmark::State& state) {
+  bool batching = state.range(0) != 0;
+  NetBench::Options options;
+  options.sud.uchan.batch_async_downcalls = batching;
+  NetBench bench(options);
+  (void)bench.StartSut();
+  std::vector<uint8_t> payload(64, 0x1);
+
+  uint64_t packets = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i) {
+      (void)bench.PeerSend(1, 80, {payload.data(), payload.size()});
+    }
+    bench.host->Pump();
+    packets += 16;
+  }
+  const Uchan::Stats& stats = bench.ctx->ctl().stats();
+  state.counters["kernel_entries_per_pkt"] =
+      static_cast<double>(stats.downcall_batches) / packets;
+  state.counters["sim_cpu_ns_per_pkt"] =
+      static_cast<double>(bench.machine.cpu().total_busy()) / packets;
+  state.SetLabel(batching ? "batched" : "unbatched");
+}
+BENCHMARK(BM_UchanBatching)->Arg(1)->Arg(0);
+
+// Transmit path: zero-copy shared-buffer hand-off vs an extra bounce copy.
+void BM_ZeroCopy(benchmark::State& state) {
+  bool zero_copy = state.range(0) != 0;
+  NetBench::Options options;
+  options.proxy.zero_copy = zero_copy;
+  NetBench bench(options);
+  (void)bench.StartSut();
+  std::vector<uint8_t> payload(1400, 0x2);
+
+  uint64_t packets = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i) {
+      auto frame = kern::BuildPacket(kMacB, kMacA, 1, 2, {payload.data(), payload.size()});
+      (void)bench.kernel.net().Transmit("eth0", kern::MakeSkb({frame.data(), frame.size()}));
+    }
+    bench.host->Pump();
+    packets += 16;
+  }
+  state.counters["sim_cpu_ns_per_pkt"] =
+      static_cast<double>(bench.machine.cpu().total_busy()) / packets;
+  state.SetLabel(zero_copy ? "zero-copy" : "bounce-copy");
+}
+BENCHMARK(BM_ZeroCopy)->Arg(1)->Arg(0);
+
+// Receive guard copy: fused with the checksum pass vs a separate pass.
+void BM_GuardFusion(benchmark::State& state) {
+  bool fused = state.range(0) != 0;
+  NetBench::Options options;
+  options.proxy.fuse_guard_with_checksum = fused;
+  NetBench bench(options);
+  (void)bench.StartSut();
+  std::vector<uint8_t> payload(1400, 0x3);
+
+  uint64_t packets = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i) {
+      (void)bench.PeerSend(1, 80, {payload.data(), payload.size()});
+    }
+    bench.host->Pump();
+    packets += 16;
+  }
+  state.counters["sim_cpu_ns_per_pkt"] =
+      static_cast<double>(bench.machine.cpu().total_busy()) / packets;
+  state.SetLabel(fused ? "fused-with-checksum" : "separate-pass");
+}
+BENCHMARK(BM_GuardFusion)->Arg(1)->Arg(0);
+
+// Masking an interrupt: PCI-config MSI mask vs interrupt-remapping rewrite.
+void BM_MsiMaskVsRemap(benchmark::State& state) {
+  bool use_remap = state.range(0) != 0;
+  NetBench::Options options;
+  options.machine.interrupt_remapping = use_remap;
+  NetBench bench(options);
+  auto attack = std::make_unique<drivers::NeverAckDriver>();
+  auto* p = attack.get();
+  (void)bench.host->Start(std::move(attack));
+
+  CpuModel& cpu = bench.machine.cpu();
+  uint64_t operations = 0;
+  for (auto _ : state) {
+    if (use_remap) {
+      cpu.Charge(kAccountKernel, cpu.costs().irq_remap_update);
+      (void)bench.machine.iommu().SetInterruptRemapEntry(bench.ctx->source_id(),
+                                                         bench.ctx->irq_vector(), std::nullopt);
+      (void)bench.machine.iommu().SetInterruptRemapEntry(
+          bench.ctx->source_id(), bench.ctx->irq_vector(), bench.ctx->irq_vector());
+    } else {
+      (void)p->TriggerInterrupt();  // second unacked interrupt masks via config
+      (void)p->TriggerInterrupt();
+      (void)bench.ctx->InterruptAck();  // unmask for the next round
+    }
+    ++operations;
+  }
+  state.counters["sim_cpu_ns_per_op"] =
+      static_cast<double>(cpu.total_busy()) / operations;
+  state.SetLabel(use_remap ? "remap-table-rewrite" : "pci-config-mask");
+}
+BENCHMARK(BM_MsiMaskVsRemap)->Arg(0)->Arg(1);
+
+// UDP_RR sensitivity to the process wakeup cost: the §5.1 explanation for
+// the 2x CPU row. Sweeps kProcessWakeup from 0 to 8 us.
+void BM_WakeupLatency(benchmark::State& state) {
+  SimTime wakeup_ns = static_cast<SimTime>(state.range(0));
+  NetBench bench;
+  CpuCosts costs;
+  costs.process_wakeup = wakeup_ns;
+  bench.machine.cpu().set_costs(costs);
+  (void)bench.StartSut();
+  std::vector<uint8_t> payload(42, 0x4);
+
+  uint64_t transactions = 0;
+  for (auto _ : state) {
+    (void)bench.PeerSend(1, 80, {payload.data(), payload.size()});
+    bench.host->Pump();
+    auto reply = kern::BuildPacket(kMacB, kMacA, 2, 1, {payload.data(), payload.size()});
+    (void)bench.kernel.net().Transmit("eth0", kern::MakeSkb({reply.data(), reply.size()}));
+    bench.host->Pump();
+    ++transactions;
+  }
+  state.counters["sim_cpu_ns_per_txn"] =
+      static_cast<double>(bench.machine.cpu().total_busy()) / transactions;
+  state.counters["wakeup_ns"] = static_cast<double>(wakeup_ns);
+}
+BENCHMARK(BM_WakeupLatency)->Arg(0)->Arg(1000)->Arg(2000)->Arg(4000)->Arg(8000);
+
+}  // namespace
+}  // namespace sud
+
+int main(int argc, char** argv) {
+  sud::Logger::Get().set_min_level(sud::LogLevel::kError);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

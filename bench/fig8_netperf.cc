@@ -1,0 +1,285 @@
+// Figure 8 reproduction: the four netperf benchmarks of Section 5.1, run
+// against both driver configurations — the e1000e in-kernel (trusted) and
+// the same driver under SUD (untrusted user-space process).
+//
+// Methodology. Real packets flow through the real stack (device rings, MSI,
+// proxies, uchans, SUD-UML); every mechanism charges the CpuModel. Wall time
+// comes from the workload model:
+//   * TCP_STREAM: link-bound — 1448-byte MSS segments occupy 1538 bytes of
+//     gigabit wire each (our compressed 22-byte header stands in for the
+//     real 66 bytes of Ethernet+IP+TCP; wire accounting uses the real size),
+//     so both configurations saturate at ~941 Mbit/s and the interesting
+//     number is CPU%.
+//   * UDP_STREAM: a closed-loop sender — netperf's send path on the paper's
+//     1.4 GHz Centrino sustains ~3.1 us per 64-byte sendto(); SUD's extra
+//     copy-to-shared-buffer and uchan enqueue lengthen that path slightly.
+//   * UDP_RR: one transaction in flight — the round trip includes the
+//     client machine + wire (a fixed base) plus every charged nanosecond of
+//     the server path; SUD pays two process wakeups (~4 us each, §5.1) per
+//     transaction, which is why the paper reports 2x CPU.
+// CPU% is charged-busy over wall across the Thinkpad's two cores, as
+// netperf's CPU measurement reports it.
+//
+// The absolute calibration (app costs, client base RTT) is fit to the
+// paper's *kernel-driver* rows once; the SUD deltas then emerge entirely
+// from the simulated mechanisms. Expected shape: equal throughput on
+// streams, ~8-30% relative CPU overhead, ~2x CPU on UDP_RR.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/base/log.h"
+#include "tests/harness.h"
+
+namespace sud {
+namespace {
+
+using testing::kMacA;
+using testing::kMacB;
+using testing::NetBench;
+
+// Workload calibration (the paper's testbed constants).
+constexpr int kStreamPackets = 40000;
+constexpr int kRrTransactions = 4000;
+constexpr double kCores = 2.0;                  // dual-core Centrino
+constexpr double kTcpAppNsPerPkt = 1350;        // netperf+TCP rx path per MSS
+constexpr double kUdpSendBaseNs = 1700;         // sendto() syscall+socket+UDP
+constexpr double kUdpTxWaitNs = 950;            // socket-buffer backpressure (idle)
+constexpr double kUdpRxAppNsPerPkt = 380;       // recvfrom()+accounting
+constexpr double kRrClientBaseNs = 98000;       // client machine + 2x wire + sched
+constexpr size_t kTcpMss = 1448;
+constexpr size_t kUdpPayload = 64 - 22;         // 64-byte UDP packets (paper)
+constexpr double kTcpWireBytesPerSeg = 1538;    // 1448 + eth/ip/tcp + preamble/ifg
+constexpr double kUdpWireBytesPerPkt = 64 + 14 + 24;
+
+struct Row {
+  std::string test;
+  std::string driver;
+  double value;
+  std::string unit;
+  double cpu_pct;
+  double paper_value;
+  double paper_cpu;
+};
+
+// One benchmark configuration: either the SUD bench or the in-kernel bench.
+struct Config {
+  std::unique_ptr<NetBench> bench;
+  bool is_sud;
+
+  static Config Make(bool is_sud) {
+    NetBench::Options options;
+    options.start_sut = is_sud;
+    Config config{std::make_unique<NetBench>(options), is_sud};
+    if (is_sud) {
+      Status status = config.bench->StartSut();
+      if (!status.ok()) {
+        std::fprintf(stderr, "sut start failed: %s\n", status.ToString().c_str());
+      }
+    } else {
+      Status status = config.bench->StartSutInKernel();
+      if (!status.ok()) {
+        std::fprintf(stderr, "kernel sut start failed: %s\n", status.ToString().c_str());
+      }
+    }
+    return config;
+  }
+
+  void Pump() {
+    if (is_sud) {
+      bench->host->Pump();
+    } else {
+      // NAPI: one interrupt + one poll per burst.
+      CpuModel& cpu = bench->machine.cpu();
+      cpu.Charge(kAccountKernel, cpu.costs().interrupt_entry);
+      bench->sut_driver->NapiPoll();
+    }
+  }
+
+  // Kernel baseline: switch the SUT into NAPI polling (interrupts masked).
+  void EnableNapi() {
+    if (!is_sud) {
+      (void)bench->sut_env->MmioWrite32(0, devices::kNicRegImc, 0xffffffffu);
+    }
+  }
+  const char* name() const { return is_sud ? "Untrusted driver" : "Kernel driver"; }
+};
+
+double TotalCpu(NetBench& bench) {
+  // Only the Thinkpad's cores: the peer (Optiplex) and device-internal work
+  // are not this machine's CPU.
+  return static_cast<double>(bench.machine.cpu().busy(kAccountKernel) +
+                             bench.machine.cpu().busy(kAccountDriver));
+}
+
+// TCP_STREAM: the SUT receives a stream of MSS-sized segments. The link is
+// the bottleneck; packets arrive in bursts of 16 (interrupt coalescing) and
+// SUD-UML batches the resulting netif_rx downcalls (Section 5.1).
+Row RunTcpStream(bool is_sud) {
+  Config config = Config::Make(is_sud);
+  config.EnableNapi();
+  NetBench& bench = *config.bench;
+  bench.machine.cpu().Reset();
+
+  std::vector<uint8_t> payload(kTcpMss, 0x5a);
+  constexpr int kBurst = 16;
+  for (int sent = 0; sent < kStreamPackets; sent += kBurst) {
+    for (int i = 0; i < kBurst; ++i) {
+      (void)bench.PeerSend(33000, 80, {payload.data(), payload.size()});
+    }
+    config.Pump();
+  }
+  double wall_ns = kStreamPackets * kTcpWireBytesPerSeg * 8.0;  // 1 Gb/s: 8 ns/byte
+  double cpu_ns = TotalCpu(bench) + kStreamPackets * kTcpAppNsPerPkt;
+  double throughput_mbps = kTcpMss * 8.0 * kStreamPackets / wall_ns * 1000.0;
+  return Row{"TCP_STREAM", config.name(), throughput_mbps, "Mbits/sec",
+             100.0 * cpu_ns / (kCores * wall_ns), is_sud ? 941.0 : 941.0, is_sud ? 13.0 : 12.0};
+}
+
+// UDP_STREAM TX: the SUT transmits 64-byte packets in a closed sender loop.
+Row RunUdpTx(bool is_sud) {
+  Config config = Config::Make(is_sud);
+  config.EnableNapi();
+  NetBench& bench = *config.bench;
+  bench.machine.cpu().Reset();
+
+  std::vector<uint8_t> payload(kUdpPayload, 0x11);
+  constexpr int kBurst = 8;
+  for (int sent = 0; sent < kStreamPackets; sent += kBurst) {
+    for (int i = 0; i < kBurst; ++i) {
+      auto frame = kern::BuildPacket(kMacB, kMacA, 5001, 5002,
+                                     {payload.data(), payload.size()});
+      (void)bench.kernel.net().Transmit(bench.SutIfname(),
+                                        kern::MakeSkb({frame.data(), frame.size()}));
+    }
+    config.Pump();  // driver drains the xmit queue, devices transmit
+  }
+
+  // Closed loop: the sender's per-packet path is the app base plus the
+  // charged kernel-side work (the part executed in the sender's context).
+  double kernel_ns = static_cast<double>(bench.machine.cpu().busy(kAccountKernel));
+  double driver_ns = static_cast<double>(bench.machine.cpu().busy(kAccountDriver));
+  double send_path_ns = kUdpSendBaseNs + kUdpTxWaitNs + kernel_ns / kStreamPackets;
+  double wall_ns = kStreamPackets * send_path_ns;
+  double wire_ns = kStreamPackets * kUdpWireBytesPerPkt * 8.0;
+  if (wire_ns > wall_ns) {
+    wall_ns = wire_ns;
+  }
+  double pps = kStreamPackets / wall_ns * 1e9;
+  double cpu_ns = kernel_ns + driver_ns + kStreamPackets * kUdpSendBaseNs;
+  return Row{"UDP_STREAM TX", config.name(), pps / 1000.0, "Kpackets/sec",
+             100.0 * cpu_ns / (kCores * wall_ns), is_sud ? 308.0 : 317.0, is_sud ? 39.0 : 35.0};
+}
+
+// UDP_STREAM RX: the peer floods 64-byte packets at the SUT; the paper's
+// receiver keeps up (238 vs 235 Kpps), limited by the sender's rate.
+Row RunUdpRx(bool is_sud) {
+  Config config = Config::Make(is_sud);
+  config.EnableNapi();
+  NetBench& bench = *config.bench;
+  bench.machine.cpu().Reset();
+
+  std::vector<uint8_t> payload(kUdpPayload, 0x22);
+  constexpr int kBurst = 16;
+  int delivered = 0;
+  kern::NetDevice* netdev = bench.kernel.net().Find(bench.SutIfname());
+  netdev->set_rx_sink([&](const kern::Skb&) { ++delivered; });
+  for (int sent = 0; sent < kStreamPackets; sent += kBurst) {
+    for (int i = 0; i < kBurst; ++i) {
+      (void)bench.PeerSend(5002, 5001, {payload.data(), payload.size()});
+    }
+    config.Pump();
+  }
+  // The Optiplex's send rate bounds the test (the paper's 238 Kpps); the
+  // receiver's capacity is 1/path if worse.
+  double sender_rate_pps = 240000.0;
+  double kernel_ns = static_cast<double>(bench.machine.cpu().busy(kAccountKernel));
+  double driver_ns = static_cast<double>(bench.machine.cpu().busy(kAccountDriver));
+  double rx_path_ns = (kernel_ns + driver_ns) / kStreamPackets + kUdpRxAppNsPerPkt;
+  double capacity_pps = 1e9 / rx_path_ns * kCores;  // rx path pipelines across cores
+  double pps = std::min(sender_rate_pps, capacity_pps);
+  double wall_ns = kStreamPackets / pps * 1e9;
+  double cpu_ns = kernel_ns + driver_ns + kStreamPackets * kUdpRxAppNsPerPkt;
+  return Row{"UDP_STREAM RX", config.name(), pps * (delivered / double(kStreamPackets)) / 1000.0,
+             "Kpackets/sec", 100.0 * cpu_ns / (kCores * wall_ns), is_sud ? 235.0 : 238.0,
+             is_sud ? 26.0 : 20.0};
+}
+
+// UDP_RR: one 64-byte request/response in flight at a time. Every charged
+// nanosecond of the server path adds to the RTT; under SUD each direction
+// pays a process wakeup.
+Row RunUdpRr(bool is_sud) {
+  Config config = Config::Make(is_sud);
+  NetBench& bench = *config.bench;
+  bench.machine.cpu().Reset();
+
+  std::vector<uint8_t> payload(kUdpPayload, 0x33);
+  kern::NetDevice* netdev = bench.kernel.net().Find(bench.SutIfname());
+  int requests = 0;
+  netdev->set_rx_sink([&](const kern::Skb&) { ++requests; });
+
+  for (int txn = 0; txn < kRrTransactions; ++txn) {
+    (void)bench.PeerSend(7001, 7002, {payload.data(), payload.size()});
+    config.Pump();  // request reaches the app
+    auto reply = kern::BuildPacket(kMacB, kMacA, 7002, 7001,
+                                   {payload.data(), payload.size()});
+    (void)bench.kernel.net().Transmit(bench.SutIfname(),
+                                      kern::MakeSkb({reply.data(), reply.size()}));
+    config.Pump();  // reply transmitted
+  }
+
+  double cpu_ns = TotalCpu(bench);
+  double server_ns_per_txn = cpu_ns / kRrTransactions;
+  // The interrupt/driver half of the server path overlaps the netserver
+  // process on the other core; roughly half of it extends the RTT.
+  double rtt_ns = kRrClientBaseNs + server_ns_per_txn / 2.0;
+  double tps = 1e9 / rtt_ns;
+  return Row{"UDP_RR", config.name(), tps, "Tx/sec", 100.0 * server_ns_per_txn / rtt_ns,
+             is_sud ? 9489.0 : 9590.0, is_sud ? 10.0 : 5.0};
+}
+
+void Print(const std::vector<Row>& rows) {
+  std::printf("\nFigure 8: netperf results, e1000e in-kernel vs under SUD\n");
+  std::printf("%-14s %-17s %14s %-13s %7s | %10s %9s\n", "Test", "Driver", "Measured", "Unit",
+              "CPU %", "paper val", "paper CPU");
+  std::printf("%s\n", std::string(96, '-').c_str());
+  for (const Row& row : rows) {
+    std::printf("%-14s %-17s %14.0f %-13s %6.1f%% | %10.0f %8.0f%%\n", row.test.c_str(),
+                row.driver.c_str(), row.value, row.unit.c_str(), row.cpu_pct, row.paper_value,
+                row.paper_cpu);
+  }
+  std::printf("\nShape checks (paper: equal stream throughput; 8-30%% CPU overhead on\n");
+  std::printf("streams; ~2x CPU on UDP_RR):\n");
+}
+
+}  // namespace
+}  // namespace sud
+
+int main() {
+  sud::Logger::Get().set_min_level(sud::LogLevel::kError);
+  std::vector<sud::Row> rows;
+  rows.push_back(sud::RunTcpStream(false));
+  rows.push_back(sud::RunTcpStream(true));
+  rows.push_back(sud::RunUdpTx(false));
+  rows.push_back(sud::RunUdpTx(true));
+  rows.push_back(sud::RunUdpRx(false));
+  rows.push_back(sud::RunUdpRx(true));
+  rows.push_back(sud::RunUdpRr(false));
+  rows.push_back(sud::RunUdpRr(true));
+  sud::Print(rows);
+
+  // Shape assertions printed for the record.
+  auto pct = [&](int kernel_row, int sud_row) {
+    return 100.0 * (rows[sud_row].cpu_pct - rows[kernel_row].cpu_pct) / rows[kernel_row].cpu_pct;
+  };
+  std::printf("  TCP_STREAM   : throughput %s, CPU overhead %+.0f%%\n",
+              rows[0].value == rows[1].value ? "equal" : "UNEQUAL", pct(0, 1));
+  std::printf("  UDP_STREAM TX: throughput ratio %.2f, CPU overhead %+.0f%%\n",
+              rows[3].value / rows[2].value, pct(2, 3));
+  std::printf("  UDP_STREAM RX: throughput ratio %.2f, CPU overhead %+.0f%%\n",
+              rows[5].value / rows[4].value, pct(4, 5));
+  std::printf("  UDP_RR       : throughput ratio %.2f, CPU ratio %.1fx\n",
+              rows[7].value / rows[6].value, rows[7].cpu_pct / rows[6].cpu_pct);
+  return 0;
+}

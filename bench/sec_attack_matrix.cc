@@ -1,0 +1,191 @@
+// Section 5.2 attack matrix: every malicious driver from src/drivers runs
+// against the full stack under four hardware configurations, and the table
+// reports whether the attack was contained. This is the paper's security
+// evaluation ("we tested SUD's security by constructing explicit test cases
+// for the attacks...") as one reproducible binary.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/drivers/malicious.h"
+#include "src/base/log.h"
+#include "tests/harness.h"
+
+namespace sud {
+namespace {
+
+using testing::NetBench;
+
+struct Cell {
+  std::string attack;
+  std::string config;
+  bool contained;
+  std::string note;
+};
+
+NetBench::Options Config(hw::IommuMode mode, bool remapping, bool acs) {
+  NetBench::Options options;
+  options.machine.iommu_mode = mode;
+  options.machine.interrupt_remapping = remapping;
+  options.policy.enable_acs = acs;
+  return options;
+}
+
+Cell RunDmaRead(NetBench::Options options, const std::string& config) {
+  NetBench bench(options);
+  uint64_t secret = bench.machine.dram().AllocPages(1).value();
+  auto attack = std::make_unique<drivers::DmaAttackDriver>(secret);
+  auto* p = attack.get();
+  (void)bench.host->Start(std::move(attack));
+  (void)p->LaunchTxRead();
+  bool contained = bench.link.stats().frames[0] == 0 && !bench.machine.iommu().faults().empty();
+  return {"arbitrary DMA read", config, contained, "iommu fault, nothing transmitted"};
+}
+
+Cell RunDmaWrite(NetBench::Options options, const std::string& config) {
+  NetBench bench(options);
+  uint64_t victim = bench.machine.dram().AllocPages(1).value();
+  std::vector<uint8_t> before(64);
+  (void)bench.machine.dram().Read(victim, {before.data(), before.size()});
+  auto attack = std::make_unique<drivers::DmaAttackDriver>(victim);
+  auto* p = attack.get();
+  (void)bench.host->Start(std::move(attack));
+  (void)p->LaunchRxWrite();
+  std::vector<uint8_t> payload(64, 0xee);
+  (void)bench.PeerSend(1, 80, {payload.data(), payload.size()});
+  std::vector<uint8_t> after(64);
+  (void)bench.machine.dram().Read(victim, {after.data(), after.size()});
+  return {"arbitrary DMA write", config, before == after, "victim memory intact"};
+}
+
+Cell RunP2p(NetBench::Options options, const std::string& config) {
+  NetBench bench(options);
+  uint64_t victim_bar = bench.peer_nic.config().bar(0);
+  uint32_t before = bench.peer_nic.MmioRead(0, devices::kNicRegTdbal);
+  auto attack = std::make_unique<drivers::DmaAttackDriver>(victim_bar + devices::kNicRegTdbal);
+  auto* p = attack.get();
+  (void)bench.host->Start(std::move(attack));
+  (void)p->LaunchRxWrite();
+  std::vector<uint8_t> payload(64, 0xee);
+  (void)bench.PeerSend(1, 80, {payload.data(), payload.size()});
+  bool contained = bench.sw->p2p_deliveries() == 0 &&
+                   bench.peer_nic.MmioRead(0, devices::kNicRegTdbal) == before;
+  return {"peer-to-peer DMA", config, contained,
+          contained ? "ACS redirect -> iommu fault" : "LANDED in peer registers"};
+}
+
+Cell RunMsiStorm(NetBench::Options options, const std::string& config) {
+  NetBench bench(options);
+  auto attack = std::make_unique<drivers::MsiStormDriver>(0);
+  auto* p = attack.get();
+  (void)bench.host->Start(std::move(attack));
+  (void)p->Arm(128);
+  std::vector<uint8_t> frame(64);
+  frame[0] = bench.ctx->irq_vector();  // forge the driver's own vector
+  uint64_t handled_before = bench.kernel.interrupts_handled();
+  for (int i = 0; i < 64; ++i) {
+    (void)bench.link.Transmit(1, {frame.data(), frame.size()});
+  }
+  uint64_t storm = bench.kernel.interrupts_handled() - handled_before;
+  const auto& stats = bench.ctx->interrupt_stats();
+  bool contained = stats.remap_blocked || stats.msi_page_unmapped || storm <= 2;
+  char note[96];
+  std::snprintf(note, sizeof(note), "%llu of 64 forged MSIs reached the CPU%s",
+                (unsigned long long)storm,
+                stats.remap_blocked      ? " (remapping blocked the rest)"
+                : stats.msi_page_unmapped ? " (MSI page unmapped)"
+                : contained               ? ""
+                                          : " — LIVELOCK (the paper's §5.2 weakness)");
+  return {"stray-DMA MSI storm", config, contained, note};
+}
+
+Cell RunUnresponsive(NetBench::Options options, const std::string& config) {
+  options.sud.uchan.sync_timeout_ms = 25;
+  NetBench bench(options);
+  (void)bench.host->Start(std::make_unique<drivers::UnresponsiveDriver>(),
+                          uml::DriverHost::Mode::kComatose);
+  Status status = bench.kernel.net().BringUp("eth0");
+  bool contained = status.code() == ErrorCode::kTimedOut;
+  return {"unresponsive driver", config, contained, "sync upcall interrupted, kernel live"};
+}
+
+Cell RunConfigAttack(NetBench::Options options, const std::string& config) {
+  NetBench bench(options);
+  auto attack = std::make_unique<drivers::ConfigAttackDriver>();
+  auto* p = attack.get();
+  (void)bench.host->Start(std::move(attack));
+  bool contained = p->outcome().succeeded == 0;
+  char note[64];
+  std::snprintf(note, sizeof(note), "%u/%u sensitive writes denied", p->outcome().denied,
+                p->outcome().attempts);
+  return {"config-space rewrite", config, contained, note};
+}
+
+Cell RunIoPortAttack(NetBench::Options options, const std::string& config) {
+  NetBench bench(options);
+  auto attack = std::make_unique<drivers::IoPortAttackDriver>();
+  auto* p = attack.get();
+  (void)bench.host->Start(std::move(attack));
+  bool contained = p->denied() == p->attempts();
+  return {"ungranted IO ports", config, contained, "IOPB denied every access"};
+}
+
+Cell RunResourceHog(NetBench::Options options, const std::string& config) {
+  NetBench bench(options);
+  auto attack = std::make_unique<drivers::ResourceHogDriver>();
+  auto* p = attack.get();
+  (void)bench.host->Start(std::move(attack));
+  bool contained = p->hit_limit();
+  char note[64];
+  std::snprintf(note, sizeof(note), "stopped after %llu MB (rlimit)",
+                (unsigned long long)(p->bytes_obtained() / (1024 * 1024)));
+  return {"resource exhaustion", config, contained, note};
+}
+
+}  // namespace
+}  // namespace sud
+
+int main() {
+  using namespace sud;
+  Logger::Get().set_min_level(LogLevel::kError);
+
+  struct HwConfig {
+    std::string name;
+    NetBench::Options options;
+  };
+  std::vector<HwConfig> configs = {
+      {"VT-d, no IR (paper)", Config(hw::IommuMode::kIntelVtd, false, true)},
+      {"VT-d + IR", Config(hw::IommuMode::kIntelVtd, true, true)},
+      {"AMD-Vi", Config(hw::IommuMode::kAmdVi, false, true)},
+  };
+
+  std::vector<Cell> cells;
+  for (const HwConfig& config : configs) {
+    cells.push_back(RunDmaRead(config.options, config.name));
+    cells.push_back(RunDmaWrite(config.options, config.name));
+    cells.push_back(RunP2p(config.options, config.name));
+    cells.push_back(RunMsiStorm(config.options, config.name));
+    cells.push_back(RunUnresponsive(config.options, config.name));
+    cells.push_back(RunConfigAttack(config.options, config.name));
+    cells.push_back(RunIoPortAttack(config.options, config.name));
+    cells.push_back(RunResourceHog(config.options, config.name));
+  }
+  // The vulnerable no-ACS configuration, to show the attack is real.
+  cells.push_back(RunP2p(Config(hw::IommuMode::kIntelVtd, false, false), "ACS OFF (vulnerable)"));
+
+  std::printf("\nSection 5.2 attack matrix: malicious drivers vs the confinement stack\n");
+  std::printf("%-22s %-22s %-11s %s\n", "Attack", "Hardware config", "Contained?", "Detail");
+  std::printf("%s\n", std::string(110, '-').c_str());
+  int contained = 0;
+  for (const Cell& cell : cells) {
+    std::printf("%-22s %-22s %-11s %s\n", cell.attack.c_str(), cell.config.c_str(),
+                cell.contained ? "YES" : "NO", cell.note.c_str());
+    contained += cell.contained ? 1 : 0;
+  }
+  std::printf("\n%d/%zu contained. Expected NOs: the stray-DMA MSI storm on VT-d without\n",
+              contained, cells.size());
+  std::printf("interrupt remapping (the paper's own §5.2 limitation) and peer-to-peer DMA\n");
+  std::printf("with ACS disabled (the configuration SUD exists to forbid).\n");
+  return 0;
+}

@@ -1,0 +1,224 @@
+// Click-router example: Section 6 "Applications".
+//
+// "The Click router runs as a kernel module so that it has direct access to
+// packets as they are received by the network card. With SUD, these
+// applications could run as untrusted SUD-UML driver processes, with direct
+// access to hardware, and achieve good performance without the security
+// threat."
+//
+// This program is that application: a user-space packet forwarder that is
+// *not* a device driver at all — it registers nothing with the kernel's
+// network stack. It binds two NICs through SUD's safe-PCI surface, programs
+// their descriptor rings directly in its own DMA space, polls receive
+// rings, applies a Click-style filter (drop telnet), and forwards frames
+// port-to-port. The kernel trusts none of it; the IOMMU and ACS confine
+// whatever it does.
+//
+//   host A --link--> [router port A | click process | router port B] --link--> host B
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/base/log.h"
+#include "src/devices/ether_link.h"
+#include "src/devices/sim_nic.h"
+#include "src/drivers/e1000e.h"
+#include "src/hw/machine.h"
+#include "src/kern/kernel.h"
+#include "src/sud/safe_pci.h"
+#include "src/uml/direct_env.h"
+
+namespace {
+
+using namespace sud;
+
+// One router port: descriptor rings + buffers in the port's own DMA space,
+// programmed through the mediated MMIO surface. ~the data-plane half of a
+// Click "FromDevice/ToDevice" element pair.
+class RouterPort {
+ public:
+  static constexpr uint32_t kRxDesc = 64;
+  static constexpr uint32_t kBufBytes = 2048;
+
+  Status Init(SudDeviceContext* ctx) {
+    ctx_ = ctx;
+    // pci_enable_device + pci_set_master through the filtered syscall.
+    SUD_RETURN_IF_ERROR(ctx->ConfigWrite(
+        hw::kPciCommand, 2,
+        hw::kPciCommandMemEnable | hw::kPciCommandIoEnable | hw::kPciCommandBusMaster));
+    Result<DmaRegion> rx_ring = ctx->dma().Alloc(kRxDesc * 16, true);
+    Result<DmaRegion> tx_ring = ctx->dma().Alloc(kRxDesc * 16, true);
+    Result<DmaRegion> buffers = ctx->dma().Alloc(2ull * kRxDesc * kBufBytes, false);
+    if (!rx_ring.ok() || !tx_ring.ok() || !buffers.ok()) {
+      return Status(ErrorCode::kExhausted, "dma alloc failed");
+    }
+    rx_ring_ = rx_ring.value();
+    tx_ring_ = tx_ring.value();
+    buffers_ = buffers.value();
+
+    // Arm every RX descriptor.
+    for (uint32_t i = 0; i < kRxDesc; ++i) {
+      SUD_RETURN_IF_ERROR(WriteDesc(rx_ring_.iova, i, RxBuf(i), 0, 0));
+    }
+    SUD_RETURN_IF_ERROR(ctx->MmioWrite(0, devices::kNicRegRdbal,
+                                       static_cast<uint32_t>(rx_ring_.iova)));
+    SUD_RETURN_IF_ERROR(ctx->MmioWrite(0, devices::kNicRegRdlen, kRxDesc * 16));
+    SUD_RETURN_IF_ERROR(ctx->MmioWrite(0, devices::kNicRegRdh, 0));
+    SUD_RETURN_IF_ERROR(ctx->MmioWrite(0, devices::kNicRegRdt, kRxDesc - 1));
+    SUD_RETURN_IF_ERROR(ctx->MmioWrite(0, devices::kNicRegRctl, devices::kNicRctlEnable));
+    SUD_RETURN_IF_ERROR(ctx->MmioWrite(0, devices::kNicRegTdbal,
+                                       static_cast<uint32_t>(tx_ring_.iova)));
+    SUD_RETURN_IF_ERROR(ctx->MmioWrite(0, devices::kNicRegTdlen, kRxDesc * 16));
+    SUD_RETURN_IF_ERROR(ctx->MmioWrite(0, devices::kNicRegTdh, 0));
+    SUD_RETURN_IF_ERROR(ctx->MmioWrite(0, devices::kNicRegTdt, 0));
+    return ctx->MmioWrite(0, devices::kNicRegTctl, devices::kNicTctlEnable);
+  }
+
+  // Polls the RX ring; calls `sink(frame)` for each received frame.
+  template <typename Sink>
+  int Poll(Sink&& sink) {
+    int count = 0;
+    while (true) {
+      Result<ByteSpan> desc = ctx_->dma().HostView(rx_ring_.iova + rx_next_ * 16ull, 16);
+      if (!desc.ok() || (desc.value()[12] & devices::kNicDescStatusDone) == 0) {
+        break;
+      }
+      uint16_t len = LoadLe16(desc.value().data() + 8);
+      Result<ByteSpan> frame = ctx_->dma().HostView(RxBuf(rx_next_), len);
+      if (frame.ok()) {
+        sink(ConstByteSpan(frame.value().data(), len));
+        ++count;
+      }
+      (void)WriteDesc(rx_ring_.iova, rx_next_, RxBuf(rx_next_), 0, 0);  // re-arm
+      (void)ctx_->MmioWrite(0, devices::kNicRegRdt, rx_next_);
+      rx_next_ = (rx_next_ + 1) % kRxDesc;
+    }
+    return count;
+  }
+
+  Status Transmit(ConstByteSpan frame) {
+    uint64_t buf = TxBuf(tx_next_);
+    Result<ByteSpan> view = ctx_->dma().HostView(buf, frame.size());
+    if (!view.ok()) {
+      return view.status();
+    }
+    std::memcpy(view.value().data(), frame.data(), frame.size());
+    SUD_RETURN_IF_ERROR(WriteDesc(tx_ring_.iova, tx_next_, buf,
+                                  static_cast<uint16_t>(frame.size()),
+                                  devices::kNicDescCmdEop));
+    tx_next_ = (tx_next_ + 1) % kRxDesc;
+    return ctx_->MmioWrite(0, devices::kNicRegTdt, tx_next_);
+  }
+
+ private:
+  uint64_t RxBuf(uint32_t i) const { return buffers_.iova + static_cast<uint64_t>(i) * kBufBytes; }
+  uint64_t TxBuf(uint32_t i) const {
+    return buffers_.iova + (kRxDesc + static_cast<uint64_t>(i)) * kBufBytes;
+  }
+
+  Status WriteDesc(uint64_t ring, uint32_t index, uint64_t buffer, uint16_t len, uint8_t cmd) {
+    Result<ByteSpan> view = ctx_->dma().HostView(ring + index * 16ull, 16);
+    if (!view.ok()) {
+      return view.status();
+    }
+    uint8_t* raw = view.value().data();
+    std::memset(raw, 0, 16);
+    StoreLe64(raw, buffer);
+    StoreLe16(raw + 8, len);
+    raw[11] = cmd;
+    return Status::Ok();
+  }
+
+  SudDeviceContext* ctx_ = nullptr;
+  DmaRegion rx_ring_{}, tx_ring_{}, buffers_{};
+  uint32_t rx_next_ = 0;
+  uint32_t tx_next_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  Logger::Get().set_min_level(LogLevel::kWarning);
+
+  hw::Machine machine;
+  kern::Kernel kernel(&machine);
+  hw::PcieSwitch& sw = machine.AddSwitch("pcie-switch");
+
+  const uint8_t mac_host_a[6] = {0xa, 0, 0, 0, 0, 1};
+  const uint8_t mac_host_b[6] = {0xb, 0, 0, 0, 0, 1};
+  const uint8_t mac_port_a[6] = {0xc, 0, 0, 0, 0, 0xa};
+  const uint8_t mac_port_b[6] = {0xc, 0, 0, 0, 0, 0xb};
+  devices::SimNic host_a_nic("host-a", mac_host_a), host_b_nic("host-b", mac_host_b);
+  devices::SimNic port_a_nic("click-port-a", mac_port_a), port_b_nic("click-port-b", mac_port_b);
+  devices::EtherLink link_a, link_b;
+  for (auto* nic : {&host_a_nic, &host_b_nic, &port_a_nic, &port_b_nic}) {
+    (void)machine.AttachDevice(sw, nic);
+  }
+  host_a_nic.ConnectLink(&link_a, 0);
+  port_a_nic.ConnectLink(&link_a, 1);
+  port_b_nic.ConnectLink(&link_b, 0);
+  host_b_nic.ConnectLink(&link_b, 1);
+
+  // Hosts run honest in-kernel drivers.
+  uml::DirectEnv env_a(&kernel, &host_a_nic), env_b(&kernel, &host_b_nic);
+  drivers::E1000eDriver drv_a, drv_b;
+  (void)drv_a.Probe(env_a);
+  (void)drv_b.Probe(env_b);
+  (void)kernel.net().BringUp(env_a.netdev()->name());
+  (void)kernel.net().BringUp(env_b.netdev()->name());
+
+  // The Click process: one UID, two devices, zero kernel driver API.
+  SafePciModule safe_pci(&kernel);
+  SudDeviceContext* ctx_a = safe_pci.ExportDevice(&port_a_nic, /*uid=*/2000).value();
+  SudDeviceContext* ctx_b = safe_pci.ExportDevice(&port_b_nic, /*uid=*/2000).value();
+  kern::Process& click = kernel.processes().Spawn("click-router", 2000);
+  if (!ctx_a->Bind(&click).ok() || !ctx_b->Bind(&click).ok()) {
+    std::fprintf(stderr, "bind failed\n");
+    return 1;
+  }
+  RouterPort port_a, port_b;
+  if (!port_a.Init(ctx_a).ok() || !port_b.Init(ctx_b).ok()) {
+    std::fprintf(stderr, "port init failed\n");
+    return 1;
+  }
+
+  // Click configuration: FromDevice(a) -> filter(drop port 23) -> ToDevice(b).
+  int forwarded = 0, filtered = 0;
+  auto run_click = [&]() {
+    forwarded += port_a.Poll([&](ConstByteSpan frame) {
+      kern::PacketView view{frame};
+      if (view.valid() && view.dst_port() == 23) {
+        ++filtered;
+        --forwarded;  // counted back out below
+        return;
+      }
+      (void)port_b.Transmit(frame);
+    });
+    (void)port_b.Poll([&](ConstByteSpan frame) { (void)port_a.Transmit(frame); });
+  };
+
+  // Host A sends 6 packets: 4 to port 80, 2 to the filtered port 23.
+  int host_b_received = 0;
+  env_b.netdev()->set_rx_sink([&](const kern::Skb& skb) {
+    ++host_b_received;
+    std::printf("  host B received: %zu bytes to port %u\n", skb.data_len(),
+                skb.view().dst_port());
+  });
+  std::vector<uint8_t> payload(64, 0x42);
+  for (int i = 0; i < 6; ++i) {
+    uint16_t port = (i % 3 == 2) ? 23 : 80;
+    auto frame = kern::BuildPacket(mac_host_b, mac_host_a, 999, port,
+                                   {payload.data(), payload.size()});
+    (void)kernel.net().Transmit(env_a.netdev()->name(),
+                                kern::MakeSkb({frame.data(), frame.size()}));
+    run_click();  // the click process polls and forwards
+  }
+
+  std::printf("\nclick-router: forwarded %d, filtered %d (port 23), host B got %d\n",
+              forwarded + filtered >= 0 ? forwarded : 0, filtered, host_b_received);
+  std::printf("the router process held direct ring access to two NICs; its IOMMU\n");
+  std::printf("contexts confine it exactly like any driver (%llu KB + %llu KB mapped)\n",
+              (unsigned long long)(machine.iommu().MappedBytes(port_a_nic.address().source_id()) / 1024),
+              (unsigned long long)(machine.iommu().MappedBytes(port_b_nic.address().source_id()) / 1024));
+  return (host_b_received == 4 && filtered == 2) ? 0 : 1;
+}

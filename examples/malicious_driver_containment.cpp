@@ -1,0 +1,133 @@
+// Malicious-driver containment demo: the elevator pitch of the paper.
+//
+// Starts a fully adversarial driver on the same machine as an innocent
+// victim driver, lets it attack through every channel it has — arbitrary
+// DMA, peer-to-peer DMA at the victim's registers, filtered config writes,
+// forged interrupts — and shows the victim's traffic flowing undisturbed
+// while every attack bounces off the confinement hardware.
+
+#include <cstdio>
+
+#include "src/base/log.h"
+#include "src/devices/ether_link.h"
+#include "src/devices/sim_nic.h"
+#include "src/drivers/e1000e.h"
+#include "src/drivers/malicious.h"
+#include "src/hw/machine.h"
+#include "src/kern/kernel.h"
+#include "src/sud/proxy_ethernet.h"
+#include "src/sud/safe_pci.h"
+#include "src/uml/direct_env.h"
+#include "src/uml/driver_host.h"
+
+int main() {
+  using namespace sud;
+  Logger::Get().set_min_level(LogLevel::kAttack);  // show confinement events
+
+  hw::Machine machine;
+  kern::Kernel kernel(&machine);
+  hw::PcieSwitch& sw = machine.AddSwitch("pcie-switch");
+
+  const uint8_t mac_evil[6] = {0xba, 0xdc, 0x0f, 0xfe, 0xe0, 0x01};
+  const uint8_t mac_victim[6] = {0x00, 0x1b, 0x21, 0x01, 0x02, 0x03};
+  devices::SimNic evil_nic("evil-nic", mac_evil);
+  devices::SimNic victim_nic("victim-nic", mac_victim);
+  devices::EtherLink link;
+  (void)machine.AttachDevice(sw, &evil_nic);
+  (void)machine.AttachDevice(sw, &victim_nic);
+  evil_nic.ConnectLink(&link, 0);
+  victim_nic.ConnectLink(&link, 1);
+
+  SafePciModule safe_pci(&kernel);
+
+  // The victim: an honest e1000e running in-kernel.
+  uml::DirectEnv victim_env(&kernel, &victim_nic);
+  drivers::E1000eDriver victim_driver;
+  (void)victim_driver.Probe(victim_env);
+  (void)kernel.net().BringUp(victim_env.netdev()->name());
+
+  // The attacker: an untrusted SUD driver process.
+  SudDeviceContext* ctx = safe_pci.ExportDevice(&evil_nic, /*owner_uid=*/1002).value();
+  uml::DriverHost host(&kernel, ctx, "evil-driver", 1002);
+
+  std::printf("=== attack 1: arbitrary DMA read of kernel memory ===\n");
+  uint64_t secret_paddr = machine.dram().AllocPages(1).value();
+  const char secret[] = "root:$6$hunter2$...";
+  (void)machine.dram().Write(secret_paddr,
+                             {reinterpret_cast<const uint8_t*>(secret), sizeof(secret)});
+  {
+    auto attack = std::make_unique<drivers::DmaAttackDriver>(secret_paddr);
+    auto* p = attack.get();
+    (void)host.Start(std::move(attack));
+    (void)p->LaunchTxRead();
+    std::printf("  -> frames exfiltrated: %llu (iommu faults: %zu)\n\n",
+                (unsigned long long)link.stats().frames[0], machine.iommu().faults().size());
+    (void)host.Kill();
+  }
+
+  std::printf("=== attack 2: peer-to-peer DMA into the victim NIC's registers ===\n");
+  {
+    uint64_t victim_bar = victim_nic.config().bar(0);
+    uint32_t tdbal_before = victim_nic.MmioRead(0, devices::kNicRegTdbal);
+    auto attack = std::make_unique<drivers::DmaAttackDriver>(victim_bar);
+    auto* p = attack.get();
+    (void)host.Start(std::move(attack));
+    (void)p->LaunchRxWrite();
+    // Any frame on the wire triggers the armed descriptor.
+    uint8_t junk[64] = {0xff};
+    (void)link.Transmit(1, {junk, sizeof(junk)});
+    std::printf("  -> victim TDBAL before/after: 0x%x/0x%x, p2p deliveries: %llu\n\n",
+                tdbal_before, victim_nic.MmioRead(0, devices::kNicRegTdbal),
+                (unsigned long long)sw.p2p_deliveries());
+    (void)host.Kill();
+  }
+
+  std::printf("=== attack 3: rewrite BARs and the MSI capability ===\n");
+  {
+    auto attack = std::make_unique<drivers::ConfigAttackDriver>();
+    auto* p = attack.get();
+    (void)host.Start(std::move(attack));
+    std::printf("  -> %u/%u sensitive config writes denied\n\n", p->outcome().denied,
+                p->outcome().attempts);
+    (void)host.Kill();
+  }
+
+  std::printf("=== attack 4: interrupt storm from an unacknowledging driver ===\n");
+  {
+    auto attack = std::make_unique<drivers::NeverAckDriver>();
+    auto* p = attack.get();
+    (void)host.Start(std::move(attack));
+    for (int i = 0; i < 10; ++i) {
+      (void)p->TriggerInterrupt();
+    }
+    std::printf("  -> interrupts forwarded: %llu, MSI masked: %s\n\n",
+                (unsigned long long)ctx->interrupt_stats().forwarded,
+                evil_nic.config().msi_masked() ? "yes" : "no");
+    (void)host.Kill();
+  }
+
+  std::printf("=== meanwhile: the victim's traffic still flows ===\n");
+  int victim_rx = 0;
+  victim_env.netdev()->set_rx_sink([&](const kern::Skb&) { ++victim_rx; });
+  // The attacker's NIC is quiesced (bus master off after teardown), so use a
+  // fresh, honest driver on the evil NIC to talk to the victim.
+  {
+    SudDeviceContext* honest_ctx = ctx;  // same device files, new process
+    EthernetProxy proxy(&kernel, honest_ctx);
+    uml::DriverHost honest_host(&kernel, honest_ctx, "honest-driver", 1002);
+    (void)honest_host.Start(std::make_unique<drivers::E1000eDriver>());
+    (void)kernel.net().BringUp("eth0");
+    std::vector<uint8_t> payload(64, 0x7);
+    for (int i = 0; i < 5; ++i) {
+      auto frame = kern::BuildPacket(mac_victim, mac_evil, 1, 80,
+                                     {payload.data(), payload.size()});
+      (void)kernel.net().Transmit("eth0", kern::MakeSkb({frame.data(), frame.size()}));
+      honest_host.Pump();
+    }
+    std::printf("  -> victim received %d/5 packets after all attacks\n", victim_rx);
+  }
+
+  std::printf("\nThe same device files survived four hostile drivers and one honest\n");
+  std::printf("restart — nothing outside the driver's sandbox was harmed.\n");
+  return victim_rx == 5 ? 0 : 1;
+}

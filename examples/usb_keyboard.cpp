@@ -1,0 +1,67 @@
+// USB example: the EHCI-class host-controller driver under SUD enumerating
+// a keyboard with real chapter-9 control transfers, then streaming HID key
+// reports into the kernel input queue — all with zero USB-specific proxy
+// code in the kernel (Figure 5's "0 lines" row).
+
+#include <cstdio>
+
+#include "src/base/log.h"
+#include "src/devices/usb_host.h"
+#include "src/drivers/usb_hcd.h"
+#include "src/hw/machine.h"
+#include "src/kern/kernel.h"
+#include "src/sud/proxy_usb.h"
+#include "src/sud/safe_pci.h"
+#include "src/uml/driver_host.h"
+
+int main() {
+  using namespace sud;
+  Logger::Get().set_min_level(LogLevel::kWarning);
+
+  hw::Machine machine;
+  kern::Kernel kernel(&machine);
+  hw::PcieSwitch& sw = machine.AddSwitch("pcie-switch");
+  devices::UsbHostController hcd("ehci");
+  devices::UsbKeyboard keyboard;
+  (void)machine.AttachDevice(sw, &hcd);
+  (void)hcd.PlugDevice(0, &keyboard);
+
+  SafePciModule safe_pci(&kernel);
+  SudDeviceContext* ctx = safe_pci.ExportDevice(&hcd, /*owner_uid=*/1005).value();
+  UsbHostProxy proxy(&kernel, ctx);
+  uml::DriverHost host(&kernel, ctx, "ehci-driver", 1005);
+  Status started = host.Start(std::make_unique<drivers::UsbHcdDriver>());
+  if (!started.ok()) {
+    std::fprintf(stderr, "driver failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  auto* driver = static_cast<drivers::UsbHcdDriver*>(host.driver());
+  Result<int> configured = driver->Enumerate();
+  std::printf("enumeration: %d device(s) configured\n", configured.value_or(0));
+  for (const auto& device : driver->devices()) {
+    std::printf("  addr %u: %04x:%04x class 0x%02x %s\n", device.address, device.vendor_id,
+                device.product_id, device.device_class,
+                device.device_class == 0x03 ? "(HID keyboard)" : "");
+  }
+
+  // Type "sud" (HID usage codes) and poll the interrupt endpoint.
+  const char* keys = "sud";
+  const uint8_t usages[] = {0x16, 0x18, 0x07};  // s, u, d
+  for (uint8_t usage : usages) {
+    keyboard.PressKey(usage);
+    (void)driver->PollInput();
+  }
+  host.Pump();  // key-event downcalls land in the kernel input queue
+
+  std::printf("typed \"%s\": kernel input queue has %zu events:", keys, kernel.input().pending());
+  int events = 0;
+  while (auto event = kernel.input().PopEvent()) {
+    std::printf(" 0x%02x", event->usage_code);
+    ++events;
+  }
+  std::printf("\ncontrol transfers: %llu, interrupt polls: %llu\n",
+              (unsigned long long)driver->stats().control_transfers,
+              (unsigned long long)driver->stats().interrupt_polls);
+  return events == 3 ? 0 : 1;
+}

@@ -1,0 +1,35 @@
+#include "src/base/bytes.h"
+
+#include <cstdio>
+
+namespace sud {
+
+uint16_t InternetChecksum(ConstByteSpan data) {
+  uint64_t sum = 0;
+  size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<uint16_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum += static_cast<uint16_t>(data[i] << 8);
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum);
+}
+
+std::string FormatMac(const uint8_t mac[6]) {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", mac[0], mac[1], mac[2], mac[3],
+                mac[4], mac[5]);
+  return buf;
+}
+
+std::string Hex(uint64_t value) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "0x%llX", static_cast<unsigned long long>(value));
+  return buf;
+}
+
+}  // namespace sud

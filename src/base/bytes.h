@@ -1,0 +1,48 @@
+// Byte-span helpers and the Internet checksum used by the simulated stack.
+
+#ifndef SUD_SRC_BASE_BYTES_H_
+#define SUD_SRC_BASE_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sud {
+
+using ByteSpan = std::span<uint8_t>;
+using ConstByteSpan = std::span<const uint8_t>;
+
+// RFC 1071 Internet checksum over `data`.
+uint16_t InternetChecksum(ConstByteSpan data);
+
+// Little-endian loads/stores used by simulated device registers.
+inline uint32_t LoadLe32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline uint64_t LoadLe64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline uint16_t LoadLe16(const uint8_t* p) {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline void StoreLe32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+inline void StoreLe64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+inline void StoreLe16(uint8_t* p, uint16_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+// "01:23:45:67:89:ab" formatting for MAC addresses.
+std::string FormatMac(const uint8_t mac[6]);
+
+// Hex formatting: "0x42430000".
+std::string Hex(uint64_t value);
+
+}  // namespace sud
+
+#endif  // SUD_SRC_BASE_BYTES_H_

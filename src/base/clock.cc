@@ -1,0 +1,55 @@
+#include "src/base/clock.h"
+
+namespace sud {
+
+void SimClock::Advance(SimTime delta) {
+  SimTime target = now() + delta;
+  while (true) {
+    std::function<void()> fn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = timers_.begin();
+      if (it == timers_.end() || it->first > target) {
+        break;
+      }
+      // Move time to the timer's deadline before firing so the callback
+      // observes a consistent now().
+      now_.store(it->first, std::memory_order_release);
+      fn = std::move(it->second.second);
+      timers_.erase(it);
+    }
+    if (fn) {
+      fn();
+    }
+  }
+  now_.store(target, std::memory_order_release);
+}
+
+uint64_t SimClock::ScheduleAt(SimTime deadline, std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_timer_id_++;
+  timers_.emplace(deadline, std::make_pair(id, std::move(fn)));
+  return id;
+}
+
+uint64_t SimClock::ScheduleAfter(SimTime delta, std::function<void()> fn) {
+  return ScheduleAt(now() + delta, std::move(fn));
+}
+
+bool SimClock::Cancel(uint64_t timer_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+    if (it->second.first == timer_id) {
+      timers_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t SimClock::pending_timers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timers_.size();
+}
+
+}  // namespace sud

@@ -1,0 +1,95 @@
+#include "src/base/log.h"
+
+#include <cstdio>
+
+namespace sud {
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kAttack:
+      return "ATTACK";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& message) {
+    std::fprintf(stderr, "[sud %s] %s\n", std::string(LogLevelName(level)).c_str(),
+                 message.c_str());
+  };
+}
+
+Logger& Logger::Get() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(min_level_)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_) {
+    sink_(level, message);
+  }
+}
+
+Logger::Sink Logger::SwapSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Sink previous = std::move(sink_);
+  sink_ = std::move(sink);
+  return previous;
+}
+
+LogCapture::LogCapture(LogLevel level) : level_(level) {
+  previous_ = Logger::Get().SwapSink([this](LogLevel record_level, const std::string& message) {
+    if (static_cast<int>(record_level) >= static_cast<int>(level_)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      records_.push_back({record_level, message});
+    }
+  });
+  // Capture everything while active, regardless of the global minimum.
+  saved_min_ = Logger::Get().min_level();
+  Logger::Get().set_min_level(LogLevel::kDebug);
+}
+
+LogCapture::~LogCapture() {
+  Logger::Get().SwapSink(std::move(previous_));
+  Logger::Get().set_min_level(saved_min_);
+}
+
+std::vector<LogCapture::Record> LogCapture::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+bool LogCapture::Contains(std::string_view needle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Record& record : records_) {
+    if (record.message.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int LogCapture::CountAtLevel(LogLevel level) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int count = 0;
+  for (const Record& record : records_) {
+    if (record.level == level) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace sud

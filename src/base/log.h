@@ -1,0 +1,97 @@
+// Minimal leveled logging for the SUD simulator.
+//
+// Logging is routed through a process-global sink so tests can capture or
+// silence it. The default sink writes to stderr. Severity kAttack is used by
+// the confinement layers when they block a malicious action — the security
+// tests assert on these events via LogCapture.
+
+#ifndef SUD_SRC_BASE_LOG_H_
+#define SUD_SRC_BASE_LOG_H_
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sud {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kAttack = 3,  // a confinement mechanism blocked something
+  kError = 4,
+};
+
+std::string_view LogLevelName(LogLevel level);
+
+// Global log configuration. Thread-safe.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& Get();
+
+  void Log(LogLevel level, const std::string& message);
+  void set_min_level(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+
+  // Replaces the sink; returns the previous one.
+  Sink SwapSink(Sink sink);
+
+ private:
+  Logger();
+  std::mutex mu_;
+  Sink sink_;
+  LogLevel min_level_ = LogLevel::kWarning;
+};
+
+// RAII capture of all log records at or above `level`; restores the previous
+// sink on destruction. Used by tests to assert "the IOMMU reported a fault".
+class LogCapture {
+ public:
+  explicit LogCapture(LogLevel level = LogLevel::kDebug);
+  ~LogCapture();
+
+  struct Record {
+    LogLevel level;
+    std::string message;
+  };
+
+  std::vector<Record> records() const;
+  // True if any captured record contains `needle`.
+  bool Contains(std::string_view needle) const;
+  // Number of records at exactly `level`.
+  int CountAtLevel(LogLevel level) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Record> records_;
+  Logger::Sink previous_;
+  LogLevel level_;
+  LogLevel saved_min_;
+};
+
+// Stream-style logging: SUD_LOG(kInfo) << "device " << id << " probed";
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Get().Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define SUD_LOG(level) ::sud::LogMessage(::sud::LogLevel::level)
+
+}  // namespace sud
+
+#endif  // SUD_SRC_BASE_LOG_H_

@@ -1,0 +1,42 @@
+// Deterministic pseudo-random numbers (splitmix64 core).
+//
+// Everything stochastic in the simulator — workload generators, property
+// tests, malicious-driver fuzzing — draws from an explicitly seeded Rng so
+// runs are reproducible.
+
+#ifndef SUD_SRC_BASE_RNG_H_
+#define SUD_SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace sud {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x50d0cafeULL) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  uint64_t Below(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t Between(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // True with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+  uint8_t NextByte() { return static_cast<uint8_t>(Next() & 0xff); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace sud
+
+#endif  // SUD_SRC_BASE_RNG_H_

@@ -1,0 +1,47 @@
+#include "src/base/status.h"
+
+namespace sud {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kInvalidArgument:
+      return "invalid-argument";
+    case ErrorCode::kNotFound:
+      return "not-found";
+    case ErrorCode::kPermissionDenied:
+      return "permission-denied";
+    case ErrorCode::kIommuFault:
+      return "iommu-fault";
+    case ErrorCode::kAcsBlocked:
+      return "acs-blocked";
+    case ErrorCode::kTimedOut:
+      return "timed-out";
+    case ErrorCode::kQueueFull:
+      return "queue-full";
+    case ErrorCode::kExhausted:
+      return "exhausted";
+    case ErrorCode::kAlreadyExists:
+      return "already-exists";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "ok";
+  }
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace sud

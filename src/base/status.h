@@ -1,0 +1,100 @@
+// Status and Result<T>: error propagation without exceptions.
+//
+// SUD's simulated kernel and hardware layers never throw across module
+// boundaries; fallible operations return Status (or Result<T> when they also
+// produce a value). Codes deliberately mirror the failure classes that matter
+// in the paper: IOMMU faults, ACS blocks, filtered PCI config accesses,
+// hung-driver timeouts, and resource exhaustion.
+
+#ifndef SUD_SRC_BASE_STATUS_H_
+#define SUD_SRC_BASE_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace sud {
+
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,    // caller passed a bad value (bad size, bad handle, ...)
+  kNotFound,           // no such device / mapping / register
+  kPermissionDenied,   // safe-PCI filter or UID check rejected the access
+  kIommuFault,         // DMA translation failed (the core isolation event)
+  kAcsBlocked,         // PCIe ACS blocked a peer-to-peer transaction
+  kTimedOut,           // synchronous upcall timed out / interrupted (liveness)
+  kQueueFull,          // uchan ring or device queue has no space
+  kExhausted,          // allocator / rlimit exhausted
+  kAlreadyExists,      // double registration / double mapping
+  kUnavailable,        // driver process dead or device disabled
+  kInternal,           // invariant violation inside the simulator itself
+};
+
+// Human-readable name for an ErrorCode ("kIommuFault" -> "iommu-fault").
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A cheap, copyable status: code + optional message.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+  explicit Status(ErrorCode code) : code_(code) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "iommu-fault: dma write to unmapped iova 0x1000".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// Result<T>: either a value or an error Status. Use `result.ok()` then
+// `result.value()` / `result.status()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}                 // NOLINT(google-explicit-constructor)
+  Result(Status status) : var_(std::move(status)) {}          // NOLINT(google-explicit-constructor)
+  Result(ErrorCode code, std::string message) : var_(Status(code, std::move(message))) {}
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const T& value() const { return std::get<T>(var_); }
+  T& value() { return std::get<T>(var_); }
+  T take() { return std::move(std::get<T>(var_)); }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(var_);
+  }
+
+  const T& value_or(const T& fallback) const { return ok() ? value() : fallback; }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+// Propagate-on-error helpers (statement form; no exceptions).
+#define SUD_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::sud::Status sud_status__ = (expr);   \
+    if (!sud_status__.ok()) {              \
+      return sud_status__;                 \
+    }                                      \
+  } while (0)
+
+}  // namespace sud
+
+#endif  // SUD_SRC_BASE_STATUS_H_

@@ -1,0 +1,131 @@
+#include "src/devices/audio_dev.h"
+
+#include <vector>
+
+#include "src/base/bytes.h"
+
+namespace sud::devices {
+
+AudioDev::AudioDev(std::string name, SimClock* clock)
+    : PciDevice(std::move(name), /*vendor_id=*/0x8086, /*device_id=*/0x293e,
+                /*class_code=*/0x04, {hw::BarDesc{4096, /*is_io=*/false}}),
+      clock_(clock) {}
+
+void AudioDev::Reset() {
+  ctl_ = 0;
+  ring_lo_ = ring_hi_ = ring_bytes_ = period_bytes_ = 0;
+  lpib_ = 0;
+  icr_ = ims_ = 0;
+  consumed_since_period_ = 0;
+}
+
+void AudioDev::SetInterruptCause(uint32_t bits) {
+  // MSIs are edge-triggered on the assertion of a new cause: if the
+  // interrupt condition was already pending (driver has not read ICR yet),
+  // no additional message is signalled, as on real hardware.
+  bool was_asserted = (icr_ & ims_) != 0;
+  icr_ |= bits;
+  if (!was_asserted && (icr_ & ims_) != 0) {
+    (void)RaiseMsi();
+  }
+}
+
+uint32_t AudioDev::MmioRead(int bar, uint64_t offset) {
+  if (bar != 0) {
+    return 0xffffffffu;
+  }
+  switch (offset) {
+    case kAudioRegCtl:
+      return ctl_;
+    case kAudioRegLpib:
+      return lpib_;
+    case kAudioRegIcr: {
+      uint32_t value = icr_;
+      icr_ = 0;
+      return value;
+    }
+    case kAudioRegIms:
+      return ims_;
+    case kAudioRegRate:
+      return bytes_per_second_;
+    default:
+      return 0;
+  }
+}
+
+void AudioDev::MmioWrite(int bar, uint64_t offset, uint32_t value) {
+  if (bar != 0) {
+    return;
+  }
+  switch (offset) {
+    case kAudioRegCtl:
+      if ((value & kAudioCtlRun) != 0 && (ctl_ & kAudioCtlRun) == 0) {
+        last_tick_ = clock_ != nullptr ? clock_->now() : 0;
+      }
+      ctl_ = value;
+      break;
+    case kAudioRegRingLo:
+      ring_lo_ = value;
+      break;
+    case kAudioRegRingHi:
+      ring_hi_ = value;
+      break;
+    case kAudioRegRingBytes:
+      ring_bytes_ = value;
+      break;
+    case kAudioRegPeriodBytes:
+      period_bytes_ = value;
+      break;
+    case kAudioRegIms:
+      ims_ = value;
+      break;
+    case kAudioRegRate:
+      bytes_per_second_ = value;
+      break;
+    default:
+      break;
+  }
+}
+
+void AudioDev::Tick() {
+  if ((ctl_ & kAudioCtlRun) == 0 || ring_bytes_ == 0 || period_bytes_ == 0 || clock_ == nullptr) {
+    return;
+  }
+  SimTime now = clock_->now();
+  if (now <= last_tick_) {
+    return;
+  }
+  uint64_t elapsed_ns = now - last_tick_;
+  uint64_t bytes_due = elapsed_ns * bytes_per_second_ / kSecond;
+  if (bytes_due == 0) {
+    return;
+  }
+  last_tick_ = now;
+  uint64_t ring_base = (static_cast<uint64_t>(ring_hi_) << 32) | ring_lo_;
+  std::vector<uint8_t> chunk(256);
+  while (bytes_due > 0) {
+    uint64_t n = std::min<uint64_t>(bytes_due, chunk.size());
+    uint64_t pos = lpib_ % ring_bytes_;
+    n = std::min<uint64_t>(n, ring_bytes_ - pos);
+    Status status = DmaRead(ring_base + pos, ByteSpan(chunk.data(), n));
+    if (!status.ok()) {
+      // The ring points at unmapped memory: the stream starves, confined.
+      ++underruns_;
+      SetInterruptCause(kAudioIntUnderrun);
+      return;
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+      consumed_signature_ = consumed_signature_ * 1099511628211ull + chunk[i];
+    }
+    lpib_ = static_cast<uint32_t>((lpib_ + n) % ring_bytes_);
+    consumed_since_period_ += n;
+    bytes_due -= n;
+    while (consumed_since_period_ >= period_bytes_) {
+      consumed_since_period_ -= period_bytes_;
+      ++periods_played_;
+      SetInterruptCause(kAudioIntPeriod);
+    }
+  }
+}
+
+}  // namespace sud::devices

@@ -1,0 +1,46 @@
+#include "src/devices/ether_link.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace sud::devices {
+
+void EtherLink::Attach(int side, EtherEndpoint* endpoint) {
+  if (side == 0 || side == 1) {
+    endpoints_[side] = endpoint;
+  }
+}
+
+Status EtherLink::Transmit(int side, ConstByteSpan frame) {
+  if (side != 0 && side != 1) {
+    return Status(ErrorCode::kInvalidArgument, "bad link side");
+  }
+  EtherEndpoint* peer = endpoints_[1 - side];
+  if (peer == nullptr) {
+    ++stats_.dropped;
+    return Status(ErrorCode::kUnavailable, "no peer attached");
+  }
+  if (frame.size() > kEthMaxFrame) {
+    ++stats_.dropped;
+    return Status(ErrorCode::kInvalidArgument, "oversize frame");
+  }
+  stats_.frames[side]++;
+  stats_.bytes[side] += frame.size();
+  if (frame.size() < kEthMinFrame) {
+    std::vector<uint8_t> padded(kEthMinFrame, 0);
+    std::copy(frame.begin(), frame.end(), padded.begin());
+    peer->DeliverFrame(ConstByteSpan(padded.data(), padded.size()));
+  } else {
+    peer->DeliverFrame(frame);
+  }
+  return Status::Ok();
+}
+
+double EtherLink::WireTimeNs(uint64_t frames, uint64_t payload_bytes) {
+  uint64_t wire_bytes = payload_bytes + frames * kEthWireOverhead;
+  // Frames below the Ethernet minimum still occupy min-frame wire time; the
+  // caller accounts for that by passing padded byte counts.
+  return static_cast<double>(wire_bytes) * 8.0 / kGigabitPerSec * 1e9;
+}
+
+}  // namespace sud::devices

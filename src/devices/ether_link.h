@@ -1,0 +1,62 @@
+// EtherLink: a point-to-point Gigabit Ethernet medium.
+//
+// Connects two NIC endpoints (e.g. the device under test and the traffic
+// generator peer playing the paper's Dell Optiplex). Frames are delivered
+// synchronously; the link keeps byte/frame counters so the netperf
+// reproduction can compute wire-limited throughput (a 1 Gb/s link is the
+// bottleneck for TCP_STREAM, which is why kernel and SUD drivers tie at
+// 941 Mbit/s in Figure 8).
+
+#ifndef SUD_SRC_DEVICES_ETHER_LINK_H_
+#define SUD_SRC_DEVICES_ETHER_LINK_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/status.h"
+
+namespace sud::devices {
+
+inline constexpr size_t kEthMinFrame = 60;     // without FCS
+inline constexpr size_t kEthMaxFrame = 1514;   // 1500 MTU + 14 header
+inline constexpr double kGigabitPerSec = 1e9;  // link rate, bits/second
+
+// Per-frame wire overhead: preamble(8) + FCS(4) + IFG(12) bytes.
+inline constexpr size_t kEthWireOverhead = 24;
+
+class EtherEndpoint {
+ public:
+  virtual ~EtherEndpoint() = default;
+  virtual void DeliverFrame(ConstByteSpan frame) = 0;
+};
+
+class EtherLink {
+ public:
+  struct Stats {
+    uint64_t frames[2] = {0, 0};  // transmitted by side i
+    uint64_t bytes[2] = {0, 0};
+    uint64_t dropped = 0;  // oversize or unattached
+  };
+
+  void Attach(int side, EtherEndpoint* endpoint);
+
+  // Transmit from `side` to the peer. Oversize frames are dropped (counted),
+  // undersize frames are padded to the Ethernet minimum, like a real MAC.
+  Status Transmit(int side, ConstByteSpan frame);
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+  // Simulated wire time (ns) to carry `frames` frames of `payload` bytes.
+  static double WireTimeNs(uint64_t frames, uint64_t payload_bytes);
+
+ private:
+  std::array<EtherEndpoint*, 2> endpoints_{nullptr, nullptr};
+  Stats stats_;
+};
+
+}  // namespace sud::devices
+
+#endif  // SUD_SRC_DEVICES_ETHER_LINK_H_

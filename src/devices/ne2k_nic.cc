@@ -1,0 +1,117 @@
+#include "src/devices/ne2k_nic.h"
+
+#include <cstring>
+
+namespace sud::devices {
+
+Ne2kNic::Ne2kNic(std::string name, const uint8_t mac[6])
+    : PciDevice(std::move(name), /*vendor_id=*/0x10ec, /*device_id=*/0x8029,
+                /*class_code=*/0x02, {hw::BarDesc{32, /*is_io=*/true}}) {
+  std::memcpy(mac_.data(), mac, 6);
+}
+
+void Ne2kNic::ConnectLink(EtherLink* link, int side) {
+  link_ = link;
+  link_side_ = side;
+  link->Attach(side, this);
+}
+
+void Ne2kNic::Reset() {
+  cmd_ = kNe2kCmdStop;
+  isr_ = 0;
+  tx_byte_count_ = 0;
+  pio_remaining_ = 0;
+  tx_buffer_.clear();
+  rx_queue_.clear();
+  rx_read_pos_ = 0;
+}
+
+uint8_t Ne2kNic::IoRead(uint16_t port_offset) {
+  if (port_offset >= kNe2kPortPar0 && port_offset < kNe2kPortPar0 + 6) {
+    return mac_[port_offset - kNe2kPortPar0];
+  }
+  switch (port_offset) {
+    case kNe2kPortCmd:
+      return cmd_;
+    case kNe2kPortIsr:
+      return isr_;
+    case kNe2kPortData: {
+      if (rx_queue_.empty()) {
+        return 0xff;
+      }
+      std::vector<uint8_t>& frame = rx_queue_.front();
+      uint8_t byte = rx_read_pos_ < frame.size() ? frame[rx_read_pos_] : 0xff;
+      ++rx_read_pos_;
+      if (rx_read_pos_ >= frame.size()) {
+        rx_queue_.pop_front();
+        rx_read_pos_ = 0;
+        if (rx_queue_.empty()) {
+          isr_ &= static_cast<uint8_t>(~kNe2kIsrRx);
+        }
+      }
+      return byte;
+    }
+    default:
+      return 0;
+  }
+}
+
+void Ne2kNic::IoWrite(uint16_t port_offset, uint8_t value) {
+  switch (port_offset) {
+    case kNe2kPortCmd:
+      cmd_ = value;
+      if ((value & kNe2kCmdTransmit) != 0 && (cmd_ & kNe2kCmdStart) != 0) {
+        if (link_ != nullptr && !tx_buffer_.empty()) {
+          size_t n = std::min<size_t>(tx_buffer_.size(), tx_byte_count_);
+          (void)link_->Transmit(link_side_, ConstByteSpan(tx_buffer_.data(), n));
+          ++tx_frames_;
+          isr_ |= kNe2kIsrTx;
+        }
+        tx_buffer_.clear();
+        cmd_ = static_cast<uint8_t>(cmd_ & ~kNe2kCmdTransmit);
+      }
+      break;
+    case kNe2kPortTbcr0:
+      tx_byte_count_ = static_cast<uint16_t>((tx_byte_count_ & 0xff00) | value);
+      break;
+    case kNe2kPortTbcr1:
+      tx_byte_count_ = static_cast<uint16_t>((tx_byte_count_ & 0x00ff) | (value << 8));
+      break;
+    case kNe2kPortIsr:
+      isr_ &= static_cast<uint8_t>(~value);  // write-1-to-clear
+      break;
+    case kNe2kPortRbcr0:
+      pio_remaining_ = static_cast<uint16_t>((pio_remaining_ & 0xff00) | value);
+      break;
+    case kNe2kPortRbcr1:
+      pio_remaining_ = static_cast<uint16_t>((pio_remaining_ & 0x00ff) | (value << 8));
+      break;
+    case kNe2kPortData:
+      if (tx_buffer_.size() < kEthMaxFrame) {
+        tx_buffer_.push_back(value);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void Ne2kNic::DeliverFrame(ConstByteSpan frame) {
+  if ((cmd_ & kNe2kCmdStart) == 0) {
+    return;  // stopped: frames are lost on the wire, as on real hardware
+  }
+  if (rx_queue_.size() >= 16) {
+    return;  // ring overflow
+  }
+  // The PIO stream for each packet starts with a 2-byte ring-header length
+  // field (as the real NS8390 receive ring does), then the frame bytes.
+  std::vector<uint8_t> entry(frame.size() + 2);
+  entry[0] = static_cast<uint8_t>(frame.size() & 0xff);
+  entry[1] = static_cast<uint8_t>(frame.size() >> 8);
+  std::copy(frame.begin(), frame.end(), entry.begin() + 2);
+  rx_queue_.push_back(std::move(entry));
+  ++rx_frames_;
+  isr_ |= kNe2kIsrRx;
+}
+
+}  // namespace sud::devices

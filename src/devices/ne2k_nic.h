@@ -1,0 +1,93 @@
+// Ne2kNic: an ne2k-pci-class legacy NIC, programmed entirely through x86
+// IO ports.
+//
+// This device exists to exercise the *other* driver-initiated access path of
+// Section 3.2.1: legacy IO-space registers, granted to user-space drivers
+// through the IOPB bitmap in the task's TSS. It performs no DMA at all —
+// frames move through a PIO data window — so a driver holding only IOPB
+// grants for this device cannot touch memory it doesn't own, no matter what
+// it writes.
+//
+// Port map (offsets within the device's IO BAR):
+//   0x00 CMD      bit0 STOP, bit1 START, bit2 TXP (transmit packet)
+//   0x01 PSTART   |
+//   0x02 PSTOP    | receive-ring page registers (unused by the simple model)
+//   0x04 TPSR     transmit page (unused; kept for register-fidelity)
+//   0x05 TBCR0    transmit byte count, low
+//   0x06 TBCR1    transmit byte count, high
+//   0x07 ISR      bit0 PRX (packet received), bit1 PTX (packet transmitted)
+//   0x08..0x0d PAR0-5  station (MAC) address
+//   0x0e RBCR0    remote byte count low  (PIO window length)
+//   0x0f RBCR1    remote byte count high
+//   0x10 DATA     PIO data window (auto-incrementing)
+
+#ifndef SUD_SRC_DEVICES_NE2K_NIC_H_
+#define SUD_SRC_DEVICES_NE2K_NIC_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/devices/ether_link.h"
+#include "src/hw/pci_device.h"
+
+namespace sud::devices {
+
+inline constexpr uint16_t kNe2kPortCmd = 0x00;
+inline constexpr uint16_t kNe2kPortTbcr0 = 0x05;
+inline constexpr uint16_t kNe2kPortTbcr1 = 0x06;
+inline constexpr uint16_t kNe2kPortIsr = 0x07;
+inline constexpr uint16_t kNe2kPortPar0 = 0x08;
+inline constexpr uint16_t kNe2kPortRbcr0 = 0x0e;
+inline constexpr uint16_t kNe2kPortRbcr1 = 0x0f;
+inline constexpr uint16_t kNe2kPortData = 0x10;
+
+inline constexpr uint8_t kNe2kCmdStop = 1u << 0;
+inline constexpr uint8_t kNe2kCmdStart = 1u << 1;
+inline constexpr uint8_t kNe2kCmdTransmit = 1u << 2;
+
+inline constexpr uint8_t kNe2kIsrRx = 1u << 0;
+inline constexpr uint8_t kNe2kIsrTx = 1u << 1;
+
+class Ne2kNic : public hw::PciDevice, public EtherEndpoint {
+ public:
+  Ne2kNic(std::string name, const uint8_t mac[6]);
+
+  void ConnectLink(EtherLink* link, int side);
+
+  // MMIO is absent on this device; it only answers IO-port accesses.
+  uint32_t MmioRead(int bar, uint64_t offset) override { return 0xffffffffu; }
+  void MmioWrite(int bar, uint64_t offset, uint32_t value) override {}
+  uint8_t IoRead(uint16_t port_offset) override;
+  void IoWrite(uint16_t port_offset, uint8_t value) override;
+  void Reset() override;
+
+  void DeliverFrame(ConstByteSpan frame) override;
+
+  uint64_t tx_frames() const { return tx_frames_; }
+  uint64_t rx_frames() const { return rx_frames_; }
+
+ private:
+  std::array<uint8_t, 6> mac_;
+  EtherLink* link_ = nullptr;
+  int link_side_ = 0;
+
+  uint8_t cmd_ = kNe2kCmdStop;
+  uint8_t isr_ = 0;
+  uint16_t tx_byte_count_ = 0;
+  uint16_t pio_remaining_ = 0;
+
+  // PIO buffers: the driver fills tx_buffer_ through the data port, and
+  // drains the head of rx_queue_ the same way.
+  std::vector<uint8_t> tx_buffer_;
+  std::deque<std::vector<uint8_t>> rx_queue_;
+  size_t rx_read_pos_ = 0;
+
+  uint64_t tx_frames_ = 0;
+  uint64_t rx_frames_ = 0;
+};
+
+}  // namespace sud::devices
+
+#endif  // SUD_SRC_DEVICES_NE2K_NIC_H_

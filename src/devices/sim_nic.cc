@@ -1,0 +1,321 @@
+#include "src/devices/sim_nic.h"
+
+#include <cstring>
+
+#include "src/base/bytes.h"
+#include "src/base/log.h"
+
+namespace sud::devices {
+
+namespace {
+// MDIC register fields (simplified): [15:0] data, [20:16] phy reg,
+// [27:26] op (1=write 2=read), [28] ready.
+constexpr uint32_t kMdicOpWrite = 1u << 26;
+constexpr uint32_t kMdicOpRead = 2u << 26;
+constexpr uint32_t kMdicReady = 1u << 28;
+
+// PHY registers: BMSR (1) reports link up; PHYID1 (2) identifies the PHY.
+constexpr uint32_t kPhyBmsr = 1;
+constexpr uint32_t kPhyId1 = 2;
+constexpr uint16_t kPhyBmsrLinkUp = 1u << 2;
+constexpr uint16_t kPhyId1Value = 0x02a8;
+}  // namespace
+
+SimNic::SimNic(std::string name, const uint8_t mac[6])
+    : PciDevice(std::move(name), /*vendor_id=*/0x8086, /*device_id=*/0x10d3,
+                /*class_code=*/0x02, {hw::BarDesc{128 * 1024, /*is_io=*/false}}) {
+  std::memcpy(mac_.data(), mac, 6);
+  Reset();
+}
+
+void SimNic::ConnectLink(EtherLink* link, int side) {
+  link_ = link;
+  link_side_ = side;
+  link->Attach(side, this);
+}
+
+void SimNic::Reset() {
+  ctrl_ = 0;
+  icr_ = 0;
+  ims_ = 0;
+  rctl_ = 0;
+  tctl_ = 0;
+  tdbal_ = tdbah_ = tdlen_ = tdh_ = tdt_ = 0;
+  rdbal_ = rdbah_ = rdlen_ = rdh_ = rdt_ = 0;
+  // Receive-address registers come up holding the EEPROM MAC, as on real HW.
+  ral0_ = LoadLe32(mac_.data());
+  rah0_ = kNicRahValid | LoadLe16(mac_.data() + 4);
+  mdic_ = 0;
+  rx_backlog_.clear();
+}
+
+uint32_t SimNic::MmioRead(int bar, uint64_t offset) {
+  if (bar != 0) {
+    return 0xffffffffu;
+  }
+  switch (offset) {
+    case kNicRegCtrl:
+      return ctrl_;
+    case kNicRegStatus:
+      return link_up() ? kNicStatusLinkUp : 0;
+    case kNicRegMdic:
+      return mdic_;
+    case kNicRegIcr: {
+      uint32_t value = icr_;
+      icr_ = 0;  // read-to-clear
+      return value;
+    }
+    case kNicRegIms:
+      return ims_;
+    case kNicRegRctl:
+      return rctl_;
+    case kNicRegTctl:
+      return tctl_;
+    case kNicRegRdbal:
+      return rdbal_;
+    case kNicRegRdbah:
+      return rdbah_;
+    case kNicRegRdlen:
+      return rdlen_;
+    case kNicRegRdh:
+      return rdh_;
+    case kNicRegRdt:
+      return rdt_;
+    case kNicRegTdbal:
+      return tdbal_;
+    case kNicRegTdbah:
+      return tdbah_;
+    case kNicRegTdlen:
+      return tdlen_;
+    case kNicRegTdh:
+      return tdh_;
+    case kNicRegTdt:
+      return tdt_;
+    case kNicRegRal0:
+      return ral0_;
+    case kNicRegRah0:
+      return rah0_;
+    default:
+      return 0;
+  }
+}
+
+void SimNic::MmioWrite(int bar, uint64_t offset, uint32_t value) {
+  if (bar != 0) {
+    return;
+  }
+  switch (offset) {
+    case kNicRegCtrl:
+      if (value & kNicCtrlReset) {
+        Reset();
+      } else {
+        ctrl_ = value;
+      }
+      break;
+    case kNicRegMdic: {
+      uint32_t phy_reg = (value >> 16) & 0x1f;
+      uint16_t data = 0;
+      if (value & kMdicOpRead) {
+        if (phy_reg == kPhyBmsr) {
+          data = link_up() ? kPhyBmsrLinkUp : 0;
+        } else if (phy_reg == kPhyId1) {
+          data = kPhyId1Value;
+        }
+      }
+      // Writes are accepted and ignored (no PHY state we care about).
+      mdic_ = (value & ~0xffffu) | data | kMdicReady;
+      break;
+    }
+    case kNicRegIms:
+      ims_ |= value;
+      // Setting a mask bit with a pending cause re-raises the interrupt.
+      if ((icr_ & ims_) != 0) {
+        (void)RaiseMsi();
+      }
+      break;
+    case kNicRegImc:
+      ims_ &= ~value;
+      break;
+    case kNicRegRctl:
+      rctl_ = value;
+      if (rctl_ & kNicRctlEnable) {
+        Tick();  // drain any backlog into freshly armed descriptors
+      }
+      break;
+    case kNicRegTctl:
+      tctl_ = value;
+      break;
+    case kNicRegRdbal:
+      rdbal_ = value;
+      break;
+    case kNicRegRdbah:
+      rdbah_ = value;
+      break;
+    case kNicRegRdlen:
+      rdlen_ = value;
+      break;
+    case kNicRegRdh:
+      rdh_ = value;
+      break;
+    case kNicRegRdt:
+      rdt_ = value;
+      Tick();
+      break;
+    case kNicRegTdbal:
+      tdbal_ = value;
+      break;
+    case kNicRegTdbah:
+      tdbah_ = value;
+      break;
+    case kNicRegTdlen:
+      tdlen_ = value;
+      break;
+    case kNicRegTdh:
+      tdh_ = value;
+      break;
+    case kNicRegTdt:
+      tdt_ = value;
+      ProcessTxRing();
+      break;
+    case kNicRegRal0:
+      ral0_ = value;
+      break;
+    case kNicRegRah0:
+      rah0_ = value;
+      break;
+    default:
+      break;
+  }
+}
+
+Result<NicDescriptor> SimNic::ReadDescriptor(uint64_t ring_base, uint32_t index) {
+  uint8_t raw[16];
+  Status status = DmaRead(ring_base + static_cast<uint64_t>(index) * 16, ByteSpan(raw, 16));
+  if (!status.ok()) {
+    ++stats_.dma_errors;
+    return status;
+  }
+  NicDescriptor desc;
+  desc.buffer_addr = LoadLe64(raw);
+  desc.length = LoadLe16(raw + 8);
+  desc.cso = raw[10];
+  desc.cmd = raw[11];
+  desc.status = raw[12];
+  desc.css = raw[13];
+  desc.special = LoadLe16(raw + 14);
+  return desc;
+}
+
+Status SimNic::WriteBackDescriptor(uint64_t ring_base, uint32_t index, const NicDescriptor& desc) {
+  uint8_t raw[16];
+  StoreLe64(raw, desc.buffer_addr);
+  StoreLe16(raw + 8, desc.length);
+  raw[10] = desc.cso;
+  raw[11] = desc.cmd;
+  raw[12] = desc.status;
+  raw[13] = desc.css;
+  StoreLe16(raw + 14, desc.special);
+  Status status = DmaWrite(ring_base + static_cast<uint64_t>(index) * 16, ConstByteSpan(raw, 16));
+  if (!status.ok()) {
+    ++stats_.dma_errors;
+  }
+  return status;
+}
+
+void SimNic::SetInterruptCause(uint32_t bits) {
+  // MSIs are edge-triggered on the assertion of a new cause: if the
+  // interrupt condition was already pending (driver has not read ICR yet),
+  // no additional message is signalled, as on real hardware.
+  bool was_asserted = (icr_ & ims_) != 0;
+  icr_ |= bits;
+  if (!was_asserted && (icr_ & ims_) != 0) {
+    (void)RaiseMsi();
+  }
+}
+
+void SimNic::ProcessTxRing() {
+  if ((tctl_ & kNicTctlEnable) == 0 || TxRingSize() == 0) {
+    return;
+  }
+  uint64_t ring_base = (static_cast<uint64_t>(tdbah_) << 32) | tdbal_;
+  bool sent_any = false;
+  while (tdh_ != tdt_) {
+    Result<NicDescriptor> desc = ReadDescriptor(ring_base, tdh_);
+    if (!desc.ok()) {
+      // Descriptor fetch faulted in the IOMMU: the device stalls this queue,
+      // which is precisely the "confined to its own sandbox" behaviour.
+      return;
+    }
+    NicDescriptor d = desc.value();
+    std::vector<uint8_t> frame(d.length);
+    if (d.length > 0) {
+      Status status = DmaRead(d.buffer_addr, ByteSpan(frame.data(), frame.size()));
+      if (!status.ok()) {
+        ++stats_.dma_errors;
+        return;
+      }
+    }
+    if (link_ != nullptr && d.length > 0) {
+      (void)link_->Transmit(link_side_, ConstByteSpan(frame.data(), frame.size()));
+    }
+    ++stats_.tx_frames;
+    d.status |= kNicDescStatusDone;
+    (void)WriteBackDescriptor(ring_base, tdh_, d);
+    tdh_ = (tdh_ + 1) % TxRingSize();
+    sent_any = true;
+  }
+  if (sent_any) {
+    SetInterruptCause(kNicIntTxDone);
+  }
+}
+
+bool SimNic::ReceiveIntoRing(ConstByteSpan frame) {
+  if ((rctl_ & kNicRctlEnable) == 0 || RxRingSize() == 0) {
+    return false;
+  }
+  // RDH == RDT means the ring is empty of armed descriptors.
+  if (rdh_ == rdt_) {
+    return false;
+  }
+  uint64_t ring_base = (static_cast<uint64_t>(rdbah_) << 32) | rdbal_;
+  Result<NicDescriptor> desc = ReadDescriptor(ring_base, rdh_);
+  if (!desc.ok()) {
+    return false;
+  }
+  NicDescriptor d = desc.value();
+  Status status = DmaWrite(d.buffer_addr, frame);
+  if (!status.ok()) {
+    ++stats_.dma_errors;
+    return false;
+  }
+  d.length = static_cast<uint16_t>(frame.size());
+  d.status = kNicDescStatusDone | (kNicDescCmdEop << 1);
+  (void)WriteBackDescriptor(ring_base, rdh_, d);
+  rdh_ = (rdh_ + 1) % RxRingSize();
+  ++stats_.rx_frames;
+  SetInterruptCause(kNicIntRx);
+  return true;
+}
+
+void SimNic::DeliverFrame(ConstByteSpan frame) {
+  if (ReceiveIntoRing(frame)) {
+    return;
+  }
+  if (rx_backlog_.size() >= kRxBacklogMax) {
+    ++stats_.rx_dropped_no_desc;
+    return;
+  }
+  rx_backlog_.emplace_back(frame.begin(), frame.end());
+}
+
+void SimNic::Tick() {
+  while (!rx_backlog_.empty()) {
+    const std::vector<uint8_t>& frame = rx_backlog_.front();
+    if (!ReceiveIntoRing(ConstByteSpan(frame.data(), frame.size()))) {
+      break;
+    }
+    rx_backlog_.pop_front();
+  }
+}
+
+}  // namespace sud::devices

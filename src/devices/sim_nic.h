@@ -1,0 +1,141 @@
+// SimNic: an e1000e-class Gigabit Ethernet controller.
+//
+// Register-level model of the Intel 8254x/e1000e programming interface that
+// the paper's headline driver targets: legacy 16-byte TX/RX descriptors in
+// DMA memory, head/tail doorbells, an interrupt cause register with
+// mask-set/mask-clear, receive-address (MAC) registers and an MDIC window to
+// the PHY. The driver in src/drivers/e1000e.cc programs this device the same
+// way the real e1000e programs real silicon.
+//
+// Everything the device does to memory goes through PciDevice::DmaRead/
+// DmaWrite — i.e. through the switch, ACS and the IOMMU. A malicious driver
+// can point descriptors anywhere it likes; whether the resulting DMA lands
+// is decided entirely by the confinement hardware, which is the paper's
+// central claim.
+
+#ifndef SUD_SRC_DEVICES_SIM_NIC_H_
+#define SUD_SRC_DEVICES_SIM_NIC_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/devices/ether_link.h"
+#include "src/hw/pci_device.h"
+
+namespace sud::devices {
+
+// Register offsets (subset of the e1000e map).
+inline constexpr uint64_t kNicRegCtrl = 0x0000;
+inline constexpr uint64_t kNicRegStatus = 0x0008;
+inline constexpr uint64_t kNicRegMdic = 0x0020;
+inline constexpr uint64_t kNicRegIcr = 0x00c0;  // interrupt cause, read-clears
+inline constexpr uint64_t kNicRegIms = 0x00d0;  // interrupt mask set
+inline constexpr uint64_t kNicRegImc = 0x00d8;  // interrupt mask clear
+inline constexpr uint64_t kNicRegRctl = 0x0100;
+inline constexpr uint64_t kNicRegTctl = 0x0400;
+inline constexpr uint64_t kNicRegRdbal = 0x2800;
+inline constexpr uint64_t kNicRegRdbah = 0x2804;
+inline constexpr uint64_t kNicRegRdlen = 0x2808;
+inline constexpr uint64_t kNicRegRdh = 0x2810;
+inline constexpr uint64_t kNicRegRdt = 0x2818;
+inline constexpr uint64_t kNicRegTdbal = 0x3800;
+inline constexpr uint64_t kNicRegTdbah = 0x3804;
+inline constexpr uint64_t kNicRegTdlen = 0x3808;
+inline constexpr uint64_t kNicRegTdh = 0x3810;
+inline constexpr uint64_t kNicRegTdt = 0x3818;
+inline constexpr uint64_t kNicRegRal0 = 0x5400;
+inline constexpr uint64_t kNicRegRah0 = 0x5404;
+
+// CTRL bits.
+inline constexpr uint32_t kNicCtrlReset = 1u << 26;
+// STATUS bits.
+inline constexpr uint32_t kNicStatusLinkUp = 1u << 1;
+// RCTL/TCTL bits.
+inline constexpr uint32_t kNicRctlEnable = 1u << 1;
+inline constexpr uint32_t kNicTctlEnable = 1u << 1;
+// Interrupt cause bits.
+inline constexpr uint32_t kNicIntTxDone = 1u << 0;   // TXDW
+inline constexpr uint32_t kNicIntRx = 1u << 7;       // RXT0
+inline constexpr uint32_t kNicIntLinkChange = 1u << 2;
+// RAH valid bit.
+inline constexpr uint32_t kNicRahValid = 1u << 31;
+
+// Legacy descriptor command/status bits.
+inline constexpr uint8_t kNicDescCmdEop = 1u << 0;
+inline constexpr uint8_t kNicDescCmdReportStatus = 1u << 3;
+inline constexpr uint8_t kNicDescStatusDone = 1u << 0;  // DD
+
+// Legacy 16-byte descriptor, shared by TX and RX rings.
+struct NicDescriptor {
+  uint64_t buffer_addr = 0;
+  uint16_t length = 0;
+  uint8_t cso = 0;
+  uint8_t cmd = 0;
+  uint8_t status = 0;
+  uint8_t css = 0;
+  uint16_t special = 0;
+};
+static_assert(sizeof(NicDescriptor) == 16, "descriptor must be 16 bytes");
+
+class SimNic : public hw::PciDevice, public EtherEndpoint {
+ public:
+  SimNic(std::string name, const uint8_t mac[6]);
+
+  void ConnectLink(EtherLink* link, int side);
+
+  // hw::PciDevice
+  uint32_t MmioRead(int bar, uint64_t offset) override;
+  void MmioWrite(int bar, uint64_t offset, uint32_t value) override;
+  void Reset() override;
+  void Tick() override;
+
+  // EtherEndpoint — a frame arrives from the wire.
+  void DeliverFrame(ConstByteSpan frame) override;
+
+  struct Stats {
+    uint64_t tx_frames = 0;
+    uint64_t rx_frames = 0;
+    uint64_t rx_dropped_no_desc = 0;
+    uint64_t dma_errors = 0;  // descriptor/buffer DMA faulted (confined)
+  };
+  const Stats& stats() const { return stats_; }
+  const uint8_t* mac() const { return mac_.data(); }
+  bool link_up() const { return link_ != nullptr; }
+
+ private:
+  void ProcessTxRing();
+  bool ReceiveIntoRing(ConstByteSpan frame);
+  Result<NicDescriptor> ReadDescriptor(uint64_t ring_base, uint32_t index);
+  Status WriteBackDescriptor(uint64_t ring_base, uint32_t index, const NicDescriptor& desc);
+  void SetInterruptCause(uint32_t bits);
+  uint32_t TxRingSize() const { return tdlen_ / 16; }
+  uint32_t RxRingSize() const { return rdlen_ / 16; }
+
+  std::array<uint8_t, 6> mac_;
+  EtherLink* link_ = nullptr;
+  int link_side_ = 0;
+
+  // Register state.
+  uint32_t ctrl_ = 0;
+  uint32_t icr_ = 0;
+  uint32_t ims_ = 0;
+  uint32_t rctl_ = 0;
+  uint32_t tctl_ = 0;
+  uint32_t tdbal_ = 0, tdbah_ = 0, tdlen_ = 0, tdh_ = 0, tdt_ = 0;
+  uint32_t rdbal_ = 0, rdbah_ = 0, rdlen_ = 0, rdh_ = 0, rdt_ = 0;
+  uint32_t ral0_ = 0, rah0_ = 0;
+  uint32_t mdic_ = 0;
+
+  // Frames that arrived while no RX descriptor was available.
+  std::deque<std::vector<uint8_t>> rx_backlog_;
+  static constexpr size_t kRxBacklogMax = 64;
+
+  Stats stats_;
+};
+
+}  // namespace sud::devices
+
+#endif  // SUD_SRC_DEVICES_SIM_NIC_H_

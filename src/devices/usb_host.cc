@@ -1,0 +1,280 @@
+#include "src/devices/usb_host.h"
+
+#include <cstring>
+
+#include "src/base/bytes.h"
+
+namespace sud::devices {
+
+UsbDevice::UsbDevice(std::string name, uint16_t vendor_id, uint16_t product_id,
+                     uint8_t device_class)
+    : name_(std::move(name)),
+      vendor_id_(vendor_id),
+      product_id_(product_id),
+      device_class_(device_class) {}
+
+std::vector<uint8_t> UsbDevice::DeviceDescriptor() const {
+  std::vector<uint8_t> d(18, 0);
+  d[0] = 18;                    // bLength
+  d[1] = kUsbDescTypeDevice;    // bDescriptorType
+  d[2] = 0x00;                  // bcdUSB 2.0
+  d[3] = 0x02;
+  d[4] = device_class_;         // bDeviceClass
+  d[7] = 64;                    // bMaxPacketSize0
+  StoreLe16(&d[8], vendor_id_);
+  StoreLe16(&d[10], product_id_);
+  d[17] = 1;                    // bNumConfigurations
+  return d;
+}
+
+std::vector<uint8_t> UsbDevice::ConfigDescriptor() const {
+  std::vector<uint8_t> d(9, 0);
+  d[0] = 9;
+  d[1] = kUsbDescTypeConfig;
+  StoreLe16(&d[2], 9);  // wTotalLength
+  d[4] = 1;             // bNumInterfaces
+  d[5] = 1;             // bConfigurationValue
+  d[7] = 0x80;          // bmAttributes: bus powered
+  d[8] = 50;            // bMaxPower: 100 mA
+  return d;
+}
+
+Result<std::vector<uint8_t>> UsbDevice::ControlTransfer(const UsbSetup& setup) {
+  switch (setup.b_request) {
+    case kUsbReqSetAddress:
+      address_ = static_cast<uint8_t>(setup.w_value & 0x7f);
+      return std::vector<uint8_t>{};
+    case kUsbReqSetConfiguration:
+      configured_ = setup.w_value != 0;
+      return std::vector<uint8_t>{};
+    case kUsbReqGetDescriptor: {
+      uint8_t type = static_cast<uint8_t>(setup.w_value >> 8);
+      std::vector<uint8_t> d;
+      if (type == kUsbDescTypeDevice) {
+        d = DeviceDescriptor();
+      } else if (type == kUsbDescTypeConfig) {
+        d = ConfigDescriptor();
+      } else {
+        return Status(ErrorCode::kNotFound, "unknown descriptor type");
+      }
+      if (d.size() > setup.w_length) {
+        d.resize(setup.w_length);
+      }
+      return d;
+    }
+    default:
+      return Status(ErrorCode::kInvalidArgument, "unsupported control request");
+  }
+}
+
+Result<std::vector<uint8_t>> UsbDevice::BulkIn(uint8_t endpoint, size_t max_len) {
+  return Status(ErrorCode::kUnavailable, "endpoint stalled");
+}
+
+Status UsbDevice::BulkOut(uint8_t endpoint, ConstByteSpan data) {
+  return Status(ErrorCode::kUnavailable, "endpoint stalled");
+}
+
+Result<std::vector<uint8_t>> UsbKeyboard::BulkIn(uint8_t endpoint, size_t max_len) {
+  if (endpoint != 1) {
+    return Status(ErrorCode::kUnavailable, "endpoint stalled");
+  }
+  // 8-byte boot-protocol report; key usage in byte 2.
+  std::vector<uint8_t> report(8, 0);
+  if (!pending_.empty()) {
+    report[2] = pending_.front();
+    pending_.pop_front();
+  }
+  if (report.size() > max_len) {
+    report.resize(max_len);
+  }
+  return report;
+}
+
+UsbHostController::UsbHostController(std::string name)
+    : PciDevice(std::move(name), /*vendor_id=*/0x8086, /*device_id=*/0x293a,
+                /*class_code=*/0x0c, {hw::BarDesc{4096, /*is_io=*/false}}) {}
+
+Status UsbHostController::PlugDevice(int port, UsbDevice* device) {
+  if (port < 0 || port >= kNumPorts) {
+    return Status(ErrorCode::kInvalidArgument, "no such port");
+  }
+  if (ports_[port] != nullptr) {
+    return Status(ErrorCode::kAlreadyExists, "port occupied");
+  }
+  ports_[port] = device;
+  return Status::Ok();
+}
+
+void UsbHostController::Reset() {
+  cmd_ = sts_ = ims_ = 0;
+  list_lo_ = list_hi_ = list_count_ = 0;
+}
+
+UsbDevice* UsbHostController::FindByAddress(uint8_t address) const {
+  for (UsbDevice* device : ports_) {
+    if (device != nullptr && device->address() == address) {
+      return device;
+    }
+  }
+  return nullptr;
+}
+
+void UsbHostController::SetStatus(uint32_t bits) {
+  bool was_asserted = (sts_ & ims_) != 0;
+  sts_ |= bits;
+  if (!was_asserted && (sts_ & ims_) != 0) {
+    (void)RaiseMsi();
+  }
+}
+
+uint32_t UsbHostController::MmioRead(int bar, uint64_t offset) {
+  if (bar != 0) {
+    return 0xffffffffu;
+  }
+  if (offset >= kUsbRegPortsc0 && offset < kUsbRegPortsc0 + 4 * kNumPorts) {
+    int port = static_cast<int>((offset - kUsbRegPortsc0) / 4);
+    return ports_[port] != nullptr ? kUsbPortConnected : 0;
+  }
+  switch (offset) {
+    case kUsbRegCmd:
+      return cmd_;
+    case kUsbRegSts:
+      return sts_;
+    case kUsbRegIms:
+      return ims_;
+    default:
+      return 0;
+  }
+}
+
+void UsbHostController::MmioWrite(int bar, uint64_t offset, uint32_t value) {
+  if (bar != 0) {
+    return;
+  }
+  switch (offset) {
+    case kUsbRegCmd:
+      cmd_ = value;
+      break;
+    case kUsbRegSts:
+      sts_ &= ~value;  // write-1-to-clear
+      break;
+    case kUsbRegIms:
+      ims_ = value;
+      break;
+    case kUsbRegListLo:
+      list_lo_ = value;
+      break;
+    case kUsbRegListHi:
+      list_hi_ = value;
+      break;
+    case kUsbRegListCount:
+      list_count_ = value;
+      break;
+    case kUsbRegDoorbell:
+      if ((cmd_ & kUsbCmdRun) != 0) {
+        ProcessSchedule();
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void UsbHostController::ProcessSchedule() {
+  uint64_t list_base = (static_cast<uint64_t>(list_hi_) << 32) | list_lo_;
+  for (uint32_t i = 0; i < list_count_; ++i) {
+    uint8_t raw[kUsbTrbSize];
+    uint64_t trb_addr = list_base + static_cast<uint64_t>(i) * kUsbTrbSize;
+    if (!DmaRead(trb_addr, ByteSpan(raw, sizeof(raw))).ok()) {
+      return;  // schedule fetch faulted: confined, queue stalls
+    }
+    UsbTrb trb;
+    trb.device_address = raw[0];
+    trb.endpoint = raw[1];
+    trb.type = raw[2];
+    trb.status = raw[3];
+    trb.length = LoadLe32(raw + 4);
+    trb.buffer_iova = LoadLe64(raw + 8);
+    std::memcpy(trb.setup, raw + 16, 8);
+    if (trb.status != 0) {
+      continue;  // already executed
+    }
+
+    UsbDevice* device = FindByAddress(trb.device_address);
+    if (device == nullptr && trb.device_address == 0) {
+      // Address 0: default pipe of a freshly connected, unaddressed device.
+      for (UsbDevice* candidate : ports_) {
+        if (candidate != nullptr && candidate->address() == 0) {
+          device = candidate;
+          break;
+        }
+      }
+    }
+    trb.actual_length = 0;
+    if (device == nullptr) {
+      trb.status = kUsbTrbStatusStall;
+    } else if (trb.type == kUsbTrbSetup) {
+      UsbSetup setup;
+      setup.bm_request_type = trb.setup[0];
+      setup.b_request = trb.setup[1];
+      setup.w_value = LoadLe16(trb.setup + 2);
+      setup.w_index = LoadLe16(trb.setup + 4);
+      setup.w_length = LoadLe16(trb.setup + 6);
+      Result<std::vector<uint8_t>> in = device->ControlTransfer(setup);
+      if (!in.ok()) {
+        trb.status = kUsbTrbStatusStall;
+      } else {
+        const std::vector<uint8_t>& data = in.value();
+        if (!data.empty() && trb.buffer_iova != 0) {
+          size_t n = std::min<size_t>(data.size(), trb.length);
+          if (!DmaWrite(trb.buffer_iova, ConstByteSpan(data.data(), n)).ok()) {
+            trb.status = kUsbTrbStatusDmaError;
+          } else {
+            trb.actual_length = static_cast<uint32_t>(n);
+            trb.status = kUsbTrbStatusOk;
+          }
+        } else {
+          trb.status = kUsbTrbStatusOk;
+        }
+      }
+    } else if (trb.type == kUsbTrbIn) {
+      Result<std::vector<uint8_t>> in = device->BulkIn(trb.endpoint, trb.length);
+      if (!in.ok()) {
+        trb.status = kUsbTrbStatusStall;
+      } else {
+        const std::vector<uint8_t>& data = in.value();
+        if (!data.empty() &&
+            !DmaWrite(trb.buffer_iova, ConstByteSpan(data.data(), data.size())).ok()) {
+          trb.status = kUsbTrbStatusDmaError;
+        } else {
+          trb.actual_length = static_cast<uint32_t>(data.size());
+          trb.status = kUsbTrbStatusOk;
+        }
+      }
+    } else if (trb.type == kUsbTrbOut) {
+      std::vector<uint8_t> data(trb.length);
+      if (trb.length > 0 && !DmaRead(trb.buffer_iova, ByteSpan(data.data(), data.size())).ok()) {
+        trb.status = kUsbTrbStatusDmaError;
+      } else if (!device->BulkOut(trb.endpoint, ConstByteSpan(data.data(), data.size())).ok()) {
+        trb.status = kUsbTrbStatusStall;
+      } else {
+        trb.actual_length = trb.length;
+        trb.status = kUsbTrbStatusOk;
+      }
+    } else {
+      trb.status = kUsbTrbStatusStall;
+    }
+
+    // Write back status + actual length.
+    raw[3] = trb.status;
+    StoreLe32(raw + 24, trb.actual_length);
+    if (!DmaWrite(trb_addr, ConstByteSpan(raw, sizeof(raw))).ok()) {
+      return;
+    }
+    ++transfers_completed_;
+  }
+  SetStatus(kUsbStsTransferDone);
+}
+
+}  // namespace sud::devices

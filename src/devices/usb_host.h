@@ -1,0 +1,163 @@
+// UsbHostController + UsbDevice: an EHCI-class USB host and a small device
+// tree behind it.
+//
+// The paper runs EHCI/UHCI host-controller drivers and several USB function
+// drivers under SUD, and notes that the USB host *proxy* needs zero extra
+// kernel code (Figure 5) because USB functions are reached through the host
+// controller's existing schedule. The model captures that structure: the
+// host controller executes transfer request blocks (TRBs) that the HCD
+// driver DMAs into memory; each TRB addresses a UsbDevice by address and
+// endpoint, and control transfers implement enough of USB chapter 9
+// (SET_ADDRESS / GET_DESCRIPTOR / SET_CONFIGURATION) for real enumeration
+// logic in the driver.
+
+#ifndef SUD_SRC_DEVICES_USB_HOST_H_
+#define SUD_SRC_DEVICES_USB_HOST_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/hw/pci_device.h"
+
+namespace sud::devices {
+
+// ---- USB device side ------------------------------------------------------
+
+// USB setup packet (chapter 9).
+struct UsbSetup {
+  uint8_t bm_request_type = 0;
+  uint8_t b_request = 0;
+  uint16_t w_value = 0;
+  uint16_t w_index = 0;
+  uint16_t w_length = 0;
+};
+
+inline constexpr uint8_t kUsbReqGetDescriptor = 6;
+inline constexpr uint8_t kUsbReqSetAddress = 5;
+inline constexpr uint8_t kUsbReqSetConfiguration = 9;
+inline constexpr uint8_t kUsbDescTypeDevice = 1;
+inline constexpr uint8_t kUsbDescTypeConfig = 2;
+
+class UsbDevice {
+ public:
+  UsbDevice(std::string name, uint16_t vendor_id, uint16_t product_id, uint8_t device_class);
+  virtual ~UsbDevice() = default;
+
+  const std::string& name() const { return name_; }
+  uint8_t address() const { return address_; }
+  bool configured() const { return configured_; }
+  uint8_t device_class() const { return device_class_; }
+
+  // Executes a control transfer; returns the IN data stage (possibly empty).
+  Result<std::vector<uint8_t>> ControlTransfer(const UsbSetup& setup);
+
+  // Bulk/interrupt data. Default: STALL (kUnavailable).
+  virtual Result<std::vector<uint8_t>> BulkIn(uint8_t endpoint, size_t max_len);
+  virtual Status BulkOut(uint8_t endpoint, ConstByteSpan data);
+
+ protected:
+  // Subclasses can extend descriptor contents.
+  virtual std::vector<uint8_t> DeviceDescriptor() const;
+  virtual std::vector<uint8_t> ConfigDescriptor() const;
+
+ private:
+  std::string name_;
+  uint16_t vendor_id_;
+  uint16_t product_id_;
+  uint8_t device_class_;
+  uint8_t address_ = 0;  // unaddressed until SET_ADDRESS
+  bool configured_ = false;
+};
+
+// A HID-class keyboard: BulkIn on endpoint 1 returns queued key reports.
+class UsbKeyboard : public UsbDevice {
+ public:
+  UsbKeyboard() : UsbDevice("usb-kbd", 0x046d, 0xc31c, /*device_class=*/0x03) {}
+
+  void PressKey(uint8_t usage_code) { pending_.push_back(usage_code); }
+
+  Result<std::vector<uint8_t>> BulkIn(uint8_t endpoint, size_t max_len) override;
+
+ private:
+  std::deque<uint8_t> pending_;
+};
+
+// ---- host controller side ---------------------------------------------------
+
+// Register map (BAR0).
+inline constexpr uint64_t kUsbRegCmd = 0x00;        // bit0 RUN
+inline constexpr uint64_t kUsbRegSts = 0x04;        // bit0 transfer done (RW1C)
+inline constexpr uint64_t kUsbRegIms = 0x08;
+inline constexpr uint64_t kUsbRegListLo = 0x0c;     // TRB list DMA address
+inline constexpr uint64_t kUsbRegListHi = 0x10;
+inline constexpr uint64_t kUsbRegListCount = 0x14;  // number of TRBs
+inline constexpr uint64_t kUsbRegDoorbell = 0x18;
+inline constexpr uint64_t kUsbRegPortsc0 = 0x20;    // port status: bit0 connected
+
+inline constexpr uint32_t kUsbCmdRun = 1u << 0;
+inline constexpr uint32_t kUsbStsTransferDone = 1u << 0;
+inline constexpr uint32_t kUsbPortConnected = 1u << 0;
+
+// One 32-byte transfer request block in DMA memory:
+//   u8 device_address, u8 endpoint, u8 type (0=setup 1=in 2=out), u8 status
+//   u32 length          (in: max, out: bytes to send)
+//   u64 buffer_iova     (data stage)
+//   u8 setup[8]         (control transfers)
+//   u32 actual_length   (written back)
+//   u32 pad
+struct UsbTrb {
+  uint8_t device_address = 0;
+  uint8_t endpoint = 0;
+  uint8_t type = 0;
+  uint8_t status = 0;  // 0 pending, 1 ok, 2 stall, 3 dma-error
+  uint32_t length = 0;
+  uint64_t buffer_iova = 0;
+  uint8_t setup[8] = {};
+  uint32_t actual_length = 0;
+};
+inline constexpr size_t kUsbTrbSize = 32;
+inline constexpr uint8_t kUsbTrbSetup = 0;
+inline constexpr uint8_t kUsbTrbIn = 1;
+inline constexpr uint8_t kUsbTrbOut = 2;
+inline constexpr uint8_t kUsbTrbStatusOk = 1;
+inline constexpr uint8_t kUsbTrbStatusStall = 2;
+inline constexpr uint8_t kUsbTrbStatusDmaError = 3;
+
+class UsbHostController : public hw::PciDevice {
+ public:
+  explicit UsbHostController(std::string name);
+
+  // Plug a device into a root port (0-based). The HCD driver discovers it
+  // via PORTSC. Default address 0 until the driver assigns one.
+  Status PlugDevice(int port, UsbDevice* device);
+
+  uint32_t MmioRead(int bar, uint64_t offset) override;
+  void MmioWrite(int bar, uint64_t offset, uint32_t value) override;
+  void Reset() override;
+
+  UsbDevice* FindByAddress(uint8_t address) const;
+
+  uint64_t transfers_completed() const { return transfers_completed_; }
+
+ private:
+  void ProcessSchedule();
+  void SetStatus(uint32_t bits);
+
+  static constexpr int kNumPorts = 2;
+  std::array<UsbDevice*, kNumPorts> ports_{nullptr, nullptr};
+
+  uint32_t cmd_ = 0;
+  uint32_t sts_ = 0;
+  uint32_t ims_ = 0;
+  uint32_t list_lo_ = 0, list_hi_ = 0, list_count_ = 0;
+  uint64_t transfers_completed_ = 0;
+};
+
+}  // namespace sud::devices
+
+#endif  // SUD_SRC_DEVICES_USB_HOST_H_

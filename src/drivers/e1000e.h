@@ -1,0 +1,82 @@
+// E1000eDriver: the Gigabit Ethernet driver of the paper's evaluation.
+//
+// Written once against DriverEnv and run both in-kernel (DirectEnv) and as
+// an untrusted SUD process (UmlRuntime), like the paper runs the stock
+// e1000e in both configurations. Programming model follows the real driver:
+// legacy descriptor rings allocated with dma_alloc_coherent, head/tail
+// doorbells, ICR/IMS interrupt handling, MDIC for the MII ioctl.
+//
+// The probe-order DMA allocations reproduce Figure 9's IO-virtual layout:
+//   TX ring descriptors   4 KB   @ 0x42430000
+//   RX ring descriptors   8 KB   @ 0x42431000
+//   TX buffers            8 MB   @ 0x42433000
+//   RX buffers            8 MB   @ 0x42C33000
+// (plus Intel's implicit MSI mapping at 0xFEE00000).
+
+#ifndef SUD_SRC_DRIVERS_E1000E_H_
+#define SUD_SRC_DRIVERS_E1000E_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/devices/sim_nic.h"
+#include "src/uml/driver_env.h"
+
+namespace sud::drivers {
+
+class E1000eDriver : public uml::Driver {
+ public:
+  static constexpr uint32_t kTxDescriptors = 256;
+  static constexpr uint32_t kRxDescriptors = 512;
+  static constexpr uint64_t kTxBufferBytes = 8ull * 1024 * 1024;
+  static constexpr uint64_t kRxBufferBytes = 8ull * 1024 * 1024;
+  static constexpr uint32_t kRxBufferSize = 16384;  // kRxBufferBytes / kRxDescriptors
+
+  const char* name() const override { return "e1000e"; }
+  Status Probe(uml::DriverEnv& env) override;
+  void Remove(uml::DriverEnv& env) override;
+
+  struct Stats {
+    uint64_t tx_queued = 0;
+    uint64_t tx_completed = 0;
+    uint64_t rx_delivered = 0;
+    uint64_t interrupts = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // NAPI-style poll: reads ICR and reaps both rings. The in-kernel baseline
+  // calls this from its (coalesced) interrupt/poll path; under SUD the same
+  // body runs from the interrupt upcall.
+  void NapiPoll() { IrqHandler(); }
+
+ private:
+  Status Open();
+  Status Stop();
+  Status Xmit(uint64_t frame_iova, uint32_t len, int32_t pool_buffer_id);
+  Result<std::string> Ioctl(uint32_t cmd);
+  void IrqHandler();
+  void ReapTxCompletions();
+  void ReapRxRing();
+  Status ArmRxDescriptor(uint32_t index);
+  Status WriteDescriptor(uint64_t ring_iova, uint32_t index, uint64_t buffer_addr, uint16_t len,
+                         uint8_t cmd, uint8_t status);
+  Result<devices::NicDescriptor> ReadDescriptor(uint64_t ring_iova, uint32_t index);
+
+  uml::DriverEnv* env_ = nullptr;
+  DmaRegion tx_ring_{};
+  DmaRegion rx_ring_{};
+  DmaRegion tx_buffers_{};
+  DmaRegion rx_buffers_{};
+  uint32_t tx_tail_ = 0;
+  uint32_t tx_reap_ = 0;
+  uint32_t rx_next_ = 0;
+  bool open_ = false;
+  // Pool buffer ids in flight per TX slot (-1 when in-kernel bounce).
+  std::vector<int32_t> tx_slot_buffer_;
+  Stats stats_;
+};
+
+}  // namespace sud::drivers
+
+#endif  // SUD_SRC_DRIVERS_E1000E_H_

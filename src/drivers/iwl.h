@@ -1,0 +1,51 @@
+// IwlDriver: the iwlagn-5000-class 802.11 driver.
+//
+// Scan results are DMA'd by the device into a driver-allocated buffer; BSS
+// changes are reported back through the bss_change downcall; the bitrate
+// table is mirrored shared-memory state (Section 3.3). Feature enablement
+// arrives as the asynchronous upcall queued by the wireless proxy from the
+// kernel's non-preemptable feature path (Section 3.1.1).
+
+#ifndef SUD_SRC_DRIVERS_IWL_H_
+#define SUD_SRC_DRIVERS_IWL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/devices/wifi_nic.h"
+#include "src/uml/driver_env.h"
+
+namespace sud::drivers {
+
+class IwlDriver : public uml::Driver {
+ public:
+  const char* name() const override { return "iwlagn5000"; }
+  Status Probe(uml::DriverEnv& env) override;
+
+  uint32_t enabled_features() const { return enabled_features_; }
+  uint64_t feature_updates() const { return feature_updates_; }
+
+  struct Stats {
+    uint64_t scans = 0;
+    uint64_t associations = 0;
+    uint64_t interrupts = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Result<std::vector<kern::ScanResult>> Scan();
+  Status Associate(const std::string& ssid);
+  void EnableFeatures(uint32_t features);
+  void IrqHandler();
+
+  uml::DriverEnv* env_ = nullptr;
+  DmaRegion scan_results_{};
+  uint32_t enabled_features_ = 0;
+  uint64_t feature_updates_ = 0;
+  Stats stats_;
+};
+
+}  // namespace sud::drivers
+
+#endif  // SUD_SRC_DRIVERS_IWL_H_

@@ -1,0 +1,228 @@
+#include "src/drivers/malicious.h"
+
+#include <cstring>
+
+#include "src/base/bytes.h"
+#include "src/base/log.h"
+#include "src/hw/iommu.h"
+#include "src/hw/pci_config.h"
+
+namespace sud::drivers {
+
+namespace {
+
+// Writes one legacy NIC descriptor into driver-owned ring memory.
+Status WriteDescRaw(uml::DriverEnv& env, uint64_t ring_iova, uint32_t index, uint64_t buffer_addr,
+                    uint16_t len, uint8_t cmd) {
+  Result<ByteSpan> view = env.DmaView(ring_iova + static_cast<uint64_t>(index) * 16, 16);
+  if (!view.ok()) {
+    return view.status();
+  }
+  uint8_t* raw = view.value().data();
+  std::memset(raw, 0, 16);
+  StoreLe64(raw, buffer_addr);
+  StoreLe16(raw + 8, len);
+  raw[11] = cmd;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status DmaAttackDriver::Probe(uml::DriverEnv& env) {
+  env_ = &env;
+  SUD_RETURN_IF_ERROR(env.PciEnableDevice());
+  SUD_RETURN_IF_ERROR(env.PciSetMaster());
+  Result<DmaRegion> ring = env.DmaAllocCoherent(16 * 16);  // a tiny 16-slot ring
+  if (!ring.ok()) {
+    return ring.status();
+  }
+  ring_ = ring.value();
+  return Status::Ok();
+}
+
+Status DmaAttackDriver::LaunchTxRead() {
+  // TX descriptor whose "packet" is the attack target: the device will try
+  // to DMA-*read* from it and transmit the loot.
+  SUD_RETURN_IF_ERROR(WriteDescRaw(*env_, ring_.iova, 0, target_addr_, 64,
+                                   devices::kNicDescCmdEop));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTdbal,
+                                        static_cast<uint32_t>(ring_.iova)));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTdbah,
+                                        static_cast<uint32_t>(ring_.iova >> 32)));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTdlen, 16 * 16));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTdh, 0));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTctl, devices::kNicTctlEnable));
+  ++doorbell_writes_;
+  return env_->MmioWrite32(0, devices::kNicRegTdt, 1);
+}
+
+Status DmaAttackDriver::LaunchRxWrite() {
+  // Armed RX descriptor whose buffer is the target: the next incoming frame
+  // makes the device DMA-*write* attacker-influenced bytes there.
+  SUD_RETURN_IF_ERROR(WriteDescRaw(*env_, ring_.iova, 0, target_addr_, 0, 0));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegRdbal,
+                                        static_cast<uint32_t>(ring_.iova)));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegRdbah,
+                                        static_cast<uint32_t>(ring_.iova >> 32)));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegRdlen, 16 * 16));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegRdh, 0));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegRdt, 1));
+  ++doorbell_writes_;
+  return env_->MmioWrite32(0, devices::kNicRegRctl, devices::kNicRctlEnable);
+}
+
+Status MsiStormDriver::Probe(uml::DriverEnv& env) {
+  env_ = &env;
+  SUD_RETURN_IF_ERROR(env.PciEnableDevice());
+  SUD_RETURN_IF_ERROR(env.PciSetMaster());
+  Result<DmaRegion> ring = env.DmaAllocCoherent(256 * 16);
+  if (!ring.ok()) {
+    return ring.status();
+  }
+  ring_ = ring.value();
+  return Status::Ok();
+}
+
+Status MsiStormDriver::Arm(uint32_t descriptors) {
+  // Every RX buffer is the MSI doorbell. An incoming frame whose first two
+  // bytes are (vector, 0) becomes an interrupt with that vector.
+  for (uint32_t i = 0; i < descriptors && i < 256; ++i) {
+    SUD_RETURN_IF_ERROR(WriteDescRaw(*env_, ring_.iova, i, hw::kMsiRangeBase, 0, 0));
+  }
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegRdbal,
+                                        static_cast<uint32_t>(ring_.iova)));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegRdbah,
+                                        static_cast<uint32_t>(ring_.iova >> 32)));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegRdlen, 256 * 16));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegRdh, 0));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegRdt, descriptors % 256));
+  return env_->MmioWrite32(0, devices::kNicRegRctl, devices::kNicRctlEnable);
+}
+
+Status NeverAckDriver::Probe(uml::DriverEnv& env) {
+  env_ = &env;
+  SUD_RETURN_IF_ERROR(env.PciEnableDevice());
+  SUD_RETURN_IF_ERROR(env.PciSetMaster());
+  // Registers an IRQ handler that does nothing and never acknowledges.
+  // Under SUD the runtime normally acks after the handler; this driver
+  // bypasses the runtime loop, so interrupts stay unacknowledged.
+  Result<DmaRegion> ring = env.DmaAllocCoherent(16 * 16);
+  if (!ring.ok()) {
+    return ring.status();
+  }
+  ring_ = ring.value();
+  SUD_RETURN_IF_ERROR(env.MmioWrite32(0, devices::kNicRegIms, 0xffffffffu));
+  return Status::Ok();
+}
+
+Status NeverAckDriver::TriggerInterrupt() {
+  // Clear ICR (as a functioning interrupt handler would) so the next cause
+  // asserts a fresh edge — but never send the SUD interrupt_ack downcall.
+  (void)env_->MmioRead32(0, devices::kNicRegIcr);
+  // A 1-descriptor transmit makes the device raise TXDW.
+  SUD_RETURN_IF_ERROR(WriteDescRaw(*env_, ring_.iova, 0, ring_.iova + 128, 64,
+                                   devices::kNicDescCmdEop));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTdbal,
+                                        static_cast<uint32_t>(ring_.iova)));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTdbah,
+                                        static_cast<uint32_t>(ring_.iova >> 32)));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTdlen, 16 * 16));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTdh, 0));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTctl, devices::kNicTctlEnable));
+  return env_->MmioWrite32(0, devices::kNicRegTdt, 1);
+}
+
+Status UnresponsiveDriver::Probe(uml::DriverEnv& env) {
+  // Registers a netdev whose every op "hangs" (returns nothing useful and
+  // would never reply in a real process; under the pumped model the upcall
+  // simply gets no Reply, which is exactly what the kernel sees).
+  uint8_t mac[6] = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x01};
+  uml::NetDriverOps ops;  // all callbacks empty: dispatch produces no reply
+  return env.RegisterNetdev(mac, std::move(ops));
+}
+
+Status ConfigAttackDriver::Probe(uml::DriverEnv& env) {
+  env_ = &env;
+  struct Attempt {
+    uint16_t offset;
+    int width;
+    uint32_t value;
+  };
+  const Attempt attempts[] = {
+      {hw::kPciBar0, 4, 0xfee00000u},         // relocate BAR over the MSI window
+      {hw::kPciBar0 + 4, 4, 0xe0000000u},     // relocate over a sibling device
+      {hw::kMsiAddress, 4, 0x1000u},          // redirect MSI doorbell into DRAM
+      {hw::kMsiData, 2, 0x00feu},             // forge the interrupt vector
+      {hw::kMsiControl, 2, 0x0000u},          // disable kernel's mask control
+      {hw::kPciCapPointer, 1, 0x00u},         // hide the capability chain
+      {hw::kPciCommand, 2, 0xffffu},          // set every command bit (SERR etc.)
+      {hw::kPciInterruptLine, 1, 0x0au},      // legacy interrupt rerouting
+  };
+  for (const Attempt& attempt : attempts) {
+    ++outcome_.attempts;
+    Status status = env.PciConfigWrite(attempt.offset, attempt.width, attempt.value);
+    if (status.ok()) {
+      ++outcome_.succeeded;
+    } else {
+      ++outcome_.denied;
+    }
+  }
+  return Status::Ok();
+}
+
+Status IoPortAttackDriver::Probe(uml::DriverEnv& env) {
+  env_ = &env;
+  // Classic targets: keyboard controller, PIC, PCI config mechanism, and a
+  // neighbour's probable IO BAR.
+  const uint16_t targets[] = {0x60, 0x64, 0x20, 0xcf8, 0xcfc, 0xc000};
+  for (uint16_t port : targets) {
+    ++attempts_;
+    if (!env.IoWrite8(port, 0xff).ok()) {
+      ++denied_;
+    }
+  }
+  return Status::Ok();
+}
+
+Status BogusRxDriver::Probe(uml::DriverEnv& env) {
+  env_ = &env;
+  // Register a plausible netdev so netif_rx downcalls reach the proxy's
+  // address validation (the attack surface under test).
+  uint8_t mac[6] = {0xba, 0xdb, 0xad, 0x00, 0x00, 0x01};
+  uml::NetDriverOps ops;
+  ops.open = []() { return Status::Ok(); };
+  ops.stop = []() { return Status::Ok(); };
+  return env.RegisterNetdev(mac, std::move(ops));
+}
+
+Result<int> BogusRxDriver::Fire(int count) {
+  int accepted = 0;
+  const uint64_t wild_iovas[] = {0x0, 0x1000, 0xfee00000ull, 0xffffffff00000000ull, 0x42000000ull};
+  for (int i = 0; i < count; ++i) {
+    uint64_t iova = wild_iovas[i % (sizeof(wild_iovas) / sizeof(wild_iovas[0]))];
+    uint32_t len = (i % 2 == 0) ? 1514 : 0xffffu;
+    if (env_->NetifRx(iova, len).ok()) {
+      // Async downcall: acceptance means the proxy processed it without
+      // complaint — the flush path returns per-message errors via msg.error,
+      // which NetifRx folds into its Status on the synchronous flush.
+      ++accepted;
+    }
+  }
+  return accepted;
+}
+
+Status ResourceHogDriver::Probe(uml::DriverEnv& env) {
+  env_ = &env;
+  // Grab 1 MB at a time until the rlimit (or DRAM) stops us.
+  for (int i = 0; i < 4096; ++i) {
+    Result<DmaRegion> region = env.DmaAllocCoherent(1024 * 1024);
+    if (!region.ok()) {
+      hit_limit_ = true;
+      break;
+    }
+    bytes_obtained_ += region.value().bytes;
+  }
+  return Status::Ok();
+}
+
+}  // namespace sud::drivers

@@ -1,0 +1,175 @@
+// The malicious driver family: Section 5.2's explicit attack test cases.
+//
+// Each driver below is a fully adversarial user-space driver that uses only
+// the interfaces SUD grants it — the filtered config syscalls, its own MMIO
+// window, its DMA files, the uchan — and tries to break out. The security
+// test suite and bench/sec_attack_matrix run every one of these against the
+// confinement stack and assert the blast radius is exactly the driver's own
+// sandbox.
+//
+// Attack inventory:
+//   DmaAttackDriver        device DMA to arbitrary physical memory (kernel
+//                          structures, other drivers' buffers) via TX/RX
+//                          descriptors pointing outside the IOMMU mappings
+//   P2pAttackDriver        device DMA aimed at a *sibling device's BAR* —
+//                          peer-to-peer routing, blocked only by ACS
+//   MsiStormDriver         RX descriptors aimed at the MSI doorbell address:
+//                          every incoming frame becomes a forged interrupt
+//                          (the livelock of §5.2)
+//   NeverAckDriver         handles no interrupts, never acks: tests MSI
+//                          masking of device-originated storms
+//   UnresponsiveDriver     accepts probe then ignores every upcall: tests
+//                          interruptable synchronous upcalls (ifconfig ^C)
+//   ConfigAttackDriver     tries to rewrite BARs / the MSI capability / evil
+//                          command-register bits through the config syscall
+//   IoPortAttackDriver     pokes IO ports outside its IOPB grant
+//   BogusRxDriver          netif_rx downcalls with wild iovas and lengths
+//   ResourceHogDriver      allocates DMA until its rlimit stops it
+
+#ifndef SUD_SRC_DRIVERS_MALICIOUS_H_
+#define SUD_SRC_DRIVERS_MALICIOUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/devices/sim_nic.h"
+#include "src/uml/driver_env.h"
+
+namespace sud::drivers {
+
+// Aims its NIC's descriptor rings at arbitrary "physical" targets. Under
+// SUD the device's DMA faults in the IOMMU; the victim bytes stay intact.
+class DmaAttackDriver : public uml::Driver {
+ public:
+  // `target_addr` is where the attacker wants the device to read/write
+  // (e.g. a kernel physical address, or another device's DMA buffer iova).
+  explicit DmaAttackDriver(uint64_t target_addr) : target_addr_(target_addr) {}
+
+  const char* name() const override { return "dma-attack"; }
+  Status Probe(uml::DriverEnv& env) override;
+
+  // Launches: TX descriptor whose buffer is the target (device *read*), and
+  // an armed RX descriptor whose buffer is the target (device *write* on the
+  // next incoming frame).
+  Status LaunchTxRead();
+  Status LaunchRxWrite();
+
+  uint64_t doorbell_writes() const { return doorbell_writes_; }
+
+ private:
+  uml::DriverEnv* env_ = nullptr;
+  uint64_t target_addr_;
+  DmaRegion ring_{};
+  uint64_t doorbell_writes_ = 0;
+};
+
+// Same attack but the target is a sibling device's MMIO BAR: exercises the
+// PCIe switch routing and ACS (P2P redirect + source validation).
+using P2pAttackDriver = DmaAttackDriver;  // identical mechanics, different target
+
+// Arms RX descriptors pointing at the MSI doorbell: each received frame is
+// DMA-written to 0xFEE00000 and becomes a forged interrupt whose vector the
+// attacker controls through the first two frame bytes.
+class MsiStormDriver : public uml::Driver {
+ public:
+  explicit MsiStormDriver(uint8_t forged_vector) : forged_vector_(forged_vector) {}
+
+  const char* name() const override { return "msi-storm"; }
+  Status Probe(uml::DriverEnv& env) override;
+  Status Arm(uint32_t descriptors);
+  uint8_t forged_vector() const { return forged_vector_; }
+
+ private:
+  uml::DriverEnv* env_ = nullptr;
+  uint8_t forged_vector_;
+  DmaRegion ring_{};
+};
+
+// A functional driver that never acknowledges its interrupts, so the device
+// keeps a cause pending. SUD must mask after the second delivery.
+class NeverAckDriver : public uml::Driver {
+ public:
+  const char* name() const override { return "never-ack"; }
+  Status Probe(uml::DriverEnv& env) override;
+  // Pokes the device into raising another interrupt (for the test loop).
+  Status TriggerInterrupt();
+
+ private:
+  uml::DriverEnv* env_ = nullptr;
+  DmaRegion ring_{};
+};
+
+// Probes fine, then ignores every upcall forever (the infinite-loop driver
+// of Section 3). Liveness tests point synchronous upcalls at it.
+class UnresponsiveDriver : public uml::Driver {
+ public:
+  const char* name() const override { return "unresponsive"; }
+  Status Probe(uml::DriverEnv& env) override;
+};
+
+// Attempts every filtered config-space write and records what got through.
+class ConfigAttackDriver : public uml::Driver {
+ public:
+  const char* name() const override { return "config-attack"; }
+  Status Probe(uml::DriverEnv& env) override;
+
+  struct Outcome {
+    uint32_t attempts = 0;
+    uint32_t denied = 0;
+    uint32_t succeeded = 0;  // must stay 0 for the sensitive set
+  };
+  const Outcome& outcome() const { return outcome_; }
+
+ private:
+  uml::DriverEnv* env_ = nullptr;
+  Outcome outcome_;
+};
+
+// Pokes legacy IO ports it was never granted (keyboard controller, another
+// device's BAR, PCI config ports).
+class IoPortAttackDriver : public uml::Driver {
+ public:
+  const char* name() const override { return "ioport-attack"; }
+  Status Probe(uml::DriverEnv& env) override;
+
+  uint32_t attempts() const { return attempts_; }
+  uint32_t denied() const { return denied_; }
+
+ private:
+  uml::DriverEnv* env_ = nullptr;
+  uint32_t attempts_ = 0;
+  uint32_t denied_ = 0;
+};
+
+// Issues netif_rx downcalls with addresses outside its DMA space and absurd
+// lengths; the proxy must reject every one.
+class BogusRxDriver : public uml::Driver {
+ public:
+  const char* name() const override { return "bogus-rx"; }
+  Status Probe(uml::DriverEnv& env) override;
+  // Fires `count` bogus downcalls; returns how many the kernel accepted
+  // (must be 0).
+  Result<int> Fire(int count);
+
+ private:
+  uml::DriverEnv* env_ = nullptr;
+};
+
+// Allocates DMA memory until the process rlimit stops it.
+class ResourceHogDriver : public uml::Driver {
+ public:
+  const char* name() const override { return "resource-hog"; }
+  Status Probe(uml::DriverEnv& env) override;
+
+  uint64_t bytes_obtained() const { return bytes_obtained_; }
+  bool hit_limit() const { return hit_limit_; }
+
+ private:
+  uml::DriverEnv* env_ = nullptr;
+  uint64_t bytes_obtained_ = 0;
+  bool hit_limit_ = false;
+};
+
+}  // namespace sud::drivers
+
+#endif  // SUD_SRC_DRIVERS_MALICIOUS_H_

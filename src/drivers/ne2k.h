@@ -1,0 +1,53 @@
+// Ne2kDriver: the ne2k-pci legacy driver — pure IO-port programming.
+//
+// Exercises the second driver-initiated access path of Section 3.2.1: the
+// driver calls request_region (a downcall under SUD) to get its device's
+// ports added to the process IOPB, then drives the NIC entirely with
+// inb/outb. No DMA, no MSI: reception is polled, which is why the driver
+// exposes Poll() for its harness to call.
+
+#ifndef SUD_SRC_DRIVERS_NE2K_H_
+#define SUD_SRC_DRIVERS_NE2K_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/devices/ne2k_nic.h"
+#include "src/uml/driver_env.h"
+
+namespace sud::drivers {
+
+class Ne2kDriver : public uml::Driver {
+ public:
+  const char* name() const override { return "ne2k-pci"; }
+  Status Probe(uml::DriverEnv& env) override;
+
+  // Polled receive: drains the device ring into netif_rx. Returns the number
+  // of frames delivered.
+  Result<int> Poll();
+
+  struct Stats {
+    uint64_t tx_frames = 0;
+    uint64_t rx_frames = 0;
+    uint64_t pio_bytes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Status Open();
+  Status Stop();
+  Status Xmit(uint64_t frame_iova, uint32_t len, int32_t pool_buffer_id);
+
+  uint8_t In(uint16_t reg);
+  void Out(uint16_t reg, uint8_t value);
+
+  uml::DriverEnv* env_ = nullptr;
+  uint16_t io_base_ = 0;
+  bool open_ = false;
+  uint64_t scratch_iova_ = 0;
+  Stats stats_;
+};
+
+}  // namespace sud::drivers
+
+#endif  // SUD_SRC_DRIVERS_NE2K_H_

@@ -1,0 +1,318 @@
+#include "src/hw/iommu.h"
+
+#include <algorithm>
+
+#include "src/base/bytes.h"
+#include "src/base/log.h"
+
+namespace sud::hw {
+
+Iommu::Iommu(IommuMode mode, CpuModel* cpu, SimClock* clock)
+    : mode_(mode), cpu_(cpu), clock_(clock) {}
+
+Status Iommu::CreateContext(uint16_t source_id) {
+  if (contexts_.count(source_id) != 0) {
+    return Status(ErrorCode::kAlreadyExists,
+                  "iommu context for source " + Hex(source_id) + " exists");
+  }
+  contexts_.emplace(source_id, Context{});
+  return Status::Ok();
+}
+
+Status Iommu::DestroyContext(uint16_t source_id) {
+  auto it = contexts_.find(source_id);
+  if (it == contexts_.end()) {
+    return Status(ErrorCode::kNotFound, "no iommu context for source " + Hex(source_id));
+  }
+  contexts_.erase(it);
+  InvalidateIotlb(source_id);
+  // Drop interrupt-remapping entries belonging to this source.
+  for (auto ir = irte_.begin(); ir != irte_.end();) {
+    if (ir->first.first == source_id) {
+      ir = irte_.erase(ir);
+    } else {
+      ++ir;
+    }
+  }
+  return Status::Ok();
+}
+
+bool Iommu::HasContext(uint16_t source_id) const { return contexts_.count(source_id) != 0; }
+
+Iommu::Pte* Iommu::LookupPte(Context& ctx, uint64_t iova, bool create) {
+  size_t l3, l2, l1;
+  SplitIova(iova, &l3, &l2, &l1);
+  auto& l2_table = ctx.root->entries[l3];
+  if (!l2_table) {
+    if (!create) {
+      return nullptr;
+    }
+    l2_table = std::make_unique<TableL2>();
+  }
+  auto& l1_table = l2_table->entries[l2];
+  if (!l1_table) {
+    if (!create) {
+      return nullptr;
+    }
+    l1_table = std::make_unique<TableL1>();
+  }
+  return &l1_table->ptes[l1];
+}
+
+const Iommu::Pte* Iommu::LookupPte(const Context& ctx, uint64_t iova) const {
+  size_t l3, l2, l1;
+  SplitIova(iova, &l3, &l2, &l1);
+  const auto& l2_table = ctx.root->entries[l3];
+  if (!l2_table) {
+    return nullptr;
+  }
+  const auto& l1_table = l2_table->entries[l2];
+  if (!l1_table) {
+    return nullptr;
+  }
+  return &l1_table->ptes[l1];
+}
+
+Status Iommu::Map(uint16_t source_id, uint64_t iova, uint64_t paddr, uint64_t len, bool readable,
+                  bool writable) {
+  if (!IsPageAligned(iova) || !IsPageAligned(paddr) || !IsPageAligned(len) || len == 0) {
+    return Status(ErrorCode::kInvalidArgument, "iommu map not page aligned");
+  }
+  if ((iova >> 39) != 0) {
+    return Status(ErrorCode::kInvalidArgument, "iova beyond 39-bit io-virtual space");
+  }
+  auto it = contexts_.find(source_id);
+  if (it == contexts_.end()) {
+    return Status(ErrorCode::kNotFound, "no iommu context for source " + Hex(source_id));
+  }
+  // Reject overlap with existing mappings first (all-or-nothing).
+  for (uint64_t off = 0; off < len; off += kPageSize) {
+    const Pte* pte = LookupPte(it->second, iova + off);
+    if (pte != nullptr && pte->present) {
+      return Status(ErrorCode::kAlreadyExists, "iova " + Hex(iova + off) + " already mapped");
+    }
+  }
+  for (uint64_t off = 0; off < len; off += kPageSize) {
+    Pte* pte = LookupPte(it->second, iova + off, /*create=*/true);
+    pte->paddr = paddr + off;
+    pte->readable = readable;
+    pte->writable = writable;
+    pte->present = true;
+  }
+  it->second.mapped_pages += len / kPageSize;
+  return Status::Ok();
+}
+
+Status Iommu::Unmap(uint16_t source_id, uint64_t iova, uint64_t len) {
+  if (!IsPageAligned(iova) || !IsPageAligned(len) || len == 0) {
+    return Status(ErrorCode::kInvalidArgument, "iommu unmap not page aligned");
+  }
+  auto it = contexts_.find(source_id);
+  if (it == contexts_.end()) {
+    return Status(ErrorCode::kNotFound, "no iommu context for source " + Hex(source_id));
+  }
+  for (uint64_t off = 0; off < len; off += kPageSize) {
+    Pte* pte = LookupPte(it->second, iova + off, /*create=*/false);
+    if (pte != nullptr && pte->present) {
+      pte->present = false;
+      it->second.mapped_pages--;
+      InvalidateIotlbPage(source_id, iova + off);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> Iommu::Translate(uint16_t source_id, uint64_t iova, uint64_t len, bool is_write) {
+  auto it = contexts_.find(source_id);
+  if (it == contexts_.end()) {
+    return Fault(source_id, iova, is_write, "no context (device not assigned)");
+  }
+  if (len == 0 || PageAlignDown(iova) != PageAlignDown(iova + len - 1)) {
+    // Hardware splits page-crossing bursts; the root complex does the same
+    // (see RootComplex), so a single Translate call never crosses a page.
+    return Fault(source_id, iova, is_write, "access crosses page boundary");
+  }
+
+  uint64_t page = PageAlignDown(iova);
+  auto tlb_key = std::make_pair(source_id, page);
+  auto tlb_it = iotlb_.find(tlb_key);
+  Pte entry;
+  if (tlb_it != iotlb_.end()) {
+    iotlb_stats_.hits++;
+    entry = tlb_it->second;
+  } else {
+    iotlb_stats_.misses++;
+    if (cpu_ != nullptr) {
+      cpu_->Charge(kAccountDevice, cpu_->costs().iotlb_miss);
+    }
+    const Pte* pte = LookupPte(it->second, iova);
+    if (pte == nullptr || !pte->present) {
+      return Fault(source_id, iova, is_write, "iova not mapped");
+    }
+    entry = *pte;
+    // Insert with FIFO eviction.
+    if (iotlb_.size() >= kIotlbEntries && !iotlb_fifo_.empty()) {
+      iotlb_.erase(iotlb_fifo_.front());
+      iotlb_fifo_.pop_front();
+    }
+    iotlb_.emplace(tlb_key, entry);
+    iotlb_fifo_.push_back(tlb_key);
+  }
+
+  if (is_write && !entry.writable) {
+    return Fault(source_id, iova, is_write, "write to read-only mapping");
+  }
+  if (!is_write && !entry.readable) {
+    return Fault(source_id, iova, is_write, "read from write-only mapping");
+  }
+  return entry.paddr + (iova & kPageMask);
+}
+
+Status Iommu::Fault(uint16_t source_id, uint64_t iova, bool is_write, std::string reason) {
+  IommuFaultRecord record{source_id, iova, is_write,
+                          reason, clock_ != nullptr ? clock_->now() : 0};
+  faults_.push_back(record);
+  SUD_LOG(kAttack) << "iommu fault: source " << Hex(source_id) << (is_write ? " write " : " read ")
+                   << Hex(iova) << " (" << reason << ")";
+  return Status(ErrorCode::kIommuFault,
+                "source " + Hex(source_id) + " iova " + Hex(iova) + ": " + reason);
+}
+
+void Iommu::InvalidateIotlb(uint16_t source_id) {
+  for (auto it = iotlb_.begin(); it != iotlb_.end();) {
+    if (it->first.first == source_id) {
+      it = iotlb_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  iotlb_fifo_.erase(std::remove_if(iotlb_fifo_.begin(), iotlb_fifo_.end(),
+                                   [&](const auto& key) { return key.first == source_id; }),
+                    iotlb_fifo_.end());
+  iotlb_stats_.invalidations++;
+}
+
+void Iommu::InvalidateIotlbPage(uint16_t source_id, uint64_t iova) {
+  auto key = std::make_pair(source_id, PageAlignDown(iova));
+  iotlb_.erase(key);
+  iotlb_fifo_.erase(std::remove(iotlb_fifo_.begin(), iotlb_fifo_.end(), key), iotlb_fifo_.end());
+  iotlb_stats_.invalidations++;
+}
+
+void Iommu::QueueInvalidate(uint16_t source_id, uint64_t iova) {
+  if (!queued_invalidation_) {
+    InvalidateIotlbPage(source_id, iova);
+    return;
+  }
+  invalidation_queue_.emplace_back(source_id, PageAlignDown(iova));
+}
+
+void Iommu::SyncInvalidations() {
+  for (const auto& [source_id, iova] : invalidation_queue_) {
+    auto key = std::make_pair(source_id, iova);
+    iotlb_.erase(key);
+    iotlb_fifo_.erase(std::remove(iotlb_fifo_.begin(), iotlb_fifo_.end(), key),
+                      iotlb_fifo_.end());
+  }
+  if (!invalidation_queue_.empty()) {
+    // A queued batch costs one synchronisation, not one per page.
+    iotlb_stats_.invalidations++;
+  }
+  invalidation_queue_.clear();
+}
+
+Status Iommu::SetInterruptRemapEntry(uint16_t source_id, uint8_t requested_vector,
+                                     std::optional<uint8_t> mapped_vector) {
+  if (!interrupt_remapping_) {
+    return Status(ErrorCode::kUnavailable, "interrupt remapping not supported/enabled");
+  }
+  irte_[{source_id, requested_vector}] = mapped_vector;
+  return Status::Ok();
+}
+
+Result<uint8_t> Iommu::RemapInterrupt(uint16_t source_id, uint8_t requested_vector) {
+  if (!interrupt_remapping_) {
+    return requested_vector;
+  }
+  auto it = irte_.find({source_id, requested_vector});
+  if (it == irte_.end() || !it->second.has_value()) {
+    SUD_LOG(kAttack) << "interrupt remapping blocked vector " << int{requested_vector}
+                     << " from source " << Hex(source_id);
+    return Status(ErrorCode::kPermissionDenied, "interrupt remapping: vector blocked");
+  }
+  return *it->second;
+}
+
+bool Iommu::AllowsMsiWrite(uint16_t source_id) {
+  if (mode_ == IommuMode::kIntelVtd) {
+    // Implicit identity mapping for the MSI range in every context: always
+    // reaches the MSI controller. (The Section 5.2 weakness.)
+    return true;
+  }
+  // AMD-Vi: the MSI page translates like anything else.
+  auto it = contexts_.find(source_id);
+  if (it == contexts_.end()) {
+    return false;
+  }
+  const Pte* pte = LookupPte(it->second, kMsiRangeBase);
+  return pte != nullptr && pte->present && pte->writable;
+}
+
+std::vector<IoMapping> Iommu::WalkMappings(uint16_t source_id) const {
+  std::vector<IoMapping> out;
+  auto it = contexts_.find(source_id);
+  if (it == contexts_.end()) {
+    return out;
+  }
+  const Context& ctx = it->second;
+  // Walk the directory levels in order; coalesce physically- and
+  // virtually-contiguous runs with equal permissions.
+  for (size_t l3 = 0; l3 < 512; ++l3) {
+    const auto& l2_table = ctx.root->entries[l3];
+    if (!l2_table) {
+      continue;
+    }
+    for (size_t l2 = 0; l2 < 512; ++l2) {
+      const auto& l1_table = l2_table->entries[l2];
+      if (!l1_table) {
+        continue;
+      }
+      for (size_t l1 = 0; l1 < 512; ++l1) {
+        const Pte& pte = l1_table->ptes[l1];
+        if (!pte.present) {
+          continue;
+        }
+        uint64_t iova = (static_cast<uint64_t>(l3) << 30) | (static_cast<uint64_t>(l2) << 21) |
+                        (static_cast<uint64_t>(l1) << 12);
+        if (!out.empty()) {
+          IoMapping& last = out.back();
+          if (!last.implicit_msi && last.iova_end == iova &&
+              last.paddr_start + (last.iova_end - last.iova_start) == pte.paddr &&
+              last.readable == pte.readable && last.writable == pte.writable) {
+            last.iova_end += kPageSize;
+            continue;
+          }
+        }
+        out.push_back(IoMapping{iova, iova + kPageSize, pte.paddr, pte.readable, pte.writable,
+                                /*implicit_msi=*/false});
+      }
+    }
+  }
+  if (mode_ == IommuMode::kIntelVtd) {
+    out.push_back(IoMapping{kMsiRangeBase, kMsiRangeBase + kMsiRangeSize, kMsiRangeBase,
+                            /*readable=*/false, /*writable=*/true, /*implicit_msi=*/true});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const IoMapping& a, const IoMapping& b) { return a.iova_start < b.iova_start; });
+  return out;
+}
+
+uint64_t Iommu::MappedBytes(uint16_t source_id) const {
+  auto it = contexts_.find(source_id);
+  if (it == contexts_.end()) {
+    return 0;
+  }
+  return it->second.mapped_pages * kPageSize;
+}
+
+}  // namespace sud::hw

@@ -1,0 +1,30 @@
+#include "src/hw/msi.h"
+
+#include "src/base/bytes.h"
+#include "src/base/log.h"
+
+namespace sud::hw {
+
+Status MsiController::HandleWrite(uint16_t source_id, uint64_t addr, uint16_t data) {
+  if (!InMsiRange(addr)) {
+    return Status(ErrorCode::kInvalidArgument, "msi write outside doorbell range");
+  }
+  uint8_t requested_vector = static_cast<uint8_t>(data & 0xff);
+  uint8_t vector = requested_vector;
+  if (iommu_ != nullptr) {
+    Result<uint8_t> remapped = iommu_->RemapInterrupt(source_id, requested_vector);
+    if (!remapped.ok()) {
+      ++blocked_;
+      return remapped.status();
+    }
+    vector = remapped.value();
+  }
+  ++delivered_[vector];
+  ++total_delivered_;
+  if (handler_) {
+    handler_(vector, source_id);
+  }
+  return Status::Ok();
+}
+
+}  // namespace sud::hw

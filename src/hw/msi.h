@@ -1,0 +1,60 @@
+// MsiController: the MSI doorbell window and interrupt delivery.
+//
+// A message-signaled interrupt is just a posted memory write to the
+// 0xFEE00000 window; the controller turns it into a CPU interrupt on the
+// APIC "bus" (a callback into the simulated kernel). Because the write
+// arrives through the same fabric path as any DMA, the controller cannot
+// tell a real interrupt from a malicious driver's stray DMA to the MSI
+// address — the livelock weakness the paper measures in Section 5.2. The
+// defences (MSI masking, interrupt remapping, AMD-style unmapping) all act
+// upstream of this class.
+
+#ifndef SUD_SRC_HW_MSI_H_
+#define SUD_SRC_HW_MSI_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "src/base/status.h"
+#include "src/hw/iommu.h"
+
+namespace sud::hw {
+
+class MsiController {
+ public:
+  // Handler receives (vector, source_id-as-seen-after-remap).
+  using InterruptHandler = std::function<void(uint8_t vector, uint16_t source_id)>;
+
+  explicit MsiController(Iommu* iommu) : iommu_(iommu) {}
+
+  void set_handler(InterruptHandler handler) { handler_ = std::move(handler); }
+
+  // Called by the root complex for any DMA write that lands in the MSI
+  // range. `data` is the low 16 bits of the written payload; the low byte is
+  // the requested vector.
+  Status HandleWrite(uint16_t source_id, uint64_t addr, uint16_t data);
+
+  uint64_t delivered(uint8_t vector) const {
+    auto it = delivered_.find(vector);
+    return it == delivered_.end() ? 0 : it->second;
+  }
+  uint64_t total_delivered() const { return total_delivered_; }
+  uint64_t blocked() const { return blocked_; }
+  void ResetCounters() {
+    delivered_.clear();
+    total_delivered_ = 0;
+    blocked_ = 0;
+  }
+
+ private:
+  Iommu* iommu_;
+  InterruptHandler handler_;
+  std::map<uint8_t, uint64_t> delivered_;
+  uint64_t total_delivered_ = 0;
+  uint64_t blocked_ = 0;
+};
+
+}  // namespace sud::hw
+
+#endif  // SUD_SRC_HW_MSI_H_

@@ -1,0 +1,98 @@
+#include "src/hw/pci_config.h"
+
+#include "src/base/bytes.h"
+
+namespace sud::hw {
+
+PciConfigSpace::PciConfigSpace(uint16_t vendor_id, uint16_t device_id, uint8_t class_code) {
+  StoreLe16(&bytes_[kPciVendorId], vendor_id);
+  StoreLe16(&bytes_[kPciDeviceId], device_id);
+  bytes_[kPciClassCode + 2] = class_code;  // base class byte
+  // Status: capabilities-list bit set.
+  StoreLe16(&bytes_[kPciStatus], 1 << 4);
+  bytes_[kPciCapPointer] = static_cast<uint8_t>(kMsiCapOffset);
+  // MSI capability header: id 0x05, next 0, control: per-vector masking capable.
+  bytes_[kMsiCapOffset] = kMsiCapId;
+  bytes_[kMsiCapOffset + 1] = 0;
+  StoreLe16(&bytes_[kMsiControl], kMsiControlPerVectorMask);
+}
+
+uint32_t PciConfigSpace::Read(uint16_t offset, int width) const {
+  if (offset >= bytes_.size() || offset + width > static_cast<int>(bytes_.size())) {
+    return 0xffffffffu;
+  }
+  switch (width) {
+    case 1:
+      return bytes_[offset];
+    case 2:
+      return LoadLe16(&bytes_[offset]);
+    case 4:
+      return LoadLe32(&bytes_[offset]);
+    default:
+      return 0xffffffffu;
+  }
+}
+
+void PciConfigSpace::Write(uint16_t offset, int width, uint32_t value) {
+  if (offset >= bytes_.size() || offset + width > static_cast<int>(bytes_.size())) {
+    return;
+  }
+  switch (width) {
+    case 1:
+      bytes_[offset] = static_cast<uint8_t>(value);
+      break;
+    case 2:
+      StoreLe16(&bytes_[offset], static_cast<uint16_t>(value));
+      break;
+    case 4:
+      StoreLe32(&bytes_[offset], value);
+      break;
+    default:
+      break;
+  }
+}
+
+uint64_t PciConfigSpace::bar(int index) const {
+  if (index < 0 || index > 5) {
+    return 0;
+  }
+  return LoadLe32(&bytes_[kPciBar0 + 4 * index]) & ~0xfull;
+}
+
+void PciConfigSpace::set_bar(int index, uint64_t addr) {
+  if (index < 0 || index > 5) {
+    return;
+  }
+  StoreLe32(&bytes_[kPciBar0 + 4 * index], static_cast<uint32_t>(addr));
+}
+
+void PciConfigSpace::set_msi_enabled(bool enabled) {
+  uint16_t control = static_cast<uint16_t>(Read(kMsiControl, 2));
+  if (enabled) {
+    control |= kMsiControlEnable;
+  } else {
+    control &= static_cast<uint16_t>(~kMsiControlEnable);
+  }
+  Write(kMsiControl, 2, control);
+}
+
+void PciConfigSpace::set_msi_masked(bool masked) {
+  uint32_t mask = Read(kMsiMaskBits, 4);
+  if (masked) {
+    mask |= 1;
+  } else {
+    mask &= ~1u;
+  }
+  Write(kMsiMaskBits, 4, mask);
+}
+
+uint64_t PciConfigSpace::msi_address() const {
+  return (static_cast<uint64_t>(Read(kMsiAddress + 4, 4)) << 32) | Read(kMsiAddress, 4);
+}
+
+void PciConfigSpace::set_msi_address(uint64_t addr) {
+  Write(kMsiAddress, 4, static_cast<uint32_t>(addr));
+  Write(kMsiAddress + 4, 4, static_cast<uint32_t>(addr >> 32));
+}
+
+}  // namespace sud::hw

@@ -1,0 +1,88 @@
+// PCI configuration space (256 bytes) with an MSI capability.
+//
+// The config space is the attack surface Section 3.2.1 worries about: BARs
+// relocate the device's MMIO window, the command register enables bus
+// mastering, and the MSI capability holds the interrupt doorbell address.
+// SUD therefore never grants drivers raw config access — all driver accesses
+// go through the safe-PCI filter (src/sud/safe_pci.*). This class is the raw,
+// trusted register file the filter mediates.
+
+#ifndef SUD_SRC_HW_PCI_CONFIG_H_
+#define SUD_SRC_HW_PCI_CONFIG_H_
+
+#include <array>
+#include <cstdint>
+
+namespace sud::hw {
+
+// Standard config-space register offsets.
+inline constexpr uint16_t kPciVendorId = 0x00;
+inline constexpr uint16_t kPciDeviceId = 0x02;
+inline constexpr uint16_t kPciCommand = 0x04;
+inline constexpr uint16_t kPciStatus = 0x06;
+inline constexpr uint16_t kPciRevision = 0x08;
+inline constexpr uint16_t kPciClassCode = 0x09;
+inline constexpr uint16_t kPciCacheLineSize = 0x0c;
+inline constexpr uint16_t kPciLatencyTimer = 0x0d;
+inline constexpr uint16_t kPciHeaderType = 0x0e;
+inline constexpr uint16_t kPciBar0 = 0x10;  // BARs 0..5, 4 bytes each
+inline constexpr uint16_t kPciCapPointer = 0x34;
+inline constexpr uint16_t kPciInterruptLine = 0x3c;
+inline constexpr uint16_t kPciInterruptPin = 0x3d;
+
+// Command-register bits.
+inline constexpr uint16_t kPciCommandIoEnable = 1 << 0;
+inline constexpr uint16_t kPciCommandMemEnable = 1 << 1;
+inline constexpr uint16_t kPciCommandBusMaster = 1 << 2;
+inline constexpr uint16_t kPciCommandIntxDisable = 1 << 10;
+
+// MSI capability layout (placed at a fixed offset in this model).
+inline constexpr uint16_t kMsiCapOffset = 0x50;
+inline constexpr uint16_t kMsiCapId = 0x05;
+inline constexpr uint16_t kMsiControl = kMsiCapOffset + 0x02;   // 16-bit
+inline constexpr uint16_t kMsiAddress = kMsiCapOffset + 0x04;   // 64-bit
+inline constexpr uint16_t kMsiData = kMsiCapOffset + 0x0c;      // 16-bit
+inline constexpr uint16_t kMsiMaskBits = kMsiCapOffset + 0x10;  // 32-bit
+
+// MSI control bits.
+inline constexpr uint16_t kMsiControlEnable = 1 << 0;
+inline constexpr uint16_t kMsiControlPerVectorMask = 1 << 8;
+
+class PciConfigSpace {
+ public:
+  PciConfigSpace(uint16_t vendor_id, uint16_t device_id, uint8_t class_code);
+
+  // Width-checked raw access (width in {1, 2, 4}). Offsets past 0xff read as
+  // all-ones, PCI-style.
+  uint32_t Read(uint16_t offset, int width) const;
+  void Write(uint16_t offset, int width, uint32_t value);
+
+  // Typed helpers.
+  uint16_t vendor_id() const { return static_cast<uint16_t>(Read(kPciVendorId, 2)); }
+  uint16_t device_id() const { return static_cast<uint16_t>(Read(kPciDeviceId, 2)); }
+  uint16_t command() const { return static_cast<uint16_t>(Read(kPciCommand, 2)); }
+  void set_command(uint16_t value) { Write(kPciCommand, 2, value); }
+  bool bus_master_enabled() const { return (command() & kPciCommandBusMaster) != 0; }
+  bool mem_enabled() const { return (command() & kPciCommandMemEnable) != 0; }
+  bool io_enabled() const { return (command() & kPciCommandIoEnable) != 0; }
+
+  uint64_t bar(int index) const;
+  void set_bar(int index, uint64_t addr);
+
+  // MSI capability.
+  bool msi_enabled() const { return (Read(kMsiControl, 2) & kMsiControlEnable) != 0; }
+  void set_msi_enabled(bool enabled);
+  bool msi_masked() const { return (Read(kMsiMaskBits, 4) & 1) != 0; }
+  void set_msi_masked(bool masked);
+  uint64_t msi_address() const;
+  void set_msi_address(uint64_t addr);
+  uint16_t msi_data() const { return static_cast<uint16_t>(Read(kMsiData, 2)); }
+  void set_msi_data(uint16_t data) { Write(kMsiData, 2, data); }
+
+ private:
+  std::array<uint8_t, 256> bytes_{};
+};
+
+}  // namespace sud::hw
+
+#endif  // SUD_SRC_HW_PCI_CONFIG_H_

@@ -1,0 +1,61 @@
+#include "src/hw/pci_device.h"
+
+#include <cstdio>
+
+namespace sud::hw {
+
+std::string PciAddress::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x.%x", bus, dev, fn);
+  return buf;
+}
+
+PciDevice::PciDevice(std::string name, uint16_t vendor_id, uint16_t device_id, uint8_t class_code,
+                     std::vector<BarDesc> bars)
+    : name_(std::move(name)), config_(vendor_id, device_id, class_code), bars_(std::move(bars)) {}
+
+Status PciDevice::DmaRead(uint64_t addr, ByteSpan out) {
+  if (port_ == nullptr) {
+    return Status(ErrorCode::kUnavailable, name_ + ": not attached to a fabric");
+  }
+  if (!config_.bus_master_enabled()) {
+    return Status(ErrorCode::kPermissionDenied, name_ + ": bus mastering disabled");
+  }
+  return port_->DmaRead(effective_source_id(), addr, out);
+}
+
+Status PciDevice::DmaWrite(uint64_t addr, ConstByteSpan data) {
+  if (port_ == nullptr) {
+    return Status(ErrorCode::kUnavailable, name_ + ": not attached to a fabric");
+  }
+  if (!config_.bus_master_enabled()) {
+    return Status(ErrorCode::kPermissionDenied, name_ + ": bus mastering disabled");
+  }
+  return port_->DmaWrite(effective_source_id(), addr, data);
+}
+
+Status PciDevice::RaiseMsi() {
+  if (!config_.msi_enabled()) {
+    return Status::Ok();  // interrupt dropped, per spec (no INTx in this model)
+  }
+  if (config_.msi_masked()) {
+    msi_pending_ = true;
+    return Status::Ok();
+  }
+  uint8_t payload[2];
+  StoreLe16(payload, config_.msi_data());
+  // MSI writes are posted memory writes: they traverse the same fabric path
+  // as any DMA, which is why a stray DMA to the MSI address is
+  // indistinguishable from a real interrupt (Section 3.2.2).
+  return DmaWrite(config_.msi_address(), ConstByteSpan(payload, sizeof(payload)));
+}
+
+Status PciDevice::FirePendingMsi() {
+  if (!msi_pending_) {
+    return Status::Ok();
+  }
+  msi_pending_ = false;
+  return RaiseMsi();
+}
+
+}  // namespace sud::hw

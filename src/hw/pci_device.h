@@ -1,0 +1,125 @@
+// PciDevice: base class for every simulated PCI-express device.
+//
+// A device owns its config space and register file (BARs), and reaches the
+// rest of the machine only through the DmaPort it was attached to — exactly
+// like a real PCIe function, whose only path to memory is the TLP stream out
+// of its link. That single choke point is what lets the fabric, ACS and the
+// IOMMU confine a device that a malicious driver has programmed to attack.
+//
+// SUD trusts the device hardware (Section 3.2). The `spoofed_source_id` test
+// hook exists so the test suite can model the one hardware misbehaviour ACS
+// source validation is designed to stop — a device lying about its requester
+// ID — and show the switch blocking it.
+
+#ifndef SUD_SRC_HW_PCI_DEVICE_H_
+#define SUD_SRC_HW_PCI_DEVICE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/status.h"
+#include "src/hw/pci_config.h"
+
+namespace sud::hw {
+
+// Bus/device/function triple. The 16-bit requester ("source") id is what the
+// IOMMU and ACS key their checks on.
+struct PciAddress {
+  uint8_t bus = 0;
+  uint8_t dev = 0;
+  uint8_t fn = 0;
+
+  uint16_t source_id() const {
+    return static_cast<uint16_t>((bus << 8) | ((dev & 0x1f) << 3) | (fn & 0x7));
+  }
+  std::string ToString() const;
+  bool operator==(const PciAddress& other) const {
+    return bus == other.bus && dev == other.dev && fn == other.fn;
+  }
+};
+
+// One base address register's geometry.
+struct BarDesc {
+  uint64_t size = 0;
+  bool is_io = false;  // true: x86 IO-port window, false: MMIO
+};
+
+// The device's window onto the fabric: issued transactions carry the source
+// id the device claims (normally its real one).
+class DmaPort {
+ public:
+  virtual ~DmaPort() = default;
+  virtual Status DmaRead(uint16_t source_id, uint64_t addr, ByteSpan out) = 0;
+  virtual Status DmaWrite(uint16_t source_id, uint64_t addr, ConstByteSpan data) = 0;
+};
+
+class PciDevice {
+ public:
+  PciDevice(std::string name, uint16_t vendor_id, uint16_t device_id, uint8_t class_code,
+            std::vector<BarDesc> bars);
+  virtual ~PciDevice() = default;
+
+  PciDevice(const PciDevice&) = delete;
+  PciDevice& operator=(const PciDevice&) = delete;
+
+  const std::string& name() const { return name_; }
+  PciConfigSpace& config() { return config_; }
+  const PciConfigSpace& config() const { return config_; }
+  const std::vector<BarDesc>& bars() const { return bars_; }
+  const PciAddress& address() const { return address_; }
+  void set_address(PciAddress address) { address_ = address; }
+
+  // CPU-initiated register access, 32-bit granularity, `offset` within `bar`.
+  virtual uint32_t MmioRead(int bar, uint64_t offset) = 0;
+  virtual void MmioWrite(int bar, uint64_t offset, uint32_t value) = 0;
+
+  // Legacy x86 IO-port access; `port_offset` is relative to the IO BAR base.
+  virtual uint8_t IoRead(uint16_t port_offset) { return 0xff; }
+  virtual void IoWrite(uint16_t port_offset, uint8_t value) {}
+
+  // Time-driven behaviour (link polling, audio sample consumption, ...).
+  virtual void Tick() {}
+  virtual void Reset() {}
+
+  void AttachTo(DmaPort* port) { port_ = port; }
+  bool attached() const { return port_ != nullptr; }
+
+  // --- test hook: model a requester-id-spoofing device (blocked by ACS
+  // source validation). Not reachable by drivers.
+  void set_spoofed_source_id(std::optional<uint16_t> id) { spoofed_source_id_ = id; }
+
+  // Device-initiated accesses. Public so device models split across helper
+  // classes can issue them; real callers are subclasses and tests.
+  // Honour the bus-master-enable bit in the command register, like real HW.
+  Status DmaRead(uint64_t addr, ByteSpan out);
+  Status DmaWrite(uint64_t addr, ConstByteSpan data);
+
+  // Signals MSI by writing msi_data to msi_address *through the fabric*, so
+  // masking, remapping and the stray-DMA-to-MSI-address unification all
+  // behave as on real hardware. No-op (returns ok) when MSI disabled/masked;
+  // records a pending bit that fires on unmask, per PCI spec.
+  Status RaiseMsi();
+  bool msi_pending() const { return msi_pending_; }
+  // Called by the safe-PCI layer after unmasking to deliver a pended MSI.
+  Status FirePendingMsi();
+
+ private:
+  uint16_t effective_source_id() const {
+    return spoofed_source_id_.value_or(address_.source_id());
+  }
+
+  std::string name_;
+  PciConfigSpace config_;
+  std::vector<BarDesc> bars_;
+  PciAddress address_;
+  DmaPort* port_ = nullptr;
+  std::optional<uint16_t> spoofed_source_id_;
+  bool msi_pending_ = false;
+};
+
+}  // namespace sud::hw
+
+#endif  // SUD_SRC_HW_PCI_DEVICE_H_

@@ -1,0 +1,138 @@
+#include "src/hw/pcie_fabric.h"
+
+#include <algorithm>
+
+#include "src/base/bytes.h"
+#include "src/base/log.h"
+
+namespace sud::hw {
+
+Status RootComplex::DmaRead(uint16_t source_id, uint64_t addr, ByteSpan out) {
+  if (InMsiRange(addr)) {
+    // The MSI window is not readable memory.
+    ++dropped_;
+    return Status(ErrorCode::kInvalidArgument, "dma read from msi window");
+  }
+  return Access(source_id, addr, out, {}, /*is_write=*/false);
+}
+
+Status RootComplex::DmaWrite(uint16_t source_id, uint64_t addr, ConstByteSpan data) {
+  if (InMsiRange(addr)) {
+    if (iommu_ != nullptr && !iommu_->AllowsMsiWrite(source_id)) {
+      ++dropped_;
+      SUD_LOG(kAttack) << "dma write to msi window from source " << Hex(source_id)
+                       << " dropped (no msi mapping, amd-vi mode)";
+      return Status(ErrorCode::kIommuFault, "msi window not mapped for source");
+    }
+    uint16_t payload = 0;
+    if (data.size() >= 2) {
+      payload = LoadLe16(data.data());
+    } else if (data.size() == 1) {
+      payload = data[0];
+    }
+    return msi_->HandleWrite(source_id, addr, payload);
+  }
+  return Access(source_id, addr, {}, data, /*is_write=*/true);
+}
+
+Status RootComplex::Access(uint16_t source_id, uint64_t addr, ByteSpan out, ConstByteSpan in,
+                           bool is_write) {
+  // Hardware splits bursts at page boundaries; do the same so the IOMMU
+  // never sees a page-crossing access.
+  uint64_t total = is_write ? in.size() : out.size();
+  uint64_t done = 0;
+  while (done < total) {
+    uint64_t piece_addr = addr + done;
+    uint64_t page_left = kPageSize - (piece_addr & kPageMask);
+    uint64_t piece_len = std::min<uint64_t>(total - done, page_left);
+    Result<uint64_t> paddr = iommu_->Translate(source_id, piece_addr, piece_len, is_write);
+    if (!paddr.ok()) {
+      ++dropped_;
+      return paddr.status();
+    }
+    Status status = is_write ? dram_->Write(paddr.value(), in.subspan(done, piece_len))
+                             : dram_->Read(paddr.value(), out.subspan(done, piece_len));
+    if (!status.ok()) {
+      ++dropped_;
+      return status;
+    }
+    done += piece_len;
+  }
+  return Status::Ok();
+}
+
+DmaPort* PcieSwitch::AttachDevice(PciDevice* device) {
+  devices_.push_back(device);
+  ports_.push_back(std::make_unique<PortHandle>(this, ports_.size()));
+  DmaPort* handle = ports_.back().get();
+  device->AttachTo(handle);
+  return handle;
+}
+
+PciDevice* PcieSwitch::FindPeerByAddress(uint64_t addr, size_t ingress_port, int* bar_index,
+                                         uint64_t* bar_offset) {
+  for (size_t i = 0; i < devices_.size(); ++i) {
+    if (i == ingress_port) {
+      continue;
+    }
+    PciDevice* peer = devices_[i];
+    for (size_t b = 0; b < peer->bars().size(); ++b) {
+      const BarDesc& bar = peer->bars()[b];
+      if (bar.is_io || bar.size == 0) {
+        continue;
+      }
+      uint64_t base = peer->config().bar(static_cast<int>(b));
+      if (base != 0 && addr >= base && addr < base + bar.size) {
+        *bar_index = static_cast<int>(b);
+        *bar_offset = addr - base;
+        return peer;
+      }
+    }
+  }
+  return nullptr;
+}
+
+Status PcieSwitch::RouteUpstream(size_t ingress_port, uint16_t source_id, uint64_t addr,
+                                 ByteSpan out, ConstByteSpan in, bool is_write) {
+  // ACS source validation: the requester id must match the device attached
+  // below the ingress port.
+  if (acs_.source_validation) {
+    uint16_t expected = devices_[ingress_port]->address().source_id();
+    if (source_id != expected) {
+      ++blocked_source_validation_;
+      SUD_LOG(kAttack) << name_ << ": acs source validation dropped tlp claiming source "
+                       << Hex(source_id) << " on port of " << Hex(expected);
+      return Status(ErrorCode::kAcsBlocked, "acs source validation failed");
+    }
+  }
+
+  // Address routing: does the target fall inside a sibling's BAR window?
+  int bar_index = 0;
+  uint64_t bar_offset = 0;
+  PciDevice* peer = FindPeerByAddress(addr, ingress_port, &bar_index, &bar_offset);
+  if (peer != nullptr && !acs_.p2p_request_redirect) {
+    // Vulnerable configuration: the transaction is delivered peer-to-peer,
+    // never crossing the IOMMU. This is the attack in Section 3.2.2.
+    ++p2p_deliveries_;
+    SUD_LOG(kAttack) << name_ << ": peer-to-peer " << (is_write ? "write" : "read") << " from "
+                     << Hex(source_id) << " delivered into " << peer->name() << " bar "
+                     << bar_index << "+" << Hex(bar_offset) << " (ACS off!)";
+    if (is_write) {
+      for (size_t i = 0; i + 4 <= in.size(); i += 4) {
+        peer->MmioWrite(bar_index, bar_offset + i, LoadLe32(in.data() + i));
+      }
+    } else {
+      for (size_t i = 0; i + 4 <= out.size(); i += 4) {
+        StoreLe32(out.data() + i, peer->MmioRead(bar_index, bar_offset + i));
+      }
+    }
+    return Status::Ok();
+  }
+  // With P2P redirect on (or no peer match), forward to the root. The IOMMU
+  // will fault the access unless it is explicitly mapped — and BAR addresses
+  // never are, so redirected peer-to-peer attacks die at the root.
+  return is_write ? upstream_->DmaWrite(source_id, addr, in)
+                  : upstream_->DmaRead(source_id, addr, out);
+}
+
+}  // namespace sud::hw

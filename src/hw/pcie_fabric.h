@@ -1,0 +1,122 @@
+// The PCI-express fabric: root complex and switches with ACS.
+//
+// Routing model (Figure 4 of the paper):
+//
+//   device --(downstream port)--> PcieSwitch --(upstream)--> RootComplex
+//                                                                |
+//                                             IOMMU translate ---+--- MSI window
+//                                                  |                      |
+//                                             PhysicalMemory        MsiController
+//
+// A switch is where the peer-to-peer DMA attack lives: traditional PCI
+// routes a memory transaction by address, so a device can write straight
+// into a sibling device's BAR without ever crossing the IOMMU. PCI-express
+// Access Control Services (ACS) close this: *source validation* drops
+// transactions whose requester id doesn't match the ingress port, and *P2P
+// request redirect* forces every transaction upstream to the root (and its
+// IOMMU) even when the address matches a sibling.
+//
+// Both features are modelled faithfully, default-off (as hardware powers
+// up), and enabled by SUD's safe-PCI module at initialisation — giving the
+// security tests both the vulnerable and the defended configuration.
+
+#ifndef SUD_SRC_HW_PCIE_FABRIC_H_
+#define SUD_SRC_HW_PCIE_FABRIC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/cpu_model.h"
+#include "src/base/status.h"
+#include "src/hw/iommu.h"
+#include "src/hw/msi.h"
+#include "src/hw/pci_device.h"
+#include "src/hw/phys_mem.h"
+
+namespace sud::hw {
+
+// The top of the tree. Everything that flows upstream ends here and is either
+// an MSI doorbell write or a DMA that must translate through the IOMMU.
+class RootComplex : public DmaPort {
+ public:
+  RootComplex(PhysicalMemory* dram, Iommu* iommu, MsiController* msi)
+      : dram_(dram), iommu_(iommu), msi_(msi) {}
+
+  Status DmaRead(uint16_t source_id, uint64_t addr, ByteSpan out) override;
+  Status DmaWrite(uint16_t source_id, uint64_t addr, ConstByteSpan data) override;
+
+  uint64_t dropped_transactions() const { return dropped_; }
+
+ private:
+  // Splits a burst at page boundaries and translates each piece.
+  Status Access(uint16_t source_id, uint64_t addr, ByteSpan out, ConstByteSpan in, bool is_write);
+
+  PhysicalMemory* dram_;
+  Iommu* iommu_;
+  MsiController* msi_;
+  uint64_t dropped_ = 0;
+};
+
+// A PCIe switch: one upstream port, N downstream ports with one device each.
+class PcieSwitch {
+ public:
+  struct AcsConfig {
+    bool source_validation = false;
+    bool p2p_request_redirect = false;
+  };
+
+  PcieSwitch(std::string name, DmaPort* upstream) : name_(std::move(name)), upstream_(upstream) {}
+
+  const std::string& name() const { return name_; }
+  void set_acs(AcsConfig acs) { acs_ = acs; }
+  AcsConfig acs() const { return acs_; }
+
+  // Attaches a device below a fresh downstream port and returns the port the
+  // device must issue transactions through. The device's PciAddress must be
+  // assigned before attaching (source validation pins it to the port).
+  DmaPort* AttachDevice(PciDevice* device);
+
+  const std::vector<PciDevice*>& devices() const { return devices_; }
+
+  uint64_t p2p_deliveries() const { return p2p_deliveries_; }
+  uint64_t blocked_by_source_validation() const { return blocked_source_validation_; }
+
+ private:
+  // Per-port handle so the switch knows the ingress port of each TLP.
+  class PortHandle : public DmaPort {
+   public:
+    PortHandle(PcieSwitch* parent, size_t port_index) : parent_(parent), port_(port_index) {}
+    Status DmaRead(uint16_t source_id, uint64_t addr, ByteSpan out) override {
+      return parent_->RouteUpstream(port_, source_id, addr, out, {}, /*is_write=*/false);
+    }
+    Status DmaWrite(uint16_t source_id, uint64_t addr, ConstByteSpan data) override {
+      return parent_->RouteUpstream(port_, source_id, addr, {}, data, /*is_write=*/true);
+    }
+
+   private:
+    PcieSwitch* parent_;
+    size_t port_;
+  };
+
+  Status RouteUpstream(size_t ingress_port, uint16_t source_id, uint64_t addr, ByteSpan out,
+                       ConstByteSpan in, bool is_write);
+
+  // Finds a sibling device (not on `ingress_port`) whose MMIO BAR window
+  // contains `addr`; returns nullptr if none.
+  PciDevice* FindPeerByAddress(uint64_t addr, size_t ingress_port, int* bar_index,
+                               uint64_t* bar_offset);
+
+  std::string name_;
+  DmaPort* upstream_;
+  AcsConfig acs_;
+  std::vector<PciDevice*> devices_;
+  std::vector<std::unique_ptr<PortHandle>> ports_;
+  uint64_t p2p_deliveries_ = 0;
+  uint64_t blocked_source_validation_ = 0;
+};
+
+}  // namespace sud::hw
+
+#endif  // SUD_SRC_HW_PCIE_FABRIC_H_

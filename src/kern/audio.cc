@@ -1,0 +1,30 @@
+#include "src/kern/audio.h"
+
+namespace sud::kern {
+
+Result<PcmDevice*> AudioSubsystem::Register(const std::string& name, PcmOps* ops) {
+  if (devices_.count(name) != 0) {
+    return Status(ErrorCode::kAlreadyExists, "pcm device " + name + " exists");
+  }
+  if (ops == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "null pcm ops");
+  }
+  auto device = std::make_unique<PcmDevice>(name, ops);
+  PcmDevice* ptr = device.get();
+  devices_[name] = std::move(device);
+  return ptr;
+}
+
+Status AudioSubsystem::Unregister(const std::string& name) {
+  if (devices_.erase(name) == 0) {
+    return Status(ErrorCode::kNotFound, "no pcm device " + name);
+  }
+  return Status::Ok();
+}
+
+PcmDevice* AudioSubsystem::Find(const std::string& name) {
+  auto it = devices_.find(name);
+  return it == devices_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace sud::kern

@@ -1,0 +1,84 @@
+// The audio (ALSA-PCM-style) subsystem.
+//
+// Applications open a playback stream, write sample data, and receive
+// period-elapsed callbacks. The ops are implemented by the audio proxy
+// driver under SUD. Section 4.1's point — a malicious audio driver can at
+// worst burn its own CPU quantum and glitch audio, never lock up the
+// system — is validated by tests driving this subsystem against malicious
+// drivers.
+
+#ifndef SUD_SRC_KERN_AUDIO_H_
+#define SUD_SRC_KERN_AUDIO_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/base/bytes.h"
+#include "src/base/status.h"
+
+namespace sud::kern {
+
+struct PcmConfig {
+  uint32_t rate_hz = 48000;
+  uint32_t channels = 2;
+  uint32_t sample_bytes = 2;
+  uint32_t period_bytes = 4096;
+  uint32_t buffer_bytes = 16384;
+
+  uint32_t bytes_per_second() const { return rate_hz * channels * sample_bytes; }
+};
+
+class PcmOps {
+ public:
+  virtual ~PcmOps() = default;
+  virtual Status OpenStream(const PcmConfig& config) = 0;
+  virtual Status CloseStream() = 0;
+  // Appends sample data to the playback ring; kQueueFull when behind.
+  virtual Status WriteSamples(ConstByteSpan samples) = 0;
+};
+
+class PcmDevice {
+ public:
+  PcmDevice(std::string name, PcmOps* ops) : name_(std::move(name)), ops_(ops) {}
+
+  const std::string& name() const { return name_; }
+  PcmOps* ops() { return ops_; }
+
+  using PeriodCallback = std::function<void()>;
+  void set_period_callback(PeriodCallback cb) { period_cb_ = std::move(cb); }
+  void NotifyPeriodElapsed() {
+    ++periods_;
+    if (period_cb_) {
+      period_cb_();
+    }
+  }
+  uint64_t periods() const { return periods_; }
+
+ private:
+  std::string name_;
+  PcmOps* ops_;
+  PeriodCallback period_cb_;
+  uint64_t periods_ = 0;
+};
+
+class AudioSubsystem {
+ public:
+  Result<PcmDevice*> Register(const std::string& name, PcmOps* ops);
+  Status Unregister(const std::string& name);
+  PcmDevice* Find(const std::string& name);
+
+  std::string NextName(const std::string& prefix) {
+    return prefix + std::to_string(name_counter_[prefix]++);
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<PcmDevice>> devices_;
+  std::map<std::string, int> name_counter_;
+};
+
+}  // namespace sud::kern
+
+#endif  // SUD_SRC_KERN_AUDIO_H_

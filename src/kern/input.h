@@ -1,0 +1,51 @@
+// The input subsystem: where USB HID reports surface as key events.
+//
+// The USB host-controller driver (running untrusted under SUD) polls HID
+// endpoints and delivers reports through a downcall; the input subsystem
+// queues decoded events for consumers. Kept deliberately small — it exists
+// so the USB stack has a kernel-visible effect the tests can assert on.
+
+#ifndef SUD_SRC_KERN_INPUT_H_
+#define SUD_SRC_KERN_INPUT_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+namespace sud::kern {
+
+struct KeyEvent {
+  uint8_t usage_code;
+};
+
+class InputSubsystem {
+ public:
+  void SubmitKey(uint8_t usage_code) {
+    if (events_.size() < kMaxQueued) {
+      events_.push_back(KeyEvent{usage_code});
+    } else {
+      ++dropped_;
+    }
+  }
+
+  std::optional<KeyEvent> PopEvent() {
+    if (events_.empty()) {
+      return std::nullopt;
+    }
+    KeyEvent event = events_.front();
+    events_.pop_front();
+    return event;
+  }
+
+  size_t pending() const { return events_.size(); }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  static constexpr size_t kMaxQueued = 1024;
+  std::deque<KeyEvent> events_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace sud::kern
+
+#endif  // SUD_SRC_KERN_INPUT_H_

@@ -1,0 +1,52 @@
+#include "src/kern/kernel.h"
+
+#include "src/base/log.h"
+
+namespace sud::kern {
+
+Kernel::Kernel(hw::Machine* machine) : machine_(machine), wireless_(this) {
+  machine_->msi().set_handler(
+      [this](uint8_t vector, uint16_t source_id) { HandleInterrupt(vector, source_id); });
+}
+
+Status Kernel::RequestIrq(uint8_t vector, IrqHandler handler) {
+  if (irq_handlers_.count(vector) != 0) {
+    return Status(ErrorCode::kAlreadyExists, "irq vector in use");
+  }
+  irq_handlers_[vector] = std::move(handler);
+  return Status::Ok();
+}
+
+Status Kernel::FreeIrq(uint8_t vector) {
+  if (irq_handlers_.erase(vector) == 0) {
+    return Status(ErrorCode::kNotFound, "irq vector not registered");
+  }
+  return Status::Ok();
+}
+
+Result<uint8_t> Kernel::AllocIrqVector() {
+  for (int i = 0; i < 223; ++i) {
+    uint8_t vector = static_cast<uint8_t>(32 + (next_vector_ - 32 + i) % 223);
+    if (irq_handlers_.count(vector) == 0) {
+      next_vector_ = static_cast<uint8_t>(vector + 1);
+      return vector;
+    }
+  }
+  return Status(ErrorCode::kExhausted, "no free interrupt vectors");
+}
+
+void Kernel::HandleInterrupt(uint8_t vector, uint16_t source_id) {
+  auto it = irq_handlers_.find(vector);
+  if (it == irq_handlers_.end()) {
+    ++spurious_interrupts_;
+    SUD_LOG(kWarning) << "spurious interrupt vector " << int{vector} << " from source "
+                      << Hex(source_id);
+    return;
+  }
+  ++interrupts_handled_;
+  // Interrupt handlers run in a non-preemptable context, like real Linux.
+  ScopedAtomic atomic(*this);
+  it->second(source_id);
+}
+
+}  // namespace sud::kern

@@ -1,0 +1,150 @@
+// The network-device subsystem: register_netdev, net_device_ops, netif_rx
+// and the netfilter-style firewall.
+//
+// This is the kernel side of Figure 2's API. In stock Linux the ops structure
+// is implemented by the in-kernel driver; under SUD it is implemented by the
+// Ethernet *proxy* driver, which forwards each call over a uchan to the
+// untrusted user-space driver. The subsystem is written to be "robust to
+// driver mistakes" the way Section 3.1.1 describes Linux: bogus values from
+// the driver produce error messages and dropped packets, never crashes.
+//
+// The firewall models the netfilter hook the TOCTOU attack in Section 3.1.2
+// targets: NetifRx consults it once per packet, and whatever buffer the
+// verdict was computed over must be the buffer delivered — which is exactly
+// the property the proxy's guard-copy provides and malicious drivers try to
+// violate.
+
+#ifndef SUD_SRC_KERN_NETDEV_H_
+#define SUD_SRC_KERN_NETDEV_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/kern/skb.h"
+
+namespace sud::kern {
+
+// The ops table a (proxy) driver registers. Mirrors struct net_device_ops.
+class NetDeviceOps {
+ public:
+  virtual ~NetDeviceOps() = default;
+  virtual Status Open() = 0;                              // ndo_open
+  virtual Status Stop() = 0;                              // ndo_stop
+  virtual Status StartXmit(SkbPtr skb) = 0;               // ndo_start_xmit
+  virtual Result<std::string> Ioctl(uint32_t cmd) = 0;    // ndo_do_ioctl (e.g. SIOCGMIIREG)
+};
+
+inline constexpr uint32_t kIoctlGetMiiStatus = 0x8948;  // SIOCGMIIREG
+
+// Firewall verdict hook: default-allow with a deny set keyed on destination
+// port, plus a mandatory-checksum knob.
+class Firewall {
+ public:
+  void DenyPort(uint16_t port) { denied_ports_.insert(port); }
+  void AllowPort(uint16_t port) { denied_ports_.erase(port); }
+
+  // Verdict over exactly the bytes passed in.
+  bool Accept(const PacketView& packet) const;
+
+  uint64_t accepted() const { return accepted_; }
+  uint64_t rejected() const { return rejected_; }
+
+ private:
+  std::set<uint16_t> denied_ports_;
+  mutable uint64_t accepted_ = 0;
+  mutable uint64_t rejected_ = 0;
+};
+
+struct NetDeviceStats {
+  uint64_t tx_packets = 0;
+  uint64_t tx_dropped = 0;
+  uint64_t rx_packets = 0;
+  uint64_t rx_dropped = 0;
+  uint64_t rx_bad_checksum = 0;
+  uint64_t driver_errors = 0;  // "driver acting in unexpected ways" messages
+};
+
+// One registered network interface.
+class NetDevice {
+ public:
+  NetDevice(std::string name, const uint8_t mac[6], NetDeviceOps* ops);
+
+  const std::string& name() const { return name_; }
+  const uint8_t* dev_addr() const { return mac_.data(); }
+  void set_dev_addr(const uint8_t mac[6]);
+
+  // Link carrier: shared-memory state in Linux (netif_carrier_on/off);
+  // mirrored by the proxy under SUD (Section 3.3).
+  bool carrier() const { return carrier_; }
+  void set_carrier(bool up) { carrier_ = up; }
+
+  bool is_up() const { return up_; }
+
+  NetDeviceOps* ops() { return ops_; }
+  NetDeviceStats& stats() { return stats_; }
+  const NetDeviceStats& stats() const { return stats_; }
+
+  // Receiver sink: where accepted packets go (a test harness, the netperf
+  // endpoint, ...). Default discards.
+  using RxSink = std::function<void(const Skb&)>;
+  void set_rx_sink(RxSink sink) { rx_sink_ = std::move(sink); }
+  const RxSink& rx_sink() const { return rx_sink_; }
+
+ private:
+  friend class NetSubsystem;
+  std::string name_;
+  std::array<uint8_t, 6> mac_{};
+  NetDeviceOps* ops_;
+  bool carrier_ = false;
+  bool up_ = false;
+  NetDeviceStats stats_;
+  RxSink rx_sink_;
+};
+
+class NetSubsystem {
+ public:
+  // register_netdev: names the interface ethN and takes (non-owning) the
+  // ops implementation.
+  Result<NetDevice*> RegisterNetdev(const std::string& name, const uint8_t mac[6],
+                                    NetDeviceOps* ops);
+  Status UnregisterNetdev(const std::string& name);
+  NetDevice* Find(const std::string& name);
+
+  // ifconfig ethN up/down.
+  Status BringUp(const std::string& name);
+  Status BringDown(const std::string& name);
+
+  // The kernel's transmit entry (dev_queue_xmit): hands the skb to the
+  // driver's ndo_start_xmit.
+  Status Transmit(const std::string& name, SkbPtr skb);
+
+  // netif_rx: the driver (via its proxy) delivers a received packet. The
+  // packet runs the checksum pass and the firewall *on the skb as given* —
+  // callers (the proxy) are responsible for ensuring the skb can no longer
+  // be modified by the driver (the guard-copy).
+  Status NetifRx(NetDevice* device, SkbPtr skb);
+
+  Firewall& firewall() { return firewall_; }
+
+  // Allocates the next interface name with `prefix` ("eth" -> "eth0", ...).
+  std::string NextName(const std::string& prefix) {
+    return prefix + std::to_string(name_counter_[prefix]++);
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<NetDevice>> devices_;
+  std::map<std::string, int> name_counter_;
+  Firewall firewall_;
+};
+
+}  // namespace sud::kern
+
+#endif  // SUD_SRC_KERN_NETDEV_H_

@@ -1,0 +1,50 @@
+#include "src/kern/packet.h"
+
+#include <cstring>
+
+namespace sud::kern {
+
+uint16_t PacketView::ComputeChecksum() const {
+  if (!valid()) {
+    return 0;
+  }
+  std::vector<uint8_t> scratch(frame.begin() + kEthHeaderSize, frame.end());
+  scratch[6] = 0;  // zero the checksum field (offset 20-14=6 within transport)
+  scratch[7] = 0;
+  return InternetChecksum(ConstByteSpan(scratch.data(), scratch.size()));
+}
+
+std::vector<uint8_t> BuildPacket(const uint8_t dst_mac[6], const uint8_t src_mac[6],
+                                 uint16_t src_port, uint16_t dst_port, ConstByteSpan payload) {
+  std::vector<uint8_t> frame(kPacketMinSize + payload.size());
+  std::memcpy(frame.data(), dst_mac, 6);
+  std::memcpy(frame.data() + 6, src_mac, 6);
+  frame[12] = kEthertypeSim >> 8;
+  frame[13] = kEthertypeSim & 0xff;
+  StoreLe16(frame.data() + 14, src_port);
+  StoreLe16(frame.data() + 16, dst_port);
+  StoreLe16(frame.data() + 18, static_cast<uint16_t>(payload.size()));
+  StoreLe16(frame.data() + 20, 0);
+  std::memcpy(frame.data() + kPacketMinSize, payload.data(), payload.size());
+  PacketView view{ConstByteSpan(frame.data(), frame.size())};
+  StoreLe16(frame.data() + 20, view.ComputeChecksum());
+  return frame;
+}
+
+void RewriteDstPortRaw(ByteSpan frame, uint16_t new_port) {
+  if (frame.size() >= kPacketMinSize) {
+    StoreLe16(frame.data() + 16, new_port);
+  }
+}
+
+void RewriteDstPortFixup(ByteSpan frame, uint16_t new_port) {
+  if (frame.size() < kPacketMinSize) {
+    return;
+  }
+  StoreLe16(frame.data() + 16, new_port);
+  StoreLe16(frame.data() + 20, 0);
+  PacketView view{ConstByteSpan(frame.data(), frame.size())};
+  StoreLe16(frame.data() + 20, view.ComputeChecksum());
+}
+
+}  // namespace sud::kern

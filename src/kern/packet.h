@@ -1,0 +1,68 @@
+// Minimal Ethernet/UDP-style packet layout used by the simulated stack.
+//
+// Frame layout (offsets in bytes):
+//   0..5    destination MAC
+//   6..11   source MAC
+//   12..13  ethertype (0x0800 for the simulated IP/UDP payloads)
+//   14..15  source port       |
+//   16..17  destination port  |  the 8-byte "transport" header the firewall
+//   18..19  payload length    |  and the netperf harness care about
+//   20..21  checksum          |
+//   22..    payload
+//
+// This is deliberately a compressed stand-in for Ethernet+IPv4+UDP: the
+// paper's evaluation only needs ports (for the firewall TOCTOU attack) and a
+// checksum (the guard-copy in Section 3.1.2 is fused with checksum
+// verification), not a real IP implementation.
+
+#ifndef SUD_SRC_KERN_PACKET_H_
+#define SUD_SRC_KERN_PACKET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/bytes.h"
+
+namespace sud::kern {
+
+inline constexpr size_t kEthHeaderSize = 14;
+inline constexpr size_t kTransportHeaderSize = 8;
+inline constexpr size_t kPacketMinSize = kEthHeaderSize + kTransportHeaderSize;
+inline constexpr uint16_t kEthertypeSim = 0x0800;
+
+struct PacketView {
+  ConstByteSpan frame;
+
+  bool valid() const { return frame.size() >= kPacketMinSize; }
+  const uint8_t* dst_mac() const { return frame.data(); }
+  const uint8_t* src_mac() const { return frame.data() + 6; }
+  uint16_t ethertype() const { return static_cast<uint16_t>((frame[12] << 8) | frame[13]); }
+  uint16_t src_port() const { return LoadLe16(frame.data() + 14); }
+  uint16_t dst_port() const { return LoadLe16(frame.data() + 16); }
+  uint16_t payload_len() const { return LoadLe16(frame.data() + 18); }
+  uint16_t checksum() const { return LoadLe16(frame.data() + 20); }
+  ConstByteSpan payload() const {
+    size_t n = std::min<size_t>(payload_len(), frame.size() - kPacketMinSize);
+    return frame.subspan(kPacketMinSize, n);
+  }
+
+  // Checksum over the transport header (with checksum field zeroed) and
+  // payload.
+  uint16_t ComputeChecksum() const;
+  bool ChecksumOk() const { return ComputeChecksum() == checksum(); }
+};
+
+// Builds a well-formed frame.
+std::vector<uint8_t> BuildPacket(const uint8_t dst_mac[6], const uint8_t src_mac[6],
+                                 uint16_t src_port, uint16_t dst_port, ConstByteSpan payload);
+
+// Rewrites the destination port in place *without* fixing the checksum —
+// the primitive the TOCTOU attack uses.
+void RewriteDstPortRaw(ByteSpan frame, uint16_t new_port);
+// Rewrites the destination port and fixes up the checksum, as a smarter
+// attacker would.
+void RewriteDstPortFixup(ByteSpan frame, uint16_t new_port);
+
+}  // namespace sud::kern
+
+#endif  // SUD_SRC_KERN_PACKET_H_

@@ -1,0 +1,43 @@
+// Skb: the simulated kernel's socket buffer.
+//
+// Deliberately shaped like struct sk_buff where the paper's driver API needs
+// it (Figure 2 uses skb->data / skb->data_len): owned byte storage plus the
+// metadata the stack tracks per packet.
+
+#ifndef SUD_SRC_KERN_SKB_H_
+#define SUD_SRC_KERN_SKB_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/kern/packet.h"
+
+namespace sud::kern {
+
+struct Skb {
+  std::vector<uint8_t> storage;
+  // Set by the receive path once the checksum pass has run (the guard-copy
+  // is fused with this pass, Section 3.1.2).
+  bool checksum_verified = false;
+
+  Skb() = default;
+  explicit Skb(std::vector<uint8_t> bytes) : storage(std::move(bytes)) {}
+  explicit Skb(ConstByteSpan bytes) : storage(bytes.begin(), bytes.end()) {}
+
+  uint8_t* data() { return storage.data(); }
+  const uint8_t* data() const { return storage.data(); }
+  size_t data_len() const { return storage.size(); }
+  ConstByteSpan span() const { return ConstByteSpan(storage.data(), storage.size()); }
+  ByteSpan mutable_span() { return ByteSpan(storage.data(), storage.size()); }
+  PacketView view() const { return PacketView{span()}; }
+};
+
+using SkbPtr = std::unique_ptr<Skb>;
+
+inline SkbPtr MakeSkb(ConstByteSpan bytes) { return std::make_unique<Skb>(bytes); }
+
+}  // namespace sud::kern
+
+#endif  // SUD_SRC_KERN_SKB_H_

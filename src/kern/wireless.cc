@@ -1,0 +1,73 @@
+#include "src/kern/wireless.h"
+
+#include "src/base/log.h"
+#include "src/kern/kernel.h"
+
+namespace sud::kern {
+
+Result<WirelessDevice*> WirelessSubsystem::Register(const std::string& name, WirelessOps* ops,
+                                                    uint32_t supported_features) {
+  if (devices_.count(name) != 0) {
+    return Status(ErrorCode::kAlreadyExists, "wireless device " + name + " exists");
+  }
+  if (ops == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "null wireless ops");
+  }
+  auto device = std::make_unique<WirelessDevice>(name, ops, supported_features);
+  WirelessDevice* ptr = device.get();
+  devices_[name] = std::move(device);
+  return ptr;
+}
+
+Status WirelessSubsystem::Unregister(const std::string& name) {
+  if (devices_.erase(name) == 0) {
+    return Status(ErrorCode::kNotFound, "no wireless device " + name);
+  }
+  return Status::Ok();
+}
+
+WirelessDevice* WirelessSubsystem::Find(const std::string& name) {
+  auto it = devices_.find(name);
+  return it == devices_.end() ? nullptr : it->second.get();
+}
+
+Result<uint32_t> WirelessSubsystem::EnableFeatures(const std::string& name, uint32_t requested) {
+  WirelessDevice* device = Find(name);
+  if (device == nullptr) {
+    return Status(ErrorCode::kNotFound, "no wireless device " + name);
+  }
+  // The 802.11 stack invokes this driver op while holding a spinlock
+  // (Section 3.1.1): model it with the kernel's atomic guard. The ops
+  // implementation (the proxy) must not block here.
+  uint32_t enabled;
+  {
+    Kernel::ScopedAtomic atomic(*kernel_);
+    enabled = device->ops()->EnableFeatures(requested);
+  }
+  if ((enabled & ~device->supported_features()) != 0) {
+    // Driver claimed features it never advertised: tolerated, logged,
+    // clamped — the "robust to driver mistakes" behaviour of Section 3.1.1.
+    SUD_LOG(kWarning) << name << ": driver enabled unsupported features, clamping";
+    enabled &= device->supported_features();
+  }
+  device->set_enabled_features(enabled);
+  return enabled;
+}
+
+Result<std::vector<ScanResult>> WirelessSubsystem::Scan(const std::string& name) {
+  WirelessDevice* device = Find(name);
+  if (device == nullptr) {
+    return Status(ErrorCode::kNotFound, "no wireless device " + name);
+  }
+  return device->ops()->Scan();
+}
+
+Status WirelessSubsystem::Associate(const std::string& name, const std::string& ssid) {
+  WirelessDevice* device = Find(name);
+  if (device == nullptr) {
+    return Status(ErrorCode::kNotFound, "no wireless device " + name);
+  }
+  return device->ops()->Associate(ssid);
+}
+
+}  // namespace sud::kern

@@ -1,0 +1,121 @@
+// The wireless (802.11 / cfg80211-style) subsystem.
+//
+// Two behaviours from the paper live here:
+//
+//  1. Section 3.1.1: "the Linux 802.11 network stack calls the driver to
+//     enable certain features, while executing in a non-preemptable context;
+//     the driver must respond with the features it supports and will
+//     enable." EnableFeatures is therefore invoked under the kernel's atomic
+//     guard; a proxy must answer it from mirrored state without blocking and
+//     queue an asynchronous upcall to the real driver.
+//
+//  2. Section 3.3: the currently available bitrates are shared-memory state
+//     mirrored between the real kernel and SUD-UML.
+
+#ifndef SUD_SRC_KERN_WIRELESS_H_
+#define SUD_SRC_KERN_WIRELESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace sud::kern {
+
+// 802.11 feature bits (a representative subset).
+inline constexpr uint32_t kWifiFeatureShortPreamble = 1u << 0;
+inline constexpr uint32_t kWifiFeatureQos = 1u << 1;
+inline constexpr uint32_t kWifiFeaturePowerSave = 1u << 2;
+inline constexpr uint32_t kWifiFeatureHt40 = 1u << 3;
+
+struct ScanResult {
+  std::array<uint8_t, 6> bssid{};
+  std::string ssid;
+  uint8_t channel = 0;
+  int8_t signal_dbm = 0;
+};
+
+// Ops a wireless (proxy) driver registers.
+class WirelessOps {
+ public:
+  virtual ~WirelessOps() = default;
+  // MUST NOT block: called with the kernel in a non-preemptable context.
+  // Returns the subset of `requested` the driver supports and will enable.
+  virtual uint32_t EnableFeatures(uint32_t requested) = 0;
+  // May block (synchronous upcall allowed).
+  virtual Result<std::vector<ScanResult>> Scan() = 0;
+  virtual Status Associate(const std::string& ssid) = 0;
+};
+
+class WirelessDevice {
+ public:
+  WirelessDevice(std::string name, WirelessOps* ops, uint32_t supported_features)
+      : name_(std::move(name)), ops_(ops), supported_features_(supported_features) {}
+
+  const std::string& name() const { return name_; }
+  WirelessOps* ops() { return ops_; }
+  uint32_t supported_features() const { return supported_features_; }
+  uint32_t enabled_features() const { return enabled_features_; }
+  void set_enabled_features(uint32_t features) { enabled_features_ = features; }
+
+  // Mirrored shared-memory state (Section 3.3): current bitrates and BSS.
+  const std::vector<uint32_t>& bitrates() const { return bitrates_; }
+  void set_bitrates(std::vector<uint32_t> rates) { bitrates_ = std::move(rates); }
+  bool associated() const { return associated_; }
+  void set_associated(bool associated) { associated_ = associated; }
+
+  // BSS-change notifications (the bss_change upcall of Figure 7).
+  using BssChangeHandler = std::function<void(bool associated)>;
+  void set_bss_change_handler(BssChangeHandler handler) { bss_handler_ = std::move(handler); }
+  void NotifyBssChange(bool associated) {
+    associated_ = associated;
+    if (bss_handler_) {
+      bss_handler_(associated);
+    }
+  }
+
+ private:
+  std::string name_;
+  WirelessOps* ops_;
+  uint32_t supported_features_;
+  uint32_t enabled_features_ = 0;
+  std::vector<uint32_t> bitrates_;
+  bool associated_ = false;
+  BssChangeHandler bss_handler_;
+};
+
+class Kernel;  // fwd: the atomic-context guard lives on the kernel
+
+class WirelessSubsystem {
+ public:
+  explicit WirelessSubsystem(Kernel* kernel) : kernel_(kernel) {}
+
+  Result<WirelessDevice*> Register(const std::string& name, WirelessOps* ops,
+                                   uint32_t supported_features);
+  Status Unregister(const std::string& name);
+  WirelessDevice* Find(const std::string& name);
+
+  // The 802.11 stack enabling features: runs the driver op inside a
+  // non-preemptable section, as the real stack does.
+  Result<uint32_t> EnableFeatures(const std::string& name, uint32_t requested);
+
+  Result<std::vector<ScanResult>> Scan(const std::string& name);
+  Status Associate(const std::string& name, const std::string& ssid);
+
+  std::string NextName(const std::string& prefix) {
+    return prefix + std::to_string(name_counter_[prefix]++);
+  }
+
+ private:
+  Kernel* kernel_;
+  std::map<std::string, std::unique_ptr<WirelessDevice>> devices_;
+  std::map<std::string, int> name_counter_;
+};
+
+}  // namespace sud::kern
+
+#endif  // SUD_SRC_KERN_WIRELESS_H_

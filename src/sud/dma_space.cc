@@ -1,0 +1,82 @@
+#include "src/sud/dma_space.h"
+
+namespace sud {
+
+Result<DmaRegion> DmaSpace::Alloc(uint64_t bytes, bool coherent) {
+  if (bytes == 0) {
+    return Status(ErrorCode::kInvalidArgument, "zero-byte dma allocation");
+  }
+  uint64_t rounded = hw::PageAlignUp(bytes);
+  Result<uint64_t> paddr = dram_->AllocPages(rounded / hw::kPageSize);
+  if (!paddr.ok()) {
+    return paddr.status();
+  }
+  uint64_t iova = next_iova_;
+  Status mapped = iommu_->Map(source_id_, iova, paddr.value(), rounded, /*readable=*/true,
+                              /*writable=*/true);
+  if (!mapped.ok()) {
+    dram_->FreePages(paddr.value(), rounded / hw::kPageSize);
+    return mapped;
+  }
+  next_iova_ += rounded;
+  DmaRegion region{iova, paddr.value(), rounded, coherent};
+  regions_[iova] = region;
+  return region;
+}
+
+Status DmaSpace::Free(uint64_t iova) {
+  auto it = regions_.find(iova);
+  if (it == regions_.end()) {
+    return Status(ErrorCode::kNotFound, "no dma region at iova");
+  }
+  const DmaRegion& region = it->second;
+  (void)iommu_->Unmap(source_id_, region.iova, region.bytes);
+  dram_->FreePages(region.paddr, region.bytes / hw::kPageSize);
+  regions_.erase(it);
+  return Status::Ok();
+}
+
+Result<ByteSpan> DmaSpace::HostView(uint64_t iova, uint64_t len) {
+  // Find the containing region.
+  auto it = regions_.upper_bound(iova);
+  if (it == regions_.begin()) {
+    return Status(ErrorCode::kNotFound, "iova not in any dma region");
+  }
+  --it;
+  const DmaRegion& region = it->second;
+  if (iova < region.iova || iova + len > region.iova + region.bytes) {
+    return Status(ErrorCode::kNotFound, "iova range not in any dma region");
+  }
+  return dram_->Window(region.paddr + (iova - region.iova), len);
+}
+
+Result<uint64_t> DmaSpace::IovaToPaddr(uint64_t iova) const {
+  auto it = regions_.upper_bound(iova);
+  if (it == regions_.begin()) {
+    return Status(ErrorCode::kNotFound, "iova not in any dma region");
+  }
+  --it;
+  const DmaRegion& region = it->second;
+  if (iova < region.iova || iova >= region.iova + region.bytes) {
+    return Status(ErrorCode::kNotFound, "iova not in any dma region");
+  }
+  return region.paddr + (iova - region.iova);
+}
+
+void DmaSpace::ReleaseAll() {
+  for (const auto& [iova, region] : regions_) {
+    (void)iommu_->Unmap(source_id_, region.iova, region.bytes);
+    dram_->FreePages(region.paddr, region.bytes / hw::kPageSize);
+  }
+  regions_.clear();
+}
+
+uint64_t DmaSpace::total_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [iova, region] : regions_) {
+    total += region.bytes;
+  }
+  return total;
+}
+
+}  // namespace sud

@@ -1,0 +1,82 @@
+// DmaSpace: the dma_coherent / dma_caching device files (Figure 6).
+//
+// Per managed device, SUD exposes two mmap-able files that allocate
+// anonymous memory "mapped at the same virtual address in both the driver's
+// page table and the device's IOMMU page table". DmaSpace models exactly
+// that contract: Alloc returns a region whose IOVA doubles as the driver's
+// virtual address; the backing pages come from DRAM; and the mapping is
+// installed in the device's IO page table at allocation time.
+//
+// The IOVA arena starts at 0x42430000 — matching the paper's Figure 9 dump,
+// so an e1000e driver that allocates its TX ring, RX ring, TX buffers and
+// RX buffers in probe order reproduces the published layout bit-for-bit.
+//
+// ReleaseAll() is the reclamation path behind "kill -9 and restart"
+// (Section 4.1): it unmaps every region from the IOMMU and returns the pages.
+
+#ifndef SUD_SRC_SUD_DMA_SPACE_H_
+#define SUD_SRC_SUD_DMA_SPACE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/hw/iommu.h"
+#include "src/hw/phys_mem.h"
+
+namespace sud {
+
+inline constexpr uint64_t kDmaIovaBase = 0x42430000ull;
+
+struct DmaRegion {
+  uint64_t iova = 0;   // == the driver's virtual address for this memory
+  uint64_t paddr = 0;
+  uint64_t bytes = 0;
+  bool coherent = false;
+};
+
+class DmaSpace {
+ public:
+  DmaSpace(hw::PhysicalMemory* dram, hw::Iommu* iommu, uint16_t source_id,
+           uint64_t iova_base = kDmaIovaBase)
+      : dram_(dram), iommu_(iommu), source_id_(source_id), next_iova_(iova_base) {}
+
+  ~DmaSpace() { ReleaseAll(); }
+
+  DmaSpace(const DmaSpace&) = delete;
+  DmaSpace& operator=(const DmaSpace&) = delete;
+
+  // Allocates `bytes` (page-rounded), maps them read+write for the device,
+  // and returns the region. `coherent` distinguishes the two device files;
+  // both behave identically in the model (the distinction is a cache
+  // attribute on real hardware).
+  Result<DmaRegion> Alloc(uint64_t bytes, bool coherent);
+
+  // Frees one region by IOVA (must match an Alloc).
+  Status Free(uint64_t iova);
+
+  // The driver's view of a region's memory (host pointer into DRAM).
+  Result<ByteSpan> HostView(uint64_t iova, uint64_t len);
+
+  // Translate a driver virtual address (== IOVA) to the backing paddr.
+  Result<uint64_t> IovaToPaddr(uint64_t iova) const;
+
+  // Tears down every mapping and returns all pages: full reclamation.
+  void ReleaseAll();
+
+  const std::map<uint64_t, DmaRegion>& regions() const { return regions_; }
+  uint16_t source_id() const { return source_id_; }
+  uint64_t total_bytes() const;
+
+ private:
+  hw::PhysicalMemory* dram_;
+  hw::Iommu* iommu_;
+  uint16_t source_id_;
+  uint64_t next_iova_;
+  std::map<uint64_t, DmaRegion> regions_;  // keyed by iova
+};
+
+}  // namespace sud
+
+#endif  // SUD_SRC_SUD_DMA_SPACE_H_

@@ -1,0 +1,56 @@
+// Wire protocol between proxy drivers (kernel side) and SUD-UML (user side):
+// the per-device-class upcall/downcall opcodes of Figure 7.
+//
+// Marshalling convention: scalars ride in UchanMsg::args, byte payloads in
+// inline_data, and bulk data (packets, samples) in shared-pool buffers
+// referenced by buffer_id/buffer_len.
+
+#ifndef SUD_SRC_SUD_PROTO_H_
+#define SUD_SRC_SUD_PROTO_H_
+
+#include <cstdint>
+
+#include "src/sud/safe_pci.h"
+
+namespace sud {
+
+// ---- Ethernet class ---------------------------------------------------------
+// Upcalls (kernel -> driver).
+inline constexpr uint32_t kEthUpOpen = kOpDeviceClassBase + 0;    // "net_open" (sync)
+inline constexpr uint32_t kEthUpStop = kOpDeviceClassBase + 1;    // (sync)
+inline constexpr uint32_t kEthUpXmit = kOpDeviceClassBase + 2;    // (async, shared buffer)
+inline constexpr uint32_t kEthUpIoctl = kOpDeviceClassBase + 3;   // "ioctl" (sync)
+// Downcalls (driver -> kernel).
+inline constexpr uint32_t kEthDownRegisterNetdev = kOpDownDeviceClassBase + 0;  // mac in inline_data
+inline constexpr uint32_t kEthDownNetifRx = kOpDownDeviceClassBase + 1;  // "netif_rx" (async, buffer)
+inline constexpr uint32_t kEthDownSetCarrier = kOpDownDeviceClassBase + 2;  // args[0]: 0/1 (mirror)
+inline constexpr uint32_t kEthDownFreeBuffer = kOpDownDeviceClassBase + 3;  // args[0]: buffer id
+
+// ---- Wireless class ---------------------------------------------------------
+inline constexpr uint32_t kWifiUpScan = kOpDeviceClassBase + 16;            // (sync)
+inline constexpr uint32_t kWifiUpAssociate = kOpDeviceClassBase + 17;       // (sync, ssid inline)
+inline constexpr uint32_t kWifiUpEnableFeatures = kOpDeviceClassBase + 18;  // (async! §3.1.1)
+inline constexpr uint32_t kWifiDownRegister = kOpDownDeviceClassBase + 16;  // args[0]: supported features
+inline constexpr uint32_t kWifiDownBssChange = kOpDownDeviceClassBase + 17; // "bss_change" args[0]: assoc
+inline constexpr uint32_t kWifiDownSetBitrates = kOpDownDeviceClassBase + 18;  // rates inline (mirror)
+
+// ---- Audio class ------------------------------------------------------------
+inline constexpr uint32_t kAudioUpOpenStream = kOpDeviceClassBase + 32;   // (sync, PcmConfig in args)
+inline constexpr uint32_t kAudioUpCloseStream = kOpDeviceClassBase + 33;  // (sync)
+inline constexpr uint32_t kAudioUpWrite = kOpDeviceClassBase + 34;        // (async, shared buffer)
+inline constexpr uint32_t kAudioDownRegister = kOpDownDeviceClassBase + 32;
+inline constexpr uint32_t kAudioDownPeriodElapsed = kOpDownDeviceClassBase + 33;
+
+// ---- USB host class ---------------------------------------------------------
+// Figure 5: the USB host proxy needs no device-class-specific kernel code;
+// the only traffic is generic (interrupt forwarding, interrupt_ack) plus
+// input reports surfaced by function drivers.
+inline constexpr uint32_t kUsbDownKeyEvent = kOpDownDeviceClassBase + 48;  // args[0]: usage code
+
+// Scan-result marshalling for kWifiUpScan replies: each record is
+// 6 (bssid) + 1 (channel) + 1 (signal) + 32 (ssid, NUL-padded) bytes.
+inline constexpr size_t kWifiScanRecordBytes = 40;
+
+}  // namespace sud
+
+#endif  // SUD_SRC_SUD_PROTO_H_

@@ -1,0 +1,232 @@
+#include "src/sud/proxy_ethernet.h"
+
+#include <cstring>
+
+#include "src/base/log.h"
+#include "src/devices/ether_link.h"
+
+namespace sud {
+
+EthernetProxy::EthernetProxy(kern::Kernel* kernel, SudDeviceContext* ctx, Options options)
+    : kernel_(kernel), ctx_(ctx), options_(options) {
+  ctx_->set_downcall_handler([this](UchanMsg& msg) { HandleDowncall(msg); });
+}
+
+Status EthernetProxy::Open() {
+  UchanMsg msg;
+  msg.opcode = kEthUpOpen;
+  Result<UchanMsg> reply = ctx_->ctl().SendSync(std::move(msg));
+  if (!reply.ok()) {
+    return reply.status();  // interrupted/timed out: ifconfig reports an error
+  }
+  if (reply.value().error != 0) {
+    return Status(static_cast<ErrorCode>(reply.value().error), "driver open failed");
+  }
+  return Status::Ok();
+}
+
+Status EthernetProxy::Stop() {
+  UchanMsg msg;
+  msg.opcode = kEthUpStop;
+  Result<UchanMsg> reply = ctx_->ctl().SendSync(std::move(msg));
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  return Status::Ok();
+}
+
+Status EthernetProxy::StartXmit(kern::SkbPtr skb) {
+  CpuModel& cpu = kernel_->machine().cpu();
+  Result<int32_t> buffer_id = ctx_->pool().Alloc();
+  if (!buffer_id.ok()) {
+    ++stats_.xmit_dropped;
+    if (++consecutive_full_ >= options_.hung_threshold) {
+      ++stats_.hung_reports;
+      SUD_LOG(kWarning) << "ethernet driver not consuming buffers; reporting hung";
+      consecutive_full_ = 0;
+    }
+    return Status(ErrorCode::kQueueFull, "no shared buffers (driver slow or hung)");
+  }
+  Result<ByteSpan> buffer = ctx_->pool().Buffer(buffer_id.value());
+  if (!buffer.ok()) {
+    return buffer.status();
+  }
+  size_t len = std::min<size_t>(skb->data_len(), buffer.value().size());
+  if (!options_.zero_copy) {
+    // Ablation: model an intermediate bounce buffer (one extra pass).
+    cpu.ChargeBytes(kAccountKernel, cpu.costs().per_byte_copy, len);
+  }
+  std::memcpy(buffer.value().data(), skb->data(), len);
+  cpu.ChargeBytes(kAccountKernel, cpu.costs().per_byte_copy, len);
+
+  UchanMsg msg;
+  msg.opcode = kEthUpXmit;
+  msg.buffer_id = buffer_id.value();
+  msg.buffer_len = static_cast<uint32_t>(len);
+  Status status = ctx_->ctl().SendAsync(std::move(msg));
+  if (!status.ok()) {
+    ctx_->pool().Free(buffer_id.value());
+    ++stats_.xmit_dropped;
+    if (status.code() == ErrorCode::kQueueFull &&
+        ++consecutive_full_ >= options_.hung_threshold) {
+      ++stats_.hung_reports;
+      SUD_LOG(kWarning) << "ethernet driver upcall ring full; reporting hung";
+      consecutive_full_ = 0;
+    }
+    return status;
+  }
+  consecutive_full_ = 0;
+  ++stats_.xmit_upcalls;
+  return Status::Ok();
+}
+
+Result<std::string> EthernetProxy::Ioctl(uint32_t cmd) {
+  UchanMsg msg;
+  msg.opcode = kEthUpIoctl;
+  msg.args[0] = cmd;
+  Result<UchanMsg> reply = ctx_->ctl().SendSync(std::move(msg));
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply.value().error != 0) {
+    return Status(static_cast<ErrorCode>(reply.value().error), "ioctl failed in driver");
+  }
+  return std::string(reply.value().inline_data.begin(), reply.value().inline_data.end());
+}
+
+void EthernetProxy::HandleDowncall(UchanMsg& msg) {
+  switch (msg.opcode) {
+    case kEthDownRegisterNetdev: {
+      if (msg.inline_data.size() != 6) {
+        msg.error = static_cast<int32_t>(ErrorCode::kInvalidArgument);
+        return;
+      }
+      if (netdev_ != nullptr) {
+        // A restarted driver re-registering: keep the existing interface and
+        // refresh the MAC (shadow-driver-style recovery, Section 2).
+        netdev_->set_dev_addr(msg.inline_data.data());
+        msg.error = 0;
+        return;
+      }
+      std::string name = kernel_->net().NextName("eth");
+      Result<kern::NetDevice*> netdev =
+          kernel_->net().RegisterNetdev(name, msg.inline_data.data(), this);
+      if (!netdev.ok()) {
+        msg.error = static_cast<int32_t>(netdev.status().code());
+        return;
+      }
+      netdev_ = netdev.value();
+      msg.error = 0;
+      return;
+    }
+    case kEthDownNetifRx:
+      HandleNetifRx(msg);
+      return;
+    case kEthDownSetCarrier:
+      // Shared-memory mirror update (Section 3.3): ordered with respect to
+      // other downcalls because it travels the same ring.
+      if (netdev_ != nullptr) {
+        netdev_->set_carrier(msg.args[0] != 0);
+      }
+      msg.error = 0;
+      return;
+    case kEthDownFreeBuffer:
+      ctx_->pool().Free(static_cast<int32_t>(msg.args[0]));
+      msg.error = 0;
+      return;
+    case kOpInterruptAck:
+      msg.error = static_cast<int32_t>(ctx_->InterruptAck().code());
+      return;
+    case kOpRequestRegion:
+      msg.error = static_cast<int32_t>(ctx_->RequestIoRegion().code());
+      return;
+    default:
+      SUD_LOG(kWarning) << "ethernet proxy: unknown downcall opcode " << msg.opcode;
+      msg.error = static_cast<int32_t>(ErrorCode::kInvalidArgument);
+      return;
+  }
+}
+
+void EthernetProxy::HandleNetifRx(UchanMsg& msg) {
+  ++stats_.rx_downcalls;
+  if (netdev_ == nullptr) {
+    msg.error = static_cast<int32_t>(ErrorCode::kUnavailable);
+    return;
+  }
+  // The downcall carries (iova, len) into the driver's own DMA space: the
+  // packet sits in the RX buffer the device DMA'd it into (zero-copy,
+  // Section 3.1.2). Anything outside the driver's mappings — kernel
+  // addresses, other devices' buffers, absurd lengths — is rejected here,
+  // never dereferenced.
+  uint64_t iova = msg.args[0];
+  uint32_t len = static_cast<uint32_t>(msg.args[1]);
+  if (len == 0 || len > devices::kEthMaxFrame) {
+    ++stats_.rx_bad_buffer_id;
+    netdev_->stats().driver_errors++;
+    SUD_LOG(kAttack) << "netif_rx downcall with bogus length " << len << " from driver";
+    msg.error = static_cast<int32_t>(ErrorCode::kInvalidArgument);
+    return;
+  }
+  Result<ByteSpan> buffer = ctx_->dma().HostView(iova, len);
+  if (!buffer.ok()) {
+    ++stats_.rx_bad_buffer_id;
+    netdev_->stats().driver_errors++;
+    SUD_LOG(kAttack) << "netif_rx downcall with address outside the driver's dma space";
+    msg.error = static_cast<int32_t>(ErrorCode::kInvalidArgument);
+    return;
+  }
+  ByteSpan shared = buffer.value();
+  CpuModel& cpu = kernel_->machine().cpu();
+
+  kern::SkbPtr skb;
+  if (options_.guard_copy) {
+    // Safe ordering: copy out of shared memory *first*, then let the stack
+    // checksum/filter the private copy. Fusing the copy with the checksum
+    // pass makes it nearly free (Section 3.1.2): the bytes are already in
+    // cache, so only one pass is charged.
+    skb = kern::MakeSkb(ConstByteSpan(shared.data(), shared.size()));
+    ++stats_.guard_copies;
+    if (options_.fuse_guard_with_checksum) {
+      cpu.ChargeBytes(kAccountKernel, cpu.costs().per_byte_checksum, shared.size());
+    } else {
+      cpu.ChargeBytes(kAccountKernel,
+                      cpu.costs().per_byte_copy + cpu.costs().per_byte_checksum, shared.size());
+    }
+    if (toctou_hook_) {
+      // Attacker rewrites the shared buffer now — too late, we own a copy.
+      toctou_hook_(shared);
+    }
+  } else {
+    // VULNERABLE ordering (ablation/attack demonstration): verdict computed
+    // over live shared memory, then the attacker flips it, then we copy.
+    kern::PacketView pre_view{ConstByteSpan(shared.data(), shared.size())};
+    cpu.ChargeBytes(kAccountKernel, cpu.costs().per_byte_checksum, shared.size());
+    if (!pre_view.valid() || !pre_view.ChecksumOk() ||
+        !kernel_->net().firewall().Accept(pre_view)) {
+      netdev_->stats().rx_dropped++;
+      msg.error = 0;  // packet dropped; not a driver error
+      return;
+    }
+    if (toctou_hook_) {
+      toctou_hook_(shared);  // attacker wins the race
+    }
+    skb = kern::MakeSkb(ConstByteSpan(shared.data(), shared.size()));
+    cpu.ChargeBytes(kAccountKernel, cpu.costs().per_byte_copy, shared.size());
+    // Deliver directly, bypassing the second check (that is the bug this
+    // configuration demonstrates).
+    skb->checksum_verified = true;
+    netdev_->stats().rx_packets++;
+    if (netdev_->rx_sink()) {
+      netdev_->rx_sink()(*skb);
+    }
+    msg.error = 0;
+    return;
+  }
+
+  cpu.Charge(kAccountKernel, cpu.costs().skb_alloc + cpu.costs().stack_work_per_pkt);
+  Status status = kernel_->net().NetifRx(netdev_, std::move(skb));
+  msg.error = 0;  // rejection by firewall/checksum is not a downcall failure
+  (void)status;
+}
+
+}  // namespace sud

@@ -1,0 +1,126 @@
+#include "src/sud/proxy_wireless.h"
+
+#include <cstring>
+
+#include "src/base/log.h"
+
+namespace sud {
+
+WirelessProxy::WirelessProxy(kern::Kernel* kernel, SudDeviceContext* ctx)
+    : kernel_(kernel), ctx_(ctx) {
+  ctx_->set_downcall_handler([this](UchanMsg& msg) { HandleDowncall(msg); });
+}
+
+uint32_t WirelessProxy::EnableFeatures(uint32_t requested) {
+  // Called with the kernel in a non-preemptable context. A synchronous
+  // upcall here would be a design violation (it could sleep); the proxy
+  // answers from the mirror and queues an async upcall instead.
+  if (!kernel_->InAtomicContext()) {
+    // The stack normally calls us atomically; tolerate non-atomic callers.
+  }
+  uint32_t enabled = requested & mirrored_supported_features_;
+  UchanMsg msg;
+  msg.opcode = kWifiUpEnableFeatures;
+  msg.args[0] = enabled;
+  Status status = ctx_->ctl().SendAsync(std::move(msg));
+  if (status.ok()) {
+    ++stats_.feature_upcalls_queued;
+  }
+  return enabled;
+}
+
+Result<std::vector<kern::ScanResult>> WirelessProxy::Scan() {
+  if (kernel_->InAtomicContext()) {
+    ++stats_.atomic_violations;
+    return Status(ErrorCode::kInternal, "sync upcall from non-preemptable context");
+  }
+  ++stats_.scans;
+  UchanMsg msg;
+  msg.opcode = kWifiUpScan;
+  Result<UchanMsg> reply = ctx_->ctl().SendSync(std::move(msg));
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply.value().error != 0) {
+    return Status(static_cast<ErrorCode>(reply.value().error), "scan failed in driver");
+  }
+  const std::vector<uint8_t>& raw = reply.value().inline_data;
+  std::vector<kern::ScanResult> results;
+  for (size_t off = 0; off + kWifiScanRecordBytes <= raw.size(); off += kWifiScanRecordBytes) {
+    kern::ScanResult result;
+    std::memcpy(result.bssid.data(), raw.data() + off, 6);
+    result.channel = raw[off + 6];
+    result.signal_dbm = static_cast<int8_t>(raw[off + 7]);
+    const char* ssid = reinterpret_cast<const char*>(raw.data() + off + 8);
+    result.ssid.assign(ssid, strnlen(ssid, 32));
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+Status WirelessProxy::Associate(const std::string& ssid) {
+  if (kernel_->InAtomicContext()) {
+    ++stats_.atomic_violations;
+    return Status(ErrorCode::kInternal, "sync upcall from non-preemptable context");
+  }
+  UchanMsg msg;
+  msg.opcode = kWifiUpAssociate;
+  msg.inline_data.assign(ssid.begin(), ssid.end());
+  Result<UchanMsg> reply = ctx_->ctl().SendSync(std::move(msg));
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply.value().error != 0) {
+    return Status(static_cast<ErrorCode>(reply.value().error), "associate failed in driver");
+  }
+  return Status::Ok();
+}
+
+void WirelessProxy::HandleDowncall(UchanMsg& msg) {
+  switch (msg.opcode) {
+    case kWifiDownRegister: {
+      mirrored_supported_features_ = static_cast<uint32_t>(msg.args[0]);
+      if (wdev_ != nullptr) {
+        msg.error = 0;  // restarted driver re-registering
+        return;
+      }
+      std::string name = kernel_->wireless().NextName("wlan");
+      Result<kern::WirelessDevice*> wdev =
+          kernel_->wireless().Register(name, this, mirrored_supported_features_);
+      if (!wdev.ok()) {
+        msg.error = static_cast<int32_t>(wdev.status().code());
+        return;
+      }
+      wdev_ = wdev.value();
+      msg.error = 0;
+      return;
+    }
+    case kWifiDownBssChange:
+      if (wdev_ != nullptr) {
+        wdev_->NotifyBssChange(msg.args[0] != 0);
+      }
+      msg.error = 0;
+      return;
+    case kWifiDownSetBitrates: {
+      // Mirror update: currently-available bitrates (Section 3.3).
+      if (wdev_ != nullptr) {
+        std::vector<uint32_t> rates;
+        for (size_t off = 0; off + 4 <= msg.inline_data.size(); off += 4) {
+          rates.push_back(LoadLe32(msg.inline_data.data() + off));
+        }
+        wdev_->set_bitrates(std::move(rates));
+      }
+      msg.error = 0;
+      return;
+    }
+    case kOpInterruptAck:
+      msg.error = static_cast<int32_t>(ctx_->InterruptAck().code());
+      return;
+    default:
+      SUD_LOG(kWarning) << "wireless proxy: unknown downcall opcode " << msg.opcode;
+      msg.error = static_cast<int32_t>(ErrorCode::kInvalidArgument);
+      return;
+  }
+}
+
+}  // namespace sud

@@ -1,0 +1,415 @@
+#include "src/sud/safe_pci.h"
+
+#include "src/base/bytes.h"
+#include "src/base/log.h"
+
+namespace sud {
+
+SudDeviceContext::SudDeviceContext(kern::Kernel* kernel, hw::PciDevice* device,
+                                   kern::Uid owner_uid, Options options)
+    : kernel_(kernel), device_(device), owner_uid_(owner_uid), options_(options) {}
+
+SudDeviceContext::~SudDeviceContext() { Teardown(); }
+
+Status SudDeviceContext::Bind(kern::Process* proc) {
+  if (bound_) {
+    return Status(ErrorCode::kAlreadyExists, "device already bound to a driver");
+  }
+  if (proc == nullptr || !proc->alive()) {
+    return Status(ErrorCode::kInvalidArgument, "no live process");
+  }
+  if (proc->uid() != owner_uid_) {
+    SUD_LOG(kAttack) << device_->name() << ": uid " << proc->uid()
+                     << " tried to bind device owned by uid " << owner_uid_;
+    return Status(ErrorCode::kPermissionDenied, "device files not owned by this uid");
+  }
+
+  hw::Machine& machine = kernel_->machine();
+  SUD_RETURN_IF_ERROR(machine.iommu().CreateContext(source_id()));
+
+  // AMD-Vi: the OS must explicitly map the MSI doorbell page for the device;
+  // storm escalation later removes it (Section 5.2).
+  if (machine.iommu().mode() == hw::IommuMode::kAmdVi) {
+    SUD_RETURN_IF_ERROR(machine.iommu().Map(source_id(), hw::kMsiRangeBase, hw::kMsiRangeBase,
+                                            hw::kPageSize, /*readable=*/false,
+                                            /*writable=*/true));
+  }
+
+  // Interrupt setup: the *kernel* programs the MSI capability (drivers are
+  // filtered away from it) and routes the vector to this context.
+  Result<uint8_t> vector = kernel_->AllocIrqVector();
+  if (!vector.ok()) {
+    return vector.status();
+  }
+  vector_ = vector.value();
+  SUD_RETURN_IF_ERROR(kernel_->RequestIrq(
+      vector_, [this](uint16_t source_id) { OnDeviceInterrupt(source_id); }));
+  device_->config().set_msi_address(hw::kMsiRangeBase);
+  device_->config().set_msi_data(vector_);
+  device_->config().set_msi_enabled(true);
+  device_->config().set_msi_masked(false);
+  if (machine.iommu().interrupt_remapping()) {
+    SUD_RETURN_IF_ERROR(
+        machine.iommu().SetInterruptRemapEntry(source_id(), vector_, vector_));
+  }
+
+  uchan_ = std::make_unique<Uchan>(options_.uchan, &machine.cpu());
+  if (downcall_handler_) {
+    uchan_->set_downcall_handler(downcall_handler_);
+  }
+  dma_ = std::make_unique<DmaSpace>(&machine.dram(), &machine.iommu(), source_id());
+  pool_ = std::make_unique<SharedBufferPool>(dma_.get(), options_.pool_buffers,
+                                             options_.pool_buffer_bytes);
+  // A zero-buffer pool is legal (non-networking device classes may never
+  // exchange bulk data); the pool then reports kUnavailable on Alloc.
+  if (options_.pool_buffers > 0) {
+    SUD_RETURN_IF_ERROR(pool_->Init());
+    SUD_RETURN_IF_ERROR(proc->ChargeMemory(static_cast<uint64_t>(options_.pool_buffers) *
+                                           options_.pool_buffer_bytes));
+  }
+
+  process_ = proc;
+  bound_ = true;
+  torn_down_ = false;
+  SUD_LOG(kInfo) << device_->name() << ": bound to pid " << proc->pid() << " (uid " << proc->uid()
+                 << "), irq vector " << int{vector_};
+  return Status::Ok();
+}
+
+Result<uint32_t> SudDeviceContext::MmioRead(int bar, uint64_t offset) {
+  if (!bound_) {
+    return Status(ErrorCode::kUnavailable, "device not bound");
+  }
+  if (bar < 0 || static_cast<size_t>(bar) >= device_->bars().size() ||
+      device_->bars()[bar].is_io || offset + 4 > device_->bars()[bar].size) {
+    return Status(ErrorCode::kInvalidArgument, "mmio access outside device bars");
+  }
+  kernel_->machine().cpu().Charge(kAccountDriver, kernel_->machine().cpu().costs().mmio_access);
+  return device_->MmioRead(bar, offset);
+}
+
+Status SudDeviceContext::MmioWrite(int bar, uint64_t offset, uint32_t value) {
+  if (!bound_) {
+    return Status(ErrorCode::kUnavailable, "device not bound");
+  }
+  if (bar < 0 || static_cast<size_t>(bar) >= device_->bars().size() ||
+      device_->bars()[bar].is_io || offset + 4 > device_->bars()[bar].size) {
+    return Status(ErrorCode::kInvalidArgument, "mmio access outside device bars");
+  }
+  kernel_->machine().cpu().Charge(kAccountDriver, kernel_->machine().cpu().costs().mmio_access);
+  device_->MmioWrite(bar, offset, value);
+  return Status::Ok();
+}
+
+bool SudDeviceContext::ConfigWriteAllowed(uint16_t offset, int width, uint32_t value,
+                                          std::string* why) const {
+  // Writable: the command register (with a bit whitelist), cache line size
+  // and latency timer. Everything else — BARs, the capability chain, the
+  // MSI capability, interrupt line — is routing-sensitive and kernel-owned.
+  if (offset == hw::kPciCommand && width == 2) {
+    constexpr uint16_t kAllowed = hw::kPciCommandIoEnable | hw::kPciCommandMemEnable |
+                                  hw::kPciCommandBusMaster | hw::kPciCommandIntxDisable;
+    if ((value & ~static_cast<uint32_t>(kAllowed)) != 0) {
+      *why = "command-register bits outside the allowed set";
+      return false;
+    }
+    return true;
+  }
+  if ((offset == hw::kPciCacheLineSize || offset == hw::kPciLatencyTimer) && width == 1) {
+    return true;
+  }
+  if (offset >= hw::kPciBar0 && offset < hw::kPciBar0 + 24) {
+    *why = "BAR registers are kernel-owned (relocation attack)";
+    return false;
+  }
+  if (offset >= hw::kMsiCapOffset && offset < hw::kMsiCapOffset + 0x14) {
+    *why = "MSI capability is kernel-owned (interrupt redirection attack)";
+    return false;
+  }
+  *why = "register not in the safe-PCI write whitelist";
+  return false;
+}
+
+Result<uint32_t> SudDeviceContext::ConfigRead(uint16_t offset, int width) {
+  if (!bound_) {
+    return Status(ErrorCode::kUnavailable, "device not bound");
+  }
+  kernel_->machine().cpu().Charge(kAccountDriver,
+                                  kernel_->machine().cpu().costs().pci_config_access);
+  return device_->config().Read(offset, width);
+}
+
+Status SudDeviceContext::ConfigWrite(uint16_t offset, int width, uint32_t value) {
+  if (!bound_) {
+    return Status(ErrorCode::kUnavailable, "device not bound");
+  }
+  std::string why;
+  if (!ConfigWriteAllowed(offset, width, value, &why)) {
+    SUD_LOG(kAttack) << device_->name() << ": filtered config write at offset " << Hex(offset)
+                     << " (" << why << ")";
+    return Status(ErrorCode::kPermissionDenied, why);
+  }
+  kernel_->machine().cpu().Charge(kAccountDriver,
+                                  kernel_->machine().cpu().costs().pci_config_access);
+  device_->config().Write(offset, width, value);
+  return Status::Ok();
+}
+
+Result<uint8_t> SudDeviceContext::IoPortRead(uint16_t port) {
+  if (!bound_ || process_ == nullptr) {
+    return Status(ErrorCode::kUnavailable, "device not bound");
+  }
+  if (!process_->MayAccessIoPort(port)) {
+    SUD_LOG(kAttack) << device_->name() << ": io port " << Hex(port) << " not in process IOPB";
+    return Status(ErrorCode::kPermissionDenied, "io port not granted");
+  }
+  return kernel_->machine().IoPortRead(port);
+}
+
+Status SudDeviceContext::IoPortWrite(uint16_t port, uint8_t value) {
+  if (!bound_ || process_ == nullptr) {
+    return Status(ErrorCode::kUnavailable, "device not bound");
+  }
+  if (!process_->MayAccessIoPort(port)) {
+    SUD_LOG(kAttack) << device_->name() << ": io port " << Hex(port) << " not in process IOPB";
+    return Status(ErrorCode::kPermissionDenied, "io port not granted");
+  }
+  kernel_->machine().IoPortWrite(port, value);
+  return Status::Ok();
+}
+
+Status SudDeviceContext::RequestIoRegion() {
+  if (!bound_ || process_ == nullptr) {
+    return Status(ErrorCode::kUnavailable, "device not bound");
+  }
+  for (size_t b = 0; b < device_->bars().size(); ++b) {
+    const hw::BarDesc& bar = device_->bars()[b];
+    if (!bar.is_io || bar.size == 0) {
+      continue;
+    }
+    uint16_t base = static_cast<uint16_t>(device_->config().bar(static_cast<int>(b)));
+    uint16_t count = static_cast<uint16_t>(bar.size);
+    process_->GrantIoPorts(base, count);
+    granted_io_base_ = base;
+    granted_io_count_ = count;
+    return Status::Ok();
+  }
+  return Status(ErrorCode::kNotFound, "device has no io bar");
+}
+
+void SudDeviceContext::OnDeviceInterrupt(uint16_t msi_source_id) {
+  if (!bound_) {
+    return;
+  }
+  hw::Machine& machine = kernel_->machine();
+  if (msi_source_id != source_id()) {
+    // Our vector, someone else's requester id: a forged interrupt via stray
+    // DMA to the MSI address. Masking *our* device is useless — escalate
+    // against the storming device's context.
+    ++irq_stats_.forged_received;
+    SUD_LOG(kAttack) << device_->name() << ": forged MSI (vector " << int{vector_}
+                     << ") from source " << Hex(msi_source_id);
+    if (module_ != nullptr) {
+      module_->ReportForgedMsi(msi_source_id);
+    }
+    return;
+  }
+  if (device_->config().msi_masked()) {
+    // MSI is masked, yet an interrupt arrived: it cannot have come from the
+    // device's MSI logic — this is a stray DMA write to the MSI address
+    // (Section 3.2.2) or remapping passthrough. Count toward a storm.
+    ++interrupts_while_masked_;
+    if (irq_stats_.remap_blocked || irq_stats_.msi_page_unmapped) {
+      // Escalation already applied and yet delivery happened: accounting
+      // only (should not occur — the defences block delivery upstream).
+      ++irq_stats_.unstoppable;
+      return;
+    }
+    if (interrupts_while_masked_ >= options_.storm_threshold) {
+      EscalateStorm();
+    } else if (interrupts_while_masked_ == 1) {
+      SUD_LOG(kAttack) << device_->name()
+                       << ": interrupt delivered while MSI masked (stray DMA to MSI address)";
+    }
+    if (!irq_stats_.remap_blocked && !irq_stats_.msi_page_unmapped &&
+        interrupts_while_masked_ >= options_.storm_threshold) {
+      // Intel without interrupt remapping: nothing more SUD can do; the
+      // paper's testbed is vulnerable to exactly this livelock (§5.2).
+      ++irq_stats_.unstoppable;
+    }
+    return;
+  }
+
+  if (irq_in_flight_) {
+    // A second interrupt before the driver acknowledged the first: mask
+    // further MSIs so an unresponsive driver cannot storm us.
+    machine.cpu().Charge(kAccountKernel, machine.cpu().costs().pci_config_access);
+    device_->config().set_msi_masked(true);
+    ++irq_stats_.mask_events;
+    ++irq_stats_.coalesced;
+    return;
+  }
+
+  irq_in_flight_ = true;
+  ++irq_stats_.forwarded;
+  machine.cpu().Charge(kAccountKernel, machine.cpu().costs().interrupt_entry);
+  UchanMsg msg;
+  msg.opcode = kOpInterrupt;
+  Status status = uchan_->SendAsync(std::move(msg));
+  if (!status.ok()) {
+    // Ring full: treat like an unacknowledged interrupt — mask.
+    machine.cpu().Charge(kAccountKernel, machine.cpu().costs().pci_config_access);
+    device_->config().set_msi_masked(true);
+    ++irq_stats_.mask_events;
+  }
+}
+
+void SudDeviceContext::EscalateStorm() {
+  hw::Machine& machine = kernel_->machine();
+  ++irq_stats_.storm_escalations;
+  if (machine.iommu().interrupt_remapping()) {
+    machine.cpu().Charge(kAccountKernel, machine.cpu().costs().irq_remap_update);
+    (void)machine.iommu().SetInterruptRemapEntry(source_id(), vector_, std::nullopt);
+    irq_stats_.remap_blocked = true;
+    SUD_LOG(kAttack) << device_->name()
+                     << ": interrupt storm — disabled MSI via interrupt remapping";
+    return;
+  }
+  if (machine.iommu().mode() == hw::IommuMode::kAmdVi) {
+    (void)machine.iommu().Unmap(source_id(), hw::kMsiRangeBase, hw::kPageSize);
+    irq_stats_.msi_page_unmapped = true;
+    SUD_LOG(kAttack) << device_->name() << ": interrupt storm — unmapped MSI page (AMD-Vi)";
+    return;
+  }
+  SUD_LOG(kAttack) << device_->name()
+                   << ": interrupt storm from stray DMA — no interrupt remapping available, "
+                      "livelock cannot be stopped (Intel VT-d without IR, §5.2)";
+}
+
+Status SudDeviceContext::InterruptAck() {
+  if (!bound_) {
+    return Status(ErrorCode::kUnavailable, "device not bound");
+  }
+  irq_in_flight_ = false;
+  interrupts_while_masked_ = 0;
+  if (device_->config().msi_masked() && !irq_stats_.remap_blocked &&
+      !irq_stats_.msi_page_unmapped) {
+    kernel_->machine().cpu().Charge(kAccountKernel,
+                                    kernel_->machine().cpu().costs().pci_config_access);
+    device_->config().set_msi_masked(false);
+    // A masked interrupt pends and fires on unmask, per the PCI spec.
+    return device_->FirePendingMsi();
+  }
+  return Status::Ok();
+}
+
+void SudDeviceContext::Teardown() {
+  if (torn_down_ || !bound_) {
+    torn_down_ = true;
+    return;
+  }
+  hw::Machine& machine = kernel_->machine();
+  if (uchan_ != nullptr) {
+    uchan_->Shutdown();
+  }
+  if (process_ != nullptr) {
+    process_->RevokeIoPorts(granted_io_base_, granted_io_count_);
+    process_->UncchargeMemory(static_cast<uint64_t>(options_.pool_buffers) *
+                              options_.pool_buffer_bytes);
+  }
+  if (dma_ != nullptr) {
+    dma_->ReleaseAll();
+  }
+  (void)machine.iommu().DestroyContext(source_id());
+  (void)kernel_->FreeIrq(vector_);
+  // Quiesce the device: no more DMA, no more interrupts.
+  device_->config().set_msi_enabled(false);
+  uint16_t command = device_->config().command();
+  device_->config().set_command(command & static_cast<uint16_t>(~hw::kPciCommandBusMaster));
+  bound_ = false;
+  process_ = nullptr;
+  torn_down_ = true;
+  SUD_LOG(kInfo) << device_->name() << ": context torn down, all resources reclaimed";
+}
+
+SafePciModule::SafePciModule(kern::Kernel* kernel, Policy policy)
+    : kernel_(kernel), policy_(policy) {
+  if (policy_.enable_acs) {
+    for (const auto& sw : kernel_->machine().switches()) {
+      sw->set_acs(hw::PcieSwitch::AcsConfig{/*source_validation=*/true,
+                                            /*p2p_request_redirect=*/true});
+    }
+  }
+}
+
+Result<SudDeviceContext*> SafePciModule::ExportDevice(hw::PciDevice* device, kern::Uid owner_uid,
+                                                      SudDeviceContext::Options options) {
+  if (contexts_.count(device) != 0) {
+    return Status(ErrorCode::kAlreadyExists, device->name() + " already exported");
+  }
+  if (policy_.enable_acs) {
+    for (const auto& sw : kernel_->machine().switches()) {
+      sw->set_acs(hw::PcieSwitch::AcsConfig{true, true});
+    }
+  }
+  auto context = std::make_unique<SudDeviceContext>(kernel_, device, owner_uid, options);
+  SudDeviceContext* ptr = context.get();
+  ptr->module_ = this;
+  contexts_[device] = std::move(context);
+  SUD_LOG(kInfo) << "exported " << device->name() << " for uid " << owner_uid;
+  return ptr;
+}
+
+Status SafePciModule::RevokeDevice(hw::PciDevice* device) {
+  auto it = contexts_.find(device);
+  if (it == contexts_.end()) {
+    return Status(ErrorCode::kNotFound, "device not exported");
+  }
+  it->second->Teardown();
+  contexts_.erase(it);
+  return Status::Ok();
+}
+
+SudDeviceContext* SafePciModule::Find(hw::PciDevice* device) {
+  auto it = contexts_.find(device);
+  return it == contexts_.end() ? nullptr : it->second.get();
+}
+
+SudDeviceContext* SafePciModule::FindBySourceId(uint16_t source_id) {
+  for (auto& [device, context] : contexts_) {
+    if (device->address().source_id() == source_id) {
+      return context.get();
+    }
+  }
+  return nullptr;
+}
+
+void SafePciModule::ReportForgedMsi(uint16_t attacker_source_id) {
+  SudDeviceContext* attacker = FindBySourceId(attacker_source_id);
+  if (attacker == nullptr) {
+    SUD_LOG(kAttack) << "forged MSI from source " << Hex(attacker_source_id)
+                     << " which is not an exported device";
+    return;
+  }
+  attacker->irq_stats_.storm_escalations++;
+  hw::Machine& machine = kernel_->machine();
+  if (machine.iommu().interrupt_remapping()) {
+    // With interrupt remapping the forged write would have been blocked
+    // before delivery; reaching here means remapping was enabled after the
+    // fact — blank the attacker's entries anyway.
+    attacker->irq_stats_.remap_blocked = true;
+    return;
+  }
+  if (machine.iommu().mode() == hw::IommuMode::kAmdVi) {
+    (void)machine.iommu().Unmap(attacker_source_id, hw::kMsiRangeBase, hw::kPageSize);
+    attacker->irq_stats_.msi_page_unmapped = true;
+    SUD_LOG(kAttack) << attacker->device()->name()
+                     << ": forged-MSI storm stopped by unmapping its MSI page (AMD-Vi)";
+    return;
+  }
+  attacker->irq_stats_.unstoppable++;
+  SUD_LOG(kAttack) << attacker->device()->name()
+                   << ": forged-MSI storm cannot be stopped (Intel VT-d without IR, §5.2)";
+}
+
+}  // namespace sud

@@ -1,0 +1,206 @@
+// SafePciModule / SudDeviceContext: the safe PCI device access kernel module
+// (the 2,800-line component of Figure 5).
+//
+// For each PCI device handed to an untrusted driver, SUD exports four device
+// files (Figure 6): ctl (the uchan), mmio (the device's own registers only),
+// and the two DMA allocators. SudDeviceContext is the kernel-side object
+// behind that directory; every driver-reachable operation on it enforces the
+// Section 3.2 rules:
+//
+//  * MMIO access is confined to the device's own page-aligned BARs.
+//  * Legacy IO-port access is checked against the process IOPB, which only
+//    ever contains the device's own ports (RequestIoRegion).
+//  * PCI config space is reached *only* through a filtered syscall surface:
+//    reads are open; writes to BARs, the MSI capability, the capability
+//    pointer and other routing-sensitive registers are denied (a malicious
+//    driver could otherwise relocate its BAR over another device, redirect
+//    its MSI doorbell, or intercept other devices' transactions).
+//  * The device's DMA is confined by the IOMMU context created at Bind time,
+//    and peer-to-peer attacks by the ACS configuration forced on the
+//    device's switch.
+//  * Interrupts are forwarded as upcalls; a second interrupt before the
+//    driver's interrupt_ack downcall masks MSI (Section 3.2.2), and a storm
+//    that masking cannot stop (stray DMA to the MSI address) escalates to
+//    interrupt remapping (Intel + IR), unmapping the MSI page (AMD), or — on
+//    the paper's own Intel-without-IR testbed — is detected but unstoppable,
+//    reproducing the Section 5.2 negative result.
+//
+// Teardown() reclaims everything (uchan, IOMMU context, DMA pages, IOPB
+// grants, the MSI vector), which is what makes `kill -9` + restart safe
+// (Section 4.1).
+
+#ifndef SUD_SRC_SUD_SAFE_PCI_H_
+#define SUD_SRC_SUD_SAFE_PCI_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/hw/machine.h"
+#include "src/kern/kernel.h"
+#include "src/sud/dma_space.h"
+#include "src/sud/shared_pool.h"
+#include "src/sud/uchan.h"
+
+namespace sud {
+
+// Generic upcall opcodes issued by the SUD core itself (proxy drivers define
+// their own ranges above kOpDeviceClassBase).
+inline constexpr uint32_t kOpInterrupt = 1;  // Figure 7: "interrupt"
+inline constexpr uint32_t kOpDeviceClassBase = 0x100;
+
+// Generic downcall opcodes (Figure 7 samples).
+inline constexpr uint32_t kOpInterruptAck = 1;      // "interrupt_ack"
+inline constexpr uint32_t kOpRequestRegion = 2;     // "request_region"
+inline constexpr uint32_t kOpPciFindCapability = 3; // "pci_find_capability"
+inline constexpr uint32_t kOpDownDeviceClassBase = 0x100;
+
+class SafePciModule;
+
+class SudDeviceContext {
+ public:
+  struct Options {
+    uint32_t pool_buffers = 512;
+    uint32_t pool_buffer_bytes = 2048;
+    Uchan::Config uchan;
+    // Interrupts arriving while MSI is masked (i.e. necessarily stray-DMA
+    // generated) before the storm escalation kicks in.
+    uint32_t storm_threshold = 8;
+  };
+
+  SudDeviceContext(kern::Kernel* kernel, hw::PciDevice* device, kern::Uid owner_uid,
+                   Options options);
+  ~SudDeviceContext();
+
+  SudDeviceContext(const SudDeviceContext&) = delete;
+  SudDeviceContext& operator=(const SudDeviceContext&) = delete;
+
+  hw::PciDevice* device() { return device_; }
+  kern::Uid owner_uid() const { return owner_uid_; }
+  uint16_t source_id() const { return device_->address().source_id(); }
+
+  // Binds the device to driver process `proc` (the driver opening the sud
+  // files): UID check, IOMMU context creation, MSI setup, IRQ registration.
+  Status Bind(kern::Process* proc);
+  bool bound() const { return bound_; }
+  kern::Process* bound_process() { return process_; }
+
+  // Installs the kernel-side downcall handler (the proxy driver's dispatch
+  // function). Survives rebinds: each fresh uchan created by Bind gets it.
+  void set_downcall_handler(Uchan::DowncallHandler handler) {
+    downcall_handler_ = std::move(handler);
+    if (uchan_ != nullptr) {
+      uchan_->set_downcall_handler(downcall_handler_);
+    }
+  }
+
+  // --- the four device files -------------------------------------------------
+  Uchan& ctl() { return *uchan_; }
+  DmaSpace& dma() { return *dma_; }
+  SharedBufferPool& pool() { return *pool_; }
+
+  // mmio file: register access confined to this device's own BARs.
+  Result<uint32_t> MmioRead(int bar, uint64_t offset);
+  Status MmioWrite(int bar, uint64_t offset, uint32_t value);
+
+  // Filtered PCI config syscalls (Section 3.2.1).
+  Result<uint32_t> ConfigRead(uint16_t offset, int width);
+  Status ConfigWrite(uint16_t offset, int width, uint32_t value);
+
+  // Legacy IO ports, checked against the bound process's IOPB.
+  Result<uint8_t> IoPortRead(uint16_t port);
+  Status IoPortWrite(uint16_t port, uint8_t value);
+  // request_region downcall target: grant the device's own IO BAR ports.
+  Status RequestIoRegion();
+
+  // --- interrupt path ---------------------------------------------------------
+  // interrupt_ack downcall target: driver finished handling; unmask.
+  Status InterruptAck();
+
+  struct InterruptStats {
+    uint64_t forwarded = 0;       // upcalls issued
+    uint64_t coalesced = 0;       // arrived during handling, before masking
+    uint64_t mask_events = 0;     // times MSI was masked
+    uint64_t storm_escalations = 0;
+    uint64_t unstoppable = 0;     // Intel-without-IR livelock interrupts
+    uint64_t forged_received = 0; // interrupts whose MSI write came from another device
+    bool remap_blocked = false;   // interrupt remapping entry blocked
+    bool msi_page_unmapped = false;  // AMD escalation applied
+  };
+  const InterruptStats& interrupt_stats() const { return irq_stats_; }
+  uint8_t irq_vector() const { return vector_; }
+
+  // Full reclamation (driver killed / device revoked).
+  void Teardown();
+
+ private:
+  void OnDeviceInterrupt(uint16_t source_id);
+  void EscalateStorm();
+  bool ConfigWriteAllowed(uint16_t offset, int width, uint32_t value, std::string* why) const;
+
+  friend class SafePciModule;
+
+  kern::Kernel* kernel_;
+  hw::PciDevice* device_;
+  kern::Uid owner_uid_;
+  Options options_;
+  SafePciModule* module_ = nullptr;  // for cross-device forged-MSI escalation
+  kern::Process* process_ = nullptr;
+  bool bound_ = false;
+  bool torn_down_ = false;
+
+  std::unique_ptr<Uchan> uchan_;
+  std::unique_ptr<DmaSpace> dma_;
+  std::unique_ptr<SharedBufferPool> pool_;
+  Uchan::DowncallHandler downcall_handler_;
+
+  uint8_t vector_ = 0;
+  bool irq_in_flight_ = false;
+  uint32_t interrupts_while_masked_ = 0;
+  InterruptStats irq_stats_;
+
+  // IO ports granted (for revocation at teardown).
+  uint16_t granted_io_base_ = 0;
+  uint16_t granted_io_count_ = 0;
+};
+
+// The module: tracks exported devices and owns their contexts. Also applies
+// the fabric-wide policy (ACS on every switch) the first time a device is
+// exported.
+class SafePciModule {
+ public:
+  struct Policy {
+    bool enable_acs = true;  // tests disable this to demonstrate the attack
+  };
+
+  explicit SafePciModule(kern::Kernel* kernel) : SafePciModule(kernel, Policy{}) {}
+  SafePciModule(kern::Kernel* kernel, Policy policy);
+
+  // Exports `device` for use by an untrusted driver owned by `owner_uid`
+  // (the chown step of Section 4.1).
+  Result<SudDeviceContext*> ExportDevice(hw::PciDevice* device, kern::Uid owner_uid) {
+    return ExportDevice(device, owner_uid, SudDeviceContext::Options{});
+  }
+  Result<SudDeviceContext*> ExportDevice(hw::PciDevice* device, kern::Uid owner_uid,
+                                         SudDeviceContext::Options options);
+  Status RevokeDevice(hw::PciDevice* device);
+  SudDeviceContext* Find(hw::PciDevice* device);
+  SudDeviceContext* FindBySourceId(uint16_t source_id);
+
+  // A context received an interrupt whose MSI write originated from another
+  // device (a stray-DMA-forged vector): escalate against the *attacker*.
+  void ReportForgedMsi(uint16_t attacker_source_id);
+
+ private:
+  kern::Kernel* kernel_;
+  Policy policy_;
+  std::map<hw::PciDevice*, std::unique_ptr<SudDeviceContext>> contexts_;
+};
+
+}  // namespace sud
+
+#endif  // SUD_SRC_SUD_SAFE_PCI_H_

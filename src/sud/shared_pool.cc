@@ -1,0 +1,63 @@
+#include "src/sud/shared_pool.h"
+
+namespace sud {
+
+SharedBufferPool::SharedBufferPool(DmaSpace* dma, uint32_t count, uint32_t buffer_bytes)
+    : dma_(dma), count_(count), buffer_bytes_(buffer_bytes) {}
+
+Status SharedBufferPool::Init() {
+  if (initialized_) {
+    return Status(ErrorCode::kAlreadyExists, "pool already initialized");
+  }
+  Result<DmaRegion> region =
+      dma_->Alloc(static_cast<uint64_t>(count_) * buffer_bytes_, /*coherent=*/false);
+  if (!region.ok()) {
+    return region.status();
+  }
+  region_ = region.value();
+  free_list_.reserve(count_);
+  allocated_.assign(count_, false);
+  for (int32_t id = static_cast<int32_t>(count_) - 1; id >= 0; --id) {
+    free_list_.push_back(id);
+  }
+  initialized_ = true;
+  return Status::Ok();
+}
+
+Result<int32_t> SharedBufferPool::Alloc() {
+  if (!initialized_) {
+    return Status(ErrorCode::kUnavailable, "pool not initialized");
+  }
+  if (free_list_.empty()) {
+    return Status(ErrorCode::kExhausted, "shared buffer pool exhausted");
+  }
+  int32_t id = free_list_.back();
+  free_list_.pop_back();
+  allocated_[id] = true;
+  return id;
+}
+
+void SharedBufferPool::Free(int32_t id) {
+  if (!IsValidId(id) || !allocated_[id]) {
+    ++double_frees_;
+    return;
+  }
+  allocated_[id] = false;
+  free_list_.push_back(id);
+}
+
+Result<ByteSpan> SharedBufferPool::Buffer(int32_t id) {
+  if (!initialized_ || !IsValidId(id)) {
+    return Status(ErrorCode::kInvalidArgument, "bad buffer id");
+  }
+  return dma_->HostView(region_.iova + static_cast<uint64_t>(id) * buffer_bytes_, buffer_bytes_);
+}
+
+Result<uint64_t> SharedBufferPool::BufferIova(int32_t id) const {
+  if (!initialized_ || !IsValidId(id)) {
+    return Status(ErrorCode::kInvalidArgument, "bad buffer id");
+  }
+  return region_.iova + static_cast<uint64_t>(id) * buffer_bytes_;
+}
+
+}  // namespace sud

@@ -1,0 +1,61 @@
+// SharedBufferPool: sud_alloc / sud_free (Figure 3).
+//
+// Pre-allocated, fixed-size message buffers living in DMA-capable shared
+// memory: the kernel proxy, the user-space driver *and the device* all see
+// the same bytes (the device through the IOMMU mapping installed by the
+// DmaSpace the pool is carved from). This is what lets packet transmit
+// upcalls and receive downcalls exchange buffer ids instead of copying
+// (Section 3.1.2) — and also what makes the TOCTOU attack possible, since
+// the driver can keep writing a buffer after handing it to the kernel.
+
+#ifndef SUD_SRC_SUD_SHARED_POOL_H_
+#define SUD_SRC_SUD_SHARED_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/sud/dma_space.h"
+
+namespace sud {
+
+class SharedBufferPool {
+ public:
+  // Carves `count` buffers of `buffer_bytes` out of `dma` (one contiguous
+  // cacheable region).
+  SharedBufferPool(DmaSpace* dma, uint32_t count = 512, uint32_t buffer_bytes = 2048);
+
+  Status Init();
+
+  // sud_alloc: returns a buffer id, or kExhausted.
+  Result<int32_t> Alloc();
+  // sud_free: returns the buffer to the pool. Double frees are tolerated
+  // and counted (a malicious driver shouldn't corrupt the free list).
+  void Free(int32_t id);
+
+  bool IsValidId(int32_t id) const { return id >= 0 && static_cast<uint32_t>(id) < count_; }
+  uint32_t buffer_bytes() const { return buffer_bytes_; }
+  uint32_t count() const { return count_; }
+  uint32_t free_count() const { return static_cast<uint32_t>(free_list_.size()); }
+  uint64_t double_frees() const { return double_frees_; }
+
+  // Shared view of buffer `id` (both sides use this; the device reaches the
+  // same bytes via BufferIova through the IOMMU).
+  Result<ByteSpan> Buffer(int32_t id);
+  // The device-visible address of buffer `id`.
+  Result<uint64_t> BufferIova(int32_t id) const;
+
+ private:
+  DmaSpace* dma_;
+  uint32_t count_;
+  uint32_t buffer_bytes_;
+  DmaRegion region_{};
+  bool initialized_ = false;
+  std::vector<int32_t> free_list_;
+  std::vector<bool> allocated_;
+  uint64_t double_frees_ = 0;
+};
+
+}  // namespace sud
+
+#endif  // SUD_SRC_SUD_SHARED_POOL_H_

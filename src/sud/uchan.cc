@@ -1,0 +1,256 @@
+#include "src/sud/uchan.h"
+
+#include <chrono>
+
+#include "src/base/log.h"
+
+namespace sud {
+
+Uchan::Uchan(Config config, CpuModel* cpu) : config_(config), cpu_(cpu) {}
+
+void Uchan::ChargeBoth(SimTime nanos) {
+  if (cpu_ != nullptr) {
+    cpu_->Charge(kAccountKernel, nanos);
+  }
+}
+
+void Uchan::set_downcall_handler(DowncallHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  downcall_handler_ = std::move(handler);
+}
+
+void Uchan::set_user_pump(std::function<void()> pump) {
+  std::lock_guard<std::mutex> lock(mu_);
+  user_pump_ = std::move(pump);
+}
+
+Status Uchan::EnqueueUpcallLocked(UchanMsg&& msg, std::unique_lock<std::mutex>& lock) {
+  if (shutdown_) {
+    return Status(ErrorCode::kUnavailable, "uchan shut down");
+  }
+  if (k2u_ring_.size() >= config_.ring_entries) {
+    // Section 3.1.1: "if the device driver's queue is full, the kernel can
+    // wait a short period of time to determine if the user-space driver is
+    // making any progress at all" — modelled as an immediate kQueueFull the
+    // proxy converts into a hung-driver report after its grace policy.
+    stats_.upcalls_dropped_full++;
+    return Status(ErrorCode::kQueueFull, "kernel-to-user ring full");
+  }
+  if (cpu_ != nullptr) {
+    cpu_->Charge(kAccountKernel, cpu_->costs().uchan_msg);
+  }
+  if (driver_idle_) {
+    // The driver is asleep in select: this enqueue costs one process wakeup
+    // (the 4 us of Section 5.1); it is now runnable, so further enqueues
+    // before its next sleep are free.
+    if (cpu_ != nullptr) {
+      cpu_->Charge(kAccountKernel, cpu_->costs().process_wakeup);
+    }
+    stats_.wakeups++;
+    driver_idle_ = false;
+  }
+  k2u_ring_.push_back(std::move(msg));
+  upcall_cv_.notify_all();
+  return Status::Ok();
+}
+
+Result<UchanMsg> Uchan::SendSync(UchanMsg msg) {
+  std::unique_lock<std::mutex> lock(mu_);
+  msg.seq = next_seq_++;
+  msg.needs_reply = true;
+  uint64_t seq = msg.seq;
+  stats_.upcalls_sync++;
+  Status enq = EnqueueUpcallLocked(std::move(msg), lock);
+  if (!enq.ok()) {
+    return enq;
+  }
+
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(config_.sync_timeout_ms);
+  while (replies_.count(seq) == 0 && !shutdown_) {
+    if (user_pump_) {
+      // Single-threaded harness: run the driver inline instead of blocking.
+      auto pump = user_pump_;
+      lock.unlock();
+      pump();
+      lock.lock();
+      if (replies_.count(seq) != 0 || shutdown_) {
+        break;
+      }
+      // Driver ran but did not reply: a hung or malicious driver. The upcall
+      // is interruptable — give up.
+      stats_.upcalls_timed_out++;
+      replies_.erase(seq);
+      return Status(ErrorCode::kTimedOut, "synchronous upcall interrupted (driver unresponsive)");
+    }
+    if (reply_cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        replies_.count(seq) == 0) {
+      stats_.upcalls_timed_out++;
+      return Status(ErrorCode::kTimedOut, "synchronous upcall timed out");
+    }
+  }
+  if (shutdown_ && replies_.count(seq) == 0) {
+    return Status(ErrorCode::kUnavailable, "uchan shut down");
+  }
+  UchanMsg reply = std::move(replies_[seq]);
+  replies_.erase(seq);
+  if (cpu_ != nullptr) {
+    cpu_->Charge(kAccountKernel, cpu_->costs().uchan_msg);
+  }
+  return reply;
+}
+
+Status Uchan::SendAsync(UchanMsg msg) {
+  std::unique_lock<std::mutex> lock(mu_);
+  msg.seq = next_seq_++;
+  msg.needs_reply = false;
+  stats_.upcalls_async++;
+  return EnqueueUpcallLocked(std::move(msg), lock);
+}
+
+Result<UchanMsg> Uchan::Wait(uint64_t timeout_ms) {
+  FlushDowncalls();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) {
+    return Status(ErrorCode::kUnavailable, "uchan shut down");
+  }
+  if (k2u_ring_.empty()) {
+    // Ring empty: the driver sleeps in select on the uchan fd. Entering and
+    // leaving the kernel for select costs a syscall.
+    driver_idle_ = true;
+    if (cpu_ != nullptr) {
+      cpu_->Charge(kAccountDriver, cpu_->costs().syscall);
+    }
+    if (timeout_ms == 0) {
+      return Status(ErrorCode::kTimedOut, "no pending upcalls");
+    }
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (k2u_ring_.empty() && !shutdown_) {
+      if (upcall_cv_.wait_until(lock, deadline) == std::cv_status::timeout && k2u_ring_.empty()) {
+        return Status(ErrorCode::kTimedOut, "no pending upcalls");
+      }
+    }
+    if (shutdown_) {
+      return Status(ErrorCode::kUnavailable, "uchan shut down");
+    }
+  }
+  driver_idle_ = false;
+  UchanMsg msg = std::move(k2u_ring_.front());
+  k2u_ring_.pop_front();
+  if (cpu_ != nullptr) {
+    cpu_->Charge(kAccountDriver, cpu_->costs().uchan_msg);
+  }
+  return msg;
+}
+
+void Uchan::Reply(const UchanMsg& request, UchanMsg reply) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!request.needs_reply || shutdown_) {
+    return;
+  }
+  reply.seq = request.seq;
+  reply.needs_reply = false;
+  if (cpu_ != nullptr) {
+    cpu_->Charge(kAccountDriver, cpu_->costs().uchan_msg);
+  }
+  replies_[request.seq] = std::move(reply);
+  reply_cv_.notify_all();
+}
+
+void Uchan::RunDowncallLocked(UchanMsg& msg, std::unique_lock<std::mutex>& lock) {
+  DowncallHandler handler = downcall_handler_;
+  lock.unlock();
+  if (handler) {
+    handler(msg);
+  } else {
+    msg.error = static_cast<int32_t>(ErrorCode::kUnavailable);
+  }
+  lock.lock();
+}
+
+Status Uchan::DowncallSync(UchanMsg& msg) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) {
+    return Status(ErrorCode::kUnavailable, "uchan shut down");
+  }
+  stats_.downcalls_sync++;
+  // A synchronous downcall always enters the kernel, flushing any batch
+  // first (batched messages must stay ordered ahead of this one).
+  std::vector<UchanMsg> batch;
+  batch.swap(downcall_batch_);
+  if (cpu_ != nullptr) {
+    cpu_->Charge(kAccountDriver, cpu_->costs().syscall);
+  }
+  stats_.downcall_batches++;
+  for (UchanMsg& queued : batch) {
+    if (cpu_ != nullptr) {
+      cpu_->Charge(kAccountKernel, cpu_->costs().uchan_msg);
+    }
+    RunDowncallLocked(queued, lock);
+  }
+  if (cpu_ != nullptr) {
+    cpu_->Charge(kAccountKernel, cpu_->costs().uchan_msg);
+  }
+  RunDowncallLocked(msg, lock);
+  return msg.error == 0 ? Status::Ok()
+                        : Status(static_cast<ErrorCode>(msg.error), "downcall failed");
+}
+
+Status Uchan::DowncallAsync(UchanMsg msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status(ErrorCode::kUnavailable, "uchan shut down");
+    }
+    stats_.downcalls_async++;
+    if (config_.batch_async_downcalls) {
+      downcall_batch_.push_back(std::move(msg));
+      return Status::Ok();
+    }
+    downcall_batch_.push_back(std::move(msg));
+  }
+  // Unbatched configuration: every async downcall enters the kernel at once.
+  FlushDowncalls();
+  return Status::Ok();
+}
+
+void Uchan::FlushDowncalls() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (downcall_batch_.empty() || shutdown_) {
+    return;
+  }
+  std::vector<UchanMsg> batch;
+  batch.swap(downcall_batch_);
+  // One kernel entry for the whole batch: the batching win of Section 3.1.2.
+  if (cpu_ != nullptr) {
+    cpu_->Charge(kAccountDriver, cpu_->costs().syscall);
+  }
+  stats_.downcall_batches++;
+  for (UchanMsg& msg : batch) {
+    if (cpu_ != nullptr) {
+      cpu_->Charge(kAccountKernel, cpu_->costs().uchan_msg);
+    }
+    RunDowncallLocked(msg, lock);
+  }
+}
+
+void Uchan::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  k2u_ring_.clear();
+  downcall_batch_.clear();
+  upcall_cv_.notify_all();
+  reply_cv_.notify_all();
+}
+
+bool Uchan::is_shutdown() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
+}
+
+size_t Uchan::pending_upcalls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return k2u_ring_.size();
+}
+
+}  // namespace sud

@@ -1,0 +1,138 @@
+// Uchan: the shared-memory RPC channel between a proxy driver (kernel side)
+// and an untrusted user-space driver (Figure 3 of the paper).
+//
+// Two ring buffers — kernel-to-user for upcalls and user-to-kernel for
+// downcalls and replies — with the exact semantics Section 3.1 describes:
+//
+//  * sud_send   -> SendSync:    synchronous upcall; the kernel-side caller
+//                               blocks until the driver replies. Always
+//                               *interruptable*: a timeout (the model's
+//                               Ctrl-C) returns kTimedOut instead of hanging
+//                               the kernel on a malicious driver.
+//  * sud_asend  -> SendAsync:   asynchronous upcall; returns kQueueFull when
+//                               the ring stays full (hung-driver signal).
+//  * sud_wait   -> Wait:        driver-side dequeue; polls the ring first
+//                               and only then "selects" (sleeps). Also the
+//                               flush point for batched async downcalls.
+//  * sud_reply  -> Reply:       driver answers a synchronous upcall.
+//
+// Downcalls reverse the roles; per Section 3.1, the kernel returns results
+// of synchronous downcalls by writing into the caller's message rather than
+// sending a separate message — DowncallSync therefore takes the message by
+// reference and the handler mutates it in place. Async downcalls are
+// *batched* in the uchan library and flushed on the next Wait/SendSync entry
+// into the kernel (Section 3.1.2), which is the optimization the
+// abl_uchan_batching bench sweeps.
+//
+// Threading: kernel-side and driver-side calls may run on different threads
+// (DriverHost's threaded mode) or on one thread with a "pump" that runs the
+// driver's dispatch loop inline when the kernel would otherwise block.
+
+#ifndef SUD_SRC_SUD_UCHAN_H_
+#define SUD_SRC_SUD_UCHAN_H_
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/base/cpu_model.h"
+#include "src/base/status.h"
+
+namespace sud {
+
+struct UchanMsg {
+  uint32_t opcode = 0;
+  uint64_t seq = 0;
+  bool needs_reply = false;
+  std::array<uint64_t, 6> args{};
+  std::vector<uint8_t> inline_data;  // small marshalled payloads
+  int32_t buffer_id = -1;            // shared-pool buffer handle, or -1
+  uint32_t buffer_len = 0;
+  int32_t error = 0;                 // ErrorCode as int, for replies
+};
+
+class Uchan {
+ public:
+  struct Config {
+    size_t ring_entries = 256;
+    // Wall-clock bound on synchronous upcalls: the "interruptable upcall"
+    // of Section 3.1.1. Generous by default; liveness tests shrink it.
+    uint64_t sync_timeout_ms = 250;
+    bool batch_async_downcalls = true;
+  };
+
+  struct Stats {
+    uint64_t upcalls_sync = 0;
+    uint64_t upcalls_async = 0;
+    uint64_t upcalls_timed_out = 0;
+    uint64_t upcalls_dropped_full = 0;
+    uint64_t downcalls_sync = 0;
+    uint64_t downcalls_async = 0;
+    uint64_t downcall_batches = 0;  // flushes (kernel entries for downcalls)
+    uint64_t wakeups = 0;           // driver woken from "select"
+  };
+
+  Uchan() : Uchan(Config{}, nullptr) {}
+  explicit Uchan(Config config, CpuModel* cpu = nullptr);
+
+  // ---- kernel (proxy driver) side -----------------------------------------
+  Result<UchanMsg> SendSync(UchanMsg msg);
+  Status SendAsync(UchanMsg msg);
+
+  // The kernel half of the downcall path: invoked once per downcall when the
+  // driver enters the kernel (flush or sync downcall). Mutates the message
+  // in place to return results.
+  using DowncallHandler = std::function<void(UchanMsg&)>;
+  void set_downcall_handler(DowncallHandler handler);
+
+  // ---- driver (user-space) side -------------------------------------------
+  // Dequeues the next upcall. Flushes batched downcalls first. Returns
+  // kTimedOut if nothing arrives within `timeout_ms` (0 = poll only).
+  Result<UchanMsg> Wait(uint64_t timeout_ms);
+  void Reply(const UchanMsg& request, UchanMsg reply);
+  Status DowncallSync(UchanMsg& msg);
+  Status DowncallAsync(UchanMsg msg);
+  void FlushDowncalls();
+
+  // Single-threaded harness support: when set, SendSync runs the pump
+  // (usually the driver's dispatch loop) instead of blocking on the ring.
+  void set_user_pump(std::function<void()> pump);
+
+  // Channel teardown (driver killed / device revoked): every blocked or
+  // future call fails with kUnavailable.
+  void Shutdown();
+  bool is_shutdown() const;
+
+  const Stats& stats() const { return stats_; }
+  size_t pending_upcalls() const;
+
+ private:
+  void ChargeBoth(SimTime nanos);
+  Status EnqueueUpcallLocked(UchanMsg&& msg, std::unique_lock<std::mutex>& lock);
+  void RunDowncallLocked(UchanMsg& msg, std::unique_lock<std::mutex>& lock);
+
+  Config config_;
+  CpuModel* cpu_;
+
+  mutable std::mutex mu_;
+  std::condition_variable upcall_cv_;  // driver sleeping in "select"
+  std::condition_variable reply_cv_;   // kernel waiting for a sync reply
+  std::deque<UchanMsg> k2u_ring_;
+  std::map<uint64_t, UchanMsg> replies_;  // seq -> reply
+  std::vector<UchanMsg> downcall_batch_;  // user-side pending async downcalls
+  DowncallHandler downcall_handler_;
+  std::function<void()> user_pump_;
+  uint64_t next_seq_ = 1;
+  bool shutdown_ = false;
+  bool driver_idle_ = true;  // true while the driver would be asleep in select
+  Stats stats_;
+};
+
+}  // namespace sud
+
+#endif  // SUD_SRC_SUD_UCHAN_H_

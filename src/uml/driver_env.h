@@ -1,0 +1,123 @@
+// DriverEnv: the kernel-runtime surface a device driver programs against.
+//
+// The paper's central reuse claim is that *unmodified* Linux drivers run
+// under SUD because SUD-UML reproduces the kernel environment they expect.
+// This repo expresses the same claim structurally: every driver in
+// src/drivers is written once against DriverEnv, and runs
+//
+//   * in-kernel, via DirectEnv  — the trusted baseline of Figure 8, with
+//     direct register access and direct calls into kernel subsystems; or
+//   * in user space, via UmlRuntime — the SUD path, where the same calls
+//     become filtered safe-PCI syscalls, uchan downcalls and upcall
+//     dispatch.
+//
+// The method names deliberately shadow their Linux counterparts
+// (pci_enable_device, dma_alloc_coherent, request_irq, register_netdev,
+// netif_rx, netif_carrier_on, ...) so the drivers read like Figure 2.
+
+#ifndef SUD_SRC_UML_DRIVER_ENV_H_
+#define SUD_SRC_UML_DRIVER_ENV_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/kern/audio.h"
+#include "src/kern/wireless.h"
+#include "src/sud/dma_space.h"
+
+namespace sud::uml {
+
+// Callbacks a network driver registers with register_netdev. `xmit` receives
+// the frame already in DMA-visible memory at `frame_iova`; `pool_buffer_id`
+// is >= 0 when the frame lives in a shared-pool buffer the driver must
+// return with FreeTxBuffer once transmitted.
+struct NetDriverOps {
+  std::function<Status()> open;       // ndo_open
+  std::function<Status()> stop;       // ndo_stop
+  std::function<Status(uint64_t frame_iova, uint32_t len, int32_t pool_buffer_id)> xmit;
+  std::function<Result<std::string>(uint32_t cmd)> ioctl;
+};
+
+struct WifiDriverOps {
+  std::function<Result<std::vector<kern::ScanResult>>()> scan;
+  std::function<Status(const std::string& ssid)> associate;
+  std::function<void(uint32_t features)> enable_features;  // async notification
+};
+
+struct AudioDriverOps {
+  std::function<Status(const kern::PcmConfig& config)> open_stream;
+  std::function<Status()> close_stream;
+  std::function<Status(uint64_t samples_iova, uint32_t len, int32_t pool_buffer_id)> write;
+};
+
+class DriverEnv {
+ public:
+  virtual ~DriverEnv() = default;
+
+  // --- time
+  virtual uint64_t Jiffies() = 0;
+
+  // --- PCI configuration space (filtered under SUD)
+  virtual Result<uint32_t> PciConfigRead(uint16_t offset, int width) = 0;
+  virtual Status PciConfigWrite(uint16_t offset, int width, uint32_t value) = 0;
+  // pci_enable_device: sets IO/MEM enable; pci_set_master adds bus mastering.
+  virtual Status PciEnableDevice() = 0;
+  virtual Status PciSetMaster() = 0;
+
+  // --- device registers
+  virtual Result<uint32_t> MmioRead32(int bar, uint64_t offset) = 0;
+  virtual Status MmioWrite32(int bar, uint64_t offset, uint32_t value) = 0;
+  virtual Result<uint8_t> IoRead8(uint16_t port) = 0;
+  virtual Status IoWrite8(uint16_t port, uint8_t value) = 0;
+  virtual Status RequestIoRegion() = 0;  // request_region
+  // The port base of the device's IO BAR (for drivers using inb/outb).
+  virtual Result<uint16_t> IoBarBase() = 0;
+
+  // --- DMA memory (dma_alloc_coherent / dma_caching mmap)
+  virtual Result<DmaRegion> DmaAllocCoherent(uint64_t bytes) = 0;
+  virtual Result<DmaRegion> DmaAllocCaching(uint64_t bytes) = 0;
+  // The driver's view of DMA memory it allocated (virtual address == iova).
+  virtual Result<ByteSpan> DmaView(uint64_t iova, uint64_t len) = 0;
+
+  // --- interrupts
+  virtual Status RequestIrq(std::function<void()> handler) = 0;
+  virtual Status FreeIrq() = 0;
+  // Signals end-of-interrupt handling ("interrupt_ack" downcall under SUD).
+  virtual Status InterruptAck() = 0;
+
+  // --- network subsystem
+  virtual Status RegisterNetdev(const uint8_t mac[6], NetDriverOps ops) = 0;
+  virtual Status NetifRx(uint64_t frame_iova, uint32_t len) = 0;
+  virtual void NetifCarrierOn() = 0;   // mirror macros (§3.3)
+  virtual void NetifCarrierOff() = 0;
+  // Returns a transmitted shared-pool buffer (no-op in-kernel).
+  virtual void FreeTxBuffer(int32_t pool_buffer_id) = 0;
+
+  // --- wireless subsystem
+  virtual Status RegisterWifi(uint32_t supported_features, WifiDriverOps ops) = 0;
+  virtual void WifiBssChange(bool associated) = 0;
+  virtual void WifiSetBitrates(const std::vector<uint32_t>& rates) = 0;
+
+  // --- audio subsystem
+  virtual Status RegisterAudio(AudioDriverOps ops) = 0;
+  virtual void AudioPeriodElapsed() = 0;
+
+  // --- input (USB HID reports)
+  virtual void SubmitKeyEvent(uint8_t usage_code) = 0;
+};
+
+// A driver: one per device model, written once, run under either env.
+class Driver {
+ public:
+  virtual ~Driver() = default;
+  virtual const char* name() const = 0;
+  virtual Status Probe(DriverEnv& env) = 0;
+  virtual void Remove(DriverEnv& env) {}
+};
+
+}  // namespace sud::uml
+
+#endif  // SUD_SRC_UML_DRIVER_ENV_H_

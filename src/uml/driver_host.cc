@@ -1,0 +1,89 @@
+#include "src/uml/driver_host.h"
+
+#include "src/base/log.h"
+
+namespace sud::uml {
+
+DriverHost::DriverHost(kern::Kernel* kernel, SudDeviceContext* ctx, std::string name,
+                       kern::Uid uid)
+    : kernel_(kernel), ctx_(ctx), name_(std::move(name)), uid_(uid) {}
+
+DriverHost::~DriverHost() {
+  if (running_) {
+    (void)Kill();
+  }
+}
+
+Status DriverHost::Start(std::unique_ptr<Driver> driver, Mode mode) {
+  if (running_) {
+    return Status(ErrorCode::kAlreadyExists, name_ + " already running");
+  }
+  process_ = &kernel_->processes().Spawn(name_, uid_);
+  SUD_RETURN_IF_ERROR(ctx_->Bind(process_));
+  runtime_ = std::make_unique<UmlRuntime>(kernel_, ctx_, process_);
+  driver_ = std::move(driver);
+  mode_ = mode;
+  running_ = true;
+
+  if (mode == Mode::kPumped) {
+    ctx_->ctl().set_user_pump([this]() {
+      if (runtime_ != nullptr) {
+        runtime_->ProcessPending();
+      }
+    });
+  }
+
+  Status probed = driver_->Probe(*runtime_);
+  if (!probed.ok()) {
+    SUD_LOG(kWarning) << name_ << ": probe failed: " << probed.ToString();
+    (void)Kill();
+    return probed;
+  }
+
+  if (mode == Mode::kThreaded) {
+    stop_requested_ = false;
+    thread_ = std::thread([this]() { ThreadLoop(); });
+  }
+  SUD_LOG(kInfo) << name_ << ": driver " << driver_->name() << " started (pid "
+                 << process_->pid() << ")";
+  return Status::Ok();
+}
+
+void DriverHost::ThreadLoop() {
+  while (!stop_requested_) {
+    (void)runtime_->RunOnce(/*timeout_ms=*/5);
+  }
+}
+
+Status DriverHost::Kill() {
+  if (!running_) {
+    return Status(ErrorCode::kUnavailable, name_ + " not running");
+  }
+  stop_requested_ = true;
+  ctx_->ctl().Shutdown();  // unblocks a thread stuck in Wait
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  (void)kernel_->processes().Kill(process_->pid());
+  ctx_->Teardown();  // the kernel reclaims every granted resource
+  running_ = false;
+  runtime_.reset();
+  driver_.reset();
+  SUD_LOG(kInfo) << name_ << ": killed and reclaimed";
+  return Status::Ok();
+}
+
+Status DriverHost::Restart(std::unique_ptr<Driver> driver, Mode mode) {
+  if (running_) {
+    SUD_RETURN_IF_ERROR(Kill());
+  }
+  return Start(std::move(driver), mode);
+}
+
+void DriverHost::Pump() {
+  if (running_ && runtime_ != nullptr) {
+    runtime_->ProcessPending();
+  }
+}
+
+}  // namespace sud::uml

@@ -1,0 +1,79 @@
+// DriverHost: lifecycle manager for one untrusted driver process
+// (Section 4.1: start, kill -9, restart, setrlimit, sched_setscheduler).
+//
+// A host owns the simulated process (own UID), the UmlRuntime and the driver
+// instance. Start binds the SUD device context to the process and runs the
+// driver's probe; Kill models `kill -9` — the process dies mid-whatever and
+// the kernel reclaims everything via SudDeviceContext::Teardown; Restart
+// starts a fresh driver instance against a re-bound context, demonstrating
+// that recovery needs nothing beyond process machinery.
+//
+// Two execution modes:
+//  * pumped (default): the driver's dispatch loop runs inline whenever the
+//    kernel would block on it — deterministic, used by tests and benches;
+//  * threaded: a real std::thread runs the dispatch loop, used by the
+//    liveness tests (hung-driver timeouts against a real concurrent driver).
+
+#ifndef SUD_SRC_UML_DRIVER_HOST_H_
+#define SUD_SRC_UML_DRIVER_HOST_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/kern/kernel.h"
+#include "src/sud/safe_pci.h"
+#include "src/uml/uml_runtime.h"
+
+namespace sud::uml {
+
+class DriverHost {
+ public:
+  // kComatose models a driver process stuck in an infinite loop: it exists,
+  // holds its resources, but never services its uchan.
+  enum class Mode { kPumped, kThreaded, kComatose };
+
+  DriverHost(kern::Kernel* kernel, SudDeviceContext* ctx, std::string name, kern::Uid uid);
+  ~DriverHost();
+
+  DriverHost(const DriverHost&) = delete;
+  DriverHost& operator=(const DriverHost&) = delete;
+
+  // Spawns the process, binds the device, probes the driver.
+  Status Start(std::unique_ptr<Driver> driver, Mode mode = Mode::kPumped);
+
+  // kill -9: stop the thread (if any), mark the process dead, tear down the
+  // device context. The driver gets no chance to clean up — that is the point.
+  Status Kill();
+
+  // Restart with a fresh driver instance (usually the same type).
+  Status Restart(std::unique_ptr<Driver> driver, Mode mode = Mode::kPumped);
+
+  // Pumped mode: process pending upcalls now.
+  void Pump();
+
+  bool running() const { return running_; }
+  kern::Process* process() { return process_; }
+  UmlRuntime* runtime() { return runtime_.get(); }
+  Driver* driver() { return driver_.get(); }
+
+ private:
+  void ThreadLoop();
+
+  kern::Kernel* kernel_;
+  SudDeviceContext* ctx_;
+  std::string name_;
+  kern::Uid uid_;
+  kern::Process* process_ = nullptr;
+  std::unique_ptr<UmlRuntime> runtime_;
+  std::unique_ptr<Driver> driver_;
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  bool running_ = false;
+  Mode mode_ = Mode::kPumped;
+};
+
+}  // namespace sud::uml
+
+#endif  // SUD_SRC_UML_DRIVER_HOST_H_

@@ -1,0 +1,92 @@
+// DriverSupervisor: shadow-driver-style automatic recovery (§2: "SUD's
+// architecture could also use shadow drivers to gracefully restart untrusted
+// device drivers", pointing at Swift et al.'s shadow drivers).
+//
+// The supervisor watches one DriverHost. When the driver is dead, hung
+// (synchronous upcalls timing out), or leaking (the proxy reports a full
+// ring repeatedly), it performs the §4.1 administrator dance automatically:
+// kill -9, tear down, start a fresh driver instance from the factory, and
+// replay the recorded configuration (interface up). Because SUD reclaims
+// every kernel resource on kill, recovery needs no driver cooperation.
+
+#ifndef SUD_SRC_UML_SUPERVISOR_H_
+#define SUD_SRC_UML_SUPERVISOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/uml/driver_host.h"
+
+namespace sud::uml {
+
+class DriverSupervisor {
+ public:
+  using DriverFactory = std::function<std::unique_ptr<Driver>()>;
+
+  struct Options {
+    // Hung-driver reports from the proxy before the supervisor restarts.
+    uint64_t hung_report_threshold = 1;
+    uint32_t max_restarts = 8;
+  };
+
+  DriverSupervisor(kern::Kernel* kernel, DriverHost* host, DriverFactory factory)
+      : DriverSupervisor(kernel, host, std::move(factory), Options{}) {}
+  DriverSupervisor(kern::Kernel* kernel, DriverHost* host, DriverFactory factory,
+                   Options options)
+      : kernel_(kernel), host_(host), factory_(std::move(factory)), options_(options) {}
+
+  // Records kernel-side configuration to replay after a restart (the shadow
+  // state: which interface to bring up).
+  void ShadowNetdev(const std::string& ifname) { shadow_ifname_ = ifname; }
+
+  // Observes a hung report count from the proxy (the supervisor has no
+  // direct proxy dependency; the harness feeds it the counter).
+  void ObserveHungReports(uint64_t reports) { hung_reports_ = reports; }
+
+  // One supervision step: restart if the driver looks dead or hung.
+  // Returns true if a recovery was performed.
+  bool CheckAndRecover() {
+    bool dead = !host_->running() ||
+                (host_->process() != nullptr && !host_->process()->alive());
+    bool hung = hung_reports_ >= options_.hung_report_threshold &&
+                options_.hung_report_threshold > 0;
+    if (!dead && !hung) {
+      return false;
+    }
+    if (restarts_ >= options_.max_restarts) {
+      return false;  // give up; the admin takes over
+    }
+    ++restarts_;
+    if (host_->running()) {
+      (void)host_->Kill();
+    }
+    if (!shadow_ifname_.empty()) {
+      // The interface is administratively down while the driver is dead.
+      (void)kernel_->net().BringDown(shadow_ifname_);
+    }
+    if (!host_->Start(factory_()).ok()) {
+      return false;
+    }
+    hung_reports_ = 0;
+    if (!shadow_ifname_.empty()) {
+      (void)kernel_->net().BringUp(shadow_ifname_);
+    }
+    return true;
+  }
+
+  uint32_t restarts() const { return restarts_; }
+
+ private:
+  kern::Kernel* kernel_;
+  DriverHost* host_;
+  DriverFactory factory_;
+  Options options_;
+  std::string shadow_ifname_;
+  uint64_t hung_reports_ = 0;
+  uint32_t restarts_ = 0;
+};
+
+}  // namespace sud::uml
+
+#endif  // SUD_SRC_UML_SUPERVISOR_H_

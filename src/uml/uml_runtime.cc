@@ -1,0 +1,377 @@
+#include "src/uml/uml_runtime.h"
+
+#include <cstring>
+
+#include "src/base/log.h"
+
+namespace sud::uml {
+
+UmlRuntime::UmlRuntime(kern::Kernel* kernel, SudDeviceContext* ctx, kern::Process* proc)
+    : kernel_(kernel), ctx_(ctx), proc_(proc) {}
+
+uint64_t UmlRuntime::Jiffies() {
+  // jiffies at HZ=1000: one per simulated millisecond.
+  return kernel_->machine().clock().now() / kMillisecond;
+}
+
+Result<uint32_t> UmlRuntime::PciConfigRead(uint16_t offset, int width) {
+  return ctx_->ConfigRead(offset, width);
+}
+
+Status UmlRuntime::PciConfigWrite(uint16_t offset, int width, uint32_t value) {
+  return ctx_->ConfigWrite(offset, width, value);
+}
+
+Status UmlRuntime::PciEnableDevice() {
+  Result<uint32_t> command = ctx_->ConfigRead(hw::kPciCommand, 2);
+  if (!command.ok()) {
+    return command.status();
+  }
+  return ctx_->ConfigWrite(hw::kPciCommand, 2,
+                           command.value() | hw::kPciCommandIoEnable | hw::kPciCommandMemEnable);
+}
+
+Status UmlRuntime::PciSetMaster() {
+  Result<uint32_t> command = ctx_->ConfigRead(hw::kPciCommand, 2);
+  if (!command.ok()) {
+    return command.status();
+  }
+  return ctx_->ConfigWrite(hw::kPciCommand, 2, command.value() | hw::kPciCommandBusMaster);
+}
+
+Result<uint32_t> UmlRuntime::MmioRead32(int bar, uint64_t offset) {
+  return ctx_->MmioRead(bar, offset);
+}
+
+Status UmlRuntime::MmioWrite32(int bar, uint64_t offset, uint32_t value) {
+  return ctx_->MmioWrite(bar, offset, value);
+}
+
+Result<uint8_t> UmlRuntime::IoRead8(uint16_t port) { return ctx_->IoPortRead(port); }
+
+Status UmlRuntime::IoWrite8(uint16_t port, uint8_t value) { return ctx_->IoPortWrite(port, value); }
+
+Status UmlRuntime::RequestIoRegion() {
+  // Figure 7: "request_region — add IO-space ports to the driver's IO
+  // permission bitmask" — a downcall, not a direct call.
+  UchanMsg msg;
+  return SyncDowncall(kOpRequestRegion, &msg);
+}
+
+Result<uint16_t> UmlRuntime::IoBarBase() {
+  for (size_t b = 0; b < ctx_->device()->bars().size(); ++b) {
+    if (ctx_->device()->bars()[b].is_io) {
+      Result<uint32_t> bar = ctx_->ConfigRead(hw::kPciBar0 + 4 * static_cast<uint16_t>(b), 4);
+      if (!bar.ok()) {
+        return bar.status();
+      }
+      return static_cast<uint16_t>(bar.value() & ~0xfu);
+    }
+  }
+  return Status(ErrorCode::kNotFound, "device has no io bar");
+}
+
+Result<DmaRegion> UmlRuntime::DmaAllocCoherent(uint64_t bytes) {
+  SUD_RETURN_IF_ERROR(proc_->ChargeMemory(hw::PageAlignUp(bytes)));
+  Result<DmaRegion> region = ctx_->dma().Alloc(bytes, /*coherent=*/true);
+  if (!region.ok()) {
+    proc_->UncchargeMemory(hw::PageAlignUp(bytes));
+  }
+  return region;
+}
+
+Result<DmaRegion> UmlRuntime::DmaAllocCaching(uint64_t bytes) {
+  SUD_RETURN_IF_ERROR(proc_->ChargeMemory(hw::PageAlignUp(bytes)));
+  Result<DmaRegion> region = ctx_->dma().Alloc(bytes, /*coherent=*/false);
+  if (!region.ok()) {
+    proc_->UncchargeMemory(hw::PageAlignUp(bytes));
+  }
+  return region;
+}
+
+Result<ByteSpan> UmlRuntime::DmaView(uint64_t iova, uint64_t len) {
+  return ctx_->dma().HostView(iova, len);
+}
+
+Status UmlRuntime::RequestIrq(std::function<void()> handler) {
+  irq_handler_ = std::move(handler);
+  return Status::Ok();
+}
+
+Status UmlRuntime::FreeIrq() {
+  irq_handler_ = nullptr;
+  return Status::Ok();
+}
+
+Status UmlRuntime::InterruptAck() {
+  UchanMsg msg;
+  return SyncDowncall(kOpInterruptAck, &msg);
+}
+
+Status UmlRuntime::SyncDowncall(uint32_t opcode, UchanMsg* msg) {
+  msg->opcode = opcode;
+  return ctx_->ctl().DowncallSync(*msg);
+}
+
+Status UmlRuntime::RegisterNetdev(const uint8_t mac[6], NetDriverOps ops) {
+  UchanMsg msg;
+  msg.inline_data.assign(mac, mac + 6);
+  SUD_RETURN_IF_ERROR(SyncDowncall(kEthDownRegisterNetdev, &msg));
+  net_ops_ = std::move(ops);
+  net_registered_ = true;
+  return Status::Ok();
+}
+
+Status UmlRuntime::NetifRx(uint64_t frame_iova, uint32_t len) {
+  UchanMsg msg;
+  msg.opcode = kEthDownNetifRx;
+  msg.args[0] = frame_iova;
+  msg.args[1] = len;
+  return ctx_->ctl().DowncallAsync(std::move(msg));
+}
+
+void UmlRuntime::NetifCarrierOn() {
+  UchanMsg msg;
+  msg.opcode = kEthDownSetCarrier;
+  msg.args[0] = 1;
+  (void)ctx_->ctl().DowncallAsync(std::move(msg));
+}
+
+void UmlRuntime::NetifCarrierOff() {
+  UchanMsg msg;
+  msg.opcode = kEthDownSetCarrier;
+  msg.args[0] = 0;
+  (void)ctx_->ctl().DowncallAsync(std::move(msg));
+}
+
+void UmlRuntime::FreeTxBuffer(int32_t pool_buffer_id) {
+  UchanMsg msg;
+  msg.opcode = kEthDownFreeBuffer;
+  msg.args[0] = static_cast<uint64_t>(pool_buffer_id);
+  (void)ctx_->ctl().DowncallAsync(std::move(msg));
+}
+
+Status UmlRuntime::RegisterWifi(uint32_t supported_features, WifiDriverOps ops) {
+  UchanMsg msg;
+  msg.args[0] = supported_features;
+  SUD_RETURN_IF_ERROR(SyncDowncall(kWifiDownRegister, &msg));
+  wifi_ops_ = std::move(ops);
+  wifi_registered_ = true;
+  return Status::Ok();
+}
+
+void UmlRuntime::WifiBssChange(bool associated) {
+  UchanMsg msg;
+  msg.opcode = kWifiDownBssChange;
+  msg.args[0] = associated ? 1 : 0;
+  (void)ctx_->ctl().DowncallAsync(std::move(msg));
+}
+
+void UmlRuntime::WifiSetBitrates(const std::vector<uint32_t>& rates) {
+  UchanMsg msg;
+  msg.opcode = kWifiDownSetBitrates;
+  msg.inline_data.resize(rates.size() * 4);
+  for (size_t i = 0; i < rates.size(); ++i) {
+    StoreLe32(msg.inline_data.data() + i * 4, rates[i]);
+  }
+  (void)ctx_->ctl().DowncallAsync(std::move(msg));
+}
+
+Status UmlRuntime::RegisterAudio(AudioDriverOps ops) {
+  UchanMsg msg;
+  SUD_RETURN_IF_ERROR(SyncDowncall(kAudioDownRegister, &msg));
+  audio_ops_ = std::move(ops);
+  audio_registered_ = true;
+  return Status::Ok();
+}
+
+void UmlRuntime::AudioPeriodElapsed() {
+  UchanMsg msg;
+  msg.opcode = kAudioDownPeriodElapsed;
+  (void)ctx_->ctl().DowncallAsync(std::move(msg));
+}
+
+void UmlRuntime::SubmitKeyEvent(uint8_t usage_code) {
+  UchanMsg msg;
+  msg.opcode = kUsbDownKeyEvent;
+  msg.args[0] = usage_code;
+  (void)ctx_->ctl().DowncallAsync(std::move(msg));
+}
+
+Status UmlRuntime::RunOnce(uint64_t timeout_ms) {
+  Result<UchanMsg> msg = ctx_->ctl().Wait(timeout_ms);
+  if (!msg.ok()) {
+    return msg.status();
+  }
+  Dispatch(msg.value());
+  return Status::Ok();
+}
+
+void UmlRuntime::ProcessPending() {
+  while (true) {
+    Result<UchanMsg> msg = ctx_->ctl().Wait(0);
+    if (!msg.ok()) {
+      // Flush any downcalls the handlers batched before going idle.
+      ctx_->ctl().FlushDowncalls();
+      return;
+    }
+    Dispatch(msg.value());
+  }
+}
+
+void UmlRuntime::Dispatch(UchanMsg& msg) {
+  ++stats_.upcalls_dispatched;
+  switch (msg.opcode) {
+    case kOpInterrupt: {
+      ++stats_.irq_upcalls;
+      // Interrupt handlers may block in Linux driver conventions only when
+      // threaded; the UML idle thread therefore hands them to a worker
+      // (Section 4.2). The pool is modelled: dispatch stays inline but is
+      // accounted as a worker dispatch.
+      ++stats_.worker_dispatches;
+      if (irq_handler_) {
+        irq_handler_();
+      }
+      // Re-enable the device interrupt once handling completes.
+      (void)InterruptAck();
+      return;
+    }
+    case kEthUpOpen: {
+      ++stats_.inline_dispatches;
+      UchanMsg reply;
+      reply.error = net_registered_ && net_ops_.open
+                        ? static_cast<int32_t>(net_ops_.open().code())
+                        : static_cast<int32_t>(ErrorCode::kUnavailable);
+      ctx_->ctl().Reply(msg, std::move(reply));
+      return;
+    }
+    case kEthUpStop: {
+      ++stats_.inline_dispatches;
+      UchanMsg reply;
+      reply.error = net_registered_ && net_ops_.stop
+                        ? static_cast<int32_t>(net_ops_.stop().code())
+                        : static_cast<int32_t>(ErrorCode::kUnavailable);
+      ctx_->ctl().Reply(msg, std::move(reply));
+      return;
+    }
+    case kEthUpXmit: {
+      ++stats_.inline_dispatches;
+      if (net_registered_ && net_ops_.xmit) {
+        Result<uint64_t> iova = ctx_->pool().BufferIova(msg.buffer_id);
+        if (iova.ok()) {
+          (void)net_ops_.xmit(iova.value(), msg.buffer_len, msg.buffer_id);
+        }
+      }
+      return;
+    }
+    case kEthUpIoctl: {
+      // Ioctls may block (MII reads sleep on real hardware): worker rule.
+      ++stats_.worker_dispatches;
+      UchanMsg reply;
+      if (net_registered_ && net_ops_.ioctl) {
+        Result<std::string> result = net_ops_.ioctl(static_cast<uint32_t>(msg.args[0]));
+        if (result.ok()) {
+          reply.inline_data.assign(result.value().begin(), result.value().end());
+          reply.error = 0;
+        } else {
+          reply.error = static_cast<int32_t>(result.status().code());
+        }
+      } else {
+        reply.error = static_cast<int32_t>(ErrorCode::kUnavailable);
+      }
+      ctx_->ctl().Reply(msg, std::move(reply));
+      return;
+    }
+    case kWifiUpScan: {
+      ++stats_.worker_dispatches;
+      UchanMsg reply;
+      if (wifi_registered_ && wifi_ops_.scan) {
+        Result<std::vector<kern::ScanResult>> results = wifi_ops_.scan();
+        if (results.ok()) {
+          for (const kern::ScanResult& r : results.value()) {
+            size_t off = reply.inline_data.size();
+            reply.inline_data.resize(off + kWifiScanRecordBytes, 0);
+            std::memcpy(reply.inline_data.data() + off, r.bssid.data(), 6);
+            reply.inline_data[off + 6] = r.channel;
+            reply.inline_data[off + 7] = static_cast<uint8_t>(r.signal_dbm);
+            std::memcpy(reply.inline_data.data() + off + 8, r.ssid.data(),
+                        std::min<size_t>(r.ssid.size(), 31));
+          }
+          reply.error = 0;
+        } else {
+          reply.error = static_cast<int32_t>(results.status().code());
+        }
+      } else {
+        reply.error = static_cast<int32_t>(ErrorCode::kUnavailable);
+      }
+      ctx_->ctl().Reply(msg, std::move(reply));
+      return;
+    }
+    case kWifiUpAssociate: {
+      ++stats_.worker_dispatches;
+      UchanMsg reply;
+      if (wifi_registered_ && wifi_ops_.associate) {
+        std::string ssid(msg.inline_data.begin(), msg.inline_data.end());
+        reply.error = static_cast<int32_t>(wifi_ops_.associate(ssid).code());
+      } else {
+        reply.error = static_cast<int32_t>(ErrorCode::kUnavailable);
+      }
+      ctx_->ctl().Reply(msg, std::move(reply));
+      return;
+    }
+    case kWifiUpEnableFeatures: {
+      ++stats_.inline_dispatches;
+      if (wifi_registered_ && wifi_ops_.enable_features) {
+        wifi_ops_.enable_features(static_cast<uint32_t>(msg.args[0]));
+      }
+      return;
+    }
+    case kAudioUpOpenStream: {
+      ++stats_.worker_dispatches;
+      UchanMsg reply;
+      if (audio_registered_ && audio_ops_.open_stream) {
+        kern::PcmConfig config;
+        config.rate_hz = static_cast<uint32_t>(msg.args[0]);
+        config.channels = static_cast<uint32_t>(msg.args[1]);
+        config.sample_bytes = static_cast<uint32_t>(msg.args[2]);
+        config.period_bytes = static_cast<uint32_t>(msg.args[3]);
+        config.buffer_bytes = static_cast<uint32_t>(msg.args[4]);
+        reply.error = static_cast<int32_t>(audio_ops_.open_stream(config).code());
+      } else {
+        reply.error = static_cast<int32_t>(ErrorCode::kUnavailable);
+      }
+      ctx_->ctl().Reply(msg, std::move(reply));
+      return;
+    }
+    case kAudioUpCloseStream: {
+      ++stats_.inline_dispatches;
+      UchanMsg reply;
+      reply.error = audio_registered_ && audio_ops_.close_stream
+                        ? static_cast<int32_t>(audio_ops_.close_stream().code())
+                        : static_cast<int32_t>(ErrorCode::kUnavailable);
+      ctx_->ctl().Reply(msg, std::move(reply));
+      return;
+    }
+    case kAudioUpWrite: {
+      ++stats_.inline_dispatches;
+      if (audio_registered_ && audio_ops_.write) {
+        Result<uint64_t> iova = ctx_->pool().BufferIova(msg.buffer_id);
+        if (iova.ok()) {
+          (void)audio_ops_.write(iova.value(), msg.buffer_len, msg.buffer_id);
+        }
+      }
+      return;
+    }
+    default:
+      ++stats_.unknown_upcalls;
+      SUD_LOG(kWarning) << "sud-uml: unknown upcall opcode " << msg.opcode;
+      if (msg.needs_reply) {
+        UchanMsg reply;
+        reply.error = static_cast<int32_t>(ErrorCode::kInvalidArgument);
+        ctx_->ctl().Reply(msg, std::move(reply));
+      }
+      return;
+  }
+}
+
+}  // namespace sud::uml

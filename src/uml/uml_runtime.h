@@ -1,0 +1,103 @@
+// UmlRuntime: SUD-UML — the user-space kernel environment (5,000 lines in
+// Figure 5).
+//
+// Implements DriverEnv for an untrusted driver process. The three
+// SUD-specific departures from stock UML (Section 3.3) map to:
+//
+//  1. low-level PCI/DMA routines call the safe-PCI module: PciConfigRead/
+//     Write become filtered syscalls, DmaAllocCoherent allocates through the
+//     dma_coherent device file (which installs the IOMMU mapping), and
+//     RequestIrq asks the kernel to forward interrupt upcalls;
+//  2. the upcall dispatch loop (RunOnce/ProcessPending) receives kernel
+//     upcalls and invokes the registered driver callbacks — with the
+//     idle-thread rule of Section 4.2: callbacks that may block are handed
+//     to a (modelled) worker-thread pool, non-blocking ones run inline;
+//  3. shared-memory state mirroring: netif_carrier_on/off and
+//     WifiSetBitrates become downcalls that update the kernel's copy.
+
+#ifndef SUD_SRC_UML_UML_RUNTIME_H_
+#define SUD_SRC_UML_UML_RUNTIME_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/kern/kernel.h"
+#include "src/sud/proto.h"
+#include "src/sud/safe_pci.h"
+#include "src/uml/driver_env.h"
+
+namespace sud::uml {
+
+class UmlRuntime : public DriverEnv {
+ public:
+  UmlRuntime(kern::Kernel* kernel, SudDeviceContext* ctx, kern::Process* proc);
+
+  // --- DriverEnv ------------------------------------------------------------
+  uint64_t Jiffies() override;
+  Result<uint32_t> PciConfigRead(uint16_t offset, int width) override;
+  Status PciConfigWrite(uint16_t offset, int width, uint32_t value) override;
+  Status PciEnableDevice() override;
+  Status PciSetMaster() override;
+  Result<uint32_t> MmioRead32(int bar, uint64_t offset) override;
+  Status MmioWrite32(int bar, uint64_t offset, uint32_t value) override;
+  Result<uint8_t> IoRead8(uint16_t port) override;
+  Status IoWrite8(uint16_t port, uint8_t value) override;
+  Status RequestIoRegion() override;
+  Result<uint16_t> IoBarBase() override;
+  Result<DmaRegion> DmaAllocCoherent(uint64_t bytes) override;
+  Result<DmaRegion> DmaAllocCaching(uint64_t bytes) override;
+  Result<ByteSpan> DmaView(uint64_t iova, uint64_t len) override;
+  Status RequestIrq(std::function<void()> handler) override;
+  Status FreeIrq() override;
+  Status InterruptAck() override;
+  Status RegisterNetdev(const uint8_t mac[6], NetDriverOps ops) override;
+  Status NetifRx(uint64_t frame_iova, uint32_t len) override;
+  void NetifCarrierOn() override;
+  void NetifCarrierOff() override;
+  void FreeTxBuffer(int32_t pool_buffer_id) override;
+  Status RegisterWifi(uint32_t supported_features, WifiDriverOps ops) override;
+  void WifiBssChange(bool associated) override;
+  void WifiSetBitrates(const std::vector<uint32_t>& rates) override;
+  Status RegisterAudio(AudioDriverOps ops) override;
+  void AudioPeriodElapsed() override;
+  void SubmitKeyEvent(uint8_t usage_code) override;
+
+  // --- dispatch loop ----------------------------------------------------------
+  // Processes one pending upcall; kTimedOut when none arrive in time.
+  Status RunOnce(uint64_t timeout_ms);
+  // Drains all pending upcalls without sleeping (the single-threaded pump).
+  void ProcessPending();
+
+  struct Stats {
+    uint64_t upcalls_dispatched = 0;
+    uint64_t irq_upcalls = 0;
+    uint64_t worker_dispatches = 0;  // blockable callbacks (modelled pool)
+    uint64_t inline_dispatches = 0;
+    uint64_t unknown_upcalls = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  SudDeviceContext* ctx() { return ctx_; }
+
+ private:
+  void Dispatch(UchanMsg& msg);
+  Status SyncDowncall(uint32_t opcode, UchanMsg* msg);
+
+  kern::Kernel* kernel_;
+  SudDeviceContext* ctx_;
+  kern::Process* proc_;
+
+  std::function<void()> irq_handler_;
+  NetDriverOps net_ops_;
+  bool net_registered_ = false;
+  WifiDriverOps wifi_ops_;
+  bool wifi_registered_ = false;
+  AudioDriverOps audio_ops_;
+  bool audio_registered_ = false;
+  Stats stats_;
+};
+
+}  // namespace sud::uml
+
+#endif  // SUD_SRC_UML_UML_RUNTIME_H_

@@ -1,0 +1,425 @@
+// Device-model unit tests: the e1000e-class NIC's descriptor rings, the
+// ne2k PIO NIC, the wifi NIC's command mailbox, the audio DMA ring, and the
+// USB host controller's TRB engine — each driven "bare metal", with identity
+// IOMMU mappings standing in for a trusted driver.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/devices/audio_dev.h"
+#include "src/devices/ne2k_nic.h"
+#include "src/devices/sim_nic.h"
+#include "src/devices/usb_host.h"
+#include "src/devices/wifi_nic.h"
+#include "src/hw/machine.h"
+
+namespace sud::devices {
+namespace {
+
+constexpr uint8_t kMac[6] = {0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+
+// Harness granting a device identity-mapped DMA over low DRAM.
+class BareMetal {
+ public:
+  explicit BareMetal(hw::PciDevice* device) {
+    sw_ = &machine.AddSwitch("sw0");
+    (void)machine.AttachDevice(*sw_, device);
+    device->config().set_command(hw::kPciCommandMemEnable | hw::kPciCommandBusMaster);
+    (void)machine.iommu().CreateContext(device->address().source_id());
+    (void)machine.iommu().Map(device->address().source_id(), 0, 0, 1 << 20, true, true);
+  }
+
+  hw::Machine machine;
+
+ private:
+  hw::PcieSwitch* sw_;
+};
+
+void WriteDesc(hw::Machine& m, uint64_t ring, uint32_t index, uint64_t buffer, uint16_t len,
+               uint8_t cmd, uint8_t status) {
+  uint64_t addr = ring + index * 16ull;
+  m.dram().Write64(addr, buffer);
+  uint8_t tail[8] = {};
+  StoreLe16(tail, len);
+  tail[3] = cmd;
+  tail[4] = status;
+  (void)m.dram().Write(addr + 8, {tail, 8});
+}
+
+// A counting sink for the far end of the link.
+struct FrameSink : EtherEndpoint {
+  int frames = 0;
+  size_t last_len = 0;
+  void DeliverFrame(ConstByteSpan frame) override {
+    ++frames;
+    last_len = frame.size();
+  }
+};
+
+uint8_t DescStatus(hw::Machine& m, uint64_t ring, uint32_t index) {
+  uint8_t raw[16];
+  (void)m.dram().Read(ring + index * 16ull, {raw, 16});
+  return raw[12];
+}
+
+TEST(SimNicTest, ResetLoadsMacIntoReceiveAddress) {
+  SimNic nic("nic", kMac);
+  BareMetal hw(&nic);
+  EXPECT_EQ(nic.MmioRead(0, kNicRegRal0), LoadLe32(kMac));
+  EXPECT_EQ(nic.MmioRead(0, kNicRegRah0) & 0xffffu, LoadLe16(kMac + 4));
+  EXPECT_NE(nic.MmioRead(0, kNicRegRah0) & kNicRahValid, 0u);
+}
+
+TEST(SimNicTest, TransmitRingMovesFramesToLink) {
+  SimNic nic("nic", kMac);
+  BareMetal hw(&nic);
+  EtherLink link;
+  nic.ConnectLink(&link, 0);
+  FrameSink sink;
+  link.Attach(1, &sink);
+
+  constexpr uint64_t kRing = 0x1000, kBuf = 0x2000;
+  std::vector<uint8_t> frame(100, 0x42);
+  (void)hw.machine.dram().Write(kBuf, {frame.data(), frame.size()});
+  WriteDesc(hw.machine, kRing, 0, kBuf, 100, kNicDescCmdEop, 0);
+
+  nic.MmioWrite(0, kNicRegTdbal, kRing);
+  nic.MmioWrite(0, kNicRegTdlen, 16 * 16);
+  nic.MmioWrite(0, kNicRegTdh, 0);
+  nic.MmioWrite(0, kNicRegTctl, kNicTctlEnable);
+  nic.MmioWrite(0, kNicRegTdt, 1);
+
+  EXPECT_EQ(nic.stats().tx_frames, 1u);
+  EXPECT_EQ(link.stats().frames[0], 1u);
+  EXPECT_EQ(link.stats().bytes[0], 100u);
+  // DD written back.
+  EXPECT_NE(DescStatus(hw.machine, kRing, 0) & kNicDescStatusDone, 0);
+  // Head caught up with tail.
+  EXPECT_EQ(nic.MmioRead(0, kNicRegTdh), 1u);
+}
+
+TEST(SimNicTest, TransmitDisabledDoesNothing) {
+  SimNic nic("nic", kMac);
+  BareMetal hw(&nic);
+  nic.MmioWrite(0, kNicRegTdbal, 0x1000);
+  nic.MmioWrite(0, kNicRegTdlen, 16 * 16);
+  nic.MmioWrite(0, kNicRegTdt, 1);  // TCTL.EN clear
+  EXPECT_EQ(nic.stats().tx_frames, 0u);
+}
+
+TEST(SimNicTest, ReceiveWritesFrameAndRaisesInterrupt) {
+  SimNic nic("nic", kMac);
+  BareMetal hw(&nic);
+  EtherLink link;
+  nic.ConnectLink(&link, 0);
+  nic.config().set_msi_address(hw::kMsiRangeBase);
+  nic.config().set_msi_data(44);
+  nic.config().set_msi_enabled(true);
+  int interrupts = 0;
+  hw.machine.msi().set_handler([&](uint8_t v, uint16_t) { interrupts += (v == 44); });
+
+  constexpr uint64_t kRing = 0x1000, kBuf = 0x3000;
+  WriteDesc(hw.machine, kRing, 0, kBuf, 0, 0, 0);
+  WriteDesc(hw.machine, kRing, 1, kBuf + 0x800, 0, 0, 0);
+  nic.MmioWrite(0, kNicRegRdbal, kRing);
+  nic.MmioWrite(0, kNicRegRdlen, 16 * 16);
+  nic.MmioWrite(0, kNicRegRdh, 0);
+  nic.MmioWrite(0, kNicRegRdt, 1);
+  nic.MmioWrite(0, kNicRegIms, kNicIntRx);
+  nic.MmioWrite(0, kNicRegRctl, kNicRctlEnable);
+
+  std::vector<uint8_t> frame(80, 0x55);
+  nic.DeliverFrame({frame.data(), frame.size()});
+
+  EXPECT_EQ(nic.stats().rx_frames, 1u);
+  EXPECT_EQ(interrupts, 1);
+  uint8_t got[80];
+  (void)hw.machine.dram().Read(kBuf, {got, 80});
+  EXPECT_EQ(memcmp(got, frame.data(), 80), 0);
+  EXPECT_NE(DescStatus(hw.machine, kRing, 0) & kNicDescStatusDone, 0);
+  // ICR read-clears.
+  EXPECT_NE(nic.MmioRead(0, kNicRegIcr) & kNicIntRx, 0u);
+  EXPECT_EQ(nic.MmioRead(0, kNicRegIcr), 0u);
+}
+
+TEST(SimNicTest, RxBacklogDrainsWhenDescriptorsArmed) {
+  SimNic nic("nic", kMac);
+  BareMetal hw(&nic);
+  std::vector<uint8_t> frame(64, 0x1);
+  // No ring yet: frames back up in the device FIFO.
+  nic.DeliverFrame({frame.data(), frame.size()});
+  nic.DeliverFrame({frame.data(), frame.size()});
+  EXPECT_EQ(nic.stats().rx_frames, 0u);
+
+  constexpr uint64_t kRing = 0x1000;
+  WriteDesc(hw.machine, kRing, 0, 0x3000, 0, 0, 0);
+  WriteDesc(hw.machine, kRing, 1, 0x3800, 0, 0, 0);
+  WriteDesc(hw.machine, kRing, 2, 0x4000, 0, 0, 0);
+  nic.MmioWrite(0, kNicRegRdbal, kRing);
+  nic.MmioWrite(0, kNicRegRdlen, 16 * 16);
+  nic.MmioWrite(0, kNicRegRdh, 0);
+  nic.MmioWrite(0, kNicRegRdt, 2);
+  nic.MmioWrite(0, kNicRegRctl, kNicRctlEnable);  // enabling drains backlog
+  EXPECT_EQ(nic.stats().rx_frames, 2u);
+}
+
+TEST(SimNicTest, MdicAnswersPhyReads) {
+  SimNic nic("nic", kMac);
+  BareMetal hw(&nic);
+  EtherLink link;
+  nic.ConnectLink(&link, 0);
+  nic.MmioWrite(0, kNicRegMdic, (2u << 26) | (1u << 16));  // read BMSR
+  uint32_t mdic = nic.MmioRead(0, kNicRegMdic);
+  EXPECT_NE(mdic & (1u << 28), 0u);  // ready
+  EXPECT_NE(mdic & (1u << 2), 0u);   // link up
+}
+
+TEST(Ne2kTest, PioTransmit) {
+  Ne2kNic nic("ne2k", kMac);
+  BareMetal hw(&nic);
+  EtherLink link;
+  nic.ConnectLink(&link, 0);
+  FrameSink sink;
+  link.Attach(1, &sink);
+  nic.IoWrite(kNe2kPortCmd, kNe2kCmdStart);
+  const char* msg = "hello ne2k, this is a sixty-byte-plus ethernet frame payload..";
+  for (const char* p = msg; *p; ++p) {
+    nic.IoWrite(kNe2kPortData, static_cast<uint8_t>(*p));
+  }
+  uint16_t len = static_cast<uint16_t>(strlen(msg));
+  nic.IoWrite(kNe2kPortTbcr0, static_cast<uint8_t>(len & 0xff));
+  nic.IoWrite(kNe2kPortTbcr1, static_cast<uint8_t>(len >> 8));
+  nic.IoWrite(kNe2kPortCmd, kNe2kCmdStart | kNe2kCmdTransmit);
+  EXPECT_EQ(nic.tx_frames(), 1u);
+  EXPECT_EQ(link.stats().frames[0], 1u);
+  EXPECT_NE(nic.IoRead(kNe2kPortIsr) & kNe2kIsrTx, 0);
+}
+
+TEST(Ne2kTest, PioReceiveWithRingHeader) {
+  Ne2kNic nic("ne2k", kMac);
+  BareMetal hw(&nic);
+  nic.IoWrite(kNe2kPortCmd, kNe2kCmdStart);
+  std::vector<uint8_t> frame(70);
+  for (size_t i = 0; i < frame.size(); ++i) {
+    frame[i] = static_cast<uint8_t>(i);
+  }
+  nic.DeliverFrame({frame.data(), frame.size()});
+  ASSERT_NE(nic.IoRead(kNe2kPortIsr) & kNe2kIsrRx, 0);
+  uint16_t len = nic.IoRead(kNe2kPortData);
+  len |= static_cast<uint16_t>(nic.IoRead(kNe2kPortData)) << 8;
+  EXPECT_EQ(len, 70);
+  for (uint16_t i = 0; i < len; ++i) {
+    EXPECT_EQ(nic.IoRead(kNe2kPortData), frame[i]);
+  }
+  EXPECT_EQ(nic.IoRead(kNe2kPortIsr) & kNe2kIsrRx, 0);  // drained
+}
+
+TEST(Ne2kTest, StoppedNicDropsFrames) {
+  Ne2kNic nic("ne2k", kMac);
+  BareMetal hw(&nic);
+  std::vector<uint8_t> frame(64, 0x2);
+  nic.DeliverFrame({frame.data(), frame.size()});
+  EXPECT_EQ(nic.rx_frames(), 0u);
+}
+
+TEST(Ne2kTest, MacReadableThroughPar) {
+  Ne2kNic nic("ne2k", kMac);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(nic.IoRead(static_cast<uint16_t>(kNe2kPortPar0 + i)), kMac[i]);
+  }
+}
+
+TEST(WifiTest, ScanDmaWritesBssTable) {
+  RadioEnvironment air;
+  BssInfo ap{};
+  ap.bssid = {1, 2, 3, 4, 5, 6};
+  snprintf(ap.ssid, sizeof(ap.ssid), "csail");
+  ap.channel = 6;
+  ap.signal_dbm = -40;
+  air.AddAccessPoint(ap);
+
+  WifiNic nic("wifi", &air);
+  BareMetal hw(&nic);
+  nic.MmioWrite(0, kWifiRegCmdArgLo, 0x8000);
+  nic.MmioWrite(0, kWifiRegCmd, kWifiCmdScan);
+  EXPECT_EQ(nic.MmioRead(0, kWifiRegScanCount), 1u);
+  uint8_t record[kBssRecordSize];
+  (void)hw.machine.dram().Read(0x8000, {record, sizeof(record)});
+  EXPECT_EQ(memcmp(record, ap.bssid.data(), 6), 0);
+  EXPECT_STREQ(reinterpret_cast<char*>(record + 8), "csail");
+  EXPECT_EQ(record[36], 6);
+}
+
+TEST(WifiTest, AssociateAndTx) {
+  RadioEnvironment air;
+  BssInfo ap{};
+  snprintf(ap.ssid, sizeof(ap.ssid), "net");
+  air.AddAccessPoint(ap);
+  WifiNic nic("wifi", &air);
+  BareMetal hw(&nic);
+
+  EXPECT_FALSE(nic.associated());
+  nic.MmioWrite(0, kWifiRegCmd, kWifiCmdAssoc);
+  EXPECT_TRUE(nic.associated());
+  EXPECT_EQ(nic.MmioRead(0, kWifiRegAssocState), 1u);
+
+  (void)hw.machine.dram().Write(0x9000, {reinterpret_cast<const uint8_t*>("data"), 4});
+  nic.MmioWrite(0, kWifiRegTxAddr, 0x9000);
+  nic.MmioWrite(0, kWifiRegTxLen, 4);
+  nic.MmioWrite(0, kWifiRegTxDoorbell, 1);
+  EXPECT_EQ(nic.tx_frames(), 1u);
+
+  nic.MmioWrite(0, kWifiRegCmd, kWifiCmdDisassoc);
+  EXPECT_FALSE(nic.associated());
+}
+
+TEST(AudioTest, ConsumesRingAndRaisesPeriodInterrupts) {
+  hw::Machine machine;
+  AudioDev dev("hda", &machine.clock());
+  auto& sw = machine.AddSwitch("sw0");
+  (void)machine.AttachDevice(sw, &dev);
+  dev.config().set_command(hw::kPciCommandMemEnable | hw::kPciCommandBusMaster);
+  (void)machine.iommu().CreateContext(dev.address().source_id());
+  (void)machine.iommu().Map(dev.address().source_id(), 0, 0, 1 << 20, true, true);
+
+  // 4 KB ring, 1 KB periods, 192 KB/s rate.
+  std::vector<uint8_t> samples(4096, 0x33);
+  (void)machine.dram().Write(0x8000, {samples.data(), samples.size()});
+  dev.MmioWrite(0, kAudioRegRingLo, 0x8000);
+  dev.MmioWrite(0, kAudioRegRingBytes, 4096);
+  dev.MmioWrite(0, kAudioRegPeriodBytes, 1024);
+  dev.MmioWrite(0, kAudioRegRate, 192000);
+  dev.MmioWrite(0, kAudioRegIms, kAudioIntPeriod);
+  dev.MmioWrite(0, kAudioRegCtl, kAudioCtlRun);
+
+  // 1/48 s at 192 kB/s = 3999 bytes (integer ns) = 3 full periods.
+  machine.clock().Advance(kSecond / 48);
+  dev.Tick();
+  EXPECT_EQ(dev.periods_played(), 3u);
+  EXPECT_GT(dev.consumed_signature(), 0u);
+  EXPECT_EQ(dev.MmioRead(0, kAudioRegLpib), 3999u);
+}
+
+TEST(AudioTest, BadRingAddressUnderruns) {
+  hw::Machine machine;
+  AudioDev dev("hda", &machine.clock());
+  auto& sw = machine.AddSwitch("sw0");
+  (void)machine.AttachDevice(sw, &dev);
+  dev.config().set_command(hw::kPciCommandMemEnable | hw::kPciCommandBusMaster);
+  (void)machine.iommu().CreateContext(dev.address().source_id());  // nothing mapped
+
+  dev.MmioWrite(0, kAudioRegRingLo, 0x8000);
+  dev.MmioWrite(0, kAudioRegRingBytes, 4096);
+  dev.MmioWrite(0, kAudioRegPeriodBytes, 1024);
+  dev.MmioWrite(0, kAudioRegCtl, kAudioCtlRun);
+  machine.clock().Advance(kMillisecond);
+  dev.Tick();
+  EXPECT_GE(dev.underruns(), 1u);  // confined: DMA faulted, stream starved
+}
+
+TEST(UsbTest, EnumerationDance) {
+  UsbHostController hcd("ehci");
+  BareMetal hw(&hcd);
+  UsbKeyboard kbd;
+  ASSERT_TRUE(hcd.PlugDevice(0, &kbd).ok());
+
+  EXPECT_NE(hcd.MmioRead(0, kUsbRegPortsc0) & kUsbPortConnected, 0u);
+  EXPECT_EQ(hcd.MmioRead(0, kUsbRegPortsc0 + 4) & kUsbPortConnected, 0u);
+
+  // SET_ADDRESS via a TRB at 0x1000.
+  auto run_trb = [&](uint8_t addr, uint8_t type, uint32_t len, uint64_t buf,
+                     const uint8_t setup[8]) -> uint8_t {
+    uint8_t raw[kUsbTrbSize] = {};
+    raw[0] = addr;
+    raw[1] = type == kUsbTrbIn ? 1 : 0;
+    raw[2] = type;
+    StoreLe32(raw + 4, len);
+    StoreLe64(raw + 8, buf);
+    if (setup) {
+      memcpy(raw + 16, setup, 8);
+    }
+    (void)hw.machine.dram().Write(0x1000, {raw, sizeof(raw)});
+    hcd.MmioWrite(0, kUsbRegListLo, 0x1000);
+    hcd.MmioWrite(0, kUsbRegListCount, 1);
+    hcd.MmioWrite(0, kUsbRegCmd, kUsbCmdRun);
+    hcd.MmioWrite(0, kUsbRegDoorbell, 1);
+    uint8_t back[kUsbTrbSize];
+    (void)hw.machine.dram().Read(0x1000, {back, sizeof(back)});
+    return back[3];
+  };
+
+  uint8_t set_address[8] = {0x00, kUsbReqSetAddress, 5, 0, 0, 0, 0, 0};
+  EXPECT_EQ(run_trb(0, kUsbTrbSetup, 0, 0, set_address), kUsbTrbStatusOk);
+  EXPECT_EQ(kbd.address(), 5);
+
+  uint8_t get_desc[8] = {0x80, kUsbReqGetDescriptor, 0, kUsbDescTypeDevice, 0, 0, 18, 0};
+  EXPECT_EQ(run_trb(5, kUsbTrbSetup, 18, 0x2000, get_desc), kUsbTrbStatusOk);
+  uint8_t descriptor[18];
+  (void)hw.machine.dram().Read(0x2000, {descriptor, 18});
+  EXPECT_EQ(descriptor[0], 18);
+  EXPECT_EQ(descriptor[1], kUsbDescTypeDevice);
+  EXPECT_EQ(descriptor[4], 0x03);  // HID class
+
+  uint8_t set_config[8] = {0x00, kUsbReqSetConfiguration, 1, 0, 0, 0, 0, 0};
+  EXPECT_EQ(run_trb(5, kUsbTrbSetup, 0, 0, set_config), kUsbTrbStatusOk);
+  EXPECT_TRUE(kbd.configured());
+
+  // HID report via bulk-in.
+  kbd.PressKey(0x1c);  // usage code
+  EXPECT_EQ(run_trb(5, kUsbTrbIn, 8, 0x3000, nullptr), kUsbTrbStatusOk);
+  uint8_t report[8];
+  (void)hw.machine.dram().Read(0x3000, {report, 8});
+  EXPECT_EQ(report[2], 0x1c);
+  EXPECT_EQ(hcd.transfers_completed(), 4u);
+}
+
+TEST(UsbTest, TransferToMissingDeviceStalls) {
+  UsbHostController hcd("ehci");
+  BareMetal hw(&hcd);
+  uint8_t raw[kUsbTrbSize] = {};
+  raw[0] = 9;  // no device at address 9
+  raw[2] = kUsbTrbIn;
+  StoreLe32(raw + 4, 8);
+  (void)hw.machine.dram().Write(0x1000, {raw, sizeof(raw)});
+  hcd.MmioWrite(0, kUsbRegListLo, 0x1000);
+  hcd.MmioWrite(0, kUsbRegListCount, 1);
+  hcd.MmioWrite(0, kUsbRegCmd, kUsbCmdRun);
+  hcd.MmioWrite(0, kUsbRegDoorbell, 1);
+  uint8_t back[kUsbTrbSize];
+  (void)hw.machine.dram().Read(0x1000, {back, sizeof(back)});
+  EXPECT_EQ(back[3], kUsbTrbStatusStall);
+}
+
+TEST(EtherLinkTest, PadsRuntsAndDropsOversize) {
+  EtherLink link;
+  struct Sink : EtherEndpoint {
+    size_t last_len = 0;
+    int frames = 0;
+    void DeliverFrame(ConstByteSpan frame) override {
+      last_len = frame.size();
+      ++frames;
+    }
+  } sink;
+  link.Attach(1, &sink);
+  struct Null : EtherEndpoint {
+    void DeliverFrame(ConstByteSpan) override {}
+  } null_ep;
+  link.Attach(0, &null_ep);
+
+  uint8_t tiny[10] = {};
+  ASSERT_TRUE(link.Transmit(0, {tiny, 10}).ok());
+  EXPECT_EQ(sink.last_len, kEthMinFrame);  // padded
+
+  std::vector<uint8_t> huge(kEthMaxFrame + 1);
+  EXPECT_FALSE(link.Transmit(0, {huge.data(), huge.size()}).ok());
+  EXPECT_EQ(link.stats().dropped, 1u);
+}
+
+TEST(EtherLinkTest, WireTimeMatchesGigabit) {
+  // 1514-byte frame + 24 overhead = 1538 bytes = 12304 ns at 1 Gb/s.
+  EXPECT_NEAR(EtherLink::WireTimeNs(1, 1514), 12304.0, 1.0);
+}
+
+}  // namespace
+}  // namespace sud::devices

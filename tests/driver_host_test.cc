@@ -1,0 +1,146 @@
+// DriverHost lifecycle tests: pumped / threaded / comatose modes, restart
+// semantics, resource reclamation across repeated kill cycles, and rlimit /
+// scheduling-policy plumbing (§4.1).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "src/drivers/malicious.h"
+#include "tests/harness.h"
+
+namespace sud {
+namespace {
+
+using testing::NetBench;
+
+TEST(DriverHost, StartProbeFailureTearsDownCleanly) {
+  NetBench bench;
+  // A driver whose probe fails outright.
+  class FailingDriver : public uml::Driver {
+   public:
+    const char* name() const override { return "failing"; }
+    Status Probe(uml::DriverEnv& env) override {
+      return Status(ErrorCode::kUnavailable, "no firmware");
+    }
+  };
+  Status status = bench.host->Start(std::make_unique<FailingDriver>());
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(bench.host->running());
+  // Everything reclaimed: the device can be started again.
+  EXPECT_FALSE(bench.machine.iommu().HasContext(bench.sut_nic.address().source_id()));
+  EXPECT_TRUE(bench.host->Start(std::make_unique<drivers::E1000eDriver>()).ok());
+}
+
+TEST(DriverHost, DoubleStartRefused) {
+  NetBench bench;
+  ASSERT_TRUE(bench.host->Start(std::make_unique<drivers::E1000eDriver>()).ok());
+  EXPECT_EQ(bench.host->Start(std::make_unique<drivers::E1000eDriver>()).code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(DriverHost, KillWithoutStartIsAnError) {
+  NetBench bench;
+  EXPECT_EQ(bench.host->Kill().code(), ErrorCode::kUnavailable);
+}
+
+TEST(DriverHost, RepeatedKillRestartCyclesLeakNothing) {
+  NetBench bench;
+  uint64_t pages_baseline = 0;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    ASSERT_TRUE(bench.host->Start(std::make_unique<drivers::E1000eDriver>()).ok());
+    if (cycle == 0) {
+      pages_baseline = bench.machine.dram().allocated_pages();
+    } else {
+      // Same footprint every cycle: no leaked DMA pages.
+      EXPECT_EQ(bench.machine.dram().allocated_pages(), pages_baseline) << "cycle " << cycle;
+    }
+    ASSERT_TRUE(bench.host->Kill().ok());
+  }
+  // After the final kill, only the peer's allocations remain.
+  EXPECT_LT(bench.machine.dram().allocated_pages(), pages_baseline);
+}
+
+TEST(DriverHost, ThreadedModeServicesUpcalls) {
+  NetBench bench;
+  ASSERT_TRUE(bench.host
+                  ->Start(std::make_unique<drivers::E1000eDriver>(),
+                          uml::DriverHost::Mode::kThreaded)
+                  .ok());
+  // The open upcall is answered by the driver thread, not a pump.
+  Status up = bench.kernel.net().BringUp("eth0");
+  EXPECT_TRUE(up.ok()) << up.ToString();
+
+  int received = 0;
+  bench.kernel.net().Find("eth0")->set_rx_sink([&](const kern::Skb&) { ++received; });
+  std::vector<uint8_t> payload(64, 0xaa);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(bench.PeerSend(1, 80, {payload.data(), payload.size()}).ok());
+  }
+  // Give the driver thread time to drain.
+  for (int spin = 0; spin < 100 && received < 5; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(received, 5);
+  ASSERT_TRUE(bench.host->Kill().ok());
+}
+
+TEST(DriverHost, KillUnblocksSleepingThread) {
+  NetBench bench;
+  ASSERT_TRUE(bench.host
+                  ->Start(std::make_unique<drivers::E1000eDriver>(),
+                          uml::DriverHost::Mode::kThreaded)
+                  .ok());
+  // The driver thread is asleep in Wait; Kill must join promptly.
+  auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(bench.host->Kill().ok());
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 1000);
+}
+
+TEST(DriverHost, ComatoseDriverHoldsResourcesUntilKilled) {
+  NetBench bench;
+  ASSERT_TRUE(bench.host
+                  ->Start(std::make_unique<drivers::UnresponsiveDriver>(),
+                          uml::DriverHost::Mode::kComatose)
+                  .ok());
+  // Upcalls pile up unserviced.
+  auto frame = kern::BuildPacket(testing::kMacB, testing::kMacA, 1, 2, {});
+  for (int i = 0; i < 4; ++i) {
+    (void)bench.proxy->StartXmit(kern::MakeSkb({frame.data(), frame.size()}));
+  }
+  EXPECT_GT(bench.ctx->ctl().pending_upcalls(), 0u);
+  ASSERT_TRUE(bench.host->Kill().ok());
+  EXPECT_TRUE(bench.ctx->ctl().is_shutdown());
+}
+
+TEST(DriverHost, RestartSwapsDriverType) {
+  NetBench bench;
+  ASSERT_TRUE(bench.host->Start(std::make_unique<drivers::E1000eDriver>()).ok());
+  // Restart straight into a different (malicious) driver: the §4.1 scenario
+  // of an administrator replacing a binary.
+  ASSERT_TRUE(bench.host->Restart(std::make_unique<drivers::ConfigAttackDriver>()).ok());
+  auto* attack = static_cast<drivers::ConfigAttackDriver*>(bench.host->driver());
+  EXPECT_EQ(attack->outcome().succeeded, 0u);
+  // And back to the honest one.
+  ASSERT_TRUE(bench.host->Restart(std::make_unique<drivers::E1000eDriver>()).ok());
+  EXPECT_TRUE(bench.host->running());
+}
+
+TEST(DriverHost, ProcessCarriesPolicyAndLimits) {
+  NetBench bench;
+  ASSERT_TRUE(bench.host->Start(std::make_unique<drivers::E1000eDriver>()).ok());
+  kern::Process* proc = bench.host->process();
+  ASSERT_NE(proc, nullptr);
+  EXPECT_EQ(proc->uid(), testing::kDriverUid);
+  EXPECT_EQ(proc->sched_policy(), kern::SchedPolicy::kNormal);
+  proc->set_sched_policy(kern::SchedPolicy::kFifo);  // sched_setscheduler
+  EXPECT_EQ(proc->sched_policy(), kern::SchedPolicy::kFifo);
+  // The e1000e's DMA footprint (rings + 16 MB buffers + pool) is charged.
+  EXPECT_GT(proc->memory_used(), 16u * 1024 * 1024);
+  EXPECT_LE(proc->memory_used(), proc->rlimits().memory_bytes);
+}
+
+}  // namespace
+}  // namespace sud

@@ -1,0 +1,138 @@
+// Shared test/bench harness: assembles the simulated platform the way the
+// paper's testbed was wired — a machine with a PCIe switch, the device under
+// test plus a trusted peer NIC on the other end of a Gigabit link, the
+// simulated kernel, SUD's safe-PCI module, the Ethernet proxy, and a
+// DriverHost running the e1000e driver as an untrusted process.
+
+#ifndef SUD_TESTS_HARNESS_H_
+#define SUD_TESTS_HARNESS_H_
+
+#include <memory>
+
+#include "src/devices/ether_link.h"
+#include "src/devices/sim_nic.h"
+#include "src/drivers/e1000e.h"
+#include "src/hw/machine.h"
+#include "src/kern/kernel.h"
+#include "src/sud/proxy_ethernet.h"
+#include "src/sud/safe_pci.h"
+#include "src/uml/direct_env.h"
+#include "src/uml/driver_host.h"
+
+namespace sud::testing {
+
+inline constexpr uint8_t kMacA[6] = {0x00, 0x1b, 0x21, 0x0a, 0x0b, 0x0c};
+inline constexpr uint8_t kMacB[6] = {0x00, 0x1b, 0x21, 0x0d, 0x0e, 0x0f};
+inline constexpr kern::Uid kDriverUid = 1001;
+
+// A machine with one switch, the SUT NIC and a trusted peer NIC linked by
+// Gigabit Ethernet. The SUT runs under SUD (untrusted driver process); the
+// peer runs the same e1000e driver in-kernel via DirectEnv.
+class NetBench {
+ public:
+  struct Options {
+    hw::Machine::Config machine;
+    SafePciModule::Policy policy;
+    SudDeviceContext::Options sud;
+    EthernetProxy::Options proxy;
+    bool start_sut = true;   // export + probe the SUT e1000e under SUD
+    bool start_peer = true;  // probe the peer e1000e in-kernel
+  };
+
+  NetBench() : NetBench(Options{}) {}
+
+  explicit NetBench(Options options)
+      : machine(options.machine),
+        kernel(&machine),
+        sut_nic("e1000e-sut", kMacA),
+        peer_nic("e1000e-peer", kMacB),
+        safe_pci(&kernel, options.policy) {
+    sw = &machine.AddSwitch("pcie-switch-0");
+    (void)machine.AttachDevice(*sw, &sut_nic);
+    (void)machine.AttachDevice(*sw, &peer_nic);
+    sut_nic.ConnectLink(&link, 0);
+    peer_nic.ConnectLink(&link, 1);
+    if (options.policy.enable_acs) {
+      // SafePciModule enabled ACS at construction time, before the switch
+      // existed; re-apply now that the topology is built.
+      sw->set_acs(hw::PcieSwitch::AcsConfig{true, true});
+    }
+
+    if (options.start_sut) {
+      Result<SudDeviceContext*> exported =
+          safe_pci.ExportDevice(&sut_nic, kDriverUid, options.sud);
+      ctx = exported.value();
+      proxy = std::make_unique<EthernetProxy>(&kernel, ctx, options.proxy);
+      host = std::make_unique<uml::DriverHost>(&kernel, ctx, "e1000e-driver", kDriverUid);
+    }
+    if (options.start_peer) {
+      peer_env = std::make_unique<uml::DirectEnv>(&kernel, &peer_nic, kAccountPeer);
+      auto driver = std::make_unique<drivers::E1000eDriver>();
+      peer_driver = driver.get();
+      peer_driver_owner = std::move(driver);
+      (void)peer_driver_owner->Probe(*peer_env);
+      (void)kernel.net().BringUp(peer_env->netdev()->name());
+    }
+  }
+
+  // Starts the SUT driver *in-kernel* (the Figure 8 baseline): same driver
+  // source, DirectEnv instead of SUD. Use with Options{.start_sut = false}.
+  Status StartSutInKernel() {
+    sut_env = std::make_unique<uml::DirectEnv>(&kernel, &sut_nic);
+    auto driver = std::make_unique<drivers::E1000eDriver>();
+    sut_driver = driver.get();
+    sut_driver_owner = std::move(driver);
+    SUD_RETURN_IF_ERROR(sut_driver_owner->Probe(*sut_env));
+    return kernel.net().BringUp(sut_env->netdev()->name());
+  }
+
+  // The SUT interface name under either configuration.
+  std::string SutIfname() const {
+    return sut_env != nullptr ? sut_env->netdev()->name() : "eth0";
+  }
+
+  // Starts the SUT driver process (probe + open).
+  Status StartSut() {
+    auto driver = std::make_unique<drivers::E1000eDriver>();
+    sut_driver = driver.get();
+    SUD_RETURN_IF_ERROR(host->Start(std::move(driver)));
+    return kernel.net().BringUp("eth0");
+  }
+
+  // Sends one packet from the peer (in-kernel driver) to the SUT.
+  Status PeerSend(uint16_t src_port, uint16_t dst_port, ConstByteSpan payload) {
+    auto frame = kern::BuildPacket(kMacA, kMacB, src_port, dst_port, payload);
+    return kernel.net().Transmit(peer_env->netdev()->name(),
+                                 kern::MakeSkb(ConstByteSpan(frame.data(), frame.size())));
+  }
+
+  // Sends one packet from the SUT (untrusted driver) to the peer.
+  Status SutSend(uint16_t src_port, uint16_t dst_port, ConstByteSpan payload) {
+    auto frame = kern::BuildPacket(kMacB, kMacA, src_port, dst_port, payload);
+    SUD_RETURN_IF_ERROR(kernel.net().Transmit(
+        "eth0", kern::MakeSkb(ConstByteSpan(frame.data(), frame.size()))));
+    host->Pump();  // let the driver process the xmit upcall
+    return Status::Ok();
+  }
+
+  hw::Machine machine;
+  kern::Kernel kernel;
+  devices::EtherLink link;
+  devices::SimNic sut_nic;
+  devices::SimNic peer_nic;
+  hw::PcieSwitch* sw = nullptr;
+  SafePciModule safe_pci;
+  SudDeviceContext* ctx = nullptr;
+  std::unique_ptr<EthernetProxy> proxy;
+  std::unique_ptr<uml::DriverHost> host;
+  std::unique_ptr<uml::DirectEnv> peer_env;
+  std::unique_ptr<uml::DirectEnv> sut_env;  // in-kernel SUT configuration
+  std::unique_ptr<drivers::E1000eDriver> peer_driver_owner;
+  std::unique_ptr<drivers::E1000eDriver> sut_driver_owner;
+  drivers::E1000eDriver* peer_driver = nullptr;
+  drivers::E1000eDriver* sut_driver = nullptr;
+};
+
+}  // namespace sud::testing
+
+#endif  // SUD_TESTS_HARNESS_H_

@@ -1,0 +1,292 @@
+// IOMMU unit + property tests: mapping semantics, translation, faults,
+// IOTLB, interrupt remapping, MSI-range rules, and the Figure 9 walk.
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/hw/iommu.h"
+
+namespace sud::hw {
+namespace {
+
+constexpr uint16_t kSrc = 0x0100;
+constexpr uint16_t kOther = 0x0200;
+
+TEST(Iommu, TranslateRequiresContext) {
+  Iommu iommu;
+  Result<uint64_t> result = iommu.Translate(kSrc, 0x1000, 4, false);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(iommu.faults().size(), 1u);
+  EXPECT_EQ(iommu.faults()[0].reason, "no context (device not assigned)");
+}
+
+TEST(Iommu, MapTranslateUnmap) {
+  Iommu iommu;
+  ASSERT_TRUE(iommu.CreateContext(kSrc).ok());
+  ASSERT_TRUE(iommu.Map(kSrc, 0x10000, 0x80000, kPageSize, true, true).ok());
+
+  Result<uint64_t> hit = iommu.Translate(kSrc, 0x10123, 8, true);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit.value(), 0x80123u);
+
+  ASSERT_TRUE(iommu.Unmap(kSrc, 0x10000, kPageSize).ok());
+  EXPECT_FALSE(iommu.Translate(kSrc, 0x10123, 8, true).ok());
+}
+
+TEST(Iommu, ContextsAreIsolated) {
+  Iommu iommu;
+  ASSERT_TRUE(iommu.CreateContext(kSrc).ok());
+  ASSERT_TRUE(iommu.CreateContext(kOther).ok());
+  ASSERT_TRUE(iommu.Map(kSrc, 0x10000, 0x80000, kPageSize, true, true).ok());
+  // Same IOVA, other device: faults.
+  EXPECT_TRUE(iommu.Translate(kSrc, 0x10000, 4, false).ok());
+  EXPECT_FALSE(iommu.Translate(kOther, 0x10000, 4, false).ok());
+}
+
+TEST(Iommu, RejectsUnalignedAndOverlappingMaps) {
+  Iommu iommu;
+  ASSERT_TRUE(iommu.CreateContext(kSrc).ok());
+  EXPECT_EQ(iommu.Map(kSrc, 0x10001, 0x80000, kPageSize, true, true).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(iommu.Map(kSrc, 0x10000, 0x80001, kPageSize, true, true).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(iommu.Map(kSrc, 0x10000, 0x80000, 100, true, true).code(),
+            ErrorCode::kInvalidArgument);
+  ASSERT_TRUE(iommu.Map(kSrc, 0x10000, 0x80000, 4 * kPageSize, true, true).ok());
+  // Overlap with an existing mapping is refused whole.
+  EXPECT_EQ(iommu.Map(kSrc, 0x12000, 0x90000, 2 * kPageSize, true, true).code(),
+            ErrorCode::kAlreadyExists);
+  // And the refused map installed nothing new past the overlap.
+  EXPECT_FALSE(iommu.Translate(kSrc, 0x14000, 4, false).ok());
+}
+
+TEST(Iommu, PermissionBitsEnforced) {
+  Iommu iommu;
+  ASSERT_TRUE(iommu.CreateContext(kSrc).ok());
+  ASSERT_TRUE(iommu.Map(kSrc, 0x10000, 0x80000, kPageSize, /*readable=*/true,
+                        /*writable=*/false).ok());
+  EXPECT_TRUE(iommu.Translate(kSrc, 0x10000, 4, /*is_write=*/false).ok());
+  EXPECT_FALSE(iommu.Translate(kSrc, 0x10000, 4, /*is_write=*/true).ok());
+  ASSERT_TRUE(iommu.Unmap(kSrc, 0x10000, kPageSize).ok());
+  ASSERT_TRUE(iommu.Map(kSrc, 0x10000, 0x80000, kPageSize, /*readable=*/false,
+                        /*writable=*/true).ok());
+  EXPECT_FALSE(iommu.Translate(kSrc, 0x10000, 4, /*is_write=*/false).ok());
+}
+
+TEST(Iommu, PageCrossingAccessFaults) {
+  Iommu iommu;
+  ASSERT_TRUE(iommu.CreateContext(kSrc).ok());
+  ASSERT_TRUE(iommu.Map(kSrc, 0x10000, 0x80000, 2 * kPageSize, true, true).ok());
+  // A single Translate may not span pages (the root complex splits bursts).
+  EXPECT_FALSE(iommu.Translate(kSrc, 0x10ffc, 8, false).ok());
+  EXPECT_TRUE(iommu.Translate(kSrc, 0x10ff8, 8, false).ok());
+}
+
+TEST(Iommu, IotlbHitsAfterFirstWalk) {
+  Iommu iommu;
+  ASSERT_TRUE(iommu.CreateContext(kSrc).ok());
+  ASSERT_TRUE(iommu.Map(kSrc, 0x10000, 0x80000, kPageSize, true, true).ok());
+  EXPECT_TRUE(iommu.Translate(kSrc, 0x10000, 4, false).ok());
+  uint64_t misses = iommu.iotlb_stats().misses;
+  EXPECT_TRUE(iommu.Translate(kSrc, 0x10008, 4, false).ok());
+  EXPECT_TRUE(iommu.Translate(kSrc, 0x10010, 4, false).ok());
+  EXPECT_EQ(iommu.iotlb_stats().misses, misses);
+  EXPECT_GE(iommu.iotlb_stats().hits, 2u);
+}
+
+TEST(Iommu, UnmapInvalidatesIotlb) {
+  Iommu iommu;
+  ASSERT_TRUE(iommu.CreateContext(kSrc).ok());
+  ASSERT_TRUE(iommu.Map(kSrc, 0x10000, 0x80000, kPageSize, true, true).ok());
+  EXPECT_TRUE(iommu.Translate(kSrc, 0x10000, 4, false).ok());  // cached
+  ASSERT_TRUE(iommu.Unmap(kSrc, 0x10000, kPageSize).ok());
+  // Stale IOTLB entries must not survive the unmap.
+  EXPECT_FALSE(iommu.Translate(kSrc, 0x10000, 4, false).ok());
+}
+
+TEST(Iommu, QueuedInvalidationBatches) {
+  Iommu iommu;
+  iommu.set_queued_invalidation(true);
+  ASSERT_TRUE(iommu.CreateContext(kSrc).ok());
+  ASSERT_TRUE(iommu.Map(kSrc, 0x10000, 0x80000, 4 * kPageSize, true, true).ok());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(iommu.Translate(kSrc, 0x10000 + i * kPageSize, 4, false).ok());
+  }
+  uint64_t invalidations_before = iommu.iotlb_stats().invalidations;
+  for (int i = 0; i < 4; ++i) {
+    iommu.QueueInvalidate(kSrc, 0x10000 + i * kPageSize);
+  }
+  // Nothing applied yet.
+  EXPECT_EQ(iommu.iotlb_stats().invalidations, invalidations_before);
+  iommu.SyncInvalidations();
+  // One synchronisation for the whole batch.
+  EXPECT_EQ(iommu.iotlb_stats().invalidations, invalidations_before + 1);
+}
+
+TEST(Iommu, InterruptRemappingBlocksUnmappedVectors) {
+  Iommu iommu;
+  iommu.set_interrupt_remapping(true);
+  ASSERT_TRUE(iommu.SetInterruptRemapEntry(kSrc, 40, 40).ok());
+  EXPECT_EQ(iommu.RemapInterrupt(kSrc, 40).value(), 40);
+  EXPECT_FALSE(iommu.RemapInterrupt(kSrc, 41).ok());       // no entry
+  EXPECT_FALSE(iommu.RemapInterrupt(kOther, 40).ok());     // wrong source
+  ASSERT_TRUE(iommu.SetInterruptRemapEntry(kSrc, 40, std::nullopt).ok());
+  EXPECT_FALSE(iommu.RemapInterrupt(kSrc, 40).ok());       // explicitly blocked
+}
+
+TEST(Iommu, RemappingDisabledPassesThrough) {
+  Iommu iommu;
+  EXPECT_EQ(iommu.RemapInterrupt(kSrc, 99).value(), 99);
+}
+
+TEST(Iommu, IntelAlwaysAllowsMsiWrites) {
+  Iommu iommu(IommuMode::kIntelVtd);
+  // No context at all: the implicit mapping still lets MSI writes through —
+  // the Section 5.2 weakness.
+  EXPECT_TRUE(iommu.AllowsMsiWrite(kSrc));
+}
+
+TEST(Iommu, AmdRequiresExplicitMsiMapping) {
+  Iommu iommu(IommuMode::kAmdVi);
+  ASSERT_TRUE(iommu.CreateContext(kSrc).ok());
+  EXPECT_FALSE(iommu.AllowsMsiWrite(kSrc));
+  ASSERT_TRUE(iommu.Map(kSrc, kMsiRangeBase, kMsiRangeBase, kPageSize, false, true).ok());
+  EXPECT_TRUE(iommu.AllowsMsiWrite(kSrc));
+  ASSERT_TRUE(iommu.Unmap(kSrc, kMsiRangeBase, kPageSize).ok());
+  EXPECT_FALSE(iommu.AllowsMsiWrite(kSrc));  // the AMD storm defence
+}
+
+TEST(Iommu, WalkCoalescesContiguousRanges) {
+  Iommu iommu(IommuMode::kIntelVtd);
+  ASSERT_TRUE(iommu.CreateContext(kSrc).ok());
+  ASSERT_TRUE(iommu.Map(kSrc, 0x10000, 0x80000, 2 * kPageSize, true, true).ok());
+  ASSERT_TRUE(iommu.Map(kSrc, 0x12000, 0x82000, kPageSize, true, true).ok());   // contiguous
+  ASSERT_TRUE(iommu.Map(kSrc, 0x20000, 0x90000, kPageSize, true, true).ok());   // gap
+
+  auto mappings = iommu.WalkMappings(kSrc);
+  // One coalesced range + one island + the implicit MSI window.
+  ASSERT_EQ(mappings.size(), 3u);
+  EXPECT_EQ(mappings[0].iova_start, 0x10000u);
+  EXPECT_EQ(mappings[0].iova_end, 0x13000u);
+  EXPECT_EQ(mappings[1].iova_start, 0x20000u);
+  EXPECT_TRUE(mappings[2].implicit_msi);
+  EXPECT_EQ(mappings[2].iova_start, kMsiRangeBase);
+}
+
+TEST(Iommu, DestroyContextDropsEverything) {
+  Iommu iommu;
+  iommu.set_interrupt_remapping(true);
+  ASSERT_TRUE(iommu.CreateContext(kSrc).ok());
+  ASSERT_TRUE(iommu.Map(kSrc, 0x10000, 0x80000, kPageSize, true, true).ok());
+  ASSERT_TRUE(iommu.SetInterruptRemapEntry(kSrc, 40, 40).ok());
+  ASSERT_TRUE(iommu.DestroyContext(kSrc).ok());
+  EXPECT_FALSE(iommu.HasContext(kSrc));
+  EXPECT_FALSE(iommu.Translate(kSrc, 0x10000, 4, false).ok());
+  EXPECT_FALSE(iommu.RemapInterrupt(kSrc, 40).ok());
+  EXPECT_EQ(iommu.DestroyContext(kSrc).code(), ErrorCode::kNotFound);
+}
+
+TEST(Iommu, MappedBytesTracksMapUnmap) {
+  Iommu iommu;
+  ASSERT_TRUE(iommu.CreateContext(kSrc).ok());
+  EXPECT_EQ(iommu.MappedBytes(kSrc), 0u);
+  ASSERT_TRUE(iommu.Map(kSrc, 0x10000, 0x80000, 3 * kPageSize, true, true).ok());
+  EXPECT_EQ(iommu.MappedBytes(kSrc), 3 * kPageSize);
+  ASSERT_TRUE(iommu.Unmap(kSrc, 0x11000, kPageSize).ok());
+  EXPECT_EQ(iommu.MappedBytes(kSrc), 2 * kPageSize);
+}
+
+// ---- property tests ------------------------------------------------------------
+
+// Property: for any set of disjoint mappings, Translate agrees with the
+// arithmetic of whichever mapping contains the IOVA, and faults outside.
+class IommuPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IommuPropertyTest, TranslateMatchesMappingArithmetic) {
+  Rng rng(GetParam());
+  Iommu iommu;
+  ASSERT_TRUE(iommu.CreateContext(kSrc).ok());
+
+  struct M {
+    uint64_t iova, paddr, len;
+    bool writable;
+  };
+  std::vector<M> mappings;
+  uint64_t next_iova = kPageSize;
+  uint64_t next_paddr = 1ull << 24;
+  for (int i = 0; i < 20; ++i) {
+    uint64_t pages = rng.Between(1, 8);
+    uint64_t gap_pages = rng.Between(0, 3);
+    M m{next_iova + gap_pages * kPageSize, next_paddr, pages * kPageSize, rng.Chance(1, 2)};
+    ASSERT_TRUE(iommu.Map(kSrc, m.iova, m.paddr, m.len, true, m.writable).ok());
+    mappings.push_back(m);
+    next_iova = m.iova + m.len;
+    next_paddr += m.len;
+  }
+
+  for (int trial = 0; trial < 500; ++trial) {
+    uint64_t iova = rng.Below(next_iova + 16 * kPageSize);
+    uint64_t len = rng.Between(1, 64);
+    bool is_write = rng.Chance(1, 2);
+    // Reference model.
+    const M* owner = nullptr;
+    for (const M& m : mappings) {
+      if (iova >= m.iova && iova + len <= m.iova + m.len) {
+        owner = &m;
+        break;
+      }
+    }
+    bool crosses_page = PageAlignDown(iova) != PageAlignDown(iova + len - 1);
+    Result<uint64_t> got = iommu.Translate(kSrc, iova, len, is_write);
+    if (owner != nullptr && !crosses_page && (!is_write || owner->writable)) {
+      ASSERT_TRUE(got.ok()) << "iova " << iova;
+      EXPECT_EQ(got.value(), owner->paddr + (iova - owner->iova));
+    } else {
+      EXPECT_FALSE(got.ok()) << "iova " << iova;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IommuPropertyTest, ::testing::Values(1, 2, 3, 42, 1337));
+
+// Property: WalkMappings exactly covers what was mapped (no more, no less),
+// for random map/unmap sequences.
+class IommuWalkPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IommuWalkPropertyTest, WalkCoversExactlyTheMappedPages) {
+  Rng rng(GetParam());
+  Iommu iommu(IommuMode::kAmdVi);  // no implicit window to exclude
+  ASSERT_TRUE(iommu.CreateContext(kSrc).ok());
+
+  std::set<uint64_t> model;  // mapped iova pages
+  for (int step = 0; step < 200; ++step) {
+    uint64_t page = rng.Below(256);
+    uint64_t iova = page * kPageSize;
+    if (rng.Chance(2, 3)) {
+      Status mapped = iommu.Map(kSrc, iova, (1ull << 24) + iova, kPageSize, true, true);
+      if (model.count(page) != 0) {
+        EXPECT_EQ(mapped.code(), ErrorCode::kAlreadyExists);
+      } else {
+        EXPECT_TRUE(mapped.ok());
+        model.insert(page);
+      }
+    } else {
+      EXPECT_TRUE(iommu.Unmap(kSrc, iova, kPageSize).ok());
+      model.erase(page);
+    }
+  }
+
+  std::set<uint64_t> walked;
+  for (const IoMapping& m : iommu.WalkMappings(kSrc)) {
+    for (uint64_t a = m.iova_start; a < m.iova_end; a += kPageSize) {
+      walked.insert(a / kPageSize);
+    }
+  }
+  EXPECT_EQ(walked, model);
+  EXPECT_EQ(iommu.MappedBytes(kSrc), model.size() * kPageSize);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IommuWalkPropertyTest, ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace sud::hw

@@ -1,0 +1,175 @@
+// End-to-end tests of the full SUD stack with the e1000e driver: traffic in
+// both directions, ioctls, carrier mirroring, liveness, kill/restart.
+
+#include <gtest/gtest.h>
+
+#include "src/base/log.h"
+#include "tests/harness.h"
+
+namespace sud {
+namespace {
+
+using testing::kMacA;
+using testing::kMacB;
+using testing::NetBench;
+
+TEST(IntegrationNet, SutDriverProbesAndOpens) {
+  NetBench bench;
+  ASSERT_TRUE(bench.StartSut().ok());
+  kern::NetDevice* netdev = bench.kernel.net().Find("eth0");
+  ASSERT_NE(netdev, nullptr);
+  EXPECT_TRUE(netdev->is_up());
+  // MAC propagated from the device EEPROM through the register file.
+  EXPECT_EQ(0, memcmp(netdev->dev_addr(), kMacA, 6));
+  // Carrier mirrored on (link present).
+  EXPECT_TRUE(netdev->carrier());
+}
+
+TEST(IntegrationNet, PeerToSutDelivery) {
+  NetBench bench;
+  ASSERT_TRUE(bench.StartSut().ok());
+
+  int received = 0;
+  bench.kernel.net().Find("eth0")->set_rx_sink([&](const kern::Skb& skb) {
+    ++received;
+    EXPECT_TRUE(skb.checksum_verified);
+    EXPECT_EQ(skb.view().dst_port(), 80);
+  });
+
+  std::vector<uint8_t> payload(64, 0xab);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(bench.PeerSend(1234, 80, ConstByteSpan(payload.data(), payload.size())).ok());
+    bench.host->Pump();  // interrupt upcall -> driver -> netif_rx downcall
+  }
+  EXPECT_EQ(received, 10);
+  EXPECT_EQ(bench.sut_driver->stats().rx_delivered, 10u);
+  EXPECT_EQ(bench.kernel.net().Find("eth0")->stats().rx_packets, 10u);
+}
+
+TEST(IntegrationNet, SutToPeerDelivery) {
+  NetBench bench;
+  ASSERT_TRUE(bench.StartSut().ok());
+
+  int received = 0;
+  bench.peer_env->netdev()->set_rx_sink([&](const kern::Skb& skb) { ++received; });
+
+  std::vector<uint8_t> payload(128, 0x5a);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(bench.SutSend(5555, 80, ConstByteSpan(payload.data(), payload.size())).ok());
+  }
+  EXPECT_EQ(received, 10);
+  EXPECT_EQ(bench.sut_driver->stats().tx_queued, 10u);
+  // TX completions free the shared buffers back to the pool.
+  bench.host->Pump();
+  EXPECT_EQ(bench.ctx->pool().free_count(), bench.ctx->pool().count());
+}
+
+TEST(IntegrationNet, IoctlMiiStatusRoundTrip) {
+  NetBench bench;
+  ASSERT_TRUE(bench.StartSut().ok());
+  Result<std::string> result = bench.proxy->Ioctl(kern::kIoctlGetMiiStatus);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value(), "link up 1000Mb/s");
+}
+
+TEST(IntegrationNet, FirewallDropsDeniedPort) {
+  NetBench bench;
+  ASSERT_TRUE(bench.StartSut().ok());
+  bench.kernel.net().firewall().DenyPort(22);
+
+  int received = 0;
+  bench.kernel.net().Find("eth0")->set_rx_sink([&](const kern::Skb&) { ++received; });
+
+  std::vector<uint8_t> payload(32, 0x01);
+  ASSERT_TRUE(bench.PeerSend(1234, 22, ConstByteSpan(payload.data(), payload.size())).ok());
+  bench.host->Pump();
+  ASSERT_TRUE(bench.PeerSend(1234, 80, ConstByteSpan(payload.data(), payload.size())).ok());
+  bench.host->Pump();
+
+  EXPECT_EQ(received, 1);  // only the port-80 packet
+  EXPECT_EQ(bench.kernel.net().firewall().rejected(), 1u);
+}
+
+TEST(IntegrationNet, InterruptsFlowThroughSud) {
+  NetBench bench;
+  ASSERT_TRUE(bench.StartSut().ok());
+  std::vector<uint8_t> payload(64, 0x11);
+  ASSERT_TRUE(bench.PeerSend(1, 80, ConstByteSpan(payload.data(), payload.size())).ok());
+  bench.host->Pump();
+  EXPECT_GE(bench.ctx->interrupt_stats().forwarded, 1u);
+  EXPECT_GE(bench.sut_driver->stats().interrupts, 1u);
+  EXPECT_GE(bench.kernel.interrupts_handled(), 1u);
+}
+
+TEST(IntegrationNet, BringDownStopsDriver) {
+  NetBench bench;
+  ASSERT_TRUE(bench.StartSut().ok());
+  ASSERT_TRUE(bench.kernel.net().BringDown("eth0").ok());
+  EXPECT_FALSE(bench.kernel.net().Find("eth0")->is_up());
+  // Transmit on a downed interface is refused by the kernel.
+  auto frame = kern::BuildPacket(kMacB, kMacA, 1, 2, {});
+  Status status = bench.kernel.net().Transmit(
+      "eth0", kern::MakeSkb(ConstByteSpan(frame.data(), frame.size())));
+  EXPECT_EQ(status.code(), ErrorCode::kUnavailable);
+}
+
+TEST(IntegrationNet, KillReclaimsEverything) {
+  NetBench bench;
+  ASSERT_TRUE(bench.StartSut().ok());
+  uint16_t source = bench.sut_nic.address().source_id();
+  EXPECT_GT(bench.machine.iommu().MappedBytes(source), 0u);
+
+  ASSERT_TRUE(bench.host->Kill().ok());
+
+  // IOMMU context gone: the device can no longer DMA anywhere.
+  EXPECT_FALSE(bench.machine.iommu().HasContext(source));
+  // Bus mastering was cut.
+  EXPECT_FALSE(bench.sut_nic.config().bus_master_enabled());
+  // Process is dead.
+  EXPECT_FALSE(bench.kernel.processes().Find(bench.ctx->bound_process() == nullptr
+                                                 ? 0
+                                                 : bench.ctx->bound_process()->pid()) != nullptr &&
+               false);
+}
+
+TEST(IntegrationNet, RestartAfterKillWorks) {
+  NetBench bench;
+  ASSERT_TRUE(bench.StartSut().ok());
+  ASSERT_TRUE(bench.host->Kill().ok());
+
+  // The admin downs the dead interface; the Stop upcall fails benignly
+  // (interruptable upcall to a dead driver) but the interface goes down.
+  Status down = bench.kernel.net().BringDown("eth0");
+  EXPECT_FALSE(down.ok());
+  EXPECT_FALSE(bench.kernel.net().Find("eth0")->is_up());
+
+  // Restart a fresh driver instance; it re-registers and traffic flows again.
+  auto fresh = std::make_unique<drivers::E1000eDriver>();
+  drivers::E1000eDriver* fresh_ptr = fresh.get();
+  ASSERT_TRUE(bench.host->Start(std::move(fresh)).ok());
+  ASSERT_TRUE(bench.kernel.net().BringUp("eth0").ok());
+
+  int received = 0;
+  bench.kernel.net().Find("eth0")->set_rx_sink([&](const kern::Skb&) { ++received; });
+  std::vector<uint8_t> payload(64, 0x22);
+  ASSERT_TRUE(bench.PeerSend(9, 80, ConstByteSpan(payload.data(), payload.size())).ok());
+  bench.host->Pump();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(fresh_ptr->stats().rx_delivered, 1u);
+}
+
+TEST(IntegrationNet, CpuModelChargesBothAccounts) {
+  NetBench bench;
+  ASSERT_TRUE(bench.StartSut().ok());
+  bench.machine.cpu().Reset();
+  std::vector<uint8_t> payload(512, 0x77);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(bench.PeerSend(1, 80, ConstByteSpan(payload.data(), payload.size())).ok());
+    bench.host->Pump();
+  }
+  EXPECT_GT(bench.machine.cpu().busy(kAccountKernel), 0u);
+  EXPECT_GT(bench.machine.cpu().busy(kAccountDriver), 0u);
+}
+
+}  // namespace
+}  // namespace sud

@@ -1,0 +1,444 @@
+// Section 5.2's security evaluation as executable tests: every attack from
+// the malicious-driver family is launched against the full stack, and the
+// assertions state exactly what the paper claims SUD confines (and the one
+// thing its testbed could not — the Intel-without-IR MSI livelock).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/base/log.h"
+#include "src/drivers/malicious.h"
+#include "tests/harness.h"
+
+namespace sud {
+namespace {
+
+using testing::kDriverUid;
+using testing::NetBench;
+
+// ---- DMA attacks -------------------------------------------------------------
+
+TEST(Security, ArbitraryDmaReadIsBlocked) {
+  NetBench bench;
+  // Plant a secret in "kernel" physical memory.
+  uint64_t secret_paddr = bench.machine.dram().AllocPages(1).value();
+  std::vector<uint8_t> secret(64, 0x5e);
+  ASSERT_TRUE(bench.machine.dram().Write(secret_paddr, {secret.data(), secret.size()}).ok());
+
+  auto attack = std::make_unique<drivers::DmaAttackDriver>(secret_paddr);
+  auto* attack_ptr = attack.get();
+  ASSERT_TRUE(bench.host->Start(std::move(attack)).ok());
+
+  LogCapture capture;
+  ASSERT_TRUE(attack_ptr->LaunchTxRead().ok());  // the doorbell write itself succeeds
+
+  // The device's descriptor pointed at the secret, but the DMA read faulted
+  // in the IOMMU: nothing was transmitted and a fault was logged.
+  EXPECT_EQ(bench.link.stats().frames[0], 0u);
+  EXPECT_GE(bench.machine.iommu().faults().size(), 1u);
+  EXPECT_TRUE(capture.Contains("iommu fault"));
+  EXPECT_GE(bench.sut_nic.stats().dma_errors, 1u);
+}
+
+TEST(Security, ArbitraryDmaWriteIsBlocked) {
+  NetBench bench;
+  uint64_t victim_paddr = bench.machine.dram().AllocPages(1).value();
+  std::vector<uint8_t> before(64);
+  ASSERT_TRUE(bench.machine.dram().Read(victim_paddr, {before.data(), before.size()}).ok());
+
+  auto attack = std::make_unique<drivers::DmaAttackDriver>(victim_paddr);
+  auto* attack_ptr = attack.get();
+  ASSERT_TRUE(bench.host->Start(std::move(attack)).ok());
+  ASSERT_TRUE(attack_ptr->LaunchRxWrite().ok());
+
+  // Trigger the device write with an incoming frame.
+  std::vector<uint8_t> payload(64, 0xEE);
+  (void)bench.PeerSend(1, 80, {payload.data(), payload.size()});
+
+  // Victim memory is untouched; the IOMMU faulted the write.
+  std::vector<uint8_t> after(64);
+  ASSERT_TRUE(bench.machine.dram().Read(victim_paddr, {after.data(), after.size()}).ok());
+  EXPECT_EQ(before, after);
+  EXPECT_GE(bench.machine.iommu().faults().size(), 1u);
+}
+
+TEST(Security, DmaIntoAnotherDriversMemoryIsBlocked) {
+  // Target the *physical* page backing the peer driver's first DMA region
+  // (its TX descriptor ring). IOMMU contexts are per-requester-id, so the
+  // attacker's device cannot reach it no matter what address it emits.
+  NetBench bench;
+  uint16_t peer_source = bench.peer_nic.address().source_id();
+  auto peer_maps = bench.machine.iommu().WalkMappings(peer_source);
+  ASSERT_FALSE(peer_maps.empty());
+  // Pick a page inside the peer's RX *buffer* region (idle during this
+  // test — the peer only transmits). The peer's DMA regions are allocated
+  // contiguously from 0x42430000, so index by IOVA offset.
+  uint64_t victim_paddr = 0;
+  const uint64_t rx_buffers_iova = kDmaIovaBase + 0x803000;  // Figure 9 layout
+  for (const hw::IoMapping& m : peer_maps) {
+    if (!m.implicit_msi && m.iova_start <= rx_buffers_iova && rx_buffers_iova < m.iova_end) {
+      victim_paddr = m.paddr_start + (rx_buffers_iova - m.iova_start) + 0x2000;
+      break;
+    }
+  }
+  ASSERT_NE(victim_paddr, 0u);
+  std::vector<uint8_t> before(64);
+  ASSERT_TRUE(bench.machine.dram().Read(victim_paddr, {before.data(), before.size()}).ok());
+
+  auto attack = std::make_unique<drivers::DmaAttackDriver>(victim_paddr);
+  auto* attack_ptr = attack.get();
+  ASSERT_TRUE(bench.host->Start(std::move(attack)).ok());
+  ASSERT_TRUE(attack_ptr->LaunchRxWrite().ok());
+  std::vector<uint8_t> payload(64, 0x66);
+  (void)bench.PeerSend(1, 80, {payload.data(), payload.size()});
+
+  std::vector<uint8_t> after(64);
+  ASSERT_TRUE(bench.machine.dram().Read(victim_paddr, {after.data(), after.size()}).ok());
+  EXPECT_EQ(before, after);
+  EXPECT_GE(bench.machine.iommu().faults().size(), 1u);
+}
+
+// ---- peer-to-peer attacks -----------------------------------------------------
+
+TEST(Security, PeerToPeerDmaSucceedsWithoutAcs) {
+  // The vulnerable configuration: ACS off, as PCI hardware powers up.
+  NetBench::Options options;
+  options.policy.enable_acs = false;
+  NetBench bench(options);
+
+  uint64_t victim_bar = bench.peer_nic.config().bar(0);
+  auto attack = std::make_unique<drivers::DmaAttackDriver>(victim_bar + devices::kNicRegTdbal);
+  auto* attack_ptr = attack.get();
+  ASSERT_TRUE(bench.host->Start(std::move(attack)).ok());
+
+  LogCapture capture;
+  ASSERT_TRUE(attack_ptr->LaunchRxWrite().ok());
+  std::vector<uint8_t> payload(64, 0xEE);
+  (void)bench.PeerSend(1, 80, {payload.data(), payload.size()});
+
+  // Without ACS the switch routed the DMA straight into the peer NIC's
+  // registers: the attack lands (and the model logs it).
+  EXPECT_GE(bench.sw->p2p_deliveries(), 1u);
+  EXPECT_TRUE(capture.Contains("peer-to-peer"));
+}
+
+TEST(Security, PeerToPeerDmaBlockedWithAcs) {
+  NetBench bench;  // default policy: ACS on (SUD's configuration)
+  uint64_t victim_bar = bench.peer_nic.config().bar(0);
+  uint32_t victim_tdbal_before = bench.peer_nic.MmioRead(0, devices::kNicRegTdbal);
+
+  auto attack = std::make_unique<drivers::DmaAttackDriver>(victim_bar + devices::kNicRegTdbal);
+  auto* attack_ptr = attack.get();
+  ASSERT_TRUE(bench.host->Start(std::move(attack)).ok());
+  ASSERT_TRUE(attack_ptr->LaunchRxWrite().ok());
+  std::vector<uint8_t> payload(64, 0xEE);
+  (void)bench.PeerSend(1, 80, {payload.data(), payload.size()});
+
+  // P2P redirect forced the transaction up to the root, where the IOMMU
+  // faulted it (BAR addresses are never mapped in IO page tables).
+  EXPECT_EQ(bench.sw->p2p_deliveries(), 0u);
+  EXPECT_GE(bench.machine.iommu().faults().size(), 1u);
+  EXPECT_EQ(bench.peer_nic.MmioRead(0, devices::kNicRegTdbal), victim_tdbal_before);
+}
+
+TEST(Security, SourceValidationDropsSpoofedRequesterId) {
+  NetBench bench;
+  ASSERT_TRUE(bench.StartSut().ok());
+  // Model a compromised device lying about its requester id (the hardware
+  // misbehaviour ACS source validation exists for).
+  bench.sut_nic.set_spoofed_source_id(bench.peer_nic.address().source_id());
+
+  LogCapture capture;
+  std::vector<uint8_t> payload(64, 0x1);
+  (void)bench.PeerSend(1, 80, {payload.data(), payload.size()});
+
+  EXPECT_GE(bench.sw->blocked_by_source_validation(), 1u);
+  EXPECT_TRUE(capture.Contains("source validation"));
+  bench.sut_nic.set_spoofed_source_id(std::nullopt);
+}
+
+// ---- interrupt attacks ---------------------------------------------------------
+
+TEST(Security, UnackedInterruptsGetMasked) {
+  NetBench bench;
+  auto attack = std::make_unique<drivers::NeverAckDriver>();
+  auto* attack_ptr = attack.get();
+  ASSERT_TRUE(bench.host->Start(std::move(attack)).ok());
+
+  // First interrupt: forwarded. Second (never acked): SUD masks MSI.
+  ASSERT_TRUE(attack_ptr->TriggerInterrupt().ok());
+  ASSERT_TRUE(attack_ptr->TriggerInterrupt().ok());
+  ASSERT_TRUE(attack_ptr->TriggerInterrupt().ok());
+
+  const SudDeviceContext::InterruptStats& stats = bench.ctx->interrupt_stats();
+  EXPECT_EQ(stats.forwarded, 1u);
+  EXPECT_GE(stats.mask_events, 1u);
+  EXPECT_TRUE(bench.sut_nic.config().msi_masked());
+  // The SUT's vector fired at most twice (one forwarded + one that caused
+  // the mask); the third trigger pended in the device. (interrupts_handled
+  // is machine-global and also counts the peer NIC receiving our frames.)
+  EXPECT_LE(bench.machine.msi().delivered(bench.ctx->irq_vector()), 2u);
+}
+
+TEST(Security, InterruptAckUnmasksAndRedelivers) {
+  NetBench bench;
+  auto attack = std::make_unique<drivers::NeverAckDriver>();
+  auto* attack_ptr = attack.get();
+  ASSERT_TRUE(bench.host->Start(std::move(attack)).ok());
+  ASSERT_TRUE(attack_ptr->TriggerInterrupt().ok());
+  ASSERT_TRUE(attack_ptr->TriggerInterrupt().ok());
+  ASSERT_TRUE(bench.sut_nic.config().msi_masked());
+
+  // The (eventually cooperative) driver acks: unmask + pended MSI fires.
+  uint64_t handled_before = bench.kernel.interrupts_handled();
+  ASSERT_TRUE(bench.ctx->InterruptAck().ok());
+  EXPECT_FALSE(bench.sut_nic.config().msi_masked());
+  EXPECT_GE(bench.kernel.interrupts_handled(), handled_before);
+}
+
+TEST(Security, StrayDmaMsiStormIsUnstoppableOnIntelWithoutIr) {
+  // The paper's own negative result (§5.2): Intel VT-d's implicit MSI
+  // mapping cannot be removed and the testbed lacked interrupt remapping.
+  NetBench bench;  // default machine: Intel mode, no IR
+  auto attack = std::make_unique<drivers::MsiStormDriver>(77);
+  auto* attack_ptr = attack.get();
+  ASSERT_TRUE(bench.host->Start(std::move(attack)).ok());
+  ASSERT_TRUE(attack_ptr->Arm(128).ok());
+
+  LogCapture capture;
+  // Every frame the peer sends is DMA'd to the MSI window: forged vectors.
+  std::vector<uint8_t> payload(64);
+  payload[0] = attack_ptr->forged_vector();
+  for (int i = 0; i < 32; ++i) {
+    auto frame = kern::BuildPacket(testing::kMacA, testing::kMacB, 1, 80,
+                                   {payload.data(), payload.size()});
+    // Bypass the packet header so byte 0 of the *frame* is the vector: write
+    // the raw frame straight onto the link.
+    (void)bench.link.Transmit(1, {frame.data(), frame.size()});
+  }
+  // MSI writes reached the controller despite any masking: VT-d's implicit
+  // mapping allows them through. Deliveries happened (or were spurious).
+  EXPECT_GE(bench.machine.msi().total_delivered(), 1u);
+  EXPECT_TRUE(capture.Contains("stray") || capture.Contains("spurious") ||
+              capture.Contains("forged") || capture.Contains("livelock") ||
+              bench.kernel.spurious_interrupts() > 0);
+}
+
+TEST(Security, StrayDmaMsiStormBlockedWithInterruptRemapping) {
+  NetBench::Options options;
+  options.machine.interrupt_remapping = true;
+  NetBench bench(options);
+  auto attack = std::make_unique<drivers::MsiStormDriver>(77);
+  auto* attack_ptr = attack.get();
+  ASSERT_TRUE(bench.host->Start(std::move(attack)).ok());
+  ASSERT_TRUE(attack_ptr->Arm(128).ok());
+
+  uint64_t handled_before = bench.kernel.interrupts_handled();
+  std::vector<uint8_t> frame(64);
+  frame[0] = 99;  // forged vector not in the remap table for this source
+  for (int i = 0; i < 32; ++i) {
+    (void)bench.link.Transmit(1, {frame.data(), frame.size()});
+  }
+  // The remapping table has no entry for (attacker source, vector 99):
+  // every forged MSI was blocked before reaching the CPU.
+  EXPECT_EQ(bench.kernel.interrupts_handled(), handled_before);
+  EXPECT_GE(bench.machine.msi().blocked(), 32u);
+}
+
+TEST(Security, StrayDmaMsiStormStoppedOnAmdByUnmapping) {
+  NetBench::Options options;
+  options.machine.iommu_mode = hw::IommuMode::kAmdVi;
+  NetBench bench(options);
+  auto attack = std::make_unique<drivers::MsiStormDriver>(0);
+  auto* attack_ptr = attack.get();
+  ASSERT_TRUE(bench.host->Start(std::move(attack)).ok());
+  ASSERT_TRUE(attack_ptr->Arm(128).ok());
+
+  // Forge the SUT's own vector so deliveries hit its context and the storm
+  // detector sees them.
+  std::vector<uint8_t> frame(64);
+  frame[0] = bench.ctx->irq_vector();
+  for (int i = 0; i < 64; ++i) {
+    (void)bench.link.Transmit(1, {frame.data(), frame.size()});
+  }
+  // AMD-Vi: SUD unmapped the attacker's MSI page; the storm stopped and
+  // later writes fault instead of interrupting.
+  EXPECT_TRUE(bench.ctx->interrupt_stats().msi_page_unmapped ||
+              bench.ctx->interrupt_stats().mask_events > 0);
+  uint64_t delivered_at_cutoff = bench.machine.msi().total_delivered();
+  for (int i = 0; i < 16; ++i) {
+    (void)bench.link.Transmit(1, {frame.data(), frame.size()});
+  }
+  if (bench.ctx->interrupt_stats().msi_page_unmapped) {
+    EXPECT_EQ(bench.machine.msi().total_delivered(), delivered_at_cutoff);
+  }
+}
+
+// ---- liveness attacks -----------------------------------------------------------
+
+TEST(Security, SyncUpcallToUnresponsiveDriverIsInterruptable) {
+  NetBench::Options options;
+  options.sud.uchan.sync_timeout_ms = 30;  // fast test
+  NetBench bench(options);
+  ASSERT_TRUE(bench.host->Start(std::make_unique<drivers::UnresponsiveDriver>(),
+                                uml::DriverHost::Mode::kComatose)
+                  .ok());
+  // ifconfig up: the open upcall gets no reply; the kernel thread does NOT
+  // hang — it returns an error after the (interruptable) timeout.
+  Status status = bench.kernel.net().BringUp("eth0");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kTimedOut);
+  (void)bench.host->Kill();
+}
+
+TEST(Security, AsyncUpcallsToFullRingReportHungDriver) {
+  NetBench::Options options;
+  options.sud.uchan.ring_entries = 4;
+  options.proxy.hung_threshold = 4;
+  NetBench bench(options);
+  // A driver that registers but never processes its queue. Use the
+  // unresponsive driver and force the netdev up administratively.
+  ASSERT_TRUE(bench.host->Start(std::make_unique<drivers::UnresponsiveDriver>(),
+                                uml::DriverHost::Mode::kComatose)
+                  .ok());
+  kern::NetDevice* netdev = bench.kernel.net().Find("eth0");
+  ASSERT_NE(netdev, nullptr);
+
+  LogCapture capture;
+  auto frame = kern::BuildPacket(testing::kMacB, testing::kMacA, 1, 2, {});
+  int drops = 0;
+  for (int i = 0; i < 64; ++i) {
+    kern::SkbPtr skb = kern::MakeSkb(ConstByteSpan(frame.data(), frame.size()));
+    if (!bench.proxy->StartXmit(std::move(skb)).ok()) {
+      ++drops;
+    }
+  }
+  EXPECT_GT(drops, 0);                                // kernel never blocked
+  EXPECT_GE(bench.proxy->stats().hung_reports, 1u);   // and reported the hang
+  EXPECT_TRUE(capture.Contains("hung"));
+  (void)bench.host->Kill();
+}
+
+// ---- TOCTOU on shared packet buffers ---------------------------------------------
+
+TEST(Security, ToctouFirewallBypassWorksWithoutGuardCopy) {
+  NetBench::Options options;
+  options.proxy.guard_copy = false;  // the vulnerable check-then-copy order
+  NetBench bench(options);
+  ASSERT_TRUE(bench.StartSut().ok());
+  bench.kernel.net().firewall().DenyPort(22);
+
+  int delivered_to_22 = 0;
+  bench.kernel.net().Find("eth0")->set_rx_sink([&](const kern::Skb& skb) {
+    if (skb.view().dst_port() == 22) {
+      ++delivered_to_22;
+    }
+  });
+  // A perfectly timed attacker rewrites the dst port after the verdict.
+  bench.proxy->set_toctou_hook(
+      [](ByteSpan shared) { kern::RewriteDstPortFixup(shared, 22); });
+
+  std::vector<uint8_t> payload(32, 0x9);
+  ASSERT_TRUE(bench.PeerSend(1, 80, {payload.data(), payload.size()}).ok());
+  bench.host->Pump();
+  // The firewalled port received traffic: the attack works without the
+  // guard copy. (This test documents the vulnerability the design fixes.)
+  EXPECT_EQ(delivered_to_22, 1);
+}
+
+TEST(Security, ToctouFirewallBypassDefeatedByGuardCopy) {
+  NetBench bench;  // default: guard copy on
+  ASSERT_TRUE(bench.StartSut().ok());
+  bench.kernel.net().firewall().DenyPort(22);
+
+  int delivered_to_22 = 0;
+  int delivered_total = 0;
+  bench.kernel.net().Find("eth0")->set_rx_sink([&](const kern::Skb& skb) {
+    ++delivered_total;
+    if (skb.view().dst_port() == 22) {
+      ++delivered_to_22;
+    }
+  });
+  bench.proxy->set_toctou_hook(
+      [](ByteSpan shared) { kern::RewriteDstPortFixup(shared, 22); });
+
+  std::vector<uint8_t> payload(32, 0x9);
+  ASSERT_TRUE(bench.PeerSend(1, 80, {payload.data(), payload.size()}).ok());
+  bench.host->Pump();
+  // The kernel checked and delivered its own copy: port 80, not 22.
+  EXPECT_EQ(delivered_to_22, 0);
+  EXPECT_EQ(delivered_total, 1);
+}
+
+// ---- driver-initiated interface abuse ---------------------------------------------
+
+TEST(Security, SensitiveConfigWritesAreFiltered) {
+  NetBench bench;
+  auto attack = std::make_unique<drivers::ConfigAttackDriver>();
+  auto* attack_ptr = attack.get();
+  LogCapture capture;
+  ASSERT_TRUE(bench.host->Start(std::move(attack)).ok());
+
+  const drivers::ConfigAttackDriver::Outcome& outcome = attack_ptr->outcome();
+  EXPECT_EQ(outcome.attempts, 8u);
+  EXPECT_EQ(outcome.succeeded, 0u);
+  EXPECT_EQ(outcome.denied, 8u);
+  EXPECT_TRUE(capture.Contains("filtered config write"));
+  // BARs and MSI address unchanged.
+  EXPECT_NE(bench.sut_nic.config().bar(0), 0xfee00000u);
+  EXPECT_EQ(bench.sut_nic.config().msi_address(), hw::kMsiRangeBase);
+}
+
+TEST(Security, UngrantedIoPortsAreDenied) {
+  NetBench bench;
+  auto attack = std::make_unique<drivers::IoPortAttackDriver>();
+  auto* attack_ptr = attack.get();
+  ASSERT_TRUE(bench.host->Start(std::move(attack)).ok());
+  EXPECT_EQ(attack_ptr->attempts(), 6u);
+  EXPECT_EQ(attack_ptr->denied(), 6u);
+}
+
+TEST(Security, BogusNetifRxAddressesAreRejected) {
+  NetBench bench;
+  auto attack = std::make_unique<drivers::BogusRxDriver>();
+  auto* attack_ptr = attack.get();
+  ASSERT_TRUE(bench.host->Start(std::move(attack)).ok());
+
+  Result<int> accepted = attack_ptr->Fire(20);
+  ASSERT_TRUE(accepted.ok());
+  bench.host->Pump();  // flush the batched downcalls into the proxy
+  // Every wild address/length was rejected at validation; nothing reached
+  // the stack.
+  EXPECT_EQ(bench.proxy->stats().rx_bad_buffer_id, 20u);
+  EXPECT_EQ(bench.kernel.net().Find("eth0")->stats().rx_packets, 0u);
+}
+
+TEST(Security, ResourceHogStopsAtRlimit) {
+  NetBench::Options options;
+  NetBench bench(options);
+  // 8 MB rlimit (pool memory is charged first).
+  auto attack = std::make_unique<drivers::ResourceHogDriver>();
+  auto* attack_ptr = attack.get();
+  // Pre-create process limits through the host: adjust post-start.
+  // Spawn with default limit; then verify ChargeMemory enforcement.
+  ASSERT_TRUE(bench.host->Start(std::move(attack)).ok());
+  EXPECT_TRUE(attack_ptr->hit_limit());
+  // The driver got at most its rlimit's worth of DMA memory.
+  EXPECT_LE(attack_ptr->bytes_obtained(),
+            bench.ctx->bound_process()->rlimits().memory_bytes);
+}
+
+TEST(Security, WrongUidCannotBindDevice) {
+  NetBench::Options options;
+  options.start_sut = true;
+  NetBench bench(options);
+  kern::Process& intruder = bench.kernel.processes().Spawn("intruder", kDriverUid + 1);
+  LogCapture capture;
+  Status status = bench.ctx->Bind(&intruder);
+  EXPECT_EQ(status.code(), ErrorCode::kPermissionDenied);
+  EXPECT_TRUE(capture.Contains("tried to bind"));
+}
+
+}  // namespace
+}  // namespace sud

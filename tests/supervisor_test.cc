@@ -1,0 +1,105 @@
+// Shadow-driver-style recovery tests: the supervisor detects dead and hung
+// drivers and restores service without administrator involvement.
+
+#include <gtest/gtest.h>
+
+#include "src/drivers/malicious.h"
+#include "src/uml/supervisor.h"
+#include "tests/harness.h"
+
+namespace sud {
+namespace {
+
+using testing::NetBench;
+
+std::unique_ptr<uml::Driver> MakeE1000e() { return std::make_unique<drivers::E1000eDriver>(); }
+
+TEST(Supervisor, NoActionWhileHealthy) {
+  NetBench bench;
+  ASSERT_TRUE(bench.StartSut().ok());
+  uml::DriverSupervisor supervisor(&bench.kernel, bench.host.get(), MakeE1000e);
+  supervisor.ShadowNetdev("eth0");
+  EXPECT_FALSE(supervisor.CheckAndRecover());
+  EXPECT_EQ(supervisor.restarts(), 0u);
+}
+
+TEST(Supervisor, RecoversFromKilledDriver) {
+  NetBench bench;
+  ASSERT_TRUE(bench.StartSut().ok());
+  uml::DriverSupervisor supervisor(&bench.kernel, bench.host.get(), MakeE1000e);
+  supervisor.ShadowNetdev("eth0");
+
+  ASSERT_TRUE(bench.host->Kill().ok());
+  EXPECT_TRUE(supervisor.CheckAndRecover());
+  EXPECT_EQ(supervisor.restarts(), 1u);
+
+  // Service restored: interface up, traffic flows.
+  EXPECT_TRUE(bench.kernel.net().Find("eth0")->is_up());
+  int received = 0;
+  bench.kernel.net().Find("eth0")->set_rx_sink([&](const kern::Skb&) { ++received; });
+  std::vector<uint8_t> payload(64, 0x1);
+  ASSERT_TRUE(bench.PeerSend(1, 80, {payload.data(), payload.size()}).ok());
+  bench.host->Pump();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Supervisor, RecoversFromHungDriver) {
+  NetBench::Options options;
+  options.sud.uchan.ring_entries = 4;
+  options.proxy.hung_threshold = 4;
+  options.sud.uchan.sync_timeout_ms = 25;
+  NetBench bench(options);
+  // A comatose driver: probe succeeds, then it services nothing.
+  ASSERT_TRUE(bench.host
+                  ->Start(std::make_unique<drivers::UnresponsiveDriver>(),
+                          uml::DriverHost::Mode::kComatose)
+                  .ok());
+  uml::DriverSupervisor supervisor(&bench.kernel, bench.host.get(), MakeE1000e);
+  supervisor.ShadowNetdev("eth0");
+
+  // The kernel piles up transmits until the proxy reports the driver hung.
+  auto frame = kern::BuildPacket(testing::kMacB, testing::kMacA, 1, 2, {});
+  for (int i = 0; i < 16; ++i) {
+    (void)bench.proxy->StartXmit(kern::MakeSkb({frame.data(), frame.size()}));
+  }
+  ASSERT_GE(bench.proxy->stats().hung_reports, 1u);
+
+  supervisor.ObserveHungReports(bench.proxy->stats().hung_reports);
+  EXPECT_TRUE(supervisor.CheckAndRecover());
+  // The replacement is a real e1000e; the interface works again.
+  EXPECT_TRUE(bench.kernel.net().Find("eth0")->is_up());
+  int received = 0;
+  bench.kernel.net().Find("eth0")->set_rx_sink([&](const kern::Skb&) { ++received; });
+  std::vector<uint8_t> payload(64, 0x2);
+  ASSERT_TRUE(bench.PeerSend(1, 80, {payload.data(), payload.size()}).ok());
+  bench.host->Pump();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Supervisor, GivesUpAfterMaxRestarts) {
+  NetBench::Options options;
+  options.sud.uchan.sync_timeout_ms = 10;
+  NetBench bench(options);
+  uml::DriverSupervisor::Options sup_options;
+  sup_options.max_restarts = 2;
+  // A factory that always produces a driver whose probe fails.
+  class BrokenDriver : public uml::Driver {
+   public:
+    const char* name() const override { return "broken"; }
+    Status Probe(uml::DriverEnv&) override {
+      return Status(ErrorCode::kUnavailable, "bad firmware");
+    }
+  };
+  uml::DriverSupervisor supervisor(
+      &bench.kernel, bench.host.get(), []() { return std::make_unique<BrokenDriver>(); },
+      sup_options);
+
+  // The host is not running at all; each recovery attempt fails at probe.
+  EXPECT_FALSE(supervisor.CheckAndRecover());  // restart 1 fails
+  EXPECT_FALSE(supervisor.CheckAndRecover());  // restart 2 fails
+  EXPECT_FALSE(supervisor.CheckAndRecover());  // past max: gives up
+  EXPECT_EQ(supervisor.restarts(), 2u);
+}
+
+}  // namespace
+}  // namespace sud

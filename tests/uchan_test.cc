@@ -1,0 +1,233 @@
+// Uchan unit + property tests: the Figure 3 semantics — sync/async upcalls,
+// interruptable timeouts, downcall batching, replies, shutdown — plus a
+// randomized ordering property.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/base/log.h"
+#include "src/base/rng.h"
+#include "src/sud/uchan.h"
+
+namespace sud {
+namespace {
+
+Uchan::Config FastConfig() {
+  Uchan::Config config;
+  config.sync_timeout_ms = 25;
+  return config;
+}
+
+TEST(Uchan, AsyncUpcallDeliveredInOrder) {
+  Uchan uchan;
+  for (uint32_t i = 0; i < 5; ++i) {
+    UchanMsg msg;
+    msg.opcode = 100 + i;
+    ASSERT_TRUE(uchan.SendAsync(std::move(msg)).ok());
+  }
+  EXPECT_EQ(uchan.pending_upcalls(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) {
+    Result<UchanMsg> msg = uchan.Wait(0);
+    ASSERT_TRUE(msg.ok());
+    EXPECT_EQ(msg.value().opcode, 100 + i);
+  }
+  EXPECT_EQ(uchan.Wait(0).status().code(), ErrorCode::kTimedOut);
+}
+
+TEST(Uchan, RingFullReportsQueueFull) {
+  Uchan::Config config;
+  config.ring_entries = 3;
+  Uchan uchan(config);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(uchan.SendAsync(UchanMsg{}).ok());
+  }
+  EXPECT_EQ(uchan.SendAsync(UchanMsg{}).code(), ErrorCode::kQueueFull);
+  EXPECT_EQ(uchan.stats().upcalls_dropped_full, 1u);
+}
+
+TEST(Uchan, SyncUpcallTimesOutWithoutResponder) {
+  Uchan uchan(FastConfig());
+  UchanMsg msg;
+  msg.opcode = 7;
+  Result<UchanMsg> reply = uchan.SendSync(std::move(msg));
+  EXPECT_EQ(reply.status().code(), ErrorCode::kTimedOut);
+  EXPECT_EQ(uchan.stats().upcalls_timed_out, 1u);
+}
+
+TEST(Uchan, SyncUpcallRoundTripViaPump) {
+  Uchan uchan(FastConfig());
+  uchan.set_user_pump([&]() {
+    Result<UchanMsg> msg = uchan.Wait(0);
+    ASSERT_TRUE(msg.ok());
+    UchanMsg reply;
+    reply.args[0] = msg.value().args[0] * 2;
+    uchan.Reply(msg.value(), std::move(reply));
+  });
+  UchanMsg msg;
+  msg.args[0] = 21;
+  Result<UchanMsg> reply = uchan.SendSync(std::move(msg));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().args[0], 42u);
+}
+
+TEST(Uchan, SyncUpcallRoundTripViaThread) {
+  Uchan uchan;
+  std::thread responder([&]() {
+    Result<UchanMsg> msg = uchan.Wait(1000);
+    if (msg.ok()) {
+      UchanMsg reply;
+      reply.args[0] = 99;
+      uchan.Reply(msg.value(), std::move(reply));
+    }
+  });
+  Result<UchanMsg> reply = uchan.SendSync(UchanMsg{});
+  responder.join();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().args[0], 99u);
+}
+
+TEST(Uchan, PumpedDriverThatIgnoresRequestInterruptsSender) {
+  Uchan uchan(FastConfig());
+  uchan.set_user_pump([&]() {
+    // Driver runs but deliberately does not reply (malicious).
+    (void)uchan.Wait(0);
+  });
+  Result<UchanMsg> reply = uchan.SendSync(UchanMsg{});
+  EXPECT_EQ(reply.status().code(), ErrorCode::kTimedOut);
+}
+
+TEST(Uchan, DowncallBatchingFlushesOnWait) {
+  Uchan uchan;
+  std::vector<uint32_t> handled;
+  uchan.set_downcall_handler([&](UchanMsg& msg) { handled.push_back(msg.opcode); });
+
+  for (uint32_t i = 0; i < 4; ++i) {
+    UchanMsg msg;
+    msg.opcode = 10 + i;
+    ASSERT_TRUE(uchan.DowncallAsync(std::move(msg)).ok());
+  }
+  EXPECT_TRUE(handled.empty());  // batched, not yet in the kernel
+  (void)uchan.Wait(0);           // the flush point
+  EXPECT_EQ(handled, (std::vector<uint32_t>{10, 11, 12, 13}));
+  EXPECT_EQ(uchan.stats().downcall_batches, 1u);  // one kernel entry for all four
+}
+
+TEST(Uchan, SyncDowncallFlushesBatchFirstAndReturnsResultInPlace) {
+  Uchan uchan;
+  std::vector<uint32_t> handled;
+  uchan.set_downcall_handler([&](UchanMsg& msg) {
+    handled.push_back(msg.opcode);
+    msg.args[1] = msg.args[0] + 1;  // result written into the caller's message
+  });
+  UchanMsg async1;
+  async1.opcode = 50;
+  ASSERT_TRUE(uchan.DowncallAsync(std::move(async1)).ok());
+
+  UchanMsg sync;
+  sync.opcode = 60;
+  sync.args[0] = 5;
+  ASSERT_TRUE(uchan.DowncallSync(sync).ok());
+  EXPECT_EQ(sync.args[1], 6u);  // "copied into the message buffer" (§3.1)
+  EXPECT_EQ(handled, (std::vector<uint32_t>{50, 60}));  // order preserved
+}
+
+TEST(Uchan, UnbatchedConfigEntersKernelPerDowncall) {
+  Uchan::Config config;
+  config.batch_async_downcalls = false;
+  Uchan uchan(config);
+  int entries = 0;
+  uchan.set_downcall_handler([&](UchanMsg&) { ++entries; });
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(uchan.DowncallAsync(UchanMsg{}).ok());
+  }
+  EXPECT_EQ(entries, 4);
+  EXPECT_EQ(uchan.stats().downcall_batches, 4u);
+}
+
+TEST(Uchan, DowncallErrorPropagates) {
+  Uchan uchan;
+  uchan.set_downcall_handler(
+      [](UchanMsg& msg) { msg.error = static_cast<int32_t>(ErrorCode::kPermissionDenied); });
+  UchanMsg msg;
+  EXPECT_EQ(uchan.DowncallSync(msg).code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(Uchan, ShutdownFailsEverything) {
+  Uchan uchan(FastConfig());
+  uchan.Shutdown();
+  EXPECT_EQ(uchan.SendAsync(UchanMsg{}).code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(uchan.SendSync(UchanMsg{}).status().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(uchan.Wait(0).status().code(), ErrorCode::kUnavailable);
+  UchanMsg msg;
+  EXPECT_EQ(uchan.DowncallSync(msg).code(), ErrorCode::kUnavailable);
+}
+
+TEST(Uchan, ShutdownUnblocksSleepingDriver) {
+  Uchan uchan;
+  std::thread sleeper([&]() {
+    Result<UchanMsg> msg = uchan.Wait(10000);
+    EXPECT_EQ(msg.status().code(), ErrorCode::kUnavailable);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  uchan.Shutdown();
+  sleeper.join();
+}
+
+TEST(Uchan, WakeupsCountedWhenDriverIdle) {
+  CpuModel cpu;
+  Uchan uchan(Uchan::Config{}, &cpu);
+  (void)uchan.Wait(0);  // driver goes idle (select)
+  ASSERT_TRUE(uchan.SendAsync(UchanMsg{}).ok());
+  EXPECT_EQ(uchan.stats().wakeups, 1u);
+  EXPECT_GE(cpu.busy(kAccountKernel), cpu.costs().process_wakeup);
+  // While the driver is busy (just dequeued), further sends don't wake.
+  (void)uchan.Wait(0);
+  ASSERT_TRUE(uchan.SendAsync(UchanMsg{}).ok());
+  EXPECT_EQ(uchan.stats().wakeups, 1u);
+}
+
+// Property: random interleavings of async upcalls and waits preserve FIFO
+// order and never lose or duplicate a message.
+class UchanPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UchanPropertyTest, FifoNoLossNoDuplication) {
+  Rng rng(GetParam());
+  Uchan::Config config;
+  config.ring_entries = 8;
+  Uchan uchan(config);
+
+  uint32_t next_sent = 0;
+  uint32_t next_received = 0;
+  uint32_t in_flight = 0;
+  for (int step = 0; step < 2000; ++step) {
+    if (rng.Chance(1, 2)) {
+      UchanMsg msg;
+      msg.opcode = next_sent;
+      Status status = uchan.SendAsync(std::move(msg));
+      if (in_flight == config.ring_entries) {
+        EXPECT_EQ(status.code(), ErrorCode::kQueueFull);
+      } else {
+        ASSERT_TRUE(status.ok());
+        ++next_sent;
+        ++in_flight;
+      }
+    } else {
+      Result<UchanMsg> msg = uchan.Wait(0);
+      if (in_flight == 0) {
+        EXPECT_FALSE(msg.ok());
+      } else {
+        ASSERT_TRUE(msg.ok());
+        EXPECT_EQ(msg.value().opcode, next_received);
+        ++next_received;
+        --in_flight;
+      }
+    }
+  }
+  EXPECT_EQ(next_sent - next_received, in_flight);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UchanPropertyTest, ::testing::Values(5, 6, 7, 8));
+
+}  // namespace
+}  // namespace sud
