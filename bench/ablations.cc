@@ -4,6 +4,9 @@
 //
 //   abl/uchan_batching     async-downcall batching on/off: kernel entries
 //                          per netif_rx downcall
+//   abl/uchan_batch_depth  NAPI rx batch depth {1,4,16,64}: uchan crossings
+//                          per packet fall monotonically with depth
+//   abl/iotlb_geometry     IOTLB sets x ways sweep: hit rate vs working set
 //   abl/zero_copy          shared-buffer hand-off vs copying transmit path
 //   abl/guard_fusion       guard-copy fused with the checksum pass vs a
 //                          separate pass
@@ -52,6 +55,74 @@ void BM_UchanBatching(benchmark::State& state) {
   state.SetLabel(batching ? "batched" : "unbatched");
 }
 BENCHMARK(BM_UchanBatching)->Arg(1)->Arg(0);
+
+// NAPI rx batch depth sweep: how many packets the driver accumulates before
+// entering the kernel with the netif_rx array. Crossings (kernel entries +
+// wakeups) per packet must fall monotonically as depth grows — the
+// Section 3.1.2 batching win, quantified.
+void BM_UchanBatchDepth(benchmark::State& state) {
+  uint32_t depth = static_cast<uint32_t>(state.range(0));
+  NetBench bench;
+  (void)bench.StartSut();
+  bench.host->runtime()->set_rx_batch_depth(depth);
+  std::vector<uint8_t> payload(64, 0x1);
+
+  uint64_t packets = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 4; ++i) {
+      (void)bench.PeerSendBurst(1, 80, {payload.data(), payload.size()}, 16);
+      bench.host->Pump();
+    }
+    packets += 64;
+  }
+  Uchan::Stats stats = bench.ctx->ctl().stats();
+  state.counters["kernel_entries_per_pkt"] =
+      static_cast<double>(stats.downcall_batches) / packets;
+  state.counters["crossings_per_pkt"] =
+      static_cast<double>(stats.downcall_batches + stats.wakeups) / packets;
+  state.counters["sim_cpu_ns_per_pkt"] =
+      static_cast<double>(bench.machine.cpu().total_busy()) / packets;
+  state.SetLabel("depth=" + std::to_string(depth));
+}
+BENCHMARK(BM_UchanBatchDepth)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// IOTLB geometry sweep: hit rate of a striding DMA working set against the
+// cache shape. The modeled iotlb_miss cost makes the geometry visible in
+// simulated CPU ns exactly the way Section 3.1.2's invalidation-avoidance
+// argument needs it to be.
+void BM_IotlbGeometry(benchmark::State& state) {
+  uint32_t sets = static_cast<uint32_t>(state.range(0));
+  uint32_t ways = static_cast<uint32_t>(state.range(1));
+  CpuModel cpu;
+  hw::Iommu iommu(hw::IommuMode::kIntelVtd, &cpu);
+  iommu.set_iotlb_geometry({sets, ways});
+  constexpr uint16_t kSource = 0x100;
+  (void)iommu.CreateContext(kSource);
+  constexpr uint64_t kWorkingSetPages = 48;  // e1000e rx ring's buffer pages
+  (void)iommu.Map(kSource, 0x100000, 0x800000, kWorkingSetPages * hw::kPageSize,
+                  /*readable=*/true, /*writable=*/true);
+
+  uint64_t accesses = 0;
+  for (auto _ : state) {
+    for (uint64_t page = 0; page < kWorkingSetPages; ++page) {
+      benchmark::DoNotOptimize(
+          iommu.Translate(kSource, 0x100000 + page * hw::kPageSize, 64, false));
+      ++accesses;
+    }
+  }
+  const hw::Iommu::IotlbStats& stats = iommu.iotlb_stats();
+  state.counters["hit_rate"] =
+      static_cast<double>(stats.hits) / static_cast<double>(stats.hits + stats.misses);
+  state.counters["evictions"] = static_cast<double>(stats.evictions);
+  state.counters["sim_cpu_ns_per_access"] = static_cast<double>(cpu.total_busy()) / accesses;
+  state.SetLabel(std::to_string(sets) + "x" + std::to_string(ways));
+}
+BENCHMARK(BM_IotlbGeometry)
+    ->Args({4, 1})
+    ->Args({4, 4})
+    ->Args({16, 4})
+    ->Args({64, 4})
+    ->Args({16, 8});
 
 // Transmit path: zero-copy shared-buffer hand-off vs an extra bounce copy.
 void BM_ZeroCopy(benchmark::State& state) {

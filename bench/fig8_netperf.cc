@@ -24,7 +24,12 @@
 // paper's *kernel-driver* rows once; the SUD deltas then emerge entirely
 // from the simulated mechanisms. Expected shape: equal throughput on
 // streams, ~8-30% relative CPU overhead, ~2x CPU on UDP_RR.
+//
+// Besides the table, the bench writes BENCH_fig8.json — modeled results,
+// uchan crossing counts per packet and the *simulator's own* wall-clock per
+// run — so the perf trajectory of the reproduction is tracked across PRs.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -61,6 +66,11 @@ struct Row {
   double cpu_pct;
   double paper_value;
   double paper_cpu;
+  // Fast-path accounting, filled for the SUD rows (zero for in-kernel).
+  double uchan_crossings_per_pkt = 0;  // kernel entries + wakeups per packet
+  double uchan_msgs_per_pkt = 0;       // ring messages per packet
+  // The simulator's own cost for this run (host wall-clock, microseconds).
+  double sim_wall_us = 0;
 };
 
 // One benchmark configuration: either the SUD bench or the in-kernel bench.
@@ -103,6 +113,20 @@ struct Config {
       (void)bench->sut_env->MmioWrite32(0, devices::kNicRegImc, 0xffffffffu);
     }
   }
+
+  // Fills the uchan crossing counters of `row` (SUD configuration only).
+  void FillUchanCounters(Row* row, int packets) const {
+    if (!is_sud) {
+      return;
+    }
+    Uchan::Stats stats = bench->ctx->ctl().stats();
+    row->uchan_crossings_per_pkt =
+        static_cast<double>(stats.downcall_batches + stats.wakeups) / packets;
+    row->uchan_msgs_per_pkt =
+        static_cast<double>(stats.upcalls_sync + stats.upcalls_async + stats.downcalls_sync +
+                            stats.downcalls_async) /
+        packets;
+  }
   const char* name() const { return is_sud ? "Untrusted driver" : "Kernel driver"; }
 };
 
@@ -113,6 +137,18 @@ double TotalCpu(NetBench& bench) {
                              bench.machine.cpu().busy(kAccountDriver));
 }
 
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedUs() const {
+    return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
 // TCP_STREAM: the SUT receives a stream of MSS-sized segments. The link is
 // the bottleneck; packets arrive in bursts of 16 (interrupt coalescing) and
 // SUD-UML batches the resulting netif_rx downcalls (Section 5.1).
@@ -121,20 +157,22 @@ Row RunTcpStream(bool is_sud) {
   config.EnableNapi();
   NetBench& bench = *config.bench;
   bench.machine.cpu().Reset();
+  WallTimer timer;
 
   std::vector<uint8_t> payload(kTcpMss, 0x5a);
   constexpr int kBurst = 16;
   for (int sent = 0; sent < kStreamPackets; sent += kBurst) {
-    for (int i = 0; i < kBurst; ++i) {
-      (void)bench.PeerSend(33000, 80, {payload.data(), payload.size()});
-    }
+    (void)bench.PeerSendBurst(33000, 80, {payload.data(), payload.size()}, kBurst);
     config.Pump();
   }
   double wall_ns = kStreamPackets * kTcpWireBytesPerSeg * 8.0;  // 1 Gb/s: 8 ns/byte
   double cpu_ns = TotalCpu(bench) + kStreamPackets * kTcpAppNsPerPkt;
   double throughput_mbps = kTcpMss * 8.0 * kStreamPackets / wall_ns * 1000.0;
-  return Row{"TCP_STREAM", config.name(), throughput_mbps, "Mbits/sec",
-             100.0 * cpu_ns / (kCores * wall_ns), is_sud ? 941.0 : 941.0, is_sud ? 13.0 : 12.0};
+  Row row{"TCP_STREAM", config.name(), throughput_mbps, "Mbits/sec",
+          100.0 * cpu_ns / (kCores * wall_ns), is_sud ? 941.0 : 941.0, is_sud ? 13.0 : 12.0};
+  config.FillUchanCounters(&row, kStreamPackets);
+  row.sim_wall_us = timer.ElapsedUs();
+  return row;
 }
 
 // UDP_STREAM TX: the SUT transmits 64-byte packets in a closed sender loop.
@@ -143,16 +181,12 @@ Row RunUdpTx(bool is_sud) {
   config.EnableNapi();
   NetBench& bench = *config.bench;
   bench.machine.cpu().Reset();
+  WallTimer timer;
 
   std::vector<uint8_t> payload(kUdpPayload, 0x11);
   constexpr int kBurst = 8;
   for (int sent = 0; sent < kStreamPackets; sent += kBurst) {
-    for (int i = 0; i < kBurst; ++i) {
-      auto frame = kern::BuildPacket(kMacB, kMacA, 5001, 5002,
-                                     {payload.data(), payload.size()});
-      (void)bench.kernel.net().Transmit(bench.SutIfname(),
-                                        kern::MakeSkb({frame.data(), frame.size()}));
-    }
+    (void)bench.SutSendBurst(5001, 5002, {payload.data(), payload.size()}, kBurst);
     config.Pump();  // driver drains the xmit queue, devices transmit
   }
 
@@ -168,8 +202,11 @@ Row RunUdpTx(bool is_sud) {
   }
   double pps = kStreamPackets / wall_ns * 1e9;
   double cpu_ns = kernel_ns + driver_ns + kStreamPackets * kUdpSendBaseNs;
-  return Row{"UDP_STREAM TX", config.name(), pps / 1000.0, "Kpackets/sec",
-             100.0 * cpu_ns / (kCores * wall_ns), is_sud ? 308.0 : 317.0, is_sud ? 39.0 : 35.0};
+  Row row{"UDP_STREAM TX", config.name(), pps / 1000.0, "Kpackets/sec",
+          100.0 * cpu_ns / (kCores * wall_ns), is_sud ? 308.0 : 317.0, is_sud ? 39.0 : 35.0};
+  config.FillUchanCounters(&row, kStreamPackets);
+  row.sim_wall_us = timer.ElapsedUs();
+  return row;
 }
 
 // UDP_STREAM RX: the peer floods 64-byte packets at the SUT; the paper's
@@ -179,6 +216,7 @@ Row RunUdpRx(bool is_sud) {
   config.EnableNapi();
   NetBench& bench = *config.bench;
   bench.machine.cpu().Reset();
+  WallTimer timer;
 
   std::vector<uint8_t> payload(kUdpPayload, 0x22);
   constexpr int kBurst = 16;
@@ -186,9 +224,7 @@ Row RunUdpRx(bool is_sud) {
   kern::NetDevice* netdev = bench.kernel.net().Find(bench.SutIfname());
   netdev->set_rx_sink([&](const kern::Skb&) { ++delivered; });
   for (int sent = 0; sent < kStreamPackets; sent += kBurst) {
-    for (int i = 0; i < kBurst; ++i) {
-      (void)bench.PeerSend(5002, 5001, {payload.data(), payload.size()});
-    }
+    (void)bench.PeerSendBurst(5002, 5001, {payload.data(), payload.size()}, kBurst);
     config.Pump();
   }
   // The Optiplex's send rate bounds the test (the paper's 238 Kpps); the
@@ -201,9 +237,12 @@ Row RunUdpRx(bool is_sud) {
   double pps = std::min(sender_rate_pps, capacity_pps);
   double wall_ns = kStreamPackets / pps * 1e9;
   double cpu_ns = kernel_ns + driver_ns + kStreamPackets * kUdpRxAppNsPerPkt;
-  return Row{"UDP_STREAM RX", config.name(), pps * (delivered / double(kStreamPackets)) / 1000.0,
-             "Kpackets/sec", 100.0 * cpu_ns / (kCores * wall_ns), is_sud ? 235.0 : 238.0,
-             is_sud ? 26.0 : 20.0};
+  Row row{"UDP_STREAM RX", config.name(),
+          pps * (delivered / double(kStreamPackets)) / 1000.0, "Kpackets/sec",
+          100.0 * cpu_ns / (kCores * wall_ns), is_sud ? 235.0 : 238.0, is_sud ? 26.0 : 20.0};
+  config.FillUchanCounters(&row, kStreamPackets);
+  row.sim_wall_us = timer.ElapsedUs();
+  return row;
 }
 
 // UDP_RR: one 64-byte request/response in flight at a time. Every charged
@@ -213,6 +252,7 @@ Row RunUdpRr(bool is_sud) {
   Config config = Config::Make(is_sud);
   NetBench& bench = *config.bench;
   bench.machine.cpu().Reset();
+  WallTimer timer;
 
   std::vector<uint8_t> payload(kUdpPayload, 0x33);
   kern::NetDevice* netdev = bench.kernel.net().Find(bench.SutIfname());
@@ -224,7 +264,7 @@ Row RunUdpRr(bool is_sud) {
     config.Pump();  // request reaches the app
     auto reply = kern::BuildPacket(kMacB, kMacA, 7002, 7001,
                                    {payload.data(), payload.size()});
-    (void)bench.kernel.net().Transmit(bench.SutIfname(),
+    (void)bench.kernel.net().Transmit(netdev,
                                       kern::MakeSkb({reply.data(), reply.size()}));
     config.Pump();  // reply transmitted
   }
@@ -235,8 +275,11 @@ Row RunUdpRr(bool is_sud) {
   // process on the other core; roughly half of it extends the RTT.
   double rtt_ns = kRrClientBaseNs + server_ns_per_txn / 2.0;
   double tps = 1e9 / rtt_ns;
-  return Row{"UDP_RR", config.name(), tps, "Tx/sec", 100.0 * server_ns_per_txn / rtt_ns,
-             is_sud ? 9489.0 : 9590.0, is_sud ? 10.0 : 5.0};
+  Row row{"UDP_RR", config.name(), tps, "Tx/sec", 100.0 * server_ns_per_txn / rtt_ns,
+          is_sud ? 9489.0 : 9590.0, is_sud ? 10.0 : 5.0};
+  config.FillUchanCounters(&row, 2 * kRrTransactions);
+  row.sim_wall_us = timer.ElapsedUs();
+  return row;
 }
 
 void Print(const std::vector<Row>& rows) {
@@ -251,6 +294,30 @@ void Print(const std::vector<Row>& rows) {
   }
   std::printf("\nShape checks (paper: equal stream throughput; 8-30%% CPU overhead on\n");
   std::printf("streams; ~2x CPU on UDP_RR):\n");
+}
+
+// Machine-readable trajectory record: one object per row.
+void WriteJson(const std::vector<Row>& rows, const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"fig8_netperf\",\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(out,
+                 "    {\"test\": \"%s\", \"driver\": \"%s\", \"value\": %.2f, "
+                 "\"unit\": \"%s\", \"cpu_pct\": %.2f, \"paper_value\": %.1f, "
+                 "\"paper_cpu_pct\": %.1f, \"uchan_crossings_per_pkt\": %.4f, "
+                 "\"uchan_msgs_per_pkt\": %.4f, \"sim_wall_us\": %.0f}%s\n",
+                 row.test.c_str(), row.driver.c_str(), row.value, row.unit.c_str(), row.cpu_pct,
+                 row.paper_value, row.paper_cpu, row.uchan_crossings_per_pkt,
+                 row.uchan_msgs_per_pkt, row.sim_wall_us, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path);
 }
 
 }  // namespace
@@ -281,5 +348,6 @@ int main() {
               rows[5].value / rows[4].value, pct(4, 5));
   std::printf("  UDP_RR       : throughput ratio %.2f, CPU ratio %.1fx\n",
               rows[7].value / rows[6].value, rows[7].cpu_pct / rows[6].cpu_pct);
+  sud::WriteJson(rows, "BENCH_fig8.json");
   return 0;
 }

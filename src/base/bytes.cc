@@ -1,22 +1,53 @@
 #include "src/base/bytes.h"
 
+#include <bit>
 #include <cstdio>
+#include <cstring>
 
 namespace sud {
 
 uint16_t InternetChecksum(ConstByteSpan data) {
+  // RFC 1071 ones-complement sum, accumulated 8 bytes at a time in host
+  // order; the 1's-complement sum is byte-order independent, so a single
+  // final swap recovers the network-order result (this runs on every packet
+  // of every bench, so the byte-at-a-time loop was a top hotspot).
+  const uint8_t* p = data.data();
+  size_t n = data.size();
   uint64_t sum = 0;
-  size_t i = 0;
-  for (; i + 1 < data.size(); i += 2) {
-    sum += static_cast<uint16_t>((data[i] << 8) | data[i + 1]);
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    sum += chunk & 0xffffffffull;
+    sum += chunk >> 32;
+    p += 8;
+    n -= 8;
   }
-  if (i < data.size()) {
-    sum += static_cast<uint16_t>(data[i] << 8);
+  if (n >= 4) {
+    uint32_t chunk;
+    std::memcpy(&chunk, p, 4);
+    sum += chunk;
+    p += 4;
+    n -= 4;
+  }
+  if (n >= 2) {
+    uint16_t chunk;
+    std::memcpy(&chunk, p, 2);
+    sum += chunk;
+    p += 2;
+    n -= 2;
+  }
+  if (n > 0) {
+    sum += p[0];  // odd tail byte pads with zero (low byte of a host word)
   }
   while (sum >> 16) {
     sum = (sum & 0xffff) + (sum >> 16);
   }
-  return static_cast<uint16_t>(~sum);
+  uint16_t host = static_cast<uint16_t>(sum);
+  uint16_t wire = host;
+  if constexpr (std::endian::native == std::endian::little) {
+    wire = static_cast<uint16_t>((host >> 8) | (host << 8));
+  }
+  return static_cast<uint16_t>(~wire);
 }
 
 std::string FormatMac(const uint8_t mac[6]) {

@@ -14,6 +14,10 @@
 // process wakeup — charges its cost here. Benchmarks then report
 // CPU% = busy_time / wall_time, exactly as netperf's CPU measurement does.
 //
+// Charge() is on the per-packet fast path of every bench, so accounts are a
+// small fixed enum indexing a flat array rather than a map keyed by strings;
+// the string overloads remain for ad-hoc accounts in tests.
+//
 // Default constants are calibrated so that bench/fig8_netperf lands near the
 // published table; every constant is overridable so the ablation benches can
 // sweep them (e.g. abl_wakeup_latency sweeps kProcessWakeup).
@@ -21,9 +25,10 @@
 #ifndef SUD_SRC_BASE_CPU_MODEL_H_
 #define SUD_SRC_BASE_CPU_MODEL_H_
 
+#include <array>
 #include <cstdint>
-#include <map>
 #include <string>
+#include <string_view>
 
 #include "src/base/clock.h"
 
@@ -50,51 +55,71 @@ struct CpuCosts {
   SimTime mmio_access = 60;          // one device register read/write
 };
 
+// The accounts charged by the simulated stack. kOther absorbs ad-hoc string
+// accounts used by tests.
+enum class CpuAccount : uint8_t {
+  kKernel = 0,
+  kDriver,
+  kDevice,
+  kPeer,
+  kOther,
+  kCount,
+};
+
+// Well-known account handles (call sites read like the old string constants).
+inline constexpr CpuAccount kAccountKernel = CpuAccount::kKernel;
+inline constexpr CpuAccount kAccountDriver = CpuAccount::kDriver;
+inline constexpr CpuAccount kAccountDevice = CpuAccount::kDevice;
+inline constexpr CpuAccount kAccountPeer = CpuAccount::kPeer;  // the traffic generator
+
+std::string_view CpuAccountName(CpuAccount account);
+CpuAccount CpuAccountFromName(std::string_view name);  // unknown -> kOther
+
 // Accumulates busy time per account. Not tied to SimClock advancement: the
 // benchmark harness decides how charged time maps onto wall time (a single
 // core runs accounts serially; a dual-core harness may overlap them).
 class CpuModel {
  public:
-  explicit CpuModel(CpuCosts costs = CpuCosts{}) : costs_(costs) {}
+  explicit CpuModel(CpuCosts costs = CpuCosts{}) : costs_(costs) { busy_.fill(0); }
 
   const CpuCosts& costs() const { return costs_; }
   void set_costs(const CpuCosts& costs) { costs_ = costs; }
 
-  void Charge(const std::string& account, SimTime nanos) { busy_[account] += nanos; }
+  void Charge(CpuAccount account, SimTime nanos) {
+    busy_[static_cast<size_t>(account)] += nanos;
+  }
+  void Charge(std::string_view account, SimTime nanos) {
+    Charge(CpuAccountFromName(account), nanos);
+  }
 
   // Fractional per-byte charges (copy/checksum passes).
-  void ChargeBytes(const std::string& account, double ns_per_byte, uint64_t bytes) {
-    busy_[account] += static_cast<SimTime>(ns_per_byte * static_cast<double>(bytes) + 0.5);
+  void ChargeBytes(CpuAccount account, double ns_per_byte, uint64_t bytes) {
+    busy_[static_cast<size_t>(account)] +=
+        static_cast<SimTime>(ns_per_byte * static_cast<double>(bytes) + 0.5);
   }
 
-  SimTime busy(const std::string& account) const {
-    auto it = busy_.find(account);
-    return it == busy_.end() ? 0 : it->second;
-  }
+  SimTime busy(CpuAccount account) const { return busy_[static_cast<size_t>(account)]; }
+  SimTime busy(std::string_view account) const { return busy(CpuAccountFromName(account)); }
 
   // Total across all accounts.
   SimTime total_busy() const {
     SimTime sum = 0;
-    for (const auto& [name, nanos] : busy_) {
+    for (SimTime nanos : busy_) {
       sum += nanos;
     }
     return sum;
   }
 
-  void Reset() { busy_.clear(); }
+  void Reset() { busy_.fill(0); }
 
-  const std::map<std::string, SimTime>& accounts() const { return busy_; }
+  const std::array<SimTime, static_cast<size_t>(CpuAccount::kCount)>& accounts() const {
+    return busy_;
+  }
 
  private:
   CpuCosts costs_;
-  std::map<std::string, SimTime> busy_;
+  std::array<SimTime, static_cast<size_t>(CpuAccount::kCount)> busy_{};
 };
-
-// Well-known account names.
-inline constexpr const char* kAccountKernel = "kernel";
-inline constexpr const char* kAccountDriver = "driver";
-inline constexpr const char* kAccountDevice = "device";
-inline constexpr const char* kAccountPeer = "peer";  // the traffic-generator machine
 
 }  // namespace sud
 

@@ -247,16 +247,16 @@ void SimNic::ProcessTxRing() {
       return;
     }
     NicDescriptor d = desc.value();
-    std::vector<uint8_t> frame(d.length);
+    tx_frame_buf_.resize(d.length);  // reused scratch: no per-frame allocation
     if (d.length > 0) {
-      Status status = DmaRead(d.buffer_addr, ByteSpan(frame.data(), frame.size()));
+      Status status = DmaRead(d.buffer_addr, ByteSpan(tx_frame_buf_.data(), d.length));
       if (!status.ok()) {
         ++stats_.dma_errors;
         return;
       }
     }
     if (link_ != nullptr && d.length > 0) {
-      (void)link_->Transmit(link_side_, ConstByteSpan(frame.data(), frame.size()));
+      (void)link_->Transmit(link_side_, ConstByteSpan(tx_frame_buf_.data(), d.length));
     }
     ++stats_.tx_frames;
     d.status |= kNicDescStatusDone;

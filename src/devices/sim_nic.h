@@ -132,6 +132,7 @@ class SimNic : public hw::PciDevice, public EtherEndpoint {
   // Frames that arrived while no RX descriptor was available.
   std::deque<std::vector<uint8_t>> rx_backlog_;
   static constexpr size_t kRxBacklogMax = 64;
+  std::vector<uint8_t> tx_frame_buf_;  // reused transmit staging buffer
 
   Stats stats_;
 };

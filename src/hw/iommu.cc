@@ -1,6 +1,7 @@
 #include "src/hw/iommu.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "src/base/bytes.h"
 #include "src/base/log.h"
@@ -8,7 +9,68 @@
 namespace sud::hw {
 
 Iommu::Iommu(IommuMode mode, CpuModel* cpu, SimClock* clock)
-    : mode_(mode), cpu_(cpu), clock_(clock) {}
+    : mode_(mode), cpu_(cpu), clock_(clock), source_gen_(1 << 16, 0) {
+  set_iotlb_geometry(IotlbGeometry{});
+}
+
+void Iommu::set_iotlb_geometry(IotlbGeometry geometry) {
+  geometry.sets = std::bit_ceil(std::max<uint32_t>(geometry.sets, 1));
+  geometry.ways = std::max<uint32_t>(geometry.ways, 1);
+  iotlb_geometry_ = geometry;
+  iotlb_.assign(static_cast<size_t>(geometry.sets) * geometry.ways, IotlbEntry{});
+  iotlb_fill_rr_.assign(geometry.sets, 0);
+}
+
+size_t Iommu::IotlbSetBase(uint16_t source_id, uint64_t page) const {
+  // Direct index: hash the page number with the source id so different
+  // devices' working sets spread across the sets.
+  uint64_t key = (page >> 12) ^ (static_cast<uint64_t>(source_id) * 0x9E3779B97F4A7C15ull);
+  size_t set = static_cast<size_t>(key) & (iotlb_geometry_.sets - 1);
+  return set * iotlb_geometry_.ways;
+}
+
+Iommu::IotlbEntry* Iommu::IotlbLookup(uint16_t source_id, uint64_t page) {
+  size_t base = IotlbSetBase(source_id, page);
+  for (size_t way = 0; way < iotlb_geometry_.ways; ++way) {
+    IotlbEntry& entry = iotlb_[base + way];
+    if (entry.valid && entry.source_id == source_id && entry.page == page &&
+        entry.generation == source_gen_[source_id]) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+void Iommu::IotlbInsert(uint16_t source_id, uint64_t page, const Pte& pte) {
+  size_t base = IotlbSetBase(source_id, page);
+  size_t victim = iotlb_geometry_.ways;  // sentinel: none free
+  for (size_t way = 0; way < iotlb_geometry_.ways; ++way) {
+    IotlbEntry& entry = iotlb_[base + way];
+    if (!entry.valid || entry.generation != source_gen_[entry.source_id]) {
+      victim = way;  // free or stale slot: reuse without an eviction
+      break;
+    }
+  }
+  if (victim == iotlb_geometry_.ways) {
+    size_t set = base / iotlb_geometry_.ways;
+    victim = iotlb_fill_rr_[set] % iotlb_geometry_.ways;
+    iotlb_fill_rr_[set] = static_cast<uint8_t>((victim + 1) % iotlb_geometry_.ways);
+    iotlb_stats_.evictions++;
+  }
+  IotlbEntry& entry = iotlb_[base + victim];
+  entry.page = page;
+  entry.source_id = source_id;
+  entry.generation = source_gen_[source_id];
+  entry.valid = true;
+  entry.pte = pte;
+}
+
+void Iommu::IotlbInvalidatePageNoCount(uint16_t source_id, uint64_t iova) {
+  IotlbEntry* entry = IotlbLookup(source_id, PageAlignDown(iova));
+  if (entry != nullptr) {
+    entry->valid = false;
+  }
+}
 
 Status Iommu::CreateContext(uint16_t source_id) {
   if (contexts_.count(source_id) != 0) {
@@ -134,12 +196,10 @@ Result<uint64_t> Iommu::Translate(uint16_t source_id, uint64_t iova, uint64_t le
   }
 
   uint64_t page = PageAlignDown(iova);
-  auto tlb_key = std::make_pair(source_id, page);
-  auto tlb_it = iotlb_.find(tlb_key);
   Pte entry;
-  if (tlb_it != iotlb_.end()) {
+  if (IotlbEntry* cached = IotlbLookup(source_id, page); cached != nullptr) {
     iotlb_stats_.hits++;
-    entry = tlb_it->second;
+    entry = cached->pte;
   } else {
     iotlb_stats_.misses++;
     if (cpu_ != nullptr) {
@@ -150,13 +210,7 @@ Result<uint64_t> Iommu::Translate(uint16_t source_id, uint64_t iova, uint64_t le
       return Fault(source_id, iova, is_write, "iova not mapped");
     }
     entry = *pte;
-    // Insert with FIFO eviction.
-    if (iotlb_.size() >= kIotlbEntries && !iotlb_fifo_.empty()) {
-      iotlb_.erase(iotlb_fifo_.front());
-      iotlb_fifo_.pop_front();
-    }
-    iotlb_.emplace(tlb_key, entry);
-    iotlb_fifo_.push_back(tlb_key);
+    IotlbInsert(source_id, page, entry);
   }
 
   if (is_write && !entry.writable) {
@@ -179,23 +233,13 @@ Status Iommu::Fault(uint16_t source_id, uint64_t iova, bool is_write, std::strin
 }
 
 void Iommu::InvalidateIotlb(uint16_t source_id) {
-  for (auto it = iotlb_.begin(); it != iotlb_.end();) {
-    if (it->first.first == source_id) {
-      it = iotlb_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  iotlb_fifo_.erase(std::remove_if(iotlb_fifo_.begin(), iotlb_fifo_.end(),
-                                   [&](const auto& key) { return key.first == source_id; }),
-                    iotlb_fifo_.end());
+  // Generation bump: every cached entry for this source goes stale at once.
+  ++source_gen_[source_id];
   iotlb_stats_.invalidations++;
 }
 
 void Iommu::InvalidateIotlbPage(uint16_t source_id, uint64_t iova) {
-  auto key = std::make_pair(source_id, PageAlignDown(iova));
-  iotlb_.erase(key);
-  iotlb_fifo_.erase(std::remove(iotlb_fifo_.begin(), iotlb_fifo_.end(), key), iotlb_fifo_.end());
+  IotlbInvalidatePageNoCount(source_id, iova);
   iotlb_stats_.invalidations++;
 }
 
@@ -209,10 +253,7 @@ void Iommu::QueueInvalidate(uint16_t source_id, uint64_t iova) {
 
 void Iommu::SyncInvalidations() {
   for (const auto& [source_id, iova] : invalidation_queue_) {
-    auto key = std::make_pair(source_id, iova);
-    iotlb_.erase(key);
-    iotlb_fifo_.erase(std::remove(iotlb_fifo_.begin(), iotlb_fifo_.end(), key),
-                      iotlb_fifo_.end());
+    IotlbInvalidatePageNoCount(source_id, iova);
   }
   if (!invalidation_queue_.empty()) {
     // A queued batch costs one synchronisation, not one per page.

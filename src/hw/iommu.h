@@ -9,7 +9,10 @@
 //  * an IOTLB with explicit invalidation — and the paper's observation that
 //    invalidations are expensive, which motivates the guard-copy design in
 //    Section 3.1.2 (see CpuCosts::iotlb_miss and the queued-invalidation
-//    feature from Section 6);
+//    feature from Section 6). The IOTLB is a fixed-size direct-indexed
+//    set-associative cache (like the hardware it models): Translate is
+//    allocation-free in steady state, and whole-source invalidation is a
+//    per-source generation bump, O(1) instead of a full-cache scan;
 //  * the MSI address range: Intel VT-d keeps an *implicit identity mapping*
 //    for 0xFEE00000-0xFEF00000 in every IO page table (the weakness Section
 //    5.2 reports); AMD-Vi does not, so unmap-the-MSI-page works there;
@@ -25,7 +28,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -76,6 +78,15 @@ class Iommu {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t invalidations = 0;
+    uint64_t evictions = 0;  // valid entries displaced by set conflicts
+  };
+
+  // IOTLB shape: `sets` x `ways` entries, direct-indexed by a hash of
+  // (source id, iova page). Sweepable by the abl_iotlb_geometry bench;
+  // `sets` is rounded up to a power of two.
+  struct IotlbGeometry {
+    uint32_t sets = 16;
+    uint32_t ways = 4;
   };
 
   explicit Iommu(IommuMode mode = IommuMode::kIntelVtd, CpuModel* cpu = nullptr,
@@ -99,9 +110,14 @@ class Iommu {
   Result<uint64_t> Translate(uint16_t source_id, uint64_t iova, uint64_t len, bool is_write);
 
   // --- IOTLB
+  // Whole-source invalidation: bumps the source's generation counter so every
+  // cached entry for it goes stale at once — O(1), no cache scan.
   void InvalidateIotlb(uint16_t source_id);
   void InvalidateIotlbPage(uint16_t source_id, uint64_t iova);
   const IotlbStats& iotlb_stats() const { return iotlb_stats_; }
+  // Reshapes (and empties) the IOTLB; stats are preserved.
+  void set_iotlb_geometry(IotlbGeometry geometry);
+  const IotlbGeometry& iotlb_geometry() const { return iotlb_geometry_; }
 
   // Queued invalidation (VT-d optional feature, Section 6 "New hardware"):
   // batch page invalidations and apply them on Sync. When the feature is off
@@ -171,15 +187,31 @@ class Iommu {
 
   Status Fault(uint16_t source_id, uint64_t iova, bool is_write, std::string reason);
 
+  // One IOTLB entry. An entry is live iff `valid` and its generation matches
+  // the owning source's current generation (stale generations are lazily
+  // overwritten by later fills).
+  struct IotlbEntry {
+    uint64_t page = 0;
+    uint32_t generation = 0;
+    uint16_t source_id = 0;
+    bool valid = false;
+    Pte pte;
+  };
+
+  size_t IotlbSetBase(uint16_t source_id, uint64_t page) const;
+  IotlbEntry* IotlbLookup(uint16_t source_id, uint64_t page);
+  void IotlbInsert(uint16_t source_id, uint64_t page, const Pte& pte);
+  void IotlbInvalidatePageNoCount(uint16_t source_id, uint64_t iova);
+
   IommuMode mode_;
   CpuModel* cpu_;
   SimClock* clock_;
   std::map<uint16_t, Context> contexts_;
 
-  // IOTLB: (source_id, iova page) -> Pte; FIFO eviction at kIotlbEntries.
-  static constexpr size_t kIotlbEntries = 64;
-  std::map<std::pair<uint16_t, uint64_t>, Pte> iotlb_;
-  std::deque<std::pair<uint16_t, uint64_t>> iotlb_fifo_;
+  IotlbGeometry iotlb_geometry_{};
+  std::vector<IotlbEntry> iotlb_;        // sets * ways, flat
+  std::vector<uint8_t> iotlb_fill_rr_;   // per-set round-robin fill cursor
+  std::vector<uint32_t> source_gen_;     // 64K per-source generation counters
   IotlbStats iotlb_stats_;
 
   bool interrupt_remapping_ = false;

@@ -107,10 +107,14 @@ Status PcieSwitch::RouteUpstream(size_t ingress_port, uint16_t source_id, uint64
   }
 
   // Address routing: does the target fall inside a sibling's BAR window?
+  // With P2P request redirect on, every transaction goes upstream regardless
+  // of the target, so the (per-TLP, per-BAR) sibling scan is skipped.
   int bar_index = 0;
   uint64_t bar_offset = 0;
-  PciDevice* peer = FindPeerByAddress(addr, ingress_port, &bar_index, &bar_offset);
-  if (peer != nullptr && !acs_.p2p_request_redirect) {
+  PciDevice* peer = acs_.p2p_request_redirect
+                        ? nullptr
+                        : FindPeerByAddress(addr, ingress_port, &bar_index, &bar_offset);
+  if (peer != nullptr) {
     // Vulnerable configuration: the transaction is delivered peer-to-peer,
     // never crossing the IOMMU. This is the attack in Section 3.2.2.
     ++p2p_deliveries_;

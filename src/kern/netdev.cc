@@ -85,9 +85,13 @@ Status NetSubsystem::Transmit(const std::string& name, SkbPtr skb) {
   if (device == nullptr) {
     return Status(ErrorCode::kNotFound, "no netdev " + name);
   }
+  return Transmit(device, std::move(skb));
+}
+
+Status NetSubsystem::Transmit(NetDevice* device, SkbPtr skb) {
   if (!device->up_) {
     device->stats().tx_dropped++;
-    return Status(ErrorCode::kUnavailable, name + " is down");
+    return Status(ErrorCode::kUnavailable, device->name() + " is down");
   }
   Status status = device->ops()->StartXmit(std::move(skb));
   if (status.ok()) {
@@ -96,6 +100,36 @@ Status NetSubsystem::Transmit(const std::string& name, SkbPtr skb) {
     device->stats().tx_dropped++;
   }
   return status;
+}
+
+Result<size_t> NetSubsystem::TransmitBatch(const std::string& name, std::vector<SkbPtr> skbs) {
+  NetDevice* device = Find(name);
+  if (device == nullptr) {
+    return Status(ErrorCode::kNotFound, "no netdev " + name);
+  }
+  return TransmitBatch(device, std::move(skbs));
+}
+
+Result<size_t> NetSubsystem::TransmitBatch(NetDevice* device, std::vector<SkbPtr> skbs) {
+  if (!device->up_) {
+    device->stats().tx_dropped += skbs.size();
+    return Status(ErrorCode::kUnavailable, device->name() + " is down");
+  }
+  size_t total = skbs.size();
+  size_t accepted = device->ops()->StartXmitBatch(std::move(skbs));
+  device->stats().tx_packets += accepted;
+  device->stats().tx_dropped += total - accepted;
+  return accepted;
+}
+
+size_t NetSubsystem::NetifRxBatch(NetDevice* device, std::vector<SkbPtr> skbs) {
+  size_t accepted = 0;
+  for (SkbPtr& skb : skbs) {
+    if (NetifRx(device, std::move(skb)).ok()) {
+      ++accepted;
+    }
+  }
+  return accepted;
 }
 
 Status NetSubsystem::NetifRx(NetDevice* device, SkbPtr skb) {

@@ -39,6 +39,20 @@ class NetDeviceOps {
   virtual Status Open() = 0;                              // ndo_open
   virtual Status Stop() = 0;                              // ndo_stop
   virtual Status StartXmit(SkbPtr skb) = 0;               // ndo_start_xmit
+  // NAPI-style transmit burst: hand a whole array of frames to the driver in
+  // one call. Returns how many frames the driver accepted (a full queue drops
+  // the tail). The default forwards one by one; batching drivers (the SUD
+  // Ethernet proxy) override it to amortize the per-crossing cost.
+  virtual size_t StartXmitBatch(std::vector<SkbPtr> skbs) {
+    size_t accepted = 0;
+    for (SkbPtr& skb : skbs) {
+      if (!StartXmit(std::move(skb)).ok()) {
+        break;
+      }
+      ++accepted;
+    }
+    return accepted;
+  }
   virtual Result<std::string> Ioctl(uint32_t cmd) = 0;    // ndo_do_ioctl (e.g. SIOCGMIIREG)
 };
 
@@ -123,14 +137,24 @@ class NetSubsystem {
   Status BringDown(const std::string& name);
 
   // The kernel's transmit entry (dev_queue_xmit): hands the skb to the
-  // driver's ndo_start_xmit.
+  // driver's ndo_start_xmit. The NetDevice* overloads skip the name lookup
+  // for callers that already hold the interface (the per-packet bench loops).
   Status Transmit(const std::string& name, SkbPtr skb);
+  Status Transmit(NetDevice* device, SkbPtr skb);
+  // Burst transmit: one driver call for the whole array (the qdisc draining
+  // its queue in one go). Returns how many frames the driver accepted.
+  Result<size_t> TransmitBatch(const std::string& name, std::vector<SkbPtr> skbs);
+  Result<size_t> TransmitBatch(NetDevice* device, std::vector<SkbPtr> skbs);
 
   // netif_rx: the driver (via its proxy) delivers a received packet. The
   // packet runs the checksum pass and the firewall *on the skb as given* —
   // callers (the proxy) are responsible for ensuring the skb can no longer
   // be modified by the driver (the guard-copy).
   Status NetifRx(NetDevice* device, SkbPtr skb);
+  // NAPI-style receive: delivers a whole poll bundle. Every packet still runs
+  // the per-packet checksum + firewall validation. Returns how many packets
+  // the stack accepted.
+  size_t NetifRxBatch(NetDevice* device, std::vector<SkbPtr> skbs);
 
   Firewall& firewall() { return firewall_; }
 

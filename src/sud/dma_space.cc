@@ -21,6 +21,8 @@ Result<DmaRegion> DmaSpace::Alloc(uint64_t bytes, bool coherent) {
   next_iova_ += rounded;
   DmaRegion region{iova, paddr.value(), rounded, coherent};
   regions_[iova] = region;
+  mru_region_ = nullptr;  // the map may have rebalanced; drop the cached node
+  mru_host_base_ = nullptr;
   return region;
 }
 
@@ -33,34 +35,54 @@ Status DmaSpace::Free(uint64_t iova) {
   (void)iommu_->Unmap(source_id_, region.iova, region.bytes);
   dram_->FreePages(region.paddr, region.bytes / hw::kPageSize);
   regions_.erase(it);
+  mru_region_ = nullptr;
+  mru_host_base_ = nullptr;
   return Status::Ok();
 }
 
-Result<ByteSpan> DmaSpace::HostView(uint64_t iova, uint64_t len) {
-  // Find the containing region.
+const DmaRegion* DmaSpace::FindRegion(uint64_t iova, uint64_t len) const {
+  if (iova + len < iova) {
+    return nullptr;  // length overflow can never land inside a region
+  }
+  if (mru_region_ != nullptr && iova >= mru_region_->iova &&
+      iova + len <= mru_region_->iova + mru_region_->bytes) {
+    return mru_region_;
+  }
   auto it = regions_.upper_bound(iova);
   if (it == regions_.begin()) {
-    return Status(ErrorCode::kNotFound, "iova not in any dma region");
+    return nullptr;
   }
   --it;
   const DmaRegion& region = it->second;
   if (iova < region.iova || iova + len > region.iova + region.bytes) {
+    return nullptr;
+  }
+  mru_region_ = &region;
+  mru_host_base_ = nullptr;
+  return &region;
+}
+
+Result<ByteSpan> DmaSpace::HostView(uint64_t iova, uint64_t len) {
+  const DmaRegion* region = FindRegion(iova, len);
+  if (region == nullptr) {
     return Status(ErrorCode::kNotFound, "iova range not in any dma region");
   }
-  return dram_->Window(region.paddr + (iova - region.iova), len);
+  if (mru_host_base_ == nullptr) {
+    Result<ByteSpan> window = dram_->Window(region->paddr, region->bytes);
+    if (!window.ok()) {
+      return window.status();
+    }
+    mru_host_base_ = window.value().data();
+  }
+  return ByteSpan(mru_host_base_ + (iova - region->iova), len);
 }
 
 Result<uint64_t> DmaSpace::IovaToPaddr(uint64_t iova) const {
-  auto it = regions_.upper_bound(iova);
-  if (it == regions_.begin()) {
+  const DmaRegion* region = FindRegion(iova, 1);
+  if (region == nullptr) {
     return Status(ErrorCode::kNotFound, "iova not in any dma region");
   }
-  --it;
-  const DmaRegion& region = it->second;
-  if (iova < region.iova || iova >= region.iova + region.bytes) {
-    return Status(ErrorCode::kNotFound, "iova not in any dma region");
-  }
-  return region.paddr + (iova - region.iova);
+  return region->paddr + (iova - region->iova);
 }
 
 void DmaSpace::ReleaseAll() {
@@ -69,6 +91,8 @@ void DmaSpace::ReleaseAll() {
     dram_->FreePages(region.paddr, region.bytes / hw::kPageSize);
   }
   regions_.clear();
+  mru_region_ = nullptr;
+  mru_host_base_ = nullptr;
 }
 
 uint64_t DmaSpace::total_bytes() const {

@@ -57,6 +57,9 @@ class DmaSpace {
   Status Free(uint64_t iova);
 
   // The driver's view of a region's memory (host pointer into DRAM).
+  // Steady-state lookups hit a one-entry MRU region cache (packet paths call
+  // this once or more per packet); only the first touch of a region walks
+  // the region map.
   Result<ByteSpan> HostView(uint64_t iova, uint64_t len);
 
   // Translate a driver virtual address (== IOVA) to the backing paddr.
@@ -70,11 +73,18 @@ class DmaSpace {
   uint64_t total_bytes() const;
 
  private:
+  const DmaRegion* FindRegion(uint64_t iova, uint64_t len) const;
+
   hw::PhysicalMemory* dram_;
   hw::Iommu* iommu_;
   uint16_t source_id_;
   uint64_t next_iova_;
   std::map<uint64_t, DmaRegion> regions_;  // keyed by iova
+  // MRU cache of the last region FindRegion resolved, plus its host window
+  // base; invalidated on Free/ReleaseAll. Mutable: lookups are logically
+  // const.
+  mutable const DmaRegion* mru_region_ = nullptr;
+  mutable uint8_t* mru_host_base_ = nullptr;
 };
 
 }  // namespace sud

@@ -10,6 +10,7 @@ namespace sud {
 EthernetProxy::EthernetProxy(kern::Kernel* kernel, SudDeviceContext* ctx, Options options)
     : kernel_(kernel), ctx_(ctx), options_(options) {
   ctx_->set_downcall_handler([this](UchanMsg& msg) { HandleDowncall(msg); });
+  ctx_->set_downcall_flush_handler([this]() { DeliverRxBundle(); });
 }
 
 Status EthernetProxy::Open() {
@@ -35,49 +36,109 @@ Status EthernetProxy::Stop() {
   return Status::Ok();
 }
 
-Status EthernetProxy::StartXmit(kern::SkbPtr skb) {
+void EthernetProxy::NoteXmitFull() {
+  if (++consecutive_full_ >= options_.hung_threshold) {
+    ++stats_.hung_reports;
+    SUD_LOG(kWarning) << "ethernet driver not consuming buffers; reporting hung";
+    consecutive_full_ = 0;
+  }
+}
+
+Status EthernetProxy::PrepareXmit(const kern::Skb& skb, UchanMsg* msg) {
   CpuModel& cpu = kernel_->machine().cpu();
   Result<int32_t> buffer_id = ctx_->pool().Alloc();
   if (!buffer_id.ok()) {
     ++stats_.xmit_dropped;
-    if (++consecutive_full_ >= options_.hung_threshold) {
-      ++stats_.hung_reports;
-      SUD_LOG(kWarning) << "ethernet driver not consuming buffers; reporting hung";
-      consecutive_full_ = 0;
-    }
+    NoteXmitFull();
     return Status(ErrorCode::kQueueFull, "no shared buffers (driver slow or hung)");
   }
   Result<ByteSpan> buffer = ctx_->pool().Buffer(buffer_id.value());
   if (!buffer.ok()) {
     return buffer.status();
   }
-  size_t len = std::min<size_t>(skb->data_len(), buffer.value().size());
+  size_t len = std::min<size_t>(skb.data_len(), buffer.value().size());
   if (!options_.zero_copy) {
     // Ablation: model an intermediate bounce buffer (one extra pass).
     cpu.ChargeBytes(kAccountKernel, cpu.costs().per_byte_copy, len);
   }
-  std::memcpy(buffer.value().data(), skb->data(), len);
+  std::memcpy(buffer.value().data(), skb.data(), len);
   cpu.ChargeBytes(kAccountKernel, cpu.costs().per_byte_copy, len);
 
+  msg->opcode = kEthUpXmit;
+  msg->buffer_id = buffer_id.value();
+  msg->buffer_len = static_cast<uint32_t>(len);
+  return Status::Ok();
+}
+
+Status EthernetProxy::StartXmit(kern::SkbPtr skb) {
   UchanMsg msg;
-  msg.opcode = kEthUpXmit;
-  msg.buffer_id = buffer_id.value();
-  msg.buffer_len = static_cast<uint32_t>(len);
+  SUD_RETURN_IF_ERROR(PrepareXmit(*skb, &msg));
+  int32_t buffer_id = msg.buffer_id;
   Status status = ctx_->ctl().SendAsync(std::move(msg));
   if (!status.ok()) {
-    ctx_->pool().Free(buffer_id.value());
+    ctx_->pool().Free(buffer_id);
     ++stats_.xmit_dropped;
-    if (status.code() == ErrorCode::kQueueFull &&
-        ++consecutive_full_ >= options_.hung_threshold) {
-      ++stats_.hung_reports;
-      SUD_LOG(kWarning) << "ethernet driver upcall ring full; reporting hung";
-      consecutive_full_ = 0;
+    if (status.code() == ErrorCode::kQueueFull) {
+      NoteXmitFull();
     }
     return status;
   }
   consecutive_full_ = 0;
   ++stats_.xmit_upcalls;
   return Status::Ok();
+}
+
+size_t EthernetProxy::StartXmitBatch(std::vector<kern::SkbPtr> skbs) {
+  // Stage every frame first, so the whole array crosses in one enqueue.
+  std::vector<UchanMsg> msgs;
+  msgs.reserve(skbs.size());
+  Status staging = Status::Ok();
+  for (kern::SkbPtr& skb : skbs) {
+    UchanMsg msg;
+    staging = PrepareXmit(*skb, &msg);
+    if (!staging.ok()) {
+      break;  // pool exhausted: the tail of the burst is dropped
+    }
+    msgs.push_back(std::move(msg));
+  }
+  if (staging.code() == ErrorCode::kQueueFull) {
+    // Each frame behind the failing one would have hit the same empty pool:
+    // account them like the per-packet path would (drop + hung detection).
+    for (size_t rest = msgs.size() + 1; rest < skbs.size(); ++rest) {
+      ++stats_.xmit_dropped;
+      NoteXmitFull();
+    }
+  }
+  if (msgs.empty()) {
+    return 0;
+  }
+  std::vector<int32_t> buffer_ids;
+  buffer_ids.reserve(msgs.size());
+  for (const UchanMsg& msg : msgs) {
+    buffer_ids.push_back(msg.buffer_id);
+  }
+  ++stats_.xmit_batches;
+  Result<size_t> enqueued = ctx_->ctl().SendAsyncBatch(std::move(msgs));
+  if (!enqueued.ok()) {
+    for (int32_t id : buffer_ids) {
+      ctx_->pool().Free(id);
+    }
+    stats_.xmit_dropped += buffer_ids.size();
+    return 0;
+  }
+  // Reclaim the buffers of the ring-full tail.
+  for (size_t i = enqueued.value(); i < buffer_ids.size(); ++i) {
+    ctx_->pool().Free(buffer_ids[i]);
+  }
+  size_t dropped = buffer_ids.size() - enqueued.value();
+  stats_.xmit_dropped += dropped;
+  stats_.xmit_upcalls += enqueued.value();
+  if (dropped > 0) {
+    NoteXmitFull();
+  } else if (enqueued.value() > 0) {
+    consecutive_full_ = 0;
+  }
+  return enqueued.value();
 }
 
 Result<std::string> EthernetProxy::Ioctl(uint32_t cmd) {
@@ -224,9 +285,20 @@ void EthernetProxy::HandleNetifRx(UchanMsg& msg) {
   }
 
   cpu.Charge(kAccountKernel, cpu.costs().skb_alloc + cpu.costs().stack_work_per_pkt);
-  Status status = kernel_->net().NetifRx(netdev_, std::move(skb));
+  // NAPI-style: the private copy joins the current poll bundle; the whole
+  // array enters the stack once, at the end of this kernel entry.
+  rx_bundle_.push_back(std::move(skb));
   msg.error = 0;  // rejection by firewall/checksum is not a downcall failure
-  (void)status;
+}
+
+void EthernetProxy::DeliverRxBundle() {
+  if (rx_bundle_.empty() || netdev_ == nullptr) {
+    return;
+  }
+  std::vector<kern::SkbPtr> bundle;
+  bundle.swap(rx_bundle_);
+  ++stats_.rx_bundles;
+  (void)kernel_->net().NetifRxBatch(netdev_, std::move(bundle));
 }
 
 }  // namespace sud

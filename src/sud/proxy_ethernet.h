@@ -54,14 +54,21 @@ class EthernetProxy : public kern::NetDeviceOps {
   Status Open() override;
   Status Stop() override;
   Status StartXmit(kern::SkbPtr skb) override;
+  // NAPI-style burst: stages every frame into a shared-pool buffer, then
+  // enqueues the whole array of xmit upcalls in ONE uchan crossing (one lock
+  // acquisition, at most one driver wakeup). Frames the ring cannot take are
+  // dropped and their pool buffers reclaimed.
+  size_t StartXmitBatch(std::vector<kern::SkbPtr> skbs) override;
   Result<std::string> Ioctl(uint32_t cmd) override;
 
   kern::NetDevice* netdev() { return netdev_; }
 
   struct Stats {
     uint64_t xmit_upcalls = 0;
+    uint64_t xmit_batches = 0;      // StartXmitBatch crossings
     uint64_t xmit_dropped = 0;
     uint64_t rx_downcalls = 0;
+    uint64_t rx_bundles = 0;        // NAPI deliveries into the stack
     uint64_t rx_bad_buffer_id = 0;  // malicious buffer ids rejected
     uint64_t hung_reports = 0;
     uint64_t guard_copies = 0;
@@ -78,12 +85,21 @@ class EthernetProxy : public kern::NetDeviceOps {
  private:
   void HandleDowncall(UchanMsg& msg);
   void HandleNetifRx(UchanMsg& msg);
+  // Stages one skb into a fresh pool buffer and fills `msg`; on failure the
+  // hung-driver accounting has already been applied.
+  Status PrepareXmit(const kern::Skb& skb, UchanMsg* msg);
+  void NoteXmitFull();
+  // Delivers the guard-copied rx bundle accumulated during the current
+  // downcall kernel entry (the NAPI poll-end point).
+  void DeliverRxBundle();
 
   kern::Kernel* kernel_;
   SudDeviceContext* ctx_;
   Options options_;
   kern::NetDevice* netdev_ = nullptr;
   uint32_t consecutive_full_ = 0;
+  // Guard-copied packets awaiting the end-of-entry NetifRxBatch delivery.
+  std::vector<kern::SkbPtr> rx_bundle_;
   Stats stats_;
   ToctouHook toctou_hook_;
 };

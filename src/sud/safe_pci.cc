@@ -57,6 +57,9 @@ Status SudDeviceContext::Bind(kern::Process* proc) {
   if (downcall_handler_) {
     uchan_->set_downcall_handler(downcall_handler_);
   }
+  if (downcall_flush_handler_) {
+    uchan_->set_downcall_flush_handler(downcall_flush_handler_);
+  }
   dma_ = std::make_unique<DmaSpace>(&machine.dram(), &machine.iommu(), source_id());
   pool_ = std::make_unique<SharedBufferPool>(dma_.get(), options_.pool_buffers,
                                              options_.pool_buffer_bytes);

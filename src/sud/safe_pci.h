@@ -98,6 +98,15 @@ class SudDeviceContext {
     }
   }
 
+  // End-of-kernel-entry hook (the proxy's NAPI rx-bundle delivery point).
+  // Survives rebinds like the downcall handler.
+  void set_downcall_flush_handler(std::function<void()> handler) {
+    downcall_flush_handler_ = std::move(handler);
+    if (uchan_ != nullptr) {
+      uchan_->set_downcall_flush_handler(downcall_flush_handler_);
+    }
+  }
+
   // --- the four device files -------------------------------------------------
   Uchan& ctl() { return *uchan_; }
   DmaSpace& dma() { return *dma_; }
@@ -157,6 +166,7 @@ class SudDeviceContext {
   std::unique_ptr<DmaSpace> dma_;
   std::unique_ptr<SharedBufferPool> pool_;
   Uchan::DowncallHandler downcall_handler_;
+  std::function<void()> downcall_flush_handler_;
 
   uint8_t vector_ = 0;
   bool irq_in_flight_ = false;

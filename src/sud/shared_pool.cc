@@ -15,6 +15,12 @@ Status SharedBufferPool::Init() {
     return region.status();
   }
   region_ = region.value();
+  Result<ByteSpan> window =
+      dma_->HostView(region_.iova, static_cast<uint64_t>(count_) * buffer_bytes_);
+  if (!window.ok()) {
+    return window.status();
+  }
+  host_base_ = window.value().data();
   free_list_.reserve(count_);
   allocated_.assign(count_, false);
   for (int32_t id = static_cast<int32_t>(count_) - 1; id >= 0; --id) {
@@ -50,7 +56,7 @@ Result<ByteSpan> SharedBufferPool::Buffer(int32_t id) {
   if (!initialized_ || !IsValidId(id)) {
     return Status(ErrorCode::kInvalidArgument, "bad buffer id");
   }
-  return dma_->HostView(region_.iova + static_cast<uint64_t>(id) * buffer_bytes_, buffer_bytes_);
+  return ByteSpan(host_base_ + static_cast<uint64_t>(id) * buffer_bytes_, buffer_bytes_);
 }
 
 Result<uint64_t> SharedBufferPool::BufferIova(int32_t id) const {
@@ -58,6 +64,13 @@ Result<uint64_t> SharedBufferPool::BufferIova(int32_t id) const {
     return Status(ErrorCode::kInvalidArgument, "bad buffer id");
   }
   return region_.iova + static_cast<uint64_t>(id) * buffer_bytes_;
+}
+
+Result<uint64_t> SharedBufferPool::BufferPaddr(int32_t id) const {
+  if (!initialized_ || !IsValidId(id)) {
+    return Status(ErrorCode::kInvalidArgument, "bad buffer id");
+  }
+  return region_.paddr + static_cast<uint64_t>(id) * buffer_bytes_;
 }
 
 }  // namespace sud

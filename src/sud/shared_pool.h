@@ -40,16 +40,23 @@ class SharedBufferPool {
   uint64_t double_frees() const { return double_frees_; }
 
   // Shared view of buffer `id` (both sides use this; the device reaches the
-  // same bytes via BufferIova through the IOMMU).
+  // same bytes via BufferIova through the IOMMU). The host window base and
+  // per-buffer (iova, paddr) pairs are resolved once at Init, so the
+  // steady-state packet path is pure arithmetic — no region-map or radix-tree
+  // walk per packet.
   Result<ByteSpan> Buffer(int32_t id);
   // The device-visible address of buffer `id`.
   Result<uint64_t> BufferIova(int32_t id) const;
+  // The cached physical address backing buffer `id` (what the IOMMU would
+  // translate BufferIova to).
+  Result<uint64_t> BufferPaddr(int32_t id) const;
 
  private:
   DmaSpace* dma_;
   uint32_t count_;
   uint32_t buffer_bytes_;
   DmaRegion region_{};
+  uint8_t* host_base_ = nullptr;  // host view of the whole pool region
   bool initialized_ = false;
   std::vector<int32_t> free_list_;
   std::vector<bool> allocated_;

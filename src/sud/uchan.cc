@@ -6,7 +6,17 @@
 
 namespace sud {
 
-Uchan::Uchan(Config config, CpuModel* cpu) : config_(config), cpu_(cpu) {}
+namespace {
+constexpr size_t kInitialReplySlots = 64;  // power of two
+}  // namespace
+
+Uchan::Uchan(Config config, CpuModel* cpu) : config_(config), cpu_(cpu) {
+  if (config_.ring_entries == 0) {
+    config_.ring_entries = 1;
+  }
+  ring_.resize(config_.ring_entries);
+  replies_.resize(kInitialReplySlots);
+}
 
 void Uchan::ChargeBoth(SimTime nanos) {
   if (cpu_ != nullptr) {
@@ -19,16 +29,104 @@ void Uchan::set_downcall_handler(DowncallHandler handler) {
   downcall_handler_ = std::move(handler);
 }
 
+void Uchan::set_downcall_flush_handler(std::function<void()> handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  downcall_flush_handler_ = std::move(handler);
+}
+
 void Uchan::set_user_pump(std::function<void()> pump) {
   std::lock_guard<std::mutex> lock(mu_);
   user_pump_ = std::move(pump);
 }
 
-Status Uchan::EnqueueUpcallLocked(UchanMsg&& msg, std::unique_lock<std::mutex>& lock) {
+// ---- reply slot table -------------------------------------------------------
+
+size_t Uchan::ReplyIndex(uint64_t seq) const {
+  // Fibonacci hashing; table size is a power of two.
+  return static_cast<size_t>(seq * 0x9E3779B97F4A7C15ull) & (replies_.size() - 1);
+}
+
+Uchan::ReplySlot* Uchan::FindReplyLocked(uint64_t seq) {
+  size_t index = ReplyIndex(seq);
+  for (size_t probes = 0; probes < replies_.size(); ++probes) {
+    ReplySlot& slot = replies_[index];
+    if (slot.state == SlotState::kFree) {
+      return nullptr;
+    }
+    if (slot.seq == seq) {
+      return &slot;
+    }
+    index = (index + 1) & (replies_.size() - 1);
+  }
+  return nullptr;
+}
+
+void Uchan::InsertPendingLocked(uint64_t seq) {
+  if ((replies_used_ + 1) * 2 > replies_.size()) {
+    GrowRepliesLocked();
+  }
+  size_t index = ReplyIndex(seq);
+  while (replies_[index].state != SlotState::kFree) {
+    index = (index + 1) & (replies_.size() - 1);
+  }
+  replies_[index].seq = seq;
+  replies_[index].state = SlotState::kPending;
+  ++replies_used_;
+}
+
+void Uchan::EraseReplyLocked(uint64_t seq) {
+  ReplySlot* slot = FindReplyLocked(seq);
+  if (slot == nullptr) {
+    return;
+  }
+  size_t i = static_cast<size_t>(slot - replies_.data());
+  size_t mask = replies_.size() - 1;
+  replies_[i].state = SlotState::kFree;
+  replies_[i].msg = UchanMsg{};
+  --replies_used_;
+  // Backward-shift deletion keeps probe chains intact without tombstones.
+  size_t j = i;
+  while (true) {
+    j = (j + 1) & mask;
+    if (replies_[j].state == SlotState::kFree) {
+      break;
+    }
+    size_t home = ReplyIndex(replies_[j].seq);
+    bool home_in_gap = (j > i) ? (home > i && home <= j) : (home > i || home <= j);
+    if (!home_in_gap) {
+      replies_[i] = std::move(replies_[j]);
+      replies_[j].state = SlotState::kFree;
+      replies_[j].msg = UchanMsg{};
+      i = j;
+    }
+  }
+}
+
+void Uchan::GrowRepliesLocked() {
+  std::vector<ReplySlot> old;
+  old.swap(replies_);
+  replies_.resize(old.size() * 2);
+  replies_used_ = 0;
+  for (ReplySlot& slot : old) {
+    if (slot.state == SlotState::kFree) {
+      continue;
+    }
+    size_t index = ReplyIndex(slot.seq);
+    while (replies_[index].state != SlotState::kFree) {
+      index = (index + 1) & (replies_.size() - 1);
+    }
+    replies_[index] = std::move(slot);
+    ++replies_used_;
+  }
+}
+
+// ---- upcall ring ------------------------------------------------------------
+
+Status Uchan::EnqueueUpcallLocked(UchanMsg&& msg) {
   if (shutdown_) {
     return Status(ErrorCode::kUnavailable, "uchan shut down");
   }
-  if (k2u_ring_.size() >= config_.ring_entries) {
+  if (ring_count_ >= config_.ring_entries) {
     // Section 3.1.1: "if the device driver's queue is full, the kernel can
     // wait a short period of time to determine if the user-space driver is
     // making any progress at all" — modelled as an immediate kQueueFull the
@@ -42,16 +140,27 @@ Status Uchan::EnqueueUpcallLocked(UchanMsg&& msg, std::unique_lock<std::mutex>& 
   if (driver_idle_) {
     // The driver is asleep in select: this enqueue costs one process wakeup
     // (the 4 us of Section 5.1); it is now runnable, so further enqueues
-    // before its next sleep are free.
+    // before its next sleep are free — which is also what makes the whole of
+    // a SendAsyncBatch cost a single wakeup.
     if (cpu_ != nullptr) {
       cpu_->Charge(kAccountKernel, cpu_->costs().process_wakeup);
     }
     stats_.wakeups++;
     driver_idle_ = false;
   }
-  k2u_ring_.push_back(std::move(msg));
-  upcall_cv_.notify_all();
+  ring_[(ring_head_ + ring_count_) % config_.ring_entries] = std::move(msg);
+  ++ring_count_;
   return Status::Ok();
+}
+
+UchanMsg Uchan::PopUpcallLocked() {
+  UchanMsg msg = std::move(ring_[ring_head_]);
+  ring_head_ = (ring_head_ + 1) % config_.ring_entries;
+  --ring_count_;
+  if (cpu_ != nullptr) {
+    cpu_->Charge(kAccountDriver, cpu_->costs().uchan_msg);
+  }
+  return msg;
 }
 
 Result<UchanMsg> Uchan::SendSync(UchanMsg msg) {
@@ -60,40 +169,54 @@ Result<UchanMsg> Uchan::SendSync(UchanMsg msg) {
   msg.needs_reply = true;
   uint64_t seq = msg.seq;
   stats_.upcalls_sync++;
-  Status enq = EnqueueUpcallLocked(std::move(msg), lock);
+  Status enq = EnqueueUpcallLocked(std::move(msg));
   if (!enq.ok()) {
     return enq;
   }
+  InsertPendingLocked(seq);
+  upcall_cv_.notify_all();
 
   auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(config_.sync_timeout_ms);
-  while (replies_.count(seq) == 0 && !shutdown_) {
+  while (!shutdown_) {
+    ReplySlot* slot = FindReplyLocked(seq);
+    if (slot != nullptr && slot->state == SlotState::kReady) {
+      break;
+    }
     if (user_pump_) {
       // Single-threaded harness: run the driver inline instead of blocking.
       auto pump = user_pump_;
       lock.unlock();
       pump();
       lock.lock();
-      if (replies_.count(seq) != 0 || shutdown_) {
+      slot = FindReplyLocked(seq);
+      if ((slot != nullptr && slot->state == SlotState::kReady) || shutdown_) {
         break;
       }
       // Driver ran but did not reply: a hung or malicious driver. The upcall
       // is interruptable — give up.
       stats_.upcalls_timed_out++;
-      replies_.erase(seq);
+      EraseReplyLocked(seq);
       return Status(ErrorCode::kTimedOut, "synchronous upcall interrupted (driver unresponsive)");
     }
-    if (reply_cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
-        replies_.count(seq) == 0) {
+    if (reply_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      slot = FindReplyLocked(seq);
+      if (slot != nullptr && slot->state == SlotState::kReady) {
+        break;
+      }
       stats_.upcalls_timed_out++;
+      // Erase the pending slot so a late Reply is dropped instead of parking
+      // an orphaned entry in the table forever.
+      EraseReplyLocked(seq);
       return Status(ErrorCode::kTimedOut, "synchronous upcall timed out");
     }
   }
-  if (shutdown_ && replies_.count(seq) == 0) {
+  ReplySlot* slot = FindReplyLocked(seq);
+  if (slot == nullptr || slot->state != SlotState::kReady) {
     return Status(ErrorCode::kUnavailable, "uchan shut down");
   }
-  UchanMsg reply = std::move(replies_[seq]);
-  replies_.erase(seq);
+  UchanMsg reply = std::move(slot->msg);
+  EraseReplyLocked(seq);
   if (cpu_ != nullptr) {
     cpu_->Charge(kAccountKernel, cpu_->costs().uchan_msg);
   }
@@ -105,16 +228,46 @@ Status Uchan::SendAsync(UchanMsg msg) {
   msg.seq = next_seq_++;
   msg.needs_reply = false;
   stats_.upcalls_async++;
-  return EnqueueUpcallLocked(std::move(msg), lock);
+  Status status = EnqueueUpcallLocked(std::move(msg));
+  if (status.ok()) {
+    upcall_cv_.notify_all();
+  }
+  return status;
 }
 
-Result<UchanMsg> Uchan::Wait(uint64_t timeout_ms) {
-  FlushDowncalls();
+Result<size_t> Uchan::SendAsyncBatch(std::vector<UchanMsg> msgs) {
   std::unique_lock<std::mutex> lock(mu_);
   if (shutdown_) {
     return Status(ErrorCode::kUnavailable, "uchan shut down");
   }
-  if (k2u_ring_.empty()) {
+  stats_.upcall_batches++;
+  size_t enqueued = 0;
+  for (UchanMsg& msg : msgs) {
+    msg.seq = next_seq_++;
+    msg.needs_reply = false;
+    stats_.upcalls_async++;
+    if (!EnqueueUpcallLocked(std::move(msg)).ok()) {
+      // Ring filled mid-batch: drop the tail (each drop already counted in
+      // upcalls_dropped_full by EnqueueUpcallLocked).
+      for (size_t rest = enqueued + 1; rest < msgs.size(); ++rest) {
+        stats_.upcalls_async++;
+        stats_.upcalls_dropped_full++;
+      }
+      break;
+    }
+    ++enqueued;
+  }
+  if (enqueued > 0) {
+    upcall_cv_.notify_all();
+  }
+  return enqueued;
+}
+
+Status Uchan::WaitForUpcallLocked(uint64_t timeout_ms, std::unique_lock<std::mutex>& lock) {
+  if (shutdown_) {
+    return Status(ErrorCode::kUnavailable, "uchan shut down");
+  }
+  if (ring_count_ == 0) {
     // Ring empty: the driver sleeps in select on the uchan fd. Entering and
     // leaving the kernel for select costs a syscall.
     driver_idle_ = true;
@@ -125,8 +278,8 @@ Result<UchanMsg> Uchan::Wait(uint64_t timeout_ms) {
       return Status(ErrorCode::kTimedOut, "no pending upcalls");
     }
     auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
-    while (k2u_ring_.empty() && !shutdown_) {
-      if (upcall_cv_.wait_until(lock, deadline) == std::cv_status::timeout && k2u_ring_.empty()) {
+    while (ring_count_ == 0 && !shutdown_) {
+      if (upcall_cv_.wait_until(lock, deadline) == std::cv_status::timeout && ring_count_ == 0) {
         return Status(ErrorCode::kTimedOut, "no pending upcalls");
       }
     }
@@ -135,12 +288,26 @@ Result<UchanMsg> Uchan::Wait(uint64_t timeout_ms) {
     }
   }
   driver_idle_ = false;
-  UchanMsg msg = std::move(k2u_ring_.front());
-  k2u_ring_.pop_front();
-  if (cpu_ != nullptr) {
-    cpu_->Charge(kAccountDriver, cpu_->costs().uchan_msg);
+  return Status::Ok();
+}
+
+Result<UchanMsg> Uchan::Wait(uint64_t timeout_ms) {
+  FlushDowncalls();
+  std::unique_lock<std::mutex> lock(mu_);
+  SUD_RETURN_IF_ERROR(WaitForUpcallLocked(timeout_ms, lock));
+  return PopUpcallLocked();
+}
+
+Result<std::vector<UchanMsg>> Uchan::WaitBatch(uint64_t timeout_ms, size_t max_msgs) {
+  FlushDowncalls();
+  std::unique_lock<std::mutex> lock(mu_);
+  SUD_RETURN_IF_ERROR(WaitForUpcallLocked(timeout_ms, lock));
+  std::vector<UchanMsg> batch;
+  batch.reserve(std::min(max_msgs, ring_count_));
+  while (ring_count_ > 0 && batch.size() < max_msgs) {
+    batch.push_back(PopUpcallLocked());
   }
-  return msg;
+  return batch;
 }
 
 void Uchan::Reply(const UchanMsg& request, UchanMsg reply) {
@@ -148,12 +315,18 @@ void Uchan::Reply(const UchanMsg& request, UchanMsg reply) {
   if (!request.needs_reply || shutdown_) {
     return;
   }
+  ReplySlot* slot = FindReplyLocked(request.seq);
+  if (slot == nullptr || slot->state != SlotState::kPending) {
+    // The sender timed out and withdrew: drop the late reply.
+    return;
+  }
   reply.seq = request.seq;
   reply.needs_reply = false;
   if (cpu_ != nullptr) {
     cpu_->Charge(kAccountDriver, cpu_->costs().uchan_msg);
   }
-  replies_[request.seq] = std::move(reply);
+  slot->msg = std::move(reply);
+  slot->state = SlotState::kReady;
   reply_cv_.notify_all();
 }
 
@@ -192,8 +365,14 @@ Status Uchan::DowncallSync(UchanMsg& msg) {
     cpu_->Charge(kAccountKernel, cpu_->costs().uchan_msg);
   }
   RunDowncallLocked(msg, lock);
-  return msg.error == 0 ? Status::Ok()
-                        : Status(static_cast<ErrorCode>(msg.error), "downcall failed");
+  Status status = msg.error == 0 ? Status::Ok()
+                                 : Status(static_cast<ErrorCode>(msg.error), "downcall failed");
+  auto flush_handler = downcall_flush_handler_;
+  lock.unlock();
+  if (flush_handler) {
+    flush_handler();  // end of this kernel entry: deliver any queued rx bundle
+  }
+  return status;
 }
 
 Status Uchan::DowncallAsync(UchanMsg msg) {
@@ -211,6 +390,29 @@ Status Uchan::DowncallAsync(UchanMsg msg) {
   }
   // Unbatched configuration: every async downcall enters the kernel at once.
   FlushDowncalls();
+  return Status::Ok();
+}
+
+Status Uchan::DowncallAsyncBatch(std::vector<UchanMsg> msgs) {
+  bool flush_now = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status(ErrorCode::kUnavailable, "uchan shut down");
+    }
+    stats_.downcalls_async += msgs.size();
+    if (downcall_batch_.empty()) {
+      downcall_batch_ = std::move(msgs);
+    } else {
+      for (UchanMsg& msg : msgs) {
+        downcall_batch_.push_back(std::move(msg));
+      }
+    }
+    flush_now = !config_.batch_async_downcalls;
+  }
+  if (flush_now) {
+    FlushDowncalls();
+  }
   return Status::Ok();
 }
 
@@ -232,12 +434,21 @@ void Uchan::FlushDowncalls() {
     }
     RunDowncallLocked(msg, lock);
   }
+  auto flush_handler = downcall_flush_handler_;
+  lock.unlock();
+  if (flush_handler) {
+    flush_handler();  // end of this kernel entry: deliver any queued rx bundle
+  }
 }
 
 void Uchan::Shutdown() {
   std::lock_guard<std::mutex> lock(mu_);
   shutdown_ = true;
-  k2u_ring_.clear();
+  ring_head_ = 0;
+  ring_count_ = 0;
+  for (UchanMsg& msg : ring_) {
+    msg = UchanMsg{};
+  }
   downcall_batch_.clear();
   upcall_cv_.notify_all();
   reply_cv_.notify_all();
@@ -248,9 +459,14 @@ bool Uchan::is_shutdown() const {
   return shutdown_;
 }
 
+Uchan::Stats Uchan::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
 size_t Uchan::pending_upcalls() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return k2u_ring_.size();
+  return ring_count_;
 }
 
 }  // namespace sud

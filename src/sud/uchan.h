@@ -11,9 +11,13 @@
 //                               the kernel on a malicious driver.
 //  * sud_asend  -> SendAsync:   asynchronous upcall; returns kQueueFull when
 //                               the ring stays full (hung-driver signal).
+//                               SendAsyncBatch enqueues a whole burst under
+//                               one lock acquisition and one wakeup charge —
+//                               the NAPI-style crossing of Section 3.1.2.
 //  * sud_wait   -> Wait:        driver-side dequeue; polls the ring first
 //                               and only then "selects" (sleeps). Also the
 //                               flush point for batched async downcalls.
+//                               WaitBatch dequeues a burst per crossing.
 //  * sud_reply  -> Reply:       driver answers a synchronous upcall.
 //
 // Downcalls reverse the roles; per Section 3.1, the kernel returns results
@@ -23,6 +27,10 @@
 // *batched* in the uchan library and flushed on the next Wait/SendSync entry
 // into the kernel (Section 3.1.2), which is the optimization the
 // abl_uchan_batching bench sweeps.
+//
+// Fast-path data structures: the kernel-to-user ring is a pre-sized ring
+// buffer (no per-message heap allocation for queue nodes), and sync replies
+// live in a small open-addressed seq->slot hash table instead of a std::map.
 //
 // Threading: kernel-side and driver-side calls may run on different threads
 // (DriverHost's threaded mode) or on one thread with a "pump" that runs the
@@ -34,9 +42,7 @@
 #include <array>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <mutex>
 #include <vector>
 
@@ -71,6 +77,7 @@ class Uchan {
     uint64_t upcalls_async = 0;
     uint64_t upcalls_timed_out = 0;
     uint64_t upcalls_dropped_full = 0;
+    uint64_t upcall_batches = 0;    // SendAsyncBatch crossings
     uint64_t downcalls_sync = 0;
     uint64_t downcalls_async = 0;
     uint64_t downcall_batches = 0;  // flushes (kernel entries for downcalls)
@@ -80,9 +87,17 @@ class Uchan {
   Uchan() : Uchan(Config{}, nullptr) {}
   explicit Uchan(Config config, CpuModel* cpu = nullptr);
 
+  const Config& config() const { return config_; }
+
   // ---- kernel (proxy driver) side -----------------------------------------
   Result<UchanMsg> SendSync(UchanMsg msg);
   Status SendAsync(UchanMsg msg);
+  // Enqueues `msgs` in order under ONE lock acquisition, charging at most one
+  // process wakeup for the whole burst. Returns the number of messages
+  // actually enqueued: when the ring fills mid-batch the tail of the batch is
+  // dropped (counted in upcalls_dropped_full) and the caller reclaims those
+  // messages' resources. A full ring returns ok with value 0.
+  Result<size_t> SendAsyncBatch(std::vector<UchanMsg> msgs);
 
   // The kernel half of the downcall path: invoked once per downcall when the
   // driver enters the kernel (flush or sync downcall). Mutates the message
@@ -94,10 +109,23 @@ class Uchan {
   // Dequeues the next upcall. Flushes batched downcalls first. Returns
   // kTimedOut if nothing arrives within `timeout_ms` (0 = poll only).
   Result<UchanMsg> Wait(uint64_t timeout_ms);
+  // Dequeues up to `max_msgs` pending upcalls under one lock acquisition —
+  // one modeled select/read crossing for the whole burst. Same timeout
+  // semantics as Wait; never returns an empty vector on success.
+  Result<std::vector<UchanMsg>> WaitBatch(uint64_t timeout_ms, size_t max_msgs);
   void Reply(const UchanMsg& request, UchanMsg reply);
   Status DowncallSync(UchanMsg& msg);
   Status DowncallAsync(UchanMsg msg);
+  // Appends a whole burst of async downcalls under one lock acquisition (the
+  // NAPI rx path hands over its accumulated netif_rx array this way). In the
+  // unbatched configuration the burst still enters the kernel immediately —
+  // but as one entry, since the caller already chose its batch boundary.
+  Status DowncallAsyncBatch(std::vector<UchanMsg> msgs);
   void FlushDowncalls();
+  // Invoked at the end of every downcall kernel entry (after the flush loop
+  // and after a sync downcall). The Ethernet proxy uses it to hand the
+  // guard-copied rx bundle to the stack in one NAPI-style delivery.
+  void set_downcall_flush_handler(std::function<void()> handler);
 
   // Single-threaded harness support: when set, SendSync runs the pump
   // (usually the driver's dispatch loop) instead of blocking on the ring.
@@ -108,13 +136,36 @@ class Uchan {
   void Shutdown();
   bool is_shutdown() const;
 
-  const Stats& stats() const { return stats_; }
+  // Snapshot taken under the lock (the fields mutate concurrently).
+  Stats stats() const;
   size_t pending_upcalls() const;
 
  private:
+  // Sync-reply rendezvous slots: open-addressed linear probing keyed by seq.
+  // kPending is inserted by SendSync before it blocks; Reply flips it to
+  // kReady; a timed-out sender erases its slot so a late Reply finds nothing
+  // and is dropped instead of parking forever.
+  enum class SlotState : uint8_t { kFree, kPending, kReady };
+  struct ReplySlot {
+    uint64_t seq = 0;
+    SlotState state = SlotState::kFree;
+    UchanMsg msg;
+  };
+
   void ChargeBoth(SimTime nanos);
-  Status EnqueueUpcallLocked(UchanMsg&& msg, std::unique_lock<std::mutex>& lock);
+  Status EnqueueUpcallLocked(UchanMsg&& msg);
   void RunDowncallLocked(UchanMsg& msg, std::unique_lock<std::mutex>& lock);
+  // Blocks until the ring is non-empty (or timeout/shutdown); returns Ok when
+  // at least one message is dequeueable. Charges the select/read syscall when
+  // the driver goes idle.
+  Status WaitForUpcallLocked(uint64_t timeout_ms, std::unique_lock<std::mutex>& lock);
+  UchanMsg PopUpcallLocked();
+
+  size_t ReplyIndex(uint64_t seq) const;
+  ReplySlot* FindReplyLocked(uint64_t seq);
+  void InsertPendingLocked(uint64_t seq);
+  void EraseReplyLocked(uint64_t seq);
+  void GrowRepliesLocked();
 
   Config config_;
   CpuModel* cpu_;
@@ -122,10 +173,18 @@ class Uchan {
   mutable std::mutex mu_;
   std::condition_variable upcall_cv_;  // driver sleeping in "select"
   std::condition_variable reply_cv_;   // kernel waiting for a sync reply
-  std::deque<UchanMsg> k2u_ring_;
-  std::map<uint64_t, UchanMsg> replies_;  // seq -> reply
+
+  // Kernel-to-user ring: pre-sized, head + count, no node allocation.
+  std::vector<UchanMsg> ring_;
+  size_t ring_head_ = 0;
+  size_t ring_count_ = 0;
+
+  std::vector<ReplySlot> replies_;  // open-addressed, power-of-two size
+  size_t replies_used_ = 0;
+
   std::vector<UchanMsg> downcall_batch_;  // user-side pending async downcalls
   DowncallHandler downcall_handler_;
+  std::function<void()> downcall_flush_handler_;
   std::function<void()> user_pump_;
   uint64_t next_seq_ = 1;
   bool shutdown_ = false;

@@ -117,8 +117,8 @@ class DirectEnv::AudioAdapter : public kern::PcmOps {
 
 // ---- DirectEnv ----------------------------------------------------------------
 
-DirectEnv::DirectEnv(kern::Kernel* kernel, hw::PciDevice* device, std::string account)
-    : kernel_(kernel), device_(device), account_(std::move(account)) {
+DirectEnv::DirectEnv(kern::Kernel* kernel, hw::PciDevice* device, CpuAccount account)
+    : kernel_(kernel), device_(device), account_(account) {
   uint16_t source_id = device_->address().source_id();
   (void)kernel_->machine().iommu().CreateContext(source_id);
   dma_ = std::make_unique<DmaSpace>(&kernel_->machine().dram(), &kernel_->machine().iommu(),

@@ -27,7 +27,7 @@ class DirectEnv : public DriverEnv {
   // `account` names the CPU-model account this environment charges; the
   // Figure 8 harness runs the traffic-generator peer on its own account so
   // the two "machines" don't mix CPU time.
-  DirectEnv(kern::Kernel* kernel, hw::PciDevice* device, std::string account = "kernel");
+  DirectEnv(kern::Kernel* kernel, hw::PciDevice* device, CpuAccount account = kAccountKernel);
   ~DirectEnv() override;
 
   // --- DriverEnv --------------------------------------------------------------
@@ -74,7 +74,7 @@ class DirectEnv : public DriverEnv {
 
   kern::Kernel* kernel_;
   hw::PciDevice* device_;
-  std::string account_;
+  CpuAccount account_;
   std::unique_ptr<DmaSpace> dma_;
   uint8_t vector_ = 0;
   bool irq_registered_ = false;

@@ -109,8 +109,28 @@ Status UmlRuntime::InterruptAck() {
 }
 
 Status UmlRuntime::SyncDowncall(uint32_t opcode, UchanMsg* msg) {
+  // The pending rx array must be ordered ahead of this synchronous entry.
+  FlushRxPending(/*enter_kernel=*/false);
   msg->opcode = opcode;
   return ctx_->ctl().DowncallSync(*msg);
+}
+
+Status UmlRuntime::AsyncDowncall(UchanMsg msg) {
+  // Later downcalls may not overtake queued netif_rx messages.
+  FlushRxPending(/*enter_kernel=*/false);
+  return ctx_->ctl().DowncallAsync(std::move(msg));
+}
+
+void UmlRuntime::FlushRxPending(bool enter_kernel) {
+  if (!rx_pending_.empty()) {
+    std::vector<UchanMsg> batch;
+    batch.swap(rx_pending_);
+    ++stats_.rx_batches_flushed;
+    (void)ctx_->ctl().DowncallAsyncBatch(std::move(batch));
+  }
+  if (enter_kernel) {
+    ctx_->ctl().FlushDowncalls();
+  }
 }
 
 Status UmlRuntime::RegisterNetdev(const uint8_t mac[6], NetDriverOps ops) {
@@ -127,28 +147,39 @@ Status UmlRuntime::NetifRx(uint64_t frame_iova, uint32_t len) {
   msg.opcode = kEthDownNetifRx;
   msg.args[0] = frame_iova;
   msg.args[1] = len;
-  return ctx_->ctl().DowncallAsync(std::move(msg));
+  if (ctx_->ctl().is_shutdown()) {
+    return Status(ErrorCode::kUnavailable, "uchan shut down");
+  }
+  // NAPI accumulation: the message joins the local rx array; the whole array
+  // crosses into the kernel once `depth` packets are pending (or at the next
+  // flush point — Wait, a sync downcall — whichever comes first).
+  rx_pending_.push_back(std::move(msg));
+  uint32_t depth = ctx_->ctl().config().batch_async_downcalls ? rx_batch_depth_ : 1;
+  if (rx_pending_.size() >= depth) {
+    FlushRxPending(/*enter_kernel=*/true);
+  }
+  return Status::Ok();
 }
 
 void UmlRuntime::NetifCarrierOn() {
   UchanMsg msg;
   msg.opcode = kEthDownSetCarrier;
   msg.args[0] = 1;
-  (void)ctx_->ctl().DowncallAsync(std::move(msg));
+  (void)AsyncDowncall(std::move(msg));
 }
 
 void UmlRuntime::NetifCarrierOff() {
   UchanMsg msg;
   msg.opcode = kEthDownSetCarrier;
   msg.args[0] = 0;
-  (void)ctx_->ctl().DowncallAsync(std::move(msg));
+  (void)AsyncDowncall(std::move(msg));
 }
 
 void UmlRuntime::FreeTxBuffer(int32_t pool_buffer_id) {
   UchanMsg msg;
   msg.opcode = kEthDownFreeBuffer;
   msg.args[0] = static_cast<uint64_t>(pool_buffer_id);
-  (void)ctx_->ctl().DowncallAsync(std::move(msg));
+  (void)AsyncDowncall(std::move(msg));
 }
 
 Status UmlRuntime::RegisterWifi(uint32_t supported_features, WifiDriverOps ops) {
@@ -164,7 +195,7 @@ void UmlRuntime::WifiBssChange(bool associated) {
   UchanMsg msg;
   msg.opcode = kWifiDownBssChange;
   msg.args[0] = associated ? 1 : 0;
-  (void)ctx_->ctl().DowncallAsync(std::move(msg));
+  (void)AsyncDowncall(std::move(msg));
 }
 
 void UmlRuntime::WifiSetBitrates(const std::vector<uint32_t>& rates) {
@@ -174,7 +205,7 @@ void UmlRuntime::WifiSetBitrates(const std::vector<uint32_t>& rates) {
   for (size_t i = 0; i < rates.size(); ++i) {
     StoreLe32(msg.inline_data.data() + i * 4, rates[i]);
   }
-  (void)ctx_->ctl().DowncallAsync(std::move(msg));
+  (void)AsyncDowncall(std::move(msg));
 }
 
 Status UmlRuntime::RegisterAudio(AudioDriverOps ops) {
@@ -188,17 +219,20 @@ Status UmlRuntime::RegisterAudio(AudioDriverOps ops) {
 void UmlRuntime::AudioPeriodElapsed() {
   UchanMsg msg;
   msg.opcode = kAudioDownPeriodElapsed;
-  (void)ctx_->ctl().DowncallAsync(std::move(msg));
+  (void)AsyncDowncall(std::move(msg));
 }
 
 void UmlRuntime::SubmitKeyEvent(uint8_t usage_code) {
   UchanMsg msg;
   msg.opcode = kUsbDownKeyEvent;
   msg.args[0] = usage_code;
-  (void)ctx_->ctl().DowncallAsync(std::move(msg));
+  (void)AsyncDowncall(std::move(msg));
 }
 
 Status UmlRuntime::RunOnce(uint64_t timeout_ms) {
+  // Hand any accumulated rx array to the uchan batch so the Wait entry (the
+  // flush point) carries it into the kernel.
+  FlushRxPending(/*enter_kernel=*/false);
   Result<UchanMsg> msg = ctx_->ctl().Wait(timeout_ms);
   if (!msg.ok()) {
     return msg.status();
@@ -208,14 +242,21 @@ Status UmlRuntime::RunOnce(uint64_t timeout_ms) {
 }
 
 void UmlRuntime::ProcessPending() {
+  // One WaitBatch crossing dequeues a whole burst of upcalls; interrupt
+  // handlers then refill the rx array, which the next iteration's WaitBatch
+  // (or the final flush) carries into the kernel.
+  constexpr size_t kDispatchBurst = 64;
   while (true) {
-    Result<UchanMsg> msg = ctx_->ctl().Wait(0);
-    if (!msg.ok()) {
+    FlushRxPending(/*enter_kernel=*/false);
+    Result<std::vector<UchanMsg>> batch = ctx_->ctl().WaitBatch(0, kDispatchBurst);
+    if (!batch.ok()) {
       // Flush any downcalls the handlers batched before going idle.
-      ctx_->ctl().FlushDowncalls();
+      FlushRxPending(/*enter_kernel=*/true);
       return;
     }
-    Dispatch(msg.value());
+    for (UchanMsg& msg : batch.value()) {
+      Dispatch(msg);
+    }
   }
 }
 

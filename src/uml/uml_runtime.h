@@ -67,7 +67,15 @@ class UmlRuntime : public DriverEnv {
   // Processes one pending upcall; kTimedOut when none arrive in time.
   Status RunOnce(uint64_t timeout_ms);
   // Drains all pending upcalls without sleeping (the single-threaded pump).
+  // Dequeues in WaitBatch bursts: one modeled crossing per burst.
   void ProcessPending();
+
+  // NAPI rx batching: netif_rx downcalls accumulate until `depth` packets are
+  // pending, then the whole array is flushed into the kernel in one entry.
+  // Depth 1 reproduces the per-packet crossing of the unbatched design (and
+  // is forced when the uchan is configured with batch_async_downcalls off).
+  void set_rx_batch_depth(uint32_t depth) { rx_batch_depth_ = depth == 0 ? 1 : depth; }
+  uint32_t rx_batch_depth() const { return rx_batch_depth_; }
 
   struct Stats {
     uint64_t upcalls_dispatched = 0;
@@ -75,6 +83,7 @@ class UmlRuntime : public DriverEnv {
     uint64_t worker_dispatches = 0;  // blockable callbacks (modelled pool)
     uint64_t inline_dispatches = 0;
     uint64_t unknown_upcalls = 0;
+    uint64_t rx_batches_flushed = 0;  // netif_rx arrays handed to the kernel
   };
   const Stats& stats() const { return stats_; }
 
@@ -83,12 +92,18 @@ class UmlRuntime : public DriverEnv {
  private:
   void Dispatch(UchanMsg& msg);
   Status SyncDowncall(uint32_t opcode, UchanMsg* msg);
+  // Every downcall funnels through these so the pending rx array always
+  // enters the kernel *before* later downcalls (ring order is preserved).
+  Status AsyncDowncall(UchanMsg msg);
+  void FlushRxPending(bool enter_kernel);
 
   kern::Kernel* kernel_;
   SudDeviceContext* ctx_;
   kern::Process* proc_;
 
   std::function<void()> irq_handler_;
+  uint32_t rx_batch_depth_ = 64;
+  std::vector<UchanMsg> rx_pending_;  // accumulated netif_rx downcalls
   NetDriverOps net_ops_;
   bool net_registered_ = false;
   WifiDriverOps wifi_ops_;

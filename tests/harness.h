@@ -102,8 +102,31 @@ class NetBench {
   // Sends one packet from the peer (in-kernel driver) to the SUT.
   Status PeerSend(uint16_t src_port, uint16_t dst_port, ConstByteSpan payload) {
     auto frame = kern::BuildPacket(kMacA, kMacB, src_port, dst_port, payload);
-    return kernel.net().Transmit(peer_env->netdev()->name(),
+    return kernel.net().Transmit(peer_env->netdev(),
                                  kern::MakeSkb(ConstByteSpan(frame.data(), frame.size())));
+  }
+
+  // Sends `count` identical packets from the peer as one transmit burst.
+  Status PeerSendBurst(uint16_t src_port, uint16_t dst_port, ConstByteSpan payload, int count) {
+    auto frame = kern::BuildPacket(kMacA, kMacB, src_port, dst_port, payload);
+    std::vector<kern::SkbPtr> skbs;
+    skbs.reserve(count);
+    for (int i = 0; i < count; ++i) {
+      skbs.push_back(kern::MakeSkb(ConstByteSpan(frame.data(), frame.size())));
+    }
+    return kernel.net().TransmitBatch(peer_env->netdev(), std::move(skbs)).status();
+  }
+
+  // Transmits `count` identical packets out of the SUT interface as one
+  // burst (one uchan crossing under SUD).
+  Status SutSendBurst(uint16_t src_port, uint16_t dst_port, ConstByteSpan payload, int count) {
+    auto frame = kern::BuildPacket(kMacB, kMacA, src_port, dst_port, payload);
+    std::vector<kern::SkbPtr> skbs;
+    skbs.reserve(count);
+    for (int i = 0; i < count; ++i) {
+      skbs.push_back(kern::MakeSkb(ConstByteSpan(frame.data(), frame.size())));
+    }
+    return kernel.net().TransmitBatch(SutIfname(), std::move(skbs)).status();
   }
 
   // Sends one packet from the SUT (untrusted driver) to the peer.

@@ -196,6 +196,86 @@ TEST(Iommu, MappedBytesTracksMapUnmap) {
   EXPECT_EQ(iommu.MappedBytes(kSrc), 2 * kPageSize);
 }
 
+// ---- IOTLB cache behaviour ------------------------------------------------------
+
+TEST(IommuIotlb, StatsAcrossConflictEviction) {
+  Iommu iommu;
+  // One set, two ways: the third distinct page in the set must evict.
+  iommu.set_iotlb_geometry({1, 2});
+  ASSERT_TRUE(iommu.CreateContext(kSrc).ok());
+  ASSERT_TRUE(iommu.Map(kSrc, 0x10000, 0x80000, 4 * kPageSize, true, true).ok());
+
+  EXPECT_TRUE(iommu.Translate(kSrc, 0x10000, 4, false).ok());  // miss, fill
+  EXPECT_TRUE(iommu.Translate(kSrc, 0x11000, 4, false).ok());  // miss, fill
+  EXPECT_EQ(iommu.iotlb_stats().misses, 2u);
+  EXPECT_EQ(iommu.iotlb_stats().evictions, 0u);
+  EXPECT_TRUE(iommu.Translate(kSrc, 0x10000, 4, false).ok());  // hit
+  EXPECT_TRUE(iommu.Translate(kSrc, 0x11000, 4, false).ok());  // hit
+  EXPECT_EQ(iommu.iotlb_stats().hits, 2u);
+
+  EXPECT_TRUE(iommu.Translate(kSrc, 0x12000, 4, false).ok());  // miss, evicts a way
+  EXPECT_EQ(iommu.iotlb_stats().misses, 3u);
+  EXPECT_EQ(iommu.iotlb_stats().evictions, 1u);
+  // The working set (3 pages) exceeds the capacity (2): at least one of the
+  // original pages was displaced and must miss again.
+  uint64_t misses_before = iommu.iotlb_stats().misses;
+  EXPECT_TRUE(iommu.Translate(kSrc, 0x10000, 4, false).ok());
+  EXPECT_TRUE(iommu.Translate(kSrc, 0x11000, 4, false).ok());
+  EXPECT_GT(iommu.iotlb_stats().misses, misses_before);
+}
+
+TEST(IommuIotlb, PerSourceGenerationInvalidationIsIsolated) {
+  Iommu iommu;
+  ASSERT_TRUE(iommu.CreateContext(kSrc).ok());
+  ASSERT_TRUE(iommu.CreateContext(kOther).ok());
+  ASSERT_TRUE(iommu.Map(kSrc, 0x10000, 0x80000, kPageSize, true, true).ok());
+  ASSERT_TRUE(iommu.Map(kOther, 0x10000, 0x90000, kPageSize, true, true).ok());
+  EXPECT_TRUE(iommu.Translate(kSrc, 0x10000, 4, false).ok());    // fill
+  EXPECT_TRUE(iommu.Translate(kOther, 0x10000, 4, false).ok());  // fill
+  uint64_t misses = iommu.iotlb_stats().misses;
+  uint64_t invalidations = iommu.iotlb_stats().invalidations;
+
+  // O(1) whole-source invalidation: only kSrc's entries go stale.
+  iommu.InvalidateIotlb(kSrc);
+  EXPECT_EQ(iommu.iotlb_stats().invalidations, invalidations + 1);
+  EXPECT_TRUE(iommu.Translate(kSrc, 0x10000, 4, false).ok());
+  EXPECT_EQ(iommu.iotlb_stats().misses, misses + 1);  // stale entry re-walked
+  uint64_t hits = iommu.iotlb_stats().hits;
+  EXPECT_TRUE(iommu.Translate(kOther, 0x10000, 4, false).ok());
+  EXPECT_EQ(iommu.iotlb_stats().hits, hits + 1);  // other source unaffected
+}
+
+TEST(IommuIotlb, RepeatedSourceInvalidationNeverServesStaleEntries) {
+  Iommu iommu;
+  ASSERT_TRUE(iommu.CreateContext(kSrc).ok());
+  ASSERT_TRUE(iommu.Map(kSrc, 0x10000, 0x80000, kPageSize, true, true).ok());
+  for (int round = 0; round < 8; ++round) {
+    EXPECT_TRUE(iommu.Translate(kSrc, 0x10000, 4, true).ok());
+    ASSERT_TRUE(iommu.Unmap(kSrc, 0x10000, kPageSize).ok());
+    iommu.InvalidateIotlb(kSrc);
+    // Stale translations must not survive the invalidation.
+    EXPECT_FALSE(iommu.Translate(kSrc, 0x10000, 4, true).ok());
+    ASSERT_TRUE(iommu.Map(kSrc, 0x10000, 0x80000 + round * kPageSize, kPageSize, true, true).ok());
+    Result<uint64_t> fresh = iommu.Translate(kSrc, 0x10123, 4, true);
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_EQ(fresh.value(), 0x80123ull + round * kPageSize);
+  }
+}
+
+TEST(IommuIotlb, GeometryReshapeKeepsTranslationCorrect) {
+  Iommu iommu;
+  ASSERT_TRUE(iommu.CreateContext(kSrc).ok());
+  ASSERT_TRUE(iommu.Map(kSrc, 0x10000, 0x80000, 8 * kPageSize, true, true).ok());
+  for (auto [sets, ways] : {std::pair<uint32_t, uint32_t>{1, 1}, {4, 2}, {64, 4}}) {
+    iommu.set_iotlb_geometry({sets, ways});
+    for (uint64_t page = 0; page < 8; ++page) {
+      Result<uint64_t> got = iommu.Translate(kSrc, 0x10000 + page * kPageSize + 8, 4, false);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got.value(), 0x80000 + page * kPageSize + 8);
+    }
+  }
+}
+
 // ---- property tests ------------------------------------------------------------
 
 // Property: for any set of disjoint mappings, Translate agrees with the

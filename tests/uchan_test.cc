@@ -187,6 +187,147 @@ TEST(Uchan, WakeupsCountedWhenDriverIdle) {
   EXPECT_EQ(uchan.stats().wakeups, 1u);
 }
 
+// ---- batch fast path --------------------------------------------------------
+
+TEST(UchanBatch, BatchEnqueueDequeuePreservesOrder) {
+  Uchan uchan;
+  std::vector<UchanMsg> msgs;
+  for (uint32_t i = 0; i < 5; ++i) {
+    UchanMsg msg;
+    msg.opcode = 200 + i;
+    msgs.push_back(std::move(msg));
+  }
+  Result<size_t> enqueued = uchan.SendAsyncBatch(std::move(msgs));
+  ASSERT_TRUE(enqueued.ok());
+  EXPECT_EQ(enqueued.value(), 5u);
+  EXPECT_EQ(uchan.pending_upcalls(), 5u);
+  EXPECT_EQ(uchan.stats().upcall_batches, 1u);
+  EXPECT_EQ(uchan.stats().upcalls_async, 5u);
+
+  // WaitBatch dequeues in FIFO order, bounded by max_msgs.
+  Result<std::vector<UchanMsg>> first = uchan.WaitBatch(0, 3);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first.value().size(), 3u);
+  for (uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(first.value()[i].opcode, 200 + i);
+  }
+  Result<std::vector<UchanMsg>> rest = uchan.WaitBatch(0, 64);
+  ASSERT_TRUE(rest.ok());
+  ASSERT_EQ(rest.value().size(), 2u);
+  EXPECT_EQ(rest.value()[0].opcode, 203u);
+  EXPECT_EQ(rest.value()[1].opcode, 204u);
+  EXPECT_EQ(uchan.WaitBatch(0, 64).status().code(), ErrorCode::kTimedOut);
+}
+
+TEST(UchanBatch, BatchAndSingleSendInterleaveInOrder) {
+  Uchan uchan;
+  ASSERT_TRUE(uchan.SendAsync([] { UchanMsg m; m.opcode = 1; return m; }()).ok());
+  std::vector<UchanMsg> msgs(2);
+  msgs[0].opcode = 2;
+  msgs[1].opcode = 3;
+  ASSERT_EQ(uchan.SendAsyncBatch(std::move(msgs)).value(), 2u);
+  ASSERT_TRUE(uchan.SendAsync([] { UchanMsg m; m.opcode = 4; return m; }()).ok());
+  for (uint32_t expected = 1; expected <= 4; ++expected) {
+    EXPECT_EQ(uchan.Wait(0).value().opcode, expected);
+  }
+}
+
+TEST(UchanBatch, OneWakeupPerBatchNotPerMessage) {
+  CpuModel cpu;
+  Uchan uchan(Uchan::Config{}, &cpu);
+  (void)uchan.Wait(0);  // driver goes idle (select)
+  std::vector<UchanMsg> msgs(8);
+  ASSERT_EQ(uchan.SendAsyncBatch(std::move(msgs)).value(), 8u);
+  // The whole burst woke the driver exactly once.
+  EXPECT_EQ(uchan.stats().wakeups, 1u);
+  EXPECT_EQ(cpu.busy(kAccountKernel),
+            cpu.costs().process_wakeup + 8 * cpu.costs().uchan_msg);
+  // Driver drains and goes idle again: the next batch pays one more wakeup.
+  (void)uchan.WaitBatch(0, 64);
+  (void)uchan.Wait(0);
+  std::vector<UchanMsg> more(4);
+  ASSERT_EQ(uchan.SendAsyncBatch(std::move(more)).value(), 4u);
+  EXPECT_EQ(uchan.stats().wakeups, 2u);
+}
+
+TEST(UchanBatch, RingFullMidBatchDropsTailAndKeepsOrder) {
+  Uchan::Config config;
+  config.ring_entries = 4;
+  Uchan uchan(config);
+  std::vector<UchanMsg> msgs(6);
+  for (uint32_t i = 0; i < 6; ++i) {
+    msgs[i].opcode = 300 + i;
+  }
+  Result<size_t> enqueued = uchan.SendAsyncBatch(std::move(msgs));
+  ASSERT_TRUE(enqueued.ok());
+  EXPECT_EQ(enqueued.value(), 4u);  // ring filled mid-batch
+  EXPECT_EQ(uchan.stats().upcalls_dropped_full, 2u);
+  EXPECT_EQ(uchan.stats().upcalls_async, 6u);
+  // The head of the batch survived, in order; the tail was dropped whole.
+  Result<std::vector<UchanMsg>> drained = uchan.WaitBatch(0, 64);
+  ASSERT_TRUE(drained.ok());
+  ASSERT_EQ(drained.value().size(), 4u);
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(drained.value()[i].opcode, 300 + i);
+  }
+  // A completely full ring accepts nothing but still reports ok.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(uchan.SendAsync(UchanMsg{}).ok());
+  }
+  std::vector<UchanMsg> overflow(2);
+  EXPECT_EQ(uchan.SendAsyncBatch(std::move(overflow)).value(), 0u);
+}
+
+TEST(UchanBatch, BatchFailsAfterShutdown) {
+  Uchan uchan;
+  uchan.Shutdown();
+  std::vector<UchanMsg> msgs(3);
+  EXPECT_EQ(uchan.SendAsyncBatch(std::move(msgs)).status().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(uchan.WaitBatch(0, 8).status().code(), ErrorCode::kUnavailable);
+}
+
+// The timeout-leak regression: a reply arriving after the sender gave up
+// must be dropped, not parked in the reply table forever.
+TEST(Uchan, LateReplyAfterTimeoutIsDropped) {
+  Uchan uchan(FastConfig());
+  UchanMsg stashed_request;
+  uchan.set_user_pump([&]() {
+    Result<UchanMsg> msg = uchan.Wait(0);
+    if (msg.ok()) {
+      stashed_request = msg.value();  // hold the request, do not reply
+    }
+  });
+  Result<UchanMsg> reply = uchan.SendSync(UchanMsg{});
+  EXPECT_EQ(reply.status().code(), ErrorCode::kTimedOut);
+
+  // The malicious driver answers long after the sender gave up.
+  UchanMsg late;
+  late.args[0] = 0xdead;
+  uchan.Reply(stashed_request, std::move(late));
+
+  // The late reply neither leaked nor got delivered to the next sender.
+  uchan.set_user_pump([&]() {
+    Result<UchanMsg> msg = uchan.Wait(0);
+    if (msg.ok()) {
+      UchanMsg fresh;
+      fresh.args[0] = 7;
+      uchan.Reply(msg.value(), std::move(fresh));
+    }
+  });
+  Result<UchanMsg> second = uchan.SendSync(UchanMsg{});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().args[0], 7u);
+}
+
+TEST(Uchan, StatsReturnsConsistentSnapshot) {
+  Uchan uchan;
+  ASSERT_TRUE(uchan.SendAsync(UchanMsg{}).ok());
+  Uchan::Stats snapshot = uchan.stats();  // copy taken under the lock
+  ASSERT_TRUE(uchan.SendAsync(UchanMsg{}).ok());
+  EXPECT_EQ(snapshot.upcalls_async, 1u);
+  EXPECT_EQ(uchan.stats().upcalls_async, 2u);
+}
+
 // Property: random interleavings of async upcalls and waits preserve FIFO
 // order and never lose or duplicate a message.
 class UchanPropertyTest : public ::testing::TestWithParam<uint64_t> {};
