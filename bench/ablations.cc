@@ -203,6 +203,58 @@ void BM_MsiMaskVsRemap(benchmark::State& state) {
 }
 BENCHMARK(BM_MsiMaskVsRemap)->Arg(0)->Arg(1);
 
+// Joint sweep: NAPI rx batch depth x IOTLB geometry against UDP_RR-style
+// transaction latency. Batching depth trades crossings for queueing delay,
+// and the IOTLB shape decides how much of the descriptor+buffer working set
+// translates without a page walk; this sweep shows where the knee sits.
+//
+// Result (recorded from this sweep, and folded into the defaults): UDP_RR
+// latency is INSENSITIVE to rx_batch_depth — with one transaction in flight
+// the rx array always flushes on the next kernel entry (Wait/ack), never on
+// the depth trigger — so the deep default (64) that wins the streaming
+// benches costs RR nothing and stays (UmlRuntime::rx_batch_depth_). The
+// IOTLB knee is at 16x4: the RR working set (a handful of descriptor and
+// buffer pages per direction) already fits, larger shapes only add lookup
+// cost without lifting the hit rate, and 4x1 visibly pays extra page walks.
+// Iommu::IotlbGeometry keeps {16, 4}.
+void BM_RxDepthIotlbRr(benchmark::State& state) {
+  uint32_t depth = static_cast<uint32_t>(state.range(0));
+  uint32_t sets = static_cast<uint32_t>(state.range(1));
+  uint32_t ways = static_cast<uint32_t>(state.range(2));
+  NetBench bench;
+  bench.machine.iommu().set_iotlb_geometry({sets, ways});
+  (void)bench.StartSut();
+  bench.host->runtime()->set_rx_batch_depth(depth);
+  std::vector<uint8_t> payload(42, 0x5);
+
+  uint64_t transactions = 0;
+  for (auto _ : state) {
+    (void)bench.PeerSend(1, 80, {payload.data(), payload.size()});
+    bench.host->Pump();
+    auto reply = kern::BuildPacket(kMacB, kMacA, 2, 1, {payload.data(), payload.size()});
+    (void)bench.kernel.net().Transmit("eth0", kern::MakeSkb({reply.data(), reply.size()}));
+    bench.host->Pump();
+    ++transactions;
+  }
+  // All accounts, including the device: IOTLB walk costs land on the device
+  // account and must be visible to the sweep.
+  state.counters["sim_ns_per_txn"] =
+      static_cast<double>(bench.machine.cpu().total_busy()) / transactions;
+  const hw::Iommu::IotlbStats& iotlb = bench.machine.iommu().iotlb_stats();
+  state.counters["iotlb_hit_rate"] =
+      static_cast<double>(iotlb.hits) / static_cast<double>(iotlb.hits + iotlb.misses);
+  state.SetLabel("depth=" + std::to_string(depth) + " iotlb=" + std::to_string(sets) + "x" +
+                 std::to_string(ways));
+}
+BENCHMARK(BM_RxDepthIotlbRr)
+    ->Args({1, 16, 4})
+    ->Args({16, 16, 4})
+    ->Args({64, 16, 4})
+    ->Args({1, 4, 1})
+    ->Args({64, 4, 1})
+    ->Args({1, 64, 8})
+    ->Args({64, 64, 8});
+
 // UDP_RR sensitivity to the process wakeup cost: the §5.1 explanation for
 // the 2x CPU row. Sweeps kProcessWakeup from 0 to 8 us.
 void BM_WakeupLatency(benchmark::State& state) {

@@ -69,6 +69,11 @@ struct Row {
   // Fast-path accounting, filled for the SUD rows (zero for in-kernel).
   double uchan_crossings_per_pkt = 0;  // kernel entries + wakeups per packet
   double uchan_msgs_per_pkt = 0;       // ring messages per packet
+  // Per-queue channel accounting (one entry per uchan shard): the simulated
+  // nanoseconds each queue's channel charged to either side. Single-queue
+  // rows have one entry; the multi-queue ablation reports the full fan-out.
+  std::vector<uint64_t> queue_kernel_ns;
+  std::vector<uint64_t> queue_driver_ns;
   // The simulator's own cost for this run (host wall-clock, microseconds).
   double sim_wall_us = 0;
 };
@@ -119,13 +124,18 @@ struct Config {
     if (!is_sud) {
       return;
     }
-    Uchan::Stats stats = bench->ctx->ctl().stats();
+    Uchan::Stats stats = bench->ctx->AggregateCtlStats();
     row->uchan_crossings_per_pkt =
         static_cast<double>(stats.downcall_batches + stats.wakeups) / packets;
     row->uchan_msgs_per_pkt =
         static_cast<double>(stats.upcalls_sync + stats.upcalls_async + stats.downcalls_sync +
                             stats.downcalls_async) /
         packets;
+    for (uint32_t q = 0; q < bench->ctx->num_queues(); ++q) {
+      Uchan::Stats shard = bench->ctx->ctl(static_cast<uint16_t>(q)).stats();
+      row->queue_kernel_ns.push_back(shard.kernel_ns);
+      row->queue_driver_ns.push_back(shard.driver_ns);
+    }
   }
   const char* name() const { return is_sud ? "Untrusted driver" : "Kernel driver"; }
 };
@@ -310,10 +320,22 @@ void WriteJson(const std::vector<Row>& rows, const char* path) {
                  "    {\"test\": \"%s\", \"driver\": \"%s\", \"value\": %.2f, "
                  "\"unit\": \"%s\", \"cpu_pct\": %.2f, \"paper_value\": %.1f, "
                  "\"paper_cpu_pct\": %.1f, \"uchan_crossings_per_pkt\": %.4f, "
-                 "\"uchan_msgs_per_pkt\": %.4f, \"sim_wall_us\": %.0f}%s\n",
+                 "\"uchan_msgs_per_pkt\": %.4f, \"sim_wall_us\": %.0f",
                  row.test.c_str(), row.driver.c_str(), row.value, row.unit.c_str(), row.cpu_pct,
                  row.paper_value, row.paper_cpu, row.uchan_crossings_per_pkt,
-                 row.uchan_msgs_per_pkt, row.sim_wall_us, i + 1 < rows.size() ? "," : "");
+                 row.uchan_msgs_per_pkt, row.sim_wall_us);
+    // Per-queue channel accounting (one entry per uchan shard).
+    std::fprintf(out, ", \"queue_kernel_ns\": [");
+    for (size_t q = 0; q < row.queue_kernel_ns.size(); ++q) {
+      std::fprintf(out, "%s%llu", q == 0 ? "" : ", ",
+                   static_cast<unsigned long long>(row.queue_kernel_ns[q]));
+    }
+    std::fprintf(out, "], \"queue_driver_ns\": [");
+    for (size_t q = 0; q < row.queue_driver_ns.size(); ++q) {
+      std::fprintf(out, "%s%llu", q == 0 ? "" : ", ",
+                   static_cast<unsigned long long>(row.queue_driver_ns[q]));
+    }
+    std::fprintf(out, "]}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

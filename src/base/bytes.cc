@@ -6,11 +6,13 @@
 
 namespace sud {
 
-uint16_t InternetChecksum(ConstByteSpan data) {
-  // RFC 1071 ones-complement sum, accumulated 8 bytes at a time in host
-  // order; the 1's-complement sum is byte-order independent, so a single
-  // final swap recovers the network-order result (this runs on every packet
-  // of every bench, so the byte-at-a-time loop was a top hotspot).
+namespace {
+
+// RFC 1071 ones-complement accumulation, 8 bytes at a time in host order
+// (this runs on every packet of every bench, so the byte-at-a-time loop was
+// a top hotspot). The raw 64-bit sum is exact, so callers may subtract a
+// word's contribution before folding.
+uint64_t ChecksumRawSum(ConstByteSpan data) {
   const uint8_t* p = data.data();
   size_t n = data.size();
   uint64_t sum = 0;
@@ -39,6 +41,12 @@ uint16_t InternetChecksum(ConstByteSpan data) {
   if (n > 0) {
     sum += p[0];  // odd tail byte pads with zero (low byte of a host word)
   }
+  return sum;
+}
+
+// Fold to 16 bits; the 1's-complement sum is byte-order independent, so a
+// single final swap recovers the network-order result.
+uint16_t ChecksumFinish(uint64_t sum) {
   while (sum >> 16) {
     sum = (sum & 0xffff) + (sum >> 16);
   }
@@ -48,6 +56,70 @@ uint16_t InternetChecksum(ConstByteSpan data) {
     wire = static_cast<uint16_t>((host >> 8) | (host << 8));
   }
   return static_cast<uint16_t>(~wire);
+}
+
+}  // namespace
+
+uint16_t InternetChecksum(ConstByteSpan data) { return ChecksumFinish(ChecksumRawSum(data)); }
+
+uint64_t InternetChecksumRawCopy(uint8_t* dst, ConstByteSpan data) {
+  const uint8_t* p = data.data();
+  size_t n = data.size();
+  uint64_t sum = 0;
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    std::memcpy(dst, &chunk, 8);
+    sum += chunk & 0xffffffffull;
+    sum += chunk >> 32;
+    p += 8;
+    dst += 8;
+    n -= 8;
+  }
+  if (n >= 4) {
+    uint32_t chunk;
+    std::memcpy(&chunk, p, 4);
+    std::memcpy(dst, &chunk, 4);
+    sum += chunk;
+    p += 4;
+    dst += 4;
+    n -= 4;
+  }
+  if (n >= 2) {
+    uint16_t chunk;
+    std::memcpy(&chunk, p, 2);
+    std::memcpy(dst, &chunk, 2);
+    sum += chunk;
+    p += 2;
+    dst += 2;
+    n -= 2;
+  }
+  if (n > 0) {
+    *dst = p[0];
+    sum += p[0];  // odd tail byte pads with zero (low byte of a host word)
+  }
+  return sum;
+}
+
+uint16_t InternetChecksumFinishExcludingWord(uint64_t raw_sum, ConstByteSpan data,
+                                             size_t word_offset) {
+  if (word_offset + 2 <= data.size() && word_offset % 2 == 0) {
+    uint16_t word;
+    std::memcpy(&word, data.data() + word_offset, 2);
+    // The word entered the accumulation as part of a 32-bit unit: in the low
+    // half when its offset is 0 mod 4, in the high half when 2 mod 4 (and
+    // as-is in the sub-4-byte tails). Subtracting the exact contribution
+    // keeps this bit-identical to summing a copy with the word zeroed --
+    // including the 0-vs-0xFFFF ones-complement corner.
+    size_t in_chunk = word_offset % 4;
+    bool high_half = in_chunk == 2 && word_offset + 2 <= (data.size() & ~size_t{3});
+    raw_sum -= static_cast<uint64_t>(word) << (high_half ? 16 : 0);
+  }
+  return ChecksumFinish(raw_sum);
+}
+
+uint16_t InternetChecksumExcludingWord(ConstByteSpan data, size_t word_offset) {
+  return InternetChecksumFinishExcludingWord(ChecksumRawSum(data), data, word_offset);
 }
 
 std::string FormatMac(const uint8_t mac[6]) {

@@ -17,6 +17,25 @@ using ConstByteSpan = std::span<const uint8_t>;
 // RFC 1071 Internet checksum over `data`.
 uint16_t InternetChecksum(ConstByteSpan data);
 
+// RFC 1071 checksum over `data` with the 16-bit word at even byte offset
+// `word_offset` treated as zero — exactly what verifying a checksum needs
+// (the stored checksum field must not contribute to its own sum). Summing in
+// place and subtracting that word's contribution avoids the
+// copy-the-packet-to-zero-one-field pass the receive path used to pay per
+// packet. `word_offset + 2 <= data.size()` and `word_offset % 2 == 0`.
+uint16_t InternetChecksumExcludingWord(ConstByteSpan data, size_t word_offset);
+
+// Copies `data` to `dst` while accumulating the RFC 1071 raw (unfolded) sum
+// in the same pass — the literal copy/checksum fusion of the paper's
+// Section 3.1.2, for the guard-copy path. Finish the sum with
+// InternetChecksumFinishExcludingWord.
+uint64_t InternetChecksumRawCopy(uint8_t* dst, ConstByteSpan data);
+
+// Folds a raw sum over `data` to the wire checksum with the 16-bit word at
+// even `word_offset` excluded (see InternetChecksumExcludingWord).
+uint16_t InternetChecksumFinishExcludingWord(uint64_t raw_sum, ConstByteSpan data,
+                                             size_t word_offset);
+
 // Little-endian loads/stores used by simulated device registers.
 inline uint32_t LoadLe32(const uint8_t* p) {
   uint32_t v;

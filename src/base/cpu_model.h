@@ -26,6 +26,7 @@
 #define SUD_SRC_BASE_CPU_MODEL_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -78,15 +79,20 @@ CpuAccount CpuAccountFromName(std::string_view name);  // unknown -> kOther
 // Accumulates busy time per account. Not tied to SimClock advancement: the
 // benchmark harness decides how charged time maps onto wall time (a single
 // core runs accounts serially; a dual-core harness may overlap them).
+//
+// Charges are lock-free relaxed atomics: the multi-queue packet path charges
+// from one thread per NIC queue concurrently (sharded uchans, per-queue
+// proxies), and the only consistency the benches need is an eventually
+// complete sum read after the workers quiesce.
 class CpuModel {
  public:
-  explicit CpuModel(CpuCosts costs = CpuCosts{}) : costs_(costs) { busy_.fill(0); }
+  explicit CpuModel(CpuCosts costs = CpuCosts{}) : costs_(costs) { Reset(); }
 
   const CpuCosts& costs() const { return costs_; }
   void set_costs(const CpuCosts& costs) { costs_ = costs; }
 
   void Charge(CpuAccount account, SimTime nanos) {
-    busy_[static_cast<size_t>(account)] += nanos;
+    busy_[static_cast<size_t>(account)].fetch_add(nanos, std::memory_order_relaxed);
   }
   void Charge(std::string_view account, SimTime nanos) {
     Charge(CpuAccountFromName(account), nanos);
@@ -94,31 +100,43 @@ class CpuModel {
 
   // Fractional per-byte charges (copy/checksum passes).
   void ChargeBytes(CpuAccount account, double ns_per_byte, uint64_t bytes) {
-    busy_[static_cast<size_t>(account)] +=
-        static_cast<SimTime>(ns_per_byte * static_cast<double>(bytes) + 0.5);
+    busy_[static_cast<size_t>(account)].fetch_add(
+        static_cast<SimTime>(ns_per_byte * static_cast<double>(bytes) + 0.5),
+        std::memory_order_relaxed);
   }
 
-  SimTime busy(CpuAccount account) const { return busy_[static_cast<size_t>(account)]; }
+  SimTime busy(CpuAccount account) const {
+    return busy_[static_cast<size_t>(account)].load(std::memory_order_relaxed);
+  }
   SimTime busy(std::string_view account) const { return busy(CpuAccountFromName(account)); }
 
   // Total across all accounts.
   SimTime total_busy() const {
     SimTime sum = 0;
-    for (SimTime nanos : busy_) {
-      sum += nanos;
+    for (const auto& nanos : busy_) {
+      sum += nanos.load(std::memory_order_relaxed);
     }
     return sum;
   }
 
-  void Reset() { busy_.fill(0); }
+  void Reset() {
+    for (auto& nanos : busy_) {
+      nanos.store(0, std::memory_order_relaxed);
+    }
+  }
 
-  const std::array<SimTime, static_cast<size_t>(CpuAccount::kCount)>& accounts() const {
-    return busy_;
+  // Snapshot of all accounts (by value: the live array is atomic).
+  std::array<SimTime, static_cast<size_t>(CpuAccount::kCount)> accounts() const {
+    std::array<SimTime, static_cast<size_t>(CpuAccount::kCount)> snapshot{};
+    for (size_t i = 0; i < snapshot.size(); ++i) {
+      snapshot[i] = busy_[i].load(std::memory_order_relaxed);
+    }
+    return snapshot;
   }
 
  private:
   CpuCosts costs_;
-  std::array<SimTime, static_cast<size_t>(CpuAccount::kCount)> busy_{};
+  std::array<std::atomic<SimTime>, static_cast<size_t>(CpuAccount::kCount)> busy_{};
 };
 
 }  // namespace sud

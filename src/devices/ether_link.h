@@ -11,6 +11,7 @@
 #define SUD_SRC_DEVICES_ETHER_LINK_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -34,10 +35,11 @@ class EtherEndpoint {
 
 class EtherLink {
  public:
+  // Relaxed atomics: multi-queue NICs transmit from one thread per queue.
   struct Stats {
-    uint64_t frames[2] = {0, 0};  // transmitted by side i
-    uint64_t bytes[2] = {0, 0};
-    uint64_t dropped = 0;  // oversize or unattached
+    std::atomic<uint64_t> frames[2] = {};  // transmitted by side i
+    std::atomic<uint64_t> bytes[2] = {};
+    std::atomic<uint64_t> dropped{0};  // oversize or unattached
   };
 
   void Attach(int side, EtherEndpoint* endpoint);
@@ -47,7 +49,13 @@ class EtherLink {
   Status Transmit(int side, ConstByteSpan frame);
 
   const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats{}; }
+  void ResetStats() {
+    for (int side = 0; side < 2; ++side) {
+      stats_.frames[side] = 0;
+      stats_.bytes[side] = 0;
+    }
+    stats_.dropped = 0;
+  }
 
   // Simulated wire time (ns) to carry `frames` frames of `payload` bytes.
   static double WireTimeNs(uint64_t frames, uint64_t payload_bytes);

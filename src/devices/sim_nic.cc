@@ -4,6 +4,7 @@
 
 #include "src/base/bytes.h"
 #include "src/base/log.h"
+#include "src/kern/packet.h"
 
 namespace sud::devices {
 
@@ -36,22 +37,72 @@ void SimNic::ConnectLink(EtherLink* link, int side) {
 
 void SimNic::Reset() {
   ctrl_ = 0;
-  icr_ = 0;
-  ims_ = 0;
+  icr_.store(0, std::memory_order_relaxed);
+  ims_.store(0, std::memory_order_relaxed);
   rctl_ = 0;
   tctl_ = 0;
-  tdbal_ = tdbah_ = tdlen_ = tdh_ = tdt_ = 0;
-  rdbal_ = rdbah_ = rdlen_ = rdh_ = rdt_ = 0;
+  mrqc_ = 0;
+  for (uint32_t q = 0; q < kNicNumQueues; ++q) {
+    // A (restarting or malicious) driver can hit CTRL reset from its own
+    // thread while frames are being delivered: take each queue's lock so
+    // ring registers and backlogs never tear mid-delivery.
+    std::lock_guard<std::recursive_mutex> lock(rx_mu_[q]);
+    tx_q_[q] = RingRegs{};
+    rx_q_[q] = RingRegs{};
+    rx_backlog_[q].clear();
+  }
   // Receive-address registers come up holding the EEPROM MAC, as on real HW.
   ral0_ = LoadLe32(mac_.data());
   rah0_ = kNicRahValid | LoadLe16(mac_.data() + 4);
   mdic_ = 0;
-  rx_backlog_.clear();
+}
+
+uint32_t SimNic::rss_queues() const {
+  uint32_t queues = mrqc_ == 0 ? 1 : mrqc_;
+  return queues > kNicNumQueues ? kNicNumQueues : queues;
+}
+
+// Resolves a per-queue ring register: `reg_offset` is the offset within the
+// queue's block (RDBAL/TDBAL-relative). One decode shared by RX/TX x
+// read/write, so the register map lives in exactly one place.
+uint32_t* SimNic::RingField(RingRegs& regs, uint64_t reg_offset) {
+  switch (reg_offset) {
+    case 0x00: return &regs.bal;
+    case 0x04: return &regs.bah;
+    case 0x08: return &regs.len;
+    case 0x10: return &regs.head;
+    case 0x18: return &regs.tail;
+    default: return nullptr;
+  }
+}
+
+bool SimNic::DecodeQueueReg(uint64_t offset, bool* is_rx, uint32_t* queue, uint64_t* reg_offset) {
+  if (offset >= kNicRegRdbal && offset < kNicRegRdbal + kNicNumQueues * kNicQueueRegStride) {
+    *is_rx = true;
+    *queue = static_cast<uint32_t>((offset - kNicRegRdbal) / kNicQueueRegStride);
+  } else if (offset >= kNicRegTdbal &&
+             offset < kNicRegTdbal + kNicNumQueues * kNicQueueRegStride) {
+    *is_rx = false;
+    *queue = static_cast<uint32_t>((offset - kNicRegTdbal) / kNicQueueRegStride);
+  } else {
+    return false;
+  }
+  *reg_offset = offset & (kNicQueueRegStride - 1);
+  return true;
 }
 
 uint32_t SimNic::MmioRead(int bar, uint64_t offset) {
   if (bar != 0) {
     return 0xffffffffu;
+  }
+  // Per-queue ring register blocks.
+  bool is_rx = false;
+  uint32_t q = 0;
+  uint64_t reg_offset = 0;
+  if (DecodeQueueReg(offset, &is_rx, &q, &reg_offset)) {
+    std::lock_guard<std::recursive_mutex> lock(rx_mu_[q]);
+    uint32_t* field = RingField(is_rx ? rx_q_[q] : tx_q_[q], reg_offset);
+    return field != nullptr ? *field : 0;
   }
   switch (offset) {
     case kNicRegCtrl:
@@ -60,37 +111,17 @@ uint32_t SimNic::MmioRead(int bar, uint64_t offset) {
       return link_up() ? kNicStatusLinkUp : 0;
     case kNicRegMdic:
       return mdic_;
-    case kNicRegIcr: {
-      uint32_t value = icr_;
-      icr_ = 0;  // read-to-clear
-      return value;
-    }
+    case kNicRegIcr:
+      // Read-to-clear.
+      return icr_.exchange(0, std::memory_order_relaxed);
     case kNicRegIms:
-      return ims_;
+      return ims_.load(std::memory_order_relaxed);
     case kNicRegRctl:
       return rctl_;
     case kNicRegTctl:
       return tctl_;
-    case kNicRegRdbal:
-      return rdbal_;
-    case kNicRegRdbah:
-      return rdbah_;
-    case kNicRegRdlen:
-      return rdlen_;
-    case kNicRegRdh:
-      return rdh_;
-    case kNicRegRdt:
-      return rdt_;
-    case kNicRegTdbal:
-      return tdbal_;
-    case kNicRegTdbah:
-      return tdbah_;
-    case kNicRegTdlen:
-      return tdlen_;
-    case kNicRegTdh:
-      return tdh_;
-    case kNicRegTdt:
-      return tdt_;
+    case kNicRegMrqc:
+      return mrqc_;
     case kNicRegRal0:
       return ral0_;
     case kNicRegRah0:
@@ -102,6 +133,30 @@ uint32_t SimNic::MmioRead(int bar, uint64_t offset) {
 
 void SimNic::MmioWrite(int bar, uint64_t offset, uint32_t value) {
   if (bar != 0) {
+    return;
+  }
+  bool is_rx = false;
+  uint32_t q = 0;
+  uint64_t reg_offset = 0;
+  if (DecodeQueueReg(offset, &is_rx, &q, &reg_offset)) {
+    if (is_rx) {
+      std::lock_guard<std::recursive_mutex> lock(rx_mu_[q]);
+      uint32_t* field = RingField(rx_q_[q], reg_offset);
+      if (field != nullptr) {
+        *field = value;
+        if (field == &rx_q_[q].tail) {
+          DrainBacklogLocked(q);
+        }
+      }
+    } else {
+      uint32_t* field = RingField(tx_q_[q], reg_offset);
+      if (field != nullptr) {
+        *field = value;
+        if (field == &tx_q_[q].tail) {
+          ProcessTxRing(q);
+        }
+      }
+    }
     return;
   }
   switch (offset) {
@@ -126,15 +181,28 @@ void SimNic::MmioWrite(int bar, uint64_t offset, uint32_t value) {
       mdic_ = (value & ~0xffffu) | data | kMdicReady;
       break;
     }
-    case kNicRegIms:
-      ims_ |= value;
-      // Setting a mask bit with a pending cause re-raises the interrupt.
-      if ((icr_ & ims_) != 0) {
-        (void)RaiseMsi();
+    case kNicRegIms: {
+      uint32_t ims = ims_.fetch_or(value, std::memory_order_relaxed) | value;
+      uint32_t pending = icr_.load(std::memory_order_relaxed) & ims;
+      if (pending != 0) {
+        // Setting a mask bit with a pending cause re-raises the interrupt —
+        // in multi-queue mode per queue, on each queue's own MSI message
+        // (otherwise a cause raised while its IMS bit was clear would be
+        // lost forever: RaiseQueueInterrupt drops masked events).
+        if (multi_queue()) {
+          for (uint32_t q = 0; q < kNicNumQueues; ++q) {
+            if ((pending & (NicIntRxQueue(q) | NicIntTxQueue(q))) != 0) {
+              (void)RaiseMsi(static_cast<uint8_t>(q));
+            }
+          }
+        } else {
+          (void)RaiseMsi();
+        }
       }
       break;
+    }
     case kNicRegImc:
-      ims_ &= ~value;
+      ims_.fetch_and(~value, std::memory_order_relaxed);
       break;
     case kNicRegRctl:
       rctl_ = value;
@@ -145,37 +213,8 @@ void SimNic::MmioWrite(int bar, uint64_t offset, uint32_t value) {
     case kNicRegTctl:
       tctl_ = value;
       break;
-    case kNicRegRdbal:
-      rdbal_ = value;
-      break;
-    case kNicRegRdbah:
-      rdbah_ = value;
-      break;
-    case kNicRegRdlen:
-      rdlen_ = value;
-      break;
-    case kNicRegRdh:
-      rdh_ = value;
-      break;
-    case kNicRegRdt:
-      rdt_ = value;
-      Tick();
-      break;
-    case kNicRegTdbal:
-      tdbal_ = value;
-      break;
-    case kNicRegTdbah:
-      tdbah_ = value;
-      break;
-    case kNicRegTdlen:
-      tdlen_ = value;
-      break;
-    case kNicRegTdh:
-      tdh_ = value;
-      break;
-    case kNicRegTdt:
-      tdt_ = value;
-      ProcessTxRing();
+    case kNicRegMrqc:
+      mrqc_ = value;
       break;
     case kNicRegRal0:
       ral0_ = value;
@@ -192,7 +231,7 @@ Result<NicDescriptor> SimNic::ReadDescriptor(uint64_t ring_base, uint32_t index)
   uint8_t raw[16];
   Status status = DmaRead(ring_base + static_cast<uint64_t>(index) * 16, ByteSpan(raw, 16));
   if (!status.ok()) {
-    ++stats_.dma_errors;
+    stats_.dma_errors.fetch_add(1, std::memory_order_relaxed);
     return status;
   }
   NicDescriptor desc;
@@ -217,7 +256,7 @@ Status SimNic::WriteBackDescriptor(uint64_t ring_base, uint32_t index, const Nic
   StoreLe16(raw + 14, desc.special);
   Status status = DmaWrite(ring_base + static_cast<uint64_t>(index) * 16, ConstByteSpan(raw, 16));
   if (!status.ok()) {
-    ++stats_.dma_errors;
+    stats_.dma_errors.fetch_add(1, std::memory_order_relaxed);
   }
   return status;
 }
@@ -226,95 +265,141 @@ void SimNic::SetInterruptCause(uint32_t bits) {
   // MSIs are edge-triggered on the assertion of a new cause: if the
   // interrupt condition was already pending (driver has not read ICR yet),
   // no additional message is signalled, as on real hardware.
-  bool was_asserted = (icr_ & ims_) != 0;
-  icr_ |= bits;
-  if (!was_asserted && (icr_ & ims_) != 0) {
+  uint32_t ims = ims_.load(std::memory_order_relaxed);
+  uint32_t old_icr = icr_.fetch_or(bits, std::memory_order_relaxed);
+  bool was_asserted = (old_icr & ims) != 0;
+  if (!was_asserted && ((old_icr | bits) & ims) != 0) {
     (void)RaiseMsi();
   }
 }
 
-void SimNic::ProcessTxRing() {
-  if ((tctl_ & kNicTctlEnable) == 0 || TxRingSize() == 0) {
+void SimNic::RaiseQueueInterrupt(uint32_t q, uint32_t bits) {
+  icr_.fetch_or(bits, std::memory_order_relaxed);
+  if ((ims_.load(std::memory_order_relaxed) & bits) == 0) {
     return;
   }
-  uint64_t ring_base = (static_cast<uint64_t>(tdbah_) << 32) | tdbal_;
+  // MSI-X-style auto-clear: each event signals its message; coalescing is
+  // the kernel side's job (in-flight masking + per-vector pending), so a
+  // wakeup can never be lost between the driver's poll and its ack.
+  (void)RaiseMsi(static_cast<uint8_t>(q));
+}
+
+void SimNic::ProcessTxRing(uint32_t q) {
+  RingRegs& regs = tx_q_[q];
+  if ((tctl_ & kNicTctlEnable) == 0 || regs.size() == 0) {
+    return;
+  }
+  uint64_t ring_base = regs.base();
+  std::vector<uint8_t>& frame_buf = tx_frame_buf_[q];
   bool sent_any = false;
-  while (tdh_ != tdt_) {
-    Result<NicDescriptor> desc = ReadDescriptor(ring_base, tdh_);
+  while (regs.head != regs.tail) {
+    Result<NicDescriptor> desc = ReadDescriptor(ring_base, regs.head);
     if (!desc.ok()) {
       // Descriptor fetch faulted in the IOMMU: the device stalls this queue,
       // which is precisely the "confined to its own sandbox" behaviour.
       return;
     }
     NicDescriptor d = desc.value();
-    tx_frame_buf_.resize(d.length);  // reused scratch: no per-frame allocation
+    frame_buf.resize(d.length);  // reused scratch: no per-frame allocation
     if (d.length > 0) {
-      Status status = DmaRead(d.buffer_addr, ByteSpan(tx_frame_buf_.data(), d.length));
+      Status status = DmaRead(d.buffer_addr, ByteSpan(frame_buf.data(), d.length));
       if (!status.ok()) {
-        ++stats_.dma_errors;
+        stats_.dma_errors.fetch_add(1, std::memory_order_relaxed);
         return;
       }
     }
     if (link_ != nullptr && d.length > 0) {
-      (void)link_->Transmit(link_side_, ConstByteSpan(tx_frame_buf_.data(), d.length));
+      (void)link_->Transmit(link_side_, ConstByteSpan(frame_buf.data(), d.length));
     }
-    ++stats_.tx_frames;
+    stats_.tx_frames.fetch_add(1, std::memory_order_relaxed);
+    queue_stats_[q].tx_frames.fetch_add(1, std::memory_order_relaxed);
     d.status |= kNicDescStatusDone;
-    (void)WriteBackDescriptor(ring_base, tdh_, d);
-    tdh_ = (tdh_ + 1) % TxRingSize();
+    (void)WriteBackDescriptor(ring_base, regs.head, d);
+    regs.head = (regs.head + 1) % regs.size();
     sent_any = true;
   }
   if (sent_any) {
-    SetInterruptCause(kNicIntTxDone);
+    if (multi_queue()) {
+      RaiseQueueInterrupt(q, NicIntTxQueue(q));
+    } else {
+      SetInterruptCause(kNicIntTxDone);
+    }
   }
 }
 
-bool SimNic::ReceiveIntoRing(ConstByteSpan frame) {
-  if ((rctl_ & kNicRctlEnable) == 0 || RxRingSize() == 0) {
+bool SimNic::ReceiveIntoRingLocked(uint32_t q, ConstByteSpan frame) {
+  RingRegs& regs = rx_q_[q];
+  if ((rctl_ & kNicRctlEnable) == 0 || regs.size() == 0) {
     return false;
   }
   // RDH == RDT means the ring is empty of armed descriptors.
-  if (rdh_ == rdt_) {
+  if (regs.head == regs.tail) {
     return false;
   }
-  uint64_t ring_base = (static_cast<uint64_t>(rdbah_) << 32) | rdbal_;
-  Result<NicDescriptor> desc = ReadDescriptor(ring_base, rdh_);
+  uint64_t ring_base = regs.base();
+  Result<NicDescriptor> desc = ReadDescriptor(ring_base, regs.head);
   if (!desc.ok()) {
     return false;
   }
   NicDescriptor d = desc.value();
   Status status = DmaWrite(d.buffer_addr, frame);
   if (!status.ok()) {
-    ++stats_.dma_errors;
+    stats_.dma_errors.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   d.length = static_cast<uint16_t>(frame.size());
   d.status = kNicDescStatusDone | (kNicDescCmdEop << 1);
-  (void)WriteBackDescriptor(ring_base, rdh_, d);
-  rdh_ = (rdh_ + 1) % RxRingSize();
-  ++stats_.rx_frames;
-  SetInterruptCause(kNicIntRx);
+  if (multi_queue()) {
+    // Two-phase writeback, as on real silicon: buffer and length land
+    // first, the DD status byte last (a 1-byte posted write the memory
+    // model publishes with release semantics) — a driver thread polling
+    // this descriptor concurrently can never observe DD with stale fields.
+    uint8_t final_status = d.status;
+    d.status = 0;
+    (void)WriteBackDescriptor(ring_base, regs.head, d);
+    (void)DmaWrite(ring_base + static_cast<uint64_t>(regs.head) * 16 + 12,
+                   ConstByteSpan(&final_status, 1));
+  } else {
+    (void)WriteBackDescriptor(ring_base, regs.head, d);
+  }
+  regs.head = (regs.head + 1) % regs.size();
+  stats_.rx_frames.fetch_add(1, std::memory_order_relaxed);
+  queue_stats_[q].rx_frames.fetch_add(1, std::memory_order_relaxed);
+  if (multi_queue()) {
+    RaiseQueueInterrupt(q, NicIntRxQueue(q));
+  } else {
+    SetInterruptCause(kNicIntRx);
+  }
   return true;
 }
 
 void SimNic::DeliverFrame(ConstByteSpan frame) {
-  if (ReceiveIntoRing(frame)) {
+  uint32_t q = kern::FlowQueue(frame, static_cast<uint16_t>(rss_queues()));
+  std::lock_guard<std::recursive_mutex> lock(rx_mu_[q]);
+  if (ReceiveIntoRingLocked(q, frame)) {
     return;
   }
-  if (rx_backlog_.size() >= kRxBacklogMax) {
-    ++stats_.rx_dropped_no_desc;
+  if (rx_backlog_[q].size() >= kRxBacklogMax) {
+    stats_.rx_dropped_no_desc.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  rx_backlog_.emplace_back(frame.begin(), frame.end());
+  rx_backlog_[q].emplace_back(frame.begin(), frame.end());
+}
+
+void SimNic::DrainBacklogLocked(uint32_t q) {
+  while (!rx_backlog_[q].empty()) {
+    const std::vector<uint8_t>& frame = rx_backlog_[q].front();
+    if (!ReceiveIntoRingLocked(q, ConstByteSpan(frame.data(), frame.size()))) {
+      break;
+    }
+    rx_backlog_[q].pop_front();
+  }
 }
 
 void SimNic::Tick() {
-  while (!rx_backlog_.empty()) {
-    const std::vector<uint8_t>& frame = rx_backlog_.front();
-    if (!ReceiveIntoRing(ConstByteSpan(frame.data(), frame.size()))) {
-      break;
-    }
-    rx_backlog_.pop_front();
+  for (uint32_t q = 0; q < kNicNumQueues; ++q) {
+    std::lock_guard<std::recursive_mutex> lock(rx_mu_[q]);
+    DrainBacklogLocked(q);
   }
 }
 

@@ -7,6 +7,22 @@
 // the PHY. The driver in src/drivers/e1000e.cc programs this device the same
 // way the real e1000e programs real silicon.
 //
+// Multi-queue: the device exposes kNicNumQueues independent TX/RX descriptor
+// ring pairs, each behind its own register block (0x100 stride, the 82574
+// layout generalised), with receive-side scaling steering incoming frames by
+// a flow hash (kern::FlowHash — the same function the kernel's transmit
+// steering uses, so a flow maps to one queue in both directions). Queue q
+// signals completion on multi-message MSI vector index q. Queue 0 at the
+// legacy offsets with MRQC unprogrammed behaves bit-for-bit like the
+// single-queue device of earlier revisions.
+//
+// Threading: with a sharded uchan, each queue is pumped by its own driver
+// thread. Per-queue receive state is guarded by a per-queue recursive lock
+// (recursive because an in-kernel driver's reap path re-enters the device
+// through the RDT doorbell from inside the delivery chain); TX state is
+// owned by the queue's single pump thread; the shared cause/mask registers
+// and stats are atomics.
+//
 // Everything the device does to memory goes through PciDevice::DmaRead/
 // DmaWrite — i.e. through the switch, ACS and the IOMMU. A malicious driver
 // can point descriptors anywhere it likes; whether the resulting DMA lands
@@ -17,8 +33,10 @@
 #define SUD_SRC_DEVICES_SIM_NIC_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <vector>
 
 #include "src/base/status.h"
@@ -26,6 +44,10 @@
 #include "src/hw/pci_device.h"
 
 namespace sud::devices {
+
+// Number of TX/RX descriptor ring pairs (and MSI messages) the device
+// implements. Drivers may use any prefix of them.
+inline constexpr uint32_t kNicNumQueues = 8;
 
 // Register offsets (subset of the e1000e map).
 inline constexpr uint64_t kNicRegCtrl = 0x0000;
@@ -36,6 +58,9 @@ inline constexpr uint64_t kNicRegIms = 0x00d0;  // interrupt mask set
 inline constexpr uint64_t kNicRegImc = 0x00d8;  // interrupt mask clear
 inline constexpr uint64_t kNicRegRctl = 0x0100;
 inline constexpr uint64_t kNicRegTctl = 0x0400;
+// Queue 0 ring registers sit at the legacy offsets; queue q's block is the
+// same layout at +q * kNicQueueRegStride.
+inline constexpr uint64_t kNicQueueRegStride = 0x100;
 inline constexpr uint64_t kNicRegRdbal = 0x2800;
 inline constexpr uint64_t kNicRegRdbah = 0x2804;
 inline constexpr uint64_t kNicRegRdlen = 0x2808;
@@ -48,6 +73,10 @@ inline constexpr uint64_t kNicRegTdh = 0x3810;
 inline constexpr uint64_t kNicRegTdt = 0x3818;
 inline constexpr uint64_t kNicRegRal0 = 0x5400;
 inline constexpr uint64_t kNicRegRah0 = 0x5404;
+// Multiple receive queues command: the number of RSS queues (0 or 1 =
+// single-queue legacy behaviour; 2..kNicNumQueues = multi-queue mode with
+// per-queue MSI messages and auto-cleared per-queue causes).
+inline constexpr uint64_t kNicRegMrqc = 0x5818;
 
 // CTRL bits.
 inline constexpr uint32_t kNicCtrlReset = 1u << 26;
@@ -56,10 +85,14 @@ inline constexpr uint32_t kNicStatusLinkUp = 1u << 1;
 // RCTL/TCTL bits.
 inline constexpr uint32_t kNicRctlEnable = 1u << 1;
 inline constexpr uint32_t kNicTctlEnable = 1u << 1;
-// Interrupt cause bits.
+// Interrupt cause bits. Legacy aggregate bits are raised in single-queue
+// mode; per-queue bits occupy [8..15] (RX queue q) and [16..23] (TX queue q).
 inline constexpr uint32_t kNicIntTxDone = 1u << 0;   // TXDW
 inline constexpr uint32_t kNicIntRx = 1u << 7;       // RXT0
 inline constexpr uint32_t kNicIntLinkChange = 1u << 2;
+inline constexpr uint32_t NicIntRxQueue(uint32_t q) { return 1u << (8 + q); }
+inline constexpr uint32_t NicIntTxQueue(uint32_t q) { return 1u << (16 + q); }
+inline constexpr uint32_t kNicIntAllQueues = 0x00ffff00u;
 // RAH valid bit.
 inline constexpr uint32_t kNicRahValid = 1u << 31;
 
@@ -92,27 +125,51 @@ class SimNic : public hw::PciDevice, public EtherEndpoint {
   void Reset() override;
   void Tick() override;
 
-  // EtherEndpoint — a frame arrives from the wire.
+  // EtherEndpoint — a frame arrives from the wire. RSS-steers it to a queue.
   void DeliverFrame(ConstByteSpan frame) override;
 
   struct Stats {
-    uint64_t tx_frames = 0;
-    uint64_t rx_frames = 0;
-    uint64_t rx_dropped_no_desc = 0;
-    uint64_t dma_errors = 0;  // descriptor/buffer DMA faulted (confined)
+    std::atomic<uint64_t> tx_frames{0};
+    std::atomic<uint64_t> rx_frames{0};
+    std::atomic<uint64_t> rx_dropped_no_desc{0};
+    std::atomic<uint64_t> dma_errors{0};  // descriptor/buffer DMA faulted (confined)
   };
   const Stats& stats() const { return stats_; }
+  struct QueueStats {
+    std::atomic<uint64_t> tx_frames{0};
+    std::atomic<uint64_t> rx_frames{0};
+  };
+  const QueueStats& queue_stats(uint32_t q) const { return queue_stats_[q]; }
   const uint8_t* mac() const { return mac_.data(); }
   bool link_up() const { return link_ != nullptr; }
+  // RSS queues currently enabled by MRQC (1 when unprogrammed).
+  uint32_t rss_queues() const;
 
  private:
-  void ProcessTxRing();
-  bool ReceiveIntoRing(ConstByteSpan frame);
+  // Per-queue ring doorbell/geometry registers (one block per queue).
+  struct RingRegs {
+    uint32_t bal = 0, bah = 0, len = 0, head = 0, tail = 0;
+    uint64_t base() const { return (static_cast<uint64_t>(bah) << 32) | bal; }
+    uint32_t size() const { return len / 16; }
+  };
+
+  bool multi_queue() const { return mrqc_ > 1; }
+  // Per-queue ring register decode shared by RX/TX reads and writes.
+  static uint32_t* RingField(RingRegs& regs, uint64_t reg_offset);
+  static bool DecodeQueueReg(uint64_t offset, bool* is_rx, uint32_t* queue, uint64_t* reg_offset);
+  void ProcessTxRing(uint32_t q);
+  bool ReceiveIntoRingLocked(uint32_t q, ConstByteSpan frame);
+  void DrainBacklogLocked(uint32_t q);
   Result<NicDescriptor> ReadDescriptor(uint64_t ring_base, uint32_t index);
   Status WriteBackDescriptor(uint64_t ring_base, uint32_t index, const NicDescriptor& desc);
+  // Single-queue (legacy) cause assertion: level-ish on ICR & IMS edges.
   void SetInterruptCause(uint32_t bits);
-  uint32_t TxRingSize() const { return tdlen_ / 16; }
-  uint32_t RxRingSize() const { return rdlen_ / 16; }
+  // Multi-queue cause assertion for queue q: MSI-X-style auto-clearing
+  // causes — every event signals message q (the safe-PCI layer's in-flight
+  // coalescing, masking and per-vector pending bits bound the storm).
+  void RaiseQueueInterrupt(uint32_t q, uint32_t bits);
+  uint32_t TxRingSize() const { return tx_q_[0].size(); }
+  uint32_t RxRingSize() const { return rx_q_[0].size(); }
 
   std::array<uint8_t, 6> mac_;
   EtherLink* link_ = nullptr;
@@ -120,21 +177,30 @@ class SimNic : public hw::PciDevice, public EtherEndpoint {
 
   // Register state.
   uint32_t ctrl_ = 0;
-  uint32_t icr_ = 0;
-  uint32_t ims_ = 0;
+  std::atomic<uint32_t> icr_{0};
+  std::atomic<uint32_t> ims_{0};
   uint32_t rctl_ = 0;
   uint32_t tctl_ = 0;
-  uint32_t tdbal_ = 0, tdbah_ = 0, tdlen_ = 0, tdh_ = 0, tdt_ = 0;
-  uint32_t rdbal_ = 0, rdbah_ = 0, rdlen_ = 0, rdh_ = 0, rdt_ = 0;
+  uint32_t mrqc_ = 0;
+  std::array<RingRegs, kNicNumQueues> tx_q_{};
+  std::array<RingRegs, kNicNumQueues> rx_q_{};
   uint32_t ral0_ = 0, rah0_ = 0;
   uint32_t mdic_ = 0;
 
-  // Frames that arrived while no RX descriptor was available.
-  std::deque<std::vector<uint8_t>> rx_backlog_;
-  static constexpr size_t kRxBacklogMax = 64;
-  std::vector<uint8_t> tx_frame_buf_;  // reused transmit staging buffer
+  // Frames that arrived while queue q had no armed RX descriptor.
+  std::array<std::deque<std::vector<uint8_t>>, kNicNumQueues> rx_backlog_;
+  static constexpr size_t kRxBacklogMax = 64;  // per queue
+  // Reused transmit staging buffer, one per queue (each queue has one pump
+  // thread).
+  std::array<std::vector<uint8_t>, kNicNumQueues> tx_frame_buf_;
+
+  // Guards queue q's receive ring, backlog and assertion flag. Recursive:
+  // delivery can synchronously run an in-kernel driver's reap path, which
+  // re-enters through the RDT doorbell.
+  mutable std::array<std::recursive_mutex, kNicNumQueues> rx_mu_;
 
   Stats stats_;
+  std::array<QueueStats, kNicNumQueues> queue_stats_;
 };
 
 }  // namespace sud::devices

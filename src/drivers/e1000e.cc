@@ -1,5 +1,6 @@
 #include "src/drivers/e1000e.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/base/bytes.h"
@@ -9,6 +10,11 @@
 namespace sud::drivers {
 
 using devices::NicDescriptor;
+
+E1000eDriver::E1000eDriver(uint32_t num_queues)
+    : num_queues_(std::clamp<uint32_t>(num_queues, 1, devices::kNicNumQueues)) {
+  rx_buffer_size_ = static_cast<uint32_t>(kRxBufferBytes / num_queues_ / kRxDescriptors);
+}
 
 Status E1000eDriver::Probe(uml::DriverEnv& env) {
   env_ = &env;
@@ -25,25 +31,45 @@ Status E1000eDriver::Probe(uml::DriverEnv& env) {
   StoreLe32(mac, ral.value());
   StoreLe16(mac + 4, static_cast<uint16_t>(rah.value() & 0xffff));
 
-  // DMA allocations in the order that produces Figure 9's layout.
-  Result<DmaRegion> tx_ring = env.DmaAllocCoherent(kTxDescriptors * 16);
-  Result<DmaRegion> rx_ring = env.DmaAllocCoherent(kRxDescriptors * 16);
+  // DMA allocations in the order that produces Figure 9's layout for one
+  // queue (TX rings first, then RX rings, then the two buffer arenas).
+  for (uint32_t q = 0; q < num_queues_; ++q) {
+    Result<DmaRegion> tx_ring = env.DmaAllocCoherent(kTxDescriptors * 16);
+    if (!tx_ring.ok()) {
+      return Status(ErrorCode::kExhausted, "dma allocation failed in probe");
+    }
+    queues_[q].tx_ring = tx_ring.value();
+  }
+  for (uint32_t q = 0; q < num_queues_; ++q) {
+    Result<DmaRegion> rx_ring = env.DmaAllocCoherent(kRxDescriptors * 16);
+    if (!rx_ring.ok()) {
+      return Status(ErrorCode::kExhausted, "dma allocation failed in probe");
+    }
+    queues_[q].rx_ring = rx_ring.value();
+  }
   Result<DmaRegion> tx_buffers = env.DmaAllocCaching(kTxBufferBytes);
   Result<DmaRegion> rx_buffers = env.DmaAllocCaching(kRxBufferBytes);
-  if (!tx_ring.ok() || !rx_ring.ok() || !tx_buffers.ok() || !rx_buffers.ok()) {
+  if (!tx_buffers.ok() || !rx_buffers.ok()) {
     return Status(ErrorCode::kExhausted, "dma allocation failed in probe");
   }
-  tx_ring_ = tx_ring.value();
-  rx_ring_ = rx_ring.value();
   tx_buffers_ = tx_buffers.value();
   rx_buffers_ = rx_buffers.value();
-  tx_slot_buffer_.assign(kTxDescriptors, -1);
+  // TX is zero-copy (shared-pool buffers under SUD, bounce slots in-kernel),
+  // so only the RX arena is partitioned per queue.
+  for (uint32_t q = 0; q < num_queues_; ++q) {
+    queues_[q].rx_buffers_iova = rx_buffers_.iova + static_cast<uint64_t>(q) *
+                                                        (kRxBufferBytes / num_queues_);
+    queues_[q].tx_slot_buffer.assign(kTxDescriptors, -1);
+  }
 
   uml::NetDriverOps ops;
   ops.open = [this]() { return Open(); };
   ops.stop = [this]() { return Stop(); };
-  ops.xmit = [this](uint64_t iova, uint32_t len, int32_t id) { return Xmit(iova, len, id); };
+  ops.xmit = [this](uint64_t iova, uint32_t len, int32_t id, uint16_t queue) {
+    return Xmit(iova, len, id, queue);
+  };
   ops.ioctl = [this](uint32_t cmd) { return Ioctl(cmd); };
+  ops.num_queues = static_cast<uint16_t>(num_queues_);
   SUD_RETURN_IF_ERROR(env.RegisterNetdev(mac, std::move(ops)));
 
   // Link state is shared-memory state (netif_carrier_*, Section 3.3).
@@ -93,45 +119,66 @@ Result<NicDescriptor> E1000eDriver::ReadDescriptor(uint64_t ring_iova, uint32_t 
   return desc;
 }
 
-Status E1000eDriver::ArmRxDescriptor(uint32_t index) {
-  uint64_t buffer_iova = rx_buffers_.iova + static_cast<uint64_t>(index) * kRxBufferSize;
-  return WriteDescriptor(rx_ring_.iova, index, buffer_iova, 0, 0, 0);
+Status E1000eDriver::ArmRxDescriptor(uint16_t queue, uint32_t index) {
+  QueueState& qs = queues_[queue];
+  uint64_t buffer_iova = qs.rx_buffers_iova + static_cast<uint64_t>(index) * rx_buffer_size_;
+  return WriteDescriptor(qs.rx_ring.iova, index, buffer_iova, 0, 0, 0);
 }
 
 Status E1000eDriver::Open() {
-  SUD_RETURN_IF_ERROR(env_->RequestIrq([this]() { IrqHandler(); }));
-
-  // Program ring geometry.
-  SUD_RETURN_IF_ERROR(
-      env_->MmioWrite32(0, devices::kNicRegTdbal, static_cast<uint32_t>(tx_ring_.iova)));
-  SUD_RETURN_IF_ERROR(
-      env_->MmioWrite32(0, devices::kNicRegTdbah, static_cast<uint32_t>(tx_ring_.iova >> 32)));
-  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTdlen, kTxDescriptors * 16));
-  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTdh, 0));
-  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTdt, 0));
-  SUD_RETURN_IF_ERROR(
-      env_->MmioWrite32(0, devices::kNicRegRdbal, static_cast<uint32_t>(rx_ring_.iova)));
-  SUD_RETURN_IF_ERROR(
-      env_->MmioWrite32(0, devices::kNicRegRdbah, static_cast<uint32_t>(rx_ring_.iova >> 32)));
-  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegRdlen, kRxDescriptors * 16));
-
-  // Arm every RX descriptor with one of our RX buffers.
-  for (uint32_t i = 0; i < kRxDescriptors; ++i) {
-    SUD_RETURN_IF_ERROR(ArmRxDescriptor(i));
+  if (num_queues_ == 1) {
+    SUD_RETURN_IF_ERROR(env_->RequestIrq([this]() { IrqHandler(); }));
+  } else {
+    SUD_RETURN_IF_ERROR(env_->RequestQueueIrqs(
+        static_cast<uint16_t>(num_queues_),
+        [this](uint16_t queue) { IrqHandlerQueue(queue); }));
   }
-  rx_next_ = 0;
-  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegRdh, 0));
-  // Tail one behind head: the full ring minus one is armed, as on real HW.
-  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegRdt, kRxDescriptors - 1));
 
+  // Program every queue's ring geometry.
+  for (uint16_t q = 0; q < num_queues_; ++q) {
+    QueueState& qs = queues_[q];
+    uint64_t tx_base = QueueRegBase(devices::kNicRegTdbal, q);
+    SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, tx_base + 0x0,
+                                          static_cast<uint32_t>(qs.tx_ring.iova)));
+    SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, tx_base + 0x4,
+                                          static_cast<uint32_t>(qs.tx_ring.iova >> 32)));
+    SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, tx_base + 0x8, kTxDescriptors * 16));
+    SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, tx_base + 0x10, 0));
+    SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, tx_base + 0x18, 0));
+    uint64_t rx_base = QueueRegBase(devices::kNicRegRdbal, q);
+    SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, rx_base + 0x0,
+                                          static_cast<uint32_t>(qs.rx_ring.iova)));
+    SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, rx_base + 0x4,
+                                          static_cast<uint32_t>(qs.rx_ring.iova >> 32)));
+    SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, rx_base + 0x8, kRxDescriptors * 16));
+
+    // Arm every RX descriptor with one of our RX buffers.
+    for (uint32_t i = 0; i < kRxDescriptors; ++i) {
+      SUD_RETURN_IF_ERROR(ArmRxDescriptor(q, i));
+    }
+    qs.rx_next = 0;
+    SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, rx_base + 0x10, 0));
+    // Tail one behind head: the full ring minus one is armed, as on real HW.
+    SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, rx_base + 0x18, kRxDescriptors - 1));
+    qs.tx_tail = 0;
+    qs.tx_reap = 0;
+  }
+
+  // Receive-side scaling: steer flows across the enabled queues with one
+  // MSI message per queue (only programmed in multi-queue mode, so the
+  // single-queue register sequence stays exactly the legacy one).
+  uint32_t ims = devices::kNicIntTxDone | devices::kNicIntRx;
+  if (num_queues_ > 1) {
+    SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegMrqc, num_queues_));
+    for (uint16_t q = 0; q < num_queues_; ++q) {
+      ims |= devices::NicIntRxQueue(q) | devices::NicIntTxQueue(q);
+    }
+  }
   // Enable interrupts for TX writeback and RX.
-  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegIms,
-                                        devices::kNicIntTxDone | devices::kNicIntRx));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegIms, ims));
   // Enable the MACs.
   SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegRctl, devices::kNicRctlEnable));
   SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTctl, devices::kNicTctlEnable));
-  tx_tail_ = 0;
-  tx_reap_ = 0;
   open_ = true;
   return Status::Ok();
 }
@@ -144,72 +191,118 @@ Status E1000eDriver::Stop() {
   return env_->FreeIrq();
 }
 
-Status E1000eDriver::Xmit(uint64_t frame_iova, uint32_t len, int32_t pool_buffer_id) {
+Status E1000eDriver::Xmit(uint64_t frame_iova, uint32_t len, int32_t pool_buffer_id,
+                          uint16_t queue) {
   if (!open_) {
     return Status(ErrorCode::kUnavailable, "interface down");
   }
-  uint32_t next = (tx_tail_ + 1) % kTxDescriptors;
-  if (next == tx_reap_) {
-    ReapTxCompletions();
-    if (next == tx_reap_) {
+  if (queue >= num_queues_) {
+    queue = 0;
+  }
+  QueueState& qs = queues_[queue];
+  uint32_t next = (qs.tx_tail + 1) % kTxDescriptors;
+  if (next == qs.tx_reap) {
+    ReapTxCompletions(queue);
+    if (next == qs.tx_reap) {
       return Status(ErrorCode::kQueueFull, "tx ring full");
     }
   }
   // Zero-copy: point the descriptor at the frame where it already lives
   // (shared-pool buffer under SUD, bounce buffer in-kernel).
-  SUD_RETURN_IF_ERROR(WriteDescriptor(tx_ring_.iova, tx_tail_, frame_iova,
+  SUD_RETURN_IF_ERROR(WriteDescriptor(qs.tx_ring.iova, qs.tx_tail, frame_iova,
                                       static_cast<uint16_t>(len),
                                       devices::kNicDescCmdEop | devices::kNicDescCmdReportStatus,
                                       0));
-  tx_slot_buffer_[tx_tail_] = pool_buffer_id;
-  tx_tail_ = next;
-  ++stats_.tx_queued;
-  return env_->MmioWrite32(0, devices::kNicRegTdt, tx_tail_);
+  qs.tx_slot_buffer[qs.tx_tail] = pool_buffer_id;
+  qs.tx_tail = next;
+  stats_.tx_queued.fetch_add(1, std::memory_order_relaxed);
+  return env_->MmioWrite32(0, QueueRegBase(devices::kNicRegTdbal, queue) + 0x18, qs.tx_tail);
 }
 
-void E1000eDriver::ReapTxCompletions() {
-  while (tx_reap_ != tx_tail_) {
-    Result<NicDescriptor> desc = ReadDescriptor(tx_ring_.iova, tx_reap_);
+void E1000eDriver::ReapTxCompletions(uint16_t queue) {
+  QueueState& qs = queues_[queue];
+  // TX completion coalescing: collect every freed pool buffer id and return
+  // the batch in ONE free-buffer downcall at the end of the pass, instead of
+  // one downcall per buffer.
+  qs.free_scratch.clear();
+  while (qs.tx_reap != qs.tx_tail) {
+    Result<NicDescriptor> desc = ReadDescriptor(qs.tx_ring.iova, qs.tx_reap);
     if (!desc.ok() || (desc.value().status & devices::kNicDescStatusDone) == 0) {
-      return;
+      break;
     }
-    if (tx_slot_buffer_[tx_reap_] >= 0) {
-      env_->FreeTxBuffer(tx_slot_buffer_[tx_reap_]);
-      tx_slot_buffer_[tx_reap_] = -1;
+    if (qs.tx_slot_buffer[qs.tx_reap] >= 0) {
+      qs.free_scratch.push_back(qs.tx_slot_buffer[qs.tx_reap]);
+      qs.tx_slot_buffer[qs.tx_reap] = -1;
     }
-    ++stats_.tx_completed;
-    tx_reap_ = (tx_reap_ + 1) % kTxDescriptors;
+    stats_.tx_completed.fetch_add(1, std::memory_order_relaxed);
+    qs.tx_reap = (qs.tx_reap + 1) % kTxDescriptors;
+  }
+  if (!qs.free_scratch.empty()) {
+    if (qs.free_scratch.size() > 1) {
+      stats_.free_batches.fetch_add(1, std::memory_order_relaxed);
+    }
+    env_->FreeTxBuffers(queue, qs.free_scratch);
   }
 }
 
-void E1000eDriver::ReapRxRing() {
+void E1000eDriver::ReapRxRing(uint16_t queue) {
+  QueueState& qs = queues_[queue];
+  uint64_t rx_base = QueueRegBase(devices::kNicRegRdbal, queue);
   while (true) {
-    Result<NicDescriptor> desc = ReadDescriptor(rx_ring_.iova, rx_next_);
+    if (num_queues_ > 1) {
+      // The device publishes DD last (release); pair it with an acquire load
+      // before trusting the descriptor's other fields — the delivery may be
+      // racing on another thread.
+      Result<ByteSpan> view =
+          env_->DmaView(qs.rx_ring.iova + static_cast<uint64_t>(qs.rx_next) * 16, 16);
+      if (!view.ok()) {
+        return;
+      }
+      uint8_t status = std::atomic_ref<uint8_t>(view.value().data()[12])
+                           .load(std::memory_order_acquire);
+      if ((status & devices::kNicDescStatusDone) == 0) {
+        return;
+      }
+    }
+    Result<NicDescriptor> desc = ReadDescriptor(qs.rx_ring.iova, qs.rx_next);
     if (!desc.ok() || (desc.value().status & devices::kNicDescStatusDone) == 0) {
       return;
     }
-    uint64_t buffer_iova = rx_buffers_.iova + static_cast<uint64_t>(rx_next_) * kRxBufferSize;
-    (void)env_->NetifRx(buffer_iova, desc.value().length);
-    ++stats_.rx_delivered;
+    uint64_t buffer_iova =
+        qs.rx_buffers_iova + static_cast<uint64_t>(qs.rx_next) * rx_buffer_size_;
+    (void)env_->NetifRx(buffer_iova, desc.value().length, queue);
+    stats_.rx_delivered.fetch_add(1, std::memory_order_relaxed);
     // Re-arm the descriptor and advance the tail so the device can reuse it.
-    (void)ArmRxDescriptor(rx_next_);
-    (void)env_->MmioWrite32(0, devices::kNicRegRdt, rx_next_);
-    rx_next_ = (rx_next_ + 1) % kRxDescriptors;
+    (void)ArmRxDescriptor(queue, qs.rx_next);
+    (void)env_->MmioWrite32(0, rx_base + 0x18, qs.rx_next);
+    qs.rx_next = (qs.rx_next + 1) % kRxDescriptors;
   }
 }
 
 void E1000eDriver::IrqHandler() {
-  ++stats_.interrupts;
+  stats_.interrupts.fetch_add(1, std::memory_order_relaxed);
   Result<uint32_t> icr = env_->MmioRead32(0, devices::kNicRegIcr);  // read-clears
   if (!icr.ok()) {
     return;
   }
   if ((icr.value() & devices::kNicIntTxDone) != 0) {
-    ReapTxCompletions();
+    ReapTxCompletions(0);
   }
   if ((icr.value() & devices::kNicIntRx) != 0) {
-    ReapRxRing();
+    ReapRxRing(0);
   }
+}
+
+void E1000eDriver::IrqHandlerQueue(uint16_t queue) {
+  stats_.interrupts.fetch_add(1, std::memory_order_relaxed);
+  if (queue >= num_queues_) {
+    return;
+  }
+  // MSI-X style: the message number identifies the queue; there is no shared
+  // cause register to read (and none this handler may touch — another
+  // queue's thread might be in its own handler right now).
+  ReapTxCompletions(queue);
+  ReapRxRing(queue);
 }
 
 Result<std::string> E1000eDriver::Ioctl(uint32_t cmd) {

@@ -6,16 +6,30 @@
 // legacy descriptor rings allocated with dma_alloc_coherent, head/tail
 // doorbells, ICR/IMS interrupt handling, MDIC for the MII ioctl.
 //
-// The probe-order DMA allocations reproduce Figure 9's IO-virtual layout:
+// Multi-queue: constructed with N queues, the driver allocates N TX/RX ring
+// pairs, programs each queue's register block, enables RSS (MRQC) and
+// requests one MSI message per queue (RequestQueueIrqs). Queue q's handler
+// touches only queue q's rings and buffers, so under SUD each queue can be
+// pumped by its own thread. TX completions are *coalesced*: a reap pass
+// returns every freed shared-pool buffer in one FreeTxBuffers call (one
+// free-buffer downcall message) instead of one downcall per buffer.
+//
+// The single-queue probe-order DMA allocations reproduce Figure 9's
+// IO-virtual layout:
 //   TX ring descriptors   4 KB   @ 0x42430000
 //   RX ring descriptors   8 KB   @ 0x42431000
 //   TX buffers            8 MB   @ 0x42433000
 //   RX buffers            8 MB   @ 0x42C33000
-// (plus Intel's implicit MSI mapping at 0xFEE00000).
+// (plus Intel's implicit MSI mapping at 0xFEE00000.) With N queues the ring
+// allocations repeat per queue (TX rings first, then RX rings) and the RX
+// buffer arena is partitioned N ways (TX stays zero-copy out of shared-pool
+// buffers, so it needs no per-queue slices).
 
 #ifndef SUD_SRC_DRIVERS_E1000E_H_
 #define SUD_SRC_DRIVERS_E1000E_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -27,53 +41,85 @@ namespace sud::drivers {
 
 class E1000eDriver : public uml::Driver {
  public:
-  static constexpr uint32_t kTxDescriptors = 256;
-  static constexpr uint32_t kRxDescriptors = 512;
-  static constexpr uint64_t kTxBufferBytes = 8ull * 1024 * 1024;
-  static constexpr uint64_t kRxBufferBytes = 8ull * 1024 * 1024;
-  static constexpr uint32_t kRxBufferSize = 16384;  // kRxBufferBytes / kRxDescriptors
+  static constexpr uint32_t kTxDescriptors = 256;  // per queue
+  static constexpr uint32_t kRxDescriptors = 512;  // per queue
+  static constexpr uint64_t kTxBufferBytes = 8ull * 1024 * 1024;  // all queues
+  static constexpr uint64_t kRxBufferBytes = 8ull * 1024 * 1024;  // all queues
+
+  E1000eDriver() : E1000eDriver(1) {}
+  explicit E1000eDriver(uint32_t num_queues);
 
   const char* name() const override { return "e1000e"; }
   Status Probe(uml::DriverEnv& env) override;
   void Remove(uml::DriverEnv& env) override;
 
+  uint32_t num_queues() const { return num_queues_; }
+  // Bytes of RX buffer behind each RX descriptor (queue arena / ring size).
+  uint32_t rx_buffer_size() const { return rx_buffer_size_; }
+
   struct Stats {
-    uint64_t tx_queued = 0;
-    uint64_t tx_completed = 0;
-    uint64_t rx_delivered = 0;
-    uint64_t interrupts = 0;
+    std::atomic<uint64_t> tx_queued{0};
+    std::atomic<uint64_t> tx_completed{0};
+    std::atomic<uint64_t> rx_delivered{0};
+    std::atomic<uint64_t> interrupts{0};
+    std::atomic<uint64_t> free_batches{0};  // coalesced completion downcalls
   };
   const Stats& stats() const { return stats_; }
 
-  // NAPI-style poll: reads ICR and reaps both rings. The in-kernel baseline
-  // calls this from its (coalesced) interrupt/poll path; under SUD the same
-  // body runs from the interrupt upcall.
-  void NapiPoll() { IrqHandler(); }
+  // NAPI-style poll: reaps every queue. The in-kernel baseline calls this
+  // from its (coalesced) interrupt/poll path; under SUD the same body runs
+  // from the per-queue interrupt upcalls.
+  void NapiPoll() {
+    if (num_queues_ == 1) {
+      IrqHandler();
+    } else {
+      for (uint32_t q = 0; q < num_queues_; ++q) {
+        IrqHandlerQueue(q);
+      }
+    }
+  }
 
  private:
+  // Per-queue ring state: owned exclusively by queue q's pump thread.
+  struct QueueState {
+    DmaRegion tx_ring{};
+    DmaRegion rx_ring{};
+    uint64_t rx_buffers_iova = 0;  // this queue's slice of the RX arena
+    uint32_t tx_tail = 0;
+    uint32_t tx_reap = 0;
+    uint32_t rx_next = 0;
+    // Pool buffer ids in flight per TX slot (-1 when in-kernel bounce).
+    std::vector<int32_t> tx_slot_buffer;
+    // Scratch for the coalesced free pass (reused, no per-reap allocation).
+    std::vector<int32_t> free_scratch;
+  };
+
   Status Open();
   Status Stop();
-  Status Xmit(uint64_t frame_iova, uint32_t len, int32_t pool_buffer_id);
+  Status Xmit(uint64_t frame_iova, uint32_t len, int32_t pool_buffer_id, uint16_t queue);
   Result<std::string> Ioctl(uint32_t cmd);
+  // Legacy single-queue interrupt path: reads ICR (read-clears) and reaps.
   void IrqHandler();
-  void ReapTxCompletions();
-  void ReapRxRing();
-  Status ArmRxDescriptor(uint32_t index);
+  // Multi-queue (MSI-X style) path: the vector identifies the queue; no
+  // shared cause register is touched.
+  void IrqHandlerQueue(uint16_t queue);
+  void ReapTxCompletions(uint16_t queue);
+  void ReapRxRing(uint16_t queue);
+  Status ArmRxDescriptor(uint16_t queue, uint32_t index);
   Status WriteDescriptor(uint64_t ring_iova, uint32_t index, uint64_t buffer_addr, uint16_t len,
                          uint8_t cmd, uint8_t status);
   Result<devices::NicDescriptor> ReadDescriptor(uint64_t ring_iova, uint32_t index);
+  uint64_t QueueRegBase(uint64_t base, uint16_t queue) const {
+    return base + static_cast<uint64_t>(queue) * devices::kNicQueueRegStride;
+  }
 
   uml::DriverEnv* env_ = nullptr;
-  DmaRegion tx_ring_{};
-  DmaRegion rx_ring_{};
+  uint32_t num_queues_ = 1;
+  uint32_t rx_buffer_size_ = 0;
   DmaRegion tx_buffers_{};
   DmaRegion rx_buffers_{};
-  uint32_t tx_tail_ = 0;
-  uint32_t tx_reap_ = 0;
-  uint32_t rx_next_ = 0;
+  std::array<QueueState, devices::kNicNumQueues> queues_;
   bool open_ = false;
-  // Pool buffer ids in flight per TX slot (-1 when in-kernel bounce).
-  std::vector<int32_t> tx_slot_buffer_;
   Stats stats_;
 };
 

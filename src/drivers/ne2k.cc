@@ -34,7 +34,9 @@ Status Ne2kDriver::Probe(uml::DriverEnv& env) {
   uml::NetDriverOps ops;
   ops.open = [this]() { return Open(); };
   ops.stop = [this]() { return Stop(); };
-  ops.xmit = [this](uint64_t iova, uint32_t len, int32_t id) { return Xmit(iova, len, id); };
+  ops.xmit = [this](uint64_t iova, uint32_t len, int32_t id, uint16_t /*queue*/) {
+    return Xmit(iova, len, id);  // single-queue device: steering is a no-op
+  };
   ops.ioctl = [this](uint32_t cmd) -> Result<std::string> {
     return Status(ErrorCode::kInvalidArgument, "ne2k supports no ioctls");
   };

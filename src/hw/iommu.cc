@@ -73,6 +73,7 @@ void Iommu::IotlbInvalidatePageNoCount(uint16_t source_id, uint64_t iova) {
 }
 
 Status Iommu::CreateContext(uint16_t source_id) {
+  std::lock_guard<SpinLock> lock(mu_);
   if (contexts_.count(source_id) != 0) {
     return Status(ErrorCode::kAlreadyExists,
                   "iommu context for source " + Hex(source_id) + " exists");
@@ -82,12 +83,16 @@ Status Iommu::CreateContext(uint16_t source_id) {
 }
 
 Status Iommu::DestroyContext(uint16_t source_id) {
+  std::lock_guard<SpinLock> lock(mu_);
   auto it = contexts_.find(source_id);
   if (it == contexts_.end()) {
     return Status(ErrorCode::kNotFound, "no iommu context for source " + Hex(source_id));
   }
   contexts_.erase(it);
-  InvalidateIotlb(source_id);
+  // Whole-source IOTLB invalidation (generation bump), inline: the public
+  // InvalidateIotlb takes mu_.
+  ++source_gen_[source_id];
+  iotlb_stats_.invalidations++;
   // Drop interrupt-remapping entries belonging to this source.
   for (auto ir = irte_.begin(); ir != irte_.end();) {
     if (ir->first.first == source_id) {
@@ -99,7 +104,10 @@ Status Iommu::DestroyContext(uint16_t source_id) {
   return Status::Ok();
 }
 
-bool Iommu::HasContext(uint16_t source_id) const { return contexts_.count(source_id) != 0; }
+bool Iommu::HasContext(uint16_t source_id) const {
+  std::lock_guard<SpinLock> lock(mu_);
+  return contexts_.count(source_id) != 0;
+}
 
 Iommu::Pte* Iommu::LookupPte(Context& ctx, uint64_t iova, bool create) {
   size_t l3, l2, l1;
@@ -137,6 +145,7 @@ const Iommu::Pte* Iommu::LookupPte(const Context& ctx, uint64_t iova) const {
 
 Status Iommu::Map(uint16_t source_id, uint64_t iova, uint64_t paddr, uint64_t len, bool readable,
                   bool writable) {
+  std::lock_guard<SpinLock> lock(mu_);
   if (!IsPageAligned(iova) || !IsPageAligned(paddr) || !IsPageAligned(len) || len == 0) {
     return Status(ErrorCode::kInvalidArgument, "iommu map not page aligned");
   }
@@ -166,6 +175,7 @@ Status Iommu::Map(uint16_t source_id, uint64_t iova, uint64_t paddr, uint64_t le
 }
 
 Status Iommu::Unmap(uint16_t source_id, uint64_t iova, uint64_t len) {
+  std::lock_guard<SpinLock> lock(mu_);
   if (!IsPageAligned(iova) || !IsPageAligned(len) || len == 0) {
     return Status(ErrorCode::kInvalidArgument, "iommu unmap not page aligned");
   }
@@ -178,13 +188,15 @@ Status Iommu::Unmap(uint16_t source_id, uint64_t iova, uint64_t len) {
     if (pte != nullptr && pte->present) {
       pte->present = false;
       it->second.mapped_pages--;
-      InvalidateIotlbPage(source_id, iova + off);
+      IotlbInvalidatePageNoCount(source_id, iova + off);
+      iotlb_stats_.invalidations++;
     }
   }
   return Status::Ok();
 }
 
 Result<uint64_t> Iommu::Translate(uint16_t source_id, uint64_t iova, uint64_t len, bool is_write) {
+  std::lock_guard<SpinLock> lock(mu_);
   auto it = contexts_.find(source_id);
   if (it == contexts_.end()) {
     return Fault(source_id, iova, is_write, "no context (device not assigned)");
@@ -233,25 +245,30 @@ Status Iommu::Fault(uint16_t source_id, uint64_t iova, bool is_write, std::strin
 }
 
 void Iommu::InvalidateIotlb(uint16_t source_id) {
+  std::lock_guard<SpinLock> lock(mu_);
   // Generation bump: every cached entry for this source goes stale at once.
   ++source_gen_[source_id];
   iotlb_stats_.invalidations++;
 }
 
 void Iommu::InvalidateIotlbPage(uint16_t source_id, uint64_t iova) {
+  std::lock_guard<SpinLock> lock(mu_);
   IotlbInvalidatePageNoCount(source_id, iova);
   iotlb_stats_.invalidations++;
 }
 
 void Iommu::QueueInvalidate(uint16_t source_id, uint64_t iova) {
+  std::lock_guard<SpinLock> lock(mu_);
   if (!queued_invalidation_) {
-    InvalidateIotlbPage(source_id, iova);
+    IotlbInvalidatePageNoCount(source_id, iova);
+    iotlb_stats_.invalidations++;
     return;
   }
   invalidation_queue_.emplace_back(source_id, PageAlignDown(iova));
 }
 
 void Iommu::SyncInvalidations() {
+  std::lock_guard<SpinLock> lock(mu_);
   for (const auto& [source_id, iova] : invalidation_queue_) {
     IotlbInvalidatePageNoCount(source_id, iova);
   }
@@ -267,6 +284,7 @@ Status Iommu::SetInterruptRemapEntry(uint16_t source_id, uint8_t requested_vecto
   if (!interrupt_remapping_) {
     return Status(ErrorCode::kUnavailable, "interrupt remapping not supported/enabled");
   }
+  std::lock_guard<SpinLock> lock(mu_);
   irte_[{source_id, requested_vector}] = mapped_vector;
   return Status::Ok();
 }
@@ -275,6 +293,7 @@ Result<uint8_t> Iommu::RemapInterrupt(uint16_t source_id, uint8_t requested_vect
   if (!interrupt_remapping_) {
     return requested_vector;
   }
+  std::lock_guard<SpinLock> lock(mu_);
   auto it = irte_.find({source_id, requested_vector});
   if (it == irte_.end() || !it->second.has_value()) {
     SUD_LOG(kAttack) << "interrupt remapping blocked vector " << int{requested_vector}
@@ -291,6 +310,7 @@ bool Iommu::AllowsMsiWrite(uint16_t source_id) {
     return true;
   }
   // AMD-Vi: the MSI page translates like anything else.
+  std::lock_guard<SpinLock> lock(mu_);
   auto it = contexts_.find(source_id);
   if (it == contexts_.end()) {
     return false;
@@ -300,6 +320,7 @@ bool Iommu::AllowsMsiWrite(uint16_t source_id) {
 }
 
 std::vector<IoMapping> Iommu::WalkMappings(uint16_t source_id) const {
+  std::lock_guard<SpinLock> lock(mu_);
   std::vector<IoMapping> out;
   auto it = contexts_.find(source_id);
   if (it == contexts_.end()) {
@@ -349,6 +370,7 @@ std::vector<IoMapping> Iommu::WalkMappings(uint16_t source_id) const {
 }
 
 uint64_t Iommu::MappedBytes(uint16_t source_id) const {
+  std::lock_guard<SpinLock> lock(mu_);
   auto it = contexts_.find(source_id);
   if (it == contexts_.end()) {
     return 0;

@@ -28,8 +28,10 @@
 
 #include <array>
 #include <cstdint>
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -206,6 +208,25 @@ class Iommu {
   IommuMode mode_;
   CpuModel* cpu_;
   SimClock* clock_;
+  // Serializes the data path (Translate: IOTLB probe/fill, fault log) and the
+  // mutators against each other: with multi-queue NICs, descriptor and buffer
+  // DMA translates concurrently from every queue's pump thread. A spinlock
+  // rather than std::mutex: the critical section is a handful of array
+  // probes (tens of nanoseconds), Translate runs several times per packet on
+  // every DMA path, and the uncontended fast path must stay cheap enough
+  // that the single-queue configuration pays almost nothing for it.
+  class SpinLock {
+   public:
+    void lock() {
+      while (flag_.test_and_set(std::memory_order_acquire)) {
+      }
+    }
+    void unlock() { flag_.clear(std::memory_order_release); }
+
+   private:
+    std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+  };
+  mutable SpinLock mu_;
   std::map<uint16_t, Context> contexts_;
 
   IotlbGeometry iotlb_geometry_{};

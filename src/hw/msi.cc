@@ -14,13 +14,13 @@ Status MsiController::HandleWrite(uint16_t source_id, uint64_t addr, uint16_t da
   if (iommu_ != nullptr) {
     Result<uint8_t> remapped = iommu_->RemapInterrupt(source_id, requested_vector);
     if (!remapped.ok()) {
-      ++blocked_;
+      blocked_.fetch_add(1, std::memory_order_relaxed);
       return remapped.status();
     }
     vector = remapped.value();
   }
-  ++delivered_[vector];
-  ++total_delivered_;
+  delivered_[vector].fetch_add(1, std::memory_order_relaxed);
+  total_delivered_.fetch_add(1, std::memory_order_relaxed);
   if (handler_) {
     handler_(vector, source_id);
   }

@@ -12,9 +12,10 @@
 #ifndef SUD_SRC_HW_MSI_H_
 #define SUD_SRC_HW_MSI_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <map>
 
 #include "src/base/status.h"
 #include "src/hw/iommu.h"
@@ -36,23 +37,26 @@ class MsiController {
   Status HandleWrite(uint16_t source_id, uint64_t addr, uint16_t data);
 
   uint64_t delivered(uint8_t vector) const {
-    auto it = delivered_.find(vector);
-    return it == delivered_.end() ? 0 : it->second;
+    return delivered_[vector].load(std::memory_order_relaxed);
   }
-  uint64_t total_delivered() const { return total_delivered_; }
-  uint64_t blocked() const { return blocked_; }
+  uint64_t total_delivered() const { return total_delivered_.load(std::memory_order_relaxed); }
+  uint64_t blocked() const { return blocked_.load(std::memory_order_relaxed); }
   void ResetCounters() {
-    delivered_.clear();
-    total_delivered_ = 0;
-    blocked_ = 0;
+    for (auto& count : delivered_) {
+      count.store(0, std::memory_order_relaxed);
+    }
+    total_delivered_.store(0, std::memory_order_relaxed);
+    blocked_.store(0, std::memory_order_relaxed);
   }
 
  private:
   Iommu* iommu_;
   InterruptHandler handler_;
-  std::map<uint8_t, uint64_t> delivered_;
-  uint64_t total_delivered_ = 0;
-  uint64_t blocked_ = 0;
+  // Per-vector counters are relaxed atomics: with per-queue MSI vectors the
+  // doorbell is written concurrently from every queue's pump thread.
+  std::array<std::atomic<uint64_t>, 256> delivered_{};
+  std::atomic<uint64_t> total_delivered_{0};
+  std::atomic<uint64_t> blocked_{0};
 };
 
 }  // namespace sud::hw

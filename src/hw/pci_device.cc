@@ -34,16 +34,21 @@ Status PciDevice::DmaWrite(uint64_t addr, ConstByteSpan data) {
   return port_->DmaWrite(effective_source_id(), addr, data);
 }
 
-Status PciDevice::RaiseMsi() {
+Status PciDevice::RaiseMsi(uint8_t vector_index) {
   if (!config_.msi_enabled()) {
     return Status::Ok();  // interrupt dropped, per spec (no INTx in this model)
   }
+  if (vector_index >= 32) {
+    return Status(ErrorCode::kInvalidArgument, name_ + ": msi vector index out of range");
+  }
   if (config_.msi_masked()) {
-    msi_pending_ = true;
+    msi_pending_mask_.fetch_or(1u << vector_index, std::memory_order_relaxed);
     return Status::Ok();
   }
   uint8_t payload[2];
-  StoreLe16(payload, config_.msi_data());
+  // Multiple-message MSI: the function substitutes the message index into
+  // the low bits of the data payload.
+  StoreLe16(payload, static_cast<uint16_t>(config_.msi_data() + vector_index));
   // MSI writes are posted memory writes: they traverse the same fabric path
   // as any DMA, which is why a stray DMA to the MSI address is
   // indistinguishable from a real interrupt (Section 3.2.2).
@@ -51,11 +56,13 @@ Status PciDevice::RaiseMsi() {
 }
 
 Status PciDevice::FirePendingMsi() {
-  if (!msi_pending_) {
-    return Status::Ok();
+  uint32_t pending = msi_pending_mask_.exchange(0, std::memory_order_relaxed);
+  while (pending != 0) {
+    uint8_t index = static_cast<uint8_t>(__builtin_ctz(pending));
+    pending &= pending - 1;
+    SUD_RETURN_IF_ERROR(RaiseMsi(index));
   }
-  msi_pending_ = false;
-  return RaiseMsi();
+  return Status::Ok();
 }
 
 }  // namespace sud::hw

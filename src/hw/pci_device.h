@@ -14,6 +14,7 @@
 #ifndef SUD_SRC_HW_PCI_DEVICE_H_
 #define SUD_SRC_HW_PCI_DEVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -101,9 +102,18 @@ class PciDevice {
   // masking, remapping and the stray-DMA-to-MSI-address unification all
   // behave as on real hardware. No-op (returns ok) when MSI disabled/masked;
   // records a pending bit that fires on unmask, per PCI spec.
-  Status RaiseMsi();
-  bool msi_pending() const { return msi_pending_; }
-  // Called by the safe-PCI layer after unmasking to deliver a pended MSI.
+  //
+  // Multi-message MSI (the multi-queue interrupt fabric): `vector_index`
+  // selects one of the function's messages by adding the index to the data
+  // payload's low byte, exactly how a multiple-message-enabled function
+  // modifies its data field per the PCI spec. Index 0 is the classic
+  // single-message behaviour. The kernel side must have allocated a
+  // contiguous vector range (Kernel::AllocIrqVectorRange).
+  Status RaiseMsi() { return RaiseMsi(0); }
+  Status RaiseMsi(uint8_t vector_index);
+  bool msi_pending() const { return msi_pending_mask_.load(std::memory_order_relaxed) != 0; }
+  // Called by the safe-PCI layer after unmasking to deliver pended MSIs
+  // (one fabric write per pended vector).
   Status FirePendingMsi();
 
  private:
@@ -117,7 +127,9 @@ class PciDevice {
   PciAddress address_;
   DmaPort* port_ = nullptr;
   std::optional<uint16_t> spoofed_source_id_;
-  bool msi_pending_ = false;
+  // One pending bit per multi-message vector index (up to 32 messages).
+  // Atomic: queue pump threads pend concurrently while another unmasks.
+  std::atomic<uint32_t> msi_pending_mask_{0};
 };
 
 }  // namespace sud::hw

@@ -1,5 +1,6 @@
 #include "src/hw/phys_mem.h"
 
+#include <atomic>
 #include <cstring>
 
 namespace sud::hw {
@@ -23,6 +24,14 @@ Status PhysicalMemory::Write(uint64_t paddr, ConstByteSpan data) {
   if (paddr + data.size() > bytes_.size() || paddr + data.size() < paddr) {
     return Status(ErrorCode::kInvalidArgument,
                   "physical write out of range at " + Hex(paddr));
+  }
+  if (data.size() == 1) {
+    // Single-byte DMA writes publish with release semantics: devices use
+    // them as the descriptor-done flag (DD written last, as real NICs do),
+    // and a driver polling from another thread pairs it with an acquire
+    // load of that byte.
+    std::atomic_ref<uint8_t>(bytes_[paddr]).store(data[0], std::memory_order_release);
+    return Status::Ok();
   }
   std::memcpy(bytes_.data() + paddr, data.data(), data.size());
   return Status::Ok();

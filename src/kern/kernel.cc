@@ -35,15 +35,38 @@ Result<uint8_t> Kernel::AllocIrqVector() {
   return Status(ErrorCode::kExhausted, "no free interrupt vectors");
 }
 
+Result<uint8_t> Kernel::AllocIrqVectorRange(uint8_t count) {
+  if (count == 0) {
+    return Status(ErrorCode::kInvalidArgument, "zero-length vector range");
+  }
+  // First-fit scan over 32..254 without wrapping: a multi-message range must
+  // be contiguous in vector space.
+  for (int base = 32; base + count <= 255; ++base) {
+    bool free = true;
+    for (int v = base; v < base + count; ++v) {
+      if (irq_handlers_.count(static_cast<uint8_t>(v)) != 0) {
+        free = false;
+        base = v;  // skip past the collision
+        break;
+      }
+    }
+    if (free) {
+      next_vector_ = static_cast<uint8_t>(base + count);
+      return static_cast<uint8_t>(base);
+    }
+  }
+  return Status(ErrorCode::kExhausted, "no contiguous free interrupt vector range");
+}
+
 void Kernel::HandleInterrupt(uint8_t vector, uint16_t source_id) {
   auto it = irq_handlers_.find(vector);
   if (it == irq_handlers_.end()) {
-    ++spurious_interrupts_;
+    spurious_interrupts_.fetch_add(1, std::memory_order_relaxed);
     SUD_LOG(kWarning) << "spurious interrupt vector " << int{vector} << " from source "
                       << Hex(source_id);
     return;
   }
-  ++interrupts_handled_;
+  interrupts_handled_.fetch_add(1, std::memory_order_relaxed);
   // Interrupt handlers run in a non-preemptable context, like real Linux.
   ScopedAtomic atomic(*this);
   it->second(source_id);

@@ -10,6 +10,7 @@
 #ifndef SUD_SRC_KERN_KERNEL_H_
 #define SUD_SRC_KERN_KERNEL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -43,15 +44,26 @@ class Kernel {
   Status FreeIrq(uint8_t vector);
   // Allocates a free vector (32..254).
   Result<uint8_t> AllocIrqVector();
-  uint64_t interrupts_handled() const { return interrupts_handled_; }
-  uint64_t spurious_interrupts() const { return spurious_interrupts_; }
+  // Allocates `count` *contiguous* free vectors and returns the base — what
+  // multi-message MSI requires: a multi-queue function signals queue q by
+  // adding q to its data payload, so vectors base..base+count-1 must all
+  // route to that device.
+  Result<uint8_t> AllocIrqVectorRange(uint8_t count);
+  uint64_t interrupts_handled() const {
+    return interrupts_handled_.load(std::memory_order_relaxed);
+  }
+  uint64_t spurious_interrupts() const {
+    return spurious_interrupts_.load(std::memory_order_relaxed);
+  }
 
   // --- non-preemptable context tracking.
-  bool InAtomicContext() const { return atomic_depth_ > 0; }
+  bool InAtomicContext() const { return atomic_depth_.load(std::memory_order_relaxed) > 0; }
   class ScopedAtomic {
    public:
-    explicit ScopedAtomic(Kernel& kernel) : kernel_(kernel) { ++kernel_.atomic_depth_; }
-    ~ScopedAtomic() { --kernel_.atomic_depth_; }
+    explicit ScopedAtomic(Kernel& kernel) : kernel_(kernel) {
+      kernel_.atomic_depth_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~ScopedAtomic() { kernel_.atomic_depth_.fetch_sub(1, std::memory_order_relaxed); }
 
    private:
     Kernel& kernel_;
@@ -68,9 +80,12 @@ class Kernel {
   InputSubsystem input_;
   std::map<uint8_t, IrqHandler> irq_handlers_;
   uint8_t next_vector_ = 32;
-  uint64_t interrupts_handled_ = 0;
-  uint64_t spurious_interrupts_ = 0;
-  int atomic_depth_ = 0;
+  // Interrupts are delivered from every queue's pump thread under the
+  // multi-queue NIC model; counters and the atomic-context depth are relaxed
+  // atomics so dispatch stays lock-free.
+  std::atomic<uint64_t> interrupts_handled_{0};
+  std::atomic<uint64_t> spurious_interrupts_{0};
+  std::atomic<int> atomic_depth_{0};
 };
 
 }  // namespace sud::kern

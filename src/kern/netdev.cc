@@ -116,23 +116,46 @@ Result<size_t> NetSubsystem::TransmitBatch(NetDevice* device, std::vector<SkbPtr
     return Status(ErrorCode::kUnavailable, device->name() + " is down");
   }
   size_t total = skbs.size();
-  size_t accepted = device->ops()->StartXmitBatch(std::move(skbs));
+  size_t accepted = 0;
+  if (device->num_queues() <= 1) {
+    // Single-queue: the whole burst in one driver call (the classic path).
+    accepted = device->ops()->StartXmitBatch(std::move(skbs), 0);
+    device->queue_stats(0).tx_packets += accepted;
+  } else {
+    // RSS-style transmit steering: partition the burst by flow hash, one
+    // StartXmitBatch per non-empty queue. Flows stay ordered (a flow always
+    // hashes to the same queue); cross-flow order across queues is
+    // deliberately unordered, as on real multi-queue hardware.
+    std::array<std::vector<SkbPtr>, kNetMaxQueues> per_queue;
+    for (SkbPtr& skb : skbs) {
+      uint16_t queue = FlowQueue(skb->span(), device->num_queues());
+      per_queue[queue].push_back(std::move(skb));
+    }
+    for (uint16_t q = 0; q < device->num_queues(); ++q) {
+      if (per_queue[q].empty()) {
+        continue;
+      }
+      size_t queue_accepted = device->ops()->StartXmitBatch(std::move(per_queue[q]), q);
+      device->queue_stats(q).tx_packets += queue_accepted;
+      accepted += queue_accepted;
+    }
+  }
   device->stats().tx_packets += accepted;
   device->stats().tx_dropped += total - accepted;
   return accepted;
 }
 
-size_t NetSubsystem::NetifRxBatch(NetDevice* device, std::vector<SkbPtr> skbs) {
+size_t NetSubsystem::NetifRxBatch(NetDevice* device, std::vector<SkbPtr> skbs, uint16_t queue) {
   size_t accepted = 0;
   for (SkbPtr& skb : skbs) {
-    if (NetifRx(device, std::move(skb)).ok()) {
+    if (NetifRx(device, std::move(skb), queue).ok()) {
       ++accepted;
     }
   }
   return accepted;
 }
 
-Status NetSubsystem::NetifRx(NetDevice* device, SkbPtr skb) {
+Status NetSubsystem::NetifRx(NetDevice* device, SkbPtr skb, uint16_t queue) {
   if (device == nullptr || skb == nullptr) {
     return Status(ErrorCode::kInvalidArgument, "netif_rx: null device/skb");
   }
@@ -144,19 +167,25 @@ Status NetSubsystem::NetifRx(NetDevice* device, SkbPtr skb) {
     return Status(ErrorCode::kInvalidArgument, "runt packet");
   }
   // Checksum pass. Under SUD the proxy fuses its guard-copy with this pass
-  // (Section 3.1.2), so by the time the verdict below is computed the driver
-  // can no longer alter the bytes.
-  if (!view.ChecksumOk()) {
-    device->stats().rx_bad_checksum++;
-    device->stats().rx_dropped++;
-    return Status(ErrorCode::kInvalidArgument, "bad checksum");
+  // (Section 3.1.2) and delivers the skb pre-verified, so by the time the
+  // verdict below is computed the driver can no longer alter the bytes —
+  // and the stack does not traverse them a second time.
+  if (!skb->checksum_verified) {
+    if (!view.ChecksumOk()) {
+      device->stats().rx_bad_checksum++;
+      device->stats().rx_dropped++;
+      return Status(ErrorCode::kInvalidArgument, "bad checksum");
+    }
+    skb->checksum_verified = true;
   }
-  skb->checksum_verified = true;
   if (!firewall_.Accept(view)) {
     device->stats().rx_dropped++;
     return Status(ErrorCode::kPermissionDenied, "firewall rejected packet");
   }
   device->stats().rx_packets++;
+  if (queue < kNetMaxQueues) {
+    device->queue_stats(queue).rx_packets++;
+  }
   if (device->rx_sink()) {
     device->rx_sink()(*skb);
   }

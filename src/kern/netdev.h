@@ -18,6 +18,7 @@
 #define SUD_SRC_KERN_NETDEV_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -39,11 +40,14 @@ class NetDeviceOps {
   virtual Status Open() = 0;                              // ndo_open
   virtual Status Stop() = 0;                              // ndo_stop
   virtual Status StartXmit(SkbPtr skb) = 0;               // ndo_start_xmit
-  // NAPI-style transmit burst: hand a whole array of frames to the driver in
-  // one call. Returns how many frames the driver accepted (a full queue drops
-  // the tail). The default forwards one by one; batching drivers (the SUD
-  // Ethernet proxy) override it to amortize the per-crossing cost.
-  virtual size_t StartXmitBatch(std::vector<SkbPtr> skbs) {
+  // NAPI-style transmit burst for TX queue `queue`: hand a whole array of
+  // frames (already steered to that queue by the caller's flow hash) to the
+  // driver in one call. Returns how many frames the driver accepted (a full
+  // queue drops the tail). The default forwards one by one and ignores the
+  // queue; batching multi-queue drivers (the SUD Ethernet proxy) override it
+  // to amortize the per-crossing cost and to hit the queue's own channel.
+  virtual size_t StartXmitBatch(std::vector<SkbPtr> skbs, uint16_t queue) {
+    (void)queue;
     size_t accepted = 0;
     for (SkbPtr& skb : skbs) {
       if (!StartXmit(std::move(skb)).ok()) {
@@ -68,23 +72,36 @@ class Firewall {
   // Verdict over exactly the bytes passed in.
   bool Accept(const PacketView& packet) const;
 
-  uint64_t accepted() const { return accepted_; }
-  uint64_t rejected() const { return rejected_; }
+  uint64_t accepted() const { return accepted_.load(std::memory_order_relaxed); }
+  uint64_t rejected() const { return rejected_.load(std::memory_order_relaxed); }
 
  private:
   std::set<uint16_t> denied_ports_;
-  mutable uint64_t accepted_ = 0;
-  mutable uint64_t rejected_ = 0;
+  // Relaxed atomics: the verdict runs on every queue's receive thread.
+  mutable std::atomic<uint64_t> accepted_{0};
+  mutable std::atomic<uint64_t> rejected_{0};
 };
 
+// Interface counters. Relaxed atomics: with multi-queue drivers the receive
+// path runs concurrently from one thread per queue.
 struct NetDeviceStats {
-  uint64_t tx_packets = 0;
-  uint64_t tx_dropped = 0;
-  uint64_t rx_packets = 0;
-  uint64_t rx_dropped = 0;
-  uint64_t rx_bad_checksum = 0;
-  uint64_t driver_errors = 0;  // "driver acting in unexpected ways" messages
+  std::atomic<uint64_t> tx_packets{0};
+  std::atomic<uint64_t> tx_dropped{0};
+  std::atomic<uint64_t> rx_packets{0};
+  std::atomic<uint64_t> rx_dropped{0};
+  std::atomic<uint64_t> rx_bad_checksum{0};
+  std::atomic<uint64_t> driver_errors{0};  // "driver acting in unexpected ways" messages
 };
+
+// Per-queue packet counters (the per-queue accounting the multi-queue benches
+// report alongside per-shard uchan crossings).
+struct NetQueueStats {
+  std::atomic<uint64_t> tx_packets{0};
+  std::atomic<uint64_t> rx_packets{0};
+};
+
+// Upper bound on TX/RX queues per interface (matches the device models).
+inline constexpr uint16_t kNetMaxQueues = 8;
 
 // One registered network interface.
 class NetDevice {
@@ -102,9 +119,18 @@ class NetDevice {
 
   bool is_up() const { return up_; }
 
+  // TX/RX queue pairs the driver services (netif_set_real_num_tx_queues).
+  // The transmit path steers flows across [0, num_queues) by flow hash.
+  uint16_t num_queues() const { return num_queues_; }
+  void set_num_queues(uint16_t n) {
+    num_queues_ = n == 0 ? 1 : (n > kNetMaxQueues ? kNetMaxQueues : n);
+  }
+
   NetDeviceOps* ops() { return ops_; }
   NetDeviceStats& stats() { return stats_; }
   const NetDeviceStats& stats() const { return stats_; }
+  NetQueueStats& queue_stats(uint16_t queue) { return queue_stats_[queue]; }
+  const NetQueueStats& queue_stats(uint16_t queue) const { return queue_stats_[queue]; }
 
   // Receiver sink: where accepted packets go (a test harness, the netperf
   // endpoint, ...). Default discards.
@@ -119,7 +145,9 @@ class NetDevice {
   NetDeviceOps* ops_;
   bool carrier_ = false;
   bool up_ = false;
+  uint16_t num_queues_ = 1;
   NetDeviceStats stats_;
+  std::array<NetQueueStats, kNetMaxQueues> queue_stats_;
   RxSink rx_sink_;
 };
 
@@ -141,8 +169,11 @@ class NetSubsystem {
   // for callers that already hold the interface (the per-packet bench loops).
   Status Transmit(const std::string& name, SkbPtr skb);
   Status Transmit(NetDevice* device, SkbPtr skb);
-  // Burst transmit: one driver call for the whole array (the qdisc draining
-  // its queue in one go). Returns how many frames the driver accepted.
+  // Burst transmit: the qdisc draining its queue in one go. On a multi-queue
+  // interface the burst is partitioned by RSS-style flow hash (FlowQueue) and
+  // each queue's slice goes to the driver in one StartXmitBatch call on that
+  // queue — so per-queue driver threads receive disjoint work with no shared
+  // channel. Returns how many frames the driver accepted in total.
   Result<size_t> TransmitBatch(const std::string& name, std::vector<SkbPtr> skbs);
   Result<size_t> TransmitBatch(NetDevice* device, std::vector<SkbPtr> skbs);
 
@@ -150,11 +181,12 @@ class NetSubsystem {
   // packet runs the checksum pass and the firewall *on the skb as given* —
   // callers (the proxy) are responsible for ensuring the skb can no longer
   // be modified by the driver (the guard-copy).
-  Status NetifRx(NetDevice* device, SkbPtr skb);
-  // NAPI-style receive: delivers a whole poll bundle. Every packet still runs
-  // the per-packet checksum + firewall validation. Returns how many packets
-  // the stack accepted.
-  size_t NetifRxBatch(NetDevice* device, std::vector<SkbPtr> skbs);
+  Status NetifRx(NetDevice* device, SkbPtr skb) { return NetifRx(device, std::move(skb), 0); }
+  Status NetifRx(NetDevice* device, SkbPtr skb, uint16_t queue);
+  // NAPI-style receive: delivers a whole poll bundle from RX queue `queue`.
+  // Every packet still runs the per-packet checksum + firewall validation.
+  // Returns how many packets the stack accepted.
+  size_t NetifRxBatch(NetDevice* device, std::vector<SkbPtr> skbs, uint16_t queue = 0);
 
   Firewall& firewall() { return firewall_; }
 

@@ -8,10 +8,60 @@ uint16_t PacketView::ComputeChecksum() const {
   if (!valid()) {
     return 0;
   }
-  std::vector<uint8_t> scratch(frame.begin() + kEthHeaderSize, frame.end());
-  scratch[6] = 0;  // zero the checksum field (offset 20-14=6 within transport)
-  scratch[7] = 0;
-  return InternetChecksum(ConstByteSpan(scratch.data(), scratch.size()));
+  // Sum the transport header + payload in place, with the checksum field
+  // (offset 20-14=6 within the summed region) excluded — no per-packet
+  // scratch copy on the verification hot path.
+  return InternetChecksumExcludingWord(frame.subspan(kEthHeaderSize), 6);
+}
+
+bool CopyAndVerifyPacket(uint8_t* dst, ConstByteSpan frame) {
+  if (frame.size() < kPacketMinSize) {
+    if (!frame.empty()) {
+      std::memcpy(dst, frame.data(), frame.size());
+    }
+    return false;
+  }
+  std::memcpy(dst, frame.data(), kEthHeaderSize);
+  ConstByteSpan body = frame.subspan(kEthHeaderSize);
+  uint64_t raw = InternetChecksumRawCopy(dst + kEthHeaderSize, body);
+  // Every byte of the verdict comes from the PRIVATE copy — the sum from the
+  // fused pass (whose excluded-word value must likewise be read from the
+  // copy), and the stored checksum it is compared against. A concurrent
+  // attacker rewriting the shared buffer mid-copy can only corrupt what we
+  // captured, never create a copy that disagrees with its own verdict.
+  ConstByteSpan copied_body(dst + kEthHeaderSize, body.size());
+  uint16_t computed = InternetChecksumFinishExcludingWord(raw, copied_body, 6);
+  return computed == LoadLe16(dst + 20);
+}
+
+namespace {
+
+// splitmix64's finisher: cheap, well-spreading 64-bit mix.
+uint64_t Mix64(uint64_t key) {
+  key ^= key >> 30;
+  key *= 0xbf58476d1ce4e5b9ull;
+  key ^= key >> 27;
+  key *= 0x94d049bb133111ebull;
+  key ^= key >> 31;
+  return key;
+}
+
+}  // namespace
+
+uint32_t FlowHash(ConstByteSpan frame) {
+  if (frame.size() < kPacketMinSize) {
+    return 0;
+  }
+  // Hash each endpoint's identity (MAC + port) separately, then combine with
+  // XOR: commutative, so the flow's RX frames (dst=A,src=B, ports x->y) and
+  // its TX replies (dst=B,src=A, ports y->x) hash identically — the
+  // direction symmetry that pins a flow to ONE queue in both directions.
+  // Cheaper than a real Toeplitz hash but shares its spreading property.
+  uint64_t dst_endpoint = (LoadLe64(frame.data()) & 0xffffffffffffull)  // dst mac
+                          | (static_cast<uint64_t>(LoadLe16(frame.data() + 16)) << 48);
+  uint64_t src_endpoint = (LoadLe64(frame.data() + 6) & 0xffffffffffffull)  // src mac
+                          | (static_cast<uint64_t>(LoadLe16(frame.data() + 14)) << 48);
+  return static_cast<uint32_t>(Mix64(dst_endpoint) ^ Mix64(src_endpoint));
 }
 
 std::vector<uint8_t> BuildPacket(const uint8_t dst_mac[6], const uint8_t src_mac[6],

@@ -52,6 +52,25 @@ struct PacketView {
   bool ChecksumOk() const { return ComputeChecksum() == checksum(); }
 };
 
+// RSS-style flow hash over the frame's flow identity (both MACs and both
+// ports — the stand-in for the 4-tuple Toeplitz hash real NICs compute).
+// Deterministic and shared between the device model (SimNic's receive-side
+// scaling) and the kernel (transmit queue selection), so the same flow maps
+// to the same queue in both directions. Runt frames hash to 0.
+uint32_t FlowHash(ConstByteSpan frame);
+
+// The queue FlowHash steers `frame` to among `num_queues` queues.
+inline uint16_t FlowQueue(ConstByteSpan frame, uint16_t num_queues) {
+  return num_queues > 1 ? static_cast<uint16_t>(FlowHash(frame) % num_queues) : 0;
+}
+
+// Copies `frame` into `dst` (which must hold frame.size() bytes) and
+// verifies the transport checksum in the same pass — the guard copy fused
+// with the checksum pass, on the simulator's own clock and not just the
+// modeled one. Returns true iff the frame is no runt and the checksum over
+// the PRIVATE copy matches. Runts are still copied in full.
+bool CopyAndVerifyPacket(uint8_t* dst, ConstByteSpan frame);
+
 // Builds a well-formed frame.
 std::vector<uint8_t> BuildPacket(const uint8_t dst_mac[6], const uint8_t src_mac[6],
                                  uint16_t src_port, uint16_t dst_port, ConstByteSpan payload);

@@ -3,11 +3,18 @@
 // Deliberately shaped like struct sk_buff where the paper's driver API needs
 // it (Figure 2 uses skb->data / skb->data_len): owned byte storage plus the
 // metadata the stack tracks per packet.
+//
+// Storage layout: frames up to kInlineCapacity (2 KB — every normal Ethernet
+// frame) live in an inline buffer inside the Skb itself, so MakeSkb and the
+// proxy's guard copy cost exactly one allocation (the Skb node) instead of
+// two (node + vector backing store). Jumbo payloads spill to a heap vector.
 
 #ifndef SUD_SRC_KERN_SKB_H_
 #define SUD_SRC_KERN_SKB_H_
 
+#include <array>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -17,21 +24,57 @@
 namespace sud::kern {
 
 struct Skb {
-  std::vector<uint8_t> storage;
+  // Covers the 1518-byte Ethernet maximum with headroom; anything larger is
+  // a jumbo frame and may pay the heap allocation.
+  static constexpr size_t kInlineCapacity = 2048;
+
   // Set by the receive path once the checksum pass has run (the guard-copy
   // is fused with this pass, Section 3.1.2).
   bool checksum_verified = false;
 
   Skb() = default;
-  explicit Skb(std::vector<uint8_t> bytes) : storage(std::move(bytes)) {}
-  explicit Skb(ConstByteSpan bytes) : storage(bytes.begin(), bytes.end()) {}
+  explicit Skb(std::vector<uint8_t> bytes) : heap_(std::move(bytes)), len_(heap_.size()) {}
+  explicit Skb(ConstByteSpan bytes) { Assign(bytes); }
 
-  uint8_t* data() { return storage.data(); }
-  const uint8_t* data() const { return storage.data(); }
-  size_t data_len() const { return storage.size(); }
-  ConstByteSpan span() const { return ConstByteSpan(storage.data(), storage.size()); }
-  ByteSpan mutable_span() { return ByteSpan(storage.data(), storage.size()); }
+  void Assign(ConstByteSpan bytes) {
+    len_ = bytes.size();
+    if (len_ <= kInlineCapacity) {
+      heap_.clear();
+      if (len_ > 0) {
+        std::memcpy(inline_.data(), bytes.data(), len_);
+      }
+    } else {
+      heap_.assign(bytes.begin(), bytes.end());
+    }
+  }
+
+  // Guard copy fused with checksum verification (Section 3.1.2, for real):
+  // assigns `bytes` and validates the transport checksum over the private
+  // copy in the same pass, setting checksum_verified accordingly. Returns
+  // false for runts and checksum mismatches.
+  bool AssignAndVerifyChecksum(ConstByteSpan bytes) {
+    len_ = bytes.size();
+    if (len_ <= kInlineCapacity) {
+      heap_.clear();
+      checksum_verified = CopyAndVerifyPacket(inline_.data(), bytes);
+    } else {
+      heap_.resize(len_);
+      checksum_verified = CopyAndVerifyPacket(heap_.data(), bytes);
+    }
+    return checksum_verified;
+  }
+
+  uint8_t* data() { return heap_.empty() ? inline_.data() : heap_.data(); }
+  const uint8_t* data() const { return heap_.empty() ? inline_.data() : heap_.data(); }
+  size_t data_len() const { return len_; }
+  ConstByteSpan span() const { return ConstByteSpan(data(), len_); }
+  ByteSpan mutable_span() { return ByteSpan(data(), len_); }
   PacketView view() const { return PacketView{span()}; }
+
+ private:
+  std::array<uint8_t, kInlineCapacity> inline_;
+  std::vector<uint8_t> heap_;  // jumbo overflow only
+  size_t len_ = 0;
 };
 
 using SkbPtr = std::unique_ptr<Skb>;

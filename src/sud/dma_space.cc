@@ -20,9 +20,17 @@ Result<DmaRegion> DmaSpace::Alloc(uint64_t bytes, bool coherent) {
   }
   next_iova_ += rounded;
   DmaRegion region{iova, paddr.value(), rounded, coherent};
+  // Resolve the host window once: the steady-state HostView is then pure
+  // pointer arithmetic off the cached base.
+  Result<ByteSpan> window = dram_->Window(region.paddr, region.bytes);
+  if (!window.ok()) {
+    (void)iommu_->Unmap(source_id_, iova, rounded);
+    dram_->FreePages(paddr.value(), rounded / hw::kPageSize);
+    return window.status();
+  }
+  region.host_base = window.value().data();
   regions_[iova] = region;
-  mru_region_ = nullptr;  // the map may have rebalanced; drop the cached node
-  mru_host_base_ = nullptr;
+  mru_region_.store(nullptr, std::memory_order_release);  // map may have rebalanced
   return region;
 }
 
@@ -35,8 +43,7 @@ Status DmaSpace::Free(uint64_t iova) {
   (void)iommu_->Unmap(source_id_, region.iova, region.bytes);
   dram_->FreePages(region.paddr, region.bytes / hw::kPageSize);
   regions_.erase(it);
-  mru_region_ = nullptr;
-  mru_host_base_ = nullptr;
+  mru_region_.store(nullptr, std::memory_order_release);
   return Status::Ok();
 }
 
@@ -44,9 +51,9 @@ const DmaRegion* DmaSpace::FindRegion(uint64_t iova, uint64_t len) const {
   if (iova + len < iova) {
     return nullptr;  // length overflow can never land inside a region
   }
-  if (mru_region_ != nullptr && iova >= mru_region_->iova &&
-      iova + len <= mru_region_->iova + mru_region_->bytes) {
-    return mru_region_;
+  const DmaRegion* hint = mru_region_.load(std::memory_order_acquire);
+  if (hint != nullptr && iova >= hint->iova && iova + len <= hint->iova + hint->bytes) {
+    return hint;
   }
   auto it = regions_.upper_bound(iova);
   if (it == regions_.begin()) {
@@ -57,8 +64,7 @@ const DmaRegion* DmaSpace::FindRegion(uint64_t iova, uint64_t len) const {
   if (iova < region.iova || iova + len > region.iova + region.bytes) {
     return nullptr;
   }
-  mru_region_ = &region;
-  mru_host_base_ = nullptr;
+  mru_region_.store(&region, std::memory_order_release);
   return &region;
 }
 
@@ -67,14 +73,7 @@ Result<ByteSpan> DmaSpace::HostView(uint64_t iova, uint64_t len) {
   if (region == nullptr) {
     return Status(ErrorCode::kNotFound, "iova range not in any dma region");
   }
-  if (mru_host_base_ == nullptr) {
-    Result<ByteSpan> window = dram_->Window(region->paddr, region->bytes);
-    if (!window.ok()) {
-      return window.status();
-    }
-    mru_host_base_ = window.value().data();
-  }
-  return ByteSpan(mru_host_base_ + (iova - region->iova), len);
+  return ByteSpan(region->host_base + (iova - region->iova), len);
 }
 
 Result<uint64_t> DmaSpace::IovaToPaddr(uint64_t iova) const {
@@ -91,8 +90,7 @@ void DmaSpace::ReleaseAll() {
     dram_->FreePages(region.paddr, region.bytes / hw::kPageSize);
   }
   regions_.clear();
-  mru_region_ = nullptr;
-  mru_host_base_ = nullptr;
+  mru_region_.store(nullptr, std::memory_order_release);
 }
 
 uint64_t DmaSpace::total_bytes() const {

@@ -17,6 +17,7 @@
 #ifndef SUD_SRC_SUD_DMA_SPACE_H_
 #define SUD_SRC_SUD_DMA_SPACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -34,6 +35,9 @@ struct DmaRegion {
   uint64_t paddr = 0;
   uint64_t bytes = 0;
   bool coherent = false;
+  // Host pointer to the region's backing DRAM window, resolved once at Alloc
+  // so the per-packet HostView is pure pointer arithmetic.
+  uint8_t* host_base = nullptr;
 };
 
 class DmaSpace {
@@ -59,7 +63,11 @@ class DmaSpace {
   // The driver's view of a region's memory (host pointer into DRAM).
   // Steady-state lookups hit a one-entry MRU region cache (packet paths call
   // this once or more per packet); only the first touch of a region walks
-  // the region map.
+  // the region map. Thread-safe against concurrent lookups: multi-queue
+  // packet paths resolve views from one thread per queue, and the region map
+  // itself only changes at probe/teardown time (no concurrent Alloc/Free
+  // against lookups — same contract as real dma_alloc_coherent vs the
+  // datapath).
   Result<ByteSpan> HostView(uint64_t iova, uint64_t len);
 
   // Translate a driver virtual address (== IOVA) to the backing paddr.
@@ -80,11 +88,12 @@ class DmaSpace {
   uint16_t source_id_;
   uint64_t next_iova_;
   std::map<uint64_t, DmaRegion> regions_;  // keyed by iova
-  // MRU cache of the last region FindRegion resolved, plus its host window
-  // base; invalidated on Free/ReleaseAll. Mutable: lookups are logically
-  // const.
-  mutable const DmaRegion* mru_region_ = nullptr;
-  mutable uint8_t* mru_host_base_ = nullptr;
+  // MRU cache of the last region FindRegion resolved (the region carries its
+  // own host base); invalidated on Free/ReleaseAll. An atomic pointer rather
+  // than a plain one: per-queue pump threads race on it, and a stale or torn
+  // hint is harmless because every hit re-validates the range against the
+  // (stable) region object.
+  mutable std::atomic<const DmaRegion*> mru_region_{nullptr};
 };
 
 }  // namespace sud

@@ -15,16 +15,30 @@
 namespace sud {
 
 // ---- Ethernet class ---------------------------------------------------------
+// Queue discipline: with a sharded uchan (one ring pair per NIC queue),
+// packet-path messages travel the shard of the queue they belong to — xmit
+// upcalls on the TX queue's shard, netif_rx and free-buffer downcalls on the
+// RX/TX queue's shard — while control traffic (open/stop/ioctl, register,
+// carrier) rides shard 0. Kernel-side handlers trust the *shard* a message
+// arrived on, never a queue index the driver marshalled.
+//
 // Upcalls (kernel -> driver).
 inline constexpr uint32_t kEthUpOpen = kOpDeviceClassBase + 0;    // "net_open" (sync)
 inline constexpr uint32_t kEthUpStop = kOpDeviceClassBase + 1;    // (sync)
+// args[0]: TX queue the kernel steered the frame to (== the shard it rides).
 inline constexpr uint32_t kEthUpXmit = kOpDeviceClassBase + 2;    // (async, shared buffer)
 inline constexpr uint32_t kEthUpIoctl = kOpDeviceClassBase + 3;   // "ioctl" (sync)
 // Downcalls (driver -> kernel).
-inline constexpr uint32_t kEthDownRegisterNetdev = kOpDownDeviceClassBase + 0;  // mac in inline_data
+// args[0]: number of TX/RX queues the driver services; mac in inline_data.
+inline constexpr uint32_t kEthDownRegisterNetdev = kOpDownDeviceClassBase + 0;
+// args[0]: frame iova, args[1]: length. Delivered on the RX queue's shard.
 inline constexpr uint32_t kEthDownNetifRx = kOpDownDeviceClassBase + 1;  // "netif_rx" (async, buffer)
 inline constexpr uint32_t kEthDownSetCarrier = kOpDownDeviceClassBase + 2;  // args[0]: 0/1 (mirror)
-inline constexpr uint32_t kEthDownFreeBuffer = kOpDownDeviceClassBase + 3;  // args[0]: buffer id
+// Single layout: args[0]: buffer id, inline_data empty (the legacy message).
+// Coalesced layout (TX completion batching): args[0]: id count, inline_data:
+// that many little-endian int32 buffer ids — one message per reap pass
+// instead of one per transmitted buffer.
+inline constexpr uint32_t kEthDownFreeBuffer = kOpDownDeviceClassBase + 3;
 
 // ---- Wireless class ---------------------------------------------------------
 inline constexpr uint32_t kWifiUpScan = kOpDeviceClassBase + 16;            // (sync)

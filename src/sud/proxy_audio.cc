@@ -8,7 +8,7 @@ namespace sud {
 
 AudioProxy::AudioProxy(kern::Kernel* kernel, SudDeviceContext* ctx)
     : kernel_(kernel), ctx_(ctx) {
-  ctx_->set_downcall_handler([this](UchanMsg& msg) { HandleDowncall(msg); });
+  ctx_->set_downcall_handler([this](UchanMsg& msg, uint16_t /*queue*/) { HandleDowncall(msg); });
 }
 
 Status AudioProxy::OpenStream(const kern::PcmConfig& config) {

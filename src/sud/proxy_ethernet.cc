@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/base/bytes.h"
 #include "src/base/log.h"
 #include "src/devices/ether_link.h"
 
@@ -9,8 +10,9 @@ namespace sud {
 
 EthernetProxy::EthernetProxy(kern::Kernel* kernel, SudDeviceContext* ctx, Options options)
     : kernel_(kernel), ctx_(ctx), options_(options) {
-  ctx_->set_downcall_handler([this](UchanMsg& msg) { HandleDowncall(msg); });
-  ctx_->set_downcall_flush_handler([this]() { DeliverRxBundle(); });
+  ctx_->set_downcall_handler(
+      [this](UchanMsg& msg, uint16_t shard) { HandleDowncall(msg, shard); });
+  ctx_->set_downcall_flush_handler([this](uint16_t shard) { DeliverRxBundle(shard); });
 }
 
 Status EthernetProxy::Open() {
@@ -37,18 +39,19 @@ Status EthernetProxy::Stop() {
 }
 
 void EthernetProxy::NoteXmitFull() {
-  if (++consecutive_full_ >= options_.hung_threshold) {
-    ++stats_.hung_reports;
+  if (consecutive_full_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+      options_.hung_threshold) {
+    stats_.hung_reports.fetch_add(1, std::memory_order_relaxed);
     SUD_LOG(kWarning) << "ethernet driver not consuming buffers; reporting hung";
-    consecutive_full_ = 0;
+    consecutive_full_.store(0, std::memory_order_relaxed);
   }
 }
 
-Status EthernetProxy::PrepareXmit(const kern::Skb& skb, UchanMsg* msg) {
+Status EthernetProxy::PrepareXmit(const kern::Skb& skb, UchanMsg* msg, uint16_t queue) {
   CpuModel& cpu = kernel_->machine().cpu();
   Result<int32_t> buffer_id = ctx_->pool().Alloc();
   if (!buffer_id.ok()) {
-    ++stats_.xmit_dropped;
+    stats_.xmit_dropped.fetch_add(1, std::memory_order_relaxed);
     NoteXmitFull();
     return Status(ErrorCode::kQueueFull, "no shared buffers (driver slow or hung)");
   }
@@ -65,37 +68,43 @@ Status EthernetProxy::PrepareXmit(const kern::Skb& skb, UchanMsg* msg) {
   cpu.ChargeBytes(kAccountKernel, cpu.costs().per_byte_copy, len);
 
   msg->opcode = kEthUpXmit;
+  msg->args[0] = queue;
   msg->buffer_id = buffer_id.value();
   msg->buffer_len = static_cast<uint32_t>(len);
   return Status::Ok();
 }
 
 Status EthernetProxy::StartXmit(kern::SkbPtr skb) {
+  uint16_t queue =
+      netdev_ != nullptr ? kern::FlowQueue(skb->span(), netdev_->num_queues()) : 0;
   UchanMsg msg;
-  SUD_RETURN_IF_ERROR(PrepareXmit(*skb, &msg));
+  SUD_RETURN_IF_ERROR(PrepareXmit(*skb, &msg, queue));
   int32_t buffer_id = msg.buffer_id;
-  Status status = ctx_->ctl().SendAsync(std::move(msg));
+  Status status = ctx_->ctl(queue).SendAsync(std::move(msg));
   if (!status.ok()) {
     ctx_->pool().Free(buffer_id);
-    ++stats_.xmit_dropped;
+    stats_.xmit_dropped.fetch_add(1, std::memory_order_relaxed);
     if (status.code() == ErrorCode::kQueueFull) {
       NoteXmitFull();
     }
     return status;
   }
-  consecutive_full_ = 0;
-  ++stats_.xmit_upcalls;
+  consecutive_full_.store(0, std::memory_order_relaxed);
+  stats_.xmit_upcalls.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
-size_t EthernetProxy::StartXmitBatch(std::vector<kern::SkbPtr> skbs) {
+size_t EthernetProxy::StartXmitBatch(std::vector<kern::SkbPtr> skbs, uint16_t queue) {
+  if (queue >= ctx_->num_queues()) {
+    queue = 0;
+  }
   // Stage every frame first, so the whole array crosses in one enqueue.
   std::vector<UchanMsg> msgs;
   msgs.reserve(skbs.size());
   Status staging = Status::Ok();
   for (kern::SkbPtr& skb : skbs) {
     UchanMsg msg;
-    staging = PrepareXmit(*skb, &msg);
+    staging = PrepareXmit(*skb, &msg, queue);
     if (!staging.ok()) {
       break;  // pool exhausted: the tail of the burst is dropped
     }
@@ -105,7 +114,7 @@ size_t EthernetProxy::StartXmitBatch(std::vector<kern::SkbPtr> skbs) {
     // Each frame behind the failing one would have hit the same empty pool:
     // account them like the per-packet path would (drop + hung detection).
     for (size_t rest = msgs.size() + 1; rest < skbs.size(); ++rest) {
-      ++stats_.xmit_dropped;
+      stats_.xmit_dropped.fetch_add(1, std::memory_order_relaxed);
       NoteXmitFull();
     }
   }
@@ -117,13 +126,13 @@ size_t EthernetProxy::StartXmitBatch(std::vector<kern::SkbPtr> skbs) {
   for (const UchanMsg& msg : msgs) {
     buffer_ids.push_back(msg.buffer_id);
   }
-  ++stats_.xmit_batches;
-  Result<size_t> enqueued = ctx_->ctl().SendAsyncBatch(std::move(msgs));
+  stats_.xmit_batches.fetch_add(1, std::memory_order_relaxed);
+  Result<size_t> enqueued = ctx_->ctl(queue).SendAsyncBatch(std::move(msgs));
   if (!enqueued.ok()) {
     for (int32_t id : buffer_ids) {
       ctx_->pool().Free(id);
     }
-    stats_.xmit_dropped += buffer_ids.size();
+    stats_.xmit_dropped.fetch_add(buffer_ids.size(), std::memory_order_relaxed);
     return 0;
   }
   // Reclaim the buffers of the ring-full tail.
@@ -131,12 +140,12 @@ size_t EthernetProxy::StartXmitBatch(std::vector<kern::SkbPtr> skbs) {
     ctx_->pool().Free(buffer_ids[i]);
   }
   size_t dropped = buffer_ids.size() - enqueued.value();
-  stats_.xmit_dropped += dropped;
-  stats_.xmit_upcalls += enqueued.value();
+  stats_.xmit_dropped.fetch_add(dropped, std::memory_order_relaxed);
+  stats_.xmit_upcalls.fetch_add(enqueued.value(), std::memory_order_relaxed);
   if (dropped > 0) {
     NoteXmitFull();
   } else if (enqueued.value() > 0) {
-    consecutive_full_ = 0;
+    consecutive_full_.store(0, std::memory_order_relaxed);
   }
   return enqueued.value();
 }
@@ -155,17 +164,33 @@ Result<std::string> EthernetProxy::Ioctl(uint32_t cmd) {
   return std::string(reply.value().inline_data.begin(), reply.value().inline_data.end());
 }
 
-void EthernetProxy::HandleDowncall(UchanMsg& msg) {
+void EthernetProxy::HandleDowncall(UchanMsg& msg, uint16_t shard) {
   switch (msg.opcode) {
     case kEthDownRegisterNetdev: {
       if (msg.inline_data.size() != 6) {
         msg.error = static_cast<int32_t>(ErrorCode::kInvalidArgument);
         return;
       }
+      // The driver's advertised queue count, clamped to the shards the
+      // kernel actually exported: a malicious count cannot grow the
+      // attack surface.
+      uint16_t queues = static_cast<uint16_t>(msg.args[0]);
+      if (queues == 0) {
+        queues = 1;
+      }
+      if (queues > ctx_->num_queues()) {
+        if (netdev_ != nullptr) {
+          netdev_->stats().driver_errors++;
+        }
+        SUD_LOG(kAttack) << "register_netdev claims " << queues
+                         << " queues but the device context has " << ctx_->num_queues();
+        queues = static_cast<uint16_t>(ctx_->num_queues());
+      }
       if (netdev_ != nullptr) {
         // A restarted driver re-registering: keep the existing interface and
         // refresh the MAC (shadow-driver-style recovery, Section 2).
         netdev_->set_dev_addr(msg.inline_data.data());
+        netdev_->set_num_queues(queues);
         msg.error = 0;
         return;
       }
@@ -177,26 +202,28 @@ void EthernetProxy::HandleDowncall(UchanMsg& msg) {
         return;
       }
       netdev_ = netdev.value();
+      netdev_->set_num_queues(queues);
       msg.error = 0;
       return;
     }
     case kEthDownNetifRx:
-      HandleNetifRx(msg);
+      HandleNetifRx(msg, shard);
       return;
     case kEthDownSetCarrier:
       // Shared-memory mirror update (Section 3.3): ordered with respect to
-      // other downcalls because it travels the same ring.
+      // other control downcalls because it travels the same (control) shard.
       if (netdev_ != nullptr) {
         netdev_->set_carrier(msg.args[0] != 0);
       }
       msg.error = 0;
       return;
     case kEthDownFreeBuffer:
-      ctx_->pool().Free(static_cast<int32_t>(msg.args[0]));
-      msg.error = 0;
+      HandleFreeBuffer(msg);
       return;
     case kOpInterruptAck:
-      msg.error = static_cast<int32_t>(ctx_->InterruptAck().code());
+      // The ack is for the queue whose shard carried it — not for a queue
+      // index the driver could lie about.
+      msg.error = static_cast<int32_t>(ctx_->InterruptAck(shard).code());
       return;
     case kOpRequestRegion:
       msg.error = static_cast<int32_t>(ctx_->RequestIoRegion().code());
@@ -208,8 +235,34 @@ void EthernetProxy::HandleDowncall(UchanMsg& msg) {
   }
 }
 
-void EthernetProxy::HandleNetifRx(UchanMsg& msg) {
-  ++stats_.rx_downcalls;
+void EthernetProxy::HandleFreeBuffer(UchanMsg& msg) {
+  if (msg.inline_data.empty()) {
+    // Legacy single-id layout: args[0] is the buffer id.
+    ctx_->pool().Free(static_cast<int32_t>(msg.args[0]));
+    msg.error = 0;
+    return;
+  }
+  // Coalesced layout: args[0] = count, inline_data = count LE32 ids (one
+  // message per TX reap pass). A count that disagrees with the payload is a
+  // malformed (malicious) message; free what the payload actually carries.
+  size_t count = msg.inline_data.size() / 4;
+  if (msg.args[0] != count) {
+    if (netdev_ != nullptr) {
+      netdev_->stats().driver_errors++;
+    }
+    SUD_LOG(kAttack) << "free-buffer batch count " << msg.args[0]
+                     << " disagrees with payload (" << count << " ids)";
+  }
+  stats_.free_batches.fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < count; ++i) {
+    // Bogus ids are tolerated and counted by the pool (double_frees).
+    ctx_->pool().Free(static_cast<int32_t>(LoadLe32(msg.inline_data.data() + i * 4)));
+  }
+  msg.error = 0;
+}
+
+void EthernetProxy::HandleNetifRx(UchanMsg& msg, uint16_t shard) {
+  stats_.rx_downcalls.fetch_add(1, std::memory_order_relaxed);
   if (netdev_ == nullptr) {
     msg.error = static_cast<int32_t>(ErrorCode::kUnavailable);
     return;
@@ -222,7 +275,7 @@ void EthernetProxy::HandleNetifRx(UchanMsg& msg) {
   uint64_t iova = msg.args[0];
   uint32_t len = static_cast<uint32_t>(msg.args[1]);
   if (len == 0 || len > devices::kEthMaxFrame) {
-    ++stats_.rx_bad_buffer_id;
+    stats_.rx_bad_buffer_id.fetch_add(1, std::memory_order_relaxed);
     netdev_->stats().driver_errors++;
     SUD_LOG(kAttack) << "netif_rx downcall with bogus length " << len << " from driver";
     msg.error = static_cast<int32_t>(ErrorCode::kInvalidArgument);
@@ -230,7 +283,7 @@ void EthernetProxy::HandleNetifRx(UchanMsg& msg) {
   }
   Result<ByteSpan> buffer = ctx_->dma().HostView(iova, len);
   if (!buffer.ok()) {
-    ++stats_.rx_bad_buffer_id;
+    stats_.rx_bad_buffer_id.fetch_add(1, std::memory_order_relaxed);
     netdev_->stats().driver_errors++;
     SUD_LOG(kAttack) << "netif_rx downcall with address outside the driver's dma space";
     msg.error = static_cast<int32_t>(ErrorCode::kInvalidArgument);
@@ -242,11 +295,14 @@ void EthernetProxy::HandleNetifRx(UchanMsg& msg) {
   kern::SkbPtr skb;
   if (options_.guard_copy) {
     // Safe ordering: copy out of shared memory *first*, then let the stack
-    // checksum/filter the private copy. Fusing the copy with the checksum
-    // pass makes it nearly free (Section 3.1.2): the bytes are already in
-    // cache, so only one pass is charged.
-    skb = kern::MakeSkb(ConstByteSpan(shared.data(), shared.size()));
-    ++stats_.guard_copies;
+    // filter the private copy. The copy is fused with the checksum pass both
+    // in the model (one charged pass, Section 3.1.2) and on the simulator's
+    // own clock: AssignAndVerifyChecksum copies and sums in a single
+    // traversal, and the stack skips its (redundant) checksum pass for skbs
+    // the proxy already verified.
+    skb = std::make_unique<kern::Skb>();
+    bool checksum_ok = skb->AssignAndVerifyChecksum(ConstByteSpan(shared.data(), shared.size()));
+    stats_.guard_copies.fetch_add(1, std::memory_order_relaxed);
     if (options_.fuse_guard_with_checksum) {
       cpu.ChargeBytes(kAccountKernel, cpu.costs().per_byte_checksum, shared.size());
     } else {
@@ -256,6 +312,22 @@ void EthernetProxy::HandleNetifRx(UchanMsg& msg) {
     if (toctou_hook_) {
       // Attacker rewrites the shared buffer now — too late, we own a copy.
       toctou_hook_(shared);
+    }
+    if (!checksum_ok) {
+      // Same drop accounting the stack's own pass would have applied (the
+      // skb_alloc + stack charge below still applies first, as it did when
+      // these packets died inside NetifRx).
+      cpu.Charge(kAccountKernel, cpu.costs().skb_alloc + cpu.costs().stack_work_per_pkt);
+      if (skb->data_len() < kern::kPacketMinSize) {
+        netdev_->stats().rx_dropped++;
+        netdev_->stats().driver_errors++;
+        SUD_LOG(kWarning) << netdev_->name() << ": driver delivered runt packet, dropping";
+      } else {
+        netdev_->stats().rx_bad_checksum++;
+        netdev_->stats().rx_dropped++;
+      }
+      msg.error = 0;  // a dropped packet is not a downcall failure
+      return;
     }
   } else {
     // VULNERABLE ordering (ablation/attack demonstration): verdict computed
@@ -285,20 +357,20 @@ void EthernetProxy::HandleNetifRx(UchanMsg& msg) {
   }
 
   cpu.Charge(kAccountKernel, cpu.costs().skb_alloc + cpu.costs().stack_work_per_pkt);
-  // NAPI-style: the private copy joins the current poll bundle; the whole
+  // NAPI-style: the private copy joins the shard's poll bundle; the whole
   // array enters the stack once, at the end of this kernel entry.
-  rx_bundle_.push_back(std::move(skb));
+  rx_bundle_[shard].push_back(std::move(skb));
   msg.error = 0;  // rejection by firewall/checksum is not a downcall failure
 }
 
-void EthernetProxy::DeliverRxBundle() {
-  if (rx_bundle_.empty() || netdev_ == nullptr) {
+void EthernetProxy::DeliverRxBundle(uint16_t shard) {
+  if (rx_bundle_[shard].empty() || netdev_ == nullptr) {
     return;
   }
   std::vector<kern::SkbPtr> bundle;
-  bundle.swap(rx_bundle_);
-  ++stats_.rx_bundles;
-  (void)kernel_->net().NetifRxBatch(netdev_, std::move(bundle));
+  bundle.swap(rx_bundle_[shard]);
+  stats_.rx_bundles.fetch_add(1, std::memory_order_relaxed);
+  (void)kernel_->net().NetifRxBatch(netdev_, std::move(bundle), shard);
 }
 
 }  // namespace sud

@@ -18,6 +18,16 @@
 //   carrier on/off     <- mirror downcalls for the shared-memory link state
 //                         (Section 3.3)
 //
+// Multi-queue: packet traffic rides the uchan shard of the queue it belongs
+// to. StartXmitBatch(skbs, q) stages its burst into shard q (the kernel's
+// flow steering in NetSubsystem::TransmitBatch already partitioned it);
+// netif_rx downcalls arriving on shard q join queue q's rx bundle, which the
+// shard's end-of-entry flush hands to the stack as one NAPI delivery. The
+// queue a downcall belongs to comes from the shard it arrived on — never
+// from driver-marshalled bytes — so a malicious driver cannot cross-talk
+// queues or corrupt another queue's bundle. Per-queue state is only ever
+// touched from its own shard's pump thread; shared counters are atomics.
+//
 // The Options knobs exist for the ablation benches: zero_copy off models a
 // copying transmit path; guard_copy off reproduces the vulnerable
 // check-then-copy ordering the TOCTOU attack exploits; fused guard off
@@ -26,8 +36,11 @@
 #ifndef SUD_SRC_SUD_PROXY_ETHERNET_H_
 #define SUD_SRC_SUD_PROXY_ETHERNET_H_
 
+#include <array>
+#include <atomic>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "src/kern/kernel.h"
 #include "src/kern/netdev.h"
@@ -53,25 +66,28 @@ class EthernetProxy : public kern::NetDeviceOps {
   // kern::NetDeviceOps
   Status Open() override;
   Status Stop() override;
+  // Single-frame transmit: steers by flow hash onto the frame's queue shard.
   Status StartXmit(kern::SkbPtr skb) override;
-  // NAPI-style burst: stages every frame into a shared-pool buffer, then
-  // enqueues the whole array of xmit upcalls in ONE uchan crossing (one lock
-  // acquisition, at most one driver wakeup). Frames the ring cannot take are
-  // dropped and their pool buffers reclaimed.
-  size_t StartXmitBatch(std::vector<kern::SkbPtr> skbs) override;
+  // NAPI-style burst for TX queue `queue`: stages every frame into a
+  // shared-pool buffer, then enqueues the whole array of xmit upcalls in ONE
+  // crossing of shard `queue` (one lock acquisition, at most one driver
+  // wakeup — and no lock shared with any other queue). Frames the ring
+  // cannot take are dropped and their pool buffers reclaimed.
+  size_t StartXmitBatch(std::vector<kern::SkbPtr> skbs, uint16_t queue) override;
   Result<std::string> Ioctl(uint32_t cmd) override;
 
   kern::NetDevice* netdev() { return netdev_; }
 
   struct Stats {
-    uint64_t xmit_upcalls = 0;
-    uint64_t xmit_batches = 0;      // StartXmitBatch crossings
-    uint64_t xmit_dropped = 0;
-    uint64_t rx_downcalls = 0;
-    uint64_t rx_bundles = 0;        // NAPI deliveries into the stack
-    uint64_t rx_bad_buffer_id = 0;  // malicious buffer ids rejected
-    uint64_t hung_reports = 0;
-    uint64_t guard_copies = 0;
+    std::atomic<uint64_t> xmit_upcalls{0};
+    std::atomic<uint64_t> xmit_batches{0};      // StartXmitBatch crossings
+    std::atomic<uint64_t> xmit_dropped{0};
+    std::atomic<uint64_t> rx_downcalls{0};
+    std::atomic<uint64_t> rx_bundles{0};        // NAPI deliveries into the stack
+    std::atomic<uint64_t> rx_bad_buffer_id{0};  // malicious buffer ids rejected
+    std::atomic<uint64_t> free_batches{0};      // coalesced free-buffer messages
+    std::atomic<uint64_t> hung_reports{0};
+    std::atomic<uint64_t> guard_copies{0};
   };
   const Stats& stats() const { return stats_; }
 
@@ -83,23 +99,25 @@ class EthernetProxy : public kern::NetDeviceOps {
   void set_toctou_hook(ToctouHook hook) { toctou_hook_ = std::move(hook); }
 
  private:
-  void HandleDowncall(UchanMsg& msg);
-  void HandleNetifRx(UchanMsg& msg);
+  void HandleDowncall(UchanMsg& msg, uint16_t shard);
+  void HandleNetifRx(UchanMsg& msg, uint16_t shard);
+  void HandleFreeBuffer(UchanMsg& msg);
   // Stages one skb into a fresh pool buffer and fills `msg`; on failure the
   // hung-driver accounting has already been applied.
-  Status PrepareXmit(const kern::Skb& skb, UchanMsg* msg);
+  Status PrepareXmit(const kern::Skb& skb, UchanMsg* msg, uint16_t queue);
   void NoteXmitFull();
-  // Delivers the guard-copied rx bundle accumulated during the current
-  // downcall kernel entry (the NAPI poll-end point).
-  void DeliverRxBundle();
+  // Delivers queue `shard`'s guard-copied rx bundle accumulated during the
+  // current downcall kernel entry (the NAPI poll-end point).
+  void DeliverRxBundle(uint16_t shard);
 
   kern::Kernel* kernel_;
   SudDeviceContext* ctx_;
   Options options_;
   kern::NetDevice* netdev_ = nullptr;
-  uint32_t consecutive_full_ = 0;
-  // Guard-copied packets awaiting the end-of-entry NetifRxBatch delivery.
-  std::vector<kern::SkbPtr> rx_bundle_;
+  std::atomic<uint32_t> consecutive_full_{0};
+  // Guard-copied packets awaiting the end-of-entry NetifRxBatch delivery,
+  // one bundle per queue (only ever touched from that shard's pump thread).
+  std::array<std::vector<kern::SkbPtr>, kSudMaxQueues> rx_bundle_;
   Stats stats_;
   ToctouHook toctou_hook_;
 };

@@ -19,7 +19,7 @@ namespace sud {
 class UsbHostProxy {
  public:
   UsbHostProxy(kern::Kernel* kernel, SudDeviceContext* ctx) : kernel_(kernel), ctx_(ctx) {
-    ctx_->set_downcall_handler([this](UchanMsg& msg) {
+    ctx_->set_downcall_handler([this](UchanMsg& msg, uint16_t /*queue*/) {
       switch (msg.opcode) {
         case kUsbDownKeyEvent:
           kernel_->input().SubmitKey(static_cast<uint8_t>(msg.args[0]));

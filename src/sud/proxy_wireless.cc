@@ -8,7 +8,7 @@ namespace sud {
 
 WirelessProxy::WirelessProxy(kern::Kernel* kernel, SudDeviceContext* ctx)
     : kernel_(kernel), ctx_(ctx) {
-  ctx_->set_downcall_handler([this](UchanMsg& msg) { HandleDowncall(msg); });
+  ctx_->set_downcall_handler([this](UchanMsg& msg, uint16_t /*queue*/) { HandleDowncall(msg); });
 }
 
 uint32_t WirelessProxy::EnableFeatures(uint32_t requested) {

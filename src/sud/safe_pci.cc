@@ -1,5 +1,7 @@
 #include "src/sud/safe_pci.h"
 
+#include <algorithm>
+
 #include "src/base/bytes.h"
 #include "src/base/log.h"
 
@@ -7,9 +9,29 @@ namespace sud {
 
 SudDeviceContext::SudDeviceContext(kern::Kernel* kernel, hw::PciDevice* device,
                                    kern::Uid owner_uid, Options options)
-    : kernel_(kernel), device_(device), owner_uid_(owner_uid), options_(options) {}
+    : kernel_(kernel), device_(device), owner_uid_(owner_uid), options_(options) {
+  num_queues_ = std::clamp<uint32_t>(options_.num_queues, 1, kSudMaxQueues);
+}
 
 SudDeviceContext::~SudDeviceContext() { Teardown(); }
+
+void SudDeviceContext::set_downcall_handler(QueuedDowncallHandler handler) {
+  downcall_handler_ = std::move(handler);
+  if (shards_ != nullptr) {
+    shards_->set_downcall_handler(downcall_handler_);
+  }
+}
+
+void SudDeviceContext::set_downcall_flush_handler(QueuedFlushHandler handler) {
+  downcall_flush_handler_ = std::move(handler);
+  if (shards_ != nullptr) {
+    shards_->set_downcall_flush_handler(downcall_flush_handler_);
+  }
+}
+
+Uchan::Stats SudDeviceContext::AggregateCtlStats() const {
+  return shards_ != nullptr ? shards_->AggregateStats() : Uchan::Stats{};
+}
 
 Status SudDeviceContext::Bind(kern::Process* proc) {
   if (bound_) {
@@ -36,30 +58,43 @@ Status SudDeviceContext::Bind(kern::Process* proc) {
   }
 
   // Interrupt setup: the *kernel* programs the MSI capability (drivers are
-  // filtered away from it) and routes the vector to this context.
-  Result<uint8_t> vector = kernel_->AllocIrqVector();
-  if (!vector.ok()) {
-    return vector.status();
+  // filtered away from it) and routes the vectors to this context. A
+  // multi-queue device gets one contiguous multi-message range — queue q
+  // signals vector_base + q, and each vector dispatches with its queue index.
+  Result<uint8_t> base = kernel_->AllocIrqVectorRange(static_cast<uint8_t>(num_queues_));
+  if (!base.ok()) {
+    return base.status();
   }
-  vector_ = vector.value();
-  SUD_RETURN_IF_ERROR(kernel_->RequestIrq(
-      vector_, [this](uint16_t source_id) { OnDeviceInterrupt(source_id); }));
+  vector_base_ = base.value();
+  for (uint32_t q = 0; q < num_queues_; ++q) {
+    SUD_RETURN_IF_ERROR(kernel_->RequestIrq(
+        static_cast<uint8_t>(vector_base_ + q), [this, q](uint16_t source_id) {
+          OnDeviceInterrupt(static_cast<uint16_t>(q), source_id);
+        }));
+  }
   device_->config().set_msi_address(hw::kMsiRangeBase);
-  device_->config().set_msi_data(vector_);
+  device_->config().set_msi_data(vector_base_);
   device_->config().set_msi_enabled(true);
   device_->config().set_msi_masked(false);
   if (machine.iommu().interrupt_remapping()) {
-    SUD_RETURN_IF_ERROR(
-        machine.iommu().SetInterruptRemapEntry(source_id(), vector_, vector_));
+    for (uint32_t q = 0; q < num_queues_; ++q) {
+      SUD_RETURN_IF_ERROR(machine.iommu().SetInterruptRemapEntry(
+          source_id(), static_cast<uint8_t>(vector_base_ + q),
+          static_cast<uint8_t>(vector_base_ + q)));
+    }
   }
 
-  uchan_ = std::make_unique<Uchan>(options_.uchan, &machine.cpu());
+  // The sharded ctl file: one ring pair per queue, each with its own lock
+  // and wakeup path. Shard 0 carries control traffic alongside queue 0.
+  shards_ = std::make_unique<UchanShardSet>(num_queues_, options_.uchan, &machine.cpu());
   if (downcall_handler_) {
-    uchan_->set_downcall_handler(downcall_handler_);
+    shards_->set_downcall_handler(downcall_handler_);
   }
   if (downcall_flush_handler_) {
-    uchan_->set_downcall_flush_handler(downcall_flush_handler_);
+    shards_->set_downcall_flush_handler(downcall_flush_handler_);
   }
+  irq_in_flight_.fill(false);
+  interrupts_while_masked_ = 0;
   dma_ = std::make_unique<DmaSpace>(&machine.dram(), &machine.iommu(), source_id());
   pool_ = std::make_unique<SharedBufferPool>(dma_.get(), options_.pool_buffers,
                                              options_.pool_buffer_bytes);
@@ -75,7 +110,8 @@ Status SudDeviceContext::Bind(kern::Process* proc) {
   bound_ = true;
   torn_down_ = false;
   SUD_LOG(kInfo) << device_->name() << ": bound to pid " << proc->pid() << " (uid " << proc->uid()
-                 << "), irq vector " << int{vector_};
+                 << "), irq vectors " << int{vector_base_} << ".."
+                 << int{vector_base_} + static_cast<int>(num_queues_) - 1;
   return Status::Ok();
 }
 
@@ -200,18 +236,19 @@ Status SudDeviceContext::RequestIoRegion() {
   return Status(ErrorCode::kNotFound, "device has no io bar");
 }
 
-void SudDeviceContext::OnDeviceInterrupt(uint16_t msi_source_id) {
-  if (!bound_) {
+void SudDeviceContext::OnDeviceInterrupt(uint16_t queue, uint16_t msi_source_id) {
+  if (!bound_ || queue >= num_queues_) {
     return;
   }
+  std::lock_guard<std::recursive_mutex> lock(irq_mu_);
   hw::Machine& machine = kernel_->machine();
   if (msi_source_id != source_id()) {
     // Our vector, someone else's requester id: a forged interrupt via stray
     // DMA to the MSI address. Masking *our* device is useless — escalate
     // against the storming device's context.
     ++irq_stats_.forged_received;
-    SUD_LOG(kAttack) << device_->name() << ": forged MSI (vector " << int{vector_}
-                     << ") from source " << Hex(msi_source_id);
+    SUD_LOG(kAttack) << device_->name() << ": forged MSI (vector "
+                     << int{vector_base_} + queue << ") from source " << Hex(msi_source_id);
     if (module_ != nullptr) {
       module_->ReportForgedMsi(msi_source_id);
     }
@@ -243,9 +280,11 @@ void SudDeviceContext::OnDeviceInterrupt(uint16_t msi_source_id) {
     return;
   }
 
-  if (irq_in_flight_) {
-    // A second interrupt before the driver acknowledged the first: mask
-    // further MSIs so an unresponsive driver cannot storm us.
+  if (irq_in_flight_[queue]) {
+    // A second interrupt on this queue before the driver acknowledged the
+    // first: mask further MSIs so an unresponsive driver cannot storm us.
+    // (MSI masking is per function, not per message — so a storm on one
+    // queue throttles them all until the ack, as on real hardware.)
     machine.cpu().Charge(kAccountKernel, machine.cpu().costs().pci_config_access);
     device_->config().set_msi_masked(true);
     ++irq_stats_.mask_events;
@@ -253,12 +292,13 @@ void SudDeviceContext::OnDeviceInterrupt(uint16_t msi_source_id) {
     return;
   }
 
-  irq_in_flight_ = true;
+  irq_in_flight_[queue] = true;
   ++irq_stats_.forwarded;
   machine.cpu().Charge(kAccountKernel, machine.cpu().costs().interrupt_entry);
   UchanMsg msg;
   msg.opcode = kOpInterrupt;
-  Status status = uchan_->SendAsync(std::move(msg));
+  msg.args[0] = queue;
+  Status status = shards_->shard(queue).SendAsync(std::move(msg));
   if (!status.ok()) {
     // Ring full: treat like an unacknowledged interrupt — mask.
     machine.cpu().Charge(kAccountKernel, machine.cpu().costs().pci_config_access);
@@ -272,7 +312,10 @@ void SudDeviceContext::EscalateStorm() {
   ++irq_stats_.storm_escalations;
   if (machine.iommu().interrupt_remapping()) {
     machine.cpu().Charge(kAccountKernel, machine.cpu().costs().irq_remap_update);
-    (void)machine.iommu().SetInterruptRemapEntry(source_id(), vector_, std::nullopt);
+    for (uint32_t q = 0; q < num_queues_; ++q) {
+      (void)machine.iommu().SetInterruptRemapEntry(
+          source_id(), static_cast<uint8_t>(vector_base_ + q), std::nullopt);
+    }
     irq_stats_.remap_blocked = true;
     SUD_LOG(kAttack) << device_->name()
                      << ": interrupt storm — disabled MSI via interrupt remapping";
@@ -289,11 +332,15 @@ void SudDeviceContext::EscalateStorm() {
                       "livelock cannot be stopped (Intel VT-d without IR, §5.2)";
 }
 
-Status SudDeviceContext::InterruptAck() {
+Status SudDeviceContext::InterruptAck(uint16_t queue) {
   if (!bound_) {
     return Status(ErrorCode::kUnavailable, "device not bound");
   }
-  irq_in_flight_ = false;
+  if (queue >= num_queues_) {
+    return Status(ErrorCode::kInvalidArgument, "interrupt_ack for a queue the device lacks");
+  }
+  std::lock_guard<std::recursive_mutex> lock(irq_mu_);
+  irq_in_flight_[queue] = false;
   interrupts_while_masked_ = 0;
   if (device_->config().msi_masked() && !irq_stats_.remap_blocked &&
       !irq_stats_.msi_page_unmapped) {
@@ -312,8 +359,8 @@ void SudDeviceContext::Teardown() {
     return;
   }
   hw::Machine& machine = kernel_->machine();
-  if (uchan_ != nullptr) {
-    uchan_->Shutdown();
+  if (shards_ != nullptr) {
+    shards_->ShutdownAll();
   }
   if (process_ != nullptr) {
     process_->RevokeIoPorts(granted_io_base_, granted_io_count_);
@@ -324,7 +371,9 @@ void SudDeviceContext::Teardown() {
     dma_->ReleaseAll();
   }
   (void)machine.iommu().DestroyContext(source_id());
-  (void)kernel_->FreeIrq(vector_);
+  for (uint32_t q = 0; q < num_queues_; ++q) {
+    (void)kernel_->FreeIrq(static_cast<uint8_t>(vector_base_ + q));
+  }
   // Quiesce the device: no more DMA, no more interrupts.
   device_->config().set_msi_enabled(false);
   uint16_t command = device_->config().command();

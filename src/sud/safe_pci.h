@@ -25,17 +25,31 @@
 //    the paper's own Intel-without-IR testbed — is detected but unstoppable,
 //    reproducing the Section 5.2 negative result.
 //
-// Teardown() reclaims everything (uchan, IOMMU context, DMA pages, IOPB
-// grants, the MSI vector), which is what makes `kill -9` + restart safe
+// Multi-queue devices: Options::num_queues shards the ctl file into one
+// uchan ring pair per device queue, with one multi-message MSI vector per
+// queue. Shard q carries queue q's packet traffic (xmit upcalls, netif_rx
+// and free-buffer downcalls, the queue's interrupt upcall and ack); shard 0
+// additionally carries control traffic. Each shard has its own lock, so
+// per-queue driver threads and the kernel's per-queue transmit paths never
+// contend on a shared channel — the scaling the ROADMAP's multi-queue item
+// asks for. Kernel-side dispatch receives the *shard index* a downcall
+// arrived on out-of-band, so a malicious driver cannot cross-talk queues by
+// lying in a marshalled field.
+//
+// Teardown() reclaims everything (uchans, IOMMU context, DMA pages, IOPB
+// grants, the MSI vectors), which is what makes `kill -9` + restart safe
 // (Section 4.1).
 
 #ifndef SUD_SRC_SUD_SAFE_PCI_H_
 #define SUD_SRC_SUD_SAFE_PCI_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -50,14 +64,18 @@ namespace sud {
 
 // Generic upcall opcodes issued by the SUD core itself (proxy drivers define
 // their own ranges above kOpDeviceClassBase).
-inline constexpr uint32_t kOpInterrupt = 1;  // Figure 7: "interrupt"
+inline constexpr uint32_t kOpInterrupt = 1;  // Figure 7: "interrupt"; args[0]: queue
 inline constexpr uint32_t kOpDeviceClassBase = 0x100;
 
 // Generic downcall opcodes (Figure 7 samples).
-inline constexpr uint32_t kOpInterruptAck = 1;      // "interrupt_ack"
+inline constexpr uint32_t kOpInterruptAck = 1;      // "interrupt_ack"; args[0]: queue
 inline constexpr uint32_t kOpRequestRegion = 2;     // "request_region"
 inline constexpr uint32_t kOpPciFindCapability = 3; // "pci_find_capability"
 inline constexpr uint32_t kOpDownDeviceClassBase = 0x100;
+
+// Upper bound on uchan shards / MSI messages per exported device (the PCI
+// multiple-message ceiling is 32; 8 matches the device models).
+inline constexpr uint32_t kSudMaxQueues = 8;
 
 class SafePciModule;
 
@@ -67,6 +85,9 @@ class SudDeviceContext {
     uint32_t pool_buffers = 512;
     uint32_t pool_buffer_bytes = 2048;
     Uchan::Config uchan;
+    // Uchan shards / MSI messages: one per device queue (clamped to
+    // [1, kSudMaxQueues]). 1 reproduces the single-lane channel exactly.
+    uint32_t num_queues = 1;
     // Interrupts arriving while MSI is masked (i.e. necessarily stray-DMA
     // generated) before the storm escalation kicks in.
     uint32_t storm_threshold = 8;
@@ -82,6 +103,7 @@ class SudDeviceContext {
   hw::PciDevice* device() { return device_; }
   kern::Uid owner_uid() const { return owner_uid_; }
   uint16_t source_id() const { return device_->address().source_id(); }
+  uint32_t num_queues() const { return num_queues_; }
 
   // Binds the device to driver process `proc` (the driver opening the sud
   // files): UID check, IOMMU context creation, MSI setup, IRQ registration.
@@ -90,25 +112,22 @@ class SudDeviceContext {
   kern::Process* bound_process() { return process_; }
 
   // Installs the kernel-side downcall handler (the proxy driver's dispatch
-  // function). Survives rebinds: each fresh uchan created by Bind gets it.
-  void set_downcall_handler(Uchan::DowncallHandler handler) {
-    downcall_handler_ = std::move(handler);
-    if (uchan_ != nullptr) {
-      uchan_->set_downcall_handler(downcall_handler_);
-    }
-  }
+  // function); it receives the shard the downcall arrived on. Survives
+  // rebinds: each fresh uchan set created by Bind gets it.
+  using QueuedDowncallHandler = std::function<void(UchanMsg&, uint16_t queue)>;
+  void set_downcall_handler(QueuedDowncallHandler handler);
 
-  // End-of-kernel-entry hook (the proxy's NAPI rx-bundle delivery point).
-  // Survives rebinds like the downcall handler.
-  void set_downcall_flush_handler(std::function<void()> handler) {
-    downcall_flush_handler_ = std::move(handler);
-    if (uchan_ != nullptr) {
-      uchan_->set_downcall_flush_handler(downcall_flush_handler_);
-    }
-  }
+  // End-of-kernel-entry hook per shard (the proxy's NAPI rx-bundle delivery
+  // point). Survives rebinds like the downcall handler.
+  using QueuedFlushHandler = std::function<void(uint16_t queue)>;
+  void set_downcall_flush_handler(QueuedFlushHandler handler);
 
   // --- the four device files -------------------------------------------------
-  Uchan& ctl() { return *uchan_; }
+  // ctl: shard 0 (control + queue 0); ctl(q): queue q's ring pair.
+  Uchan& ctl() { return shards_->shard(0); }
+  Uchan& ctl(uint16_t queue) { return shards_->shard(queue); }
+  // Sums every shard's counters (the single-lane view of the channel).
+  Uchan::Stats AggregateCtlStats() const;
   DmaSpace& dma() { return *dma_; }
   SharedBufferPool& pool() { return *pool_; }
 
@@ -127,8 +146,10 @@ class SudDeviceContext {
   Status RequestIoRegion();
 
   // --- interrupt path ---------------------------------------------------------
-  // interrupt_ack downcall target: driver finished handling; unmask.
-  Status InterruptAck();
+  // interrupt_ack downcall target: driver finished handling queue `queue`'s
+  // interrupt; unmask and deliver anything that pended.
+  Status InterruptAck() { return InterruptAck(0); }
+  Status InterruptAck(uint16_t queue);
 
   struct InterruptStats {
     uint64_t forwarded = 0;       // upcalls issued
@@ -141,13 +162,14 @@ class SudDeviceContext {
     bool msi_page_unmapped = false;  // AMD escalation applied
   };
   const InterruptStats& interrupt_stats() const { return irq_stats_; }
-  uint8_t irq_vector() const { return vector_; }
+  // Base of the contiguous vector range; queue q fires vector_base + q.
+  uint8_t irq_vector() const { return vector_base_; }
 
   // Full reclamation (driver killed / device revoked).
   void Teardown();
 
  private:
-  void OnDeviceInterrupt(uint16_t source_id);
+  void OnDeviceInterrupt(uint16_t queue, uint16_t source_id);
   void EscalateStorm();
   bool ConfigWriteAllowed(uint16_t offset, int width, uint32_t value, std::string* why) const;
 
@@ -159,17 +181,23 @@ class SudDeviceContext {
   Options options_;
   SafePciModule* module_ = nullptr;  // for cross-device forged-MSI escalation
   kern::Process* process_ = nullptr;
+  uint32_t num_queues_ = 1;
   bool bound_ = false;
   bool torn_down_ = false;
 
-  std::unique_ptr<Uchan> uchan_;
+  std::unique_ptr<UchanShardSet> shards_;  // one uchan ring pair per queue
   std::unique_ptr<DmaSpace> dma_;
   std::unique_ptr<SharedBufferPool> pool_;
-  Uchan::DowncallHandler downcall_handler_;
-  std::function<void()> downcall_flush_handler_;
+  QueuedDowncallHandler downcall_handler_;
+  QueuedFlushHandler downcall_flush_handler_;
 
-  uint8_t vector_ = 0;
-  bool irq_in_flight_ = false;
+  uint8_t vector_base_ = 0;
+  // Serializes interrupt bookkeeping (in-flight flags, MSI mask flips, storm
+  // counters) across the per-queue pump threads and the delivery thread.
+  // Recursive: InterruptAck's unmask re-delivers pended MSIs, which re-enter
+  // OnDeviceInterrupt on the same call stack.
+  std::recursive_mutex irq_mu_;
+  std::array<bool, kSudMaxQueues> irq_in_flight_{};
   uint32_t interrupts_while_masked_ = 0;
   InterruptStats irq_stats_;
 

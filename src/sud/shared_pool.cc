@@ -34,6 +34,7 @@ Result<int32_t> SharedBufferPool::Alloc() {
   if (!initialized_) {
     return Status(ErrorCode::kUnavailable, "pool not initialized");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   if (free_list_.empty()) {
     return Status(ErrorCode::kExhausted, "shared buffer pool exhausted");
   }
@@ -44,6 +45,7 @@ Result<int32_t> SharedBufferPool::Alloc() {
 }
 
 void SharedBufferPool::Free(int32_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!IsValidId(id) || !allocated_[id]) {
     ++double_frees_;
     return;

@@ -12,6 +12,7 @@
 #define SUD_SRC_SUD_SHARED_POOL_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "src/base/status.h"
@@ -27,7 +28,9 @@ class SharedBufferPool {
 
   Status Init();
 
-  // sud_alloc: returns a buffer id, or kExhausted.
+  // sud_alloc: returns a buffer id, or kExhausted. Thread-safe: the proxy
+  // allocates on the kernel's transmit path while per-queue driver threads
+  // return buffers via free downcalls.
   Result<int32_t> Alloc();
   // sud_free: returns the buffer to the pool. Double frees are tolerated
   // and counted (a malicious driver shouldn't corrupt the free list).
@@ -36,8 +39,14 @@ class SharedBufferPool {
   bool IsValidId(int32_t id) const { return id >= 0 && static_cast<uint32_t>(id) < count_; }
   uint32_t buffer_bytes() const { return buffer_bytes_; }
   uint32_t count() const { return count_; }
-  uint32_t free_count() const { return static_cast<uint32_t>(free_list_.size()); }
-  uint64_t double_frees() const { return double_frees_; }
+  uint32_t free_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<uint32_t>(free_list_.size());
+  }
+  uint64_t double_frees() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return double_frees_;
+  }
 
   // Shared view of buffer `id` (both sides use this; the device reaches the
   // same bytes via BufferIova through the IOMMU). The host window base and
@@ -58,6 +67,9 @@ class SharedBufferPool {
   DmaRegion region_{};
   uint8_t* host_base_ = nullptr;  // host view of the whole pool region
   bool initialized_ = false;
+  // Guards the free list and allocation bitmap only; Buffer/BufferIova are
+  // pure arithmetic over state fixed at Init.
+  mutable std::mutex mu_;
   std::vector<int32_t> free_list_;
   std::vector<bool> allocated_;
   uint64_t double_frees_ = 0;

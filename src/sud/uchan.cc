@@ -10,6 +10,11 @@ namespace {
 constexpr size_t kInitialReplySlots = 64;  // power of two
 }  // namespace
 
+const CpuCosts& Uchan::costs() const {
+  static const CpuCosts kDefaults{};
+  return cpu_ != nullptr ? cpu_->costs() : kDefaults;
+}
+
 Uchan::Uchan(Config config, CpuModel* cpu) : config_(config), cpu_(cpu) {
   if (config_.ring_entries == 0) {
     config_.ring_entries = 1;
@@ -18,9 +23,17 @@ Uchan::Uchan(Config config, CpuModel* cpu) : config_(config), cpu_(cpu) {
   replies_.resize(kInitialReplySlots);
 }
 
-void Uchan::ChargeBoth(SimTime nanos) {
+void Uchan::ChargeKernelLocked(SimTime nanos) {
+  stats_.kernel_ns += nanos;
   if (cpu_ != nullptr) {
     cpu_->Charge(kAccountKernel, nanos);
+  }
+}
+
+void Uchan::ChargeDriverLocked(SimTime nanos) {
+  stats_.driver_ns += nanos;
+  if (cpu_ != nullptr) {
+    cpu_->Charge(kAccountDriver, nanos);
   }
 }
 
@@ -134,17 +147,13 @@ Status Uchan::EnqueueUpcallLocked(UchanMsg&& msg) {
     stats_.upcalls_dropped_full++;
     return Status(ErrorCode::kQueueFull, "kernel-to-user ring full");
   }
-  if (cpu_ != nullptr) {
-    cpu_->Charge(kAccountKernel, cpu_->costs().uchan_msg);
-  }
+  ChargeKernelLocked(costs().uchan_msg);
   if (driver_idle_) {
     // The driver is asleep in select: this enqueue costs one process wakeup
     // (the 4 us of Section 5.1); it is now runnable, so further enqueues
     // before its next sleep are free — which is also what makes the whole of
     // a SendAsyncBatch cost a single wakeup.
-    if (cpu_ != nullptr) {
-      cpu_->Charge(kAccountKernel, cpu_->costs().process_wakeup);
-    }
+    ChargeKernelLocked(costs().process_wakeup);
     stats_.wakeups++;
     driver_idle_ = false;
   }
@@ -157,9 +166,7 @@ UchanMsg Uchan::PopUpcallLocked() {
   UchanMsg msg = std::move(ring_[ring_head_]);
   ring_head_ = (ring_head_ + 1) % config_.ring_entries;
   --ring_count_;
-  if (cpu_ != nullptr) {
-    cpu_->Charge(kAccountDriver, cpu_->costs().uchan_msg);
-  }
+  ChargeDriverLocked(costs().uchan_msg);
   return msg;
 }
 
@@ -217,9 +224,7 @@ Result<UchanMsg> Uchan::SendSync(UchanMsg msg) {
   }
   UchanMsg reply = std::move(slot->msg);
   EraseReplyLocked(seq);
-  if (cpu_ != nullptr) {
-    cpu_->Charge(kAccountKernel, cpu_->costs().uchan_msg);
-  }
+  ChargeKernelLocked(costs().uchan_msg);
   return reply;
 }
 
@@ -271,9 +276,7 @@ Status Uchan::WaitForUpcallLocked(uint64_t timeout_ms, std::unique_lock<std::mut
     // Ring empty: the driver sleeps in select on the uchan fd. Entering and
     // leaving the kernel for select costs a syscall.
     driver_idle_ = true;
-    if (cpu_ != nullptr) {
-      cpu_->Charge(kAccountDriver, cpu_->costs().syscall);
-    }
+    ChargeDriverLocked(costs().syscall);
     if (timeout_ms == 0) {
       return Status(ErrorCode::kTimedOut, "no pending upcalls");
     }
@@ -322,9 +325,7 @@ void Uchan::Reply(const UchanMsg& request, UchanMsg reply) {
   }
   reply.seq = request.seq;
   reply.needs_reply = false;
-  if (cpu_ != nullptr) {
-    cpu_->Charge(kAccountDriver, cpu_->costs().uchan_msg);
-  }
+  ChargeDriverLocked(costs().uchan_msg);
   slot->msg = std::move(reply);
   slot->state = SlotState::kReady;
   reply_cv_.notify_all();
@@ -351,19 +352,13 @@ Status Uchan::DowncallSync(UchanMsg& msg) {
   // first (batched messages must stay ordered ahead of this one).
   std::vector<UchanMsg> batch;
   batch.swap(downcall_batch_);
-  if (cpu_ != nullptr) {
-    cpu_->Charge(kAccountDriver, cpu_->costs().syscall);
-  }
+  ChargeDriverLocked(costs().syscall);
   stats_.downcall_batches++;
   for (UchanMsg& queued : batch) {
-    if (cpu_ != nullptr) {
-      cpu_->Charge(kAccountKernel, cpu_->costs().uchan_msg);
-    }
+    ChargeKernelLocked(costs().uchan_msg);
     RunDowncallLocked(queued, lock);
   }
-  if (cpu_ != nullptr) {
-    cpu_->Charge(kAccountKernel, cpu_->costs().uchan_msg);
-  }
+  ChargeKernelLocked(costs().uchan_msg);
   RunDowncallLocked(msg, lock);
   Status status = msg.error == 0 ? Status::Ok()
                                  : Status(static_cast<ErrorCode>(msg.error), "downcall failed");
@@ -424,14 +419,10 @@ void Uchan::FlushDowncalls() {
   std::vector<UchanMsg> batch;
   batch.swap(downcall_batch_);
   // One kernel entry for the whole batch: the batching win of Section 3.1.2.
-  if (cpu_ != nullptr) {
-    cpu_->Charge(kAccountDriver, cpu_->costs().syscall);
-  }
+  ChargeDriverLocked(costs().syscall);
   stats_.downcall_batches++;
   for (UchanMsg& msg : batch) {
-    if (cpu_ != nullptr) {
-      cpu_->Charge(kAccountKernel, cpu_->costs().uchan_msg);
-    }
+    ChargeKernelLocked(costs().uchan_msg);
     RunDowncallLocked(msg, lock);
   }
   auto flush_handler = downcall_flush_handler_;
@@ -462,6 +453,50 @@ bool Uchan::is_shutdown() const {
 Uchan::Stats Uchan::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+// ---- UchanShardSet ----------------------------------------------------------
+
+UchanShardSet::UchanShardSet(uint32_t count, Uchan::Config config, CpuModel* cpu) {
+  shards_.reserve(count == 0 ? 1 : count);
+  for (uint32_t q = 0; q < (count == 0 ? 1 : count); ++q) {
+    shards_.push_back(std::make_unique<Uchan>(config, cpu));
+  }
+}
+
+void UchanShardSet::set_downcall_handler(QueuedDowncallHandler handler) {
+  for (uint32_t q = 0; q < count(); ++q) {
+    // Each shard's wrapper pins the queue index: the kernel side learns which
+    // queue a downcall belongs to from the channel it arrived on.
+    shards_[q]->set_downcall_handler(
+        [handler, q](UchanMsg& msg) { handler(msg, static_cast<uint16_t>(q)); });
+  }
+}
+
+void UchanShardSet::set_downcall_flush_handler(QueuedFlushHandler handler) {
+  for (uint32_t q = 0; q < count(); ++q) {
+    shards_[q]->set_downcall_flush_handler([handler, q]() { handler(static_cast<uint16_t>(q)); });
+  }
+}
+
+void UchanShardSet::set_user_pump(std::function<void()> pump) {
+  for (auto& shard : shards_) {
+    shard->set_user_pump(pump);
+  }
+}
+
+void UchanShardSet::ShutdownAll() {
+  for (auto& shard : shards_) {
+    shard->Shutdown();
+  }
+}
+
+Uchan::Stats UchanShardSet::AggregateStats() const {
+  Uchan::Stats total;
+  for (const auto& shard : shards_) {
+    total += shard->stats();
+  }
+  return total;
 }
 
 size_t Uchan::pending_upcalls() const {

@@ -43,6 +43,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -82,6 +83,27 @@ class Uchan {
     uint64_t downcalls_async = 0;
     uint64_t downcall_batches = 0;  // flushes (kernel entries for downcalls)
     uint64_t wakeups = 0;           // driver woken from "select"
+    // Per-channel CpuModel accounting: the simulated nanoseconds THIS channel
+    // charged to each side. With one uchan per NIC queue these are the
+    // per-queue crossing costs the multi-queue benches report.
+    uint64_t kernel_ns = 0;
+    uint64_t driver_ns = 0;
+
+    // Element-wise sum (aggregating shard stats into a single-lane view).
+    Stats& operator+=(const Stats& other) {
+      upcalls_sync += other.upcalls_sync;
+      upcalls_async += other.upcalls_async;
+      upcalls_timed_out += other.upcalls_timed_out;
+      upcalls_dropped_full += other.upcalls_dropped_full;
+      upcall_batches += other.upcall_batches;
+      downcalls_sync += other.downcalls_sync;
+      downcalls_async += other.downcalls_async;
+      downcall_batches += other.downcall_batches;
+      wakeups += other.wakeups;
+      kernel_ns += other.kernel_ns;
+      driver_ns += other.driver_ns;
+      return *this;
+    }
   };
 
   Uchan() : Uchan(Config{}, nullptr) {}
@@ -141,6 +163,13 @@ class Uchan {
   size_t pending_upcalls() const;
 
  private:
+  // The CpuModel's cost table (defaults when no model is attached).
+  const CpuCosts& costs() const;
+  // Charge helpers: every nanosecond this channel charges to the CpuModel is
+  // also attributed to the channel itself (per-shard accounting).
+  void ChargeKernelLocked(SimTime nanos);
+  void ChargeDriverLocked(SimTime nanos);
+
   // Sync-reply rendezvous slots: open-addressed linear probing keyed by seq.
   // kPending is inserted by SendSync before it blocks; Reply flips it to
   // kReady; a timed-out sender erases its slot so a late Reply finds nothing
@@ -152,7 +181,6 @@ class Uchan {
     UchanMsg msg;
   };
 
-  void ChargeBoth(SimTime nanos);
   Status EnqueueUpcallLocked(UchanMsg&& msg);
   void RunDowncallLocked(UchanMsg& msg, std::unique_lock<std::mutex>& lock);
   // Blocks until the ring is non-empty (or timeout/shutdown); returns Ok when
@@ -190,6 +218,39 @@ class Uchan {
   bool shutdown_ = false;
   bool driver_idle_ = true;  // true while the driver would be asleep in select
   Stats stats_;
+};
+
+// UchanShardSet: the sharded uchan of the multi-queue design — one
+// independent ring pair (one Uchan, one lock, one wakeup path) per device
+// queue. Shard 0 doubles as the control lane; shard q carries queue q's
+// packet traffic. There is deliberately NO cross-shard ordering: that is the
+// property that lets a per-queue driver thread and the kernel's per-queue
+// transmit path run with zero shared locks, and it mirrors real multi-queue
+// NICs, where ordering is only ever per-flow (and flows are pinned to queues
+// by the RSS hash).
+class UchanShardSet {
+ public:
+  // Handlers receive the shard index a message arrived on — derived from the
+  // channel itself, never from driver-marshalled bytes.
+  using QueuedDowncallHandler = std::function<void(UchanMsg&, uint16_t queue)>;
+  using QueuedFlushHandler = std::function<void(uint16_t queue)>;
+
+  UchanShardSet(uint32_t count, Uchan::Config config, CpuModel* cpu);
+
+  uint32_t count() const { return static_cast<uint32_t>(shards_.size()); }
+  Uchan& shard(uint32_t queue) { return *shards_[queue]; }
+  const Uchan& shard(uint32_t queue) const { return *shards_[queue]; }
+
+  void set_downcall_handler(QueuedDowncallHandler handler);
+  void set_downcall_flush_handler(QueuedFlushHandler handler);
+  void set_user_pump(std::function<void()> pump);  // installed on every shard
+
+  void ShutdownAll();
+  // Sum of every shard's counters: the single-lane view.
+  Uchan::Stats AggregateStats() const;
+
+ private:
+  std::vector<std::unique_ptr<Uchan>> shards_;
 };
 
 }  // namespace sud

@@ -21,7 +21,20 @@ class DirectEnv::NetAdapter : public kern::NetDeviceOps {
     return env_->net_ops_.stop ? env_->net_ops_.stop()
                                : Status(ErrorCode::kUnavailable, "no stop op");
   }
-  Status StartXmit(kern::SkbPtr skb) override {
+  Status StartXmit(kern::SkbPtr skb) override { return XmitOne(*skb, /*queue=*/0); }
+  size_t StartXmitBatch(std::vector<kern::SkbPtr> skbs, uint16_t queue) override {
+    size_t accepted = 0;
+    for (kern::SkbPtr& skb : skbs) {
+      if (!XmitOne(*skb, queue).ok()) {
+        break;
+      }
+      ++accepted;
+    }
+    return accepted;
+  }
+
+ private:
+  Status XmitOne(const kern::Skb& skb, uint16_t queue) {
     if (!env_->net_ops_.xmit) {
       return Status(ErrorCode::kUnavailable, "no xmit op");
     }
@@ -37,12 +50,14 @@ class DirectEnv::NetAdapter : public kern::NetDeviceOps {
     if (!view.ok()) {
       return view.status();
     }
-    size_t len = std::min<size_t>(skb->data_len(), kTxBounceBytes);
-    std::memcpy(view.value().data(), skb->data(), len);
+    size_t len = std::min<size_t>(skb.data_len(), kTxBounceBytes);
+    std::memcpy(view.value().data(), skb.data(), len);
     CpuModel& cpu = env_->kernel_->machine().cpu();
     cpu.Charge(env_->account_, cpu.costs().dma_map);
-    return env_->net_ops_.xmit(bounce.value(), static_cast<uint32_t>(len), -1);
+    return env_->net_ops_.xmit(bounce.value(), static_cast<uint32_t>(len), -1, queue);
   }
+
+ public:
   Result<std::string> Ioctl(uint32_t cmd) override {
     if (!env_->net_ops_.ioctl) {
       return Status(ErrorCode::kUnavailable, "no ioctl op");
@@ -193,23 +208,36 @@ Result<ByteSpan> DirectEnv::DmaView(uint64_t iova, uint64_t len) {
 }
 
 Status DirectEnv::RequestIrq(std::function<void()> handler) {
-  Result<uint8_t> vector = kernel_->AllocIrqVector();
-  if (!vector.ok()) {
-    return vector.status();
+  return RequestQueueIrqs(1, [handler = std::move(handler)](uint16_t) { handler(); });
+}
+
+Status DirectEnv::RequestQueueIrqs(uint16_t num_queues, std::function<void(uint16_t)> handler) {
+  if (num_queues == 0) {
+    num_queues = 1;
   }
-  vector_ = vector.value();
-  SUD_RETURN_IF_ERROR(kernel_->RequestIrq(
-      vector_, [this, handler = std::move(handler)](uint16_t source_id) {
-        CpuModel& cpu = kernel_->machine().cpu();
-        cpu.Charge(account_, cpu.costs().interrupt_entry);
-        handler();
-      }));
+  Result<uint8_t> base = kernel_->AllocIrqVectorRange(static_cast<uint8_t>(num_queues));
+  if (!base.ok()) {
+    return base.status();
+  }
+  vector_ = base.value();
+  irq_vector_count_ = num_queues;
+  for (uint16_t q = 0; q < num_queues; ++q) {
+    SUD_RETURN_IF_ERROR(kernel_->RequestIrq(
+        static_cast<uint8_t>(vector_ + q), [this, handler, q](uint16_t source_id) {
+          CpuModel& cpu = kernel_->machine().cpu();
+          cpu.Charge(account_, cpu.costs().interrupt_entry);
+          handler(q);
+        }));
+  }
   device_->config().set_msi_address(hw::kMsiRangeBase);
   device_->config().set_msi_data(vector_);
   device_->config().set_msi_enabled(true);
   if (kernel_->machine().iommu().interrupt_remapping()) {
-    SUD_RETURN_IF_ERROR(kernel_->machine().iommu().SetInterruptRemapEntry(
-        device_->address().source_id(), vector_, vector_));
+    for (uint16_t q = 0; q < num_queues; ++q) {
+      SUD_RETURN_IF_ERROR(kernel_->machine().iommu().SetInterruptRemapEntry(
+          device_->address().source_id(), static_cast<uint8_t>(vector_ + q),
+          static_cast<uint8_t>(vector_ + q)));
+    }
   }
   irq_registered_ = true;
   return Status::Ok();
@@ -221,7 +249,15 @@ Status DirectEnv::FreeIrq() {
   }
   irq_registered_ = false;
   device_->config().set_msi_enabled(false);
-  return kernel_->FreeIrq(vector_);
+  Status status = Status::Ok();
+  for (uint16_t q = 0; q < irq_vector_count_; ++q) {
+    Status freed = kernel_->FreeIrq(static_cast<uint8_t>(vector_ + q));
+    if (!freed.ok()) {
+      status = freed;
+    }
+  }
+  irq_vector_count_ = 0;
+  return status;
 }
 
 Result<uint64_t> DirectEnv::AcquireTxBounce() {
@@ -257,10 +293,11 @@ Status DirectEnv::RegisterNetdev(const uint8_t mac[6], NetDriverOps ops) {
     return netdev.status();
   }
   netdev_ = netdev.value();
+  netdev_->set_num_queues(net_ops_.num_queues);
   return Status::Ok();
 }
 
-Status DirectEnv::NetifRx(uint64_t frame_iova, uint32_t len) {
+Status DirectEnv::NetifRx(uint64_t frame_iova, uint32_t len, uint16_t queue) {
   if (netdev_ == nullptr) {
     return Status(ErrorCode::kUnavailable, "netdev not registered");
   }
@@ -272,7 +309,7 @@ Status DirectEnv::NetifRx(uint64_t frame_iova, uint32_t len) {
   cpu.ChargeBytes(account_, cpu.costs().per_byte_checksum, len);
   cpu.Charge(account_, cpu.costs().skb_alloc + cpu.costs().stack_work_per_pkt);
   auto skb = kern::MakeSkb(ConstByteSpan(view.value().data(), len));
-  return kernel_->net().NetifRx(netdev_, std::move(skb));
+  return kernel_->net().NetifRx(netdev_, std::move(skb), queue);
 }
 
 void DirectEnv::NetifCarrierOn() {

@@ -46,10 +46,14 @@ class DirectEnv : public DriverEnv {
   Result<DmaRegion> DmaAllocCaching(uint64_t bytes) override;
   Result<ByteSpan> DmaView(uint64_t iova, uint64_t len) override;
   Status RequestIrq(std::function<void()> handler) override;
+  // In-kernel multi-queue: allocates a contiguous vector range and registers
+  // one kernel irq per queue, exactly how pci_alloc_irq_vectors + per-vector
+  // request_irq behave for a real MSI multi-message device.
+  Status RequestQueueIrqs(uint16_t num_queues, std::function<void(uint16_t)> handler) override;
   Status FreeIrq() override;
   Status InterruptAck() override { return Status::Ok(); }  // in-kernel: nothing to unmask
   Status RegisterNetdev(const uint8_t mac[6], NetDriverOps ops) override;
-  Status NetifRx(uint64_t frame_iova, uint32_t len) override;
+  Status NetifRx(uint64_t frame_iova, uint32_t len, uint16_t queue = 0) override;
   void NetifCarrierOn() override;
   void NetifCarrierOff() override;
   void FreeTxBuffer(int32_t pool_buffer_id) override;
@@ -77,6 +81,7 @@ class DirectEnv : public DriverEnv {
   CpuAccount account_;
   std::unique_ptr<DmaSpace> dma_;
   uint8_t vector_ = 0;
+  uint16_t irq_vector_count_ = 0;
   bool irq_registered_ = false;
 
   NetDriverOps net_ops_;

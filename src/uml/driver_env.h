@@ -33,12 +33,18 @@ namespace sud::uml {
 // Callbacks a network driver registers with register_netdev. `xmit` receives
 // the frame already in DMA-visible memory at `frame_iova`; `pool_buffer_id`
 // is >= 0 when the frame lives in a shared-pool buffer the driver must
-// return with FreeTxBuffer once transmitted.
+// return with FreeTxBuffer once transmitted. `queue` is the TX queue the
+// kernel's flow steering selected (always 0 for single-queue drivers).
 struct NetDriverOps {
   std::function<Status()> open;       // ndo_open
   std::function<Status()> stop;       // ndo_stop
-  std::function<Status(uint64_t frame_iova, uint32_t len, int32_t pool_buffer_id)> xmit;
+  std::function<Status(uint64_t frame_iova, uint32_t len, int32_t pool_buffer_id, uint16_t queue)>
+      xmit;                           // ndo_start_xmit
   std::function<Result<std::string>(uint32_t cmd)> ioctl;
+  // Number of TX/RX queue pairs the driver services (netif_set_real_num_
+  // tx_queues): the kernel steers flows across [0, num_queues) and the SUD
+  // layer shards the uchan accordingly.
+  uint16_t num_queues = 1;
 };
 
 struct WifiDriverOps {
@@ -87,14 +93,34 @@ class DriverEnv {
   virtual Status FreeIrq() = 0;
   // Signals end-of-interrupt handling ("interrupt_ack" downcall under SUD).
   virtual Status InterruptAck() = 0;
+  // Multi-queue interrupt registration (pci_alloc_irq_vectors + per-vector
+  // request_irq): `handler(q)` runs when MSI message q fires. The default
+  // degrades to the single-vector path, collapsing every queue onto
+  // message 0 — correct for environments that predate per-queue vectors.
+  virtual Status RequestQueueIrqs(uint16_t num_queues, std::function<void(uint16_t)> handler) {
+    (void)num_queues;
+    return RequestIrq([handler = std::move(handler)]() { handler(0); });
+  }
 
   // --- network subsystem
   virtual Status RegisterNetdev(const uint8_t mac[6], NetDriverOps ops) = 0;
-  virtual Status NetifRx(uint64_t frame_iova, uint32_t len) = 0;
+  // `queue` names the RX queue the frame arrived on (per-queue NAPI array
+  // under SUD: each queue batches and flushes independently).
+  virtual Status NetifRx(uint64_t frame_iova, uint32_t len, uint16_t queue = 0) = 0;
   virtual void NetifCarrierOn() = 0;   // mirror macros (§3.3)
   virtual void NetifCarrierOff() = 0;
   // Returns a transmitted shared-pool buffer (no-op in-kernel).
   virtual void FreeTxBuffer(int32_t pool_buffer_id) = 0;
+  // TX completion coalescing: returns a whole reap pass worth of buffers in
+  // ONE downcall on queue `queue`'s shard (one message carrying the id
+  // array, against one message per id). The default loops for environments
+  // without the batched path.
+  virtual void FreeTxBuffers(uint16_t queue, const std::vector<int32_t>& pool_buffer_ids) {
+    (void)queue;
+    for (int32_t id : pool_buffer_ids) {
+      FreeTxBuffer(id);
+    }
+  }
 
   // --- wireless subsystem
   virtual Status RegisterWifi(uint32_t supported_features, WifiDriverOps ops) = 0;

@@ -42,7 +42,12 @@ Status DriverHost::Start(std::unique_ptr<Driver> driver, Mode mode) {
 
   if (mode == Mode::kThreaded) {
     stop_requested_ = false;
-    thread_ = std::thread([this]() { ThreadLoop(); });
+    threads_.emplace_back([this]() { ThreadLoop(); });
+  } else if (mode == Mode::kThreadedPerQueue) {
+    stop_requested_ = false;
+    for (uint16_t q = 0; q < ctx_->num_queues(); ++q) {
+      threads_.emplace_back([this, q]() { QueueThreadLoop(q); });
+    }
   }
   SUD_LOG(kInfo) << name_ << ": driver " << driver_->name() << " started (pid "
                  << process_->pid() << ")";
@@ -55,15 +60,29 @@ void DriverHost::ThreadLoop() {
   }
 }
 
+void DriverHost::QueueThreadLoop(uint16_t queue) {
+  // One pump per uchan shard: this thread only ever touches queue-`queue`
+  // state (its ring pair, its rx array, its descriptor rings), so the packet
+  // path scales across queues without a shared lock.
+  while (!stop_requested_) {
+    (void)runtime_->RunOnceQueue(queue, /*timeout_ms=*/5);
+  }
+}
+
 Status DriverHost::Kill() {
   if (!running_) {
     return Status(ErrorCode::kUnavailable, name_ + " not running");
   }
   stop_requested_ = true;
-  ctx_->ctl().Shutdown();  // unblocks a thread stuck in Wait
-  if (thread_.joinable()) {
-    thread_.join();
+  for (uint16_t q = 0; q < ctx_->num_queues(); ++q) {
+    ctx_->ctl(q).Shutdown();  // unblocks threads stuck in Wait
   }
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) {
+      thread.join();
+    }
+  }
+  threads_.clear();
   (void)kernel_->processes().Kill(process_->pid());
   ctx_->Teardown();  // the kernel reclaims every granted resource
   running_ = false;

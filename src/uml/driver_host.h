@@ -8,11 +8,14 @@
 // starts a fresh driver instance against a re-bound context, demonstrating
 // that recovery needs nothing beyond process machinery.
 //
-// Two execution modes:
+// Execution modes:
 //  * pumped (default): the driver's dispatch loop runs inline whenever the
 //    kernel would block on it — deterministic, used by tests and benches;
 //  * threaded: a real std::thread runs the dispatch loop, used by the
-//    liveness tests (hung-driver timeouts against a real concurrent driver).
+//    liveness tests (hung-driver timeouts against a real concurrent driver);
+//  * threaded-per-queue: one std::thread per uchan shard, each pumping its
+//    own queue's ring pair — the multi-queue scaling configuration, where
+//    the packet path runs with no lock shared between queues.
 
 #ifndef SUD_SRC_UML_DRIVER_HOST_H_
 #define SUD_SRC_UML_DRIVER_HOST_H_
@@ -21,6 +24,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/kern/kernel.h"
 #include "src/sud/safe_pci.h"
@@ -32,7 +36,7 @@ class DriverHost {
  public:
   // kComatose models a driver process stuck in an infinite loop: it exists,
   // holds its resources, but never services its uchan.
-  enum class Mode { kPumped, kThreaded, kComatose };
+  enum class Mode { kPumped, kThreaded, kThreadedPerQueue, kComatose };
 
   DriverHost(kern::Kernel* kernel, SudDeviceContext* ctx, std::string name, kern::Uid uid);
   ~DriverHost();
@@ -60,6 +64,7 @@ class DriverHost {
 
  private:
   void ThreadLoop();
+  void QueueThreadLoop(uint16_t queue);
 
   kern::Kernel* kernel_;
   SudDeviceContext* ctx_;
@@ -68,7 +73,7 @@ class DriverHost {
   kern::Process* process_ = nullptr;
   std::unique_ptr<UmlRuntime> runtime_;
   std::unique_ptr<Driver> driver_;
-  std::thread thread_;
+  std::vector<std::thread> threads_;  // one (kThreaded) or one per shard
   std::atomic<bool> stop_requested_{false};
   bool running_ = false;
   Mode mode_ = Mode::kPumped;

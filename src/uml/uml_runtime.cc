@@ -6,6 +6,14 @@
 
 namespace sud::uml {
 
+namespace {
+// The queue whose pump loop this thread is currently inside (0 outside any
+// pump, e.g. during probe). Control downcalls flush ONLY this queue's rx
+// array: flushing every queue would touch other pump threads' slots, and
+// cross-shard ordering is deliberately undefined anyway.
+thread_local uint16_t t_current_pump_queue = 0;
+}  // namespace
+
 UmlRuntime::UmlRuntime(kern::Kernel* kernel, SudDeviceContext* ctx, kern::Process* proc)
     : kernel_(kernel), ctx_(ctx), proc_(proc) {}
 
@@ -95,68 +103,101 @@ Result<ByteSpan> UmlRuntime::DmaView(uint64_t iova, uint64_t len) {
 
 Status UmlRuntime::RequestIrq(std::function<void()> handler) {
   irq_handler_ = std::move(handler);
+  irq_queue_handler_ = nullptr;
+  return Status::Ok();
+}
+
+Status UmlRuntime::RequestQueueIrqs(uint16_t num_queues, std::function<void(uint16_t)> handler) {
+  if (num_queues > ctx_->num_queues()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "driver wants more irq vectors than the exported device has");
+  }
+  irq_queue_handler_ = std::move(handler);
+  irq_handler_ = nullptr;
   return Status::Ok();
 }
 
 Status UmlRuntime::FreeIrq() {
   irq_handler_ = nullptr;
+  irq_queue_handler_ = nullptr;
   return Status::Ok();
 }
 
-Status UmlRuntime::InterruptAck() {
+Status UmlRuntime::InterruptAck() { return InterruptAckQueue(0); }
+
+Status UmlRuntime::InterruptAckQueue(uint16_t queue) {
+  // The queue's pending rx array must be ordered ahead of this synchronous
+  // entry on the same shard.
+  FlushRxPendingQueue(queue, /*enter_kernel=*/false);
   UchanMsg msg;
-  return SyncDowncall(kOpInterruptAck, &msg);
+  msg.opcode = kOpInterruptAck;
+  msg.args[0] = queue;
+  return ctx_->ctl(queue).DowncallSync(msg);
 }
 
 Status UmlRuntime::SyncDowncall(uint32_t opcode, UchanMsg* msg) {
-  // The pending rx array must be ordered ahead of this synchronous entry.
-  FlushRxPending(/*enter_kernel=*/false);
+  // Control rides shard 0. The calling thread's own pending rx array is
+  // flushed first so this downcall never overtakes packet downcalls the same
+  // execution batched earlier (per-shard order; other queues' arrays belong
+  // to other pump threads and are unordered relative to shard 0 by design).
+  FlushRxPendingQueue(t_current_pump_queue, /*enter_kernel=*/false);
   msg->opcode = opcode;
   return ctx_->ctl().DowncallSync(*msg);
 }
 
 Status UmlRuntime::AsyncDowncall(UchanMsg msg) {
-  // Later downcalls may not overtake queued netif_rx messages.
-  FlushRxPending(/*enter_kernel=*/false);
+  // Later downcalls may not overtake netif_rx messages this thread queued.
+  FlushRxPendingQueue(t_current_pump_queue, /*enter_kernel=*/false);
   return ctx_->ctl().DowncallAsync(std::move(msg));
 }
 
-void UmlRuntime::FlushRxPending(bool enter_kernel) {
-  if (!rx_pending_.empty()) {
+void UmlRuntime::FlushRxPendingQueue(uint16_t queue, bool enter_kernel) {
+  if (!rx_pending_[queue].empty()) {
     std::vector<UchanMsg> batch;
-    batch.swap(rx_pending_);
-    ++stats_.rx_batches_flushed;
-    (void)ctx_->ctl().DowncallAsyncBatch(std::move(batch));
+    batch.swap(rx_pending_[queue]);
+    stats_.rx_batches_flushed.fetch_add(1, std::memory_order_relaxed);
+    (void)ctx_->ctl(queue).DowncallAsyncBatch(std::move(batch));
   }
   if (enter_kernel) {
-    ctx_->ctl().FlushDowncalls();
+    ctx_->ctl(queue).FlushDowncalls();
+  }
+}
+
+void UmlRuntime::FlushRxPending(bool enter_kernel) {
+  for (uint16_t q = 0; q < ctx_->num_queues(); ++q) {
+    FlushRxPendingQueue(q, enter_kernel);
   }
 }
 
 Status UmlRuntime::RegisterNetdev(const uint8_t mac[6], NetDriverOps ops) {
   UchanMsg msg;
   msg.inline_data.assign(mac, mac + 6);
+  msg.args[0] = ops.num_queues == 0 ? 1 : ops.num_queues;
   SUD_RETURN_IF_ERROR(SyncDowncall(kEthDownRegisterNetdev, &msg));
   net_ops_ = std::move(ops);
   net_registered_ = true;
   return Status::Ok();
 }
 
-Status UmlRuntime::NetifRx(uint64_t frame_iova, uint32_t len) {
+Status UmlRuntime::NetifRx(uint64_t frame_iova, uint32_t len, uint16_t queue) {
+  if (queue >= ctx_->num_queues()) {
+    queue = 0;
+  }
   UchanMsg msg;
   msg.opcode = kEthDownNetifRx;
   msg.args[0] = frame_iova;
   msg.args[1] = len;
-  if (ctx_->ctl().is_shutdown()) {
+  if (ctx_->ctl(queue).is_shutdown()) {
     return Status(ErrorCode::kUnavailable, "uchan shut down");
   }
-  // NAPI accumulation: the message joins the local rx array; the whole array
-  // crosses into the kernel once `depth` packets are pending (or at the next
-  // flush point — Wait, a sync downcall — whichever comes first).
-  rx_pending_.push_back(std::move(msg));
-  uint32_t depth = ctx_->ctl().config().batch_async_downcalls ? rx_batch_depth_ : 1;
-  if (rx_pending_.size() >= depth) {
-    FlushRxPending(/*enter_kernel=*/true);
+  // NAPI accumulation: the message joins the queue's local rx array; the
+  // whole array crosses into the kernel on the queue's shard once `depth`
+  // packets are pending (or at the next flush point — Wait, a sync downcall —
+  // whichever comes first).
+  rx_pending_[queue].push_back(std::move(msg));
+  uint32_t depth = ctx_->ctl(queue).config().batch_async_downcalls ? rx_batch_depth_ : 1;
+  if (rx_pending_[queue].size() >= depth) {
+    FlushRxPendingQueue(queue, /*enter_kernel=*/true);
   }
   return Status::Ok();
 }
@@ -180,6 +221,36 @@ void UmlRuntime::FreeTxBuffer(int32_t pool_buffer_id) {
   msg.opcode = kEthDownFreeBuffer;
   msg.args[0] = static_cast<uint64_t>(pool_buffer_id);
   (void)AsyncDowncall(std::move(msg));
+}
+
+void UmlRuntime::FreeTxBuffers(uint16_t queue, const std::vector<int32_t>& pool_buffer_ids) {
+  if (pool_buffer_ids.empty()) {
+    return;
+  }
+  if (queue >= ctx_->num_queues()) {
+    queue = 0;
+  }
+  if (pool_buffer_ids.size() == 1) {
+    // Single completion: the legacy one-id message, on the queue's shard.
+    FlushRxPendingQueue(queue, /*enter_kernel=*/false);
+    UchanMsg msg;
+    msg.opcode = kEthDownFreeBuffer;
+    msg.args[0] = static_cast<uint64_t>(pool_buffer_ids[0]);
+    (void)ctx_->ctl(queue).DowncallAsync(std::move(msg));
+    return;
+  }
+  // TX completion coalescing: one message carries the whole reap pass
+  // (args[0] = count, ids as little-endian int32s in inline_data) instead of
+  // one kEthDownFreeBuffer per transmitted buffer.
+  FlushRxPendingQueue(queue, /*enter_kernel=*/false);
+  UchanMsg msg;
+  msg.opcode = kEthDownFreeBuffer;
+  msg.args[0] = pool_buffer_ids.size();
+  msg.inline_data.resize(pool_buffer_ids.size() * 4);
+  for (size_t i = 0; i < pool_buffer_ids.size(); ++i) {
+    StoreLe32(msg.inline_data.data() + i * 4, static_cast<uint32_t>(pool_buffer_ids[i]));
+  }
+  (void)ctx_->ctl(queue).DowncallAsync(std::move(msg));
 }
 
 Status UmlRuntime::RegisterWifi(uint32_t supported_features, WifiDriverOps ops) {
@@ -230,9 +301,21 @@ void UmlRuntime::SubmitKeyEvent(uint8_t usage_code) {
 }
 
 Status UmlRuntime::RunOnce(uint64_t timeout_ms) {
-  // Hand any accumulated rx array to the uchan batch so the Wait entry (the
-  // flush point) carries it into the kernel.
+  // Hand any accumulated rx arrays to their shards' batches so the Wait
+  // entry (the flush point) carries them into the kernel.
   FlushRxPending(/*enter_kernel=*/false);
+  // Poll every shard first (no sleeping): queue shards carry packet work.
+  for (uint16_t q = 1; q < ctx_->num_queues(); ++q) {
+    Result<UchanMsg> msg = ctx_->ctl(q).Wait(0);
+    if (msg.ok()) {
+      Dispatch(msg.value());
+      return Status::Ok();
+    }
+    if (msg.status().code() != ErrorCode::kTimedOut) {
+      return msg.status();
+    }
+  }
+  // Timed blocking on shard 0, the control lane.
   Result<UchanMsg> msg = ctx_->ctl().Wait(timeout_ms);
   if (!msg.ok()) {
     return msg.status();
@@ -241,44 +324,87 @@ Status UmlRuntime::RunOnce(uint64_t timeout_ms) {
   return Status::Ok();
 }
 
-void UmlRuntime::ProcessPending() {
+Status UmlRuntime::RunOnceQueue(uint16_t queue, uint64_t timeout_ms) {
+  t_current_pump_queue = queue;
+  FlushRxPendingQueue(queue, /*enter_kernel=*/false);
+  constexpr size_t kDispatchBurst = 64;
+  Result<std::vector<UchanMsg>> batch = ctx_->ctl(queue).WaitBatch(timeout_ms, kDispatchBurst);
+  if (!batch.ok()) {
+    // Flush any downcalls the handlers batched before going idle.
+    FlushRxPendingQueue(queue, /*enter_kernel=*/true);
+    return batch.status();
+  }
+  for (UchanMsg& msg : batch.value()) {
+    Dispatch(msg);
+  }
+  return Status::Ok();
+}
+
+size_t UmlRuntime::ProcessPendingQueue(uint16_t queue) {
   // One WaitBatch crossing dequeues a whole burst of upcalls; interrupt
   // handlers then refill the rx array, which the next iteration's WaitBatch
   // (or the final flush) carries into the kernel.
-  constexpr size_t kDispatchBurst = 64;
-  while (true) {
-    FlushRxPending(/*enter_kernel=*/false);
-    Result<std::vector<UchanMsg>> batch = ctx_->ctl().WaitBatch(0, kDispatchBurst);
-    if (!batch.ok()) {
-      // Flush any downcalls the handlers batched before going idle.
-      FlushRxPending(/*enter_kernel=*/true);
-      return;
-    }
-    for (UchanMsg& msg : batch.value()) {
-      Dispatch(msg);
-    }
+  size_t rounds = 0;
+  while (RunOnceQueue(queue, 0).ok()) {
+    ++rounds;
   }
+  return rounds;
+}
+
+void UmlRuntime::ProcessPending() {
+  if (ctx_->num_queues() == 1) {
+    (void)ProcessPendingQueue(0);
+    return;
+  }
+  // Drain every shard; keep sweeping while any shard had work, because
+  // handling one queue's upcalls can enqueue messages on another (e.g. a
+  // control reply triggering a transmit).
+  bool any;
+  do {
+    any = false;
+    for (uint16_t q = 0; q < ctx_->num_queues(); ++q) {
+      if (ProcessPendingQueue(q) > 0) {
+        any = true;
+      }
+    }
+  } while (any);
 }
 
 void UmlRuntime::Dispatch(UchanMsg& msg) {
-  ++stats_.upcalls_dispatched;
+  stats_.upcalls_dispatched.fetch_add(1, std::memory_order_relaxed);
   switch (msg.opcode) {
     case kOpInterrupt: {
-      ++stats_.irq_upcalls;
+      stats_.irq_upcalls.fetch_add(1, std::memory_order_relaxed);
       // Interrupt handlers may block in Linux driver conventions only when
       // threaded; the UML idle thread therefore hands them to a worker
       // (Section 4.2). The pool is modelled: dispatch stays inline but is
       // accounted as a worker dispatch.
-      ++stats_.worker_dispatches;
-      if (irq_handler_) {
-        irq_handler_();
+      stats_.worker_dispatches.fetch_add(1, std::memory_order_relaxed);
+      uint16_t queue = static_cast<uint16_t>(msg.args[0]);
+      if (queue >= ctx_->num_queues()) {
+        queue = 0;
       }
-      // Re-enable the device interrupt once handling completes.
-      (void)InterruptAck();
+      if (irq_queue_handler_) {
+        irq_queue_handler_(queue);
+        // Re-enable the interrupt (on the queue's own shard, behind the rx
+        // array the poll produced), then poll once more: an event that fired
+        // while our interrupt was masked-and-coalesced left no pending MSI,
+        // so the classic NAPI poll/ack race is closed by re-polling after
+        // the ack. An empty re-poll touches no modeled state (descriptor
+        // peeks are host-side), so the charge stream is unchanged.
+        (void)InterruptAckQueue(queue);
+        irq_queue_handler_(queue);
+      } else {
+        if (irq_handler_) {
+          irq_handler_();
+        }
+        // Re-enable the device interrupt once handling completes.
+        (void)InterruptAck();
+      }
       return;
     }
     case kEthUpOpen: {
-      ++stats_.inline_dispatches;
+      stats_.inline_dispatches.fetch_add(1, std::memory_order_relaxed);
       UchanMsg reply;
       reply.error = net_registered_ && net_ops_.open
                         ? static_cast<int32_t>(net_ops_.open().code())
@@ -287,7 +413,7 @@ void UmlRuntime::Dispatch(UchanMsg& msg) {
       return;
     }
     case kEthUpStop: {
-      ++stats_.inline_dispatches;
+      stats_.inline_dispatches.fetch_add(1, std::memory_order_relaxed);
       UchanMsg reply;
       reply.error = net_registered_ && net_ops_.stop
                         ? static_cast<int32_t>(net_ops_.stop().code())
@@ -296,18 +422,19 @@ void UmlRuntime::Dispatch(UchanMsg& msg) {
       return;
     }
     case kEthUpXmit: {
-      ++stats_.inline_dispatches;
+      stats_.inline_dispatches.fetch_add(1, std::memory_order_relaxed);
       if (net_registered_ && net_ops_.xmit) {
         Result<uint64_t> iova = ctx_->pool().BufferIova(msg.buffer_id);
         if (iova.ok()) {
-          (void)net_ops_.xmit(iova.value(), msg.buffer_len, msg.buffer_id);
+          uint16_t queue = static_cast<uint16_t>(msg.args[0]);
+          (void)net_ops_.xmit(iova.value(), msg.buffer_len, msg.buffer_id, queue);
         }
       }
       return;
     }
     case kEthUpIoctl: {
       // Ioctls may block (MII reads sleep on real hardware): worker rule.
-      ++stats_.worker_dispatches;
+      stats_.worker_dispatches.fetch_add(1, std::memory_order_relaxed);
       UchanMsg reply;
       if (net_registered_ && net_ops_.ioctl) {
         Result<std::string> result = net_ops_.ioctl(static_cast<uint32_t>(msg.args[0]));
@@ -324,7 +451,7 @@ void UmlRuntime::Dispatch(UchanMsg& msg) {
       return;
     }
     case kWifiUpScan: {
-      ++stats_.worker_dispatches;
+      stats_.worker_dispatches.fetch_add(1, std::memory_order_relaxed);
       UchanMsg reply;
       if (wifi_registered_ && wifi_ops_.scan) {
         Result<std::vector<kern::ScanResult>> results = wifi_ops_.scan();
@@ -349,7 +476,7 @@ void UmlRuntime::Dispatch(UchanMsg& msg) {
       return;
     }
     case kWifiUpAssociate: {
-      ++stats_.worker_dispatches;
+      stats_.worker_dispatches.fetch_add(1, std::memory_order_relaxed);
       UchanMsg reply;
       if (wifi_registered_ && wifi_ops_.associate) {
         std::string ssid(msg.inline_data.begin(), msg.inline_data.end());
@@ -361,14 +488,14 @@ void UmlRuntime::Dispatch(UchanMsg& msg) {
       return;
     }
     case kWifiUpEnableFeatures: {
-      ++stats_.inline_dispatches;
+      stats_.inline_dispatches.fetch_add(1, std::memory_order_relaxed);
       if (wifi_registered_ && wifi_ops_.enable_features) {
         wifi_ops_.enable_features(static_cast<uint32_t>(msg.args[0]));
       }
       return;
     }
     case kAudioUpOpenStream: {
-      ++stats_.worker_dispatches;
+      stats_.worker_dispatches.fetch_add(1, std::memory_order_relaxed);
       UchanMsg reply;
       if (audio_registered_ && audio_ops_.open_stream) {
         kern::PcmConfig config;
@@ -385,7 +512,7 @@ void UmlRuntime::Dispatch(UchanMsg& msg) {
       return;
     }
     case kAudioUpCloseStream: {
-      ++stats_.inline_dispatches;
+      stats_.inline_dispatches.fetch_add(1, std::memory_order_relaxed);
       UchanMsg reply;
       reply.error = audio_registered_ && audio_ops_.close_stream
                         ? static_cast<int32_t>(audio_ops_.close_stream().code())
@@ -394,7 +521,7 @@ void UmlRuntime::Dispatch(UchanMsg& msg) {
       return;
     }
     case kAudioUpWrite: {
-      ++stats_.inline_dispatches;
+      stats_.inline_dispatches.fetch_add(1, std::memory_order_relaxed);
       if (audio_registered_ && audio_ops_.write) {
         Result<uint64_t> iova = ctx_->pool().BufferIova(msg.buffer_id);
         if (iova.ok()) {
@@ -404,7 +531,7 @@ void UmlRuntime::Dispatch(UchanMsg& msg) {
       return;
     }
     default:
-      ++stats_.unknown_upcalls;
+      stats_.unknown_upcalls.fetch_add(1, std::memory_order_relaxed);
       SUD_LOG(kWarning) << "sud-uml: unknown upcall opcode " << msg.opcode;
       if (msg.needs_reply) {
         UchanMsg reply;

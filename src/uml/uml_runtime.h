@@ -14,10 +14,19 @@
 //     to a (modelled) worker-thread pool, non-blocking ones run inline;
 //  3. shared-memory state mirroring: netif_carrier_on/off and
 //     WifiSetBitrates become downcalls that update the kernel's copy.
+//
+// Multi-queue: the ctl file is sharded (one uchan ring pair per device
+// queue). The runtime keeps one NAPI rx accumulation array per queue and
+// flushes each into its own shard, dispatches queue q's upcalls from
+// RunOnceQueue/ProcessPendingQueue(q) (one pump thread per queue in
+// DriverHost's per-queue mode), and acks queue q's interrupt on shard q so
+// the ordering rx-before-ack holds per queue with no cross-queue lock.
 
 #ifndef SUD_SRC_UML_UML_RUNTIME_H_
 #define SUD_SRC_UML_UML_RUNTIME_H_
 
+#include <array>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -49,13 +58,15 @@ class UmlRuntime : public DriverEnv {
   Result<DmaRegion> DmaAllocCaching(uint64_t bytes) override;
   Result<ByteSpan> DmaView(uint64_t iova, uint64_t len) override;
   Status RequestIrq(std::function<void()> handler) override;
+  Status RequestQueueIrqs(uint16_t num_queues, std::function<void(uint16_t)> handler) override;
   Status FreeIrq() override;
   Status InterruptAck() override;
   Status RegisterNetdev(const uint8_t mac[6], NetDriverOps ops) override;
-  Status NetifRx(uint64_t frame_iova, uint32_t len) override;
+  Status NetifRx(uint64_t frame_iova, uint32_t len, uint16_t queue = 0) override;
   void NetifCarrierOn() override;
   void NetifCarrierOff() override;
   void FreeTxBuffer(int32_t pool_buffer_id) override;
+  void FreeTxBuffers(uint16_t queue, const std::vector<int32_t>& pool_buffer_ids) override;
   Status RegisterWifi(uint32_t supported_features, WifiDriverOps ops) override;
   void WifiBssChange(bool associated) override;
   void WifiSetBitrates(const std::vector<uint32_t>& rates) override;
@@ -64,26 +75,35 @@ class UmlRuntime : public DriverEnv {
   void SubmitKeyEvent(uint8_t usage_code) override;
 
   // --- dispatch loop ----------------------------------------------------------
-  // Processes one pending upcall; kTimedOut when none arrive in time.
+  // Processes one pending upcall from any shard; kTimedOut when none arrive
+  // in time (timed blocking is on shard 0, the control lane).
   Status RunOnce(uint64_t timeout_ms);
-  // Drains all pending upcalls without sleeping (the single-threaded pump).
-  // Dequeues in WaitBatch bursts: one modeled crossing per burst.
+  // Per-queue pump: processes one batch of shard q's upcalls, blocking up to
+  // `timeout_ms`. This is the body of DriverHost's per-queue threads.
+  Status RunOnceQueue(uint16_t queue, uint64_t timeout_ms);
+  // Drains all pending upcalls on every shard without sleeping (the
+  // single-threaded pump). Dequeues in WaitBatch bursts: one modeled
+  // crossing per burst.
   void ProcessPending();
+  // Drains one shard only (safe to call concurrently for different queues);
+  // returns how many bursts it dispatched.
+  size_t ProcessPendingQueue(uint16_t queue);
 
-  // NAPI rx batching: netif_rx downcalls accumulate until `depth` packets are
-  // pending, then the whole array is flushed into the kernel in one entry.
-  // Depth 1 reproduces the per-packet crossing of the unbatched design (and
-  // is forced when the uchan is configured with batch_async_downcalls off).
+  // NAPI rx batching: netif_rx downcalls accumulate per queue until `depth`
+  // packets are pending, then that queue's array is flushed into its shard
+  // in one entry. Depth 1 reproduces the per-packet crossing of the
+  // unbatched design (and is forced when the uchan is configured with
+  // batch_async_downcalls off).
   void set_rx_batch_depth(uint32_t depth) { rx_batch_depth_ = depth == 0 ? 1 : depth; }
   uint32_t rx_batch_depth() const { return rx_batch_depth_; }
 
   struct Stats {
-    uint64_t upcalls_dispatched = 0;
-    uint64_t irq_upcalls = 0;
-    uint64_t worker_dispatches = 0;  // blockable callbacks (modelled pool)
-    uint64_t inline_dispatches = 0;
-    uint64_t unknown_upcalls = 0;
-    uint64_t rx_batches_flushed = 0;  // netif_rx arrays handed to the kernel
+    std::atomic<uint64_t> upcalls_dispatched{0};
+    std::atomic<uint64_t> irq_upcalls{0};
+    std::atomic<uint64_t> worker_dispatches{0};  // blockable callbacks (modelled pool)
+    std::atomic<uint64_t> inline_dispatches{0};
+    std::atomic<uint64_t> unknown_upcalls{0};
+    std::atomic<uint64_t> rx_batches_flushed{0};  // netif_rx arrays handed to the kernel
   };
   const Stats& stats() const { return stats_; }
 
@@ -92,18 +112,25 @@ class UmlRuntime : public DriverEnv {
  private:
   void Dispatch(UchanMsg& msg);
   Status SyncDowncall(uint32_t opcode, UchanMsg* msg);
-  // Every downcall funnels through these so the pending rx array always
-  // enters the kernel *before* later downcalls (ring order is preserved).
+  // Every control downcall funnels through these so the pending rx arrays
+  // always enter the kernel *before* later downcalls on their shard (ring
+  // order is per-shard; control rides shard 0).
   Status AsyncDowncall(UchanMsg msg);
   void FlushRxPending(bool enter_kernel);
+  void FlushRxPendingQueue(uint16_t queue, bool enter_kernel);
+  // interrupt_ack for queue q, on shard q (after flushing its rx array).
+  Status InterruptAckQueue(uint16_t queue);
 
   kern::Kernel* kernel_;
   SudDeviceContext* ctx_;
   kern::Process* proc_;
 
   std::function<void()> irq_handler_;
+  std::function<void(uint16_t)> irq_queue_handler_;
   uint32_t rx_batch_depth_ = 64;
-  std::vector<UchanMsg> rx_pending_;  // accumulated netif_rx downcalls
+  // Accumulated netif_rx downcalls, one array per queue: worker thread q
+  // touches only slot q.
+  std::array<std::vector<UchanMsg>, kSudMaxQueues> rx_pending_;
   NetDriverOps net_ops_;
   bool net_registered_ = false;
   WifiDriverOps wifi_ops_;

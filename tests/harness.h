@@ -37,6 +37,9 @@ class NetBench {
     EthernetProxy::Options proxy;
     bool start_sut = true;   // export + probe the SUT e1000e under SUD
     bool start_peer = true;  // probe the peer e1000e in-kernel
+    // TX/RX queue pairs for the SUT NIC + driver. >1 shards the uchan (one
+    // ring pair and one MSI vector per queue) and enables RSS steering.
+    uint32_t nic_queues = 1;
   };
 
   NetBench() : NetBench(Options{}) {}
@@ -46,7 +49,9 @@ class NetBench {
         kernel(&machine),
         sut_nic("e1000e-sut", kMacA),
         peer_nic("e1000e-peer", kMacB),
-        safe_pci(&kernel, options.policy) {
+        safe_pci(&kernel, options.policy),
+        nic_queues_(options.nic_queues == 0 ? 1 : options.nic_queues) {
+    options.sud.num_queues = nic_queues_;
     sw = &machine.AddSwitch("pcie-switch-0");
     (void)machine.AttachDevice(*sw, &sut_nic);
     (void)machine.AttachDevice(*sw, &peer_nic);
@@ -79,7 +84,7 @@ class NetBench {
   // source, DirectEnv instead of SUD. Use with Options{.start_sut = false}.
   Status StartSutInKernel() {
     sut_env = std::make_unique<uml::DirectEnv>(&kernel, &sut_nic);
-    auto driver = std::make_unique<drivers::E1000eDriver>();
+    auto driver = std::make_unique<drivers::E1000eDriver>(nic_queues_);
     sut_driver = driver.get();
     sut_driver_owner = std::move(driver);
     SUD_RETURN_IF_ERROR(sut_driver_owner->Probe(*sut_env));
@@ -91,11 +96,12 @@ class NetBench {
     return sut_env != nullptr ? sut_env->netdev()->name() : "eth0";
   }
 
-  // Starts the SUT driver process (probe + open).
-  Status StartSut() {
-    auto driver = std::make_unique<drivers::E1000eDriver>();
+  // Starts the SUT driver process (probe + open). kThreadedPerQueue gives
+  // each uchan shard its own pump thread (the multi-queue scaling mode).
+  Status StartSut(uml::DriverHost::Mode mode = uml::DriverHost::Mode::kPumped) {
+    auto driver = std::make_unique<drivers::E1000eDriver>(nic_queues_);
     sut_driver = driver.get();
-    SUD_RETURN_IF_ERROR(host->Start(std::move(driver)));
+    SUD_RETURN_IF_ERROR(host->Start(std::move(driver), mode));
     return kernel.net().BringUp("eth0");
   }
 
@@ -116,6 +122,36 @@ class NetBench {
     }
     return kernel.net().TransmitBatch(peer_env->netdev(), std::move(skbs)).status();
   }
+
+  // Sends `count` packets from the peer spread across `flows` distinct
+  // source ports — RSS steers each flow to a stable SUT queue, so a
+  // multi-queue SUT sees the burst fan out over its rings. Frames are
+  // prebuilt once per flow (checksum computed `flows` times, not `count`).
+  Status PeerSendFlowBurst(uint16_t base_src_port, uint16_t dst_port, ConstByteSpan payload,
+                           int count, uint16_t flows) {
+    if (flows == 0) {
+      flows = 1;
+    }
+    if (flow_frames_.size() != flows || flow_frames_base_ != base_src_port) {
+      flow_frames_.clear();
+      for (uint16_t f = 0; f < flows; ++f) {
+        flow_frames_.push_back(kern::BuildPacket(kMacA, kMacB, base_src_port + f, dst_port,
+                                                 payload));
+      }
+      flow_frames_base_ = base_src_port;
+    }
+    std::vector<kern::SkbPtr> skbs;
+    skbs.reserve(count);
+    for (int i = 0; i < count; ++i) {
+      const std::vector<uint8_t>& frame = flow_frames_[i % flows];
+      skbs.push_back(kern::MakeSkb(ConstByteSpan(frame.data(), frame.size())));
+    }
+    return kernel.net().TransmitBatch(peer_env->netdev(), std::move(skbs)).status();
+  }
+
+  // Masks the peer NIC's interrupts (benches that only ever transmit from
+  // the peer reap its TX ring lazily from the full-ring check instead).
+  void MaskPeerIrq() { (void)peer_env->MmioWrite32(0, devices::kNicRegImc, 0xffffffffu); }
 
   // Transmits `count` identical packets out of the SUT interface as one
   // burst (one uchan crossing under SUD).
@@ -154,6 +190,9 @@ class NetBench {
   std::unique_ptr<drivers::E1000eDriver> sut_driver_owner;
   drivers::E1000eDriver* peer_driver = nullptr;
   drivers::E1000eDriver* sut_driver = nullptr;
+  uint32_t nic_queues_ = 1;
+  std::vector<std::vector<uint8_t>> flow_frames_;  // PeerSendFlowBurst cache
+  uint16_t flow_frames_base_ = 0;
 };
 
 }  // namespace sud::testing
