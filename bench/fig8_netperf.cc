@@ -18,7 +18,11 @@
 //     the server path; SUD pays two process wakeups (~4 us each, §5.1) per
 //     transaction, which is why the paper reports 2x CPU.
 // CPU% is charged-busy over wall across the Thinkpad's two cores, as
-// netperf's CPU measurement reports it.
+// netperf's CPU measurement reports it — computed through the core-affinity
+// wall-time mapping (CpuModel's ScheduleOnCores): per-queue shard charges are
+// schedulable units, so a multi-queue run is billed the makespan of its
+// busiest core, while the single-queue rows reduce bit-for-bit to the legacy
+// two-core formula.
 //
 // The absolute calibration (app costs, client base RTT) is fit to the
 // paper's *kernel-driver* rows once; the SUD deltas then emerge entirely
@@ -147,6 +151,21 @@ double TotalCpu(NetBench& bench) {
                              bench.machine.cpu().busy(kAccountDriver));
 }
 
+// CPU% for the stream tests via the core-affinity wall-time mapping: each
+// queue's shard charges (already in row.queue_*) are independent schedulable
+// units, the remainder of `busy_ns` is serial, and the workload's wall time
+// is the floor. On the single-queue rows this reduces exactly to the legacy
+// two-core formula 100 * busy / (kCores * wall) — see CoreSchedule in
+// cpu_model.h — so the published Figure 8 rows are unchanged; a multi-queue
+// run instead pays the makespan of its busiest core when that exceeds the
+// wire time. (UDP_RR keeps its transaction-latency formula: CPU there is per
+// round trip, not a cores-normalised utilisation.)
+double ModelCpuPct(const Row& row, double busy_ns, double wall_floor_ns) {
+  return ScheduleOnCoresWithTotal(row.queue_kernel_ns, row.queue_driver_ns, busy_ns,
+                                  wall_floor_ns, static_cast<uint32_t>(kCores))
+      .cpu_pct;
+}
+
 class WallTimer {
  public:
   WallTimer() : start_(std::chrono::steady_clock::now()) {}
@@ -179,8 +198,9 @@ Row RunTcpStream(bool is_sud) {
   double cpu_ns = TotalCpu(bench) + kStreamPackets * kTcpAppNsPerPkt;
   double throughput_mbps = kTcpMss * 8.0 * kStreamPackets / wall_ns * 1000.0;
   Row row{"TCP_STREAM", config.name(), throughput_mbps, "Mbits/sec",
-          100.0 * cpu_ns / (kCores * wall_ns), is_sud ? 941.0 : 941.0, is_sud ? 13.0 : 12.0};
+          /*cpu_pct=*/0, is_sud ? 941.0 : 941.0, is_sud ? 13.0 : 12.0};
   config.FillUchanCounters(&row, kStreamPackets);
+  row.cpu_pct = ModelCpuPct(row, cpu_ns, wall_ns);
   row.sim_wall_us = timer.ElapsedUs();
   return row;
 }
@@ -213,8 +233,9 @@ Row RunUdpTx(bool is_sud) {
   double pps = kStreamPackets / wall_ns * 1e9;
   double cpu_ns = kernel_ns + driver_ns + kStreamPackets * kUdpSendBaseNs;
   Row row{"UDP_STREAM TX", config.name(), pps / 1000.0, "Kpackets/sec",
-          100.0 * cpu_ns / (kCores * wall_ns), is_sud ? 308.0 : 317.0, is_sud ? 39.0 : 35.0};
+          /*cpu_pct=*/0, is_sud ? 308.0 : 317.0, is_sud ? 39.0 : 35.0};
   config.FillUchanCounters(&row, kStreamPackets);
+  row.cpu_pct = ModelCpuPct(row, cpu_ns, wall_ns);
   row.sim_wall_us = timer.ElapsedUs();
   return row;
 }
@@ -249,8 +270,9 @@ Row RunUdpRx(bool is_sud) {
   double cpu_ns = kernel_ns + driver_ns + kStreamPackets * kUdpRxAppNsPerPkt;
   Row row{"UDP_STREAM RX", config.name(),
           pps * (delivered / double(kStreamPackets)) / 1000.0, "Kpackets/sec",
-          100.0 * cpu_ns / (kCores * wall_ns), is_sud ? 235.0 : 238.0, is_sud ? 26.0 : 20.0};
+          /*cpu_pct=*/0, is_sud ? 235.0 : 238.0, is_sud ? 26.0 : 20.0};
   config.FillUchanCounters(&row, kStreamPackets);
+  row.cpu_pct = ModelCpuPct(row, cpu_ns, wall_ns);
   row.sim_wall_us = timer.ElapsedUs();
   return row;
 }

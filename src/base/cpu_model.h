@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/base/clock.h"
 
@@ -138,6 +139,50 @@ class CpuModel {
   CpuCosts costs_;
   std::array<std::atomic<SimTime>, static_cast<size_t>(CpuAccount::kCount)> busy_{};
 };
+
+// --- Core-affinity wall-time mapping ----------------------------------------
+//
+// Figure 8's CPU% divides charged busy time across the testbed's cores, the
+// way netperf's CPU measurement reports it. With one queue the whole story is
+// the legacy two-core formula:
+//
+//   CPU% = 100 * busy / (cores * wall)
+//
+// With a multi-queue pump the charged time is not one lump: each queue's
+// kernel-side work and each queue's driver-side work (the per-shard
+// kernel_ns/driver_ns the uchan already collects) is an independent
+// schedulable unit pinned to whatever core the scheduler picks for that pump
+// thread. The wall clock of the run is then bounded below by the *busiest
+// core* — the makespan of the assignment — not just by the wire time.
+//
+// ScheduleOnCores performs that mapping: greedy longest-processing-time
+// assignment of the 2*queues per-queue units plus one `serial_ns` unit (work
+// with no queue affinity: app copies, control-lane traffic) onto `cores`
+// cores. The returned wall clock is max(min_wall_ns, makespan); CPU% is
+// busy over cores*wall.
+//
+// Reduction property (tested in base_test): with cores=2 and one queue, as
+// long as the wall floor dominates the busiest core (true for the link-bound
+// stream tests), cpu_pct == 100 * busy / (2 * min_wall_ns) — exactly the
+// legacy formula, so single-queue Figure 8 rows are unchanged by the mapping.
+struct CoreSchedule {
+  double wall_ns = 0;      // max(min_wall_ns, makespan_ns)
+  double makespan_ns = 0;  // busiest core's assigned busy time
+  double busy_ns = 0;      // every unit summed (serial + all queue units)
+  double cpu_pct = 0;      // 100 * busy_ns / (cores * wall_ns)
+  std::vector<double> core_busy_ns;  // per-core load after assignment
+};
+
+CoreSchedule ScheduleOnCores(const std::vector<uint64_t>& queue_kernel_ns,
+                             const std::vector<uint64_t>& queue_driver_ns, double serial_ns,
+                             double min_wall_ns, uint32_t cores);
+
+// Convenience used by the benches: derives the serial unit as the remainder
+// of `total_busy_ns` not attributed to any queue's shard charges (summed in
+// kernel-then-driver order, the one convention both benches must share).
+CoreSchedule ScheduleOnCoresWithTotal(const std::vector<uint64_t>& queue_kernel_ns,
+                                      const std::vector<uint64_t>& queue_driver_ns,
+                                      double total_busy_ns, double min_wall_ns, uint32_t cores);
 
 }  // namespace sud
 

@@ -1,6 +1,7 @@
 #include "src/devices/ether_link.h"
 
 #include <algorithm>
+#include <chrono>
 #include <vector>
 
 namespace sud::devices {
@@ -34,6 +35,130 @@ Status EtherLink::Transmit(int side, ConstByteSpan frame) {
     peer->DeliverFrame(frame);
   }
   return Status::Ok();
+}
+
+uint64_t EtherLink::FrameHash(ConstByteSpan frame) {
+  // FNV-1a: cheap, deterministic, and good enough to catch any corrupted or
+  // substituted frame in the determinism comparison.
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (uint8_t byte : frame) {
+    hash ^= byte;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+void EtherLink::TransmitFromPeer(int side, PeerGen& gen) {
+  ConstByteSpan frame(gen.flow.frame.data(), gen.flow.frame.size());
+  if (Transmit(side, frame).ok()) {
+    gen.stats.frames.fetch_add(1, std::memory_order_relaxed);
+    gen.stats.bytes.fetch_add(frame.size(), std::memory_order_relaxed);
+    // The flow's frame never changes: the digest is hashed once at setup,
+    // not per transmit (a per-frame pass over 1.5 KB would dominate the
+    // generator itself).
+    gen.stats.frame_hash.fetch_add(gen.frame_digest, std::memory_order_relaxed);
+  }
+  ++gen.sent;
+}
+
+void EtherLink::StartPeers(std::vector<PeerFlow> flows, int side, uint64_t give_up_ms) {
+  JoinPeers();  // a previous generation's threads must be gone first
+  peers_.clear();
+  peers_stop_.store(false, std::memory_order_relaxed);
+  for (PeerFlow& flow : flows) {
+    auto gen = std::make_unique<PeerGen>();
+    gen->flow = std::move(flow);
+    gen->frame_digest = FrameHash({gen->flow.frame.data(), gen->flow.frame.size()});
+    peers_.push_back(std::move(gen));
+  }
+  for (auto& gen_ptr : peers_) {
+    PeerGen* gen = gen_ptr.get();
+    gen->thread = std::thread([this, gen, side, give_up_ms]() {
+      // Progress-based deadline: the clock only runs while window-blocked
+      // with no consumer movement, so a slow-but-live SUT is never abandoned.
+      auto last_progress = std::chrono::steady_clock::now();
+      uint64_t last_acked = 0;
+      while (gen->sent < gen->flow.count && !peers_stop_.load(std::memory_order_relaxed)) {
+        if (gen->flow.acked != nullptr) {
+          uint64_t acked = gen->flow.acked();
+          if (acked != last_acked) {
+            last_acked = acked;
+            last_progress = std::chrono::steady_clock::now();
+          }
+          if (gen->sent >= acked + gen->flow.window) {
+            if (std::chrono::steady_clock::now() - last_progress >
+                std::chrono::milliseconds(give_up_ms)) {
+              return;  // consumer wedged: leave the shortfall visible in stats
+            }
+            std::this_thread::yield();
+            continue;
+          }
+        }
+        TransmitFromPeer(side, *gen);
+        last_progress = std::chrono::steady_clock::now();
+      }
+    });
+  }
+}
+
+void EtherLink::JoinPeers() {
+  for (auto& gen : peers_) {
+    if (gen->thread.joinable()) {
+      gen->thread.join();
+    }
+  }
+}
+
+void EtherLink::StopPeers() {
+  peers_stop_.store(true, std::memory_order_relaxed);
+  JoinPeers();
+  peers_stop_.store(false, std::memory_order_relaxed);
+}
+
+void EtherLink::RunPeersSerial(std::vector<PeerFlow> flows, const std::function<void()>& pump,
+                               int side) {
+  JoinPeers();
+  peers_.clear();
+  for (PeerFlow& flow : flows) {
+    auto gen = std::make_unique<PeerGen>();
+    gen->flow = std::move(flow);
+    gen->frame_digest = FrameHash({gen->flow.frame.data(), gen->flow.frame.size()});
+    peers_.push_back(std::move(gen));
+  }
+  auto last_progress = std::chrono::steady_clock::now();
+  for (;;) {
+    bool all_done = true;
+    bool any_sent = false;
+    for (auto& gen : peers_) {
+      if (gen->sent >= gen->flow.count) {
+        continue;
+      }
+      all_done = false;
+      uint64_t budget = gen->flow.count - gen->sent;
+      if (gen->flow.acked != nullptr) {
+        uint64_t acked = gen->flow.acked();
+        uint64_t window_room =
+            gen->sent < acked + gen->flow.window ? acked + gen->flow.window - gen->sent : 0;
+        budget = std::min(budget, window_room);
+      }
+      for (uint64_t i = 0; i < budget; ++i) {
+        TransmitFromPeer(side, *gen);
+      }
+      any_sent |= budget > 0;
+    }
+    if (all_done) {
+      break;
+    }
+    if (any_sent) {
+      last_progress = std::chrono::steady_clock::now();
+    } else if (pump == nullptr || std::chrono::steady_clock::now() - last_progress >
+                                      std::chrono::seconds(60)) {
+      break;  // consumer wedged (or unpumpable): leave the shortfall visible
+    }
+    if (pump != nullptr) {
+      pump();
+    }
+  }
 }
 
 double EtherLink::WireTimeNs(uint64_t frames, uint64_t payload_bytes) {

@@ -6,6 +6,14 @@
 // reproduction can compute wire-limited throughput (a 1 Gb/s link is the
 // bottleneck for TCP_STREAM, which is why kernel and SUD drivers tie at
 // 941 Mbit/s in Figure 8).
+//
+// Threaded peer mode: the link can also *be* the traffic-generator machine.
+// StartPeers runs one generator thread per flow, each transmitting its fixed
+// pre-built frame in a sliding window against a consumer-progress callback.
+// Because a generator's flow tuple never changes, RSS pins it to one SUT
+// queue, and the device's receive-side DMA for different queues runs
+// concurrently on the delivering generators' threads instead of serially on
+// the bench thread (the per-queue locks in SimNic make that safe).
 
 #ifndef SUD_SRC_DEVICES_ETHER_LINK_H_
 #define SUD_SRC_DEVICES_ETHER_LINK_H_
@@ -13,6 +21,9 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
 #include <vector>
 
 #include "src/base/bytes.h"
@@ -42,6 +53,11 @@ class EtherLink {
     std::atomic<uint64_t> dropped{0};  // oversize or unattached
   };
 
+  // Any generator threads still running must not outlive the link they
+  // transmit through (an early test ASSERT or bench exception would
+  // otherwise leave a joinable thread whose destruction aborts).
+  ~EtherLink() { StopPeers(); }
+
   void Attach(int side, EtherEndpoint* endpoint);
 
   // Transmit from `side` to the peer. Oversize frames are dropped (counted),
@@ -60,9 +76,67 @@ class EtherLink {
   // Simulated wire time (ns) to carry `frames` frames of `payload` bytes.
   static double WireTimeNs(uint64_t frames, uint64_t payload_bytes);
 
+  // --- Threaded traffic-generator peers --------------------------------------
+
+  // One generated flow. The frame is fixed (fixed tuple => fixed RSS queue);
+  // the generator transmits it `count` times, keeping at most `window` frames
+  // beyond what `acked` reports consumed downstream — sized under the
+  // device's per-queue backlog so a well-behaved consumer never drops. A
+  // null `acked` generates unpaced (tests that only count frames).
+  struct PeerFlow {
+    std::vector<uint8_t> frame;
+    uint64_t count = 0;
+    uint32_t window = 48;
+    std::function<uint64_t()> acked;
+  };
+
+  // Per-generator counters. frames/bytes mirror stats() but split by flow;
+  // frame_hash is an order-independent digest (wrapping sum of per-frame
+  // FNV-1a hashes), so a threaded run can be compared bit-for-bit against a
+  // serial replay of the same flows regardless of interleaving.
+  struct PeerStats {
+    std::atomic<uint64_t> frames{0};
+    std::atomic<uint64_t> bytes{0};
+    std::atomic<uint64_t> frame_hash{0};
+  };
+
+  // Spawns one generator thread per flow, transmitting from `side`.
+  // `give_up_ms` bounds how long a window-blocked generator waits without
+  // consumer progress before abandoning its budget (CI can never wedge; the
+  // shortfall shows up in peer_stats).
+  void StartPeers(std::vector<PeerFlow> flows, int side = 1, uint64_t give_up_ms = 60000);
+  // Blocks until every generator sent its budget (or gave up / was stopped).
+  void JoinPeers();
+  // Asks generators to exit after their current frame, then joins them.
+  void StopPeers();
+  // Serial replay of the same flows on the caller's thread: round-robin, one
+  // window per flow per round, invoking `pump` whenever every unfinished flow
+  // is window-blocked (the pumped-dispatch fallback for single-core hosts).
+  void RunPeersSerial(std::vector<PeerFlow> flows, const std::function<void()>& pump,
+                      int side = 1);
+
+  size_t peer_count() const { return peers_.size(); }
+  const PeerStats& peer_stats(size_t flow) const { return peers_[flow]->stats; }
+
+  // The per-frame digest the generators accumulate (FNV-1a over the bytes).
+  static uint64_t FrameHash(ConstByteSpan frame);
+
  private:
+  struct PeerGen {
+    PeerFlow flow;
+    PeerStats stats;
+    uint64_t frame_digest = 0;  // FrameHash(flow.frame), computed once
+    uint64_t sent = 0;
+    std::thread thread;
+  };
+
+  // Transmits one frame of `gen`'s flow and folds it into the flow counters.
+  void TransmitFromPeer(int side, PeerGen& gen);
+
   std::array<EtherEndpoint*, 2> endpoints_{nullptr, nullptr};
   Stats stats_;
+  std::vector<std::unique_ptr<PeerGen>> peers_;
+  std::atomic<bool> peers_stop_{false};
 };
 
 }  // namespace sud::devices

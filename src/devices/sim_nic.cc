@@ -39,14 +39,14 @@ void SimNic::Reset() {
   ctrl_ = 0;
   icr_.store(0, std::memory_order_relaxed);
   ims_.store(0, std::memory_order_relaxed);
-  rctl_ = 0;
-  tctl_ = 0;
-  mrqc_ = 0;
+  rctl_.store(0, std::memory_order_relaxed);
+  tctl_.store(0, std::memory_order_relaxed);
+  mrqc_.store(0, std::memory_order_relaxed);
   for (uint32_t q = 0; q < kNicNumQueues; ++q) {
     // A (restarting or malicious) driver can hit CTRL reset from its own
     // thread while frames are being delivered: take each queue's lock so
     // ring registers and backlogs never tear mid-delivery.
-    std::lock_guard<std::recursive_mutex> lock(rx_mu_[q]);
+    std::lock_guard<std::recursive_mutex> lock(queue_mu_[q]);
     tx_q_[q] = RingRegs{};
     rx_q_[q] = RingRegs{};
     rx_backlog_[q].clear();
@@ -58,8 +58,10 @@ void SimNic::Reset() {
 }
 
 uint32_t SimNic::rss_queues() const {
-  uint32_t queues = mrqc_ == 0 ? 1 : mrqc_;
-  return queues > kNicNumQueues ? kNicNumQueues : queues;
+  // mrqc_ is clamped to [0, kNicNumQueues] at write time, so this is always
+  // in-bounds even while a driver rewrites MRQC mid-delivery.
+  uint32_t queues = mrqc_.load(std::memory_order_relaxed);
+  return queues == 0 ? 1 : queues;
 }
 
 // Resolves a per-queue ring register: `reg_offset` is the offset within the
@@ -100,7 +102,7 @@ uint32_t SimNic::MmioRead(int bar, uint64_t offset) {
   uint32_t q = 0;
   uint64_t reg_offset = 0;
   if (DecodeQueueReg(offset, &is_rx, &q, &reg_offset)) {
-    std::lock_guard<std::recursive_mutex> lock(rx_mu_[q]);
+    std::lock_guard<std::recursive_mutex> lock(queue_mu_[q]);
     uint32_t* field = RingField(is_rx ? rx_q_[q] : tx_q_[q], reg_offset);
     return field != nullptr ? *field : 0;
   }
@@ -117,11 +119,11 @@ uint32_t SimNic::MmioRead(int bar, uint64_t offset) {
     case kNicRegIms:
       return ims_.load(std::memory_order_relaxed);
     case kNicRegRctl:
-      return rctl_;
+      return rctl_.load(std::memory_order_relaxed);
     case kNicRegTctl:
-      return tctl_;
+      return tctl_.load(std::memory_order_relaxed);
     case kNicRegMrqc:
-      return mrqc_;
+      return mrqc_.load(std::memory_order_relaxed);
     case kNicRegRal0:
       return ral0_;
     case kNicRegRah0:
@@ -140,21 +142,34 @@ void SimNic::MmioWrite(int bar, uint64_t offset, uint32_t value) {
   uint64_t reg_offset = 0;
   if (DecodeQueueReg(offset, &is_rx, &q, &reg_offset)) {
     if (is_rx) {
-      std::lock_guard<std::recursive_mutex> lock(rx_mu_[q]);
-      uint32_t* field = RingField(rx_q_[q], reg_offset);
-      if (field != nullptr) {
-        *field = value;
-        if (field == &rx_q_[q].tail) {
-          DrainBacklogLocked(q);
+      uint64_t drained = 0;
+      {
+        std::lock_guard<std::recursive_mutex> lock(queue_mu_[q]);
+        uint32_t* field = RingField(rx_q_[q], reg_offset);
+        if (field != nullptr) {
+          *field = value;
+          if (field == &rx_q_[q].tail) {
+            drained = DrainBacklogLocked(q);
+          }
         }
       }
+      RaiseRxInterrupt(q, drained);
     } else {
-      uint32_t* field = RingField(tx_q_[q], reg_offset);
-      if (field != nullptr) {
-        *field = value;
-        if (field == &tx_q_[q].tail) {
-          ProcessTxRing(q);
+      // TX ring registers live under the same per-queue lock as the RX side:
+      // the doorbell write and the reap both mutate tx_q_[q], and a second
+      // thread (the device's own Tick, or a racing doorbell) may be reaping
+      // this ring concurrently.
+      bool doorbell = false;
+      {
+        std::lock_guard<std::recursive_mutex> lock(queue_mu_[q]);
+        uint32_t* field = RingField(tx_q_[q], reg_offset);
+        if (field != nullptr) {
+          *field = value;
+          doorbell = field == &tx_q_[q].tail;
         }
+      }
+      if (doorbell) {
+        ProcessTxRing(q);  // takes the queue lock itself
       }
     }
     return;
@@ -205,16 +220,19 @@ void SimNic::MmioWrite(int bar, uint64_t offset, uint32_t value) {
       ims_.fetch_and(~value, std::memory_order_relaxed);
       break;
     case kNicRegRctl:
-      rctl_ = value;
-      if (rctl_ & kNicRctlEnable) {
+      rctl_.store(value, std::memory_order_relaxed);
+      if (value & kNicRctlEnable) {
         Tick();  // drain any backlog into freshly armed descriptors
       }
       break;
     case kNicRegTctl:
-      tctl_ = value;
+      tctl_.store(value, std::memory_order_relaxed);
       break;
     case kNicRegMrqc:
-      mrqc_ = value;
+      // Clamped once at write time: receive steering reads this concurrently
+      // on every delivering thread, and FlowQueue must always be handed an
+      // in-bounds queue count no matter what the driver wrote.
+      mrqc_.store(value > kNicNumQueues ? kNicNumQueues : value, std::memory_order_relaxed);
       break;
     case kNicRegRal0:
       ral0_ = value;
@@ -245,16 +263,31 @@ Result<NicDescriptor> SimNic::ReadDescriptor(uint64_t ring_base, uint32_t index)
   return desc;
 }
 
-Status SimNic::WriteBackDescriptor(uint64_t ring_base, uint32_t index, const NicDescriptor& desc) {
-  uint8_t raw[16];
-  StoreLe64(raw, desc.buffer_addr);
-  StoreLe16(raw + 8, desc.length);
-  raw[10] = desc.cso;
-  raw[11] = desc.cmd;
-  raw[12] = desc.status;
-  raw[13] = desc.css;
-  StoreLe16(raw + 14, desc.special);
-  Status status = DmaWrite(ring_base + static_cast<uint64_t>(index) * 16, ConstByteSpan(raw, 16));
+// Completion writeback, split so a concurrently polling driver thread can
+// never observe it torn: the device only ever CHANGES the length field (RX)
+// and the status byte — buffer address, cso, cmd, css and special still hold
+// exactly what the driver armed — so the writeback is the changed fields
+// only, with the status byte last as a 1-byte posted write the memory model
+// publishes with release semantics (PhysicalMemory::Write), paired with the
+// driver's acquire poll of DD. The old scheme wrote the whole 16 bytes and
+// then re-published DD — but that first phase still plain-wrote the very
+// byte the driver was polling, a data race TSAN (and the threaded
+// traffic-generator peers) flushed out; the changed-fields-only writeback is
+// also fewer fabric crossings than the full descriptor was.
+Status SimNic::WriteBackRxLength(uint64_t ring_base, uint32_t index, uint16_t length) {
+  uint8_t raw[2];
+  StoreLe16(raw, length);
+  Status status =
+      DmaWrite(ring_base + static_cast<uint64_t>(index) * 16 + 8, ConstByteSpan(raw, 2));
+  if (!status.ok()) {
+    stats_.dma_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
+Status SimNic::PublishDescriptorStatus(uint64_t ring_base, uint32_t index, uint8_t desc_status) {
+  Status status = DmaWrite(ring_base + static_cast<uint64_t>(index) * 16 + 12,
+                           ConstByteSpan(&desc_status, 1));
   if (!status.ok()) {
     stats_.dma_errors.fetch_add(1, std::memory_order_relaxed);
   }
@@ -285,40 +318,51 @@ void SimNic::RaiseQueueInterrupt(uint32_t q, uint32_t bits) {
 }
 
 void SimNic::ProcessTxRing(uint32_t q) {
+  // Ring state (registers, descriptor DMA, head advance) mutates only under
+  // queue_mu_[q]; the lock is dropped around the EtherLink hop so it is never
+  // held while the peer NIC takes *its* queue lock in DeliverFrame — the
+  // lock-order cycle two NICs on one link could otherwise build. Because the
+  // head advances under the lock before the frame leaves, a concurrent
+  // reaper (the device's Tick, or a racing doorbell write) processes each
+  // descriptor exactly once.
+  std::unique_lock<std::recursive_mutex> lock(queue_mu_[q]);
   RingRegs& regs = tx_q_[q];
-  if ((tctl_ & kNicTctlEnable) == 0 || regs.size() == 0) {
-    return;
-  }
-  uint64_t ring_base = regs.base();
-  std::vector<uint8_t>& frame_buf = tx_frame_buf_[q];
+  std::vector<uint8_t> frame_buf;  // one allocation per reap pass, not per frame
   bool sent_any = false;
-  while (regs.head != regs.tail) {
+  while ((tctl_.load(std::memory_order_relaxed) & kNicTctlEnable) != 0 && regs.size() != 0 &&
+         regs.head != regs.tail) {
+    uint64_t ring_base = regs.base();
     Result<NicDescriptor> desc = ReadDescriptor(ring_base, regs.head);
     if (!desc.ok()) {
       // Descriptor fetch faulted in the IOMMU: the device stalls this queue,
       // which is precisely the "confined to its own sandbox" behaviour.
-      return;
+      break;
     }
     NicDescriptor d = desc.value();
-    frame_buf.resize(d.length);  // reused scratch: no per-frame allocation
+    frame_buf.resize(d.length);
     if (d.length > 0) {
       Status status = DmaRead(d.buffer_addr, ByteSpan(frame_buf.data(), d.length));
       if (!status.ok()) {
         stats_.dma_errors.fetch_add(1, std::memory_order_relaxed);
-        return;
+        break;
       }
-    }
-    if (link_ != nullptr && d.length > 0) {
-      (void)link_->Transmit(link_side_, ConstByteSpan(frame_buf.data(), d.length));
     }
     stats_.tx_frames.fetch_add(1, std::memory_order_relaxed);
     queue_stats_[q].tx_frames.fetch_add(1, std::memory_order_relaxed);
-    d.status |= kNicDescStatusDone;
-    (void)WriteBackDescriptor(ring_base, regs.head, d);
+    (void)PublishDescriptorStatus(ring_base, regs.head,
+                                  static_cast<uint8_t>(d.status | kNicDescStatusDone));
     regs.head = (regs.head + 1) % regs.size();
     sent_any = true;
+    if (link_ != nullptr && d.length > 0) {
+      lock.unlock();
+      (void)link_->Transmit(link_side_, ConstByteSpan(frame_buf.data(), d.length));
+      lock.lock();
+    }
   }
+  lock.unlock();
   if (sent_any) {
+    // Raised after the lock is dropped: the MSI dispatch can synchronously
+    // run an in-kernel driver's reap, which re-enters through the doorbell.
     if (multi_queue()) {
       RaiseQueueInterrupt(q, NicIntTxQueue(q));
     } else {
@@ -329,7 +373,7 @@ void SimNic::ProcessTxRing(uint32_t q) {
 
 bool SimNic::ReceiveIntoRingLocked(uint32_t q, ConstByteSpan frame) {
   RingRegs& regs = rx_q_[q];
-  if ((rctl_ & kNicRctlEnable) == 0 || regs.size() == 0) {
+  if ((rctl_.load(std::memory_order_relaxed) & kNicRctlEnable) == 0 || regs.size() == 0) {
     return false;
   }
   // RDH == RDT means the ring is empty of armed descriptors.
@@ -347,59 +391,77 @@ bool SimNic::ReceiveIntoRingLocked(uint32_t q, ConstByteSpan frame) {
     stats_.dma_errors.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  d.length = static_cast<uint16_t>(frame.size());
-  d.status = kNicDescStatusDone | (kNicDescCmdEop << 1);
-  if (multi_queue()) {
-    // Two-phase writeback, as on real silicon: buffer and length land
-    // first, the DD status byte last (a 1-byte posted write the memory
-    // model publishes with release semantics) — a driver thread polling
-    // this descriptor concurrently can never observe DD with stale fields.
-    uint8_t final_status = d.status;
-    d.status = 0;
-    (void)WriteBackDescriptor(ring_base, regs.head, d);
-    (void)DmaWrite(ring_base + static_cast<uint64_t>(regs.head) * 16 + 12,
-                   ConstByteSpan(&final_status, 1));
-  } else {
-    (void)WriteBackDescriptor(ring_base, regs.head, d);
-  }
+  // Length lands first, the DD status byte last (release), so a driver
+  // thread polling this descriptor concurrently can never observe DD with a
+  // stale length — in every mode, not just multi-queue: with threaded
+  // generator peers even the single-queue device writes back on the
+  // delivering thread while a kThreaded driver polls.
+  (void)WriteBackRxLength(ring_base, regs.head, static_cast<uint16_t>(frame.size()));
+  (void)PublishDescriptorStatus(ring_base, regs.head,
+                                kNicDescStatusDone | (kNicDescCmdEop << 1));
   regs.head = (regs.head + 1) % regs.size();
   stats_.rx_frames.fetch_add(1, std::memory_order_relaxed);
   queue_stats_[q].rx_frames.fetch_add(1, std::memory_order_relaxed);
-  if (multi_queue()) {
-    RaiseQueueInterrupt(q, NicIntRxQueue(q));
-  } else {
-    SetInterruptCause(kNicIntRx);
-  }
+  // The interrupt is raised by the caller AFTER the queue lock is released:
+  // a synchronous in-kernel dispatch can transmit a reply from inside the
+  // handler, and its doorbell must find this queue's lock free (see the
+  // threading comment in the header).
   return true;
+}
+
+void SimNic::RaiseRxInterrupt(uint32_t q, uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) {
+    if (multi_queue()) {
+      RaiseQueueInterrupt(q, NicIntRxQueue(q));
+    } else {
+      SetInterruptCause(kNicIntRx);
+    }
+  }
 }
 
 void SimNic::DeliverFrame(ConstByteSpan frame) {
   uint32_t q = kern::FlowQueue(frame, static_cast<uint16_t>(rss_queues()));
-  std::lock_guard<std::recursive_mutex> lock(rx_mu_[q]);
-  if (ReceiveIntoRingLocked(q, frame)) {
-    return;
+  bool into_ring = false;
+  {
+    std::lock_guard<std::recursive_mutex> lock(queue_mu_[q]);
+    into_ring = ReceiveIntoRingLocked(q, frame);
+    if (!into_ring) {
+      if (rx_backlog_[q].size() >= kRxBacklogMax) {
+        stats_.rx_dropped_no_desc.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      rx_backlog_[q].emplace_back(frame.begin(), frame.end());
+    }
   }
-  if (rx_backlog_[q].size() >= kRxBacklogMax) {
-    stats_.rx_dropped_no_desc.fetch_add(1, std::memory_order_relaxed);
-    return;
+  if (into_ring) {
+    RaiseRxInterrupt(q, 1);
   }
-  rx_backlog_[q].emplace_back(frame.begin(), frame.end());
 }
 
-void SimNic::DrainBacklogLocked(uint32_t q) {
+uint64_t SimNic::DrainBacklogLocked(uint32_t q) {
+  uint64_t drained = 0;
   while (!rx_backlog_[q].empty()) {
     const std::vector<uint8_t>& frame = rx_backlog_[q].front();
     if (!ReceiveIntoRingLocked(q, ConstByteSpan(frame.data(), frame.size()))) {
       break;
     }
     rx_backlog_[q].pop_front();
+    ++drained;
   }
+  return drained;
 }
 
 void SimNic::Tick() {
   for (uint32_t q = 0; q < kNicNumQueues; ++q) {
-    std::lock_guard<std::recursive_mutex> lock(rx_mu_[q]);
-    DrainBacklogLocked(q);
+    uint64_t drained = 0;
+    {
+      std::lock_guard<std::recursive_mutex> lock(queue_mu_[q]);
+      drained = DrainBacklogLocked(q);
+    }
+    RaiseRxInterrupt(q, drained);
+    // Device-side TX reap: real silicon fetches armed descriptors on its own
+    // schedule, not only at the doorbell edge. (No-op when head == tail.)
+    ProcessTxRing(q);
   }
 }
 

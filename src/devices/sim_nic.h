@@ -17,11 +17,29 @@
 // single-queue device of earlier revisions.
 //
 // Threading: with a sharded uchan, each queue is pumped by its own driver
-// thread. Per-queue receive state is guarded by a per-queue recursive lock
-// (recursive because an in-kernel driver's reap path re-enters the device
-// through the RDT doorbell from inside the delivery chain); TX state is
-// owned by the queue's single pump thread; the shared cause/mask registers
-// and stats are atomics.
+// thread, and with threaded traffic-generator peers each queue's receive-side
+// DMA runs on the delivering generator's thread. ALL of queue q's ring state
+// — RX and TX rings, backlog, doorbells — is guarded by the per-queue
+// recursive lock queue_mu_[q]. Two invariants keep the locking sound:
+//
+//  1. Interrupts are raised OUTSIDE the queue locks. A synchronous in-kernel
+//     dispatch can run a driver handler that re-enters the device through any
+//     doorbell (reap, re-arm, even a reply transmit); raising after the lock
+//     is released means that re-entry always finds the queue lock free.
+//  2. The lock is never held across the EtherLink hop: the TX path stages a
+//     frame, drops the lock, and transmits. Together with (1) — which
+//     guarantees ProcessTxRing is only ever entered at recursion depth zero,
+//     so its unlock really releases — two NICs on one link can never
+//     deadlock against each other's queue locks.
+//
+// Consequence: per-queue TX wire order is guaranteed only while a single
+// thread writes that queue's TDT AND no concurrent device-side reaper (Tick
+// on another thread) is running; concurrent reapers still get exactly-once
+// descriptor processing, but frames may interleave on the wire. Shared
+// registers that the delivery threads read while the driver rewrites them
+// (MRQC, RCTL, TCTL) and the cause/mask registers and stats are atomics;
+// MRQC is clamped to the implemented queue count at write time so receive
+// steering is always in-bounds, even mid-rewrite.
 //
 // Everything the device does to memory goes through PciDevice::DmaRead/
 // DmaWrite — i.e. through the switch, ACS and the IOMMU. A malicious driver
@@ -123,6 +141,11 @@ class SimNic : public hw::PciDevice, public EtherEndpoint {
   uint32_t MmioRead(int bar, uint64_t offset) override;
   void MmioWrite(int bar, uint64_t offset, uint32_t value) override;
   void Reset() override;
+  // Device-autonomous work: drains each queue's RX backlog into freshly armed
+  // descriptors and reaps any armed TX descriptors (real NICs fetch armed
+  // descriptors on their own schedule, not only at the doorbell write — this
+  // is what lets a second thread play "the device" against a doorbell
+  // hammerer in the TX locking regression test).
   void Tick() override;
 
   // EtherEndpoint — a frame arrives from the wire. RSS-steers it to a queue.
@@ -153,35 +176,49 @@ class SimNic : public hw::PciDevice, public EtherEndpoint {
     uint32_t size() const { return len / 16; }
   };
 
-  bool multi_queue() const { return mrqc_ > 1; }
+  bool multi_queue() const { return mrqc_.load(std::memory_order_relaxed) > 1; }
   // Per-queue ring register decode shared by RX/TX reads and writes.
   static uint32_t* RingField(RingRegs& regs, uint64_t reg_offset);
   static bool DecodeQueueReg(uint64_t offset, bool* is_rx, uint32_t* queue, uint64_t* reg_offset);
+  // Reaps queue q's armed TX descriptors. Takes queue_mu_[q] itself; the lock
+  // is released around each EtherLink::Transmit (see the threading comment).
   void ProcessTxRing(uint32_t q);
+  // Writes one frame into queue q's ring. The caller raises the RX interrupt
+  // (one per delivered frame) AFTER releasing queue_mu_[q] — interrupts are
+  // never raised under a queue lock, so a synchronous in-kernel handler can
+  // freely re-enter the device through any doorbell.
   bool ReceiveIntoRingLocked(uint32_t q, ConstByteSpan frame);
-  void DrainBacklogLocked(uint32_t q);
+  // Returns how many backlogged frames entered the ring (the caller raises
+  // that many RX interrupts after unlocking).
+  uint64_t DrainBacklogLocked(uint32_t q);
+  void RaiseRxInterrupt(uint32_t q, uint64_t count);
   Result<NicDescriptor> ReadDescriptor(uint64_t ring_base, uint32_t index);
-  Status WriteBackDescriptor(uint64_t ring_base, uint32_t index, const NicDescriptor& desc);
+  // Completion writeback, changed fields only: length first (RX), then the
+  // status byte as a 1-byte release-published posted write, pairing with the
+  // driver's acquire DD poll (see the .cc comment).
+  Status WriteBackRxLength(uint64_t ring_base, uint32_t index, uint16_t length);
+  Status PublishDescriptorStatus(uint64_t ring_base, uint32_t index, uint8_t desc_status);
   // Single-queue (legacy) cause assertion: level-ish on ICR & IMS edges.
   void SetInterruptCause(uint32_t bits);
   // Multi-queue cause assertion for queue q: MSI-X-style auto-clearing
   // causes — every event signals message q (the safe-PCI layer's in-flight
   // coalescing, masking and per-vector pending bits bound the storm).
   void RaiseQueueInterrupt(uint32_t q, uint32_t bits);
-  uint32_t TxRingSize() const { return tx_q_[0].size(); }
-  uint32_t RxRingSize() const { return rx_q_[0].size(); }
 
   std::array<uint8_t, 6> mac_;
   EtherLink* link_ = nullptr;
   int link_side_ = 0;
 
-  // Register state.
+  // Register state. RCTL/TCTL/MRQC are atomics: the driver rewrites them on
+  // its own thread while every delivering generator thread reads them on the
+  // receive path (and any doorbell writer on the transmit path). MRQC is
+  // stored pre-clamped to [0, kNicNumQueues].
   uint32_t ctrl_ = 0;
   std::atomic<uint32_t> icr_{0};
   std::atomic<uint32_t> ims_{0};
-  uint32_t rctl_ = 0;
-  uint32_t tctl_ = 0;
-  uint32_t mrqc_ = 0;
+  std::atomic<uint32_t> rctl_{0};
+  std::atomic<uint32_t> tctl_{0};
+  std::atomic<uint32_t> mrqc_{0};
   std::array<RingRegs, kNicNumQueues> tx_q_{};
   std::array<RingRegs, kNicNumQueues> rx_q_{};
   uint32_t ral0_ = 0, rah0_ = 0;
@@ -190,14 +227,15 @@ class SimNic : public hw::PciDevice, public EtherEndpoint {
   // Frames that arrived while queue q had no armed RX descriptor.
   std::array<std::deque<std::vector<uint8_t>>, kNicNumQueues> rx_backlog_;
   static constexpr size_t kRxBacklogMax = 64;  // per queue
-  // Reused transmit staging buffer, one per queue (each queue has one pump
-  // thread).
-  std::array<std::vector<uint8_t>, kNicNumQueues> tx_frame_buf_;
 
-  // Guards queue q's receive ring, backlog and assertion flag. Recursive:
-  // delivery can synchronously run an in-kernel driver's reap path, which
-  // re-enters through the RDT doorbell.
-  mutable std::array<std::recursive_mutex, kNicNumQueues> rx_mu_;
+  // Guards ALL of queue q's ring state: RX and TX ring registers, descriptor
+  // processing, and the backlog (it was historically named rx_mu_, but the
+  // TX doorbell and reap paths take it too — the rename matches its role).
+  // Still recursive as defence in depth: interrupts are raised outside the
+  // locks (see the threading comment), so no in-tree path re-enters while
+  // holding it, but a hostile driver reaching MMIO from inside an MMIO-
+  // triggered callback must deadlock itself, not the kernel.
+  mutable std::array<std::recursive_mutex, kNicNumQueues> queue_mu_;
 
   Stats stats_;
   std::array<QueueStats, kNicNumQueues> queue_stats_;

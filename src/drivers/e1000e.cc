@@ -119,6 +119,16 @@ Result<NicDescriptor> E1000eDriver::ReadDescriptor(uint64_t ring_iova, uint32_t 
   return desc;
 }
 
+bool E1000eDriver::DescriptorDone(uint64_t ring_iova, uint32_t index) {
+  Result<ByteSpan> view = env_->DmaView(ring_iova + static_cast<uint64_t>(index) * 16, 16);
+  if (!view.ok()) {
+    return false;
+  }
+  uint8_t status =
+      std::atomic_ref<uint8_t>(view.value().data()[12]).load(std::memory_order_acquire);
+  return (status & devices::kNicDescStatusDone) != 0;
+}
+
 Status E1000eDriver::ArmRxDescriptor(uint16_t queue, uint32_t index) {
   QueueState& qs = queues_[queue];
   uint64_t buffer_iova = qs.rx_buffers_iova + static_cast<uint64_t>(index) * rx_buffer_size_;
@@ -226,8 +236,10 @@ void E1000eDriver::ReapTxCompletions(uint16_t queue) {
   // one downcall per buffer.
   qs.free_scratch.clear();
   while (qs.tx_reap != qs.tx_tail) {
-    Result<NicDescriptor> desc = ReadDescriptor(qs.tx_ring.iova, qs.tx_reap);
-    if (!desc.ok() || (desc.value().status & devices::kNicDescStatusDone) == 0) {
+    // Acquire DD before reading the descriptor: the device may be writing
+    // back later descriptors of this ring concurrently (its own Tick, or the
+    // doorbell path still mid-pass on another thread).
+    if (!DescriptorDone(qs.tx_ring.iova, qs.tx_reap)) {
       break;
     }
     if (qs.tx_slot_buffer[qs.tx_reap] >= 0) {
@@ -249,23 +261,16 @@ void E1000eDriver::ReapRxRing(uint16_t queue) {
   QueueState& qs = queues_[queue];
   uint64_t rx_base = QueueRegBase(devices::kNicRegRdbal, queue);
   while (true) {
-    if (num_queues_ > 1) {
-      // The device publishes DD last (release); pair it with an acquire load
-      // before trusting the descriptor's other fields — the delivery may be
-      // racing on another thread.
-      Result<ByteSpan> view =
-          env_->DmaView(qs.rx_ring.iova + static_cast<uint64_t>(qs.rx_next) * 16, 16);
-      if (!view.ok()) {
-        return;
-      }
-      uint8_t status = std::atomic_ref<uint8_t>(view.value().data()[12])
-                           .load(std::memory_order_acquire);
-      if ((status & devices::kNicDescStatusDone) == 0) {
-        return;
-      }
+    // The device publishes DD last (release); pair it with an acquire load
+    // before trusting the descriptor's other fields — the delivery may be
+    // racing on another thread in ANY mode (threaded traffic-generator
+    // peers deliver on their own threads even with one queue).
+    if (!DescriptorDone(qs.rx_ring.iova, qs.rx_next)) {
+      return;
     }
+    // DD is set and acquire-ordered: the descriptor's fields are stable now.
     Result<NicDescriptor> desc = ReadDescriptor(qs.rx_ring.iova, qs.rx_next);
-    if (!desc.ok() || (desc.value().status & devices::kNicDescStatusDone) == 0) {
+    if (!desc.ok()) {
       return;
     }
     uint64_t buffer_iova =

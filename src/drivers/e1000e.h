@@ -109,6 +109,10 @@ class E1000eDriver : public uml::Driver {
   Status WriteDescriptor(uint64_t ring_iova, uint32_t index, uint64_t buffer_addr, uint16_t len,
                          uint8_t cmd, uint8_t status);
   Result<devices::NicDescriptor> ReadDescriptor(uint64_t ring_iova, uint32_t index);
+  // Acquire-load of a descriptor's DD status bit, pairing with the device's
+  // release publish: the gate every reap loop passes before trusting the
+  // descriptor's other fields (delivery/writeback may race on other threads).
+  bool DescriptorDone(uint64_t ring_iova, uint32_t index);
   uint64_t QueueRegBase(uint64_t base, uint16_t queue) const {
     return base + static_cast<uint64_t>(queue) * devices::kNicQueueRegStride;
   }

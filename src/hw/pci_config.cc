@@ -15,9 +15,20 @@ PciConfigSpace::PciConfigSpace(uint16_t vendor_id, uint16_t device_id, uint8_t c
   bytes_[kMsiCapOffset] = kMsiCapId;
   bytes_[kMsiCapOffset + 1] = 0;
   StoreLe16(&bytes_[kMsiControl], kMsiControlPerVectorMask);
+  RefreshCachesLocked();  // construction is single-threaded; no lock needed
 }
 
-uint32_t PciConfigSpace::Read(uint16_t offset, int width) const {
+void PciConfigSpace::RefreshCachesLocked() {
+  command_cache_.store(LoadLe16(&bytes_[kPciCommand]), std::memory_order_relaxed);
+  msi_control_cache_.store(LoadLe16(&bytes_[kMsiControl]), std::memory_order_relaxed);
+  msi_mask_cache_.store(LoadLe32(&bytes_[kMsiMaskBits]), std::memory_order_relaxed);
+  msi_address_cache_.store((static_cast<uint64_t>(LoadLe32(&bytes_[kMsiAddress + 4])) << 32) |
+                               LoadLe32(&bytes_[kMsiAddress]),
+                           std::memory_order_relaxed);
+  msi_data_cache_.store(LoadLe16(&bytes_[kMsiData]), std::memory_order_relaxed);
+}
+
+uint32_t PciConfigSpace::ReadLocked(uint16_t offset, int width) const {
   if (offset >= bytes_.size() || offset + width > static_cast<int>(bytes_.size())) {
     return 0xffffffffu;
   }
@@ -33,7 +44,7 @@ uint32_t PciConfigSpace::Read(uint16_t offset, int width) const {
   }
 }
 
-void PciConfigSpace::Write(uint16_t offset, int width, uint32_t value) {
+void PciConfigSpace::WriteLocked(uint16_t offset, int width, uint32_t value) {
   if (offset >= bytes_.size() || offset + width > static_cast<int>(bytes_.size())) {
     return;
   }
@@ -50,12 +61,24 @@ void PciConfigSpace::Write(uint16_t offset, int width, uint32_t value) {
     default:
       break;
   }
+  RefreshCachesLocked();  // config writes are cold; the fast-path reads are not
+}
+
+uint32_t PciConfigSpace::Read(uint16_t offset, int width) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ReadLocked(offset, width);
+}
+
+void PciConfigSpace::Write(uint16_t offset, int width, uint32_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WriteLocked(offset, width, value);
 }
 
 uint64_t PciConfigSpace::bar(int index) const {
   if (index < 0 || index > 5) {
     return 0;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   return LoadLe32(&bytes_[kPciBar0 + 4 * index]) & ~0xfull;
 }
 
@@ -63,36 +86,38 @@ void PciConfigSpace::set_bar(int index, uint64_t addr) {
   if (index < 0 || index > 5) {
     return;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   StoreLe32(&bytes_[kPciBar0 + 4 * index], static_cast<uint32_t>(addr));
 }
 
 void PciConfigSpace::set_msi_enabled(bool enabled) {
-  uint16_t control = static_cast<uint16_t>(Read(kMsiControl, 2));
+  std::lock_guard<std::mutex> lock(mu_);
+  uint16_t control = static_cast<uint16_t>(ReadLocked(kMsiControl, 2));
   if (enabled) {
     control |= kMsiControlEnable;
   } else {
     control &= static_cast<uint16_t>(~kMsiControlEnable);
   }
-  Write(kMsiControl, 2, control);
+  WriteLocked(kMsiControl, 2, control);
 }
 
 void PciConfigSpace::set_msi_masked(bool masked) {
-  uint32_t mask = Read(kMsiMaskBits, 4);
+  // The whole read-modify-write under one lock hold: concurrent mask/unmask
+  // from different queue threads must not lose each other's update.
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t mask = ReadLocked(kMsiMaskBits, 4);
   if (masked) {
     mask |= 1;
   } else {
     mask &= ~1u;
   }
-  Write(kMsiMaskBits, 4, mask);
-}
-
-uint64_t PciConfigSpace::msi_address() const {
-  return (static_cast<uint64_t>(Read(kMsiAddress + 4, 4)) << 32) | Read(kMsiAddress, 4);
+  WriteLocked(kMsiMaskBits, 4, mask);
 }
 
 void PciConfigSpace::set_msi_address(uint64_t addr) {
-  Write(kMsiAddress, 4, static_cast<uint32_t>(addr));
-  Write(kMsiAddress + 4, 4, static_cast<uint32_t>(addr >> 32));
+  std::lock_guard<std::mutex> lock(mu_);
+  WriteLocked(kMsiAddress, 4, static_cast<uint32_t>(addr));
+  WriteLocked(kMsiAddress + 4, 4, static_cast<uint32_t>(addr >> 32));
 }
 
 }  // namespace sud::hw

@@ -6,12 +6,24 @@
 // SUD therefore never grants drivers raw config access — all driver accesses
 // go through the safe-PCI filter (src/sud/safe_pci.*). This class is the raw,
 // trusted register file the filter mediates.
+//
+// Threading: the register file is accessed from more than one thread — a
+// driver pump thread masks/unmasks MSI through the safe-PCI ack path while a
+// delivering thread consults the same bits in RaiseMsi. An internal mutex
+// makes every access (including the read-modify-write helpers) atomic. The
+// words on the packet fast path — the command register (bus-master check on
+// EVERY DMA transaction) and the MSI control/mask/address/data words (read
+// on every interrupt raise) — are mirrored in relaxed atomic caches updated
+// under the lock, so the per-queue DMA and MSI paths never contend on the
+// mutex and multi-queue traffic stays lock-free here.
 
 #ifndef SUD_SRC_HW_PCI_CONFIG_H_
 #define SUD_SRC_HW_PCI_CONFIG_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 
 namespace sud::hw {
 
@@ -57,10 +69,11 @@ class PciConfigSpace {
   uint32_t Read(uint16_t offset, int width) const;
   void Write(uint16_t offset, int width, uint32_t value);
 
-  // Typed helpers.
+  // Typed helpers. The command and MSI readers go through the lock-free
+  // caches — they run on every DMA transaction / interrupt raise.
   uint16_t vendor_id() const { return static_cast<uint16_t>(Read(kPciVendorId, 2)); }
   uint16_t device_id() const { return static_cast<uint16_t>(Read(kPciDeviceId, 2)); }
-  uint16_t command() const { return static_cast<uint16_t>(Read(kPciCommand, 2)); }
+  uint16_t command() const { return command_cache_.load(std::memory_order_relaxed); }
   void set_command(uint16_t value) { Write(kPciCommand, 2, value); }
   bool bus_master_enabled() const { return (command() & kPciCommandBusMaster) != 0; }
   bool mem_enabled() const { return (command() & kPciCommandMemEnable) != 0; }
@@ -70,17 +83,34 @@ class PciConfigSpace {
   void set_bar(int index, uint64_t addr);
 
   // MSI capability.
-  bool msi_enabled() const { return (Read(kMsiControl, 2) & kMsiControlEnable) != 0; }
+  bool msi_enabled() const {
+    return (msi_control_cache_.load(std::memory_order_relaxed) & kMsiControlEnable) != 0;
+  }
   void set_msi_enabled(bool enabled);
-  bool msi_masked() const { return (Read(kMsiMaskBits, 4) & 1) != 0; }
+  bool msi_masked() const { return (msi_mask_cache_.load(std::memory_order_relaxed) & 1) != 0; }
   void set_msi_masked(bool masked);
-  uint64_t msi_address() const;
+  uint64_t msi_address() const { return msi_address_cache_.load(std::memory_order_relaxed); }
   void set_msi_address(uint64_t addr);
-  uint16_t msi_data() const { return static_cast<uint16_t>(Read(kMsiData, 2)); }
+  uint16_t msi_data() const { return msi_data_cache_.load(std::memory_order_relaxed); }
   void set_msi_data(uint16_t data) { Write(kMsiData, 2, data); }
 
  private:
+  // Unlocked bodies shared by the public accessors and the read-modify-write
+  // helpers (which must hold the lock across their whole update).
+  uint32_t ReadLocked(uint16_t offset, int width) const;
+  void WriteLocked(uint16_t offset, int width, uint32_t value);
+  // Re-derives every fast-path cache from bytes_; called (under the lock)
+  // after any write, so raw config writes through the filter keep the caches
+  // coherent too.
+  void RefreshCachesLocked();
+
+  mutable std::mutex mu_;
   std::array<uint8_t, 256> bytes_{};
+  std::atomic<uint16_t> command_cache_{0};
+  std::atomic<uint16_t> msi_control_cache_{0};
+  std::atomic<uint32_t> msi_mask_cache_{0};
+  std::atomic<uint64_t> msi_address_cache_{0};
+  std::atomic<uint16_t> msi_data_cache_{0};
 };
 
 }  // namespace sud::hw

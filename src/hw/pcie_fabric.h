@@ -23,6 +23,7 @@
 #ifndef SUD_SRC_HW_PCIE_FABRIC_H_
 #define SUD_SRC_HW_PCIE_FABRIC_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -47,7 +48,7 @@ class RootComplex : public DmaPort {
   Status DmaRead(uint16_t source_id, uint64_t addr, ByteSpan out) override;
   Status DmaWrite(uint16_t source_id, uint64_t addr, ConstByteSpan data) override;
 
-  uint64_t dropped_transactions() const { return dropped_; }
+  uint64_t dropped_transactions() const { return dropped_.load(std::memory_order_relaxed); }
 
  private:
   // Splits a burst at page boundaries and translates each piece.
@@ -56,7 +57,9 @@ class RootComplex : public DmaPort {
   PhysicalMemory* dram_;
   Iommu* iommu_;
   MsiController* msi_;
-  uint64_t dropped_ = 0;
+  // Relaxed atomic: confined DMA can fault concurrently from every queue's
+  // delivery or pump thread.
+  std::atomic<uint64_t> dropped_{0};
 };
 
 // A PCIe switch: one upstream port, N downstream ports with one device each.
@@ -80,8 +83,10 @@ class PcieSwitch {
 
   const std::vector<PciDevice*>& devices() const { return devices_; }
 
-  uint64_t p2p_deliveries() const { return p2p_deliveries_; }
-  uint64_t blocked_by_source_validation() const { return blocked_source_validation_; }
+  uint64_t p2p_deliveries() const { return p2p_deliveries_.load(std::memory_order_relaxed); }
+  uint64_t blocked_by_source_validation() const {
+    return blocked_source_validation_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Per-port handle so the switch knows the ingress port of each TLP.
@@ -113,8 +118,10 @@ class PcieSwitch {
   AcsConfig acs_;
   std::vector<PciDevice*> devices_;
   std::vector<std::unique_ptr<PortHandle>> ports_;
-  uint64_t p2p_deliveries_ = 0;
-  uint64_t blocked_source_validation_ = 0;
+  // Relaxed atomics: every queue's delivery/pump thread routes DMA through
+  // the switch, and blocked or redirected transactions count concurrently.
+  std::atomic<uint64_t> p2p_deliveries_{0};
+  std::atomic<uint64_t> blocked_source_validation_{0};
 };
 
 }  // namespace sud::hw

@@ -100,7 +100,10 @@ Status DriverHost::Restart(std::unique_ptr<Driver> driver, Mode mode) {
 }
 
 void DriverHost::Pump() {
-  if (running_ && runtime_ != nullptr) {
+  // Comatose drivers never service their uchan (that is the point), and in
+  // the threaded modes the pump threads own the dispatch loop — draining from
+  // this thread too would race their per-queue rx arrays.
+  if (running_ && runtime_ != nullptr && mode_ == Mode::kPumped) {
     runtime_->ProcessPending();
   }
 }

@@ -54,10 +54,17 @@ class DriverHost {
   // Restart with a fresh driver instance (usually the same type).
   Status Restart(std::unique_ptr<Driver> driver, Mode mode = Mode::kPumped);
 
-  // Pumped mode: process pending upcalls now.
+  // Pumped mode: process pending upcalls now. In the threaded modes this is
+  // a no-op — the pump threads own the dispatch loop, and draining shards
+  // from the caller's thread as well would race the per-queue rx arrays that
+  // each pump thread touches without a lock.
   void Pump();
 
   bool running() const { return running_; }
+  Mode mode() const { return mode_; }
+  // Dispatch threads currently running (0 pumped, 1 threaded, one per shard
+  // in per-queue mode).
+  size_t thread_count() const { return threads_.size(); }
   kern::Process* process() { return process_; }
   UmlRuntime* runtime() { return runtime_.get(); }
   Driver* driver() { return driver_.get(); }

@@ -398,8 +398,18 @@ void UmlRuntime::Dispatch(UchanMsg& msg) {
         if (irq_handler_) {
           irq_handler_();
         }
-        // Re-enable the device interrupt once handling completes.
+        // Re-enable the device interrupt once handling completes, then poll
+        // once more — the same NAPI poll/ack race closure as the per-queue
+        // branch above. Without it, an event that arrived while this upcall
+        // was in flight is coalesced-and-masked by safe-PCI with no pending
+        // MSI, the legacy ICR stays asserted so every later cause is
+        // edge-suppressed, and the driver sleeps forever on a ring full of
+        // done descriptors (the threaded traffic-generator peers widened
+        // this window enough for TSAN runs to hit it every time).
         (void)InterruptAck();
+        if (irq_handler_) {
+          irq_handler_();
+        }
       }
       return;
     }

@@ -210,5 +210,55 @@ TEST(CpuModel, CostsAreOverridable) {
   EXPECT_EQ(cpu.costs().process_wakeup, 9999u);
 }
 
+// With two cores and a single queue, the core-affinity mapping must be the
+// legacy Figure 8 formula, 100 * busy / (2 * wall) — the property that keeps
+// the published single-queue rows bit-identical.
+TEST(CoreSchedule, ReducesToTwoCoreFormulaForOneQueue) {
+  std::vector<uint64_t> queue_kernel = {14'000'000};
+  std::vector<uint64_t> queue_driver = {800'000};
+  double serial_ns = 55'000'000;
+  double wall_ns = 492'160'000;  // 40000 MSS segments of gigabit wire
+  CoreSchedule sched = ScheduleOnCores(queue_kernel, queue_driver, serial_ns, wall_ns, 2);
+  double busy = serial_ns + 14'000'000 + 800'000;
+  EXPECT_DOUBLE_EQ(sched.busy_ns, busy);
+  EXPECT_DOUBLE_EQ(sched.wall_ns, wall_ns);
+  EXPECT_DOUBLE_EQ(sched.cpu_pct, 100.0 * busy / (2.0 * wall_ns));
+}
+
+TEST(CoreSchedule, MakespanLiftsWallAboveWireFloor) {
+  // One queue's kernel lump alone exceeds the wire time: the modeled wall
+  // clock must stretch to the busiest core, not stay pinned to the floor.
+  std::vector<uint64_t> queue_kernel = {900, 100};
+  std::vector<uint64_t> queue_driver = {50, 50};
+  CoreSchedule sched = ScheduleOnCores(queue_kernel, queue_driver, /*serial_ns=*/0,
+                                       /*min_wall_ns=*/500, /*cores=*/4);
+  EXPECT_DOUBLE_EQ(sched.makespan_ns, 900.0);
+  EXPECT_DOUBLE_EQ(sched.wall_ns, 900.0);
+  EXPECT_DOUBLE_EQ(sched.busy_ns, 1100.0);
+}
+
+TEST(CoreSchedule, SpreadsQueueUnitsAcrossCores) {
+  // Four equal queue lumps on four cores: perfect spread, one per core.
+  std::vector<uint64_t> queue_kernel = {100, 100, 100, 100};
+  std::vector<uint64_t> queue_driver;
+  CoreSchedule sched =
+      ScheduleOnCores(queue_kernel, queue_driver, /*serial_ns=*/0, /*min_wall_ns=*/0, 4);
+  EXPECT_DOUBLE_EQ(sched.makespan_ns, 100.0);
+  ASSERT_EQ(sched.core_busy_ns.size(), 4u);
+  for (double load : sched.core_busy_ns) {
+    EXPECT_DOUBLE_EQ(load, 100.0);
+  }
+  // CPU% at the makespan wall: all four cores fully busy.
+  EXPECT_DOUBLE_EQ(sched.cpu_pct, 100.0);
+}
+
+TEST(CoreSchedule, ZeroCoresAndEmptyInputAreSafe) {
+  CoreSchedule sched = ScheduleOnCores({}, {}, 0, 0, 0);
+  EXPECT_DOUBLE_EQ(sched.busy_ns, 0.0);
+  EXPECT_DOUBLE_EQ(sched.wall_ns, 0.0);
+  EXPECT_DOUBLE_EQ(sched.cpu_pct, 0.0);
+  EXPECT_EQ(sched.core_busy_ns.size(), 1u);  // cores clamps to 1
+}
+
 }  // namespace
 }  // namespace sud

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
+#include <thread>
 
 #include "src/devices/audio_dev.h"
 #include "src/devices/ne2k_nic.h"
@@ -13,6 +15,7 @@
 #include "src/devices/usb_host.h"
 #include "src/devices/wifi_nic.h"
 #include "src/hw/machine.h"
+#include "src/kern/packet.h"
 
 namespace sud::devices {
 namespace {
@@ -173,6 +176,153 @@ TEST(SimNicTest, MdicAnswersPhyReads) {
   uint32_t mdic = nic.MmioRead(0, kNicRegMdic);
   EXPECT_NE(mdic & (1u << 28), 0u);  // ready
   EXPECT_NE(mdic & (1u << 2), 0u);   // link up
+}
+
+// Thread-safe counterpart of FrameSink for tests that deliver concurrently.
+struct AtomicFrameSink : EtherEndpoint {
+  std::atomic<uint64_t> frames{0};
+  std::atomic<uint64_t> bytes{0};
+  std::atomic<uint64_t> hash{0};
+  void DeliverFrame(ConstByteSpan frame) override {
+    frames.fetch_add(1, std::memory_order_relaxed);
+    bytes.fetch_add(frame.size(), std::memory_order_relaxed);
+    hash.fetch_add(EtherLink::FrameHash(frame), std::memory_order_relaxed);
+  }
+};
+
+// Arms RX ring q (at a queue-specific DRAM address inside the 1 MB identity
+// window) with `descs`-1 usable descriptors and returns the ring base.
+uint64_t ArmRxRing(hw::Machine& m, SimNic& nic, uint32_t q, uint32_t descs) {
+  uint64_t ring = 0x20000 + q * 0x1000;
+  uint64_t buf = 0x80000 + q * 0x1000;
+  for (uint32_t i = 0; i < descs; ++i) {
+    WriteDesc(m, ring, i, buf, 0, 0, 0);
+  }
+  uint64_t stride = q * kNicQueueRegStride;
+  nic.MmioWrite(0, kNicRegRdbal + stride, static_cast<uint32_t>(ring));
+  nic.MmioWrite(0, kNicRegRdlen + stride, descs * 16);
+  nic.MmioWrite(0, kNicRegRdh + stride, 0);
+  nic.MmioWrite(0, kNicRegRdt + stride, descs - 1);
+  return ring;
+}
+
+// Satellite regression: MRQC is rewritten by driver MMIO while RX traffic is
+// being RSS-steered on the delivering thread. The clamped atomic register
+// must keep steering in-bounds (no out-of-range queue index, no torn reads —
+// TSAN enforces the latter), and every frame must be accounted for.
+TEST(SimNicTest, MrqcRewriteRaceKeepsSteeringInBounds) {
+  SimNic nic("nic", kMac);
+  BareMetal hw(&nic);
+  EtherLink link;
+  nic.ConnectLink(&link, 0);
+
+  constexpr uint32_t kDescs = 128;
+  for (uint32_t q = 0; q < kNicNumQueues; ++q) {
+    ArmRxRing(hw.machine, nic, q, kDescs);
+  }
+  nic.MmioWrite(0, kNicRegRctl, kNicRctlEnable);
+  nic.MmioWrite(0, kNicRegMrqc, kNicNumQueues);
+
+  // 32 distinct flows so the hash actually spreads across whatever queue
+  // count the racing MRQC writer has installed at each instant.
+  std::vector<std::vector<uint8_t>> frames;
+  std::vector<uint8_t> payload(50, 0x5a);
+  uint8_t src[6] = {0x02, 0, 0, 0, 0, 1};
+  for (uint16_t f = 0; f < 32; ++f) {
+    frames.push_back(kern::BuildPacket(kMac, src, 1000 + f, 80, {payload.data(), payload.size()}));
+  }
+
+  constexpr int kSent = 800;  // fits the armed rings even if all hash to one queue twice over
+  std::thread sender([&]() {
+    for (int i = 0; i < kSent; ++i) {
+      (void)link.Transmit(1, {frames[i % frames.size()].data(), frames[i % frames.size()].size()});
+    }
+  });
+  std::thread rewriter([&]() {
+    // Includes 0 (legacy single-queue), mid values, the max, and garbage that
+    // must clamp — the attack-surface seam the SoK calls out.
+    const uint32_t patterns[] = {0, 1, 2, 4, kNicNumQueues, 0xffffffffu, 3};
+    for (int i = 0; i < 4000; ++i) {
+      nic.MmioWrite(0, kNicRegMrqc, patterns[i % (sizeof(patterns) / sizeof(patterns[0]))]);
+    }
+  });
+  sender.join();
+  rewriter.join();
+
+  // Garbage writes clamp to the implemented queue count.
+  nic.MmioWrite(0, kNicRegMrqc, 0xffffffffu);
+  EXPECT_EQ(nic.MmioRead(0, kNicRegMrqc), kNicNumQueues);
+  EXPECT_LE(nic.rss_queues(), kNicNumQueues);
+
+  // Re-arm and drain until every frame is either in a ring or counted as
+  // dropped: nothing may vanish.
+  for (int round = 0; round < 32; ++round) {
+    for (uint32_t q = 0; q < kNicNumQueues; ++q) {
+      uint64_t stride = q * kNicQueueRegStride;
+      uint32_t head = nic.MmioRead(0, kNicRegRdh + stride);
+      for (uint32_t i = 0; i < kDescs; ++i) {
+        WriteDesc(hw.machine, 0x20000 + q * 0x1000, i, 0x80000 + q * 0x1000, 0, 0, 0);
+      }
+      nic.MmioWrite(0, kNicRegRdt + stride, (head + kDescs - 1) % kDescs);
+    }
+  }
+  uint64_t per_queue_sum = 0;
+  for (uint32_t q = 0; q < kNicNumQueues; ++q) {
+    per_queue_sum += nic.queue_stats(q).rx_frames.load();
+  }
+  EXPECT_EQ(nic.stats().rx_frames.load() + nic.stats().rx_dropped_no_desc.load(),
+            static_cast<uint64_t>(kSent));
+  EXPECT_EQ(per_queue_sum, nic.stats().rx_frames.load());
+}
+
+// Satellite regression for the TX-ring locking: one thread hammers the TDT
+// doorbell while a second thread plays the device's own descriptor fetch
+// (Tick). Under the shared queue_mu_ the ring must process every descriptor
+// exactly once — no double transmit, no lost frame, no torn head.
+TEST(SimNicTest, ConcurrentTdtDoorbellAndDeviceReapTransmitExactlyOnce) {
+  SimNic nic("nic", kMac);
+  BareMetal hw(&nic);
+  EtherLink link;
+  nic.ConnectLink(&link, 0);
+  AtomicFrameSink sink;
+  link.Attach(1, &sink);
+
+  constexpr uint64_t kRing = 0x10000, kBuf = 0x40000;
+  constexpr uint32_t kRingEntries = 256;
+  constexpr uint32_t kFrames = kRingEntries - 1;  // tail may never catch head
+  std::vector<uint8_t> frame(100, 0x42);
+  (void)hw.machine.dram().Write(kBuf, {frame.data(), frame.size()});
+  for (uint32_t i = 0; i < kRingEntries; ++i) {
+    WriteDesc(hw.machine, kRing, i, kBuf, 100, kNicDescCmdEop, 0);
+  }
+  nic.MmioWrite(0, kNicRegTdbal, kRing);
+  nic.MmioWrite(0, kNicRegTdlen, kRingEntries * 16);
+  nic.MmioWrite(0, kNicRegTdh, 0);
+  nic.MmioWrite(0, kNicRegTctl, kNicTctlEnable);
+
+  std::atomic<bool> stop{false};
+  std::thread device([&]() {
+    while (!stop.load(std::memory_order_relaxed)) {
+      nic.Tick();
+    }
+  });
+  std::thread driver([&]() {
+    for (uint32_t tail = 1; tail <= kFrames; ++tail) {
+      nic.MmioWrite(0, kNicRegTdt, tail);
+    }
+  });
+  driver.join();
+  nic.Tick();  // reap anything the racing passes left armed
+  stop.store(true, std::memory_order_relaxed);
+  device.join();
+
+  EXPECT_EQ(nic.stats().tx_frames.load(), static_cast<uint64_t>(kFrames));
+  EXPECT_EQ(sink.frames.load(), static_cast<uint64_t>(kFrames));
+  EXPECT_EQ(link.stats().frames[0].load(), static_cast<uint64_t>(kFrames));
+  EXPECT_EQ(nic.MmioRead(0, kNicRegTdh), kFrames);
+  for (uint32_t i = 0; i < kFrames; ++i) {
+    EXPECT_NE(DescStatus(hw.machine, kRing, i) & kNicDescStatusDone, 0) << "descriptor " << i;
+  }
 }
 
 TEST(Ne2kTest, PioTransmit) {
@@ -419,6 +569,71 @@ TEST(EtherLinkTest, PadsRuntsAndDropsOversize) {
 TEST(EtherLinkTest, WireTimeMatchesGigabit) {
   // 1514-byte frame + 24 overhead = 1538 bytes = 12304 ns at 1 Gb/s.
   EXPECT_NEAR(EtherLink::WireTimeNs(1, 1514), 12304.0, 1.0);
+}
+
+std::vector<EtherLink::PeerFlow> ThreeTestFlows() {
+  std::vector<EtherLink::PeerFlow> flows(3);
+  const size_t sizes[] = {60, 100, 200};
+  const uint64_t counts[] = {500, 300, 200};
+  for (size_t f = 0; f < flows.size(); ++f) {
+    flows[f].frame.assign(sizes[f], static_cast<uint8_t>(0x10 + f));
+    flows[f].count = counts[f];
+    flows[f].acked = nullptr;  // unpaced: the sink consumes instantly
+  }
+  return flows;
+}
+
+// Threaded generation must be indistinguishable from a serial replay of the
+// same flows: identical per-flow frame counts, bytes and frame digests, and
+// an identical aggregate at the receiving endpoint.
+TEST(EtherLinkTest, ThreadedPeersMatchSerialReplay) {
+  EtherLink serial_link;
+  AtomicFrameSink serial_sink;
+  serial_link.Attach(0, &serial_sink);
+  serial_link.RunPeersSerial(ThreeTestFlows(), /*pump=*/nullptr, /*side=*/1);
+
+  EtherLink threaded_link;
+  AtomicFrameSink threaded_sink;
+  threaded_link.Attach(0, &threaded_sink);
+  threaded_link.StartPeers(ThreeTestFlows(), /*side=*/1);
+  threaded_link.JoinPeers();
+
+  ASSERT_EQ(serial_link.peer_count(), threaded_link.peer_count());
+  for (size_t f = 0; f < serial_link.peer_count(); ++f) {
+    EXPECT_EQ(serial_link.peer_stats(f).frames.load(), threaded_link.peer_stats(f).frames.load())
+        << "flow " << f;
+    EXPECT_EQ(serial_link.peer_stats(f).bytes.load(), threaded_link.peer_stats(f).bytes.load())
+        << "flow " << f;
+    EXPECT_EQ(serial_link.peer_stats(f).frame_hash.load(),
+              threaded_link.peer_stats(f).frame_hash.load())
+        << "flow " << f;
+  }
+  EXPECT_EQ(serial_sink.frames.load(), 1000u);
+  EXPECT_EQ(threaded_sink.frames.load(), serial_sink.frames.load());
+  EXPECT_EQ(threaded_sink.bytes.load(), serial_sink.bytes.load());
+  // The sink-side digest is order-independent, so the interleaving the
+  // threads produce must not change it either.
+  EXPECT_EQ(threaded_sink.hash.load(), serial_sink.hash.load());
+}
+
+TEST(EtherLinkTest, StopPeersEndsGenerationEarly) {
+  EtherLink link;
+  AtomicFrameSink sink;
+  link.Attach(0, &sink);
+  std::atomic<uint64_t> released{0};
+  std::vector<EtherLink::PeerFlow> flows(1);
+  flows[0].frame.assign(64, 0xee);
+  flows[0].count = uint64_t{1} << 40;  // effectively unbounded
+  flows[0].window = 8;
+  flows[0].acked = [&released]() { return released.load(std::memory_order_relaxed); };
+  link.StartPeers(std::move(flows), /*side=*/1);
+  released.store(16);  // let a couple of windows through
+  while (link.peer_stats(0).frames.load() == 0) {
+    std::this_thread::yield();  // generator runs: window room is available
+  }
+  link.StopPeers();
+  EXPECT_LE(link.peer_stats(0).frames.load(), 16u + 8u);
+  EXPECT_GT(link.peer_stats(0).frames.load(), 0u);
 }
 
 }  // namespace

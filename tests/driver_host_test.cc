@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -72,7 +73,8 @@ TEST(DriverHost, ThreadedModeServicesUpcalls) {
   Status up = bench.kernel.net().BringUp("eth0");
   EXPECT_TRUE(up.ok()) << up.ToString();
 
-  int received = 0;
+  // Atomic: the sink runs on the driver thread while this thread polls.
+  std::atomic<int> received{0};
   bench.kernel.net().Find("eth0")->set_rx_sink([&](const kern::Skb&) { ++received; });
   std::vector<uint8_t> payload(64, 0xaa);
   for (int i = 0; i < 5; ++i) {

@@ -153,6 +153,40 @@ class NetBench {
   // the peer reap its TX ring lazily from the full-ring check instead).
   void MaskPeerIrq() { (void)peer_env->MmioWrite32(0, devices::kNicRegImc, 0xffffffffu); }
 
+  // One traffic-generator flow per SUT queue, for EtherLink's threaded peer
+  // mode (or its serial replay): source ports are searched so the shared RSS
+  // hash pins flow q to queue q, `total_frames` is split evenly, and each
+  // flow paces itself against the kernel's per-queue delivery counter so no
+  // ring or backlog can overflow. Deterministic: the same arguments always
+  // produce the same flows, which is what makes the serial-vs-threaded
+  // determinism comparison meaningful.
+  std::vector<devices::EtherLink::PeerFlow> BuildQueueFlows(uint32_t queues,
+                                                            ConstByteSpan payload,
+                                                            uint64_t total_frames,
+                                                            uint32_t window,
+                                                            uint16_t dst_port = 80) {
+    kern::NetDevice* netdev = kernel.net().Find(SutIfname());
+    std::vector<devices::EtherLink::PeerFlow> flows(queues);
+    uint16_t next_port = 33000;
+    for (uint32_t q = 0; q < queues; ++q) {
+      for (;; ++next_port) {
+        auto frame = kern::BuildPacket(kMacA, kMacB, next_port, dst_port, payload);
+        if (kern::FlowQueue({frame.data(), frame.size()}, static_cast<uint16_t>(queues)) == q) {
+          flows[q].frame = std::move(frame);
+          ++next_port;
+          break;
+        }
+      }
+      flows[q].count = total_frames / queues + (q < total_frames % queues ? 1 : 0);
+      flows[q].window = window;
+      flows[q].acked = [netdev, q]() {
+        return netdev->queue_stats(static_cast<uint16_t>(q))
+            .rx_packets.load(std::memory_order_relaxed);
+      };
+    }
+    return flows;
+  }
+
   // Transmits `count` identical packets out of the SUT interface as one
   // burst (one uchan crossing under SUD).
   Status SutSendBurst(uint16_t src_port, uint16_t dst_port, ConstByteSpan payload, int count) {
@@ -176,9 +210,12 @@ class NetBench {
 
   hw::Machine machine;
   kern::Kernel kernel;
-  devices::EtherLink link;
   devices::SimNic sut_nic;
   devices::SimNic peer_nic;
+  // Declared after the NICs: destruction runs in reverse order, so
+  // ~EtherLink joins any still-running generator threads BEFORE the NIC
+  // endpoints they deliver into are destroyed (the early-unwind safety net).
+  devices::EtherLink link;
   hw::PcieSwitch* sw = nullptr;
   SafePciModule safe_pci;
   SudDeviceContext* ctx = nullptr;

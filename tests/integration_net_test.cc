@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "src/base/log.h"
 #include "tests/harness.h"
 
@@ -169,6 +172,86 @@ TEST(IntegrationNet, CpuModelChargesBothAccounts) {
   }
   EXPECT_GT(bench.machine.cpu().busy(kAccountKernel), 0u);
   EXPECT_GT(bench.machine.cpu().busy(kAccountDriver), 0u);
+}
+
+// Full-stack determinism of the threaded traffic-generator peers: N
+// generator threads feeding a threaded-per-queue SUT must deliver exactly
+// the same per-queue frame counts and per-flow digests as a serial replay of
+// the same flows into a pumped SUT — RSS pinning plus windowed pacing leaves
+// the interleaving no room to change the outcome.
+TEST(IntegrationNet, ThreadedPeersMatchSerialPerQueueCountsAndChecksums) {
+  constexpr uint32_t kQueues = 4;
+  constexpr uint64_t kTotal = 2000;
+  constexpr uint32_t kWindow = 32;
+  std::vector<uint8_t> payload(256, 0x6b);
+
+  struct RunResult {
+    std::vector<uint64_t> rx_per_queue;
+    std::vector<uint64_t> gen_frames;
+    std::vector<uint64_t> gen_hash;
+    uint64_t delivered = 0;
+    uint64_t bad_checksum = 0;
+  };
+  auto collect = [&](NetBench& bench) {
+    RunResult result;
+    kern::NetDevice* netdev = bench.kernel.net().Find(bench.SutIfname());
+    for (uint32_t q = 0; q < kQueues; ++q) {
+      result.rx_per_queue.push_back(netdev->queue_stats(static_cast<uint16_t>(q)).rx_packets);
+      result.gen_frames.push_back(bench.link.peer_stats(q).frames.load());
+      result.gen_hash.push_back(bench.link.peer_stats(q).frame_hash.load());
+    }
+    result.delivered = netdev->stats().rx_packets;
+    result.bad_checksum = netdev->stats().rx_bad_checksum;
+    return result;
+  };
+
+  // Serial replay into a pumped SUT.
+  NetBench::Options options;
+  options.nic_queues = kQueues;
+  RunResult serial;
+  {
+    NetBench bench(options);
+    ASSERT_TRUE(bench.StartSut(uml::DriverHost::Mode::kPumped).ok());
+    bench.MaskPeerIrq();
+    bench.link.RunPeersSerial(
+        bench.BuildQueueFlows(kQueues, {payload.data(), payload.size()}, kTotal, kWindow),
+        [&]() { bench.host->Pump(); },
+        /*side=*/1);
+    for (int spin = 0; spin < 1000 && collect(bench).delivered < kTotal; ++spin) {
+      bench.host->Pump();
+    }
+    serial = collect(bench);
+  }
+
+  // Threaded generation into a threaded-per-queue SUT.
+  RunResult threaded;
+  {
+    NetBench bench(options);
+    ASSERT_TRUE(bench.StartSut(uml::DriverHost::Mode::kThreadedPerQueue).ok());
+    bench.MaskPeerIrq();
+    bench.link.StartPeers(
+        bench.BuildQueueFlows(kQueues, {payload.data(), payload.size()}, kTotal, kWindow),
+        /*side=*/1);
+    bench.link.JoinPeers();
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (collect(bench).delivered < kTotal && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+    threaded = collect(bench);
+    ASSERT_TRUE(bench.host->Kill().ok());
+  }
+
+  EXPECT_EQ(serial.delivered, kTotal);
+  EXPECT_EQ(threaded.delivered, serial.delivered);
+  EXPECT_EQ(serial.bad_checksum, 0u);
+  EXPECT_EQ(threaded.bad_checksum, 0u);
+  for (uint32_t q = 0; q < kQueues; ++q) {
+    EXPECT_EQ(threaded.rx_per_queue[q], serial.rx_per_queue[q]) << "queue " << q;
+    EXPECT_EQ(threaded.gen_frames[q], serial.gen_frames[q]) << "queue " << q;
+    EXPECT_EQ(threaded.gen_hash[q], serial.gen_hash[q]) << "queue " << q;
+    // One flow per queue, evenly split: the counts themselves are known.
+    EXPECT_EQ(serial.rx_per_queue[q], kTotal / kQueues) << "queue " << q;
+  }
 }
 
 }  // namespace
