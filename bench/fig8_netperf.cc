@@ -73,6 +73,12 @@ struct Row {
   // Fast-path accounting, filled for the SUD rows (zero for in-kernel).
   double uchan_crossings_per_pkt = 0;  // kernel entries + wakeups per packet
   double uchan_msgs_per_pkt = 0;       // ring messages per packet
+  // Descriptor-path accounting (both drivers): device-side descriptor DMA
+  // transactions (cacheline burst fetches + completion writebacks) and
+  // driver-side descriptor window resolutions (DmaView maps) per packet —
+  // the crossings the DescRingEngine burst fetch collapses.
+  double desc_dma_per_pkt = 0;
+  double desc_windows_per_pkt = 0;
   // Per-queue channel accounting (one entry per uchan shard): the simulated
   // nanoseconds each queue's channel charged to either side. Single-queue
   // rows have one entry; the multi-queue ablation reports the full fan-out.
@@ -142,6 +148,24 @@ struct Config {
     }
   }
   const char* name() const { return is_sud ? "Untrusted driver" : "Kernel driver"; }
+
+  // Descriptor-path counters, snapshotted around each workload so probe-time
+  // ring arming does not pollute the per-packet rates.
+  struct DescSnapshot {
+    uint64_t fetch = 0, writeback = 0, windows = 0;
+  };
+  DescSnapshot SnapDesc() const {
+    const devices::SimNic::Stats& nic = bench->sut_nic.stats();
+    return {nic.desc_fetch_dma.load(), nic.desc_writeback_dma.load(),
+            bench->sut_driver != nullptr ? bench->sut_driver->desc_window_maps() : 0};
+  }
+  void FillDescCounters(Row* row, int packets, const DescSnapshot& base) const {
+    DescSnapshot now = SnapDesc();
+    row->desc_dma_per_pkt =
+        static_cast<double>((now.fetch - base.fetch) + (now.writeback - base.writeback)) /
+        packets;
+    row->desc_windows_per_pkt = static_cast<double>(now.windows - base.windows) / packets;
+  }
 };
 
 double TotalCpu(NetBench& bench) {
@@ -186,6 +210,7 @@ Row RunTcpStream(bool is_sud) {
   config.EnableNapi();
   NetBench& bench = *config.bench;
   bench.machine.cpu().Reset();
+  Config::DescSnapshot desc_base = config.SnapDesc();
   WallTimer timer;
 
   std::vector<uint8_t> payload(kTcpMss, 0x5a);
@@ -200,6 +225,7 @@ Row RunTcpStream(bool is_sud) {
   Row row{"TCP_STREAM", config.name(), throughput_mbps, "Mbits/sec",
           /*cpu_pct=*/0, is_sud ? 941.0 : 941.0, is_sud ? 13.0 : 12.0};
   config.FillUchanCounters(&row, kStreamPackets);
+  config.FillDescCounters(&row, kStreamPackets, desc_base);
   row.cpu_pct = ModelCpuPct(row, cpu_ns, wall_ns);
   row.sim_wall_us = timer.ElapsedUs();
   return row;
@@ -211,6 +237,7 @@ Row RunUdpTx(bool is_sud) {
   config.EnableNapi();
   NetBench& bench = *config.bench;
   bench.machine.cpu().Reset();
+  Config::DescSnapshot desc_base = config.SnapDesc();
   WallTimer timer;
 
   std::vector<uint8_t> payload(kUdpPayload, 0x11);
@@ -235,6 +262,7 @@ Row RunUdpTx(bool is_sud) {
   Row row{"UDP_STREAM TX", config.name(), pps / 1000.0, "Kpackets/sec",
           /*cpu_pct=*/0, is_sud ? 308.0 : 317.0, is_sud ? 39.0 : 35.0};
   config.FillUchanCounters(&row, kStreamPackets);
+  config.FillDescCounters(&row, kStreamPackets, desc_base);
   row.cpu_pct = ModelCpuPct(row, cpu_ns, wall_ns);
   row.sim_wall_us = timer.ElapsedUs();
   return row;
@@ -247,6 +275,7 @@ Row RunUdpRx(bool is_sud) {
   config.EnableNapi();
   NetBench& bench = *config.bench;
   bench.machine.cpu().Reset();
+  Config::DescSnapshot desc_base = config.SnapDesc();
   WallTimer timer;
 
   std::vector<uint8_t> payload(kUdpPayload, 0x22);
@@ -272,6 +301,7 @@ Row RunUdpRx(bool is_sud) {
           pps * (delivered / double(kStreamPackets)) / 1000.0, "Kpackets/sec",
           /*cpu_pct=*/0, is_sud ? 235.0 : 238.0, is_sud ? 26.0 : 20.0};
   config.FillUchanCounters(&row, kStreamPackets);
+  config.FillDescCounters(&row, kStreamPackets, desc_base);
   row.cpu_pct = ModelCpuPct(row, cpu_ns, wall_ns);
   row.sim_wall_us = timer.ElapsedUs();
   return row;
@@ -284,6 +314,7 @@ Row RunUdpRr(bool is_sud) {
   Config config = Config::Make(is_sud);
   NetBench& bench = *config.bench;
   bench.machine.cpu().Reset();
+  Config::DescSnapshot desc_base = config.SnapDesc();
   WallTimer timer;
 
   std::vector<uint8_t> payload(kUdpPayload, 0x33);
@@ -310,6 +341,7 @@ Row RunUdpRr(bool is_sud) {
   Row row{"UDP_RR", config.name(), tps, "Tx/sec", 100.0 * server_ns_per_txn / rtt_ns,
           is_sud ? 9489.0 : 9590.0, is_sud ? 10.0 : 5.0};
   config.FillUchanCounters(&row, 2 * kRrTransactions);
+  config.FillDescCounters(&row, 2 * kRrTransactions, desc_base);
   row.sim_wall_us = timer.ElapsedUs();
   return row;
 }
@@ -342,10 +374,12 @@ void WriteJson(const std::vector<Row>& rows, const char* path) {
                  "    {\"test\": \"%s\", \"driver\": \"%s\", \"value\": %.2f, "
                  "\"unit\": \"%s\", \"cpu_pct\": %.2f, \"paper_value\": %.1f, "
                  "\"paper_cpu_pct\": %.1f, \"uchan_crossings_per_pkt\": %.4f, "
-                 "\"uchan_msgs_per_pkt\": %.4f, \"sim_wall_us\": %.0f",
+                 "\"uchan_msgs_per_pkt\": %.4f, \"desc_dma_per_pkt\": %.4f, "
+                 "\"desc_windows_per_pkt\": %.4f, \"sim_wall_us\": %.0f",
                  row.test.c_str(), row.driver.c_str(), row.value, row.unit.c_str(), row.cpu_pct,
                  row.paper_value, row.paper_cpu, row.uchan_crossings_per_pkt,
-                 row.uchan_msgs_per_pkt, row.sim_wall_us);
+                 row.uchan_msgs_per_pkt, row.desc_dma_per_pkt, row.desc_windows_per_pkt,
+                 row.sim_wall_us);
     // Per-queue channel accounting (one entry per uchan shard).
     std::fprintf(out, ", \"queue_kernel_ns\": [");
     for (size_t q = 0; q < row.queue_kernel_ns.size(); ++q) {

@@ -28,11 +28,15 @@
 
 #include "src/base/bytes.h"
 #include "src/base/status.h"
+#include "src/kern/net_limits.h"
 
 namespace sud::devices {
 
-inline constexpr size_t kEthMinFrame = 60;     // without FCS
-inline constexpr size_t kEthMaxFrame = 1514;   // 1500 MTU + 14 header
+// Frame-size limits come from the centralized net_limits.h: the medium
+// carries anything up to the jumbo maximum (whether an endpoint ACCEPTS a
+// long frame is that endpoint's RCTL.LPE decision, as on real hardware).
+inline constexpr size_t kEthMinFrame = kern::kEthMinFrameBytes;   // without FCS
+inline constexpr size_t kEthMaxFrame = kern::kJumboMaxFrameBytes;  // 9000 MTU + 14 header
 inline constexpr double kGigabitPerSec = 1e9;  // link rate, bits/second
 
 // Per-frame wire overhead: preamble(8) + FCS(4) + IFG(12) bytes.

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/kern/net_limits.h"
+
 namespace sud::devices {
 
 Ne2kNic::Ne2kNic(std::string name, const uint8_t mac[6])
@@ -87,7 +89,10 @@ void Ne2kNic::IoWrite(uint16_t port_offset, uint8_t value) {
       pio_remaining_ = static_cast<uint16_t>((pio_remaining_ & 0x00ff) | (value << 8));
       break;
     case kNe2kPortData:
-      if (tx_buffer_.size() < kEthMaxFrame) {
+      // The NS8390 is a standard-Ethernet part: its PIO buffer caps at the
+      // 1514-byte frame maximum regardless of what the (jumbo-capable)
+      // medium would carry.
+      if (tx_buffer_.size() < kern::kStdMaxFrameBytes) {
         tx_buffer_.push_back(value);
       }
       break;
@@ -99,6 +104,9 @@ void Ne2kNic::IoWrite(uint16_t port_offset, uint8_t value) {
 void Ne2kNic::DeliverFrame(ConstByteSpan frame) {
   if ((cmd_ & kNe2kCmdStart) == 0) {
     return;  // stopped: frames are lost on the wire, as on real hardware
+  }
+  if (frame.size() > kern::kStdMaxFrameBytes) {
+    return;  // a jumbo on the wire: the standard-Ethernet MAC drops it
   }
   if (rx_queue_.size() >= 16) {
     return;  // ring overflow

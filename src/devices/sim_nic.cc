@@ -4,6 +4,7 @@
 
 #include "src/base/bytes.h"
 #include "src/base/log.h"
+#include "src/kern/net_limits.h"
 #include "src/kern/packet.h"
 
 namespace sud::devices {
@@ -22,10 +23,29 @@ constexpr uint16_t kPhyBmsrLinkUp = 1u << 2;
 constexpr uint16_t kPhyId1Value = 0x02a8;
 }  // namespace
 
+Status SimNic::FabricRingMem::Read(uint64_t addr, ByteSpan out) {
+  Status status = nic_->DmaRead(addr, out);
+  if (!status.ok()) {
+    nic_->stats_.dma_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
+Status SimNic::FabricRingMem::Write(uint64_t addr, ConstByteSpan bytes) {
+  Status status = nic_->DmaWrite(addr, bytes);
+  if (!status.ok()) {
+    nic_->stats_.dma_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
 SimNic::SimNic(std::string name, const uint8_t mac[6])
     : PciDevice(std::move(name), /*vendor_id=*/0x8086, /*device_id=*/0x10d3,
                 /*class_code=*/0x02, {hw::BarDesc{128 * 1024, /*is_io=*/false}}) {
   std::memcpy(mac_.data(), mac, 6);
+  for (uint32_t q = 0; q < kNicNumQueues; ++q) {
+    engines_[q] = std::make_unique<QueueEngines>(this);
+  }
   Reset();
 }
 
@@ -50,7 +70,13 @@ void SimNic::Reset() {
     tx_q_[q] = RingRegs{};
     rx_q_[q] = RingRegs{};
     rx_backlog_[q].clear();
+    engines_[q]->rx.Invalidate();
+    engines_[q]->tx.Invalidate();
   }
+  for (uint32_t i = 0; i < kNicRetaEntries; ++i) {
+    reta_[i].store(0, std::memory_order_relaxed);
+  }
+  reta_programmed_.store(false, std::memory_order_relaxed);
   // Receive-address registers come up holding the EEPROM MAC, as on real HW.
   ral0_ = LoadLe32(mac_.data());
   rah0_ = kNicRahValid | LoadLe16(mac_.data() + 4);
@@ -64,14 +90,31 @@ uint32_t SimNic::rss_queues() const {
   return queues == 0 ? 1 : queues;
 }
 
+uint32_t SimNic::SteerQueue(ConstByteSpan frame) const {
+  uint32_t queues = rss_queues();
+  if (queues <= 1) {
+    return 0;
+  }
+  uint32_t hash = kern::FlowHash(frame);
+  if (!reta_programmed_.load(std::memory_order_relaxed)) {
+    // Unprogrammed table: the historical hash % queues, bit-for-bit.
+    return hash % queues;
+  }
+  // Entries are stored pre-masked to the implemented queue count; the final
+  // reduction keeps the lookup in-bounds even while MRQC shrinks mid-flight.
+  uint8_t entry = reta_[hash % kNicRetaEntries].load(std::memory_order_relaxed);
+  return entry % queues;
+}
+
 // Resolves a per-queue ring register: `reg_offset` is the offset within the
 // queue's block (RDBAL/TDBAL-relative). One decode shared by RX/TX x
 // read/write, so the register map lives in exactly one place.
-uint32_t* SimNic::RingField(RingRegs& regs, uint64_t reg_offset) {
+uint32_t* SimNic::RingField(RingRegs& regs, uint64_t reg_offset, bool is_rx) {
   switch (reg_offset) {
     case 0x00: return &regs.bal;
     case 0x04: return &regs.bah;
     case 0x08: return &regs.len;
+    case 0x0c: return is_rx ? &regs.bufsz : nullptr;  // SRRCTL-style, RX only
     case 0x10: return &regs.head;
     case 0x18: return &regs.tail;
     default: return nullptr;
@@ -93,6 +136,13 @@ bool SimNic::DecodeQueueReg(uint64_t offset, bool* is_rx, uint32_t* queue, uint6
   return true;
 }
 
+uint32_t SimNic::EffectiveRxBufBytes(const RingRegs& regs) {
+  // Clamp + round down to the granularity (net_limits.h): a malicious
+  // driver can program whatever it likes, the device scatters at a sane
+  // size regardless.
+  return kern::EffectiveRxBufferBytes(regs.bufsz);
+}
+
 uint32_t SimNic::MmioRead(int bar, uint64_t offset) {
   if (bar != 0) {
     return 0xffffffffu;
@@ -103,8 +153,16 @@ uint32_t SimNic::MmioRead(int bar, uint64_t offset) {
   uint64_t reg_offset = 0;
   if (DecodeQueueReg(offset, &is_rx, &q, &reg_offset)) {
     std::lock_guard<std::recursive_mutex> lock(queue_mu_[q]);
-    uint32_t* field = RingField(is_rx ? rx_q_[q] : tx_q_[q], reg_offset);
+    uint32_t* field = RingField(is_rx ? rx_q_[q] : tx_q_[q], reg_offset, is_rx);
     return field != nullptr ? *field : 0;
+  }
+  if (offset >= kNicRegReta && offset < kNicRegReta + kNicRetaEntries) {
+    uint32_t base = static_cast<uint32_t>(offset - kNicRegReta) & ~3u;
+    uint32_t value = 0;
+    for (uint32_t b = 0; b < 4; ++b) {
+      value |= static_cast<uint32_t>(reta_[base + b].load(std::memory_order_relaxed)) << (8 * b);
+    }
+    return value;
   }
   switch (offset) {
     case kNicRegCtrl:
@@ -145,7 +203,7 @@ void SimNic::MmioWrite(int bar, uint64_t offset, uint32_t value) {
       uint64_t drained = 0;
       {
         std::lock_guard<std::recursive_mutex> lock(queue_mu_[q]);
-        uint32_t* field = RingField(rx_q_[q], reg_offset);
+        uint32_t* field = RingField(rx_q_[q], reg_offset, /*is_rx=*/true);
         if (field != nullptr) {
           *field = value;
           if (field == &rx_q_[q].tail) {
@@ -162,7 +220,7 @@ void SimNic::MmioWrite(int bar, uint64_t offset, uint32_t value) {
       bool doorbell = false;
       {
         std::lock_guard<std::recursive_mutex> lock(queue_mu_[q]);
-        uint32_t* field = RingField(tx_q_[q], reg_offset);
+        uint32_t* field = RingField(tx_q_[q], reg_offset, /*is_rx=*/false);
         if (field != nullptr) {
           *field = value;
           doorbell = field == &tx_q_[q].tail;
@@ -172,6 +230,18 @@ void SimNic::MmioWrite(int bar, uint64_t offset, uint32_t value) {
         ProcessTxRing(q);  // takes the queue lock itself
       }
     }
+    return;
+  }
+  if (offset >= kNicRegReta && offset < kNicRegReta + kNicRetaEntries) {
+    // Four byte-wide entries per dword, each pre-masked to the implemented
+    // queue count so a concurrent lookup can never read an out-of-range
+    // queue no matter what the driver wrote.
+    uint32_t base = static_cast<uint32_t>(offset - kNicRegReta) & ~3u;
+    for (uint32_t b = 0; b < 4; ++b) {
+      reta_[base + b].store(static_cast<uint8_t>((value >> (8 * b)) % kNicNumQueues),
+                            std::memory_order_relaxed);
+    }
+    reta_programmed_.store(true, std::memory_order_relaxed);
     return;
   }
   switch (offset) {
@@ -230,7 +300,7 @@ void SimNic::MmioWrite(int bar, uint64_t offset, uint32_t value) {
       break;
     case kNicRegMrqc:
       // Clamped once at write time: receive steering reads this concurrently
-      // on every delivering thread, and FlowQueue must always be handed an
+      // on every delivering thread, and SteerQueue must always be handed an
       // in-bounds queue count no matter what the driver wrote.
       mrqc_.store(value > kNicNumQueues ? kNicNumQueues : value, std::memory_order_relaxed);
       break;
@@ -245,53 +315,16 @@ void SimNic::MmioWrite(int bar, uint64_t offset, uint32_t value) {
   }
 }
 
-Result<NicDescriptor> SimNic::ReadDescriptor(uint64_t ring_base, uint32_t index) {
-  uint8_t raw[16];
-  Status status = DmaRead(ring_base + static_cast<uint64_t>(index) * 16, ByteSpan(raw, 16));
-  if (!status.ok()) {
-    stats_.dma_errors.fetch_add(1, std::memory_order_relaxed);
-    return status;
-  }
-  NicDescriptor desc;
-  desc.buffer_addr = LoadLe64(raw);
-  desc.length = LoadLe16(raw + 8);
-  desc.cso = raw[10];
-  desc.cmd = raw[11];
-  desc.status = raw[12];
-  desc.css = raw[13];
-  desc.special = LoadLe16(raw + 14);
-  return desc;
-}
-
-// Completion writeback, split so a concurrently polling driver thread can
-// never observe it torn: the device only ever CHANGES the length field (RX)
-// and the status byte — buffer address, cso, cmd, css and special still hold
-// exactly what the driver armed — so the writeback is the changed fields
-// only, with the status byte last as a 1-byte posted write the memory model
-// publishes with release semantics (PhysicalMemory::Write), paired with the
-// driver's acquire poll of DD. The old scheme wrote the whole 16 bytes and
-// then re-published DD — but that first phase still plain-wrote the very
-// byte the driver was polling, a data race TSAN (and the threaded
-// traffic-generator peers) flushed out; the changed-fields-only writeback is
-// also fewer fabric crossings than the full descriptor was.
-Status SimNic::WriteBackRxLength(uint64_t ring_base, uint32_t index, uint16_t length) {
-  uint8_t raw[2];
-  StoreLe16(raw, length);
-  Status status =
-      DmaWrite(ring_base + static_cast<uint64_t>(index) * 16 + 8, ConstByteSpan(raw, 2));
-  if (!status.ok()) {
-    stats_.dma_errors.fetch_add(1, std::memory_order_relaxed);
-  }
-  return status;
-}
-
-Status SimNic::PublishDescriptorStatus(uint64_t ring_base, uint32_t index, uint8_t desc_status) {
-  Status status = DmaWrite(ring_base + static_cast<uint64_t>(index) * 16 + 12,
-                           ConstByteSpan(&desc_status, 1));
-  if (!status.ok()) {
-    stats_.dma_errors.fetch_add(1, std::memory_order_relaxed);
-  }
-  return status;
+void SimNic::AccumulateEngineStats(const hw::DescRingEngine& engine,
+                                   hw::DescRingEngine::Stats* folded) {
+  const hw::DescRingEngine::Stats& s = engine.stats();
+  stats_.desc_fetch_dma.fetch_add(s.burst_fetches - folded->burst_fetches,
+                                  std::memory_order_relaxed);
+  stats_.desc_fetched.fetch_add(s.descs_fetched - folded->descs_fetched,
+                                std::memory_order_relaxed);
+  stats_.desc_writeback_dma.fetch_add(s.writebacks - folded->writebacks,
+                                      std::memory_order_relaxed);
+  *folded = s;
 }
 
 void SimNic::SetInterruptCause(uint32_t bits) {
@@ -324,15 +357,18 @@ void SimNic::ProcessTxRing(uint32_t q) {
   // lock-order cycle two NICs on one link could otherwise build. Because the
   // head advances under the lock before the frame leaves, a concurrent
   // reaper (the device's Tick, or a racing doorbell write) processes each
-  // descriptor exactly once.
+  // descriptor exactly once — and because the engine serves consumed
+  // descriptors from its cacheline burst snapshot, a driver rewriting a
+  // descriptor after the fetch transmits nothing but what was armed.
   std::unique_lock<std::recursive_mutex> lock(queue_mu_[q]);
   RingRegs& regs = tx_q_[q];
+  hw::DescRingEngine& engine = engines_[q]->tx;
   std::vector<uint8_t> frame_buf;  // one allocation per reap pass, not per frame
   bool sent_any = false;
   while ((tctl_.load(std::memory_order_relaxed) & kNicTctlEnable) != 0 && regs.size() != 0 &&
          regs.head != regs.tail) {
-    uint64_t ring_base = regs.base();
-    Result<NicDescriptor> desc = ReadDescriptor(ring_base, regs.head);
+    engine.Configure(regs.base(), regs.size());
+    Result<NicDescriptor> desc = engine.Fetch(regs.head, regs.owned());
     if (!desc.ok()) {
       // Descriptor fetch faulted in the IOMMU: the device stalls this queue,
       // which is precisely the "confined to its own sandbox" behaviour.
@@ -349,8 +385,7 @@ void SimNic::ProcessTxRing(uint32_t q) {
     }
     stats_.tx_frames.fetch_add(1, std::memory_order_relaxed);
     queue_stats_[q].tx_frames.fetch_add(1, std::memory_order_relaxed);
-    (void)PublishDescriptorStatus(ring_base, regs.head,
-                                  static_cast<uint8_t>(d.status | kNicDescStatusDone));
+    (void)engine.PublishStatus(regs.head, static_cast<uint8_t>(d.status | kNicDescStatusDone));
     regs.head = (regs.head + 1) % regs.size();
     sent_any = true;
     if (link_ != nullptr && d.length > 0) {
@@ -359,6 +394,7 @@ void SimNic::ProcessTxRing(uint32_t q) {
       lock.lock();
     }
   }
+  AccumulateEngineStats(engine, &engines_[q]->tx_folded);
   lock.unlock();
   if (sent_any) {
     // Raised after the lock is dropped: the MSI dispatch can synchronously
@@ -371,42 +407,93 @@ void SimNic::ProcessTxRing(uint32_t q) {
   }
 }
 
-bool SimNic::ReceiveIntoRingLocked(uint32_t q, ConstByteSpan frame) {
+SimNic::RxOutcome SimNic::ReceiveIntoRingLocked(uint32_t q, ConstByteSpan frame) {
   RingRegs& regs = rx_q_[q];
-  if ((rctl_.load(std::memory_order_relaxed) & kNicRctlEnable) == 0 || regs.size() == 0) {
-    return false;
+  uint32_t rctl = rctl_.load(std::memory_order_relaxed);
+  if ((rctl & kNicRctlEnable) == 0 || regs.size() == 0) {
+    return RxOutcome::kNoDesc;
   }
-  // RDH == RDT means the ring is empty of armed descriptors.
-  if (regs.head == regs.tail) {
-    return false;
+  // Long frames require RCTL.LPE, exactly like real silicon: without it an
+  // oversize frame is dropped at the MAC, counted, and nothing is published.
+  // Even with LPE the MAC has an absolute maximum (the jumbo frame size) —
+  // nothing larger ever touches a descriptor.
+  if ((frame.size() > kern::kStdMaxFrameBytes && (rctl & kNicRctlJumboEnable) == 0) ||
+      frame.size() > kern::kJumboMaxFrameBytes) {
+    stats_.rx_dropped_oversize.fetch_add(1, std::memory_order_relaxed);
+    return RxOutcome::kDropped;
+  }
+  uint32_t bufsz = EffectiveRxBufBytes(regs);
+  uint32_t needed = static_cast<uint32_t>((frame.size() + bufsz - 1) / bufsz);
+  if (needed == 0) {
+    needed = 1;
+  }
+  if (needed > kern::kMaxChainFrags) {
+    // The chain cap: no buffer-size program a malicious driver picks can
+    // make the device publish an unbounded descriptor chain.
+    stats_.rx_dropped_oversize.fetch_add(1, std::memory_order_relaxed);
+    return RxOutcome::kDropped;
+  }
+  // RDH == RDT means the ring is empty of armed descriptors; a chain needs
+  // `needed` of them or the whole frame waits (no partial chains, ever).
+  if (regs.owned() < needed) {
+    return RxOutcome::kNoDesc;
   }
   uint64_t ring_base = regs.base();
-  Result<NicDescriptor> desc = ReadDescriptor(ring_base, regs.head);
-  if (!desc.ok()) {
-    return false;
+  hw::DescRingEngine& engine = engines_[q]->rx;
+  engine.Configure(ring_base, regs.size());
+  // Pass 1: fetch the chain's descriptors (cacheline bursts) and DMA each
+  // chunk into its buffer. Any fault — descriptor outside the IOMMU
+  // mappings, buffer aimed at a victim — aborts the WHOLE frame before any
+  // completion is published: the ring never carries a half-written chain.
+  NicDescriptor chain_desc[kern::kMaxChainFrags];
+  size_t off = 0;
+  for (uint32_t i = 0; i < needed; ++i) {
+    uint32_t index = (regs.head + i) % regs.size();
+    uint32_t owned_here = (regs.tail + regs.size() - index) % regs.size();
+    Result<NicDescriptor> desc = engine.Fetch(index, owned_here);
+    if (!desc.ok()) {
+      AccumulateEngineStats(engine, &engines_[q]->rx_folded);
+      return RxOutcome::kDropped;
+    }
+    chain_desc[i] = desc.value();
+    size_t chunk = frame.size() - off < bufsz ? frame.size() - off : bufsz;
+    Status status = DmaWrite(chain_desc[i].buffer_addr, frame.subspan(off, chunk));
+    if (!status.ok()) {
+      stats_.dma_errors.fetch_add(1, std::memory_order_relaxed);
+      AccumulateEngineStats(engine, &engines_[q]->rx_folded);
+      return RxOutcome::kDropped;
+    }
+    off += chunk;
   }
-  NicDescriptor d = desc.value();
-  Status status = DmaWrite(d.buffer_addr, frame);
-  if (!status.ok()) {
-    stats_.dma_errors.fetch_add(1, std::memory_order_relaxed);
-    return false;
+  // Pass 2: completion writeback in ring order — per descriptor the chunk
+  // length first, then the status byte (DD, plus EOP only on the last)
+  // release-published last, so a driver thread polling this chain
+  // concurrently never observes DD with a stale length, in every mode.
+  off = 0;
+  for (uint32_t i = 0; i < needed; ++i) {
+    uint32_t index = (regs.head + i) % regs.size();
+    size_t chunk = frame.size() - off < bufsz ? frame.size() - off : bufsz;
+    (void)engine.WriteBackLength(index, static_cast<uint16_t>(chunk));
+    uint8_t status = kNicDescStatusDone;
+    if (i + 1 == needed) {
+      status |= kNicDescStatusEop;
+    }
+    (void)engine.PublishStatus(index, status);
+    off += chunk;
   }
-  // Length lands first, the DD status byte last (release), so a driver
-  // thread polling this descriptor concurrently can never observe DD with a
-  // stale length — in every mode, not just multi-queue: with threaded
-  // generator peers even the single-queue device writes back on the
-  // delivering thread while a kThreaded driver polls.
-  (void)WriteBackRxLength(ring_base, regs.head, static_cast<uint16_t>(frame.size()));
-  (void)PublishDescriptorStatus(ring_base, regs.head,
-                                kNicDescStatusDone | (kNicDescCmdEop << 1));
-  regs.head = (regs.head + 1) % regs.size();
+  regs.head = (regs.head + needed) % regs.size();
   stats_.rx_frames.fetch_add(1, std::memory_order_relaxed);
   queue_stats_[q].rx_frames.fetch_add(1, std::memory_order_relaxed);
+  if (needed > 1) {
+    stats_.rx_chain_frames.fetch_add(1, std::memory_order_relaxed);
+    stats_.rx_chain_descs.fetch_add(needed, std::memory_order_relaxed);
+  }
+  AccumulateEngineStats(engine, &engines_[q]->rx_folded);
   // The interrupt is raised by the caller AFTER the queue lock is released:
   // a synchronous in-kernel dispatch can transmit a reply from inside the
   // handler, and its doorbell must find this queue's lock free (see the
   // threading comment in the header).
-  return true;
+  return RxOutcome::kDelivered;
 }
 
 void SimNic::RaiseRxInterrupt(uint32_t q, uint64_t count) {
@@ -420,12 +507,12 @@ void SimNic::RaiseRxInterrupt(uint32_t q, uint64_t count) {
 }
 
 void SimNic::DeliverFrame(ConstByteSpan frame) {
-  uint32_t q = kern::FlowQueue(frame, static_cast<uint16_t>(rss_queues()));
-  bool into_ring = false;
+  uint32_t q = SteerQueue(frame);
+  RxOutcome outcome;
   {
     std::lock_guard<std::recursive_mutex> lock(queue_mu_[q]);
-    into_ring = ReceiveIntoRingLocked(q, frame);
-    if (!into_ring) {
+    outcome = ReceiveIntoRingLocked(q, frame);
+    if (outcome == RxOutcome::kNoDesc) {
       if (rx_backlog_[q].size() >= kRxBacklogMax) {
         stats_.rx_dropped_no_desc.fetch_add(1, std::memory_order_relaxed);
         return;
@@ -433,7 +520,7 @@ void SimNic::DeliverFrame(ConstByteSpan frame) {
       rx_backlog_[q].emplace_back(frame.begin(), frame.end());
     }
   }
-  if (into_ring) {
+  if (outcome == RxOutcome::kDelivered) {
     RaiseRxInterrupt(q, 1);
   }
 }
@@ -442,11 +529,16 @@ uint64_t SimNic::DrainBacklogLocked(uint32_t q) {
   uint64_t drained = 0;
   while (!rx_backlog_[q].empty()) {
     const std::vector<uint8_t>& frame = rx_backlog_[q].front();
-    if (!ReceiveIntoRingLocked(q, ConstByteSpan(frame.data(), frame.size()))) {
+    RxOutcome outcome = ReceiveIntoRingLocked(q, ConstByteSpan(frame.data(), frame.size()));
+    if (outcome == RxOutcome::kNoDesc) {
       break;
     }
     rx_backlog_[q].pop_front();
-    ++drained;
+    if (outcome == RxOutcome::kDelivered) {
+      ++drained;
+    }
+    // kDropped frames (oversize without LPE, chain cap, DMA fault) leave the
+    // backlog too — already counted, and retrying them can never succeed.
   }
   return drained;
 }

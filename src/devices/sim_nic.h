@@ -11,16 +11,37 @@
 // ring pairs, each behind its own register block (0x100 stride, the 82574
 // layout generalised), with receive-side scaling steering incoming frames by
 // a flow hash (kern::FlowHash — the same function the kernel's transmit
-// steering uses, so a flow maps to one queue in both directions). Queue q
+// steering uses, so a flow maps to one queue in both directions). A
+// driver-programmable 128-entry RSS indirection table (RETA, the 82574's
+// 0x5C00 register block) maps hash buckets to queues once programmed;
+// unprogrammed it behaves exactly like the historical hash % queues. Queue q
 // signals completion on multi-message MSI vector index q. Queue 0 at the
 // legacy offsets with MRQC unprogrammed behaves bit-for-bit like the
 // single-queue device of earlier revisions.
 //
+// Descriptor engine: all descriptor DMA goes through the shared
+// hw::DescRingEngine (one per queue per direction), which fetches
+// descriptors in cacheline bursts — up to four per fabric transaction, never
+// past the descriptors the device owns — and serves consumed descriptors
+// from the burst snapshot. A driver that rewrites a descriptor after the
+// burst was fetched (the mid-burst rewrite attack) changes nothing: the
+// device uses its captured copy, exactly once.
+//
+// Jumbo frames: frames larger than the driver-programmed per-descriptor
+// buffer size (the RX block's SRRCTL-style field; 2048 when unprogrammed)
+// are scattered across consecutive descriptors as an EOP chain — DD
+// published per descriptor in order, the EOP status bit set only on the
+// last. Frames above the standard maximum require RCTL.LPE; chains are
+// capped at kern::kMaxChainFrags descriptors no matter what buffer size a
+// malicious driver programs, and a frame that cannot be scattered is dropped
+// and counted, never partially published.
+//
 // Threading: with a sharded uchan, each queue is pumped by its own driver
 // thread, and with threaded traffic-generator peers each queue's receive-side
 // DMA runs on the delivering generator's thread. ALL of queue q's ring state
-// — RX and TX rings, backlog, doorbells — is guarded by the per-queue
-// recursive lock queue_mu_[q]. Two invariants keep the locking sound:
+// — RX and TX rings, descriptor engines, backlog, doorbells — is guarded by
+// the per-queue recursive lock queue_mu_[q]. Two invariants keep the locking
+// sound:
 //
 //  1. Interrupts are raised OUTSIDE the queue locks. A synchronous in-kernel
 //     dispatch can run a driver handler that re-enters the device through any
@@ -37,8 +58,9 @@
 // on another thread) is running; concurrent reapers still get exactly-once
 // descriptor processing, but frames may interleave on the wire. Shared
 // registers that the delivery threads read while the driver rewrites them
-// (MRQC, RCTL, TCTL) and the cause/mask registers and stats are atomics;
-// MRQC is clamped to the implemented queue count at write time so receive
+// (MRQC, RCTL, TCTL, the RETA bytes) and the cause/mask registers and stats
+// are atomics; MRQC is clamped to the implemented queue count at write time
+// and every RETA lookup is reduced modulo the live queue count, so receive
 // steering is always in-bounds, even mid-rewrite.
 //
 // Everything the device does to memory goes through PciDevice::DmaRead/
@@ -54,11 +76,13 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "src/base/status.h"
 #include "src/devices/ether_link.h"
+#include "src/hw/desc_ring.h"
 #include "src/hw/pci_device.h"
 
 namespace sud::devices {
@@ -82,6 +106,9 @@ inline constexpr uint64_t kNicQueueRegStride = 0x100;
 inline constexpr uint64_t kNicRegRdbal = 0x2800;
 inline constexpr uint64_t kNicRegRdbah = 0x2804;
 inline constexpr uint64_t kNicRegRdlen = 0x2808;
+// SRRCTL-style per-descriptor RX buffer size in bytes (0 = the 2048-byte
+// default). Lives in the RX block so it shards per queue like the rest.
+inline constexpr uint64_t kNicRegRdbsz = 0x280c;
 inline constexpr uint64_t kNicRegRdh = 0x2810;
 inline constexpr uint64_t kNicRegRdt = 0x2818;
 inline constexpr uint64_t kNicRegTdbal = 0x3800;
@@ -91,6 +118,10 @@ inline constexpr uint64_t kNicRegTdh = 0x3810;
 inline constexpr uint64_t kNicRegTdt = 0x3818;
 inline constexpr uint64_t kNicRegRal0 = 0x5400;
 inline constexpr uint64_t kNicRegRah0 = 0x5404;
+// RSS indirection table: 128 byte-wide entries packed into 32 dwords at the
+// 82574's RETA offset. Each byte names the queue its hash bucket steers to.
+inline constexpr uint64_t kNicRegReta = 0x5c00;
+inline constexpr uint32_t kNicRetaEntries = 128;
 // Multiple receive queues command: the number of RSS queues (0 or 1 =
 // single-queue legacy behaviour; 2..kNicNumQueues = multi-queue mode with
 // per-queue MSI messages and auto-cleared per-queue causes).
@@ -102,6 +133,9 @@ inline constexpr uint32_t kNicCtrlReset = 1u << 26;
 inline constexpr uint32_t kNicStatusLinkUp = 1u << 1;
 // RCTL/TCTL bits.
 inline constexpr uint32_t kNicRctlEnable = 1u << 1;
+// RCTL.LPE: long packet enable — frames above the standard 1514-byte
+// maximum are dropped (and counted) unless the driver sets this.
+inline constexpr uint32_t kNicRctlJumboEnable = 1u << 5;
 inline constexpr uint32_t kNicTctlEnable = 1u << 1;
 // Interrupt cause bits. Legacy aggregate bits are raised in single-queue
 // mode; per-queue bits occupy [8..15] (RX queue q) and [16..23] (TX queue q).
@@ -114,22 +148,13 @@ inline constexpr uint32_t kNicIntAllQueues = 0x00ffff00u;
 // RAH valid bit.
 inline constexpr uint32_t kNicRahValid = 1u << 31;
 
-// Legacy descriptor command/status bits.
-inline constexpr uint8_t kNicDescCmdEop = 1u << 0;
-inline constexpr uint8_t kNicDescCmdReportStatus = 1u << 3;
-inline constexpr uint8_t kNicDescStatusDone = 1u << 0;  // DD
-
-// Legacy 16-byte descriptor, shared by TX and RX rings.
-struct NicDescriptor {
-  uint64_t buffer_addr = 0;
-  uint16_t length = 0;
-  uint8_t cso = 0;
-  uint8_t cmd = 0;
-  uint8_t status = 0;
-  uint8_t css = 0;
-  uint16_t special = 0;
-};
-static_assert(sizeof(NicDescriptor) == 16, "descriptor must be 16 bytes");
+// Legacy descriptor bits and layout now live in the shared engine
+// (src/hw/desc_ring.h); the historical names remain for the drivers/tests.
+inline constexpr uint8_t kNicDescCmdEop = hw::kDescCmdEop;
+inline constexpr uint8_t kNicDescCmdReportStatus = hw::kDescCmdReportStatus;
+inline constexpr uint8_t kNicDescStatusDone = hw::kDescStatusDone;
+inline constexpr uint8_t kNicDescStatusEop = hw::kDescStatusEop;
+using NicDescriptor = hw::RingDescriptor;
 
 class SimNic : public hw::PciDevice, public EtherEndpoint {
  public:
@@ -155,7 +180,16 @@ class SimNic : public hw::PciDevice, public EtherEndpoint {
     std::atomic<uint64_t> tx_frames{0};
     std::atomic<uint64_t> rx_frames{0};
     std::atomic<uint64_t> rx_dropped_no_desc{0};
+    std::atomic<uint64_t> rx_dropped_oversize{0};  // LPE off, or chain cap hit
+    std::atomic<uint64_t> rx_chain_frames{0};      // frames scattered over >1 descriptor
+    std::atomic<uint64_t> rx_chain_descs{0};       // descriptors those frames used
     std::atomic<uint64_t> dma_errors{0};  // descriptor/buffer DMA faulted (confined)
+    // Descriptor-engine fabric accounting, summed over every queue:
+    // transactions that fetched descriptors (cacheline bursts), descriptors
+    // they carried, and completion writebacks.
+    std::atomic<uint64_t> desc_fetch_dma{0};
+    std::atomic<uint64_t> desc_fetched{0};
+    std::atomic<uint64_t> desc_writeback_dma{0};
   };
   const Stats& stats() const { return stats_; }
   struct QueueStats {
@@ -167,37 +201,67 @@ class SimNic : public hw::PciDevice, public EtherEndpoint {
   bool link_up() const { return link_ != nullptr; }
   // RSS queues currently enabled by MRQC (1 when unprogrammed).
   uint32_t rss_queues() const;
+  // The queue the device would steer `frame` to right now (RETA when
+  // programmed, hash % queues otherwise). Exposed for tests/benches.
+  uint32_t SteerQueue(ConstByteSpan frame) const;
 
  private:
   // Per-queue ring doorbell/geometry registers (one block per queue).
   struct RingRegs {
     uint32_t bal = 0, bah = 0, len = 0, head = 0, tail = 0;
+    uint32_t bufsz = 0;  // RX only: per-descriptor buffer bytes (0 = default)
     uint64_t base() const { return (static_cast<uint64_t>(bah) << 32) | bal; }
     uint32_t size() const { return len / 16; }
+    // Armed descriptors the device owns, starting at `head`.
+    uint32_t owned() const {
+      return size() == 0 ? 0 : (tail + size() - head) % size();
+    }
+  };
+  // DescRingEngine memory adapter: descriptor DMA through the fabric, with
+  // faults folded into the device's dma_errors counter.
+  class FabricRingMem : public hw::RingMem {
+   public:
+    explicit FabricRingMem(SimNic* nic) : nic_(nic) {}
+    Status Read(uint64_t addr, ByteSpan out) override;
+    Status Write(uint64_t addr, ConstByteSpan bytes) override;
+
+   private:
+    SimNic* nic_;
+  };
+  // One engine per queue per direction, all state under queue_mu_[q]. The
+  // folded snapshots track what each engine's counters already contributed
+  // to stats_ (engines count cumulatively; stats_ folds deltas per pass).
+  struct QueueEngines {
+    explicit QueueEngines(SimNic* nic) : mem(nic), rx(&mem), tx(&mem) {}
+    FabricRingMem mem;
+    hw::DescRingEngine rx;
+    hw::DescRingEngine tx;
+    hw::DescRingEngine::Stats rx_folded;
+    hw::DescRingEngine::Stats tx_folded;
   };
 
   bool multi_queue() const { return mrqc_.load(std::memory_order_relaxed) > 1; }
   // Per-queue ring register decode shared by RX/TX reads and writes.
-  static uint32_t* RingField(RingRegs& regs, uint64_t reg_offset);
+  static uint32_t* RingField(RingRegs& regs, uint64_t reg_offset, bool is_rx);
   static bool DecodeQueueReg(uint64_t offset, bool* is_rx, uint32_t* queue, uint64_t* reg_offset);
+  // The usable per-descriptor RX buffer size queue q is programmed for.
+  static uint32_t EffectiveRxBufBytes(const RingRegs& regs);
   // Reaps queue q's armed TX descriptors. Takes queue_mu_[q] itself; the lock
   // is released around each EtherLink::Transmit (see the threading comment).
   void ProcessTxRing(uint32_t q);
-  // Writes one frame into queue q's ring. The caller raises the RX interrupt
-  // (one per delivered frame) AFTER releasing queue_mu_[q] — interrupts are
-  // never raised under a queue lock, so a synchronous in-kernel handler can
-  // freely re-enter the device through any doorbell.
-  bool ReceiveIntoRingLocked(uint32_t q, ConstByteSpan frame);
+  // Writes one frame into queue q's ring, scattering it across an EOP chain
+  // when it exceeds the per-descriptor buffer size. The caller raises the RX
+  // interrupt (one per delivered frame) AFTER releasing queue_mu_[q].
+  enum class RxOutcome { kDelivered, kNoDesc, kDropped };
+  RxOutcome ReceiveIntoRingLocked(uint32_t q, ConstByteSpan frame);
   // Returns how many backlogged frames entered the ring (the caller raises
   // that many RX interrupts after unlocking).
   uint64_t DrainBacklogLocked(uint32_t q);
   void RaiseRxInterrupt(uint32_t q, uint64_t count);
-  Result<NicDescriptor> ReadDescriptor(uint64_t ring_base, uint32_t index);
-  // Completion writeback, changed fields only: length first (RX), then the
-  // status byte as a 1-byte release-published posted write, pairing with the
-  // driver's acquire DD poll (see the .cc comment).
-  Status WriteBackRxLength(uint64_t ring_base, uint32_t index, uint16_t length);
-  Status PublishDescriptorStatus(uint64_t ring_base, uint32_t index, uint8_t desc_status);
+  // Folds one engine's counter growth since `folded` into stats_ (called at
+  // the end of each ring pass, under the queue lock).
+  void AccumulateEngineStats(const hw::DescRingEngine& engine,
+                             hw::DescRingEngine::Stats* folded);
   // Single-queue (legacy) cause assertion: level-ish on ICR & IMS edges.
   void SetInterruptCause(uint32_t bits);
   // Multi-queue cause assertion for queue q: MSI-X-style auto-clearing
@@ -224,18 +288,29 @@ class SimNic : public hw::PciDevice, public EtherEndpoint {
   uint32_t ral0_ = 0, rah0_ = 0;
   uint32_t mdic_ = 0;
 
+  // RSS indirection table. Byte-wide atomics: the driver reprograms entries
+  // while delivery threads steer by them; entries are stored pre-masked to
+  // the implemented queue count and reduced modulo the live MRQC count at
+  // lookup, so steering is in-bounds even mid-rewrite. reta_programmed_
+  // keeps the unprogrammed device bit-compatible with hash % queues.
+  std::array<std::atomic<uint8_t>, kNicRetaEntries> reta_{};
+  std::atomic<bool> reta_programmed_{false};
+
   // Frames that arrived while queue q had no armed RX descriptor.
   std::array<std::deque<std::vector<uint8_t>>, kNicNumQueues> rx_backlog_;
   static constexpr size_t kRxBacklogMax = 64;  // per queue
 
   // Guards ALL of queue q's ring state: RX and TX ring registers, descriptor
-  // processing, and the backlog (it was historically named rx_mu_, but the
-  // TX doorbell and reap paths take it too — the rename matches its role).
-  // Still recursive as defence in depth: interrupts are raised outside the
-  // locks (see the threading comment), so no in-tree path re-enters while
-  // holding it, but a hostile driver reaching MMIO from inside an MMIO-
-  // triggered callback must deadlock itself, not the kernel.
+  // processing (including the descriptor engines), and the backlog (it was
+  // historically named rx_mu_, but the TX doorbell and reap paths take it
+  // too — the rename matches its role). Still recursive as defence in depth:
+  // interrupts are raised outside the locks (see the threading comment), so
+  // no in-tree path re-enters while holding it, but a hostile driver
+  // reaching MMIO from inside an MMIO-triggered callback must deadlock
+  // itself, not the kernel.
   mutable std::array<std::recursive_mutex, kNicNumQueues> queue_mu_;
+
+  std::array<std::unique_ptr<QueueEngines>, kNicNumQueues> engines_;
 
   Stats stats_;
   std::array<QueueStats, kNicNumQueues> queue_stats_;

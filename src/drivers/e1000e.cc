@@ -10,10 +10,82 @@
 namespace sud::drivers {
 
 using devices::NicDescriptor;
+using hw::RingDescriptor;
 
-E1000eDriver::E1000eDriver(uint32_t num_queues)
-    : num_queues_(std::clamp<uint32_t>(num_queues, 1, devices::kNicNumQueues)) {
+Status E1000eDriver::EnvRingMem::Read(uint64_t addr, ByteSpan out) {
+  Result<ByteSpan> view = driver_->env_->DmaView(addr, out.size());
+  if (!view.ok()) {
+    return view.status();
+  }
+  std::memcpy(out.data(), view.value().data(), out.size());
+  return Status::Ok();
+}
+
+Status E1000eDriver::EnvRingMem::Write(uint64_t addr, ConstByteSpan bytes) {
+  Result<ByteSpan> view = driver_->env_->DmaView(addr, bytes.size());
+  if (!view.ok()) {
+    return view.status();
+  }
+  std::memcpy(view.value().data(), bytes.data(), bytes.size());
+  return Status::Ok();
+}
+
+Result<ByteSpan> E1000eDriver::EnvRingMem::Map(uint64_t addr, uint64_t len) {
+  return driver_->env_->DmaView(addr, len);
+}
+
+E1000eDriver::E1000eDriver(uint32_t num_queues, uint32_t mtu)
+    : num_queues_(std::clamp<uint32_t>(num_queues, 1, devices::kNicNumQueues)),
+      mtu_(std::clamp<uint32_t>(mtu, 68, static_cast<uint32_t>(kern::kJumboMtu))) {
   rx_buffer_size_ = static_cast<uint32_t>(kRxBufferBytes / num_queues_ / kRxDescriptors);
+}
+
+std::array<uint8_t, devices::kNicRetaEntries> E1000eDriver::IdentityReta(uint32_t num_queues) {
+  std::array<uint8_t, devices::kNicRetaEntries> table{};
+  if (num_queues == 0) {
+    num_queues = 1;
+  }
+  for (uint32_t i = 0; i < devices::kNicRetaEntries; ++i) {
+    table[i] = static_cast<uint8_t>(i % num_queues);
+  }
+  return table;
+}
+
+Status E1000eDriver::ProgramReta(const std::array<uint8_t, devices::kNicRetaEntries>& table) {
+  for (uint32_t i = 0; i < devices::kNicRetaEntries; i += 4) {
+    uint32_t value = 0;
+    for (uint32_t b = 0; b < 4; ++b) {
+      value |= static_cast<uint32_t>(table[i + b]) << (8 * b);
+    }
+    SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegReta + i, value));
+  }
+  return Status::Ok();
+}
+
+uint64_t E1000eDriver::desc_window_maps() const {
+  uint64_t total = 0;
+  for (uint32_t q = 0; q < num_queues_; ++q) {
+    if (queues_[q].tx_eng != nullptr) {
+      total += queues_[q].tx_eng->stats().window_maps;
+    }
+    if (queues_[q].rx_eng != nullptr) {
+      total += queues_[q].rx_eng->stats().window_maps;
+    }
+  }
+  return total;
+}
+
+uint64_t E1000eDriver::desc_window_hits() const {
+  uint64_t total = 0;
+  for (uint32_t q = 0; q < num_queues_; ++q) {
+    if (queues_[q].tx_eng != nullptr) {
+      total += queues_[q].tx_eng->stats().window_hits;
+    }
+    if (queues_[q].rx_eng != nullptr) {
+      total += queues_[q].rx_eng->stats().window_hits;
+    }
+  }
+  return total;
 }
 
 Status E1000eDriver::Probe(uml::DriverEnv& env) {
@@ -60,6 +132,10 @@ Status E1000eDriver::Probe(uml::DriverEnv& env) {
     queues_[q].rx_buffers_iova = rx_buffers_.iova + static_cast<uint64_t>(q) *
                                                         (kRxBufferBytes / num_queues_);
     queues_[q].tx_slot_buffer.assign(kTxDescriptors, -1);
+    queues_[q].tx_eng = std::make_unique<hw::DescRingEngine>(&ring_mem_);
+    queues_[q].tx_eng->Configure(queues_[q].tx_ring.iova, kTxDescriptors);
+    queues_[q].rx_eng = std::make_unique<hw::DescRingEngine>(&ring_mem_);
+    queues_[q].rx_eng->Configure(queues_[q].rx_ring.iova, kRxDescriptors);
   }
 
   uml::NetDriverOps ops;
@@ -70,6 +146,7 @@ Status E1000eDriver::Probe(uml::DriverEnv& env) {
   };
   ops.ioctl = [this](uint32_t cmd) { return Ioctl(cmd); };
   ops.num_queues = static_cast<uint16_t>(num_queues_);
+  ops.mtu = mtu_;
   SUD_RETURN_IF_ERROR(env.RegisterNetdev(mac, std::move(ops)));
 
   // Link state is shared-memory state (netif_carrier_*, Section 3.3).
@@ -88,54 +165,37 @@ void E1000eDriver::Remove(uml::DriverEnv& env) {
   }
 }
 
-Status E1000eDriver::WriteDescriptor(uint64_t ring_iova, uint32_t index, uint64_t buffer_addr,
-                                     uint16_t len, uint8_t cmd, uint8_t status) {
-  Result<ByteSpan> view = env_->DmaView(ring_iova + static_cast<uint64_t>(index) * 16, 16);
-  if (!view.ok()) {
-    return view.status();
-  }
-  uint8_t* raw = view.value().data();
-  StoreLe64(raw, buffer_addr);
-  StoreLe16(raw + 8, len);
-  raw[10] = 0;
-  raw[11] = cmd;
-  raw[12] = status;
-  raw[13] = 0;
-  StoreLe16(raw + 14, 0);
-  return Status::Ok();
-}
-
-Result<NicDescriptor> E1000eDriver::ReadDescriptor(uint64_t ring_iova, uint32_t index) {
-  Result<ByteSpan> view = env_->DmaView(ring_iova + static_cast<uint64_t>(index) * 16, 16);
-  if (!view.ok()) {
-    return view.status();
-  }
-  const uint8_t* raw = view.value().data();
-  NicDescriptor desc;
-  desc.buffer_addr = LoadLe64(raw);
-  desc.length = LoadLe16(raw + 8);
-  desc.cmd = raw[11];
-  desc.status = raw[12];
-  return desc;
-}
-
-bool E1000eDriver::DescriptorDone(uint64_t ring_iova, uint32_t index) {
-  Result<ByteSpan> view = env_->DmaView(ring_iova + static_cast<uint64_t>(index) * 16, 16);
-  if (!view.ok()) {
-    return false;
-  }
-  uint8_t status =
-      std::atomic_ref<uint8_t>(view.value().data()[12]).load(std::memory_order_acquire);
-  return (status & devices::kNicDescStatusDone) != 0;
-}
-
 Status E1000eDriver::ArmRxDescriptor(uint16_t queue, uint32_t index) {
   QueueState& qs = queues_[queue];
-  uint64_t buffer_iova = qs.rx_buffers_iova + static_cast<uint64_t>(index) * rx_buffer_size_;
-  return WriteDescriptor(qs.rx_ring.iova, index, buffer_iova, 0, 0, 0);
+  RingDescriptor desc;
+  desc.buffer_addr = qs.rx_buffers_iova + static_cast<uint64_t>(index) * rx_buffer_size_;
+  return qs.rx_eng->Arm(index, desc);
 }
 
 Status E1000eDriver::Open() {
+  // Arena sizing invariants (net_limits.h), asserted at ring setup: every
+  // queue's ring of buffer slices must fit its share of the RX arena, the
+  // device-effective scatter size must never exceed the driver's slice (a
+  // chunk must always fit the buffer it lands in), and the interface's
+  // maximum frame must be expressible as a bounded EOP chain. A
+  // configuration that violates any of these would make the reassembly
+  // bound unsound — refuse it rather than run with it.
+  size_t max_frame = kern::MaxFrameBytes(mtu_);
+  // (The per-queue slices tile by construction — rx_buffer_size_ is the
+  // integer quotient arena / queues / ring — so the checkable invariants are
+  // the slice floor and the two chain-bound relations below.)
+  if (rx_buffer_size_ < kern::kRxMinBufferBytes) {
+    return Status(ErrorCode::kInvalidArgument, "rx buffer slice below the scatter floor");
+  }
+  uint32_t device_chunk = mtu_ > kern::kStdMtu ? kern::EffectiveRxBufferBytes(rx_buffer_size_)
+                                               : kern::EffectiveRxBufferBytes(0);
+  if (device_chunk > rx_buffer_size_) {
+    return Status(ErrorCode::kInvalidArgument, "device scatter size exceeds the buffer slice");
+  }
+  if ((max_frame + device_chunk - 1) / device_chunk > kern::kMaxChainFrags) {
+    return Status(ErrorCode::kInvalidArgument, "mtu unreachable within the chain bound");
+  }
+
   if (num_queues_ == 1) {
     SUD_RETURN_IF_ERROR(env_->RequestIrq([this]() { IrqHandler(); }));
   } else {
@@ -161,12 +221,22 @@ Status E1000eDriver::Open() {
     SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, rx_base + 0x4,
                                           static_cast<uint32_t>(qs.rx_ring.iova >> 32)));
     SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, rx_base + 0x8, kRxDescriptors * 16));
+    if (mtu_ > kern::kStdMtu) {
+      // Jumbo only: tell the device how big each descriptor's buffer slice
+      // is so it scatters EOP chains at our stride. (Unprogrammed, the
+      // device assumes the 2048-byte default — the legacy register sequence
+      // stays byte-identical for standard MTUs.)
+      SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, rx_base + 0xc, rx_buffer_size_));
+    }
 
     // Arm every RX descriptor with one of our RX buffers.
     for (uint32_t i = 0; i < kRxDescriptors; ++i) {
       SUD_RETURN_IF_ERROR(ArmRxDescriptor(q, i));
     }
     qs.rx_next = 0;
+    qs.chain.clear();
+    qs.chain_bytes = 0;
+    qs.skip_to_eop = false;
     SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, rx_base + 0x10, 0));
     // Tail one behind head: the full ring minus one is armed, as on real HW.
     SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, rx_base + 0x18, kRxDescriptors - 1));
@@ -176,18 +246,25 @@ Status E1000eDriver::Open() {
 
   // Receive-side scaling: steer flows across the enabled queues with one
   // MSI message per queue (only programmed in multi-queue mode, so the
-  // single-queue register sequence stays exactly the legacy one).
+  // single-queue register sequence stays exactly the legacy one). The RETA
+  // starts in the identity layout — the same steering the unprogrammed
+  // hash % queues produced — and can be rebalanced live via ProgramReta.
   uint32_t ims = devices::kNicIntTxDone | devices::kNicIntRx;
   if (num_queues_ > 1) {
     SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegMrqc, num_queues_));
+    SUD_RETURN_IF_ERROR(ProgramReta(IdentityReta(num_queues_)));
     for (uint16_t q = 0; q < num_queues_; ++q) {
       ims |= devices::NicIntRxQueue(q) | devices::NicIntTxQueue(q);
     }
   }
   // Enable interrupts for TX writeback and RX.
   SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegIms, ims));
-  // Enable the MACs.
-  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegRctl, devices::kNicRctlEnable));
+  // Enable the MACs (LPE for jumbo-capable interfaces).
+  uint32_t rctl = devices::kNicRctlEnable;
+  if (mtu_ > kern::kStdMtu) {
+    rctl |= devices::kNicRctlJumboEnable;
+  }
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegRctl, rctl));
   SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTctl, devices::kNicTctlEnable));
   open_ = true;
   return Status::Ok();
@@ -219,10 +296,11 @@ Status E1000eDriver::Xmit(uint64_t frame_iova, uint32_t len, int32_t pool_buffer
   }
   // Zero-copy: point the descriptor at the frame where it already lives
   // (shared-pool buffer under SUD, bounce buffer in-kernel).
-  SUD_RETURN_IF_ERROR(WriteDescriptor(qs.tx_ring.iova, qs.tx_tail, frame_iova,
-                                      static_cast<uint16_t>(len),
-                                      devices::kNicDescCmdEop | devices::kNicDescCmdReportStatus,
-                                      0));
+  RingDescriptor desc;
+  desc.buffer_addr = frame_iova;
+  desc.length = static_cast<uint16_t>(len);
+  desc.cmd = devices::kNicDescCmdEop | devices::kNicDescCmdReportStatus;
+  SUD_RETURN_IF_ERROR(qs.tx_eng->Arm(qs.tx_tail, desc));
   qs.tx_slot_buffer[qs.tx_tail] = pool_buffer_id;
   qs.tx_tail = next;
   stats_.tx_queued.fetch_add(1, std::memory_order_relaxed);
@@ -236,10 +314,10 @@ void E1000eDriver::ReapTxCompletions(uint16_t queue) {
   // one downcall per buffer.
   qs.free_scratch.clear();
   while (qs.tx_reap != qs.tx_tail) {
-    // Acquire DD before reading the descriptor: the device may be writing
+    // Acquire DD before trusting the descriptor: the device may be writing
     // back later descriptors of this ring concurrently (its own Tick, or the
     // doorbell path still mid-pass on another thread).
-    if (!DescriptorDone(qs.tx_ring.iova, qs.tx_reap)) {
+    if (!qs.tx_eng->Done(qs.tx_reap)) {
       break;
     }
     if (qs.tx_slot_buffer[qs.tx_reap] >= 0) {
@@ -257,30 +335,104 @@ void E1000eDriver::ReapTxCompletions(uint16_t queue) {
   }
 }
 
+void E1000eDriver::RecycleChain(uint16_t queue) {
+  QueueState& qs = queues_[queue];
+  if (qs.chain.empty()) {
+    return;
+  }
+  uint32_t last = qs.chain_start;
+  for (size_t i = 0; i < qs.chain.size(); ++i) {
+    uint32_t index = (qs.chain_start + static_cast<uint32_t>(i)) % kRxDescriptors;
+    (void)ArmRxDescriptor(queue, index);
+    last = index;
+  }
+  (void)env_->MmioWrite32(0, QueueRegBase(devices::kNicRegRdbal, queue) + 0x18, last);
+  qs.chain.clear();
+  qs.chain_bytes = 0;
+}
+
 void E1000eDriver::ReapRxRing(uint16_t queue) {
   QueueState& qs = queues_[queue];
   uint64_t rx_base = QueueRegBase(devices::kNicRegRdbal, queue);
+  size_t max_frame = kern::MaxFrameBytes(mtu_);
   while (true) {
     // The device publishes DD last (release); pair it with an acquire load
     // before trusting the descriptor's other fields — the delivery may be
     // racing on another thread in ANY mode (threaded traffic-generator
-    // peers deliver on their own threads even with one queue).
-    if (!DescriptorDone(qs.rx_ring.iova, qs.rx_next)) {
+    // peers deliver on their own threads even with one queue). A chain whose
+    // continuation is not done yet simply waits here: partial chains are
+    // never delivered and never recycled.
+    if (!qs.rx_eng->Done(qs.rx_next)) {
       return;
     }
     // DD is set and acquire-ordered: the descriptor's fields are stable now.
-    Result<NicDescriptor> desc = ReadDescriptor(qs.rx_ring.iova, qs.rx_next);
+    Result<NicDescriptor> desc = qs.rx_eng->ReadCompleted(qs.rx_next);
     if (!desc.ok()) {
       return;
     }
-    uint64_t buffer_iova =
-        qs.rx_buffers_iova + static_cast<uint64_t>(qs.rx_next) * rx_buffer_size_;
-    (void)env_->NetifRx(buffer_iova, desc.value().length, queue);
-    stats_.rx_delivered.fetch_add(1, std::memory_order_relaxed);
-    // Re-arm the descriptor and advance the tail so the device can reuse it.
-    (void)ArmRxDescriptor(queue, qs.rx_next);
-    (void)env_->MmioWrite32(0, rx_base + 0x18, qs.rx_next);
+    uint32_t index = qs.rx_next;
+    bool eop = (desc.value().status & devices::kNicDescStatusEop) != 0;
     qs.rx_next = (qs.rx_next + 1) % kRxDescriptors;
+
+    if (qs.skip_to_eop) {
+      // Resyncing after a dropped chain: everything up to AND INCLUDING the
+      // EOP that terminates the dropped frame belongs to it — recycling it
+      // as-is, never parsing mid-frame tail bytes as a fresh frame.
+      (void)ArmRxDescriptor(queue, index);
+      (void)env_->MmioWrite32(0, rx_base + 0x18, index);
+      if (eop) {
+        qs.skip_to_eop = false;
+      }
+      continue;
+    }
+
+    uint64_t buffer_iova =
+        qs.rx_buffers_iova + static_cast<uint64_t>(index) * rx_buffer_size_;
+    if (qs.chain.empty()) {
+      qs.chain_start = index;
+    }
+    qs.chain.push_back(uml::DmaFrag{buffer_iova, desc.value().length});
+    qs.chain_bytes += desc.value().length;
+
+    if (!eop) {
+      // Bounded reassembly: a chain that outgrows the interface's maximum
+      // frame or the descriptor cap without ever presenting EOP is the
+      // torn/endless-chain attack (or a corrupted ring). Drop what was
+      // collected, count it, recycle the descriptors, and skip to the EOP
+      // boundary before parsing anything as a new frame — the driver stays
+      // live no matter what descriptor memory claims.
+      if (qs.chain.size() >= kern::kMaxChainFrags || qs.chain_bytes > max_frame) {
+        stats_.rx_chain_dropped.fetch_add(1, std::memory_order_relaxed);
+        RecycleChain(queue);
+        qs.skip_to_eop = true;
+      }
+      continue;
+    }
+
+    // EOP: the frame is complete. Oversize totals are dropped like the
+    // no-EOP overflow above (the device never produces them; forged rings
+    // can).
+    if (qs.chain_bytes > max_frame) {
+      stats_.rx_chain_dropped.fetch_add(1, std::memory_order_relaxed);
+      RecycleChain(queue);
+      continue;
+    }
+    if (qs.chain.size() == 1) {
+      // Single-descriptor frame: the legacy path, bit-identical MMIO/uchan
+      // footprint (arm + tail write per packet).
+      (void)env_->NetifRx(qs.chain[0].iova, qs.chain[0].len, queue);
+      stats_.rx_delivered.fetch_add(1, std::memory_order_relaxed);
+      uint32_t index = qs.chain_start;
+      (void)ArmRxDescriptor(queue, index);
+      (void)env_->MmioWrite32(0, rx_base + 0x18, index);
+      qs.chain.clear();
+      qs.chain_bytes = 0;
+    } else {
+      (void)env_->NetifRxChain(qs.chain, queue);
+      stats_.rx_delivered.fetch_add(1, std::memory_order_relaxed);
+      stats_.rx_chains.fetch_add(1, std::memory_order_relaxed);
+      RecycleChain(queue);
+    }
   }
 }
 

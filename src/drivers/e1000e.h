@@ -6,13 +6,33 @@
 // legacy descriptor rings allocated with dma_alloc_coherent, head/tail
 // doorbells, ICR/IMS interrupt handling, MDIC for the MII ioctl.
 //
+// Descriptor access goes through the shared hw::DescRingEngine in mapped
+// mode: one cached DmaView window per descriptor cacheline serves the DD
+// acquire-poll, the post-DD field reads and the re-arm writes — one window
+// resolution per four descriptors where the old reap paid three separate
+// DmaView calls per packet.
+//
+// Jumbo frames (mtu > 1500): the driver programs the per-queue RX buffer
+// size register and RCTL.LPE, and reassembles the device's EOP descriptor
+// chains — frames scattered across consecutive descriptors, DD per
+// descriptor, EOP status on the last — delivering the whole frame in one
+// netif_rx (or netif_rx_chain) call. Reassembly is BOUNDED: a chain that
+// exceeds kern::kMaxChainFrags descriptors or the interface's maximum frame
+// size without an EOP (the torn/endless-chain attack a malicious device or
+// corrupted ring can mount) is dropped, counted in rx_chain_dropped, and the
+// ring re-armed — the driver must stay live no matter what the descriptor
+// memory claims, because in the in-kernel configuration this code IS the
+// trusted side of the descriptor interface.
+//
 // Multi-queue: constructed with N queues, the driver allocates N TX/RX ring
-// pairs, programs each queue's register block, enables RSS (MRQC) and
-// requests one MSI message per queue (RequestQueueIrqs). Queue q's handler
-// touches only queue q's rings and buffers, so under SUD each queue can be
-// pumped by its own thread. TX completions are *coalesced*: a reap pass
-// returns every freed shared-pool buffer in one FreeTxBuffers call (one
-// free-buffer downcall message) instead of one downcall per buffer.
+// pairs, programs each queue's register block, enables RSS (MRQC), programs
+// the 128-entry RETA indirection table (identity layout, i % N — and
+// ProgramReta() lets operators rebalance it at runtime) and requests one MSI
+// message per queue (RequestQueueIrqs). Queue q's handler touches only
+// queue q's rings and buffers, so under SUD each queue can be pumped by its
+// own thread. TX completions are *coalesced*: a reap pass returns every
+// freed shared-pool buffer in one FreeTxBuffers call (one free-buffer
+// downcall message) instead of one downcall per buffer.
 //
 // The single-queue probe-order DMA allocations reproduce Figure 9's
 // IO-virtual layout:
@@ -32,9 +52,12 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "src/devices/sim_nic.h"
+#include "src/hw/desc_ring.h"
+#include "src/kern/net_limits.h"
 #include "src/uml/driver_env.h"
 
 namespace sud::drivers {
@@ -47,24 +70,50 @@ class E1000eDriver : public uml::Driver {
   static constexpr uint64_t kRxBufferBytes = 8ull * 1024 * 1024;  // all queues
 
   E1000eDriver() : E1000eDriver(1) {}
-  explicit E1000eDriver(uint32_t num_queues);
+  explicit E1000eDriver(uint32_t num_queues) : E1000eDriver(num_queues, kern::kStdMtu) {}
+  E1000eDriver(uint32_t num_queues, uint32_t mtu);
 
   const char* name() const override { return "e1000e"; }
   Status Probe(uml::DriverEnv& env) override;
   void Remove(uml::DriverEnv& env) override;
 
   uint32_t num_queues() const { return num_queues_; }
+  uint32_t mtu() const { return mtu_; }
   // Bytes of RX buffer behind each RX descriptor (queue arena / ring size).
   uint32_t rx_buffer_size() const { return rx_buffer_size_; }
+
+  // Programs the device's 128-entry RSS indirection table. `table` entries
+  // are queue indices; callers rebalance flows by rewriting it (the
+  // RETA-starvation attack programs it through this same path — the table
+  // CONTENT is the attack, the mechanism is the legitimate one).
+  Status ProgramReta(const std::array<uint8_t, devices::kNicRetaEntries>& table);
+  // The identity layout Open() programs: entry i -> i % num_queues.
+  static std::array<uint8_t, devices::kNicRetaEntries> IdentityReta(uint32_t num_queues);
 
   struct Stats {
     std::atomic<uint64_t> tx_queued{0};
     std::atomic<uint64_t> tx_completed{0};
-    std::atomic<uint64_t> rx_delivered{0};
+    std::atomic<uint64_t> rx_delivered{0};       // frames (not descriptors)
+    std::atomic<uint64_t> rx_chains{0};          // multi-descriptor frames delivered
+    std::atomic<uint64_t> rx_chain_dropped{0};   // torn/endless/oversize chains dropped
     std::atomic<uint64_t> interrupts{0};
     std::atomic<uint64_t> free_batches{0};  // coalesced completion downcalls
   };
   const Stats& stats() const { return stats_; }
+  // Descriptor-window accounting summed over every ring engine: DmaView
+  // resolutions (one per cacheline) and descriptor accesses they served.
+  uint64_t desc_window_maps() const;
+  uint64_t desc_window_hits() const;
+
+  // Test/introspection seams: the ring a queue's reap walks, where the next
+  // reap will look, and the buffer slice behind a descriptor. The torn-chain
+  // regression tests forge descriptor state through these, playing the
+  // malicious device.
+  uint64_t rx_ring_iova(uint16_t queue) const { return queues_[queue].rx_ring.iova; }
+  uint32_t rx_next(uint16_t queue) const { return queues_[queue].rx_next; }
+  uint64_t rx_buffer_iova(uint16_t queue, uint32_t index) const {
+    return queues_[queue].rx_buffers_iova + static_cast<uint64_t>(index) * rx_buffer_size_;
+  }
 
   // NAPI-style poll: reaps every queue. The in-kernel baseline calls this
   // from its (coalesced) interrupt/poll path; under SUD the same body runs
@@ -80,6 +129,19 @@ class E1000eDriver : public uml::Driver {
   }
 
  private:
+  // DescRingEngine memory adapter: the driver's rings live in its own DMA
+  // allocations, reachable through persistent DmaView windows.
+  class EnvRingMem : public hw::RingMem {
+   public:
+    explicit EnvRingMem(E1000eDriver* driver) : driver_(driver) {}
+    Status Read(uint64_t addr, ByteSpan out) override;
+    Status Write(uint64_t addr, ConstByteSpan bytes) override;
+    Result<ByteSpan> Map(uint64_t addr, uint64_t len) override;
+
+   private:
+    E1000eDriver* driver_;
+  };
+
   // Per-queue ring state: owned exclusively by queue q's pump thread.
   struct QueueState {
     DmaRegion tx_ring{};
@@ -88,6 +150,16 @@ class E1000eDriver : public uml::Driver {
     uint32_t tx_tail = 0;
     uint32_t tx_reap = 0;
     uint32_t rx_next = 0;
+    std::unique_ptr<hw::DescRingEngine> tx_eng;
+    std::unique_ptr<hw::DescRingEngine> rx_eng;
+    // In-progress EOP chain: descriptor-order frags collected since the
+    // chain's first descriptor (empty when no chain is pending).
+    std::vector<uml::DmaFrag> chain;
+    uint32_t chain_start = 0;  // ring index of the chain's first descriptor
+    uint64_t chain_bytes = 0;
+    // Resync after a dropped chain: descriptors are recycled unparsed until
+    // the EOP that terminates the dropped frame passes by.
+    bool skip_to_eop = false;
     // Pool buffer ids in flight per TX slot (-1 when in-kernel bounce).
     std::vector<int32_t> tx_slot_buffer;
     // Scratch for the coalesced free pass (reused, no per-reap allocation).
@@ -106,20 +178,18 @@ class E1000eDriver : public uml::Driver {
   void ReapTxCompletions(uint16_t queue);
   void ReapRxRing(uint16_t queue);
   Status ArmRxDescriptor(uint16_t queue, uint32_t index);
-  Status WriteDescriptor(uint64_t ring_iova, uint32_t index, uint64_t buffer_addr, uint16_t len,
-                         uint8_t cmd, uint8_t status);
-  Result<devices::NicDescriptor> ReadDescriptor(uint64_t ring_iova, uint32_t index);
-  // Acquire-load of a descriptor's DD status bit, pairing with the device's
-  // release publish: the gate every reap loop passes before trusting the
-  // descriptor's other fields (delivery/writeback may race on other threads).
-  bool DescriptorDone(uint64_t ring_iova, uint32_t index);
+  // Re-arms every descriptor of the pending chain and hands them back to the
+  // device with one tail write; clears the chain state.
+  void RecycleChain(uint16_t queue);
   uint64_t QueueRegBase(uint64_t base, uint16_t queue) const {
     return base + static_cast<uint64_t>(queue) * devices::kNicQueueRegStride;
   }
 
   uml::DriverEnv* env_ = nullptr;
   uint32_t num_queues_ = 1;
+  uint32_t mtu_ = static_cast<uint32_t>(kern::kStdMtu);
   uint32_t rx_buffer_size_ = 0;
+  EnvRingMem ring_mem_{this};
   DmaRegion tx_buffers_{};
   DmaRegion rx_buffers_{};
   std::array<QueueState, devices::kNicNumQueues> queues_;

@@ -6,6 +6,7 @@
 #include "src/base/log.h"
 #include "src/hw/iommu.h"
 #include "src/hw/pci_config.h"
+#include "src/kern/net_limits.h"
 
 namespace sud::drivers {
 
@@ -209,6 +210,143 @@ Result<int> BogusRxDriver::Fire(int count) {
     }
   }
   return accepted;
+}
+
+Status RetaAttackDriver::Probe(uml::DriverEnv& env) {
+  env_ = &env;
+  SUD_RETURN_IF_ERROR(env.PciEnableDevice());
+  SUD_RETURN_IF_ERROR(env.PciSetMaster());
+  // Full multi-queue mode, every hash bucket aimed at the victim, receive
+  // enabled with NO descriptors armed anywhere: every delivered frame can
+  // only pile into the victim queue's bounded backlog and then drop.
+  SUD_RETURN_IF_ERROR(env.MmioWrite32(0, devices::kNicRegMrqc, devices::kNicNumQueues));
+  SUD_RETURN_IF_ERROR(Concentrate());
+  return env.MmioWrite32(0, devices::kNicRegRctl, devices::kNicRctlEnable);
+}
+
+Status RetaAttackDriver::Concentrate() {
+  uint32_t packed = static_cast<uint32_t>(victim_queue_) * 0x01010101u;
+  for (uint32_t i = 0; i < devices::kNicRetaEntries; i += 4) {
+    SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegReta + i, packed));
+  }
+  return Status::Ok();
+}
+
+Status ChainAttackDriver::Probe(uml::DriverEnv& env) {
+  env_ = &env;
+  // A plausible netdev so the chain downcalls reach the proxy's validation,
+  // plus a real DMA region so the "oversize but in-bounds" chains cannot be
+  // rejected for their addresses alone.
+  uint8_t mac[6] = {0xba, 0xdc, 0x8a, 0x00, 0x00, 0x02};
+  uml::NetDriverOps ops;
+  ops.open = []() { return Status::Ok(); };
+  ops.stop = []() { return Status::Ok(); };
+  SUD_RETURN_IF_ERROR(env.RegisterNetdev(mac, std::move(ops)));
+  Result<DmaRegion> buffers = env.DmaAllocCaching(64 * 1024);
+  if (!buffers.ok()) {
+    return buffers.status();
+  }
+  buffers_ = buffers.value();
+  return Status::Ok();
+}
+
+Result<int> ChainAttackDriver::FireOversizeChains(int count) {
+  // Every fragment is a real, mapped buffer — only the TOTAL is criminal:
+  // eight 2048-byte fragments claim a 16 KB "frame", past the jumbo maximum.
+  int accepted = 0;
+  for (int i = 0; i < count; ++i) {
+    std::vector<uml::DmaFrag> frags(8, uml::DmaFrag{buffers_.iova, 2048});
+    if (env_->NetifRxChain(frags).ok()) {
+      ++accepted;
+    }
+  }
+  return accepted;
+}
+
+Result<int> ChainAttackDriver::FireOverCapChains(int count) {
+  // More fragments than any legal chain can span (the endless-chain shape,
+  // marshalled): tiny fragments, absurd count.
+  int accepted = 0;
+  for (int i = 0; i < count; ++i) {
+    std::vector<uml::DmaFrag> frags(kern::kMaxChainFrags + 8,
+                                    uml::DmaFrag{buffers_.iova, 64});
+    if (env_->NetifRxChain(frags).ok()) {
+      ++accepted;
+    }
+  }
+  return accepted;
+}
+
+Result<int> ChainAttackDriver::FireWildChains(int count) {
+  // A torn chain whose continuation points at kernel memory / the MSI page /
+  // nowhere: the first fragment is legitimate, the rest must never be
+  // dereferenced.
+  const uint64_t wild_iovas[] = {0x0, 0x1000, 0xfee00000ull, 0xffffffff00000000ull};
+  int accepted = 0;
+  for (int i = 0; i < count; ++i) {
+    std::vector<uml::DmaFrag> frags;
+    frags.push_back(uml::DmaFrag{buffers_.iova, 1024});
+    frags.push_back(uml::DmaFrag{
+        wild_iovas[static_cast<size_t>(i) % (sizeof(wild_iovas) / sizeof(wild_iovas[0]))],
+        1024});
+    if (env_->NetifRxChain(frags).ok()) {
+      ++accepted;
+    }
+  }
+  return accepted;
+}
+
+Status DescRewriteAttackDriver::Probe(uml::DriverEnv& env) {
+  env_ = &env;
+  SUD_RETURN_IF_ERROR(env.PciEnableDevice());
+  SUD_RETURN_IF_ERROR(env.PciSetMaster());
+  Result<DmaRegion> ring = env.DmaAllocCoherent(16 * 16);
+  if (!ring.ok()) {
+    return ring.status();
+  }
+  ring_ = ring.value();
+  Result<DmaRegion> buffers = env.DmaAllocCaching(16 * kFrameLen);
+  if (!buffers.ok()) {
+    return buffers.status();
+  }
+  buffers_ = buffers.value();
+  return Status::Ok();
+}
+
+Status DescRewriteAttackDriver::ArmAndDoorbell(uint32_t descriptors, uint8_t pattern) {
+  if (descriptors > 15) {
+    descriptors = 15;  // 16-slot ring, tail must stay one short of head
+  }
+  Result<ByteSpan> buffers = env_->DmaView(buffers_.iova, buffers_.bytes);
+  if (!buffers.ok()) {
+    return buffers.status();
+  }
+  std::memset(buffers.value().data(), pattern, buffers.value().size());
+  for (uint32_t i = 0; i < descriptors; ++i) {
+    SUD_RETURN_IF_ERROR(WriteDescRaw(*env_, ring_.iova, i,
+                                     buffers_.iova + static_cast<uint64_t>(i) * kFrameLen,
+                                     kFrameLen, devices::kNicDescCmdEop));
+  }
+  armed_ = descriptors;
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTdbal,
+                                        static_cast<uint32_t>(ring_.iova)));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTdbah,
+                                        static_cast<uint32_t>(ring_.iova >> 32)));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTdlen, 16 * 16));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTdh, 0));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTctl, devices::kNicTctlEnable));
+  return env_->MmioWrite32(0, devices::kNicRegTdt, descriptors);
+}
+
+void DescRewriteAttackDriver::RewriteDescriptors(uint32_t from, uint32_t to,
+                                                 uint64_t target_addr, uint16_t len) {
+  for (uint32_t i = from; i < to && i < 15; ++i) {
+    (void)WriteDescRaw(*env_, ring_.iova, i, target_addr, len, devices::kNicDescCmdEop);
+  }
+}
+
+Status DescRewriteAttackDriver::RedoorbellSameTail() {
+  return env_->MmioWrite32(0, devices::kNicRegTdt, armed_);
 }
 
 Status ResourceHogDriver::Probe(uml::DriverEnv& env) {

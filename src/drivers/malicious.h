@@ -25,6 +25,16 @@
 //   IoPortAttackDriver     pokes IO ports outside its IOPB grant
 //   BogusRxDriver          netif_rx downcalls with wild iovas and lengths
 //   ResourceHogDriver      allocates DMA until its rlimit stops it
+//   RetaAttackDriver       programs the RSS indirection table to concentrate
+//                          every flow onto one queue (starvation): drops must
+//                          stay bounded per-queue and rebalancing must undo it
+//   ChainAttackDriver      netif_rx *chain* downcalls forging torn/endless
+//                          EOP chains: oversize totals, over-cap fragment
+//                          counts, wild fragment addresses
+//   DescRewriteAttackDriver arms benign TX descriptors, then rewrites them
+//                          mid-burst (after the device's cacheline fetch) to
+//                          aim at a victim: the device must transmit the
+//                          fetched snapshot, exactly once
 
 #ifndef SUD_SRC_DRIVERS_MALICIOUS_H_
 #define SUD_SRC_DRIVERS_MALICIOUS_H_
@@ -168,6 +178,80 @@ class ResourceHogDriver : public uml::Driver {
   uml::DriverEnv* env_ = nullptr;
   uint64_t bytes_obtained_ = 0;
   bool hit_limit_ = false;
+};
+
+// Programs MRQC to the full queue count and every RETA entry to one victim
+// queue: all receive flows concentrate there (starvation). No descriptors
+// are ever armed, so the attack also stresses the per-queue backlog bound —
+// the blast radius must be the device's own bounded drops, nothing else.
+class RetaAttackDriver : public uml::Driver {
+ public:
+  explicit RetaAttackDriver(uint8_t victim_queue) : victim_queue_(victim_queue) {}
+
+  const char* name() const override { return "reta-attack"; }
+  Status Probe(uml::DriverEnv& env) override;
+  // Rewrites the whole table to the victim queue (callable repeatedly,
+  // e.g. racing a rebalance).
+  Status Concentrate();
+
+ private:
+  uml::DriverEnv* env_ = nullptr;
+  uint8_t victim_queue_;
+};
+
+// Forges netif_rx chain downcalls — the marshalled form of an EOP
+// descriptor chain — that a correct driver could never produce: fragment
+// lists summing past the jumbo maximum, fragment counts past the chain cap,
+// and fragments pointing outside the driver's DMA space. The proxy must
+// reject every one before a single byte is dereferenced.
+class ChainAttackDriver : public uml::Driver {
+ public:
+  const char* name() const override { return "chain-attack"; }
+  Status Probe(uml::DriverEnv& env) override;
+
+  // Each enqueues `count` forged chain downcalls and returns how many the
+  // runtime accepted for transport (the rejection happens kernel-side:
+  // judge containment by the proxy's rx_bad_chain / rx_packets counters
+  // after a pump).
+  Result<int> FireOversizeChains(int count);
+  Result<int> FireOverCapChains(int count);
+  Result<int> FireWildChains(int count);
+
+ private:
+  uml::DriverEnv* env_ = nullptr;
+  DmaRegion buffers_{};
+};
+
+// Arms a window of benign TX descriptors, rings the doorbell, and — timed by
+// the harness to land inside the device's reap pass, after the cacheline
+// burst fetch — rewrites the not-yet-transmitted descriptors to aim at a
+// secret address. Contained means: the device transmits exactly the armed
+// bytes, exactly once, and the secret never reaches the wire.
+class DescRewriteAttackDriver : public uml::Driver {
+ public:
+  const char* name() const override { return "desc-rewrite"; }
+  Status Probe(uml::DriverEnv& env) override;
+
+  // Arms `descriptors` TX descriptors, each pointing at a buffer filled with
+  // `pattern`, and rings the doorbell for all of them.
+  Status ArmAndDoorbell(uint32_t descriptors, uint8_t pattern);
+  // The mid-burst rewrite: repoints descriptors [from, to) at `target_addr`
+  // with `len`-byte reads. Invoked from the harness's link endpoint while
+  // the device is mid-pass.
+  void RewriteDescriptors(uint32_t from, uint32_t to, uint64_t target_addr, uint16_t len);
+  // Re-rings the doorbell at the same tail (a replay probe: must not
+  // retransmit anything).
+  Status RedoorbellSameTail();
+
+  uint32_t armed() const { return armed_; }
+  uint16_t frame_len() const { return kFrameLen; }
+
+ private:
+  static constexpr uint16_t kFrameLen = 64;
+  uml::DriverEnv* env_ = nullptr;
+  DmaRegion ring_{};
+  DmaRegion buffers_{};
+  uint32_t armed_ = 0;
 };
 
 }  // namespace sud::drivers

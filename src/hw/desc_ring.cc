@@ -1,0 +1,155 @@
+#include "src/hw/desc_ring.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace sud::hw {
+
+void EncodeDescriptor(const RingDescriptor& desc, uint8_t* raw) {
+  StoreLe64(raw, desc.buffer_addr);
+  StoreLe16(raw + 8, desc.length);
+  raw[10] = desc.cso;
+  raw[11] = desc.cmd;
+  raw[12] = desc.status;
+  raw[13] = desc.css;
+  StoreLe16(raw + 14, desc.special);
+}
+
+RingDescriptor DecodeDescriptor(const uint8_t* raw) {
+  RingDescriptor desc;
+  desc.buffer_addr = LoadLe64(raw);
+  desc.length = LoadLe16(raw + 8);
+  desc.cso = raw[10];
+  desc.cmd = raw[11];
+  desc.status = raw[12];
+  desc.css = raw[13];
+  desc.special = LoadLe16(raw + 14);
+  return desc;
+}
+
+void DescRingEngine::Configure(uint64_t base, uint32_t num_descs) {
+  if (base == base_ && num_descs == size_) {
+    return;
+  }
+  base_ = base;
+  size_ = num_descs;
+  Invalidate();
+}
+
+void DescRingEngine::Invalidate() {
+  snap_count_ = 0;
+  window_ = nullptr;
+  window_count_ = 0;
+}
+
+Result<RingDescriptor> DescRingEngine::Fetch(uint32_t index, uint32_t owned) {
+  if (size_ == 0 || index >= size_) {
+    return Status(ErrorCode::kInvalidArgument, "descriptor index outside ring");
+  }
+  // The snapshot is CONSUME-ONCE and strictly sequential: a hit serves the
+  // window's next descriptor and pops it, so no ring slot can ever be
+  // served twice from one fetch. This is what keeps a tiny ring (fewer
+  // slots than a burst) correct — once head wraps back to a re-armed
+  // descriptor the window is empty and the engine refetches fresh bytes —
+  // while a descriptor WITHIN a burst still comes from the snapshot (the
+  // mid-burst rewrite immunity).
+  if (snap_count_ != 0 && index == snap_base_) {
+    RingDescriptor desc = DecodeDescriptor(snap_raw_ + snap_pos_ * kDescBytes);
+    ++snap_pos_;
+    ++snap_base_;
+    --snap_count_;
+    stats_.window_hits++;
+    return desc;
+  }
+  // Any non-sequential access (a second reaper, a reprogrammed head)
+  // discards the window and refetches. Burst clamp: at most one cacheline,
+  // never past what we own, never wrapping the ring within one transaction.
+  uint32_t count = kDescBurst;
+  if (count > owned) {
+    count = owned;
+  }
+  if (count > size_ - index) {
+    count = size_ - index;
+  }
+  if (count == 0) {
+    snap_count_ = 0;
+    return Status(ErrorCode::kInvalidArgument, "no owned descriptors to fetch");
+  }
+  Status status = mem_->Read(DescAddr(index), ByteSpan(snap_raw_, count * kDescBytes));
+  if (!status.ok()) {
+    snap_count_ = 0;
+    return status;
+  }
+  snap_base_ = index + 1;
+  snap_pos_ = 1;
+  snap_count_ = count - 1;
+  stats_.burst_fetches++;
+  stats_.descs_fetched += count;
+  return DecodeDescriptor(snap_raw_);
+}
+
+Status DescRingEngine::WriteBackLength(uint32_t index, uint16_t length) {
+  uint8_t raw[2];
+  StoreLe16(raw, length);
+  stats_.writebacks++;
+  return mem_->Write(DescAddr(index) + 8, ConstByteSpan(raw, 2));
+}
+
+Status DescRingEngine::PublishStatus(uint32_t index, uint8_t status) {
+  stats_.writebacks++;
+  return mem_->Write(DescAddr(index) + 12, ConstByteSpan(&status, 1));
+}
+
+Result<uint8_t*> DescRingEngine::WindowFor(uint32_t index) {
+  if (size_ == 0 || index >= size_) {
+    return Status(ErrorCode::kInvalidArgument, "descriptor index outside ring");
+  }
+  if (window_ != nullptr && index >= window_base_ && index < window_base_ + window_count_) {
+    stats_.window_hits++;
+    return window_ + (index - window_base_) * kDescBytes;
+  }
+  uint32_t line_base = index & ~(kDescBurst - 1);
+  uint32_t count = kDescBurst;
+  if (count > size_ - line_base) {
+    count = size_ - line_base;
+  }
+  Result<ByteSpan> span = mem_->Map(DescAddr(line_base), count * kDescBytes);
+  if (!span.ok()) {
+    window_ = nullptr;
+    window_count_ = 0;
+    return span.status();
+  }
+  window_ = span.value().data();
+  window_base_ = line_base;
+  window_count_ = count;
+  stats_.window_maps++;
+  return window_ + (index - line_base) * kDescBytes;
+}
+
+bool DescRingEngine::Done(uint32_t index) {
+  Result<uint8_t*> raw = WindowFor(index);
+  if (!raw.ok()) {
+    return false;
+  }
+  uint8_t status = std::atomic_ref<uint8_t>(raw.value()[12]).load(std::memory_order_acquire);
+  return (status & kDescStatusDone) != 0;
+}
+
+Result<RingDescriptor> DescRingEngine::ReadCompleted(uint32_t index) {
+  Result<uint8_t*> raw = WindowFor(index);
+  if (!raw.ok()) {
+    return raw.status();
+  }
+  return DecodeDescriptor(raw.value());
+}
+
+Status DescRingEngine::Arm(uint32_t index, const RingDescriptor& desc) {
+  Result<uint8_t*> raw = WindowFor(index);
+  if (!raw.ok()) {
+    return raw.status();
+  }
+  EncodeDescriptor(desc, raw.value());
+  return Status::Ok();
+}
+
+}  // namespace sud::hw

@@ -1,0 +1,164 @@
+// DescRingEngine: the one legacy-descriptor-ring implementation shared by
+// the device model (SimNic's per-queue rings) and the driver (e1000e's reap
+// and arm paths).
+//
+// Both sides of the paper's descriptor/DMA interface used to carry their own
+// ad-hoc copy of the same 16-byte-descriptor logic — encode, decode, DD
+// publication, per-descriptor DMA — which is exactly the duplicated surface
+// the SoK on driver isolation calls out as the attack-prone one. This engine
+// centralizes it behind two access styles:
+//
+//  * snapshot mode (the device): ring memory is reached through DMA
+//    transactions (PciDevice::DmaRead/DmaWrite — i.e. the switch, ACS and
+//    the IOMMU). Fetch() reads a CACHELINE BURST of up to four descriptors
+//    per transaction, as real NICs do, and serves subsequent descriptors
+//    from the snapshot. The burst never extends past the descriptors the
+//    device currently owns (between head and tail), so it cannot race the
+//    driver arming the next ones — and because consumed descriptors are
+//    served from the snapshot, a malicious driver rewriting a descriptor
+//    AFTER the device fetched its burst (the mid-burst rewrite attack)
+//    changes nothing: the device uses the bytes it captured, exactly once.
+//
+//  * mapped mode (the driver): ring memory is the driver's own DMA
+//    allocation, reachable through a persistent DmaView window. The engine
+//    keeps ONE cached cacheline-sized view and does the DD acquire-poll,
+//    the post-DD field reads and the arming writes in place — one window
+//    resolution per four descriptors instead of the historical three
+//    DmaView calls per packet (DD poll + read + re-arm).
+//
+// The DD ordering contract lives here too: the completing side publishes
+// changed fields only — RX length first, then the status byte as a 1-byte
+// release-published write — and the polling side acquire-loads the status
+// byte before trusting any other field.
+
+#ifndef SUD_SRC_HW_DESC_RING_H_
+#define SUD_SRC_HW_DESC_RING_H_
+
+#include <cstdint>
+
+#include "src/base/bytes.h"
+#include "src/base/status.h"
+
+namespace sud::hw {
+
+inline constexpr uint32_t kDescBytes = 16;
+// Descriptors per cacheline burst fetch (64-byte line / 16-byte descriptor).
+inline constexpr uint32_t kDescBurst = 4;
+
+// Legacy descriptor command bits (TX arm side).
+inline constexpr uint8_t kDescCmdEop = 1u << 0;
+inline constexpr uint8_t kDescCmdReportStatus = 1u << 3;
+// Status bits (completion side): DD, and EOP marking the last descriptor of
+// a multi-descriptor receive chain.
+inline constexpr uint8_t kDescStatusDone = 1u << 0;
+inline constexpr uint8_t kDescStatusEop = 1u << 1;
+
+// The legacy 16-byte descriptor, shared by TX and RX rings.
+struct RingDescriptor {
+  uint64_t buffer_addr = 0;
+  uint16_t length = 0;
+  uint8_t cso = 0;
+  uint8_t cmd = 0;
+  uint8_t status = 0;
+  uint8_t css = 0;
+  uint16_t special = 0;
+};
+
+void EncodeDescriptor(const RingDescriptor& desc, uint8_t* raw);
+RingDescriptor DecodeDescriptor(const uint8_t* raw);
+
+// How an engine reaches the memory its ring lives in.
+class RingMem {
+ public:
+  virtual ~RingMem() = default;
+  // Bulk transactions (the device's DMA path; one call == one fabric
+  // crossing).
+  virtual Status Read(uint64_t addr, ByteSpan out) = 0;
+  virtual Status Write(uint64_t addr, ConstByteSpan bytes) = 0;
+  // Optional persistent window (the driver's DmaView). Engines without one
+  // (a device reaching the ring through the fabric) use Read/Write
+  // snapshots instead.
+  virtual Result<ByteSpan> Map(uint64_t addr, uint64_t len) {
+    (void)addr;
+    (void)len;
+    return Status(ErrorCode::kUnavailable, "ring memory has no mapped window");
+  }
+};
+
+class DescRingEngine {
+ public:
+  explicit DescRingEngine(RingMem* mem) : mem_(mem) {}
+
+  // (Re)targets the engine at a ring. Idempotent for unchanged geometry (the
+  // caches survive); any change invalidates both caches — a reprogrammed
+  // ring must never be served stale snapshots.
+  void Configure(uint64_t base, uint32_t num_descs);
+  void Invalidate();
+
+  uint64_t base() const { return base_; }
+  uint32_t size() const { return size_; }
+
+  // --- snapshot mode (device side) -------------------------------------------
+  // Fetches descriptor `index`, reading a burst of up to kDescBurst owned
+  // descriptors in one transaction when the snapshot misses. `owned` is how
+  // many descriptors starting at `index` the caller owns (head..tail): the
+  // burst is clamped to it so the engine never reads ring slots the other
+  // side may still be writing.
+  Result<RingDescriptor> Fetch(uint32_t index, uint32_t owned);
+
+  // Changed-fields completion writeback: the length (RX) as a 2-byte write,
+  // then the status byte last — a 1-byte posted write the memory model
+  // release-publishes, pairing with Done()'s acquire poll.
+  Status WriteBackLength(uint32_t index, uint16_t length);
+  Status PublishStatus(uint32_t index, uint8_t status);
+
+  // --- mapped mode (driver side) ---------------------------------------------
+  // Acquire-load of descriptor `index`'s DD bit through the cached window.
+  // False when the window cannot be mapped.
+  bool Done(uint32_t index);
+  // Reads a descriptor whose DD the caller already observed via Done() (the
+  // acquire there makes the plain field reads here safe).
+  Result<RingDescriptor> ReadCompleted(uint32_t index);
+  // Arms (fully rewrites) a descriptor the engine's side owns.
+  Status Arm(uint32_t index, const RingDescriptor& desc);
+
+  struct Stats {
+    uint64_t burst_fetches = 0;    // snapshot-mode DMA read transactions
+    uint64_t descs_fetched = 0;    // descriptors those transactions carried
+    uint64_t writebacks = 0;       // completion writeback transactions
+    uint64_t window_maps = 0;      // mapped-mode window resolutions
+    uint64_t window_hits = 0;      // descriptor accesses served by the cache
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  uint64_t DescAddr(uint32_t index) const {
+    return base_ + static_cast<uint64_t>(index) * kDescBytes;
+  }
+  // Mapped-mode cacheline window covering `index`; remaps only when `index`
+  // leaves the cached line.
+  Result<uint8_t*> WindowFor(uint32_t index);
+
+  RingMem* mem_;
+  uint64_t base_ = 0;
+  uint32_t size_ = 0;
+
+  // Snapshot burst window (device side), consume-once: snap_base_ is the
+  // NEXT ring index a hit will serve, snap_pos_ its offset within the
+  // fetched raw bytes, snap_count_ how many remain unserved.
+  uint32_t snap_base_ = 0;
+  uint32_t snap_pos_ = 0;
+  uint32_t snap_count_ = 0;
+  uint8_t snap_raw_[kDescBurst * kDescBytes] = {};
+
+  // Mapped window cache (driver side).
+  uint8_t* window_ = nullptr;
+  uint32_t window_base_ = 0;
+  uint32_t window_count_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace sud::hw
+
+#endif  // SUD_SRC_HW_DESC_RING_H_

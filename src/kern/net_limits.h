@@ -1,0 +1,88 @@
+// Network MTU / frame / buffer-size limits, centralized.
+//
+// Before this header the datapath's size constants were scattered literals —
+// 1514 in EtherLink, 2048 in the shared-pool options and the Skb inline
+// buffer, 8 MB / queues / 512 in the e1000e probe — which made it impossible
+// to state (let alone assert) the invariant that actually matters for the
+// paper's safety argument: every layer that accepts a length from a less
+// trusted layer must bound it by the SAME maximum frame size, and every
+// buffer a frame can be copied into must be provably large enough for that
+// bound. Jumbo frames (9000-byte MTU, EOP-chained across RX descriptors)
+// make the invariant load-bearing: the proxy's netif_rx validation, the
+// EOP-chain reassembly bound, the shared-pool staging buffers and the
+// device's scatter limit all derive from the constants below.
+
+#ifndef SUD_SRC_KERN_NET_LIMITS_H_
+#define SUD_SRC_KERN_NET_LIMITS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sud::kern {
+
+// Ethernet geometry (the compressed simulated framing: 14-byte header, no
+// separate FCS in the byte stream).
+inline constexpr size_t kEthHeaderBytes = 14;
+inline constexpr size_t kEthMinFrameBytes = 60;
+
+// Standard and jumbo MTUs, and the frame sizes they imply.
+inline constexpr size_t kStdMtu = 1500;
+inline constexpr size_t kJumboMtu = 9000;
+inline constexpr size_t kStdMaxFrameBytes = kStdMtu + kEthHeaderBytes;      // 1514
+inline constexpr size_t kJumboMaxFrameBytes = kJumboMtu + kEthHeaderBytes;  // 9014
+
+// The frame size an interface configured with `mtu` may carry.
+inline constexpr size_t MaxFrameBytes(size_t mtu) { return mtu + kEthHeaderBytes; }
+
+// Per-RX-descriptor buffer size when the driver programs nothing (the legacy
+// single-descriptor receive path: every standard frame fits in one buffer).
+inline constexpr size_t kRxDefaultBufferBytes = 2048;
+// Bounds on the driver-programmable per-descriptor RX buffer size. The floor
+// exists so a malicious driver cannot force the device into absurd
+// per-frame descriptor chains; the granularity keeps chunk boundaries
+// word-aligned for the incremental reassembly paths.
+inline constexpr size_t kRxMinBufferBytes = 256;
+inline constexpr size_t kRxMaxBufferBytes = 16384;
+inline constexpr size_t kRxBufferGranularity = 64;
+
+// Hard cap on the descriptors one EOP chain may span, device- and
+// driver-side. Derived from the worst legal configuration (jumbo frame over
+// minimum buffers) with headroom — NOT from whatever a malicious peer
+// claims: ceil(9014 / 256) = 36.
+inline constexpr size_t kMaxChainFrags =
+    (kJumboMaxFrameBytes + kRxMinBufferBytes - 1) / kRxMinBufferBytes;
+
+// The per-descriptor scatter size the device actually uses for a programmed
+// buffer-size register value: 0 means the default, everything else is
+// clamped to [min, max] and rounded down to the granularity. Shared by the
+// device model (which must scatter safely no matter what was programmed)
+// and the driver's ring-setup assertion (which must agree with the device
+// about the chunk size chains arrive in).
+inline constexpr uint32_t EffectiveRxBufferBytes(uint32_t programmed) {
+  if (programmed == 0) {
+    return static_cast<uint32_t>(kRxDefaultBufferBytes);
+  }
+  size_t bytes = programmed;
+  if (bytes < kRxMinBufferBytes) {
+    bytes = kRxMinBufferBytes;
+  }
+  if (bytes > kRxMaxBufferBytes) {
+    bytes = kRxMaxBufferBytes;
+  }
+  return static_cast<uint32_t>(bytes & ~(kRxBufferGranularity - 1));
+}
+
+// Shared-pool TX staging buffer size for an interface with `mtu`: one frame
+// per buffer, rounded to the RX buffer granularity. 2048 for the standard
+// MTU — byte-identical to the pre-jumbo pool sizing.
+inline constexpr uint32_t PoolBufferBytesFor(size_t mtu) {
+  size_t frame = MaxFrameBytes(mtu);
+  size_t rounded = (frame + kRxBufferGranularity - 1) / kRxBufferGranularity *
+                   kRxBufferGranularity;
+  return static_cast<uint32_t>(rounded < kRxDefaultBufferBytes ? kRxDefaultBufferBytes
+                                                               : rounded);
+}
+
+}  // namespace sud::kern
+
+#endif  // SUD_SRC_KERN_NET_LIMITS_H_

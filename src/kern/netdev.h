@@ -17,6 +17,7 @@
 #ifndef SUD_SRC_KERN_NETDEV_H_
 #define SUD_SRC_KERN_NETDEV_H_
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
@@ -29,6 +30,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/kern/net_limits.h"
 #include "src/kern/skb.h"
 
 namespace sud::kern {
@@ -126,6 +128,17 @@ class NetDevice {
     num_queues_ = n == 0 ? 1 : (n > kNetMaxQueues ? kNetMaxQueues : n);
   }
 
+  // Interface MTU (driver-declared, like ndo_change_mtu, clamped to the
+  // jumbo maximum): the bound every receive-path length check applies — a
+  // standard-MTU interface must reject a 9014-byte netif_rx no matter what
+  // the driver marshals later.
+  uint32_t mtu() const { return mtu_; }
+  void set_mtu(uint32_t mtu) {
+    mtu_ = static_cast<uint32_t>(
+        std::clamp<size_t>(mtu == 0 ? kStdMtu : mtu, kEthMinFrameBytes, kJumboMtu));
+  }
+  size_t max_frame_bytes() const { return MaxFrameBytes(mtu_); }
+
   NetDeviceOps* ops() { return ops_; }
   NetDeviceStats& stats() { return stats_; }
   const NetDeviceStats& stats() const { return stats_; }
@@ -146,6 +159,7 @@ class NetDevice {
   bool carrier_ = false;
   bool up_ = false;
   uint16_t num_queues_ = 1;
+  uint32_t mtu_ = static_cast<uint32_t>(kStdMtu);
   NetDeviceStats stats_;
   std::array<NetQueueStats, kNetMaxQueues> queue_stats_;
   RxSink rx_sink_;

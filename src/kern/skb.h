@@ -64,6 +64,44 @@ struct Skb {
     return checksum_verified;
   }
 
+  // Frag-append for EOP-chained multi-descriptor frames: grows the frame by
+  // one fragment, spilling from the inline buffer to the heap when the
+  // running length crosses kInlineCapacity. `max_len` bounds the assembled
+  // frame — an append that would exceed it copies NOTHING and returns false,
+  // so a torn or endless chain can never grow an skb past the interface
+  // maximum.
+  bool AppendFrag(ConstByteSpan bytes, size_t max_len) {
+    size_t new_len = len_ + bytes.size();
+    if (new_len > max_len) {
+      return false;
+    }
+    if (new_len <= kInlineCapacity && heap_.empty()) {
+      std::memcpy(inline_.data() + len_, bytes.data(), bytes.size());
+    } else {
+      if (heap_.empty()) {
+        // First spill: move what the inline buffer holds (possibly nothing)
+        // to the heap, then append there — data() discriminates on
+        // heap_.empty(), so the spill must happen even for a zero-length
+        // prefix.
+        heap_.reserve(max_len);
+        heap_.assign(inline_.data(), inline_.data() + len_);
+      }
+      heap_.insert(heap_.end(), bytes.begin(), bytes.end());
+    }
+    len_ = new_len;
+    return true;
+  }
+
+  // The chain counterpart of AssignAndVerifyChecksum: the guard copy already
+  // happened fragment-by-fragment (AppendFrag), so this runs the checksum
+  // pass over the assembled PRIVATE copy — same safe ordering, the verdict
+  // can never be computed over bytes the driver still owns.
+  bool VerifyChecksumPrivate() {
+    PacketView packet = view();
+    checksum_verified = packet.valid() && packet.ChecksumOk();
+    return checksum_verified;
+  }
+
   uint8_t* data() { return heap_.empty() ? inline_.data() : heap_.data(); }
   const uint8_t* data() const { return heap_.empty() ? inline_.data() : heap_.data(); }
   size_t data_len() const { return len_; }

@@ -29,7 +29,8 @@ inline constexpr uint32_t kEthUpStop = kOpDeviceClassBase + 1;    // (sync)
 inline constexpr uint32_t kEthUpXmit = kOpDeviceClassBase + 2;    // (async, shared buffer)
 inline constexpr uint32_t kEthUpIoctl = kOpDeviceClassBase + 3;   // "ioctl" (sync)
 // Downcalls (driver -> kernel).
-// args[0]: number of TX/RX queues the driver services; mac in inline_data.
+// args[0]: number of TX/RX queues the driver services; args[1]: interface
+// MTU (kernel-clamped; bounds every receive length check); mac inline.
 inline constexpr uint32_t kEthDownRegisterNetdev = kOpDownDeviceClassBase + 0;
 // args[0]: frame iova, args[1]: length. Delivered on the RX queue's shard.
 inline constexpr uint32_t kEthDownNetifRx = kOpDownDeviceClassBase + 1;  // "netif_rx" (async, buffer)
@@ -39,6 +40,14 @@ inline constexpr uint32_t kEthDownSetCarrier = kOpDownDeviceClassBase + 2;  // a
 // that many little-endian int32 buffer ids — one message per reap pass
 // instead of one per transmitted buffer.
 inline constexpr uint32_t kEthDownFreeBuffer = kOpDownDeviceClassBase + 3;
+// netif_rx for an EOP-chained multi-descriptor frame. args[0]: fragment
+// count; inline_data: that many (LE64 iova, LE32 len) records — 12 bytes
+// each. The kernel side re-validates EVERYTHING: the count against the
+// payload and kern::kMaxChainFrags, every fragment against the driver's DMA
+// space, and the total against the jumbo frame maximum; the reassembled
+// frame is guard-copied fragment-by-fragment into one private skb.
+inline constexpr uint32_t kEthDownNetifRxChain = kOpDownDeviceClassBase + 4;
+inline constexpr size_t kNetifRxChainFragBytes = 12;
 
 // ---- Wireless class ---------------------------------------------------------
 inline constexpr uint32_t kWifiUpScan = kOpDeviceClassBase + 16;            // (sync)

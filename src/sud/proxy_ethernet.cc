@@ -5,6 +5,7 @@
 #include "src/base/bytes.h"
 #include "src/base/log.h"
 #include "src/devices/ether_link.h"
+#include "src/kern/net_limits.h"
 
 namespace sud {
 
@@ -47,8 +48,27 @@ void EthernetProxy::NoteXmitFull() {
   }
 }
 
+// The MTU the interface actually gets for a driver-declared value: clamped
+// by set_mtu (jumbo ceiling, like ndo_change_mtu) AND by what one shared
+// TX pool buffer can stage — a driver claiming jumbo on a standard-sized
+// pool would otherwise lure the stack into frames the transmit path must
+// truncate.
+uint32_t EthernetProxy::DeclaredMtu(uint64_t declared) const {
+  size_t pool_cap = ctx_->pool().buffer_bytes() > kern::kEthHeaderBytes
+                        ? ctx_->pool().buffer_bytes() - kern::kEthHeaderBytes
+                        : kern::kEthMinFrameBytes;
+  return static_cast<uint32_t>(std::min<uint64_t>(declared, pool_cap));
+}
+
 Status EthernetProxy::PrepareXmit(const kern::Skb& skb, UchanMsg* msg, uint16_t queue) {
   CpuModel& cpu = kernel_->machine().cpu();
+  if (skb.data_len() > ctx_->pool().buffer_bytes()) {
+    // Never truncate: a frame one staging buffer cannot hold is dropped
+    // whole (only reachable by handing the interface frames above its MTU —
+    // the MTU itself is clamped to pool capacity at registration).
+    stats_.xmit_dropped.fetch_add(1, std::memory_order_relaxed);
+    return Status(ErrorCode::kInvalidArgument, "frame exceeds staging buffer");
+  }
   Result<int32_t> buffer_id = ctx_->pool().Alloc();
   if (!buffer_id.ok()) {
     stats_.xmit_dropped.fetch_add(1, std::memory_order_relaxed);
@@ -59,7 +79,7 @@ Status EthernetProxy::PrepareXmit(const kern::Skb& skb, UchanMsg* msg, uint16_t 
   if (!buffer.ok()) {
     return buffer.status();
   }
-  size_t len = std::min<size_t>(skb.data_len(), buffer.value().size());
+  size_t len = skb.data_len();
   if (!options_.zero_copy) {
     // Ablation: model an intermediate bounce buffer (one extra pass).
     cpu.ChargeBytes(kAccountKernel, cpu.costs().per_byte_copy, len);
@@ -191,6 +211,7 @@ void EthernetProxy::HandleDowncall(UchanMsg& msg, uint16_t shard) {
         // refresh the MAC (shadow-driver-style recovery, Section 2).
         netdev_->set_dev_addr(msg.inline_data.data());
         netdev_->set_num_queues(queues);
+        netdev_->set_mtu(DeclaredMtu(msg.args[1]));
         msg.error = 0;
         return;
       }
@@ -203,11 +224,15 @@ void EthernetProxy::HandleDowncall(UchanMsg& msg, uint16_t shard) {
       }
       netdev_ = netdev.value();
       netdev_->set_num_queues(queues);
+      netdev_->set_mtu(DeclaredMtu(msg.args[1]));
       msg.error = 0;
       return;
     }
     case kEthDownNetifRx:
       HandleNetifRx(msg, shard);
+      return;
+    case kEthDownNetifRxChain:
+      HandleNetifRxChain(msg, shard);
       return;
     case kEthDownSetCarrier:
       // Shared-memory mirror update (Section 3.3): ordered with respect to
@@ -274,7 +299,7 @@ void EthernetProxy::HandleNetifRx(UchanMsg& msg, uint16_t shard) {
   // never dereferenced.
   uint64_t iova = msg.args[0];
   uint32_t len = static_cast<uint32_t>(msg.args[1]);
-  if (len == 0 || len > devices::kEthMaxFrame) {
+  if (len == 0 || len > netdev_->max_frame_bytes()) {
     stats_.rx_bad_buffer_id.fetch_add(1, std::memory_order_relaxed);
     netdev_->stats().driver_errors++;
     SUD_LOG(kAttack) << "netif_rx downcall with bogus length " << len << " from driver";
@@ -313,22 +338,10 @@ void EthernetProxy::HandleNetifRx(UchanMsg& msg, uint16_t shard) {
       // Attacker rewrites the shared buffer now — too late, we own a copy.
       toctou_hook_(shared);
     }
-    if (!checksum_ok) {
-      // Same drop accounting the stack's own pass would have applied (the
-      // skb_alloc + stack charge below still applies first, as it did when
-      // these packets died inside NetifRx).
-      cpu.Charge(kAccountKernel, cpu.costs().skb_alloc + cpu.costs().stack_work_per_pkt);
-      if (skb->data_len() < kern::kPacketMinSize) {
-        netdev_->stats().rx_dropped++;
-        netdev_->stats().driver_errors++;
-        SUD_LOG(kWarning) << netdev_->name() << ": driver delivered runt packet, dropping";
-      } else {
-        netdev_->stats().rx_bad_checksum++;
-        netdev_->stats().rx_dropped++;
-      }
-      msg.error = 0;  // a dropped packet is not a downcall failure
-      return;
-    }
+    size_t frame_bytes = skb->data_len();
+    FinishRxSkb(std::move(skb), checksum_ok, frame_bytes, shard);
+    msg.error = 0;  // rejection by firewall/checksum is not a downcall failure
+    return;
   } else {
     // VULNERABLE ordering (ablation/attack demonstration): verdict computed
     // over live shared memory, then the attacker flips it, then we copy.
@@ -355,12 +368,104 @@ void EthernetProxy::HandleNetifRx(UchanMsg& msg, uint16_t shard) {
     msg.error = 0;
     return;
   }
+}
 
+void EthernetProxy::FinishRxSkb(kern::SkbPtr skb, bool checksum_ok, size_t frame_bytes,
+                                uint16_t shard) {
+  CpuModel& cpu = kernel_->machine().cpu();
   cpu.Charge(kAccountKernel, cpu.costs().skb_alloc + cpu.costs().stack_work_per_pkt);
+  if (!checksum_ok) {
+    // Same drop accounting the stack's own pass would have applied (the
+    // skb_alloc + stack charge above still applies first, as it did when
+    // these packets died inside NetifRx).
+    if (frame_bytes < kern::kPacketMinSize) {
+      netdev_->stats().rx_dropped++;
+      netdev_->stats().driver_errors++;
+      SUD_LOG(kWarning) << netdev_->name() << ": driver delivered runt packet, dropping";
+    } else {
+      netdev_->stats().rx_bad_checksum++;
+      netdev_->stats().rx_dropped++;
+    }
+    return;
+  }
   // NAPI-style: the private copy joins the shard's poll bundle; the whole
   // array enters the stack once, at the end of this kernel entry.
   rx_bundle_[shard].push_back(std::move(skb));
-  msg.error = 0;  // rejection by firewall/checksum is not a downcall failure
+}
+
+void EthernetProxy::HandleNetifRxChain(UchanMsg& msg, uint16_t shard) {
+  stats_.rx_downcalls.fetch_add(1, std::memory_order_relaxed);
+  stats_.rx_chain_downcalls.fetch_add(1, std::memory_order_relaxed);
+  if (netdev_ == nullptr) {
+    msg.error = static_cast<int32_t>(ErrorCode::kUnavailable);
+    return;
+  }
+  // The downcall carries an EOP chain's fragment list — driver-marshalled
+  // bytes, trusted for NOTHING. Bound the count by the chain cap (derived
+  // from net_limits, not from anything the driver claims), require the
+  // advertised count to match the payload, and re-validate every fragment
+  // against the driver's own DMA space before a single byte is copied.
+  auto reject = [&](const char* why) {
+    stats_.rx_bad_chain.fetch_add(1, std::memory_order_relaxed);
+    netdev_->stats().driver_errors++;
+    SUD_LOG(kAttack) << "netif_rx chain rejected: " << why;
+    msg.error = static_cast<int32_t>(ErrorCode::kInvalidArgument);
+  };
+  size_t count = msg.inline_data.size() / kNetifRxChainFragBytes;
+  if (count == 0 || count > kern::kMaxChainFrags ||
+      msg.inline_data.size() % kNetifRxChainFragBytes != 0 || msg.args[0] != count) {
+    reject("fragment count malformed or over the chain cap");
+    return;
+  }
+  // The total is bounded by the INTERFACE's maximum frame (the MTU the
+  // driver declared at registration), not the global jumbo ceiling: a
+  // standard-MTU interface rejects jumbo-sized chains outright.
+  size_t max_frame = netdev_->max_frame_bytes();
+  ByteSpan views[kern::kMaxChainFrags];
+  uint64_t total = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const uint8_t* record = msg.inline_data.data() + i * kNetifRxChainFragBytes;
+    uint64_t iova = LoadLe64(record);
+    uint32_t len = LoadLe32(record + 8);
+    total += len;
+    if (len == 0 || total > max_frame) {
+      reject("fragment lengths exceed the interface frame maximum");
+      return;
+    }
+    Result<ByteSpan> view = ctx_->dma().HostView(iova, len);
+    if (!view.ok()) {
+      reject("fragment outside the driver's dma space");
+      return;
+    }
+    views[i] = view.value();
+  }
+  CpuModel& cpu = kernel_->machine().cpu();
+  // Guard copy, fragment by fragment, into ONE private skb — the copy
+  // happens before any verdict, exactly like the single-descriptor path
+  // (chains always guard-copy; the vulnerable check-then-copy ablation
+  // models the legacy single-frame path only). The checksum runs over the
+  // assembled private copy and is charged as the fused pass.
+  auto skb = std::make_unique<kern::Skb>();
+  for (size_t i = 0; i < count; ++i) {
+    if (!skb->AppendFrag(ConstByteSpan(views[i].data(), views[i].size()), max_frame)) {
+      reject("assembled chain exceeds the interface frame maximum");
+      return;
+    }
+  }
+  bool checksum_ok = skb->VerifyChecksumPrivate();
+  stats_.guard_copies.fetch_add(1, std::memory_order_relaxed);
+  if (options_.fuse_guard_with_checksum) {
+    cpu.ChargeBytes(kAccountKernel, cpu.costs().per_byte_checksum, total);
+  } else {
+    cpu.ChargeBytes(kAccountKernel,
+                    cpu.costs().per_byte_copy + cpu.costs().per_byte_checksum, total);
+  }
+  if (toctou_hook_) {
+    // Attacker rewrites the shared fragments now — too late, we own a copy.
+    toctou_hook_(views[0]);
+  }
+  FinishRxSkb(std::move(skb), checksum_ok, static_cast<size_t>(total), shard);
+  msg.error = 0;  // a dropped packet is not a downcall failure
 }
 
 void EthernetProxy::DeliverRxBundle(uint16_t shard) {

@@ -84,7 +84,9 @@ class EthernetProxy : public kern::NetDeviceOps {
     std::atomic<uint64_t> xmit_dropped{0};
     std::atomic<uint64_t> rx_downcalls{0};
     std::atomic<uint64_t> rx_bundles{0};        // NAPI deliveries into the stack
+    std::atomic<uint64_t> rx_chain_downcalls{0};  // multi-fragment netif_rx messages
     std::atomic<uint64_t> rx_bad_buffer_id{0};  // malicious buffer ids rejected
+    std::atomic<uint64_t> rx_bad_chain{0};      // malformed/oversize chains rejected
     std::atomic<uint64_t> free_batches{0};      // coalesced free-buffer messages
     std::atomic<uint64_t> hung_reports{0};
     std::atomic<uint64_t> guard_copies{0};
@@ -101,10 +103,19 @@ class EthernetProxy : public kern::NetDeviceOps {
  private:
   void HandleDowncall(UchanMsg& msg, uint16_t shard);
   void HandleNetifRx(UchanMsg& msg, uint16_t shard);
+  // netif_rx for an EOP-chained frame: re-validates the fragment list
+  // (count, addresses, total) and guard-copies fragment-by-fragment into ONE
+  // private skb before any verdict.
+  void HandleNetifRxChain(UchanMsg& msg, uint16_t shard);
+  // Tail of both rx paths: charges the stack costs, applies the bad-checksum
+  // drop accounting, and joins the shard's NAPI bundle.
+  void FinishRxSkb(kern::SkbPtr skb, bool checksum_ok, size_t frame_bytes, uint16_t shard);
   void HandleFreeBuffer(UchanMsg& msg);
   // Stages one skb into a fresh pool buffer and fills `msg`; on failure the
   // hung-driver accounting has already been applied.
   Status PrepareXmit(const kern::Skb& skb, UchanMsg* msg, uint16_t queue);
+  // The driver-declared MTU clamped to what the TX staging pool can hold.
+  uint32_t DeclaredMtu(uint64_t declared) const;
   void NoteXmitFull();
   // Delivers queue `shard`'s guard-copied rx bundle accumulated during the
   // current downcall kernel entry (the NAPI poll-end point).

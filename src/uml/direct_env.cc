@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/base/log.h"
+#include "src/kern/net_limits.h"
 #include "src/kern/skb.h"
 
 namespace sud::uml {
@@ -294,6 +295,7 @@ Status DirectEnv::RegisterNetdev(const uint8_t mac[6], NetDriverOps ops) {
   }
   netdev_ = netdev.value();
   netdev_->set_num_queues(net_ops_.num_queues);
+  netdev_->set_mtu(net_ops_.mtu);
   return Status::Ok();
 }
 
@@ -309,6 +311,34 @@ Status DirectEnv::NetifRx(uint64_t frame_iova, uint32_t len, uint16_t queue) {
   cpu.ChargeBytes(account_, cpu.costs().per_byte_checksum, len);
   cpu.Charge(account_, cpu.costs().skb_alloc + cpu.costs().stack_work_per_pkt);
   auto skb = kern::MakeSkb(ConstByteSpan(view.value().data(), len));
+  return kernel_->net().NetifRx(netdev_, std::move(skb), queue);
+}
+
+Status DirectEnv::NetifRxChain(const std::vector<DmaFrag>& frags, uint16_t queue) {
+  if (netdev_ == nullptr) {
+    return Status(ErrorCode::kUnavailable, "netdev not registered");
+  }
+  // In-kernel reassembly of an EOP descriptor chain: frag-append each chunk
+  // into one skb. Even the trusted baseline bounds the total — the chain
+  // came out of descriptor memory a faulty device could have corrupted.
+  auto skb = std::make_unique<kern::Skb>();
+  uint64_t total = 0;
+  for (const DmaFrag& frag : frags) {
+    Result<ByteSpan> view = dma_->HostView(frag.iova, frag.len);
+    if (!view.ok()) {
+      return view.status();
+    }
+    if (!skb->AppendFrag(ConstByteSpan(view.value().data(), frag.len),
+                         netdev_->max_frame_bytes())) {
+      netdev_->stats().rx_dropped++;
+      netdev_->stats().driver_errors++;
+      return Status(ErrorCode::kInvalidArgument, "chained frame exceeds interface maximum");
+    }
+    total += frag.len;
+  }
+  CpuModel& cpu = kernel_->machine().cpu();
+  cpu.ChargeBytes(account_, cpu.costs().per_byte_checksum, total);
+  cpu.Charge(account_, cpu.costs().skb_alloc + cpu.costs().stack_work_per_pkt);
   return kernel_->net().NetifRx(netdev_, std::move(skb), queue);
 }
 

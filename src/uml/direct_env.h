@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/kern/kernel.h"
+#include "src/kern/net_limits.h"
 #include "src/sud/dma_space.h"
 #include "src/uml/driver_env.h"
 
@@ -54,6 +55,7 @@ class DirectEnv : public DriverEnv {
   Status InterruptAck() override { return Status::Ok(); }  // in-kernel: nothing to unmask
   Status RegisterNetdev(const uint8_t mac[6], NetDriverOps ops) override;
   Status NetifRx(uint64_t frame_iova, uint32_t len, uint16_t queue = 0) override;
+  Status NetifRxChain(const std::vector<DmaFrag>& frags, uint16_t queue = 0) override;
   void NetifCarrierOn() override;
   void NetifCarrierOff() override;
   void FreeTxBuffer(int32_t pool_buffer_id) override;
@@ -99,7 +101,9 @@ class DirectEnv : public DriverEnv {
   DmaRegion tx_bounce_{};
   std::deque<uint64_t> tx_bounce_free_;
   static constexpr uint32_t kTxBounceCount = 64;
-  static constexpr uint32_t kTxBounceBytes = 2048;
+  // Sized for the largest frame the stack can hand down (net_limits.h): a
+  // jumbo skb must never be silently truncated at the dma_map stand-in.
+  static constexpr uint32_t kTxBounceBytes = kern::PoolBufferBytesFor(kern::kJumboMtu);
 };
 
 }  // namespace sud::uml

@@ -30,6 +30,15 @@
 
 namespace sud::uml {
 
+// One fragment of a frame scattered across DMA memory (an EOP descriptor
+// chain's per-descriptor chunk): an address in the driver's DMA space plus
+// its length. The kernel side re-validates every fragment — the pair is
+// driver-marshalled data, never trusted.
+struct DmaFrag {
+  uint64_t iova = 0;
+  uint32_t len = 0;
+};
+
 // Callbacks a network driver registers with register_netdev. `xmit` receives
 // the frame already in DMA-visible memory at `frame_iova`; `pool_buffer_id`
 // is >= 0 when the frame lives in a shared-pool buffer the driver must
@@ -45,6 +54,10 @@ struct NetDriverOps {
   // tx_queues): the kernel steers flows across [0, num_queues) and the SUD
   // layer shards the uchan accordingly.
   uint16_t num_queues = 1;
+  // Interface MTU the driver services (ndo_change_mtu at registration time):
+  // the kernel clamps it to the jumbo maximum and bounds every receive-path
+  // length check by it — a standard-MTU interface rejects jumbo lengths.
+  uint32_t mtu = 1500;
 };
 
 struct WifiDriverOps {
@@ -107,6 +120,17 @@ class DriverEnv {
   // `queue` names the RX queue the frame arrived on (per-queue NAPI array
   // under SUD: each queue batches and flushes independently).
   virtual Status NetifRx(uint64_t frame_iova, uint32_t len, uint16_t queue = 0) = 0;
+  // netif_rx for a frame scattered across an EOP descriptor chain: the
+  // fragments are reassembled kernel-side into ONE skb (guard-copied under
+  // SUD, Skb frag-append in both environments). The default collapses a
+  // single-fragment chain onto the plain path and rejects anything longer —
+  // environments that host jumbo-capable drivers override it.
+  virtual Status NetifRxChain(const std::vector<DmaFrag>& frags, uint16_t queue = 0) {
+    if (frags.size() == 1) {
+      return NetifRx(frags[0].iova, frags[0].len, queue);
+    }
+    return Status(ErrorCode::kUnavailable, "environment cannot deliver chained frames");
+  }
   virtual void NetifCarrierOn() = 0;   // mirror macros (§3.3)
   virtual void NetifCarrierOff() = 0;
   // Returns a transmitted shared-pool buffer (no-op in-kernel).

@@ -2,7 +2,9 @@
 
 #include <cstring>
 
+#include "src/base/bytes.h"
 #include "src/base/log.h"
+#include "src/kern/net_limits.h"
 
 namespace sud::uml {
 
@@ -155,6 +157,7 @@ void UmlRuntime::FlushRxPendingQueue(uint16_t queue, bool enter_kernel) {
   if (!rx_pending_[queue].empty()) {
     std::vector<UchanMsg> batch;
     batch.swap(rx_pending_[queue]);
+    rx_pending_bytes_[queue] = 0;
     stats_.rx_batches_flushed.fetch_add(1, std::memory_order_relaxed);
     (void)ctx_->ctl(queue).DowncallAsyncBatch(std::move(batch));
   }
@@ -173,9 +176,29 @@ Status UmlRuntime::RegisterNetdev(const uint8_t mac[6], NetDriverOps ops) {
   UchanMsg msg;
   msg.inline_data.assign(mac, mac + 6);
   msg.args[0] = ops.num_queues == 0 ? 1 : ops.num_queues;
+  msg.args[1] = ops.mtu;
   SUD_RETURN_IF_ERROR(SyncDowncall(kEthDownRegisterNetdev, &msg));
   net_ops_ = std::move(ops);
   net_registered_ = true;
+  return Status::Ok();
+}
+
+Status UmlRuntime::QueueRxDowncall(UchanMsg msg, uint16_t queue, uint64_t frame_bytes) {
+  if (ctx_->ctl(queue).is_shutdown()) {
+    return Status(ErrorCode::kUnavailable, "uchan shut down");
+  }
+  // NAPI accumulation: the message joins the queue's local rx array; the
+  // whole array crosses into the kernel on the queue's shard once `depth`
+  // packets — or a standard-frame-equivalent byte budget, for jumbo chains —
+  // are pending (or at the next flush point — Wait, a sync downcall —
+  // whichever comes first).
+  rx_pending_[queue].push_back(std::move(msg));
+  rx_pending_bytes_[queue] += frame_bytes;
+  uint32_t depth = ctx_->ctl(queue).config().batch_async_downcalls ? rx_batch_depth_ : 1;
+  uint64_t byte_budget = static_cast<uint64_t>(depth) * kern::kStdMaxFrameBytes;
+  if (rx_pending_[queue].size() >= depth || rx_pending_bytes_[queue] >= byte_budget) {
+    FlushRxPendingQueue(queue, /*enter_kernel=*/true);
+  }
   return Status::Ok();
 }
 
@@ -187,19 +210,31 @@ Status UmlRuntime::NetifRx(uint64_t frame_iova, uint32_t len, uint16_t queue) {
   msg.opcode = kEthDownNetifRx;
   msg.args[0] = frame_iova;
   msg.args[1] = len;
-  if (ctx_->ctl(queue).is_shutdown()) {
-    return Status(ErrorCode::kUnavailable, "uchan shut down");
+  return QueueRxDowncall(std::move(msg), queue, len);
+}
+
+Status UmlRuntime::NetifRxChain(const std::vector<DmaFrag>& frags, uint16_t queue) {
+  if (queue >= ctx_->num_queues()) {
+    queue = 0;
   }
-  // NAPI accumulation: the message joins the queue's local rx array; the
-  // whole array crosses into the kernel on the queue's shard once `depth`
-  // packets are pending (or at the next flush point — Wait, a sync downcall —
-  // whichever comes first).
-  rx_pending_[queue].push_back(std::move(msg));
-  uint32_t depth = ctx_->ctl(queue).config().batch_async_downcalls ? rx_batch_depth_ : 1;
-  if (rx_pending_[queue].size() >= depth) {
-    FlushRxPendingQueue(queue, /*enter_kernel=*/true);
+  if (frags.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "empty fragment chain");
   }
-  return Status::Ok();
+  if (frags.size() == 1) {
+    return NetifRx(frags[0].iova, frags[0].len, queue);
+  }
+  UchanMsg msg;
+  msg.opcode = kEthDownNetifRxChain;
+  msg.args[0] = frags.size();
+  msg.inline_data.resize(frags.size() * kNetifRxChainFragBytes);
+  uint64_t total = 0;
+  for (size_t i = 0; i < frags.size(); ++i) {
+    uint8_t* record = msg.inline_data.data() + i * kNetifRxChainFragBytes;
+    StoreLe64(record, frags[i].iova);
+    StoreLe32(record + 8, frags[i].len);
+    total += frags[i].len;
+  }
+  return QueueRxDowncall(std::move(msg), queue, total);
 }
 
 void UmlRuntime::NetifCarrierOn() {

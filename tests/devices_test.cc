@@ -15,6 +15,7 @@
 #include "src/devices/usb_host.h"
 #include "src/devices/wifi_nic.h"
 #include "src/hw/machine.h"
+#include "src/kern/net_limits.h"
 #include "src/kern/packet.h"
 
 namespace sud::devices {
@@ -323,6 +324,213 @@ TEST(SimNicTest, ConcurrentTdtDoorbellAndDeviceReapTransmitExactlyOnce) {
   for (uint32_t i = 0; i < kFrames; ++i) {
     EXPECT_NE(DescStatus(hw.machine, kRing, i) & kNicDescStatusDone, 0) << "descriptor " << i;
   }
+}
+
+// Jumbo receive: a frame larger than the programmed per-descriptor buffer
+// scatters across consecutive descriptors as an EOP chain — full chunks with
+// DD but no EOP status, the remainder with DD|EOP — and the chunks
+// concatenate back to the original frame.
+TEST(SimNicTest, JumboScattersAcrossEopChain) {
+  SimNic nic("nic", kMac);
+  BareMetal hw(&nic);
+  EtherLink link;
+  nic.ConnectLink(&link, 0);
+
+  constexpr uint64_t kRing = 0x1000;
+  constexpr uint64_t kBufBase = 0x4000;
+  constexpr uint32_t kBufSz = 2048;
+  for (uint32_t i = 0; i < 15; ++i) {
+    WriteDesc(hw.machine, kRing, i, kBufBase + i * kBufSz, 0, 0, 0);
+  }
+  nic.MmioWrite(0, kNicRegRdbal, kRing);
+  nic.MmioWrite(0, kNicRegRdlen, 16 * 16);
+  nic.MmioWrite(0, kNicRegRdh, 0);
+  nic.MmioWrite(0, kNicRegRdt, 15);
+  nic.MmioWrite(0, kNicRegRdbsz, kBufSz);
+  nic.MmioWrite(0, kNicRegRctl, kNicRctlEnable | kNicRctlJumboEnable);
+
+  std::vector<uint8_t> frame(5000);
+  for (size_t i = 0; i < frame.size(); ++i) {
+    frame[i] = static_cast<uint8_t>(i * 7);
+  }
+  nic.DeliverFrame({frame.data(), frame.size()});
+
+  ASSERT_EQ(nic.stats().rx_frames, 1u);
+  EXPECT_EQ(nic.stats().rx_chain_frames, 1u);
+  EXPECT_EQ(nic.stats().rx_chain_descs, 3u);
+  // Chunk statuses: DD on all three, EOP only on the last.
+  EXPECT_EQ(DescStatus(hw.machine, kRing, 0), kNicDescStatusDone);
+  EXPECT_EQ(DescStatus(hw.machine, kRing, 1), kNicDescStatusDone);
+  EXPECT_EQ(DescStatus(hw.machine, kRing, 2), kNicDescStatusDone | kNicDescStatusEop);
+  EXPECT_EQ(nic.MmioRead(0, kNicRegRdh), 3u);
+  // Concatenating the chunks reproduces the frame bit-for-bit.
+  std::vector<uint8_t> reassembled;
+  uint32_t lens[3] = {kBufSz, kBufSz, 5000 - 2 * kBufSz};
+  for (uint32_t i = 0; i < 3; ++i) {
+    uint8_t raw[16];
+    (void)hw.machine.dram().Read(kRing + i * 16ull, {raw, 16});
+    EXPECT_EQ(LoadLe16(raw + 8), lens[i]) << "chunk " << i;
+    std::vector<uint8_t> chunk(lens[i]);
+    (void)hw.machine.dram().Read(kBufBase + i * kBufSz, {chunk.data(), chunk.size()});
+    reassembled.insert(reassembled.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(reassembled, frame);
+}
+
+// Without RCTL.LPE a long frame is dropped at the MAC — counted, nothing
+// published, ring untouched.
+TEST(SimNicTest, OversizeFrameWithoutLpeIsDropped) {
+  SimNic nic("nic", kMac);
+  BareMetal hw(&nic);
+  EtherLink link;
+  nic.ConnectLink(&link, 0);
+  constexpr uint64_t kRing = 0x1000;
+  for (uint32_t i = 0; i < 15; ++i) {
+    WriteDesc(hw.machine, kRing, i, 0x4000 + i * 2048, 0, 0, 0);
+  }
+  nic.MmioWrite(0, kNicRegRdbal, kRing);
+  nic.MmioWrite(0, kNicRegRdlen, 16 * 16);
+  nic.MmioWrite(0, kNicRegRdh, 0);
+  nic.MmioWrite(0, kNicRegRdt, 15);
+  nic.MmioWrite(0, kNicRegRctl, kNicRctlEnable);  // no LPE
+
+  std::vector<uint8_t> jumbo(5000, 0x11);
+  nic.DeliverFrame({jumbo.data(), jumbo.size()});
+  EXPECT_EQ(nic.stats().rx_frames, 0u);
+  EXPECT_EQ(nic.stats().rx_dropped_oversize, 1u);
+  EXPECT_EQ(nic.MmioRead(0, kNicRegRdh), 0u);
+  // A standard frame still flows.
+  std::vector<uint8_t> standard(1000, 0x22);
+  nic.DeliverFrame({standard.data(), standard.size()});
+  EXPECT_EQ(nic.stats().rx_frames, 1u);
+}
+
+// A frame whose chain would exceed the hard descriptor cap (malicious
+// buffer-size programming) is dropped and counted — never a partial chain.
+TEST(SimNicTest, ChainCapBoundsMaliciousBufferSize) {
+  SimNic nic("nic", kMac);
+  BareMetal hw(&nic);
+  EtherLink link;
+  nic.ConnectLink(&link, 0);
+  constexpr uint64_t kRing = 0x1000;
+  constexpr uint32_t kDescs = 64;
+  for (uint32_t i = 0; i < kDescs - 1; ++i) {
+    WriteDesc(hw.machine, kRing, i, 0x10000 + i * 256, 0, 0, 0);
+  }
+  nic.MmioWrite(0, kNicRegRdbal, kRing);
+  nic.MmioWrite(0, kNicRegRdlen, kDescs * 16);
+  nic.MmioWrite(0, kNicRegRdh, 0);
+  nic.MmioWrite(0, kNicRegRdt, kDescs - 1);
+  nic.MmioWrite(0, kNicRegRdbsz, 1);  // malicious: clamped to the 256-byte floor
+  nic.MmioWrite(0, kNicRegRctl, kNicRctlEnable | kNicRctlJumboEnable);
+
+  // 9014 bytes over 256-byte buffers = 36 descriptors: exactly the cap, ok.
+  std::vector<uint8_t> max_frame(kern::kJumboMaxFrameBytes, 0x33);
+  nic.DeliverFrame({max_frame.data(), max_frame.size()});
+  EXPECT_EQ(nic.stats().rx_frames, 1u);
+  EXPECT_EQ(nic.stats().rx_chain_descs, (kern::kJumboMaxFrameBytes + 255) / 256);
+  // One byte past the jumbo maximum: dropped whole, nothing published (the
+  // 256-byte floor + the MAC maximum together make the cap unreachable by
+  // any buffer-size program — defence in depth on both sides).
+  uint32_t head_after_first = nic.MmioRead(0, kNicRegRdh);
+  std::vector<uint8_t> over(kern::kJumboMaxFrameBytes + 1, 0x44);
+  nic.DeliverFrame({over.data(), over.size()});
+  EXPECT_EQ(nic.stats().rx_frames, 1u);
+  EXPECT_EQ(nic.stats().rx_dropped_oversize, 1u);
+  EXPECT_EQ(nic.MmioRead(0, kNicRegRdh), head_after_first);
+}
+
+// The mid-burst rewrite attack: the driver rewrites descriptors AFTER the
+// device fetched its cacheline burst (timed via the link endpoint, which
+// runs inside the reap pass with the queue lock dropped). The device must
+// transmit the armed bytes from its snapshot, exactly once — and a replayed
+// doorbell at the same tail must transmit nothing.
+TEST(SimNicTest, MidBurstDescriptorRewriteUsesFetchedSnapshot) {
+  SimNic nic("nic", kMac);
+  BareMetal hw(&nic);
+  EtherLink link;
+  nic.ConnectLink(&link, 0);
+
+  constexpr uint64_t kRing = 0x1000, kBufBase = 0x4000, kVictim = 0x20000;
+  constexpr uint16_t kLen = 64;
+  std::vector<uint8_t> secret(kLen, 0x5e);
+  (void)hw.machine.dram().Write(kVictim, {secret.data(), secret.size()});
+  for (uint32_t i = 0; i < 4; ++i) {
+    std::vector<uint8_t> benign(kLen, 0xab);
+    (void)hw.machine.dram().Write(kBufBase + i * kLen, {benign.data(), benign.size()});
+    WriteDesc(hw.machine, kRing, i, kBufBase + i * kLen, kLen, kNicDescCmdEop, 0);
+  }
+
+  struct RewritingSink : EtherEndpoint {
+    hw::Machine* machine = nullptr;
+    bool rewritten = false;
+    std::vector<std::vector<uint8_t>> frames;
+    void DeliverFrame(ConstByteSpan frame) override {
+      if (!rewritten) {
+        rewritten = true;
+        // Repoint descriptors 1..3 at the victim — they are already inside
+        // the device's fetched cacheline.
+        for (uint32_t i = 1; i < 4; ++i) {
+          WriteDesc(*machine, 0x1000, i, 0x20000, 64, kNicDescCmdEop, 0);
+        }
+      }
+      frames.emplace_back(frame.begin(), frame.end());
+    }
+  } sink;
+  sink.machine = &hw.machine;
+  link.Attach(1, &sink);
+
+  nic.MmioWrite(0, kNicRegTdbal, kRing);
+  nic.MmioWrite(0, kNicRegTdlen, 16 * 16);
+  nic.MmioWrite(0, kNicRegTdh, 0);
+  nic.MmioWrite(0, kNicRegTctl, kNicTctlEnable);
+  nic.MmioWrite(0, kNicRegTdt, 4);
+
+  ASSERT_EQ(sink.frames.size(), 4u);
+  for (const std::vector<uint8_t>& frame : sink.frames) {
+    for (uint8_t byte : frame) {
+      EXPECT_EQ(byte, 0xab);  // snapshot bytes, not the rewrite's target
+    }
+  }
+  // Exactly once: replaying the doorbell at the same tail moves nothing.
+  nic.MmioWrite(0, kNicRegTdt, 4);
+  EXPECT_EQ(sink.frames.size(), 4u);
+  EXPECT_EQ(nic.stats().tx_frames, 4u);
+}
+
+// RETA steering: programmed entries direct hash buckets to queues; entries
+// are masked at write and reduced at lookup so a hostile table can never
+// steer out of bounds; an unprogrammed table behaves exactly like
+// hash % queues.
+TEST(SimNicTest, RetaProgramsClampAndSteer) {
+  SimNic nic("nic", kMac);
+  BareMetal hw(&nic);
+  nic.MmioWrite(0, kNicRegMrqc, 4);
+
+  auto frame_for_port = [&](uint16_t port) {
+    std::vector<uint8_t> payload(32, 0x55);
+    return kern::BuildPacket(kMac, kMac, port, 80, {payload.data(), payload.size()});
+  };
+  // Unprogrammed: hash % queues.
+  auto frame = frame_for_port(1234);
+  uint32_t hash = kern::FlowHash({frame.data(), frame.size()});
+  EXPECT_EQ(nic.SteerQueue({frame.data(), frame.size()}), hash % 4);
+
+  // All entries -> queue 2 (written with absurd values in the high bytes:
+  // the write masks them to the implemented queue count).
+  for (uint32_t i = 0; i < kNicRetaEntries; i += 4) {
+    nic.MmioWrite(0, kNicRegReta + i, 0x0a0a0a0au);  // 10 % 8 == 2
+  }
+  for (uint16_t port = 1000; port < 1032; ++port) {
+    auto f = frame_for_port(port);
+    EXPECT_EQ(nic.SteerQueue({f.data(), f.size()}), 2u);
+  }
+  // Readback reflects the masked entries.
+  EXPECT_EQ(nic.MmioRead(0, kNicRegReta), 0x02020202u);
+  // MRQC shrink below the entry value: lookup reduces to stay in-bounds.
+  nic.MmioWrite(0, kNicRegMrqc, 2);
+  auto f = frame_for_port(4321);
+  EXPECT_LT(nic.SteerQueue({f.data(), f.size()}), 2u);
 }
 
 TEST(Ne2kTest, PioTransmit) {

@@ -40,6 +40,10 @@ class NetBench {
     // TX/RX queue pairs for the SUT NIC + driver. >1 shards the uchan (one
     // ring pair and one MSI vector per queue) and enables RSS steering.
     uint32_t nic_queues = 1;
+    // SUT interface MTU. Above kern::kStdMtu the driver enables RCTL.LPE and
+    // EOP-chain reassembly, and the shared pool's staging buffers are sized
+    // to hold one whole jumbo frame (net_limits.h).
+    uint32_t mtu = static_cast<uint32_t>(kern::kStdMtu);
   };
 
   NetBench() : NetBench(Options{}) {}
@@ -50,8 +54,10 @@ class NetBench {
         sut_nic("e1000e-sut", kMacA),
         peer_nic("e1000e-peer", kMacB),
         safe_pci(&kernel, options.policy),
-        nic_queues_(options.nic_queues == 0 ? 1 : options.nic_queues) {
+        nic_queues_(options.nic_queues == 0 ? 1 : options.nic_queues),
+        mtu_(options.mtu) {
     options.sud.num_queues = nic_queues_;
+    options.sud.pool_buffer_bytes = kern::PoolBufferBytesFor(mtu_);
     sw = &machine.AddSwitch("pcie-switch-0");
     (void)machine.AttachDevice(*sw, &sut_nic);
     (void)machine.AttachDevice(*sw, &peer_nic);
@@ -84,7 +90,7 @@ class NetBench {
   // source, DirectEnv instead of SUD. Use with Options{.start_sut = false}.
   Status StartSutInKernel() {
     sut_env = std::make_unique<uml::DirectEnv>(&kernel, &sut_nic);
-    auto driver = std::make_unique<drivers::E1000eDriver>(nic_queues_);
+    auto driver = std::make_unique<drivers::E1000eDriver>(nic_queues_, mtu_);
     sut_driver = driver.get();
     sut_driver_owner = std::move(driver);
     SUD_RETURN_IF_ERROR(sut_driver_owner->Probe(*sut_env));
@@ -99,7 +105,7 @@ class NetBench {
   // Starts the SUT driver process (probe + open). kThreadedPerQueue gives
   // each uchan shard its own pump thread (the multi-queue scaling mode).
   Status StartSut(uml::DriverHost::Mode mode = uml::DriverHost::Mode::kPumped) {
-    auto driver = std::make_unique<drivers::E1000eDriver>(nic_queues_);
+    auto driver = std::make_unique<drivers::E1000eDriver>(nic_queues_, mtu_);
     sut_driver = driver.get();
     SUD_RETURN_IF_ERROR(host->Start(std::move(driver), mode));
     return kernel.net().BringUp("eth0");
@@ -228,6 +234,7 @@ class NetBench {
   drivers::E1000eDriver* peer_driver = nullptr;
   drivers::E1000eDriver* sut_driver = nullptr;
   uint32_t nic_queues_ = 1;
+  uint32_t mtu_ = static_cast<uint32_t>(kern::kStdMtu);
   std::vector<std::vector<uint8_t>> flow_frames_;  // PeerSendFlowBurst cache
   uint16_t flow_frames_base_ = 0;
 };

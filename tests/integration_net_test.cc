@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <cstring>
 #include <thread>
 
 #include "src/base/log.h"
@@ -252,6 +254,172 @@ TEST(IntegrationNet, ThreadedPeersMatchSerialPerQueueCountsAndChecksums) {
     // One flow per queue, evenly split: the counts themselves are known.
     EXPECT_EQ(serial.rx_per_queue[q], kTotal / kQueues) << "queue " << q;
   }
+}
+
+// Jumbo conservation + determinism: 9000-byte-MTU frames that EOP-chain
+// across 3 descriptors per frame (4 queues -> 4 KB buffers), serial-pumped
+// vs threaded-per-queue. Both runs must deliver every frame, with equal
+// per-queue counts and an order-independent FNV digest of the DELIVERED
+// frames equal to the generators' digest — reassembly must never tear,
+// truncate or substitute a frame, no matter the interleaving.
+TEST(IntegrationNet, JumboEopChainsSurviveSerialAndThreadedDelivery) {
+  constexpr uint32_t kQueues = 4;
+  constexpr uint64_t kTotal = 800;
+  constexpr uint32_t kWindow = 32;
+  std::vector<uint8_t> payload(9000 - kern::kTransportHeaderSize, 0x6b);
+
+  struct RunResult {
+    std::vector<uint64_t> rx_per_queue;
+    uint64_t delivered = 0;
+    uint64_t delivered_digest = 0;
+    uint64_t gen_digest = 0;
+    uint64_t bad_checksum = 0;
+    uint64_t chain_frames = 0;
+    double frags_per_chain = 0;
+  };
+  auto run = [&](uml::DriverHost::Mode mode) {
+    NetBench::Options options;
+    options.nic_queues = kQueues;
+    options.mtu = static_cast<uint32_t>(kern::kJumboMtu);
+    NetBench bench(options);
+    EXPECT_TRUE(bench.StartSut(mode).ok());
+    bench.MaskPeerIrq();
+    kern::NetDevice* netdev = bench.kernel.net().Find(bench.SutIfname());
+    // Order-independent digest: safe to accumulate from any pump thread
+    // because the sink runs under the per-queue delivery path and the sum is
+    // atomic.
+    std::atomic<uint64_t> digest{0};
+    netdev->set_rx_sink([&digest](const kern::Skb& skb) {
+      digest.fetch_add(devices::EtherLink::FrameHash(skb.span()), std::memory_order_relaxed);
+    });
+    auto flows = bench.BuildQueueFlows(kQueues, {payload.data(), payload.size()}, kTotal,
+                                       kWindow);
+    if (mode == uml::DriverHost::Mode::kThreadedPerQueue) {
+      bench.link.StartPeers(std::move(flows), /*side=*/1);
+      bench.link.JoinPeers();
+      auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      while (netdev->stats().rx_packets.load() < kTotal &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+    } else {
+      bench.link.RunPeersSerial(std::move(flows), [&]() { bench.host->Pump(); }, /*side=*/1);
+      for (int spin = 0; spin < 1000 && netdev->stats().rx_packets.load() < kTotal; ++spin) {
+        bench.host->Pump();
+      }
+    }
+    RunResult result;
+    for (uint32_t q = 0; q < kQueues; ++q) {
+      result.rx_per_queue.push_back(netdev->queue_stats(static_cast<uint16_t>(q)).rx_packets);
+      result.gen_digest += bench.link.peer_stats(q).frame_hash.load();
+    }
+    result.delivered = netdev->stats().rx_packets;
+    result.delivered_digest = digest.load();
+    result.bad_checksum = netdev->stats().rx_bad_checksum;
+    result.chain_frames = bench.sut_nic.stats().rx_chain_frames.load();
+    result.frags_per_chain =
+        result.chain_frames > 0
+            ? static_cast<double>(bench.sut_nic.stats().rx_chain_descs.load()) /
+                  result.chain_frames
+            : 0;
+    if (mode == uml::DriverHost::Mode::kThreadedPerQueue) {
+      EXPECT_TRUE(bench.host->Kill().ok());
+    }
+    return result;
+  };
+
+  RunResult serial = run(uml::DriverHost::Mode::kPumped);
+  RunResult threaded = run(uml::DriverHost::Mode::kThreadedPerQueue);
+
+  EXPECT_EQ(serial.delivered, kTotal);
+  EXPECT_EQ(threaded.delivered, kTotal);
+  EXPECT_EQ(serial.bad_checksum, 0u);
+  EXPECT_EQ(threaded.bad_checksum, 0u);
+  // Every frame chained (9014 bytes over 4 KB buffers = 3 descriptors).
+  EXPECT_EQ(serial.chain_frames, kTotal);
+  EXPECT_EQ(threaded.chain_frames, kTotal);
+  EXPECT_DOUBLE_EQ(serial.frags_per_chain, 3.0);
+  EXPECT_DOUBLE_EQ(threaded.frags_per_chain, 3.0);
+  // Conservation at the byte level: what the kernel accepted is bit-for-bit
+  // what the generators sent, in both modes.
+  EXPECT_EQ(serial.delivered_digest, serial.gen_digest);
+  EXPECT_EQ(threaded.delivered_digest, threaded.gen_digest);
+  for (uint32_t q = 0; q < kQueues; ++q) {
+    EXPECT_EQ(threaded.rx_per_queue[q], serial.rx_per_queue[q]) << "queue " << q;
+  }
+}
+
+// The torn/endless-chain regressions, played against the driver's reap by
+// forging descriptor state in ring memory (the "malicious device" of the
+// SoK's device-side attack surface — this driver also runs in-kernel, where
+// its robustness IS the kernel's). A ring full of DD-without-EOP descriptors
+// must be dropped in bounded chains; a partial (torn) chain must neither
+// deliver nor wedge; real traffic must flow again afterwards.
+TEST(IntegrationNet, TornAndEndlessEopChainsAreBoundedAndDropped) {
+  NetBench::Options options;
+  options.start_sut = false;
+  // Multi-queue: NapiPoll reaps every queue unconditionally (MSI-X style, no
+  // ICR gate), which lets the test drive the reap against forged ring state
+  // that raised no interrupt. 4 KB buffers per descriptor.
+  options.nic_queues = 4;
+  options.mtu = static_cast<uint32_t>(kern::kJumboMtu);
+  NetBench bench(options);
+  ASSERT_TRUE(bench.StartSutInKernel().ok());
+  bench.MaskPeerIrq();
+  kern::NetDevice* netdev = bench.kernel.net().Find(bench.SutIfname());
+  drivers::E1000eDriver* driver = bench.sut_driver;
+
+  // Forge: every descriptor of the ring claims DD, none claims EOP (the
+  // endless chain). Write through the driver's own DMA view, as corrupted
+  // descriptor memory would appear.
+  uint64_t ring = driver->rx_ring_iova(0);
+  for (uint32_t i = 0; i < drivers::E1000eDriver::kRxDescriptors; ++i) {
+    Result<ByteSpan> view = bench.sut_env->DmaView(ring + i * 16ull, 16);
+    ASSERT_TRUE(view.ok());
+    StoreLe16(view.value().data() + 8, 2048);                       // plausible length
+    view.value().data()[12] = devices::kNicDescStatusDone;          // DD, no EOP
+  }
+  driver->NapiPoll();
+  // Bounded: the first over-cap run was dropped as one chain, the rest of
+  // the no-EOP ring was recycled in resync mode (nothing mid-frame is ever
+  // parsed as a fresh frame), nothing was delivered, and the reap
+  // terminated.
+  EXPECT_EQ(driver->stats().rx_chain_dropped.load(), 1u);
+  EXPECT_EQ(driver->stats().rx_delivered.load(), 0u);
+  EXPECT_EQ(netdev->stats().rx_packets.load(), 0u);
+
+  // Torn continuation: two more DD-no-EOP descriptors. Still resyncing (the
+  // dropped chain's EOP never appeared): recycled unparsed, no delivery, no
+  // additional drop, no wedge.
+  uint32_t parked = driver->rx_next(0);
+  for (uint32_t i = 0; i < 2; ++i) {
+    uint32_t index = (parked + i) % drivers::E1000eDriver::kRxDescriptors;
+    Result<ByteSpan> view = bench.sut_env->DmaView(ring + index * 16ull, 16);
+    ASSERT_TRUE(view.ok());
+    StoreLe16(view.value().data() + 8, 1024);
+    view.value().data()[12] = devices::kNicDescStatusDone;
+  }
+  driver->NapiPoll();
+  EXPECT_EQ(driver->stats().rx_delivered.load(), 0u);
+  EXPECT_EQ(driver->stats().rx_chain_dropped.load(), 1u);
+
+  // The (forged) EOP that finally terminates the torn chain is consumed by
+  // the resync too — garbage tail bytes never reach the stack at all.
+  uint32_t eop_index = (parked + 2) % drivers::E1000eDriver::kRxDescriptors;
+  Result<ByteSpan> eop_view = bench.sut_env->DmaView(ring + eop_index * 16ull, 16);
+  ASSERT_TRUE(eop_view.ok());
+  StoreLe16(eop_view.value().data() + 8, 512);
+  eop_view.value().data()[12] = devices::kNicDescStatusDone | devices::kNicDescStatusEop;
+  driver->NapiPoll();
+  EXPECT_EQ(netdev->stats().rx_packets.load(), 0u);
+  EXPECT_EQ(netdev->stats().rx_dropped.load(), 0u);
+  EXPECT_EQ(driver->stats().rx_delivered.load(), 0u);
+
+  // And the interface is still alive: a real jumbo frame delivers end to end.
+  std::vector<uint8_t> payload(9000 - kern::kTransportHeaderSize, 0x3c);
+  ASSERT_TRUE(bench.PeerSend(33011, 80, {payload.data(), payload.size()}).ok());
+  driver->NapiPoll();
+  EXPECT_EQ(netdev->stats().rx_packets.load(), 1u);
 }
 
 }  // namespace

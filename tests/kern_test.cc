@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
+
 #include "src/base/log.h"
 #include "src/hw/machine.h"
 #include "src/kern/kernel.h"
@@ -42,6 +45,46 @@ TEST(Packet, FixupPortRewriteKeepsChecksumValid) {
   PacketView view{{frame.data(), frame.size()}};
   EXPECT_EQ(view.dst_port(), 22);
   EXPECT_TRUE(view.ChecksumOk());
+}
+
+TEST(Skb, AppendFragSpillsInlineToHeapAndVerifies) {
+  // A frame assembled from EOP-chain fragments must be byte-identical to the
+  // same frame assigned whole, across the inline->heap spill boundary.
+  std::vector<uint8_t> payload(5000);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 13);
+  }
+  auto frame = BuildPacket(kMacA, kMacB, 40, 50, {payload.data(), payload.size()});
+
+  Skb chained;
+  for (size_t off = 0; off < frame.size(); off += 2048) {
+    size_t chunk = std::min<size_t>(2048, frame.size() - off);
+    ASSERT_TRUE(chained.AppendFrag({frame.data() + off, chunk}, 16384));
+  }
+  EXPECT_EQ(chained.data_len(), frame.size());
+  EXPECT_EQ(std::memcmp(chained.data(), frame.data(), frame.size()), 0);
+  EXPECT_TRUE(chained.VerifyChecksumPrivate());
+  EXPECT_TRUE(chained.checksum_verified);
+
+  // A first fragment already larger than the inline capacity (the zero-length
+  // prefix spill) must also land intact — regression for the spill path.
+  Skb big_first;
+  ASSERT_TRUE(big_first.AppendFrag({frame.data(), 4096}, 16384));
+  ASSERT_TRUE(big_first.AppendFrag({frame.data() + 4096, frame.size() - 4096}, 16384));
+  EXPECT_EQ(big_first.data_len(), frame.size());
+  EXPECT_EQ(std::memcmp(big_first.data(), frame.data(), frame.size()), 0);
+
+  // The bound: an append that would exceed max_len copies nothing.
+  Skb bounded;
+  ASSERT_TRUE(bounded.AppendFrag({frame.data(), 1000}, 1500));
+  EXPECT_FALSE(bounded.AppendFrag({frame.data(), 1000}, 1500));
+  EXPECT_EQ(bounded.data_len(), 1000u);
+
+  // A corrupted fragment fails the private-copy verification.
+  Skb corrupt;
+  ASSERT_TRUE(corrupt.AppendFrag({frame.data(), frame.size()}, 16384));
+  corrupt.mutable_span()[frame.size() - 1] ^= 0xff;
+  EXPECT_FALSE(corrupt.VerifyChecksumPrivate());
 }
 
 TEST(Process, IopbGrantsAndRevocations) {

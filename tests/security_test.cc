@@ -429,6 +429,89 @@ TEST(Security, ResourceHogStopsAtRlimit) {
             bench.ctx->bound_process()->rlimits().memory_bytes);
 }
 
+// Forged EOP-chain downcalls (oversize totals, over-cap fragment counts,
+// fragments outside the driver's DMA space): the proxy rejects every one
+// before dereferencing a byte, and nothing reaches the stack.
+TEST(Security, ForgedChainDowncallsAreRejected) {
+  NetBench bench;
+  auto attack = std::make_unique<drivers::ChainAttackDriver>();
+  auto* attack_ptr = attack.get();
+  ASSERT_TRUE(bench.host->Start(std::move(attack)).ok());
+
+  ASSERT_TRUE(attack_ptr->FireOversizeChains(6).ok());
+  ASSERT_TRUE(attack_ptr->FireOverCapChains(6).ok());
+  ASSERT_TRUE(attack_ptr->FireWildChains(6).ok());
+  bench.host->Pump();
+  EXPECT_EQ(bench.proxy->stats().rx_chain_downcalls, 18u);
+  EXPECT_EQ(bench.proxy->stats().rx_bad_chain, 18u);
+  EXPECT_EQ(bench.kernel.net().Find("eth0")->stats().rx_packets, 0u);
+}
+
+// A chain message whose advertised fragment count disagrees with its payload
+// (a hand-rolled malicious runtime, below even the attack driver's API) is
+// rejected by the count/payload cross-check.
+TEST(Security, ChainCountMismatchIsRejected) {
+  NetBench bench;
+  auto attack = std::make_unique<drivers::ChainAttackDriver>();
+  ASSERT_TRUE(bench.host->Start(std::move(attack)).ok());
+
+  UchanMsg msg;
+  msg.opcode = kEthDownNetifRxChain;
+  msg.args[0] = 7;                       // claims seven fragments...
+  msg.inline_data.resize(2 * kNetifRxChainFragBytes);  // ...carries two
+  StoreLe64(msg.inline_data.data(), 0x42430000ull);
+  StoreLe32(msg.inline_data.data() + 8, 256);
+  StoreLe64(msg.inline_data.data() + 12, 0x42430000ull);
+  StoreLe32(msg.inline_data.data() + 20, 256);
+  Status status = bench.ctx->ctl().DowncallSync(msg);
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(bench.proxy->stats().rx_bad_chain, 1u);
+}
+
+// The receive length bound follows the INTERFACE's declared MTU, not the
+// global jumbo ceiling: a driver that registered a standard-MTU interface
+// cannot push jumbo-sized netif_rx lengths through the proxy.
+TEST(Security, JumboLengthsRejectedOnStandardMtuInterface) {
+  NetBench bench;  // e1000e at the default 1500-byte MTU
+  ASSERT_TRUE(bench.StartSut().ok());
+
+  UchanMsg msg;
+  msg.opcode = kEthDownNetifRx;
+  msg.args[0] = 0x42430000ull;  // a perfectly valid driver iova
+  msg.args[1] = kern::kJumboMaxFrameBytes;  // ...with a jumbo length
+  Status status = bench.ctx->ctl().DowncallSync(msg);
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(bench.proxy->stats().rx_bad_buffer_id, 1u);
+  EXPECT_EQ(bench.kernel.net().Find("eth0")->stats().rx_packets, 0u);
+}
+
+// RETA starvation with nothing armed: every flow concentrates on the victim
+// queue, whose BOUNDED backlog absorbs then drops — the other queues stay
+// idle and the kernel stays live. The blast radius is the attacker's own
+// queue, exactly.
+TEST(Security, RetaStarvationDropsAreBounded) {
+  NetBench bench;
+  auto attack = std::make_unique<drivers::RetaAttackDriver>(/*victim_queue=*/0);
+  ASSERT_TRUE(bench.host->Start(std::move(attack)).ok());
+
+  std::vector<uint8_t> payload(128, 0x44);
+  constexpr int kFlood = 200;
+  for (int i = 0; i < kFlood; ++i) {
+    // Distinct flows that would normally spread across the 8 queues.
+    auto frame = kern::BuildPacket(testing::kMacA, testing::kMacB,
+                                   static_cast<uint16_t>(31000 + i), 80,
+                                   {payload.data(), payload.size()});
+    (void)bench.link.Transmit(1, {frame.data(), frame.size()});
+  }
+  // Everything steered to queue 0: its 64-frame backlog fills, the rest
+  // drops — bounded and counted, no other queue touched.
+  EXPECT_EQ(bench.sut_nic.stats().rx_frames, 0u);  // nothing armed, nothing DMA'd
+  EXPECT_EQ(bench.sut_nic.stats().rx_dropped_no_desc, static_cast<uint64_t>(kFlood - 64));
+  for (uint32_t q = 1; q < devices::kNicNumQueues; ++q) {
+    EXPECT_EQ(bench.sut_nic.queue_stats(q).rx_frames, 0u) << "queue " << q;
+  }
+}
+
 TEST(Security, WrongUidCannotBindDevice) {
   NetBench::Options options;
   options.start_sut = true;
