@@ -61,6 +61,15 @@ constexpr size_t kTcpMss = 1448;
 constexpr size_t kUdpPayload = 64 - 22;         // 64-byte UDP packets (paper)
 constexpr double kTcpWireBytesPerSeg = 1538;    // 1448 + eth/ip/tcp + preamble/ifg
 constexpr double kUdpWireBytesPerPkt = 64 + 14 + 24;
+// Jumbo TCP_STREAM (9000-byte MTU, beyond the paper's testbed): MSS and the
+// wire occupancy per segment at the jumbo MTU, same construction as the
+// standard-MTU constants above (MSS = MTU - 52, wire = MSS + 66 + 24).
+constexpr size_t kJumboTcpMss = 8948;
+constexpr double kJumboTcpWireBytesPerSeg = 9038;
+// Frag-skb geometry for the jumbo TX stream: head + page-sized frags, each
+// fragment staged into one standard 2048-byte pool buffer -> 5 descriptors.
+constexpr size_t kJumboHeadBytes = 2048;
+constexpr size_t kJumboFragBytes = 2048;
 
 struct Row {
   std::string test;
@@ -79,6 +88,12 @@ struct Row {
   // the crossings the DescRingEngine burst fetch collapses.
   double desc_dma_per_pkt = 0;
   double desc_windows_per_pkt = 0;
+  // TX scatter/gather accounting (both drivers): TX descriptors armed per
+  // transmitted frame (1 for single-buffer frames, the chain length for frag
+  // skbs) and skb_linearize copies per frame (0 on the SG path — the copy
+  // the frag-chained transmit deletes).
+  double tx_desc_per_pkt = 0;
+  double tx_copies_per_pkt = 0;
   // Per-queue channel accounting (one entry per uchan shard): the simulated
   // nanoseconds each queue's channel charged to either side. Single-queue
   // rows have one entry; the multi-queue ablation reports the full fan-out.
@@ -153,11 +168,21 @@ struct Config {
   // ring arming does not pollute the per-packet rates.
   struct DescSnapshot {
     uint64_t fetch = 0, writeback = 0, windows = 0;
+    uint64_t tx_frames = 0, tx_descs = 0, tx_linearized = 0;
   };
   DescSnapshot SnapDesc() const {
     const devices::SimNic::Stats& nic = bench->sut_nic.stats();
-    return {nic.desc_fetch_dma.load(), nic.desc_writeback_dma.load(),
-            bench->sut_driver != nullptr ? bench->sut_driver->desc_window_maps() : 0};
+    DescSnapshot snap{nic.desc_fetch_dma.load(), nic.desc_writeback_dma.load(),
+                      bench->sut_driver != nullptr ? bench->sut_driver->desc_window_maps() : 0};
+    if (bench->sut_driver != nullptr) {
+      snap.tx_frames = bench->sut_driver->stats().tx_queued.load();
+      snap.tx_descs = bench->sut_driver->stats().tx_desc_queued.load();
+    }
+    kern::NetDevice* netdev = bench->kernel.net().Find(bench->SutIfname());
+    if (netdev != nullptr) {
+      snap.tx_linearized = netdev->stats().tx_linearized.load();
+    }
+    return snap;
   }
   void FillDescCounters(Row* row, int packets, const DescSnapshot& base) const {
     DescSnapshot now = SnapDesc();
@@ -165,6 +190,12 @@ struct Config {
         static_cast<double>((now.fetch - base.fetch) + (now.writeback - base.writeback)) /
         packets;
     row->desc_windows_per_pkt = static_cast<double>(now.windows - base.windows) / packets;
+    uint64_t tx_frames = now.tx_frames - base.tx_frames;
+    if (tx_frames > 0) {
+      row->tx_desc_per_pkt = static_cast<double>(now.tx_descs - base.tx_descs) / tx_frames;
+      row->tx_copies_per_pkt =
+          static_cast<double>(now.tx_linearized - base.tx_linearized) / tx_frames;
+    }
   }
 };
 
@@ -261,6 +292,50 @@ Row RunUdpTx(bool is_sud) {
   double cpu_ns = kernel_ns + driver_ns + kStreamPackets * kUdpSendBaseNs;
   Row row{"UDP_STREAM TX", config.name(), pps / 1000.0, "Kpackets/sec",
           /*cpu_pct=*/0, is_sud ? 308.0 : 317.0, is_sud ? 39.0 : 35.0};
+  config.FillUchanCounters(&row, kStreamPackets);
+  config.FillDescCounters(&row, kStreamPackets, desc_base);
+  row.cpu_pct = ModelCpuPct(row, cpu_ns, wall_ns);
+  row.sim_wall_us = timer.ElapsedUs();
+  return row;
+}
+
+// TCP_STREAM at the jumbo MTU, transmit side: the SUT streams 9000-byte-MTU
+// segments at the peer as FRAG skbs riding the TX scatter/gather chains —
+// head + page frags staged per-fragment into standard pool buffers, one
+// kEthUpXmitChain upcall and a 5-descriptor chain per segment, zero
+// linearize copies. The link is the bottleneck at the jumbo wire occupancy;
+// the number the row exists for is CPU%-per-byte (and tx_copies_per_pkt=0),
+// which the paper's 1500-byte testbed could not show.
+Row RunTcpStreamJumboTx(bool is_sud) {
+  NetBench::Options options;
+  options.start_sut = is_sud;
+  options.mtu = static_cast<uint32_t>(kern::kJumboMtu);
+  options.peer_mtu = static_cast<uint32_t>(kern::kJumboMtu);
+  Config config{std::make_unique<NetBench>(options), is_sud};
+  if (is_sud) {
+    (void)config.bench->StartSut();
+  } else {
+    (void)config.bench->StartSutInKernel();
+  }
+  config.EnableNapi();
+  NetBench& bench = *config.bench;
+  bench.machine.cpu().Reset();
+  Config::DescSnapshot desc_base = config.SnapDesc();
+  WallTimer timer;
+
+  std::vector<uint8_t> payload(kJumboTcpMss, 0x5a);
+  constexpr int kBurst = 8;
+  for (int sent = 0; sent < kStreamPackets; sent += kBurst) {
+    (void)bench.SutSendFragBurst(80, 33000, {payload.data(), payload.size()}, kBurst,
+                                 kJumboHeadBytes, kJumboFragBytes);
+    config.Pump();  // driver drains the xmit chains, the device gathers
+  }
+  double wall_ns = kStreamPackets * kJumboTcpWireBytesPerSeg * 8.0;  // 1 Gb/s: 8 ns/byte
+  double cpu_ns = TotalCpu(bench) + kStreamPackets * kTcpAppNsPerPkt;
+  double throughput_mbps = kJumboTcpMss * 8.0 * kStreamPackets / wall_ns * 1000.0;
+  // No paper row to compare against: the testbed had no jumbo path.
+  Row row{"TCP_STREAM 9K", config.name(), throughput_mbps, "Mbits/sec",
+          /*cpu_pct=*/0, /*paper_value=*/0, /*paper_cpu=*/0};
   config.FillUchanCounters(&row, kStreamPackets);
   config.FillDescCounters(&row, kStreamPackets, desc_base);
   row.cpu_pct = ModelCpuPct(row, cpu_ns, wall_ns);
@@ -375,11 +450,12 @@ void WriteJson(const std::vector<Row>& rows, const char* path) {
                  "\"unit\": \"%s\", \"cpu_pct\": %.2f, \"paper_value\": %.1f, "
                  "\"paper_cpu_pct\": %.1f, \"uchan_crossings_per_pkt\": %.4f, "
                  "\"uchan_msgs_per_pkt\": %.4f, \"desc_dma_per_pkt\": %.4f, "
-                 "\"desc_windows_per_pkt\": %.4f, \"sim_wall_us\": %.0f",
+                 "\"desc_windows_per_pkt\": %.4f, \"tx_desc_per_pkt\": %.4f, "
+                 "\"tx_copies_per_pkt\": %.4f, \"sim_wall_us\": %.0f",
                  row.test.c_str(), row.driver.c_str(), row.value, row.unit.c_str(), row.cpu_pct,
                  row.paper_value, row.paper_cpu, row.uchan_crossings_per_pkt,
                  row.uchan_msgs_per_pkt, row.desc_dma_per_pkt, row.desc_windows_per_pkt,
-                 row.sim_wall_us);
+                 row.tx_desc_per_pkt, row.tx_copies_per_pkt, row.sim_wall_us);
     // Per-queue channel accounting (one entry per uchan shard).
     std::fprintf(out, ", \"queue_kernel_ns\": [");
     for (size_t q = 0; q < row.queue_kernel_ns.size(); ++q) {
@@ -412,6 +488,10 @@ int main() {
   rows.push_back(sud::RunUdpRx(true));
   rows.push_back(sud::RunUdpRr(false));
   rows.push_back(sud::RunUdpRr(true));
+  // Jumbo TX stream rows ride the TX scatter/gather chains (appended after
+  // the paper's table so the historical row order never moves).
+  rows.push_back(sud::RunTcpStreamJumboTx(false));
+  rows.push_back(sud::RunTcpStreamJumboTx(true));
   sud::Print(rows);
 
   // Shape assertions printed for the record.
@@ -426,6 +506,10 @@ int main() {
               rows[5].value / rows[4].value, pct(4, 5));
   std::printf("  UDP_RR       : throughput ratio %.2f, CPU ratio %.1fx\n",
               rows[7].value / rows[6].value, rows[7].cpu_pct / rows[6].cpu_pct);
+  std::printf("  TCP_STREAM 9K: throughput %s, CPU overhead %+.0f%%, "
+              "tx chain %.1f desc/pkt, linearize copies %.1f/pkt (must be 0 on SG)\n",
+              rows[8].value == rows[9].value ? "equal" : "UNEQUAL", pct(8, 9),
+              rows[9].tx_desc_per_pkt, rows[9].tx_copies_per_pkt);
   sud::WriteJson(rows, "BENCH_fig8.json");
   return 0;
 }

@@ -8,8 +8,9 @@
 #include <string>
 #include <vector>
 
-#include "src/drivers/malicious.h"
+#include "src/base/bytes.h"
 #include "src/base/log.h"
+#include "src/drivers/malicious.h"
 #include "tests/harness.h"
 
 namespace sud {
@@ -224,25 +225,12 @@ Cell RunDescRewrite(NetBench::Options options, const std::string& config) {
   auto* p = attack.get();
   (void)bench.host->Start(std::move(attack));
 
-  // The perfectly-timed attacker: the link endpoint runs inside the device's
-  // reap pass (queue lock dropped around the hop), right after the first
-  // frame of the burst — exactly when descriptors 1..3 sit in the device's
-  // fetched cacheline.
-  struct RewritingPeer : devices::EtherEndpoint {
-    drivers::DescRewriteAttackDriver* driver = nullptr;
-    uint64_t secret = 0;
-    bool rewritten = false;
-    std::vector<std::vector<uint8_t>> frames;
-    void DeliverFrame(ConstByteSpan frame) override {
-      if (!rewritten) {
-        rewritten = true;
-        driver->RewriteDescriptors(1, 4, secret, 64);
-      }
-      frames.emplace_back(frame.begin(), frame.end());
-    }
-  } peer;
+  // The perfectly-timed attacker (drivers::DescRewritePeer): rewrites
+  // descriptors 1..3 — sitting in the device's fetched cacheline — during
+  // the first frame's wire hop.
+  drivers::DescRewritePeer peer;
   peer.driver = p;
-  peer.secret = secret;
+  peer.target = secret;
   bench.link.Attach(1, &peer);
 
   (void)p->ArmAndDoorbell(8, 0xab);
@@ -261,6 +249,180 @@ Cell RunDescRewrite(NetBench::Options options, const std::string& config) {
                 "%zu/8 armed frames on wire, rewrite ignored, %llu iommu faults, no replay",
                 peer.frames.size(), (unsigned long long)faults);
   return {"mid-burst rewrite", config, contained, note};
+}
+
+using testing::WireRecorder;
+
+// Endless TX chain: a whole ring of armed fragments with CMD.EOP nowhere.
+// The device's gather must hit its bound, drop the forged frame whole,
+// recycle the ring, and keep transmitting well-formed frames afterwards.
+Cell RunTxEndlessChain(NetBench::Options options, const std::string& config) {
+  options.start_peer = false;
+  NetBench bench(options);
+  WireRecorder sink;
+  bench.link.Attach(1, &sink);
+  auto attack = std::make_unique<drivers::TxChainAttackDriver>();
+  auto* p = attack.get();
+  (void)bench.host->Start(std::move(attack));
+  (void)p->FireEndlessChain(0x5e);
+  uint64_t dropped = bench.sut_nic.stats().tx_dropped_chain.load();
+  size_t leaked = sink.frames.size();
+  // Liveness: the first EOP after the drop terminates the dropped frame (the
+  // resync consumes it); the next frame must hit the wire.
+  (void)p->SendGoodFrame(0xa1, 64);
+  (void)p->SendGoodFrame(0xa2, 64);
+  bool live = sink.frames.size() == 1 && sink.frames[0].size() == 64 && sink.AllBytes(0xa2);
+  bool contained = leaked == 0 && dropped == 1 && live;
+  char note[96];
+  std::snprintf(note, sizeof(note),
+                "%zu forged bytes on wire, %llu bounded drop(s), device live after",
+                leaked, (unsigned long long)dropped);
+  return {"endless TX chain", config, contained, note};
+}
+
+// Torn TX chain: fragments armed, the EOP never rung. Nothing may reach the
+// wire and nothing may wedge; arming the terminating fragment later must
+// transmit the WHOLE frame exactly once (whole-frame-or-nothing).
+Cell RunTxTornChain(NetBench::Options options, const std::string& config) {
+  options.start_peer = false;
+  NetBench bench(options);
+  WireRecorder sink;
+  bench.link.Attach(1, &sink);
+  auto attack = std::make_unique<drivers::TxChainAttackDriver>();
+  auto* p = attack.get();
+  (void)bench.host->Start(std::move(attack));
+  (void)p->FireTornChain(3, 0x7c);
+  bool parked = sink.frames.empty() && bench.sut_nic.stats().tx_dropped_chain.load() == 0;
+  (void)p->FinishTornChain(0x7c);
+  bool whole = sink.frames.size() == 1 &&
+               sink.frames[0].size() == 4ull * p->frag_len() && sink.AllBytes(0x7c);
+  bool contained = parked && whole;
+  char note[96];
+  std::snprintf(note, sizeof(note), "parked %s, completed whole %s (%zu frames)",
+                parked ? "clean" : "LEAKED", whole ? "once" : "WRONG", sink.frames.size());
+  return {"torn TX chain", config, contained, note};
+}
+
+// Over-cap TX chain: more fragments than any legal chain can span, EOP at
+// the end. Must drop whole at the descriptor cap; the trailing EOP belongs
+// to the dropped frame (resync), and the device stays live.
+Cell RunTxOverCapChain(NetBench::Options options, const std::string& config) {
+  options.start_peer = false;
+  NetBench bench(options);
+  WireRecorder sink;
+  bench.link.Attach(1, &sink);
+  auto attack = std::make_unique<drivers::TxChainAttackDriver>();
+  auto* p = attack.get();
+  (void)bench.host->Start(std::move(attack));
+  (void)p->FireOverCapChain(4, 0x9d);
+  uint64_t dropped = bench.sut_nic.stats().tx_dropped_chain.load();
+  size_t leaked = sink.frames.size();
+  (void)p->SendGoodFrame(0xa3, 64);
+  bool live = sink.frames.size() == 1 && sink.AllBytes(0xa3);
+  bool contained = leaked == 0 && dropped == 1 && live;
+  char note[96];
+  std::snprintf(note, sizeof(note),
+                "%zu forged bytes on wire, %llu bounded drop(s), EOP consumed by resync",
+                leaked, (unsigned long long)dropped);
+  return {"over-cap TX chain", config, contained, note};
+}
+
+// Forged kEthUpXmitChain messages: fragment-record count mismatches, bogus
+// pool ids, per-fragment lengths above one staging buffer, oversize totals.
+// The runtime must reject each one before a single descriptor is armed.
+Cell RunTxChainForgery(NetBench::Options options, const std::string& config) {
+  NetBench bench(options);
+  if (!bench.StartSut().ok()) {
+    return {"forged TX chain upcall", config, false, "sut failed to start"};
+  }
+  uint64_t tx_before = bench.sut_nic.stats().tx_frames.load();
+  auto forge = [&](uint64_t claimed_count, std::vector<std::pair<uint32_t, uint32_t>> records) {
+    UchanMsg msg;
+    msg.opcode = kEthUpXmitChain;
+    msg.args[0] = 0;
+    msg.args[1] = claimed_count;
+    msg.inline_data.resize(records.size() * kXmitChainFragBytes);
+    for (size_t i = 0; i < records.size(); ++i) {
+      StoreLe32(msg.inline_data.data() + i * kXmitChainFragBytes, records[i].first);
+      StoreLe32(msg.inline_data.data() + i * kXmitChainFragBytes + 4, records[i].second);
+    }
+    (void)bench.ctx->ctl().SendAsync(std::move(msg));
+  };
+  forge(3, {{0, 512}, {1, 512}});                            // count != payload
+  forge(2, {{0, 512}, {60000, 512}});                        // bogus pool id
+  forge(2, {{0, 4096}, {1, 512}});                           // len > one buffer
+  forge(6, {{0, 2048}, {1, 2048}, {2, 2048}, {3, 2048}, {4, 2048}, {5, 2048}});  // oversize
+  bench.host->Pump();
+  uint64_t rejected = bench.host->runtime()->stats().xmit_chains_rejected.load();
+  uint64_t armed = bench.host->runtime()->stats().xmit_chain_upcalls.load();
+  uint64_t transmitted = bench.sut_nic.stats().tx_frames.load() - tx_before;
+  bool contained = rejected == 4 && armed == 0 && transmitted == 0;
+  char note[96];
+  std::snprintf(note, sizeof(note), "%llu/4 forged chains rejected before arming, %llu armed",
+                (unsigned long long)rejected, (unsigned long long)armed);
+  return {"forged TX chain upcall", config, contained, note};
+}
+
+// Buffer-id reuse across a chain completion: one coalesced free batch that
+// returns the same pool buffer repeatedly plus an id that never existed.
+// The pool must tolerate and count it, staying internally consistent.
+Cell RunTxBufferReuse(NetBench::Options options, const std::string& config) {
+  NetBench bench(options);
+  auto attack = std::make_unique<drivers::BufferReuseAttackDriver>();
+  auto* p = attack.get();
+  (void)bench.host->Start(std::move(attack));
+  uint32_t free_before = bench.ctx->pool().free_count();
+  (void)p->FireReusedFrees(3, 5);
+  bench.host->Pump();
+  uint64_t double_frees = bench.ctx->pool().double_frees();
+  uint32_t free_after = bench.ctx->pool().free_count();
+  // All ids were unallocated: every "free" must count as a double free and
+  // the free list must not grow.
+  bool contained = double_frees == 6 && free_after == free_before;
+  char note[96];
+  std::snprintf(note, sizeof(note), "%llu reused frees absorbed, free list %u -> %u",
+                (unsigned long long)double_frees, free_before, free_after);
+  return {"TX buffer-id reuse", config, contained, note};
+}
+
+// Mid-CHAIN descriptor rewrite: the driver rewrites an SG chain's
+// descriptors while the device is mid-pass (the lead frame's wire hop, after
+// the cacheline burst fetch). Snapshot immunity must hold fragment-wise: the
+// chain transmits exactly the armed bytes, once, and the secret stays home.
+Cell RunTxMidChainRewrite(NetBench::Options options, const std::string& config) {
+  options.start_peer = false;
+  NetBench bench(options);
+  uint64_t secret = bench.machine.dram().AllocPages(1).value();
+  std::vector<uint8_t> secret_bytes(64, 0x5e);
+  (void)bench.machine.dram().Write(secret, {secret_bytes.data(), secret_bytes.size()});
+
+  auto attack = std::make_unique<drivers::DescRewriteAttackDriver>();
+  auto* p = attack.get();
+  (void)bench.host->Start(std::move(attack));
+
+  // Repoints the chain's three fragments at the secret, mid-pass.
+  drivers::DescRewritePeer peer;
+  peer.driver = p;
+  peer.target = secret;
+  bench.link.Attach(1, &peer);
+
+  (void)p->ArmChainAndDoorbell(3, 0xab);
+  uint64_t faults = bench.machine.iommu().faults().size();
+  bool benign = true;
+  for (const std::vector<uint8_t>& frame : peer.frames) {
+    for (uint8_t byte : frame) {
+      benign &= byte == 0xab;
+    }
+  }
+  // Two frames: the 64-byte lead, then the whole 192-byte chain of armed
+  // bytes — the rewrite landed nowhere.
+  bool contained = peer.frames.size() == 2 && peer.frames[0].size() == 64 &&
+                   peer.frames[1].size() == 192 && benign && faults == 0;
+  char note[96];
+  std::snprintf(note, sizeof(note),
+                "%zu frames (chain whole), rewrite ignored, %llu iommu faults",
+                peer.frames.size(), (unsigned long long)faults);
+  return {"mid-chain TX rewrite", config, contained, note};
 }
 
 Cell RunResourceHog(NetBench::Options options, const std::string& config) {
@@ -305,6 +467,12 @@ int main() {
     cells.push_back(RunRetaStarvation(config.options, config.name));
     cells.push_back(RunTornChain(config.options, config.name));
     cells.push_back(RunDescRewrite(config.options, config.name));
+    cells.push_back(RunTxEndlessChain(config.options, config.name));
+    cells.push_back(RunTxTornChain(config.options, config.name));
+    cells.push_back(RunTxOverCapChain(config.options, config.name));
+    cells.push_back(RunTxChainForgery(config.options, config.name));
+    cells.push_back(RunTxBufferReuse(config.options, config.name));
+    cells.push_back(RunTxMidChainRewrite(config.options, config.name));
   }
   // The vulnerable no-ACS configuration, to show the attack is real.
   cells.push_back(RunP2p(Config(hw::IommuMode::kIntelVtd, false, false), "ACS OFF (vulnerable)"));

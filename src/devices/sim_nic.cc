@@ -70,6 +70,9 @@ void SimNic::Reset() {
     tx_q_[q] = RingRegs{};
     rx_q_[q] = RingRegs{};
     rx_backlog_[q].clear();
+    tx_chain_frame_[q].clear();
+    tx_chain_descs_[q].clear();
+    tx_skip_to_eop_[q] = false;
     engines_[q]->rx.Invalidate();
     engines_[q]->tx.Invalidate();
   }
@@ -350,6 +353,25 @@ void SimNic::RaiseQueueInterrupt(uint32_t q, uint32_t bits) {
   (void)RaiseMsi(static_cast<uint8_t>(q));
 }
 
+void SimNic::DropTxChainLocked(uint32_t q, const TxPendingDesc& last, bool eop) {
+  // Bounded gather, mirroring the RX reassembly bound: drop the whole
+  // pending frame, recycle every consumed descriptor with DD (the driver's
+  // reap must stay live), and — unless this very descriptor carried the
+  // terminating EOP — resync, recycling descriptors unparsed until it
+  // arrives. Nothing of the dropped frame ever reaches the wire.
+  hw::DescRingEngine& engine = engines_[q]->tx;
+  stats_.tx_dropped_chain.fetch_add(1, std::memory_order_relaxed);
+  for (const TxPendingDesc& pending : tx_chain_descs_[q]) {
+    (void)engine.PublishStatus(pending.index,
+                               static_cast<uint8_t>(pending.status | kNicDescStatusDone));
+  }
+  (void)engine.PublishStatus(last.index,
+                             static_cast<uint8_t>(last.status | kNicDescStatusDone));
+  tx_chain_frame_[q].clear();
+  tx_chain_descs_[q].clear();
+  tx_skip_to_eop_[q] = !eop;
+}
+
 void SimNic::ProcessTxRing(uint32_t q) {
   // Ring state (registers, descriptor DMA, head advance) mutates only under
   // queue_mu_[q]; the lock is dropped around the EtherLink hop so it is never
@@ -363,8 +385,13 @@ void SimNic::ProcessTxRing(uint32_t q) {
   std::unique_lock<std::recursive_mutex> lock(queue_mu_[q]);
   RingRegs& regs = tx_q_[q];
   hw::DescRingEngine& engine = engines_[q]->tx;
-  std::vector<uint8_t> frame_buf;  // one allocation per reap pass, not per frame
-  bool sent_any = false;
+  std::vector<uint8_t>& frame = tx_chain_frame_[q];
+  std::vector<TxPendingDesc>& chain = tx_chain_descs_[q];
+  std::vector<uint8_t> chunk_buf;  // one allocation per reap pass, not per frag
+  // Completions published this pass — wire frames AND dropped/resynced
+  // chains: the driver's reap needs a TXDW for recycled descriptors too, or
+  // a dropped frame's buffers sit unreclaimed until the ring fills.
+  bool completed_any = false;
   while ((tctl_.load(std::memory_order_relaxed) & kNicTctlEnable) != 0 && regs.size() != 0 &&
          regs.head != regs.tail) {
     engine.Configure(regs.base(), regs.size());
@@ -375,28 +402,81 @@ void SimNic::ProcessTxRing(uint32_t q) {
       break;
     }
     NicDescriptor d = desc.value();
-    frame_buf.resize(d.length);
-    if (d.length > 0) {
-      Status status = DmaRead(d.buffer_addr, ByteSpan(frame_buf.data(), d.length));
-      if (!status.ok()) {
-        stats_.dma_errors.fetch_add(1, std::memory_order_relaxed);
-        break;
+    TxPendingDesc consumed{regs.head, d.status};
+    bool eop = (d.cmd & kNicDescCmdEop) != 0;
+    regs.head = (regs.head + 1) % regs.size();
+
+    if (tx_skip_to_eop_[q]) {
+      // Resyncing after a dropped chain: everything up to AND INCLUDING the
+      // EOP that terminates the dropped frame belongs to it — recycled with
+      // DD, never gathered, never transmitted.
+      (void)engine.PublishStatus(consumed.index,
+                                 static_cast<uint8_t>(consumed.status | kNicDescStatusDone));
+      completed_any = true;
+      if (eop) {
+        tx_skip_to_eop_[q] = false;
       }
+      continue;
+    }
+
+    // Bound BEFORE any data DMA: a chain past the descriptor cap or the
+    // jumbo frame maximum is the forged endless/over-cap TX chain.
+    if (chain.size() + 1 > kern::kMaxChainFrags ||
+        frame.size() + d.length > kern::kJumboMaxFrameBytes) {
+      DropTxChainLocked(q, consumed, eop);
+      completed_any = true;
+      continue;
+    }
+    if (d.length > 0) {
+      chunk_buf.resize(d.length);
+      Status status = DmaRead(d.buffer_addr, ByteSpan(chunk_buf.data(), d.length));
+      if (!status.ok()) {
+        // Whole-frame-or-nothing: a fault anywhere in the chain (a fragment
+        // aimed outside the IOMMU mappings) aborts the entire frame. The
+        // fault is the confinement working; the device stays live.
+        stats_.dma_errors.fetch_add(1, std::memory_order_relaxed);
+        DropTxChainLocked(q, consumed, eop);
+        completed_any = true;
+        continue;
+      }
+      frame.insert(frame.end(), chunk_buf.begin(), chunk_buf.end());
+    }
+    chain.push_back(consumed);
+    if (!eop) {
+      // The frame continues in the next descriptor. A torn chain (the rest
+      // never armed) parks right here: no completion, no wire bytes.
+      continue;
+    }
+
+    // Whole frame gathered: publish every fragment's completion in ring
+    // order (DD release-published last per descriptor), then the wire hop.
+    for (const TxPendingDesc& pending : chain) {
+      (void)engine.PublishStatus(pending.index,
+                                 static_cast<uint8_t>(pending.status | kNicDescStatusDone));
     }
     stats_.tx_frames.fetch_add(1, std::memory_order_relaxed);
     queue_stats_[q].tx_frames.fetch_add(1, std::memory_order_relaxed);
-    (void)engine.PublishStatus(regs.head, static_cast<uint8_t>(d.status | kNicDescStatusDone));
-    regs.head = (regs.head + 1) % regs.size();
-    sent_any = true;
-    if (link_ != nullptr && d.length > 0) {
+    if (chain.size() > 1) {
+      stats_.tx_chain_frames.fetch_add(1, std::memory_order_relaxed);
+      stats_.tx_chain_descs.fetch_add(chain.size(), std::memory_order_relaxed);
+    }
+    chain.clear();
+    completed_any = true;
+    if (link_ != nullptr && !frame.empty()) {
+      // Move the gathered bytes out so the pending state is clean while the
+      // lock is dropped for the hop.
+      std::vector<uint8_t> wire;
+      wire.swap(frame);
       lock.unlock();
-      (void)link_->Transmit(link_side_, ConstByteSpan(frame_buf.data(), d.length));
+      (void)link_->Transmit(link_side_, ConstByteSpan(wire.data(), wire.size()));
       lock.lock();
+    } else {
+      frame.clear();
     }
   }
   AccumulateEngineStats(engine, &engines_[q]->tx_folded);
   lock.unlock();
-  if (sent_any) {
+  if (completed_any) {
     // Raised after the lock is dropped: the MSI dispatch can synchronously
     // run an in-kernel driver's reap, which re-enters through the doorbell.
     if (multi_queue()) {

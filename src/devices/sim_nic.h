@@ -36,6 +36,18 @@
 // malicious driver programs, and a frame that cannot be scattered is dropped
 // and counted, never partially published.
 //
+// TX scatter/gather: transmit descriptors whose CMD.EOP is clear continue
+// the frame in the next descriptor; the device GATHERS the chain whole-
+// frame-or-nothing — every fragment's data is fetched and appended before
+// any completion publishes or a byte reaches the wire. The gather is bounded
+// exactly like RX reassembly: a chain that outgrows kern::kMaxChainFrags
+// descriptors or the jumbo frame maximum without presenting EOP (the forged
+// endless/over-cap TX chain) is dropped whole, counted, its descriptors
+// recycled with DD, and the ring resynced to the EOP that terminates the
+// dropped frame; a torn chain (armed fragments, EOP never rung) simply
+// parks — nothing of it ever reaches the wire. A data DMA fault mid-chain
+// aborts the whole frame the same way (confined, the device stays live).
+//
 // Threading: with a sharded uchan, each queue is pumped by its own driver
 // thread, and with threaded traffic-generator peers each queue's receive-side
 // DMA runs on the delivering generator's thread. ALL of queue q's ring state
@@ -183,6 +195,11 @@ class SimNic : public hw::PciDevice, public EtherEndpoint {
     std::atomic<uint64_t> rx_dropped_oversize{0};  // LPE off, or chain cap hit
     std::atomic<uint64_t> rx_chain_frames{0};      // frames scattered over >1 descriptor
     std::atomic<uint64_t> rx_chain_descs{0};       // descriptors those frames used
+    std::atomic<uint64_t> tx_chain_frames{0};      // frames gathered from >1 descriptor
+    std::atomic<uint64_t> tx_chain_descs{0};       // descriptors those frames spanned
+    // Forged endless/over-cap TX chains (and mid-chain data faults) dropped
+    // whole: descriptors recycled, nothing on the wire, device live.
+    std::atomic<uint64_t> tx_dropped_chain{0};
     std::atomic<uint64_t> dma_errors{0};  // descriptor/buffer DMA faulted (confined)
     // Descriptor-engine fabric accounting, summed over every queue:
     // transactions that fetched descriptors (cacheline bursts), descriptors
@@ -299,6 +316,24 @@ class SimNic : public hw::PciDevice, public EtherEndpoint {
   // Frames that arrived while queue q had no armed RX descriptor.
   std::array<std::deque<std::vector<uint8_t>>, kNicNumQueues> rx_backlog_;
   static constexpr size_t kRxBacklogMax = 64;  // per queue
+
+  // In-progress TX gather, all under queue_mu_[q]: the frame bytes fetched so
+  // far and the consumed descriptors awaiting the chain's EOP (index plus the
+  // armed status byte the completion writeback must preserve). A partial
+  // chain parks here across doorbells — it never touches the wire. The
+  // resync flag mirrors the RX reassembly bound: after a dropped chain,
+  // descriptors are recycled (DD, unparsed) until the EOP that terminates
+  // the dropped frame passes by.
+  struct TxPendingDesc {
+    uint32_t index;
+    uint8_t status;
+  };
+  std::array<std::vector<uint8_t>, kNicNumQueues> tx_chain_frame_;
+  std::array<std::vector<TxPendingDesc>, kNicNumQueues> tx_chain_descs_;
+  std::array<bool, kNicNumQueues> tx_skip_to_eop_{};
+  // Drops the pending chain plus descriptor `last` (recycling everything
+  // with DD) and arms the resync unless `last` carried the EOP.
+  void DropTxChainLocked(uint32_t q, const TxPendingDesc& last, bool eop);
 
   // Guards ALL of queue q's ring state: RX and TX ring registers, descriptor
   // processing (including the descriptor engines), and the backlog (it was

@@ -132,6 +132,7 @@ Status E1000eDriver::Probe(uml::DriverEnv& env) {
     queues_[q].rx_buffers_iova = rx_buffers_.iova + static_cast<uint64_t>(q) *
                                                         (kRxBufferBytes / num_queues_);
     queues_[q].tx_slot_buffer.assign(kTxDescriptors, -1);
+    queues_[q].tx_slot_eop.assign(kTxDescriptors, 1);
     queues_[q].tx_eng = std::make_unique<hw::DescRingEngine>(&ring_mem_);
     queues_[q].tx_eng->Configure(queues_[q].tx_ring.iova, kTxDescriptors);
     queues_[q].rx_eng = std::make_unique<hw::DescRingEngine>(&ring_mem_);
@@ -144,6 +145,10 @@ Status E1000eDriver::Probe(uml::DriverEnv& env) {
   ops.xmit = [this](uint64_t iova, uint32_t len, int32_t id, uint16_t queue) {
     return Xmit(iova, len, id, queue);
   };
+  ops.xmit_chain = [this](const std::vector<uml::TxFrag>& frags, uint16_t queue) {
+    return XmitChain(frags, queue);
+  };
+  ops.sg = true;  // frag skbs arrive as fragment lists, never linearized
   ops.ioctl = [this](uint32_t cmd) { return Ioctl(cmd); };
   ops.num_queues = static_cast<uint16_t>(num_queues_);
   ops.mtu = mtu_;
@@ -302,8 +307,69 @@ Status E1000eDriver::Xmit(uint64_t frame_iova, uint32_t len, int32_t pool_buffer
   desc.cmd = devices::kNicDescCmdEop | devices::kNicDescCmdReportStatus;
   SUD_RETURN_IF_ERROR(qs.tx_eng->Arm(qs.tx_tail, desc));
   qs.tx_slot_buffer[qs.tx_tail] = pool_buffer_id;
+  qs.tx_slot_eop[qs.tx_tail] = 1;
   qs.tx_tail = next;
   stats_.tx_queued.fetch_add(1, std::memory_order_relaxed);
+  stats_.tx_desc_queued.fetch_add(1, std::memory_order_relaxed);
+  return env_->MmioWrite32(0, QueueRegBase(devices::kNicRegTdbal, queue) + 0x18, qs.tx_tail);
+}
+
+Status E1000eDriver::XmitChain(const std::vector<uml::TxFrag>& frags, uint16_t queue) {
+  if (!open_) {
+    return Status(ErrorCode::kUnavailable, "interface down");
+  }
+  if (queue >= num_queues_) {
+    queue = 0;
+  }
+  // Bounded exactly like the RX reassembly: the runtime validated the list,
+  // but the ring arming re-checks — a chain must fit the cap and the ring.
+  if (frags.empty() || frags.size() > kern::kMaxChainFrags ||
+      frags.size() >= kTxDescriptors) {
+    return Status(ErrorCode::kInvalidArgument, "bad fragment chain");
+  }
+  QueueState& qs = queues_[queue];
+  auto free_slots = [&qs]() {
+    return (qs.tx_reap + kTxDescriptors - qs.tx_tail - 1) % kTxDescriptors;
+  };
+  if (free_slots() < frags.size()) {
+    ReapTxCompletions(queue);
+    if (free_slots() < frags.size()) {
+      // Whole-chain-or-nothing: never arm a partial frame.
+      return Status(ErrorCode::kQueueFull, "tx ring full");
+    }
+  }
+  uint32_t chain_start = qs.tx_tail;
+  for (size_t i = 0; i < frags.size(); ++i) {
+    bool last = i + 1 == frags.size();
+    RingDescriptor desc;
+    desc.buffer_addr = frags[i].iova;
+    desc.length = static_cast<uint16_t>(frags[i].len);
+    // Full frags report-status only; the EOP lands on the last fragment.
+    desc.cmd = static_cast<uint8_t>(devices::kNicDescCmdReportStatus |
+                                    (last ? devices::kNicDescCmdEop : 0));
+    Status armed = qs.tx_eng->Arm(qs.tx_tail, desc);
+    if (!armed.ok()) {
+      // Whole-chain-or-nothing, on failure too: rewind the partial arm (the
+      // doorbell was never written, so the device has seen none of it) so no
+      // stale no-EOP slot can prefix the next frame or double-free its
+      // buffer id at reap time.
+      while (qs.tx_tail != chain_start) {
+        qs.tx_tail = (qs.tx_tail + kTxDescriptors - 1) % kTxDescriptors;
+        qs.tx_slot_buffer[qs.tx_tail] = -1;
+        qs.tx_slot_eop[qs.tx_tail] = 1;
+      }
+      return armed;
+    }
+    qs.tx_slot_buffer[qs.tx_tail] = frags[i].pool_buffer_id;
+    qs.tx_slot_eop[qs.tx_tail] = last ? 1 : 0;
+    qs.tx_tail = (qs.tx_tail + 1) % kTxDescriptors;
+  }
+  stats_.tx_queued.fetch_add(1, std::memory_order_relaxed);
+  stats_.tx_desc_queued.fetch_add(frags.size(), std::memory_order_relaxed);
+  if (frags.size() > 1) {
+    stats_.tx_chains.fetch_add(1, std::memory_order_relaxed);
+  }
+  // One doorbell for the whole chain.
   return env_->MmioWrite32(0, QueueRegBase(devices::kNicRegTdbal, queue) + 0x18, qs.tx_tail);
 }
 
@@ -313,18 +379,35 @@ void E1000eDriver::ReapTxCompletions(uint16_t queue) {
   // the batch in ONE free-buffer downcall at the end of the pass, instead of
   // one downcall per buffer.
   qs.free_scratch.clear();
-  while (qs.tx_reap != qs.tx_tail) {
+  // Pass 1: find how far the DD'd descriptors extend, and within them the
+  // last EOP boundary — the reap completes on EOP only, so a chain whose
+  // tail fragments have no DD yet is left whole for the next pass (its
+  // buffers stay owned by the device side until the frame is done).
+  uint32_t scan = qs.tx_reap;
+  uint32_t stop = qs.tx_reap;
+  while (scan != qs.tx_tail) {
     // Acquire DD before trusting the descriptor: the device may be writing
     // back later descriptors of this ring concurrently (its own Tick, or the
     // doorbell path still mid-pass on another thread).
-    if (!qs.tx_eng->Done(qs.tx_reap)) {
+    if (!qs.tx_eng->Done(scan)) {
       break;
     }
+    uint32_t next = (scan + 1) % kTxDescriptors;
+    if (qs.tx_slot_eop[scan] != 0) {
+      stop = next;
+    }
+    scan = next;
+  }
+  // Pass 2: retire every completed frame — all of a chain's buffer ids join
+  // the one coalesced free batch together.
+  while (qs.tx_reap != stop) {
     if (qs.tx_slot_buffer[qs.tx_reap] >= 0) {
       qs.free_scratch.push_back(qs.tx_slot_buffer[qs.tx_reap]);
       qs.tx_slot_buffer[qs.tx_reap] = -1;
     }
-    stats_.tx_completed.fetch_add(1, std::memory_order_relaxed);
+    if (qs.tx_slot_eop[qs.tx_reap] != 0) {
+      stats_.tx_completed.fetch_add(1, std::memory_order_relaxed);
+    }
     qs.tx_reap = (qs.tx_reap + 1) % kTxDescriptors;
   }
   if (!qs.free_scratch.empty()) {

@@ -24,6 +24,13 @@
 // memory claims, because in the in-kernel configuration this code IS the
 // trusted side of the descriptor interface.
 //
+// TX scatter/gather (NETIF_F_SG): frag skbs arrive as fragment lists
+// (NetDriverOps::xmit_chain) and are armed as multi-descriptor TX chains —
+// every fragment report-status only, the last one CMD.EOP — symmetric with
+// the RX EOP chains above. The reap completes on EOP only: a chain's pool
+// buffers are freed together in the coalesced free-buffer batch once the
+// EOP descriptor's DD lands, never while earlier fragments alone show DD.
+//
 // Multi-queue: constructed with N queues, the driver allocates N TX/RX ring
 // pairs, programs each queue's register block, enables RSS (MRQC), programs
 // the 128-entry RETA indirection table (identity layout, i % N — and
@@ -91,7 +98,9 @@ class E1000eDriver : public uml::Driver {
   static std::array<uint8_t, devices::kNicRetaEntries> IdentityReta(uint32_t num_queues);
 
   struct Stats {
-    std::atomic<uint64_t> tx_queued{0};
+    std::atomic<uint64_t> tx_queued{0};          // frames (not descriptors)
+    std::atomic<uint64_t> tx_desc_queued{0};     // TX descriptors armed
+    std::atomic<uint64_t> tx_chains{0};          // frames armed as >1 descriptor
     std::atomic<uint64_t> tx_completed{0};
     std::atomic<uint64_t> rx_delivered{0};       // frames (not descriptors)
     std::atomic<uint64_t> rx_chains{0};          // multi-descriptor frames delivered
@@ -162,6 +171,10 @@ class E1000eDriver : public uml::Driver {
     bool skip_to_eop = false;
     // Pool buffer ids in flight per TX slot (-1 when in-kernel bounce).
     std::vector<int32_t> tx_slot_buffer;
+    // Whether the TX slot carries a frame's last fragment (CMD.EOP as we
+    // armed it): the reap completes on EOP only — a chain's buffers are
+    // freed together, never while the device may still be fetching the tail.
+    std::vector<uint8_t> tx_slot_eop;
     // Scratch for the coalesced free pass (reused, no per-reap allocation).
     std::vector<int32_t> free_scratch;
   };
@@ -169,6 +182,11 @@ class E1000eDriver : public uml::Driver {
   Status Open();
   Status Stop();
   Status Xmit(uint64_t frame_iova, uint32_t len, int32_t pool_buffer_id, uint16_t queue);
+  // Scatter/gather transmit: arms one descriptor per fragment — full frags
+  // report-status only, the last one CMD.EOP — and rings the doorbell once
+  // for the whole chain. Whole-chain-or-nothing: without room for every
+  // fragment the frame is refused, never partially armed.
+  Status XmitChain(const std::vector<uml::TxFrag>& frags, uint16_t queue);
   Result<std::string> Ioctl(uint32_t cmd);
   // Legacy single-queue interrupt path: reads ICR (read-clears) and reaps.
   void IrqHandler();

@@ -296,6 +296,109 @@ Result<int> ChainAttackDriver::FireWildChains(int count) {
   return accepted;
 }
 
+Status TxChainAttackDriver::Probe(uml::DriverEnv& env) {
+  env_ = &env;
+  SUD_RETURN_IF_ERROR(env.PciEnableDevice());
+  SUD_RETURN_IF_ERROR(env.PciSetMaster());
+  Result<DmaRegion> ring = env.DmaAllocCoherent(kRingSlots * 16);
+  if (!ring.ok()) {
+    return ring.status();
+  }
+  ring_ = ring.value();
+  Result<DmaRegion> buffers = env.DmaAllocCaching(kRingSlots * kFragLen);
+  if (!buffers.ok()) {
+    return buffers.status();
+  }
+  buffers_ = buffers.value();
+  SUD_RETURN_IF_ERROR(env.MmioWrite32(0, devices::kNicRegTdbal,
+                                      static_cast<uint32_t>(ring_.iova)));
+  SUD_RETURN_IF_ERROR(env.MmioWrite32(0, devices::kNicRegTdbah,
+                                      static_cast<uint32_t>(ring_.iova >> 32)));
+  SUD_RETURN_IF_ERROR(env.MmioWrite32(0, devices::kNicRegTdlen, kRingSlots * 16));
+  SUD_RETURN_IF_ERROR(env.MmioWrite32(0, devices::kNicRegTdh, 0));
+  SUD_RETURN_IF_ERROR(env.MmioWrite32(0, devices::kNicRegTdt, 0));
+  return env.MmioWrite32(0, devices::kNicRegTctl, devices::kNicTctlEnable);
+}
+
+Status TxChainAttackDriver::ArmFrag(uint16_t len, uint8_t cmd, uint8_t pattern) {
+  uint32_t slot = tail_ % kRingSlots;
+  uint64_t buffer = buffers_.iova + static_cast<uint64_t>(slot) * kFragLen;
+  Result<ByteSpan> view = env_->DmaView(buffer, kFragLen);
+  if (!view.ok()) {
+    return view.status();
+  }
+  std::memset(view.value().data(), pattern, kFragLen);
+  SUD_RETURN_IF_ERROR(WriteDescRaw(*env_, ring_.iova, slot, buffer, len, cmd));
+  tail_ = (tail_ + 1) % kRingSlots;
+  return Status::Ok();
+}
+
+Status TxChainAttackDriver::Doorbell() {
+  return env_->MmioWrite32(0, devices::kNicRegTdt, tail_);
+}
+
+Result<uint32_t> TxChainAttackDriver::FireEndlessChain(uint8_t pattern) {
+  // The whole ring (minus the reserved slot), not a single EOP anywhere.
+  uint32_t armed = 0;
+  for (; armed < kRingSlots - 1; ++armed) {
+    SUD_RETURN_IF_ERROR(ArmFrag(kFragLen, /*cmd=*/0, pattern));
+  }
+  SUD_RETURN_IF_ERROR(Doorbell());
+  return armed;
+}
+
+Status TxChainAttackDriver::FireTornChain(uint32_t frags, uint8_t pattern) {
+  for (uint32_t i = 0; i < frags; ++i) {
+    SUD_RETURN_IF_ERROR(ArmFrag(kFragLen, /*cmd=*/0, pattern));
+  }
+  return Doorbell();
+}
+
+Status TxChainAttackDriver::FinishTornChain(uint8_t pattern) {
+  SUD_RETURN_IF_ERROR(ArmFrag(kFragLen, devices::kNicDescCmdEop, pattern));
+  return Doorbell();
+}
+
+Status TxChainAttackDriver::FireOverCapChain(uint32_t extra, uint8_t pattern) {
+  // Tiny fragments so the DESCRIPTOR cap trips (the endless chain above
+  // trips the byte bound first): more frags than any legal chain, EOP at the
+  // very end — which the resync must consume with the dropped frame.
+  constexpr uint16_t kTinyFrag = 64;
+  uint32_t frags = static_cast<uint32_t>(kern::kMaxChainFrags) + extra;
+  if (frags > kRingSlots - 1) {
+    frags = kRingSlots - 1;
+  }
+  for (uint32_t i = 0; i + 1 < frags; ++i) {
+    SUD_RETURN_IF_ERROR(ArmFrag(kTinyFrag, /*cmd=*/0, pattern));
+  }
+  SUD_RETURN_IF_ERROR(ArmFrag(kTinyFrag, devices::kNicDescCmdEop, pattern));
+  return Doorbell();
+}
+
+Status TxChainAttackDriver::SendGoodFrame(uint8_t pattern, uint16_t len) {
+  SUD_RETURN_IF_ERROR(ArmFrag(len, devices::kNicDescCmdEop, pattern));
+  return Doorbell();
+}
+
+Status BufferReuseAttackDriver::Probe(uml::DriverEnv& env) {
+  env_ = &env;
+  uint8_t mac[6] = {0xba, 0xdf, 0x4e, 0x00, 0x00, 0x03};
+  uml::NetDriverOps ops;
+  ops.open = []() { return Status::Ok(); };
+  ops.stop = []() { return Status::Ok(); };
+  return env.RegisterNetdev(mac, std::move(ops));
+}
+
+Status BufferReuseAttackDriver::FireReusedFrees(int32_t id, int times) {
+  // One coalesced completion batch that "frees" the same buffer id over and
+  // over, plus an id the pool never handed out — the marshalled form of a
+  // chain completing with duplicated fragment buffers.
+  std::vector<int32_t> ids(static_cast<size_t>(times), id);
+  ids.push_back(0x7ffffff0);
+  env_->FreeTxBuffers(0, ids);
+  return Status::Ok();
+}
+
 Status DescRewriteAttackDriver::Probe(uml::DriverEnv& env) {
   env_ = &env;
   SUD_RETURN_IF_ERROR(env.PciEnableDevice());
@@ -336,6 +439,37 @@ Status DescRewriteAttackDriver::ArmAndDoorbell(uint32_t descriptors, uint8_t pat
   SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTdh, 0));
   SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTctl, devices::kNicTctlEnable));
   return env_->MmioWrite32(0, devices::kNicRegTdt, descriptors);
+}
+
+Status DescRewriteAttackDriver::ArmChainAndDoorbell(uint32_t chain_frags, uint8_t pattern) {
+  if (chain_frags == 0 || chain_frags > 14) {
+    return Status(ErrorCode::kInvalidArgument, "chain must fit the 16-slot ring");
+  }
+  Result<ByteSpan> buffers = env_->DmaView(buffers_.iova, buffers_.bytes);
+  if (!buffers.ok()) {
+    return buffers.status();
+  }
+  std::memset(buffers.value().data(), pattern, buffers.value().size());
+  // Slot 0: a single-descriptor lead frame — its wire hop is the rewrite
+  // window. Slots 1..chain_frags: ONE frame as an SG chain, EOP only on the
+  // last fragment.
+  SUD_RETURN_IF_ERROR(WriteDescRaw(*env_, ring_.iova, 0, buffers_.iova, kFrameLen,
+                                   devices::kNicDescCmdEop));
+  for (uint32_t i = 1; i <= chain_frags; ++i) {
+    uint8_t cmd = i == chain_frags ? devices::kNicDescCmdEop : 0;
+    SUD_RETURN_IF_ERROR(WriteDescRaw(*env_, ring_.iova, i,
+                                     buffers_.iova + static_cast<uint64_t>(i) * kFrameLen,
+                                     kFrameLen, cmd));
+  }
+  armed_ = chain_frags + 1;
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTdbal,
+                                        static_cast<uint32_t>(ring_.iova)));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTdbah,
+                                        static_cast<uint32_t>(ring_.iova >> 32)));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTdlen, 16 * 16));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTdh, 0));
+  SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegTctl, devices::kNicTctlEnable));
+  return env_->MmioWrite32(0, devices::kNicRegTdt, armed_);
 }
 
 void DescRewriteAttackDriver::RewriteDescriptors(uint32_t from, uint32_t to,

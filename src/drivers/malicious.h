@@ -35,6 +35,14 @@
 //                          mid-burst (after the device's cacheline fetch) to
 //                          aim at a victim: the device must transmit the
 //                          fetched snapshot, exactly once
+//   TxChainAttackDriver    forged TX scatter/gather chains at the descriptor
+//                          level: endless (a whole ring with no EOP), torn
+//                          (fragments armed, EOP never rung) and over-cap
+//                          chains — the device must gather whole-frame-or-
+//                          nothing, drop bounded, and stay live
+//   BufferReuseAttackDriver free-buffer downcalls reusing one pool buffer id
+//                          across a "chain" (double-use/double-free): the
+//                          pool must tolerate and count it, never corrupt
 
 #ifndef SUD_SRC_DRIVERS_MALICIOUS_H_
 #define SUD_SRC_DRIVERS_MALICIOUS_H_
@@ -222,11 +230,73 @@ class ChainAttackDriver : public uml::Driver {
   DmaRegion buffers_{};
 };
 
+// Forges TX scatter/gather descriptor chains the way a hostile driver (or
+// corrupted ring memory) would: CMD.EOP withheld so the device's gather
+// never terminates (endless), terminates past the chain cap (over-cap), or
+// is armed partially and never completed (torn). Contained means: nothing of
+// a forged chain reaches the wire, drops are bounded and counted
+// (tx_dropped_chain), the ring resyncs to the next EOP boundary, and a
+// well-formed frame transmits afterwards — the device stays live no matter
+// what the descriptors claim.
+class TxChainAttackDriver : public uml::Driver {
+ public:
+  const char* name() const override { return "tx-chain-attack"; }
+  Status Probe(uml::DriverEnv& env) override;
+
+  // Arms every descriptor of the ring (minus the reserved slot) with payload
+  // fragments and NO EOP anywhere, then rings the doorbell: the endless
+  // chain. Returns the number of descriptors armed.
+  Result<uint32_t> FireEndlessChain(uint8_t pattern);
+  // Arms `frags` no-EOP fragments and doorbells them — then stops. The torn
+  // chain: the device must park the partial gather without transmitting or
+  // wedging. FinishTornChain arms the terminating EOP fragment later.
+  Status FireTornChain(uint32_t frags, uint8_t pattern);
+  Status FinishTornChain(uint8_t pattern);
+  // Arms kern::kMaxChainFrags + `extra` fragments, EOP on the last: the
+  // over-cap chain. Must be dropped whole (the EOP is consumed by the
+  // resync, exactly like the RX bound).
+  Status FireOverCapChain(uint32_t extra, uint8_t pattern);
+  // A well-formed single-descriptor frame: the liveness probe.
+  Status SendGoodFrame(uint8_t pattern, uint16_t len);
+
+  uint32_t frag_len() const { return kFragLen; }
+
+ private:
+  // Arms the descriptor at tail_ and advances; doorbell() publishes the tail.
+  Status ArmFrag(uint16_t len, uint8_t cmd, uint8_t pattern);
+  Status Doorbell();
+
+  static constexpr uint32_t kRingSlots = 64;
+  static constexpr uint16_t kFragLen = 512;
+  uml::DriverEnv* env_ = nullptr;
+  DmaRegion ring_{};
+  DmaRegion buffers_{};
+  uint32_t tail_ = 0;
+};
+
+// Returns free-buffer batches that reuse one pool buffer id across a
+// "chain's" completion — the double-use/double-free a hostile driver can
+// always marshal. The pool must tolerate it (count double_frees), keep the
+// free list consistent, and keep serving the transmit path.
+class BufferReuseAttackDriver : public uml::Driver {
+ public:
+  const char* name() const override { return "buffer-reuse-attack"; }
+  Status Probe(uml::DriverEnv& env) override;
+  // Sends one coalesced free-buffer batch repeating `id` `times` times plus
+  // a wild id, as a malicious chain completion would.
+  Status FireReusedFrees(int32_t id, int times);
+
+ private:
+  uml::DriverEnv* env_ = nullptr;
+};
+
 // Arms a window of benign TX descriptors, rings the doorbell, and — timed by
 // the harness to land inside the device's reap pass, after the cacheline
 // burst fetch — rewrites the not-yet-transmitted descriptors to aim at a
 // secret address. Contained means: the device transmits exactly the armed
-// bytes, exactly once, and the secret never reaches the wire.
+// bytes, exactly once, and the secret never reaches the wire. The chain
+// variant arms a lead frame plus one multi-descriptor SG chain, so the
+// rewrite lands mid-CHAIN: snapshot immunity must hold fragment-wise too.
 class DescRewriteAttackDriver : public uml::Driver {
  public:
   const char* name() const override { return "desc-rewrite"; }
@@ -235,6 +305,11 @@ class DescRewriteAttackDriver : public uml::Driver {
   // Arms `descriptors` TX descriptors, each pointing at a buffer filled with
   // `pattern`, and rings the doorbell for all of them.
   Status ArmAndDoorbell(uint32_t descriptors, uint8_t pattern);
+  // Arms one single-descriptor lead frame plus one `chain_frags`-fragment SG
+  // chain (EOP only on the last), and rings the doorbell once. The harness
+  // rewrites the chain's descriptors while the lead frame is on the wire —
+  // inside the device's burst window.
+  Status ArmChainAndDoorbell(uint32_t chain_frags, uint8_t pattern);
   // The mid-burst rewrite: repoints descriptors [from, to) at `target_addr`
   // with `len`-byte reads. Invoked from the harness's link endpoint while
   // the device is mid-pass.
@@ -252,6 +327,28 @@ class DescRewriteAttackDriver : public uml::Driver {
   DmaRegion ring_{};
   DmaRegion buffers_{};
   uint32_t armed_ = 0;
+};
+
+// The perfectly-timed attacker half of the rewrite attacks: a link endpoint
+// that — on the FIRST delivered frame, i.e. while the device is mid-pass
+// with the queue lock dropped for the wire hop and descriptors [from, to)
+// sitting in its fetched cacheline — rewrites those descriptors to aim at
+// `target`, then records every frame for the containment verdict.
+struct DescRewritePeer : devices::EtherEndpoint {
+  DescRewriteAttackDriver* driver = nullptr;
+  uint64_t target = 0;
+  uint32_t from = 1;
+  uint32_t to = 4;
+  uint16_t len = 64;
+  bool rewritten = false;
+  std::vector<std::vector<uint8_t>> frames;
+  void DeliverFrame(ConstByteSpan frame) override {
+    if (!rewritten) {
+      rewritten = true;
+      driver->RewriteDescriptors(from, to, target, len);
+    }
+    frames.emplace_back(frame.begin(), frame.end());
+  }
 };
 
 }  // namespace sud::drivers

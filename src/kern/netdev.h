@@ -89,6 +89,9 @@ class Firewall {
 struct NetDeviceStats {
   std::atomic<uint64_t> tx_packets{0};
   std::atomic<uint64_t> tx_dropped{0};
+  // Frag skbs folded flat for a non-SG driver (the skb_linearize fallback):
+  // each one is a full-frame copy the scatter/gather path avoids.
+  std::atomic<uint64_t> tx_linearized{0};
   std::atomic<uint64_t> rx_packets{0};
   std::atomic<uint64_t> rx_dropped{0};
   std::atomic<uint64_t> rx_bad_checksum{0};
@@ -139,6 +142,12 @@ class NetDevice {
   }
   size_t max_frame_bytes() const { return MaxFrameBytes(mtu_); }
 
+  // Scatter/gather transmit capability (NETIF_F_SG), driver-declared at
+  // registration: frag skbs reach an SG driver as fragment chains; a non-SG
+  // driver's ops layer linearizes them first (counted in tx_linearized).
+  bool sg() const { return sg_; }
+  void set_sg(bool sg) { sg_ = sg; }
+
   NetDeviceOps* ops() { return ops_; }
   NetDeviceStats& stats() { return stats_; }
   const NetDeviceStats& stats() const { return stats_; }
@@ -158,6 +167,7 @@ class NetDevice {
   NetDeviceOps* ops_;
   bool carrier_ = false;
   bool up_ = false;
+  bool sg_ = false;
   uint16_t num_queues_ = 1;
   uint32_t mtu_ = static_cast<uint32_t>(kStdMtu);
   NetDeviceStats stats_;

@@ -75,7 +75,9 @@ std::vector<uint8_t> BuildPacket(const uint8_t dst_mac[6], const uint8_t src_mac
   StoreLe16(frame.data() + 16, dst_port);
   StoreLe16(frame.data() + 18, static_cast<uint16_t>(payload.size()));
   StoreLe16(frame.data() + 20, 0);
-  std::memcpy(frame.data() + kPacketMinSize, payload.data(), payload.size());
+  if (!payload.empty()) {  // empty payloads carry a null data() (UB to memcpy)
+    std::memcpy(frame.data() + kPacketMinSize, payload.data(), payload.size());
+  }
   PacketView view{ConstByteSpan(frame.data(), frame.size())};
   StoreLe16(frame.data() + 20, view.ComputeChecksum());
   return frame;

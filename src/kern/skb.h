@@ -8,6 +8,13 @@
 // frame) live in an inline buffer inside the Skb itself, so MakeSkb and the
 // proxy's guard copy cost exactly one allocation (the Skb node) instead of
 // two (node + vector backing store). Jumbo payloads spill to a heap vector.
+//
+// Transmit scatter/gather: a frame may also continue past the linear head in
+// page-like fragments (the skb_shinfo frag array). The stack hands such
+// frag skbs down unmodified; drivers that advertise NetDriverOps::sg receive
+// them as per-fragment descriptor chains, and everyone else (ne2k) gets the
+// Linearize() fallback — one extra full-frame copy, which is exactly the
+// copy the SG path deletes.
 
 #ifndef SUD_SRC_KERN_SKB_H_
 #define SUD_SRC_KERN_SKB_H_
@@ -102,6 +109,40 @@ struct Skb {
     return checksum_verified;
   }
 
+  // --- transmit scatter/gather ----------------------------------------------
+  // Payload continuing after the linear head in owned page-like fragments.
+  // Receive skbs are always linear (the guard copy assembles one private
+  // buffer); only the transmit path builds frag skbs.
+  bool is_linear() const { return tx_frags_.empty(); }
+  size_t nr_frags() const { return tx_frags_.size(); }
+  ConstByteSpan tx_frag(size_t i) const {
+    return ConstByteSpan(tx_frags_[i].data(), tx_frags_[i].size());
+  }
+  // Head bytes plus every fragment: the length the wire will carry.
+  size_t total_len() const { return len_ + tx_frag_bytes_; }
+  void AppendTxFrag(ConstByteSpan bytes) {
+    tx_frag_bytes_ += bytes.size();
+    tx_frags_.emplace_back(bytes.begin(), bytes.end());
+  }
+
+  // skb_linearize: folds the fragments into the contiguous head storage, the
+  // fallback for drivers without SG. Bounded like AppendFrag: a frame that
+  // cannot fit `max_len` copies nothing past the bound and returns false (the
+  // caller drops it whole — transmit never truncates).
+  bool Linearize(size_t max_len) {
+    if (total_len() > max_len) {
+      return false;
+    }
+    for (const std::vector<uint8_t>& frag : tx_frags_) {
+      if (!AppendFrag(ConstByteSpan(frag.data(), frag.size()), max_len)) {
+        return false;  // unreachable given the pre-check; defence in depth
+      }
+    }
+    tx_frags_.clear();
+    tx_frag_bytes_ = 0;
+    return true;
+  }
+
   uint8_t* data() { return heap_.empty() ? inline_.data() : heap_.data(); }
   const uint8_t* data() const { return heap_.empty() ? inline_.data() : heap_.data(); }
   size_t data_len() const { return len_; }
@@ -113,11 +154,29 @@ struct Skb {
   std::array<uint8_t, kInlineCapacity> inline_;
   std::vector<uint8_t> heap_;  // jumbo overflow only
   size_t len_ = 0;
+  // TX frag array (skb_shinfo): owned fragment buffers past the head.
+  std::vector<std::vector<uint8_t>> tx_frags_;
+  size_t tx_frag_bytes_ = 0;
 };
 
 using SkbPtr = std::unique_ptr<Skb>;
 
 inline SkbPtr MakeSkb(ConstByteSpan bytes) { return std::make_unique<Skb>(bytes); }
+
+// Splits a prebuilt frame into the frag-skb shape the stack produces for
+// large sends: `head_len` bytes in the linear head (always enough for every
+// header the transmit path parses), the rest in `frag_len`-byte fragments.
+inline SkbPtr MakeFragSkb(ConstByteSpan frame, size_t head_len, size_t frag_len) {
+  if (head_len >= frame.size() || frag_len == 0) {
+    return MakeSkb(frame);
+  }
+  auto skb = std::make_unique<Skb>(frame.subspan(0, head_len));
+  for (size_t off = head_len; off < frame.size(); off += frag_len) {
+    size_t chunk = frame.size() - off < frag_len ? frame.size() - off : frag_len;
+    skb->AppendTxFrag(frame.subspan(off, chunk));
+  }
+  return skb;
+}
 
 }  // namespace sud::kern
 

@@ -28,10 +28,22 @@ inline constexpr uint32_t kEthUpStop = kOpDeviceClassBase + 1;    // (sync)
 // args[0]: TX queue the kernel steered the frame to (== the shard it rides).
 inline constexpr uint32_t kEthUpXmit = kOpDeviceClassBase + 2;    // (async, shared buffer)
 inline constexpr uint32_t kEthUpIoctl = kOpDeviceClassBase + 3;   // "ioctl" (sync)
+// Scatter/gather transmit: ONE frame staged across multiple shared-pool
+// buffers (the TX counterpart of kEthDownNetifRxChain). args[0]: TX queue;
+// args[1]: fragment count; inline_data: that many (LE32 pool buffer id,
+// LE32 length) records — 8 bytes each. The runtime re-validates every record
+// against the pool — count vs payload vs kern::kMaxChainFrags, every id
+// resolvable, every length within one buffer, the total within the jumbo
+// maximum — before a single descriptor is armed.
+inline constexpr uint32_t kEthUpXmitChain = kOpDeviceClassBase + 4;  // (async, shared buffers)
+inline constexpr size_t kXmitChainFragBytes = 8;
 // Downcalls (driver -> kernel).
 // args[0]: number of TX/RX queues the driver services; args[1]: interface
-// MTU (kernel-clamped; bounds every receive length check); mac inline.
+// MTU (kernel-clamped; bounds every receive length check); args[2]: feature
+// bits (kEthFeatureSg and friends, clamped kernel-side); mac inline.
 inline constexpr uint32_t kEthDownRegisterNetdev = kOpDownDeviceClassBase + 0;
+// Feature bits for kEthDownRegisterNetdev args[2].
+inline constexpr uint64_t kEthFeatureSg = 1ull << 0;  // NETIF_F_SG
 // args[0]: frame iova, args[1]: length. Delivered on the RX queue's shard.
 inline constexpr uint32_t kEthDownNetifRx = kOpDownDeviceClassBase + 1;  // "netif_rx" (async, buffer)
 inline constexpr uint32_t kEthDownSetCarrier = kOpDownDeviceClassBase + 2;  // args[0]: 0/1 (mirror)

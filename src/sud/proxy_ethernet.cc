@@ -49,20 +49,157 @@ void EthernetProxy::NoteXmitFull() {
 }
 
 // The MTU the interface actually gets for a driver-declared value: clamped
-// by set_mtu (jumbo ceiling, like ndo_change_mtu) AND by what one shared
-// TX pool buffer can stage — a driver claiming jumbo on a standard-sized
-// pool would otherwise lure the stack into frames the transmit path must
-// truncate.
+// by set_mtu (jumbo ceiling, like ndo_change_mtu) AND by what the TX staging
+// pool can stage — one shared buffer for a single-buffer driver, a bounded
+// chain of them for an SG driver. A driver claiming more would otherwise
+// lure the stack into frames the transmit path must truncate.
 uint32_t EthernetProxy::DeclaredMtu(uint64_t declared) const {
-  size_t pool_cap = ctx_->pool().buffer_bytes() > kern::kEthHeaderBytes
-                        ? ctx_->pool().buffer_bytes() - kern::kEthHeaderBytes
-                        : kern::kEthMinFrameBytes;
+  uint64_t stage_bytes = ctx_->pool().buffer_bytes();
+  if (driver_sg_) {
+    stage_bytes *= kern::kMaxChainFrags;
+  }
+  uint64_t pool_cap = stage_bytes > kern::kEthHeaderBytes
+                          ? stage_bytes - kern::kEthHeaderBytes
+                          : kern::kEthMinFrameBytes;
   return static_cast<uint32_t>(std::min<uint64_t>(declared, pool_cap));
 }
 
-Status EthernetProxy::PrepareXmit(const kern::Skb& skb, UchanMsg* msg, uint16_t queue) {
+size_t EthernetProxy::StagedBufferIds(const UchanMsg& msg, int32_t* out) {
+  if (msg.opcode == kEthUpXmitChain) {
+    size_t count = msg.inline_data.size() / kXmitChainFragBytes;
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = static_cast<int32_t>(
+          LoadLe32(msg.inline_data.data() + i * kXmitChainFragBytes));
+    }
+    return count;
+  }
+  if (msg.buffer_id >= 0) {
+    out[0] = msg.buffer_id;
+    return 1;
+  }
+  return 0;
+}
+
+Status EthernetProxy::StageXmitChain(const kern::Skb& skb, UchanMsg* msg, uint16_t queue) {
   CpuModel& cpu = kernel_->machine().cpu();
+  uint32_t buffer_bytes = ctx_->pool().buffer_bytes();
+  size_t total = skb.total_len();
+  // Stage head then frags, chunking every segment by the pool buffer size —
+  // per-fragment staging into STANDARD buffers, where the old path memcpy'd
+  // the linearized frame into one oversized one. The record list is bounded
+  // by the same chain cap the ring setup asserts — unreachable here, since
+  // PrepareXmit pre-checks the geometry (linearizing over-fragmented skbs)
+  // and the registration-time MTU clamp bounds the total — and a frame that
+  // somehow cannot be expressed within it is dropped whole, never truncated.
+  std::array<int32_t, kern::kMaxChainFrags> ids;
+  std::array<uint32_t, kern::kMaxChainFrags> lens;
+  size_t count = 0;
+  Status staging = Status::Ok();
+  auto stage_segment = [&](ConstByteSpan segment) {
+    size_t off = 0;
+    while (off < segment.size() && staging.ok()) {
+      if (count >= kern::kMaxChainFrags) {
+        stats_.xmit_dropped.fetch_add(1, std::memory_order_relaxed);
+        staging = Status(ErrorCode::kInvalidArgument, "frame exceeds the staging chain cap");
+        return;
+      }
+      Result<int32_t> buffer_id = ctx_->pool().Alloc();
+      if (!buffer_id.ok()) {
+        stats_.xmit_dropped.fetch_add(1, std::memory_order_relaxed);
+        NoteXmitFull();
+        staging = Status(ErrorCode::kQueueFull, "no shared buffers (driver slow or hung)");
+        return;
+      }
+      Result<ByteSpan> buffer = ctx_->pool().Buffer(buffer_id.value());
+      if (!buffer.ok()) {
+        ctx_->pool().Free(buffer_id.value());
+        staging = buffer.status();
+        return;
+      }
+      size_t chunk = segment.size() - off < buffer_bytes ? segment.size() - off : buffer_bytes;
+      std::memcpy(buffer.value().data(), segment.data() + off, chunk);
+      ids[count] = buffer_id.value();
+      lens[count] = static_cast<uint32_t>(chunk);
+      ++count;
+      off += chunk;
+    }
+  };
+  stage_segment(skb.span());
+  for (size_t i = 0; i < skb.nr_frags() && staging.ok(); ++i) {
+    stage_segment(skb.tx_frag(i));
+  }
+  if (!staging.ok()) {
+    for (size_t i = 0; i < count; ++i) {
+      ctx_->pool().Free(ids[i]);
+    }
+    return staging;
+  }
+  if (count == 0) {
+    stats_.xmit_dropped.fetch_add(1, std::memory_order_relaxed);
+    return Status(ErrorCode::kInvalidArgument, "empty frame");
+  }
+  if (!options_.zero_copy) {
+    // Ablation: model an intermediate bounce buffer (one extra pass).
+    cpu.ChargeBytes(kAccountKernel, cpu.costs().per_byte_copy, total);
+  }
+  // One staging pass over the frame — the same per-byte cost the linear path
+  // charges, just scattered across the chain's buffers.
+  cpu.ChargeBytes(kAccountKernel, cpu.costs().per_byte_copy, total);
+
+  msg->opcode = kEthUpXmitChain;
+  msg->args[0] = queue;
+  msg->args[1] = count;
+  msg->buffer_id = ids[0];
+  msg->buffer_len = static_cast<uint32_t>(total);
+  msg->inline_data.resize(count * kXmitChainFragBytes);
+  for (size_t i = 0; i < count; ++i) {
+    uint8_t* record = msg->inline_data.data() + i * kXmitChainFragBytes;
+    StoreLe32(record, static_cast<uint32_t>(ids[i]));
+    StoreLe32(record + 4, lens[i]);
+  }
+  stats_.xmit_chain_upcalls.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+// Chain records the skb's geometry would stage: each segment (head, then
+// every frag) chunked by the pool buffer size.
+size_t EthernetProxy::StagedChainRecords(const kern::Skb& skb) const {
+  size_t buffer_bytes = ctx_->pool().buffer_bytes();
+  size_t records = (skb.data_len() + buffer_bytes - 1) / buffer_bytes;
+  for (size_t i = 0; i < skb.nr_frags(); ++i) {
+    records += (skb.tx_frag(i).size() + buffer_bytes - 1) / buffer_bytes;
+  }
+  return records;
+}
+
+Status EthernetProxy::PrepareXmit(kern::Skb& skb, UchanMsg* msg, uint16_t queue) {
+  CpuModel& cpu = kernel_->machine().cpu();
+  if (!skb.is_linear()) {
+    if (driver_sg_ && StagedChainRecords(skb) <= kern::kMaxChainFrags) {
+      return StageXmitChain(skb, msg, queue);
+    }
+    // Linearize fallback: non-SG drivers always, and — like the real stack
+    // linearizing skbs over MAX_SKB_FRAGS — frames whose fragment geometry
+    // (many tiny frags) would burst the chain cap even for an SG driver.
+    // One extra charged full-frame pass, the copy the SG chain deletes.
+    size_t linear_cap = ctx_->pool().buffer_bytes();
+    if (driver_sg_) {
+      linear_cap *= kern::kMaxChainFrags;  // re-chained by total size below
+    }
+    cpu.ChargeBytes(kAccountKernel, cpu.costs().per_byte_copy, skb.total_len());
+    if (!skb.Linearize(linear_cap)) {
+      stats_.xmit_dropped.fetch_add(1, std::memory_order_relaxed);
+      return Status(ErrorCode::kInvalidArgument, "frame exceeds staging buffer");
+    }
+    if (netdev_ != nullptr) {
+      netdev_->stats().tx_linearized++;
+    }
+  }
   if (skb.data_len() > ctx_->pool().buffer_bytes()) {
+    if (driver_sg_) {
+      // A linear frame larger than one buffer still chains for an SG driver.
+      return StageXmitChain(skb, msg, queue);
+    }
     // Never truncate: a frame one staging buffer cannot hold is dropped
     // whole (only reachable by handing the interface frames above its MTU —
     // the MTU itself is clamped to pool capacity at registration).
@@ -99,10 +236,14 @@ Status EthernetProxy::StartXmit(kern::SkbPtr skb) {
       netdev_ != nullptr ? kern::FlowQueue(skb->span(), netdev_->num_queues()) : 0;
   UchanMsg msg;
   SUD_RETURN_IF_ERROR(PrepareXmit(*skb, &msg, queue));
-  int32_t buffer_id = msg.buffer_id;
+  // The ring consumes msg; keep just the ids for the failure path.
+  int32_t staged[kern::kMaxChainFrags];
+  size_t staged_count = StagedBufferIds(msg, staged);
   Status status = ctx_->ctl(queue).SendAsync(std::move(msg));
   if (!status.ok()) {
-    ctx_->pool().Free(buffer_id);
+    for (size_t i = 0; i < staged_count; ++i) {
+      ctx_->pool().Free(staged[i]);
+    }
     stats_.xmit_dropped.fetch_add(1, std::memory_order_relaxed);
     if (status.code() == ErrorCode::kQueueFull) {
       NoteXmitFull();
@@ -141,25 +282,38 @@ size_t EthernetProxy::StartXmitBatch(std::vector<kern::SkbPtr> skbs, uint16_t qu
   if (msgs.empty()) {
     return 0;
   }
-  std::vector<int32_t> buffer_ids;
-  buffer_ids.reserve(msgs.size());
+  // Staged buffer ids captured before the ring consumes the messages: one
+  // flat array plus a per-message count, so the failure paths can free
+  // exactly the messages that never enqueued.
+  size_t total_msgs = msgs.size();
+  std::vector<int32_t> staged_ids;
+  std::vector<uint32_t> staged_counts;
+  staged_ids.reserve(total_msgs);
+  staged_counts.reserve(total_msgs);
+  int32_t scratch[kern::kMaxChainFrags];
   for (const UchanMsg& msg : msgs) {
-    buffer_ids.push_back(msg.buffer_id);
+    size_t count = StagedBufferIds(msg, scratch);
+    staged_counts.push_back(static_cast<uint32_t>(count));
+    staged_ids.insert(staged_ids.end(), scratch, scratch + count);
   }
   stats_.xmit_batches.fetch_add(1, std::memory_order_relaxed);
   Result<size_t> enqueued = ctx_->ctl(queue).SendAsyncBatch(std::move(msgs));
   if (!enqueued.ok()) {
-    for (int32_t id : buffer_ids) {
+    for (int32_t id : staged_ids) {
       ctx_->pool().Free(id);
     }
-    stats_.xmit_dropped.fetch_add(buffer_ids.size(), std::memory_order_relaxed);
+    stats_.xmit_dropped.fetch_add(total_msgs, std::memory_order_relaxed);
     return 0;
   }
   // Reclaim the buffers of the ring-full tail.
-  for (size_t i = enqueued.value(); i < buffer_ids.size(); ++i) {
-    ctx_->pool().Free(buffer_ids[i]);
+  size_t tail_start = 0;
+  for (size_t i = 0; i < enqueued.value(); ++i) {
+    tail_start += staged_counts[i];
   }
-  size_t dropped = buffer_ids.size() - enqueued.value();
+  for (size_t i = tail_start; i < staged_ids.size(); ++i) {
+    ctx_->pool().Free(staged_ids[i]);
+  }
+  size_t dropped = total_msgs - enqueued.value();
   stats_.xmit_dropped.fetch_add(dropped, std::memory_order_relaxed);
   stats_.xmit_upcalls.fetch_add(enqueued.value(), std::memory_order_relaxed);
   if (dropped > 0) {
@@ -206,11 +360,15 @@ void EthernetProxy::HandleDowncall(UchanMsg& msg, uint16_t shard) {
                          << " queues but the device context has " << ctx_->num_queues();
         queues = static_cast<uint16_t>(ctx_->num_queues());
       }
+      // Feature bits: only bits the kernel knows are honoured; everything
+      // else a driver claims is ignored.
+      driver_sg_ = (msg.args[2] & kEthFeatureSg) != 0;
       if (netdev_ != nullptr) {
         // A restarted driver re-registering: keep the existing interface and
         // refresh the MAC (shadow-driver-style recovery, Section 2).
         netdev_->set_dev_addr(msg.inline_data.data());
         netdev_->set_num_queues(queues);
+        netdev_->set_sg(driver_sg_);
         netdev_->set_mtu(DeclaredMtu(msg.args[1]));
         msg.error = 0;
         return;
@@ -224,6 +382,7 @@ void EthernetProxy::HandleDowncall(UchanMsg& msg, uint16_t shard) {
       }
       netdev_ = netdev.value();
       netdev_->set_num_queues(queues);
+      netdev_->set_sg(driver_sg_);
       netdev_->set_mtu(DeclaredMtu(msg.args[1]));
       msg.error = 0;
       return;

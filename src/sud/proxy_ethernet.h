@@ -8,7 +8,12 @@
 //                         hung driver returns an error instead of blocking)
 //   ndo_start_xmit     -> asynchronous upcall carrying a shared-pool buffer
 //                         (zero-copy hand-off; the driver points its NIC at
-//                         the same bytes)
+//                         the same bytes). Frag skbs for an SG driver stage
+//                         per-fragment into standard pool buffers and cross
+//                         as ONE kEthUpXmitChain upcall (count + records) —
+//                         no linearize copy, no oversized staging buffer;
+//                         for a non-SG driver the proxy linearizes first
+//                         (the fallback copy the SG path deletes)
 //   ndo_do_ioctl       -> synchronous upcall (the MII status example)
 //   netif_rx           <- asynchronous downcall carrying a shared buffer;
 //                         the proxy *guard-copies* the packet into an skb,
@@ -81,6 +86,7 @@ class EthernetProxy : public kern::NetDeviceOps {
   struct Stats {
     std::atomic<uint64_t> xmit_upcalls{0};
     std::atomic<uint64_t> xmit_batches{0};      // StartXmitBatch crossings
+    std::atomic<uint64_t> xmit_chain_upcalls{0};  // multi-fragment xmit messages
     std::atomic<uint64_t> xmit_dropped{0};
     std::atomic<uint64_t> rx_downcalls{0};
     std::atomic<uint64_t> rx_bundles{0};        // NAPI deliveries into the stack
@@ -111,10 +117,26 @@ class EthernetProxy : public kern::NetDeviceOps {
   // drop accounting, and joins the shard's NAPI bundle.
   void FinishRxSkb(kern::SkbPtr skb, bool checksum_ok, size_t frame_bytes, uint16_t shard);
   void HandleFreeBuffer(UchanMsg& msg);
-  // Stages one skb into a fresh pool buffer and fills `msg`; on failure the
-  // hung-driver accounting has already been applied.
-  Status PrepareXmit(const kern::Skb& skb, UchanMsg* msg, uint16_t queue);
-  // The driver-declared MTU clamped to what the TX staging pool can hold.
+  // Stages one skb for transmit and fills `msg`: the single-buffer kEthUpXmit
+  // fast path for linear frames that fit one pool buffer, the chain path for
+  // SG frag skbs, and the linearize fallback (an extra charged full-frame
+  // copy) for frag skbs headed at a non-SG driver. On failure the hung-driver
+  // accounting has already been applied and nothing stays allocated.
+  Status PrepareXmit(kern::Skb& skb, UchanMsg* msg, uint16_t queue);
+  // Stages one frame across per-fragment pool buffers as a kEthUpXmitChain
+  // message: head and frags chunked by the pool buffer size, bounded by
+  // kern::kMaxChainFrags.
+  Status StageXmitChain(const kern::Skb& skb, UchanMsg* msg, uint16_t queue);
+  // Extracts every pool buffer id a staged xmit message references (the
+  // single buffer_id, or the chain's whole record list) into `out`, which
+  // must hold kern::kMaxChainFrags entries; returns how many. The failure
+  // paths free exactly these when a message never reaches the ring.
+  static size_t StagedBufferIds(const UchanMsg& msg, int32_t* out);
+  // Chain records the skb's geometry would stage (each segment chunked by
+  // the pool buffer size): the chain-vs-linearize decision input.
+  size_t StagedChainRecords(const kern::Skb& skb) const;
+  // The driver-declared MTU clamped to what the TX staging pool can hold
+  // (one buffer for single-buffer drivers, a bounded chain of them for SG).
   uint32_t DeclaredMtu(uint64_t declared) const;
   void NoteXmitFull();
   // Delivers queue `shard`'s guard-copied rx bundle accumulated during the
@@ -125,6 +147,9 @@ class EthernetProxy : public kern::NetDeviceOps {
   SudDeviceContext* ctx_;
   Options options_;
   kern::NetDevice* netdev_ = nullptr;
+  // NETIF_F_SG as the driver declared it at register_netdev (kEthFeatureSg
+  // in the marshalled feature bits): selects chain staging vs linearize.
+  bool driver_sg_ = false;
   std::atomic<uint32_t> consecutive_full_{0};
   // Guard-copied packets awaiting the end-of-entry NetifRxBatch delivery,
   // one bundle per queue (only ever touched from that shard's pump thread).

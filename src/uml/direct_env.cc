@@ -35,9 +35,27 @@ class DirectEnv::NetAdapter : public kern::NetDeviceOps {
   }
 
  private:
-  Status XmitOne(const kern::Skb& skb, uint16_t queue) {
+  Status XmitOne(kern::Skb& skb, uint16_t queue) {
     if (!env_->net_ops_.xmit) {
       return Status(ErrorCode::kUnavailable, "no xmit op");
+    }
+    CpuModel& cpu = env_->kernel_->machine().cpu();
+    if (!skb.is_linear()) {
+      if (env_->net_ops_.sg && env_->net_ops_.xmit_chain &&
+          ChainRecords(skb) <= kern::kMaxChainFrags) {
+        return XmitChain(skb, queue);
+      }
+      // Linearize fallback: non-SG drivers always, and frag geometries that
+      // would burst the chain cap (the real stack linearizes skbs over
+      // MAX_SKB_FRAGS the same way) — one charged full-frame pass, the copy
+      // the SG chain deletes.
+      cpu.ChargeBytes(env_->account_, cpu.costs().per_byte_copy, skb.total_len());
+      if (!skb.Linearize(kTxBounceBytes)) {
+        return Status(ErrorCode::kInvalidArgument, "frame exceeds bounce buffer");
+      }
+      if (env_->netdev_ != nullptr) {
+        env_->netdev_->stats().tx_linearized++;
+      }
     }
     // In-kernel transmit: the driver DMA-maps the skb and points the device
     // at it. Modelled as a bounce-buffer copy charged at dma_map cost (a
@@ -53,9 +71,58 @@ class DirectEnv::NetAdapter : public kern::NetDeviceOps {
     }
     size_t len = std::min<size_t>(skb.data_len(), kTxBounceBytes);
     std::memcpy(view.value().data(), skb.data(), len);
-    CpuModel& cpu = env_->kernel_->machine().cpu();
     cpu.Charge(env_->account_, cpu.costs().dma_map);
     return env_->net_ops_.xmit(bounce.value(), static_cast<uint32_t>(len), -1, queue);
+  }
+
+  // Bounce slots the skb's geometry would map (each segment chunked by the
+  // slot size) — the XmitChain-vs-linearize decision input.
+  static size_t ChainRecords(const kern::Skb& skb) {
+    size_t records = (skb.data_len() + kTxBounceBytes - 1) / kTxBounceBytes;
+    for (size_t i = 0; i < skb.nr_frags(); ++i) {
+      records += (skb.tx_frag(i).size() + kTxBounceBytes - 1) / kTxBounceBytes;
+    }
+    return records;
+  }
+
+  // Scatter/gather transmit, in-kernel: each segment (head, then every frag)
+  // is DMA-mapped as its own bounce slot and charged one dma_map — exactly
+  // how the real driver skb_frag_dma_maps a frag list, with no linearize and
+  // no per-byte staging pass.
+  Status XmitChain(const kern::Skb& skb, uint16_t queue) {
+    CpuModel& cpu = env_->kernel_->machine().cpu();
+    std::vector<uml::TxFrag> frags;
+    frags.reserve(1 + skb.nr_frags());
+    auto map_segment = [&](ConstByteSpan segment) -> Status {
+      size_t off = 0;
+      while (off < segment.size()) {
+        if (frags.size() >= kern::kMaxChainFrags) {
+          return Status(ErrorCode::kInvalidArgument, "frame exceeds the chain cap");
+        }
+        size_t chunk = std::min<size_t>(segment.size() - off, kTxBounceBytes);
+        Result<uint64_t> bounce = env_->AcquireTxBounce();
+        if (!bounce.ok()) {
+          return bounce.status();
+        }
+        Result<ByteSpan> view = env_->dma_->HostView(bounce.value(), chunk);
+        if (!view.ok()) {
+          return view.status();
+        }
+        std::memcpy(view.value().data(), segment.data() + off, chunk);
+        cpu.Charge(env_->account_, cpu.costs().dma_map);
+        frags.push_back(uml::TxFrag{bounce.value(), static_cast<uint32_t>(chunk), -1});
+        off += chunk;
+      }
+      return Status::Ok();
+    };
+    SUD_RETURN_IF_ERROR(map_segment(skb.span()));
+    for (size_t i = 0; i < skb.nr_frags(); ++i) {
+      SUD_RETURN_IF_ERROR(map_segment(skb.tx_frag(i)));
+    }
+    if (frags.empty()) {
+      return Status(ErrorCode::kInvalidArgument, "empty frame");
+    }
+    return env_->net_ops_.xmit_chain(frags, queue);
   }
 
  public:

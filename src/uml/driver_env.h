@@ -39,6 +39,17 @@ struct DmaFrag {
   uint32_t len = 0;
 };
 
+// One transmit fragment of a scatter/gather frame: the staged bytes in
+// DMA-visible memory (a shared-pool buffer under SUD, a bounce slot
+// in-kernel) plus the pool buffer backing it (-1 in-kernel). An SG driver
+// arms one TX descriptor per fragment and must return every pool buffer of
+// the chain once the frame has transmitted.
+struct TxFrag {
+  uint64_t iova = 0;
+  uint32_t len = 0;
+  int32_t pool_buffer_id = -1;
+};
+
 // Callbacks a network driver registers with register_netdev. `xmit` receives
 // the frame already in DMA-visible memory at `frame_iova`; `pool_buffer_id`
 // is >= 0 when the frame lives in a shared-pool buffer the driver must
@@ -49,7 +60,16 @@ struct NetDriverOps {
   std::function<Status()> stop;       // ndo_stop
   std::function<Status(uint64_t frame_iova, uint32_t len, int32_t pool_buffer_id, uint16_t queue)>
       xmit;                           // ndo_start_xmit
+  // Scatter/gather transmit: one frame as a fragment list, each fragment to
+  // become one TX descriptor of an EOP-terminated chain. Only invoked when
+  // `sg` is set; the fragment list is bounded by kern::kMaxChainFrags and
+  // every fragment fits one staging buffer.
+  std::function<Status(const std::vector<TxFrag>& frags, uint16_t queue)> xmit_chain;
   std::function<Result<std::string>(uint32_t cmd)> ioctl;
+  // NETIF_F_SG: the driver maps frag skbs as TX descriptor chains. When
+  // false (ne2k and friends) the kernel side linearizes frag skbs before
+  // xmit — the driver never sees a chain.
+  bool sg = false;
   // Number of TX/RX queue pairs the driver services (netif_set_real_num_
   // tx_queues): the kernel steers flows across [0, num_queues) and the SUD
   // layer shards the uchan accordingly.

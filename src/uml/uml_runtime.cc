@@ -177,6 +177,7 @@ Status UmlRuntime::RegisterNetdev(const uint8_t mac[6], NetDriverOps ops) {
   msg.inline_data.assign(mac, mac + 6);
   msg.args[0] = ops.num_queues == 0 ? 1 : ops.num_queues;
   msg.args[1] = ops.mtu;
+  msg.args[2] = ops.sg ? kEthFeatureSg : 0;
   SUD_RETURN_IF_ERROR(SyncDowncall(kEthDownRegisterNetdev, &msg));
   net_ops_ = std::move(ops);
   net_registered_ = true;
@@ -468,12 +469,75 @@ void UmlRuntime::Dispatch(UchanMsg& msg) {
     }
     case kEthUpXmit: {
       stats_.inline_dispatches.fetch_add(1, std::memory_order_relaxed);
+      uint16_t queue = static_cast<uint16_t>(msg.args[0]);
+      Status xmit = Status(ErrorCode::kUnavailable, "no xmit op");
       if (net_registered_ && net_ops_.xmit) {
         Result<uint64_t> iova = ctx_->pool().BufferIova(msg.buffer_id);
         if (iova.ok()) {
-          uint16_t queue = static_cast<uint16_t>(msg.args[0]);
-          (void)net_ops_.xmit(iova.value(), msg.buffer_len, msg.buffer_id, queue);
+          xmit = net_ops_.xmit(iova.value(), msg.buffer_len, msg.buffer_id, queue);
         }
+      }
+      if (!xmit.ok() && msg.buffer_id >= 0) {
+        // Refused (ring full, interface down): nothing was armed, so nothing
+        // will ever reap this buffer — return it like the chain path does.
+        FreeTxBuffer(msg.buffer_id);
+      }
+      return;
+    }
+    case kEthUpXmitChain: {
+      stats_.inline_dispatches.fetch_add(1, std::memory_order_relaxed);
+      // The fragment records are kernel-crossing data: re-validate every one
+      // against the pool BEFORE any descriptor is armed — count against
+      // payload and the chain cap, every buffer id resolvable, every length
+      // within one staging buffer, the total within the jumbo maximum. A
+      // correct proxy never fails these; a forged or corrupted message must
+      // never reach the DMA path.
+      size_t count = msg.inline_data.size() / kXmitChainFragBytes;
+      bool ok = net_registered_ && count > 0 && count <= kern::kMaxChainFrags &&
+                msg.inline_data.size() % kXmitChainFragBytes == 0 && msg.args[1] == count;
+      std::vector<TxFrag> frags;
+      uint64_t total = 0;
+      if (ok) {
+        frags.reserve(count);
+        for (size_t i = 0; i < count; ++i) {
+          const uint8_t* record = msg.inline_data.data() + i * kXmitChainFragBytes;
+          int32_t id = static_cast<int32_t>(LoadLe32(record));
+          uint32_t len = LoadLe32(record + 4);
+          Result<uint64_t> iova = ctx_->pool().BufferIova(id);
+          if (!iova.ok() || len == 0 || len > ctx_->pool().buffer_bytes()) {
+            ok = false;
+            break;
+          }
+          total += len;
+          frags.push_back(TxFrag{iova.value(), len, id});
+        }
+        ok = ok && total <= kern::kJumboMaxFrameBytes;
+      }
+      if (!ok) {
+        stats_.xmit_chains_rejected.fetch_add(1, std::memory_order_relaxed);
+        SUD_LOG(kWarning) << "sud-uml: malformed xmit chain upcall rejected before arming";
+        return;
+      }
+      stats_.xmit_chain_upcalls.fetch_add(1, std::memory_order_relaxed);
+      uint16_t queue = static_cast<uint16_t>(msg.args[0]);
+      Status xmit = Status(ErrorCode::kUnavailable, "no chain op");
+      if (net_ops_.xmit_chain) {
+        xmit = net_ops_.xmit_chain(frags, queue);
+      } else if (frags.size() == 1 && net_ops_.xmit) {
+        // A single-fragment chain degrades to the plain xmit for drivers
+        // without the chain op.
+        xmit = net_ops_.xmit(frags[0].iova, frags[0].len, frags[0].pool_buffer_id, queue);
+      }
+      if (!xmit.ok()) {
+        // Refused (ring full, interface down, no op): the driver armed
+        // nothing, so nothing will ever reap these buffers — return the
+        // whole chain now or the pool drains one refusal at a time.
+        std::vector<int32_t> ids;
+        ids.reserve(frags.size());
+        for (const TxFrag& frag : frags) {
+          ids.push_back(frag.pool_buffer_id);
+        }
+        FreeTxBuffers(queue, ids);
       }
       return;
     }

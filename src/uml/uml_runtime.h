@@ -109,6 +109,10 @@ class UmlRuntime : public DriverEnv {
     std::atomic<uint64_t> inline_dispatches{0};
     std::atomic<uint64_t> unknown_upcalls{0};
     std::atomic<uint64_t> rx_batches_flushed{0};  // netif_rx arrays handed to the kernel
+    std::atomic<uint64_t> xmit_chain_upcalls{0};  // scatter/gather transmits dispatched
+    // Malformed kEthUpXmitChain messages (count/payload mismatch, bogus pool
+    // ids, over-cap or oversize records) rejected before any DMA arming.
+    std::atomic<uint64_t> xmit_chains_rejected{0};
   };
   const Stats& stats() const { return stats_; }
 

@@ -112,6 +112,59 @@ TEST(SimNicTest, TransmitDisabledDoesNothing) {
   EXPECT_EQ(nic.stats().tx_frames, 0u);
 }
 
+TEST(SimNicTest, TransmitGathersEopChainsWholeFrame) {
+  // TX scatter/gather at the device level: three descriptors, CMD.EOP only
+  // on the last, must leave the NIC as ONE wire frame carrying the
+  // concatenated fragments — DD written back on every descriptor, and only
+  // once the whole frame was gathered.
+  SimNic nic("nic", kMac);
+  BareMetal hw(&nic);
+  EtherLink link;
+  nic.ConnectLink(&link, 0);
+  struct Recorder : EtherEndpoint {
+    std::vector<std::vector<uint8_t>> frames;
+    void DeliverFrame(ConstByteSpan frame) override {
+      frames.emplace_back(frame.begin(), frame.end());
+    }
+  } sink;
+  link.Attach(1, &sink);
+
+  constexpr uint64_t kRing = 0x1000;
+  constexpr uint64_t kBuf = 0x2000;
+  std::vector<uint8_t> frame(700 + 700 + 100);
+  for (size_t i = 0; i < frame.size(); ++i) {
+    frame[i] = static_cast<uint8_t>(i * 3 + 1);
+  }
+  (void)hw.machine.dram().Write(kBuf, {frame.data(), frame.size()});
+  WriteDesc(hw.machine, kRing, 0, kBuf, 700, 0, 0);
+  WriteDesc(hw.machine, kRing, 1, kBuf + 700, 700, 0, 0);
+  WriteDesc(hw.machine, kRing, 2, kBuf + 1400, 100, kNicDescCmdEop, 0);
+
+  nic.MmioWrite(0, kNicRegTdbal, kRing);
+  nic.MmioWrite(0, kNicRegTdlen, 16 * 16);
+  nic.MmioWrite(0, kNicRegTdh, 0);
+  nic.MmioWrite(0, kNicRegTctl, kNicTctlEnable);
+
+  // Partial doorbell: two no-EOP fragments park — nothing on the wire, no
+  // completion for the open chain, no drop.
+  nic.MmioWrite(0, kNicRegTdt, 2);
+  EXPECT_EQ(sink.frames.size(), 0u);
+  EXPECT_EQ(nic.stats().tx_frames, 0u);
+  EXPECT_EQ(nic.stats().tx_dropped_chain, 0u);
+
+  // The EOP completes the frame: one gather, one wire frame, DD everywhere.
+  nic.MmioWrite(0, kNicRegTdt, 3);
+  ASSERT_EQ(sink.frames.size(), 1u);
+  EXPECT_EQ(sink.frames[0], frame);
+  EXPECT_EQ(nic.stats().tx_frames, 1u);
+  EXPECT_EQ(nic.stats().tx_chain_frames, 1u);
+  EXPECT_EQ(nic.stats().tx_chain_descs, 3u);
+  for (uint32_t i = 0; i < 3; ++i) {
+    EXPECT_NE(DescStatus(hw.machine, kRing, i) & kNicDescStatusDone, 0) << "desc " << i;
+  }
+  EXPECT_EQ(nic.MmioRead(0, kNicRegTdh), 3u);
+}
+
 TEST(SimNicTest, ReceiveWritesFrameAndRaisesInterrupt) {
   SimNic nic("nic", kMac);
   BareMetal hw(&nic);

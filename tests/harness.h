@@ -25,6 +25,26 @@ inline constexpr uint8_t kMacA[6] = {0x00, 0x1b, 0x21, 0x0a, 0x0b, 0x0c};
 inline constexpr uint8_t kMacB[6] = {0x00, 0x1b, 0x21, 0x0d, 0x0e, 0x0f};
 inline constexpr kern::Uid kDriverUid = 1001;
 
+// A link endpoint recording every wire frame — the "other machine" in the
+// TX-side tests and attack cells (attach with link.Attach(1, &recorder),
+// usually with Options::start_peer = false).
+struct WireRecorder : devices::EtherEndpoint {
+  std::vector<std::vector<uint8_t>> frames;
+  void DeliverFrame(ConstByteSpan frame) override {
+    frames.emplace_back(frame.begin(), frame.end());
+  }
+  bool AllBytes(uint8_t pattern) const {
+    for (const std::vector<uint8_t>& frame : frames) {
+      for (uint8_t byte : frame) {
+        if (byte != pattern) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+};
+
 // A machine with one switch, the SUT NIC and a trusted peer NIC linked by
 // Gigabit Ethernet. The SUT runs under SUD (untrusted driver process); the
 // peer runs the same e1000e driver in-kernel via DirectEnv.
@@ -41,9 +61,13 @@ class NetBench {
     // ring pair and one MSI vector per queue) and enables RSS steering.
     uint32_t nic_queues = 1;
     // SUT interface MTU. Above kern::kStdMtu the driver enables RCTL.LPE and
-    // EOP-chain reassembly, and the shared pool's staging buffers are sized
-    // to hold one whole jumbo frame (net_limits.h).
+    // EOP-chain reassembly; on transmit, jumbo frames ride TX scatter/gather
+    // chains staged across STANDARD-sized pool buffers (kEthUpXmitChain), so
+    // the pool never upsizes for jumbo MTUs.
     uint32_t mtu = static_cast<uint32_t>(kern::kStdMtu);
+    // Peer interface MTU (the traffic generator / receiver machine): raise
+    // it for workloads where the SUT transmits jumbo frames at the peer.
+    uint32_t peer_mtu = static_cast<uint32_t>(kern::kStdMtu);
   };
 
   NetBench() : NetBench(Options{}) {}
@@ -55,9 +79,13 @@ class NetBench {
         peer_nic("e1000e-peer", kMacB),
         safe_pci(&kernel, options.policy),
         nic_queues_(options.nic_queues == 0 ? 1 : options.nic_queues),
-        mtu_(options.mtu) {
+        mtu_(options.mtu),
+        peer_mtu_(options.peer_mtu) {
     options.sud.num_queues = nic_queues_;
-    options.sud.pool_buffer_bytes = kern::PoolBufferBytesFor(mtu_);
+    // Standard-sized staging buffers at every MTU: the SG transmit path
+    // chains a jumbo frame across several of them instead of requiring one
+    // oversized buffer per frame.
+    options.sud.pool_buffer_bytes = static_cast<uint32_t>(kern::kRxDefaultBufferBytes);
     sw = &machine.AddSwitch("pcie-switch-0");
     (void)machine.AttachDevice(*sw, &sut_nic);
     (void)machine.AttachDevice(*sw, &peer_nic);
@@ -78,7 +106,7 @@ class NetBench {
     }
     if (options.start_peer) {
       peer_env = std::make_unique<uml::DirectEnv>(&kernel, &peer_nic, kAccountPeer);
-      auto driver = std::make_unique<drivers::E1000eDriver>();
+      auto driver = std::make_unique<drivers::E1000eDriver>(1, peer_mtu_);
       peer_driver = driver.get();
       peer_driver_owner = std::move(driver);
       (void)peer_driver_owner->Probe(*peer_env);
@@ -205,6 +233,22 @@ class NetBench {
     return kernel.net().TransmitBatch(SutIfname(), std::move(skbs)).status();
   }
 
+  // Like SutSendBurst, but every skb is a FRAG skb — the scatter/gather
+  // transmit shape: `head_len` bytes of linear head, the rest in page-sized
+  // fragments. An SG driver receives these as TX descriptor chains; a non-SG
+  // driver exercises the linearize fallback.
+  Status SutSendFragBurst(uint16_t src_port, uint16_t dst_port, ConstByteSpan payload,
+                          int count, size_t head_len = 2048, size_t frag_len = 2048) {
+    auto frame = kern::BuildPacket(kMacB, kMacA, src_port, dst_port, payload);
+    std::vector<kern::SkbPtr> skbs;
+    skbs.reserve(count);
+    for (int i = 0; i < count; ++i) {
+      skbs.push_back(kern::MakeFragSkb(ConstByteSpan(frame.data(), frame.size()),
+                                       head_len, frag_len));
+    }
+    return kernel.net().TransmitBatch(SutIfname(), std::move(skbs)).status();
+  }
+
   // Sends one packet from the SUT (untrusted driver) to the peer.
   Status SutSend(uint16_t src_port, uint16_t dst_port, ConstByteSpan payload) {
     auto frame = kern::BuildPacket(kMacB, kMacA, src_port, dst_port, payload);
@@ -235,6 +279,7 @@ class NetBench {
   drivers::E1000eDriver* sut_driver = nullptr;
   uint32_t nic_queues_ = 1;
   uint32_t mtu_ = static_cast<uint32_t>(kern::kStdMtu);
+  uint32_t peer_mtu_ = static_cast<uint32_t>(kern::kStdMtu);
   std::vector<std::vector<uint8_t>> flow_frames_;  // PeerSendFlowBurst cache
   uint16_t flow_frames_base_ = 0;
 };

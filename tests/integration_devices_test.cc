@@ -168,6 +168,81 @@ TEST(Ne2kIntegration, PioDriverUnderSudUsesIopb) {
   EXPECT_EQ(received, 1);
 }
 
+// NetDriverOps::sg fallback correctness: a frag skb transmitted through the
+// non-SG ne2k must hit the wire bit-identical to the frame it was built
+// from (the proxy linearizes exactly once), with the same FNV digest the SG
+// e1000e chain path produces for the same frame.
+TEST(Ne2kIntegration, FragSkbThroughNonSgDriverMatchesSgDigest) {
+  std::vector<uint8_t> payload(1200);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 11 + 3);
+  }
+  uint8_t mac_peer[6] = {9, 9, 9, 9, 9, 9};
+  auto frame = kern::BuildPacket(mac_peer, testing::kMacA, 7, 9,
+                                 {payload.data(), payload.size()});
+  uint64_t frame_digest = devices::EtherLink::FrameHash({frame.data(), frame.size()});
+
+  // Path 1: the ne2k (no SG bit, no xmit_chain) — the proxy linearizes.
+  uint64_t ne2k_digest = 0;
+  {
+    hw::Machine machine;
+    kern::Kernel kernel(&machine);
+    devices::EtherLink link;
+    devices::Ne2kNic nic("ne2k-nic", testing::kMacA);
+    auto& sw = machine.AddSwitch("sw0");
+    ASSERT_TRUE(machine.AttachDevice(sw, &nic).ok());
+    nic.ConnectLink(&link, 0);
+    testing::WireRecorder wire;
+    link.Attach(1, &wire);
+    SafePciModule safe_pci(&kernel);
+    SudDeviceContext* ctx = safe_pci.ExportDevice(&nic, kDriverUid).value();
+    EthernetProxy proxy(&kernel, ctx);
+    uml::DriverHost host(&kernel, ctx, "ne2k-driver", kDriverUid);
+    ASSERT_TRUE(host.Start(std::make_unique<drivers::Ne2kDriver>()).ok());
+    ASSERT_TRUE(kernel.net().BringUp("eth0").ok());
+    kern::NetDevice* netdev = kernel.net().Find("eth0");
+    EXPECT_FALSE(netdev->sg());
+
+    ASSERT_TRUE(kernel.net()
+                    .Transmit("eth0", kern::MakeFragSkb({frame.data(), frame.size()},
+                                                        /*head_len=*/256, /*frag_len=*/512))
+                    .ok());
+    host.Pump();
+    ASSERT_EQ(wire.frames.size(), 1u);
+    EXPECT_EQ(wire.frames[0], frame);  // bit-identical to the built frame
+    EXPECT_EQ(netdev->stats().tx_linearized, 1u);
+    ne2k_digest = devices::EtherLink::FrameHash({wire.frames[0].data(), wire.frames[0].size()});
+  }
+
+  // Path 2: the SG e1000e — the same frame rides a TX descriptor chain.
+  uint64_t sg_digest = 0;
+  {
+    testing::NetBench::Options options;
+    options.start_peer = false;
+    testing::NetBench bench(options);
+    testing::WireRecorder wire;
+    bench.link.Attach(1, &wire);
+    ASSERT_TRUE(bench.StartSut().ok());
+    kern::NetDevice* netdev = bench.kernel.net().Find("eth0");
+    EXPECT_TRUE(netdev->sg());
+
+    ASSERT_TRUE(bench.kernel.net()
+                    .Transmit("eth0", kern::MakeFragSkb({frame.data(), frame.size()},
+                                                        /*head_len=*/256, /*frag_len=*/512))
+                    .ok());
+    bench.host->Pump();
+    ASSERT_EQ(wire.frames.size(), 1u);
+    EXPECT_EQ(wire.frames[0], frame);
+    EXPECT_EQ(netdev->stats().tx_linearized, 0u);  // no linearize on the SG path
+    EXPECT_GE(bench.sut_nic.stats().tx_chain_frames, 1u);
+    sg_digest = devices::EtherLink::FrameHash({wire.frames[0].data(), wire.frames[0].size()});
+  }
+
+  EXPECT_EQ(ne2k_digest, frame_digest);
+  EXPECT_EQ(sg_digest, frame_digest);
+  EXPECT_EQ(ne2k_digest, sg_digest);
+}
+
 TEST(UsbIntegration, EnumerationAndKeyEventsUnderSud) {
   hw::Machine machine;
   kern::Kernel kernel(&machine);

@@ -87,6 +87,67 @@ TEST(Skb, AppendFragSpillsInlineToHeapAndVerifies) {
   EXPECT_FALSE(corrupt.VerifyChecksumPrivate());
 }
 
+TEST(Skb, FragSkbCarriesHeadAndFragsWithoutCopying) {
+  // The TX scatter/gather shape: linear head plus page-like fragments. The
+  // head keeps serving span()/view() (flow hashing parses headers from it);
+  // total_len() is what the wire will carry.
+  std::vector<uint8_t> payload(6000);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 7);
+  }
+  auto frame = BuildPacket(kMacA, kMacB, 40, 50, {payload.data(), payload.size()});
+
+  SkbPtr skb = MakeFragSkb({frame.data(), frame.size()}, /*head_len=*/1024,
+                           /*frag_len=*/2048);
+  EXPECT_FALSE(skb->is_linear());
+  EXPECT_EQ(skb->data_len(), 1024u);
+  EXPECT_EQ(skb->total_len(), frame.size());
+  EXPECT_EQ(skb->nr_frags(), 3u);  // 6022 - 1024 = 4998 -> 2048 + 2048 + 902
+  // The fragments tile the frame exactly.
+  size_t off = skb->data_len();
+  for (size_t i = 0; i < skb->nr_frags(); ++i) {
+    ConstByteSpan frag = skb->tx_frag(i);
+    EXPECT_EQ(std::memcmp(frag.data(), frame.data() + off, frag.size()), 0) << "frag " << i;
+    off += frag.size();
+  }
+  EXPECT_EQ(off, frame.size());
+  // The head still parses as the packet (ports live in the first 22 bytes).
+  EXPECT_EQ(skb->view().dst_port(), 50);
+}
+
+TEST(Skb, LinearizeIsBitIdenticalToTheOriginalFrame) {
+  // The non-SG fallback: a linearized frag skb must be byte-for-byte the
+  // frame it was built from — the digest a non-SG driver (ne2k) puts on the
+  // wire equals the digest the SG chain path produces.
+  std::vector<uint8_t> payload(5000);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 31 + 5);
+  }
+  auto frame = BuildPacket(kMacA, kMacB, 60, 70, {payload.data(), payload.size()});
+
+  SkbPtr skb = MakeFragSkb({frame.data(), frame.size()}, 512, 1500);
+  ASSERT_FALSE(skb->is_linear());
+  ASSERT_TRUE(skb->Linearize(16384));
+  EXPECT_TRUE(skb->is_linear());
+  EXPECT_EQ(skb->nr_frags(), 0u);
+  EXPECT_EQ(skb->data_len(), frame.size());
+  EXPECT_EQ(skb->total_len(), frame.size());
+  EXPECT_EQ(std::memcmp(skb->data(), frame.data(), frame.size()), 0);
+  EXPECT_TRUE(skb->VerifyChecksumPrivate());
+
+  // The bound: a frame the cap cannot hold linearizes NOTHING (the caller
+  // drops it whole — transmit never truncates).
+  SkbPtr bounded = MakeFragSkb({frame.data(), frame.size()}, 512, 1500);
+  EXPECT_FALSE(bounded->Linearize(2048));
+  EXPECT_FALSE(bounded->is_linear());
+  EXPECT_EQ(bounded->data_len(), 512u);
+
+  // A small frame (or degenerate split parameters) stays linear outright.
+  SkbPtr small = MakeFragSkb({frame.data(), 200}, 512, 1500);
+  EXPECT_TRUE(small->is_linear());
+  EXPECT_EQ(small->data_len(), 200u);
+}
+
 TEST(Process, IopbGrantsAndRevocations) {
   ProcessTable table;
   Process& proc = table.Spawn("drv", 1000);

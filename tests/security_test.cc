@@ -512,6 +512,172 @@ TEST(Security, RetaStarvationDropsAreBounded) {
   }
 }
 
+// ---- TX scatter/gather attacks ----------------------------------------------
+
+using testing::WireRecorder;  // the wire-side "other machine" (harness.h)
+
+// Endless TX chain (a whole ring armed without CMD.EOP): the device's gather
+// must drop at its bound — once, counted — recycle every descriptor with DD
+// so the driver's reap stays live, and keep serving well-formed frames. The
+// first EOP after the drop terminates the dropped frame (resync), exactly
+// like the RX reassembly bound.
+TEST(Security, EndlessTxChainIsBoundedAndDropped) {
+  NetBench::Options options;
+  options.start_peer = false;
+  NetBench bench(options);
+  WireRecorder wire;
+  bench.link.Attach(1, &wire);
+  auto attack = std::make_unique<drivers::TxChainAttackDriver>();
+  auto* p = attack.get();
+  ASSERT_TRUE(bench.host->Start(std::move(attack)).ok());
+
+  Result<uint32_t> armed = p->FireEndlessChain(0x5e);
+  ASSERT_TRUE(armed.ok());
+  EXPECT_EQ(wire.frames.size(), 0u);  // not one forged byte on the wire
+  EXPECT_EQ(bench.sut_nic.stats().tx_dropped_chain, 1u);
+  EXPECT_EQ(bench.sut_nic.stats().tx_frames, 0u);
+
+  // Liveness: the resync eats the first EOP (it terminates the dropped
+  // frame); the next frame transmits whole.
+  ASSERT_TRUE(p->SendGoodFrame(0xa1, 64).ok());
+  EXPECT_EQ(wire.frames.size(), 0u);
+  ASSERT_TRUE(p->SendGoodFrame(0xa2, 64).ok());
+  ASSERT_EQ(wire.frames.size(), 1u);
+  EXPECT_EQ(wire.frames[0], std::vector<uint8_t>(64, 0xa2));
+}
+
+// Torn TX chain: fragments armed, the EOP never rung. Whole-frame-or-
+// nothing means NOTHING reaches the wire while the chain is open — and the
+// eventual EOP releases the complete frame exactly once.
+TEST(Security, TornTxChainParksWithoutLeakingOrWedging) {
+  NetBench::Options options;
+  options.start_peer = false;
+  NetBench bench(options);
+  WireRecorder wire;
+  bench.link.Attach(1, &wire);
+  auto attack = std::make_unique<drivers::TxChainAttackDriver>();
+  auto* p = attack.get();
+  ASSERT_TRUE(bench.host->Start(std::move(attack)).ok());
+
+  ASSERT_TRUE(p->FireTornChain(3, 0x7c).ok());
+  EXPECT_EQ(wire.frames.size(), 0u);
+  EXPECT_EQ(bench.sut_nic.stats().tx_dropped_chain, 0u);  // parked, not dropped
+
+  ASSERT_TRUE(p->FinishTornChain(0x7c).ok());
+  ASSERT_EQ(wire.frames.size(), 1u);
+  EXPECT_EQ(wire.frames[0].size(), 4u * p->frag_len());
+  EXPECT_EQ(wire.frames[0], std::vector<uint8_t>(4u * p->frag_len(), 0x7c));
+  EXPECT_EQ(bench.sut_nic.stats().tx_chain_frames, 1u);
+  EXPECT_EQ(bench.sut_nic.stats().tx_chain_descs, 4u);
+}
+
+// Over-cap TX chain: more fragments than kern::kMaxChainFrags, EOP at the
+// end. The descriptor cap trips (tiny fragments keep the byte bound out of
+// the way), the chain drops whole, and the trailing EOP is consumed by the
+// resync — garbage tail fragments can never be parsed as a fresh frame.
+TEST(Security, OverCapTxChainDropsWholeAndResyncs) {
+  NetBench::Options options;
+  options.start_peer = false;
+  NetBench bench(options);
+  WireRecorder wire;
+  bench.link.Attach(1, &wire);
+  auto attack = std::make_unique<drivers::TxChainAttackDriver>();
+  auto* p = attack.get();
+  ASSERT_TRUE(bench.host->Start(std::move(attack)).ok());
+
+  ASSERT_TRUE(p->FireOverCapChain(4, 0x9d).ok());
+  EXPECT_EQ(wire.frames.size(), 0u);
+  EXPECT_EQ(bench.sut_nic.stats().tx_dropped_chain, 1u);
+
+  ASSERT_TRUE(p->SendGoodFrame(0xa3, 64).ok());
+  ASSERT_EQ(wire.frames.size(), 1u);
+  EXPECT_EQ(wire.frames[0], std::vector<uint8_t>(64, 0xa3));
+}
+
+// Forged kEthUpXmitChain messages (count/payload mismatch, bogus pool ids,
+// fragment lengths above one staging buffer, oversize totals): the runtime
+// re-validates every record against the pool and rejects the message before
+// a single descriptor is armed.
+TEST(Security, ForgedXmitChainUpcallsRejectedBeforeArming) {
+  NetBench bench;
+  ASSERT_TRUE(bench.StartSut().ok());
+
+  auto forge = [&](uint64_t claimed,
+                   std::vector<std::pair<uint32_t, uint32_t>> records) {
+    UchanMsg msg;
+    msg.opcode = kEthUpXmitChain;
+    msg.args[0] = 0;
+    msg.args[1] = claimed;
+    msg.inline_data.resize(records.size() * kXmitChainFragBytes);
+    for (size_t i = 0; i < records.size(); ++i) {
+      StoreLe32(msg.inline_data.data() + i * kXmitChainFragBytes, records[i].first);
+      StoreLe32(msg.inline_data.data() + i * kXmitChainFragBytes + 4, records[i].second);
+    }
+    ASSERT_TRUE(bench.ctx->ctl().SendAsync(std::move(msg)).ok());
+  };
+  forge(3, {{0, 512}, {1, 512}});      // count disagrees with the payload
+  forge(2, {{0, 512}, {60000, 512}});  // id the pool never issued
+  forge(2, {{0, 4096}, {1, 512}});     // fragment larger than one buffer
+  forge(6, {{0, 2048}, {1, 2048}, {2, 2048}, {3, 2048}, {4, 2048}, {5, 2048}});  // > jumbo
+  forge(1, {{0, 0}});                  // zero-length fragment
+  bench.host->Pump();
+
+  EXPECT_EQ(bench.host->runtime()->stats().xmit_chains_rejected, 5u);
+  EXPECT_EQ(bench.host->runtime()->stats().xmit_chain_upcalls, 0u);
+  EXPECT_EQ(bench.sut_nic.stats().tx_frames, 0u);
+  EXPECT_EQ(bench.sut_driver->stats().tx_queued, 0u);
+}
+
+// Buffer-id reuse across a chain's completion (the same pool buffer "freed"
+// repeatedly, plus an id that never existed): the pool tolerates and counts
+// every one, and its free list never grows past consistency.
+TEST(Security, TxBufferIdReuseIsToleratedAndCounted) {
+  NetBench bench;
+  auto attack = std::make_unique<drivers::BufferReuseAttackDriver>();
+  auto* p = attack.get();
+  ASSERT_TRUE(bench.host->Start(std::move(attack)).ok());
+
+  uint32_t free_before = bench.ctx->pool().free_count();
+  ASSERT_TRUE(p->FireReusedFrees(3, 5).ok());
+  bench.host->Pump();
+  EXPECT_EQ(bench.ctx->pool().double_frees(), 6u);  // 5 reuses + 1 wild id
+  EXPECT_EQ(bench.ctx->pool().free_count(), free_before);
+}
+
+// Mid-CHAIN descriptor rewrite: the chain's fragments are repointed at a
+// secret while the device is mid-pass (after the cacheline burst fetch).
+// Snapshot immunity holds fragment-wise: the chain transmits exactly the
+// armed bytes, whole, exactly once.
+TEST(Security, MidChainTxRewriteTransmitsArmedBytesOnly) {
+  NetBench::Options options;
+  options.start_peer = false;
+  NetBench bench(options);
+  uint64_t secret = bench.machine.dram().AllocPages(1).value();
+  std::vector<uint8_t> secret_bytes(64, 0x5e);
+  ASSERT_TRUE(bench.machine.dram().Write(secret, {secret_bytes.data(), 64}).ok());
+
+  auto attack = std::make_unique<drivers::DescRewriteAttackDriver>();
+  auto* p = attack.get();
+  ASSERT_TRUE(bench.host->Start(std::move(attack)).ok());
+
+  drivers::DescRewritePeer peer;  // rewrites chain descs 1..3 mid-pass
+  peer.driver = p;
+  peer.target = secret;
+  bench.link.Attach(1, &peer);
+
+  ASSERT_TRUE(p->ArmChainAndDoorbell(3, 0xab).ok());
+  ASSERT_EQ(peer.frames.size(), 2u);  // the lead frame + the WHOLE chain
+  EXPECT_EQ(peer.frames[0].size(), 64u);
+  EXPECT_EQ(peer.frames[1].size(), 192u);  // 3 fragments x 64 armed bytes
+  for (const std::vector<uint8_t>& frame : peer.frames) {
+    for (uint8_t byte : frame) {
+      EXPECT_EQ(byte, 0xab);
+    }
+  }
+  EXPECT_EQ(bench.machine.iommu().faults().size(), 0u);
+  EXPECT_EQ(bench.sut_nic.stats().tx_chain_frames, 1u);
+}
+
 TEST(Security, WrongUidCannotBindDevice) {
   NetBench::Options options;
   options.start_sut = true;
