@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_jumbo.dir/bench/abl_jumbo.cc.o"
+  "CMakeFiles/abl_jumbo.dir/bench/abl_jumbo.cc.o.d"
+  "abl_jumbo"
+  "abl_jumbo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_jumbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_nic_queues.dir/bench/abl_nic_queues.cc.o"
+  "CMakeFiles/abl_nic_queues.dir/bench/abl_nic_queues.cc.o.d"
+  "abl_nic_queues"
+  "abl_nic_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_nic_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devices_test.dir/tests/devices_test.cc.o"
+  "CMakeFiles/devices_test.dir/tests/devices_test.cc.o.d"
+  "devices_test"
+  "devices_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devices_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_host_test.dir/tests/driver_host_test.cc.o"
+  "CMakeFiles/driver_host_test.dir/tests/driver_host_test.cc.o.d"
+  "driver_host_test"
+  "driver_host_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_host_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

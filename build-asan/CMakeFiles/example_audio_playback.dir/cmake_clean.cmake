@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_audio_playback.dir/examples/audio_playback.cpp.o"
+  "CMakeFiles/example_audio_playback.dir/examples/audio_playback.cpp.o.d"
+  "example_audio_playback"
+  "example_audio_playback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_audio_playback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_click_router.dir/examples/click_router.cpp.o"
+  "CMakeFiles/example_click_router.dir/examples/click_router.cpp.o.d"
+  "example_click_router"
+  "example_click_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_click_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_driver_restart.dir/examples/driver_restart.cpp.o"
+  "CMakeFiles/example_driver_restart.dir/examples/driver_restart.cpp.o.d"
+  "example_driver_restart"
+  "example_driver_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_driver_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

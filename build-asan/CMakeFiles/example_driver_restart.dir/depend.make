@@ -1,0 +1,2 @@
+# Empty dependencies file for example_driver_restart.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_malicious_driver_containment.dir/examples/malicious_driver_containment.cpp.o"
+  "CMakeFiles/example_malicious_driver_containment.dir/examples/malicious_driver_containment.cpp.o.d"
+  "example_malicious_driver_containment"
+  "example_malicious_driver_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_malicious_driver_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

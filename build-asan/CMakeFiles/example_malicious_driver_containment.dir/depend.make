@@ -1,0 +1,2 @@
+# Empty dependencies file for example_malicious_driver_containment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_usb_keyboard.dir/examples/usb_keyboard.cpp.o"
+  "CMakeFiles/example_usb_keyboard.dir/examples/usb_keyboard.cpp.o.d"
+  "example_usb_keyboard"
+  "example_usb_keyboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_usb_keyboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_usb_keyboard.
+# This may be replaced when dependencies are built.

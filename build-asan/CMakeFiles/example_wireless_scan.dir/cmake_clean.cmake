@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_wireless_scan.dir/examples/wireless_scan.cpp.o"
+  "CMakeFiles/example_wireless_scan.dir/examples/wireless_scan.cpp.o.d"
+  "example_wireless_scan"
+  "example_wireless_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_wireless_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

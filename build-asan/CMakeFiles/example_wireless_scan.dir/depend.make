@@ -1,0 +1,2 @@
+# Empty dependencies file for example_wireless_scan.
+# This may be replaced when dependencies are built.

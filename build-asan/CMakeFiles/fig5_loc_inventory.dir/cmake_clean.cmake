@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_loc_inventory.dir/bench/fig5_loc_inventory.cc.o"
+  "CMakeFiles/fig5_loc_inventory.dir/bench/fig5_loc_inventory.cc.o.d"
+  "fig5_loc_inventory"
+  "fig5_loc_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_loc_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

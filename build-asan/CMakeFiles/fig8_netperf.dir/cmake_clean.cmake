@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_netperf.dir/bench/fig8_netperf.cc.o"
+  "CMakeFiles/fig8_netperf.dir/bench/fig8_netperf.cc.o.d"
+  "fig8_netperf"
+  "fig8_netperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_netperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

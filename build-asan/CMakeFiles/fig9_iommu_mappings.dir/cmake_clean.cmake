@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_iommu_mappings.dir/bench/fig9_iommu_mappings.cc.o"
+  "CMakeFiles/fig9_iommu_mappings.dir/bench/fig9_iommu_mappings.cc.o.d"
+  "fig9_iommu_mappings"
+  "fig9_iommu_mappings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_iommu_mappings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_test.dir/tests/fig9_test.cc.o"
+  "CMakeFiles/fig9_test.dir/tests/fig9_test.cc.o.d"
+  "fig9_test"
+  "fig9_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_iommu_test.dir/tests/hw_iommu_test.cc.o"
+  "CMakeFiles/hw_iommu_test.dir/tests/hw_iommu_test.cc.o.d"
+  "hw_iommu_test"
+  "hw_iommu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_iommu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_devices_test.dir/tests/integration_devices_test.cc.o"
+  "CMakeFiles/integration_devices_test.dir/tests/integration_devices_test.cc.o.d"
+  "integration_devices_test"
+  "integration_devices_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_devices_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

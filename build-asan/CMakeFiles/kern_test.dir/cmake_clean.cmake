@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kern_test.dir/tests/kern_test.cc.o"
+  "CMakeFiles/kern_test.dir/tests/kern_test.cc.o.d"
+  "kern_test"
+  "kern_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

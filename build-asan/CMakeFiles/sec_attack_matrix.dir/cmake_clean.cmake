@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec_attack_matrix.dir/bench/sec_attack_matrix.cc.o"
+  "CMakeFiles/sec_attack_matrix.dir/bench/sec_attack_matrix.cc.o.d"
+  "sec_attack_matrix"
+  "sec_attack_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec_attack_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

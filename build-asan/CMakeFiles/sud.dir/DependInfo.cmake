@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/bytes.cc" "CMakeFiles/sud.dir/src/base/bytes.cc.o" "gcc" "CMakeFiles/sud.dir/src/base/bytes.cc.o.d"
+  "/root/repo/src/base/clock.cc" "CMakeFiles/sud.dir/src/base/clock.cc.o" "gcc" "CMakeFiles/sud.dir/src/base/clock.cc.o.d"
+  "/root/repo/src/base/cpu_model.cc" "CMakeFiles/sud.dir/src/base/cpu_model.cc.o" "gcc" "CMakeFiles/sud.dir/src/base/cpu_model.cc.o.d"
+  "/root/repo/src/base/log.cc" "CMakeFiles/sud.dir/src/base/log.cc.o" "gcc" "CMakeFiles/sud.dir/src/base/log.cc.o.d"
+  "/root/repo/src/base/status.cc" "CMakeFiles/sud.dir/src/base/status.cc.o" "gcc" "CMakeFiles/sud.dir/src/base/status.cc.o.d"
+  "/root/repo/src/devices/audio_dev.cc" "CMakeFiles/sud.dir/src/devices/audio_dev.cc.o" "gcc" "CMakeFiles/sud.dir/src/devices/audio_dev.cc.o.d"
+  "/root/repo/src/devices/ether_link.cc" "CMakeFiles/sud.dir/src/devices/ether_link.cc.o" "gcc" "CMakeFiles/sud.dir/src/devices/ether_link.cc.o.d"
+  "/root/repo/src/devices/ne2k_nic.cc" "CMakeFiles/sud.dir/src/devices/ne2k_nic.cc.o" "gcc" "CMakeFiles/sud.dir/src/devices/ne2k_nic.cc.o.d"
+  "/root/repo/src/devices/sim_nic.cc" "CMakeFiles/sud.dir/src/devices/sim_nic.cc.o" "gcc" "CMakeFiles/sud.dir/src/devices/sim_nic.cc.o.d"
+  "/root/repo/src/devices/usb_host.cc" "CMakeFiles/sud.dir/src/devices/usb_host.cc.o" "gcc" "CMakeFiles/sud.dir/src/devices/usb_host.cc.o.d"
+  "/root/repo/src/devices/wifi_nic.cc" "CMakeFiles/sud.dir/src/devices/wifi_nic.cc.o" "gcc" "CMakeFiles/sud.dir/src/devices/wifi_nic.cc.o.d"
+  "/root/repo/src/drivers/e1000e.cc" "CMakeFiles/sud.dir/src/drivers/e1000e.cc.o" "gcc" "CMakeFiles/sud.dir/src/drivers/e1000e.cc.o.d"
+  "/root/repo/src/drivers/iwl.cc" "CMakeFiles/sud.dir/src/drivers/iwl.cc.o" "gcc" "CMakeFiles/sud.dir/src/drivers/iwl.cc.o.d"
+  "/root/repo/src/drivers/malicious.cc" "CMakeFiles/sud.dir/src/drivers/malicious.cc.o" "gcc" "CMakeFiles/sud.dir/src/drivers/malicious.cc.o.d"
+  "/root/repo/src/drivers/ne2k.cc" "CMakeFiles/sud.dir/src/drivers/ne2k.cc.o" "gcc" "CMakeFiles/sud.dir/src/drivers/ne2k.cc.o.d"
+  "/root/repo/src/drivers/snd_hda.cc" "CMakeFiles/sud.dir/src/drivers/snd_hda.cc.o" "gcc" "CMakeFiles/sud.dir/src/drivers/snd_hda.cc.o.d"
+  "/root/repo/src/drivers/usb_hcd.cc" "CMakeFiles/sud.dir/src/drivers/usb_hcd.cc.o" "gcc" "CMakeFiles/sud.dir/src/drivers/usb_hcd.cc.o.d"
+  "/root/repo/src/hw/desc_ring.cc" "CMakeFiles/sud.dir/src/hw/desc_ring.cc.o" "gcc" "CMakeFiles/sud.dir/src/hw/desc_ring.cc.o.d"
+  "/root/repo/src/hw/iommu.cc" "CMakeFiles/sud.dir/src/hw/iommu.cc.o" "gcc" "CMakeFiles/sud.dir/src/hw/iommu.cc.o.d"
+  "/root/repo/src/hw/machine.cc" "CMakeFiles/sud.dir/src/hw/machine.cc.o" "gcc" "CMakeFiles/sud.dir/src/hw/machine.cc.o.d"
+  "/root/repo/src/hw/msi.cc" "CMakeFiles/sud.dir/src/hw/msi.cc.o" "gcc" "CMakeFiles/sud.dir/src/hw/msi.cc.o.d"
+  "/root/repo/src/hw/pci_config.cc" "CMakeFiles/sud.dir/src/hw/pci_config.cc.o" "gcc" "CMakeFiles/sud.dir/src/hw/pci_config.cc.o.d"
+  "/root/repo/src/hw/pci_device.cc" "CMakeFiles/sud.dir/src/hw/pci_device.cc.o" "gcc" "CMakeFiles/sud.dir/src/hw/pci_device.cc.o.d"
+  "/root/repo/src/hw/pcie_fabric.cc" "CMakeFiles/sud.dir/src/hw/pcie_fabric.cc.o" "gcc" "CMakeFiles/sud.dir/src/hw/pcie_fabric.cc.o.d"
+  "/root/repo/src/hw/phys_mem.cc" "CMakeFiles/sud.dir/src/hw/phys_mem.cc.o" "gcc" "CMakeFiles/sud.dir/src/hw/phys_mem.cc.o.d"
+  "/root/repo/src/kern/audio.cc" "CMakeFiles/sud.dir/src/kern/audio.cc.o" "gcc" "CMakeFiles/sud.dir/src/kern/audio.cc.o.d"
+  "/root/repo/src/kern/kernel.cc" "CMakeFiles/sud.dir/src/kern/kernel.cc.o" "gcc" "CMakeFiles/sud.dir/src/kern/kernel.cc.o.d"
+  "/root/repo/src/kern/netdev.cc" "CMakeFiles/sud.dir/src/kern/netdev.cc.o" "gcc" "CMakeFiles/sud.dir/src/kern/netdev.cc.o.d"
+  "/root/repo/src/kern/packet.cc" "CMakeFiles/sud.dir/src/kern/packet.cc.o" "gcc" "CMakeFiles/sud.dir/src/kern/packet.cc.o.d"
+  "/root/repo/src/kern/process.cc" "CMakeFiles/sud.dir/src/kern/process.cc.o" "gcc" "CMakeFiles/sud.dir/src/kern/process.cc.o.d"
+  "/root/repo/src/kern/wireless.cc" "CMakeFiles/sud.dir/src/kern/wireless.cc.o" "gcc" "CMakeFiles/sud.dir/src/kern/wireless.cc.o.d"
+  "/root/repo/src/sud/dma_space.cc" "CMakeFiles/sud.dir/src/sud/dma_space.cc.o" "gcc" "CMakeFiles/sud.dir/src/sud/dma_space.cc.o.d"
+  "/root/repo/src/sud/proxy_audio.cc" "CMakeFiles/sud.dir/src/sud/proxy_audio.cc.o" "gcc" "CMakeFiles/sud.dir/src/sud/proxy_audio.cc.o.d"
+  "/root/repo/src/sud/proxy_ethernet.cc" "CMakeFiles/sud.dir/src/sud/proxy_ethernet.cc.o" "gcc" "CMakeFiles/sud.dir/src/sud/proxy_ethernet.cc.o.d"
+  "/root/repo/src/sud/proxy_wireless.cc" "CMakeFiles/sud.dir/src/sud/proxy_wireless.cc.o" "gcc" "CMakeFiles/sud.dir/src/sud/proxy_wireless.cc.o.d"
+  "/root/repo/src/sud/safe_pci.cc" "CMakeFiles/sud.dir/src/sud/safe_pci.cc.o" "gcc" "CMakeFiles/sud.dir/src/sud/safe_pci.cc.o.d"
+  "/root/repo/src/sud/shared_pool.cc" "CMakeFiles/sud.dir/src/sud/shared_pool.cc.o" "gcc" "CMakeFiles/sud.dir/src/sud/shared_pool.cc.o.d"
+  "/root/repo/src/sud/uchan.cc" "CMakeFiles/sud.dir/src/sud/uchan.cc.o" "gcc" "CMakeFiles/sud.dir/src/sud/uchan.cc.o.d"
+  "/root/repo/src/uml/direct_env.cc" "CMakeFiles/sud.dir/src/uml/direct_env.cc.o" "gcc" "CMakeFiles/sud.dir/src/uml/direct_env.cc.o.d"
+  "/root/repo/src/uml/driver_host.cc" "CMakeFiles/sud.dir/src/uml/driver_host.cc.o" "gcc" "CMakeFiles/sud.dir/src/uml/driver_host.cc.o.d"
+  "/root/repo/src/uml/uml_runtime.cc" "CMakeFiles/sud.dir/src/uml/uml_runtime.cc.o" "gcc" "CMakeFiles/sud.dir/src/uml/uml_runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sud_core_test.dir/tests/sud_core_test.cc.o"
+  "CMakeFiles/sud_core_test.dir/tests/sud_core_test.cc.o.d"
+  "sud_core_test"
+  "sud_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sud_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supervisor_test.dir/tests/supervisor_test.cc.o"
+  "CMakeFiles/supervisor_test.dir/tests/supervisor_test.cc.o.d"
+  "supervisor_test"
+  "supervisor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supervisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uchan_test.dir/tests/uchan_test.cc.o"
+  "CMakeFiles/uchan_test.dir/tests/uchan_test.cc.o.d"
+  "uchan_test"
+  "uchan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uchan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
