@@ -11,6 +11,7 @@
 #include "src/base/bytes.h"
 #include "src/base/log.h"
 #include "src/drivers/malicious.h"
+#include "src/uml/supervisor.h"
 #include "tests/harness.h"
 
 namespace sud {
@@ -437,6 +438,297 @@ Cell RunResourceHog(NetBench::Options options, const std::string& config) {
   return {"resource exhaustion", config, contained, note};
 }
 
+// ---- Restart-time attacks: the crash/recovery window (PR 6) -------------
+//
+// Everything above attacks a RUNNING driver. The cells below attack the
+// recovery machinery itself: stale handles replayed across an epoch, a
+// teardown the driver tries to wedge, crash loops against the restart
+// budget, and DMA landing in the windows where no driver instance exists.
+
+uml::DriverSupervisor::DriverFactory E1000eFactory(uint32_t queues, uint32_t mtu) {
+  return [queues, mtu]() -> std::unique_ptr<uml::Driver> {
+    return std::make_unique<drivers::E1000eDriver>(queues, mtu);
+  };
+}
+
+// Stale-handle replay: the driver harvests real pool buffer ids, crashes,
+// and its successor replays the dead epoch's handles as a free batch. Every
+// one must be rejected (the epoch tag no longer matches) and counted; none
+// may touch the fresh pool's free list.
+Cell RunStaleFreeReplay(NetBench::Options options, const std::string& config) {
+  NetBench bench(options);
+  std::vector<int32_t> notebook;
+  (void)bench.host->Start(std::make_unique<drivers::StaleReplayDriver>(&notebook));
+  (void)bench.kernel.net().BringUp("eth0");
+  std::vector<uint8_t> payload(128, 0x41);
+  (void)bench.SutSendBurst(7000, 80, {payload.data(), payload.size()}, 8);
+  bench.host->Pump();
+  size_t harvested = notebook.size();
+  (void)bench.host->Kill();
+  // The successor inherits the attacker's notebook but a fresh pool epoch.
+  auto fresh = std::make_unique<drivers::StaleReplayDriver>(&notebook);
+  auto* p = fresh.get();
+  (void)bench.host->Start(std::move(fresh));
+  uint32_t free_before = bench.ctx->pool().free_count();
+  (void)p->ReplayFrees();
+  bench.host->Pump();
+  uint64_t rejected = bench.ctx->pool().stale_frees();
+  bool contained = harvested == 8 && rejected == harvested &&
+                   bench.ctx->pool().free_count() == free_before;
+  char note[96];
+  std::snprintf(note, sizeof(note), "%llu/%zu dead-epoch frees rejected, free list untouched",
+                (unsigned long long)rejected, harvested);
+  return {"stale free replay", config, contained, note};
+}
+
+// Mixed-batch replay: one coalesced free batch interleaving dead-epoch
+// handles with the successor's own legitimately-held ones. The stale ids
+// must be rejected individually while the current ids free normally — no
+// poisoning in either direction.
+Cell RunStaleBatchReplay(NetBench::Options options, const std::string& config) {
+  NetBench bench(options);
+  std::vector<int32_t> notebook;
+  (void)bench.host->Start(std::make_unique<drivers::StaleReplayDriver>(&notebook));
+  (void)bench.kernel.net().BringUp("eth0");
+  std::vector<uint8_t> payload(128, 0x42);
+  (void)bench.SutSendBurst(7200, 80, {payload.data(), payload.size()}, 6);
+  bench.host->Pump();
+  size_t stale_count = notebook.size();
+  (void)bench.host->Kill();
+  auto fresh = std::make_unique<drivers::StaleReplayDriver>(&notebook);
+  auto* p = fresh.get();
+  (void)bench.host->Start(std::move(fresh));
+  // The successor stages four frames of its own: current-epoch handles
+  // appended to the same notebook, making the replay batch a stale/valid mix.
+  (void)bench.SutSendBurst(7300, 80, {payload.data(), payload.size()}, 4);
+  bench.host->Pump();
+  uint32_t held = bench.ctx->pool().outstanding();
+  (void)p->ReplayFrees();
+  bench.host->Pump();
+  bool contained = stale_count == 6 && held == 4 &&
+                   bench.ctx->pool().stale_frees() == stale_count &&
+                   bench.ctx->pool().outstanding() == 0;
+  char note[96];
+  std::snprintf(note, sizeof(note),
+                "%zu stale rejected, %u current freed from one mixed batch", stale_count, held);
+  return {"mixed-epoch free batch", config, contained, note};
+}
+
+// Wedged teardown: the driver stops servicing its queue with upcalls
+// pending, so a graceful stop would block for the full sync timeout. The
+// watchdog must spot the stall, and recovery must kill FIRST — the ordering
+// that bounds the administrator dance regardless of driver cooperation.
+Cell RunWedgedTeardown(NetBench::Options options, const std::string& config) {
+  options.sud.uchan.sync_timeout_ms = 2000;  // what a polite teardown would eat
+  NetBench bench(options);
+  if (!bench.StartSut().ok()) {
+    return {"wedged teardown", config, false, "sut failed to start"};
+  }
+  bench.MaskPeerIrq();
+  uml::DriverSupervisor::Options sup_options;
+  sup_options.watchdog_strikes = 2;
+  uml::DriverSupervisor sup(&bench.kernel, bench.host.get(), E1000eFactory(1, bench.mtu_),
+                            sup_options);
+  sup.ShadowNetdev("eth0");
+  sup.AttachProxy(bench.proxy.get());
+  // Wedge: park transmits in the ring and stop pumping — alive, not serving.
+  std::vector<uint8_t> payload(64, 0x11);
+  (void)bench.SutSendBurst(9000, 80, {payload.data(), payload.size()}, 4);
+  int recoveries = 0;
+  for (int i = 0; i < 6 && recoveries == 0; ++i) {
+    recoveries += sup.CheckAndRecover() ? 1 : 0;
+  }
+  uml::DriverSupervisor::Stats stats = sup.stats();
+  bool bounded = stats.last_recovery_ns < 1000ull * 1000 * 1000;  // << sync timeout
+  (void)bench.PeerSend(1, 80, {payload.data(), payload.size()});
+  bench.host->Pump();
+  uint64_t delivered = bench.kernel.net().Find("eth0")->stats().rx_packets.load();
+  bool contained = recoveries == 1 && stats.watchdog_recoveries == 1 && bounded &&
+                   stats.buffers_quarantined == 4 && delivered >= 1;
+  char note[96];
+  std::snprintf(note, sizeof(note),
+                "watchdog fired, recovery %llu ms (timeout 2000), %llu buffers quarantined",
+                (unsigned long long)(stats.last_recovery_ns / 1000000),
+                (unsigned long long)stats.buffers_quarantined);
+  return {"wedged teardown", config, contained, note};
+}
+
+// Crash-loop exhaustion: a driver that dies every time it is revived would
+// turn automatic recovery into an infinite restart storm. The budget must
+// hold — terminal give-up, interface parked down/unregistered for the
+// administrator, and every further recovery refused (and counted).
+Cell RunCrashLoopExhaustion(NetBench::Options options, const std::string& config) {
+  NetBench bench(options);
+  if (!bench.StartSut().ok()) {
+    return {"crash-loop exhaustion", config, false, "sut failed to start"};
+  }
+  uml::DriverSupervisor::Options sup_options;
+  sup_options.max_restarts = 3;
+  uml::DriverSupervisor sup(&bench.kernel, bench.host.get(), E1000eFactory(1, bench.mtu_),
+                            sup_options);
+  sup.ShadowNetdev("eth0");
+  sup.AttachProxy(bench.proxy.get());
+  for (int i = 0; i < 5; ++i) {
+    (void)bench.host->Kill();
+    (void)sup.CheckAndRecover();
+  }
+  uml::DriverSupervisor::Stats stats = sup.stats();
+  bool parked = sup.gave_up() && bench.kernel.net().Find("eth0") == nullptr;
+  bool contained = stats.restarts == 3 && parked && stats.give_ups >= 1 &&
+                   !sup.CheckAndRecover();
+  char note[96];
+  std::snprintf(note, sizeof(note),
+                "%u/%u restart budget spent, %llu refusals, interface parked", stats.restarts,
+                sup_options.max_restarts, (unsigned long long)stats.give_ups);
+  return {"crash-loop exhaustion", config, contained, note};
+}
+
+// Dead-window DMA: frames keep arriving while no driver instance exists
+// (killed, not yet restarted). Nothing may land — the IOMMU context is
+// revoked at teardown — and the replacement must pick the interface back up.
+Cell RunDeadWindowDma(NetBench::Options options, const std::string& config) {
+  NetBench bench(options);
+  if (!bench.StartSut().ok()) {
+    return {"dead-window DMA", config, false, "sut failed to start"};
+  }
+  bench.MaskPeerIrq();
+  uml::DriverSupervisor sup(&bench.kernel, bench.host.get(), E1000eFactory(1, bench.mtu_));
+  sup.ShadowNetdev("eth0");
+  sup.AttachProxy(bench.proxy.get());
+  std::vector<uint8_t> payload(128, 0x77);
+  (void)bench.PeerSend(1000, 80, {payload.data(), payload.size()});
+  bench.host->Pump();
+  kern::NetDevice* dev = bench.kernel.net().Find("eth0");
+  uint64_t base = dev->stats().rx_packets.load();
+  (void)bench.host->Kill();
+  for (int i = 0; i < 16; ++i) {
+    (void)bench.PeerSend(static_cast<uint16_t>(1001 + i), 80,
+                         {payload.data(), payload.size()});
+  }
+  uint64_t during = dev->stats().rx_packets.load() - base;
+  (void)sup.CheckAndRecover();
+  (void)bench.PeerSend(2000, 80, {payload.data(), payload.size()});
+  bench.host->Pump();
+  uint64_t after = dev->stats().rx_packets.load() - base;
+  bool contained = base >= 1 && during == 0 && after >= 1;
+  char note[96];
+  std::snprintf(note, sizeof(note),
+                "16 frames into the dead window: %llu smeared, service back after restart",
+                (unsigned long long)during);
+  return {"dead-window DMA", config, contained, note};
+}
+
+// Upgrade-window loss: a hot upgrade cuts over with transmits still staged
+// in pool buffers and upcalls pending. The per-queue drain must push every
+// one to the wire before the kill — zero packets lost, zero quarantined.
+Cell RunUpgradeWindowDma(NetBench::Options options, const std::string& config) {
+  options.start_peer = false;
+  NetBench bench(options);
+  WireRecorder sink;
+  bench.link.Attach(1, &sink);
+  if (!bench.StartSut().ok()) {
+    return {"upgrade-window loss", config, false, "sut failed to start"};
+  }
+  uml::DriverSupervisor sup(&bench.kernel, bench.host.get(), E1000eFactory(1, bench.mtu_));
+  sup.ShadowNetdev("eth0");
+  sup.AttachProxy(bench.proxy.get());
+  std::vector<uint8_t> payload(512, 0x3c);
+  // 24 transmits staged but unpumped: the in-flight work of the window.
+  (void)bench.SutSendBurst(6000, 80, {payload.data(), payload.size()}, 24);
+  Status upgraded = sup.Upgrade(E1000eFactory(1, bench.mtu_));
+  size_t drained_to_wire = sink.frames.size();
+  (void)bench.SutSendBurst(6100, 80, {payload.data(), payload.size()}, 4);
+  bench.host->Pump();
+  uml::DriverSupervisor::Stats stats = sup.stats();
+  bool contained = upgraded.ok() && drained_to_wire == 24 && sink.frames.size() == 28 &&
+                   stats.upgrades == 1 && stats.buffers_quarantined == 0;
+  char note[96];
+  std::snprintf(note, sizeof(note),
+                "%zu/24 staged frames drained to wire pre-cutover, %llu quarantined",
+                drained_to_wire, (unsigned long long)stats.buffers_quarantined);
+  return {"upgrade-window loss", config, contained, note};
+}
+
+// Per-queue watchdog stall: on a 4-queue device one shard silently stops
+// while the rest are idle — no aggregate counter moves. The per-queue
+// progress watchdog must still catch it, and the replacement must spread
+// load across all four queues again.
+Cell RunWatchdogStall(NetBench::Options options, const std::string& config) {
+  options.nic_queues = 4;
+  NetBench bench(options);
+  if (!bench.StartSut().ok()) {
+    return {"per-queue stall", config, false, "sut failed to start"};
+  }
+  bench.MaskPeerIrq();
+  uml::DriverSupervisor::Options sup_options;
+  sup_options.watchdog_strikes = 2;
+  uml::DriverSupervisor sup(&bench.kernel, bench.host.get(), E1000eFactory(4, bench.mtu_),
+                            sup_options);
+  sup.ShadowNetdev("eth0");
+  sup.AttachProxy(bench.proxy.get());
+  // One flow's transmits parked on its steering queue; the other three
+  // queues are healthy-idle and must accumulate no strikes.
+  std::vector<uint8_t> payload(64, 0x2a);
+  (void)bench.SutSendBurst(9100, 80, {payload.data(), payload.size()}, 4);
+  int recoveries = 0;
+  for (int i = 0; i < 6 && recoveries == 0; ++i) {
+    recoveries += sup.CheckAndRecover() ? 1 : 0;
+  }
+  // Post-recovery: the 4-queue spread must be back.
+  kern::NetDevice* netdev = bench.kernel.net().Find("eth0");
+  std::array<uint64_t, 4> before{};
+  for (uint16_t q = 0; q < 4; ++q) {
+    before[q] = netdev->queue_stats(q).rx_packets.load();
+  }
+  std::vector<uint8_t> flood_payload(256, 0x2b);
+  for (int sent = 0; sent < 256; sent += 16) {
+    (void)bench.PeerSendFlowBurst(21000, 80, {flood_payload.data(), flood_payload.size()}, 16,
+                                  16);
+    bench.host->Pump();
+  }
+  int active = 0;
+  uint64_t total = 0;
+  for (uint16_t q = 0; q < 4; ++q) {
+    uint64_t delta = netdev->queue_stats(q).rx_packets.load() - before[q];
+    active += delta > 0 ? 1 : 0;
+    total += delta;
+  }
+  uml::DriverSupervisor::Stats stats = sup.stats();
+  bool contained = recoveries == 1 && stats.watchdog_recoveries == 1 && active >= 3 &&
+                   total == 256;
+  char note[96];
+  std::snprintf(note, sizeof(note),
+                "stalled queue caught by per-queue watchdog, %d/4 queues active after restart",
+                active);
+  return {"per-queue stall", config, contained, note};
+}
+
+// Quarantine accounting: a driver dies holding staging buffers. Teardown
+// must quarantine exactly that many with the dying epoch, and the successor
+// must see a whole pool — nothing leaked, nothing double-counted.
+Cell RunQuarantine(NetBench::Options options, const std::string& config) {
+  NetBench bench(options);
+  std::vector<int32_t> notebook;
+  (void)bench.host->Start(std::make_unique<drivers::StaleReplayDriver>(&notebook));
+  (void)bench.kernel.net().BringUp("eth0");
+  std::vector<uint8_t> payload(200, 0x66);
+  (void)bench.SutSendBurst(7100, 80, {payload.data(), payload.size()}, 12);
+  bench.host->Pump();
+  uint32_t outstanding = bench.ctx->pool().outstanding();
+  uint32_t capacity = bench.ctx->pool().free_count() + outstanding;
+  uint64_t q_before = bench.ctx->quarantined_buffers();
+  (void)bench.host->Kill();
+  uint64_t quarantined = bench.ctx->quarantined_buffers() - q_before;
+  (void)bench.host->Start(std::make_unique<drivers::E1000eDriver>(1, bench.mtu_));
+  bool contained = outstanding == 12 && quarantined == 12 &&
+                   bench.ctx->pool().outstanding() == 0 &&
+                   bench.ctx->pool().free_count() == capacity;
+  char note[96];
+  std::snprintf(note, sizeof(note), "%llu/%u in-flight buffers quarantined, pool whole after",
+                (unsigned long long)quarantined, outstanding);
+  return {"teardown quarantine", config, contained, note};
+}
+
 }  // namespace
 }  // namespace sud
 
@@ -473,6 +765,14 @@ int main() {
     cells.push_back(RunTxChainForgery(config.options, config.name));
     cells.push_back(RunTxBufferReuse(config.options, config.name));
     cells.push_back(RunTxMidChainRewrite(config.options, config.name));
+    cells.push_back(RunStaleFreeReplay(config.options, config.name));
+    cells.push_back(RunStaleBatchReplay(config.options, config.name));
+    cells.push_back(RunWedgedTeardown(config.options, config.name));
+    cells.push_back(RunCrashLoopExhaustion(config.options, config.name));
+    cells.push_back(RunDeadWindowDma(config.options, config.name));
+    cells.push_back(RunUpgradeWindowDma(config.options, config.name));
+    cells.push_back(RunWatchdogStall(config.options, config.name));
+    cells.push_back(RunQuarantine(config.options, config.name));
   }
   // The vulnerable no-ACS configuration, to show the attack is real.
   cells.push_back(RunP2p(Config(hw::IommuMode::kIntelVtd, false, false), "ACS OFF (vulnerable)"));

@@ -4,7 +4,22 @@
 #include <chrono>
 #include <vector>
 
+#include "src/base/log.h"
+
 namespace sud::devices {
+
+namespace {
+// A generator quitting on a wedged consumer must say WHICH queue stalled and
+// where the flow stood — the breadcrumb that turns a silent CI shortfall
+// into a diagnosis (which shard hung, how far the consumer got).
+void LogPeerGaveUp(const char* mode, size_t flow, uint64_t sent, uint64_t budget,
+                   uint64_t acked, bool paced) {
+  SUD_LOG(kWarning) << "ether peer (" << mode << "): flow " << flow
+                    << " gave up on a stalled consumer queue " << flow << " (sent " << sent
+                    << " of " << budget << ", consumer acked "
+                    << (paced ? std::to_string(acked) : std::string("unpaced")) << ")";
+}
+}  // namespace
 
 void EtherLink::Attach(int side, EtherEndpoint* endpoint) {
   if (side == 0 || side == 1) {
@@ -69,6 +84,7 @@ void EtherLink::StartPeers(std::vector<PeerFlow> flows, int side, uint64_t give_
     auto gen = std::make_unique<PeerGen>();
     gen->flow = std::move(flow);
     gen->frame_digest = FrameHash({gen->flow.frame.data(), gen->flow.frame.size()});
+    gen->index = peers_.size();
     peers_.push_back(std::move(gen));
   }
   for (auto& gen_ptr : peers_) {
@@ -76,19 +92,54 @@ void EtherLink::StartPeers(std::vector<PeerFlow> flows, int side, uint64_t give_
     gen->thread = std::thread([this, gen, side, give_up_ms]() {
       // Progress-based deadline: the clock only runs while window-blocked
       // with no consumer movement, so a slow-but-live SUT is never abandoned.
+      // The rewind clock is separate — retransmitting into a dead consumer
+      // must not postpone the give-up verdict.
       auto last_progress = std::chrono::steady_clock::now();
+      auto last_rewind = last_progress;
       uint64_t last_acked = 0;
-      while (gen->sent < gen->flow.count && !peers_stop_.load(std::memory_order_relaxed)) {
+      // `cursor` is the flow position; a go-back-N rewind moves it backwards,
+      // so the budget test runs on the cursor while stats.frames keeps
+      // counting every (re)transmission.
+      uint64_t& cursor = gen->sent;
+      // Paced flows drain their tail: the budget isn't done until the
+      // consumer acked it (or the give-up bound fired), otherwise a crash
+      // that eats the final window is indistinguishable from success.
+      auto budget_done = [&]() {
+        if (cursor < gen->flow.count) {
+          return false;
+        }
+        return gen->flow.acked == nullptr || last_acked >= gen->flow.count;
+      };
+      while (!budget_done() && !peers_stop_.load(std::memory_order_relaxed)) {
         if (gen->flow.acked != nullptr) {
           uint64_t acked = gen->flow.acked();
           if (acked != last_acked) {
             last_acked = acked;
             last_progress = std::chrono::steady_clock::now();
           }
-          if (gen->sent >= acked + gen->flow.window) {
-            if (std::chrono::steady_clock::now() - last_progress >
-                std::chrono::milliseconds(give_up_ms)) {
-              return;  // consumer wedged: leave the shortfall visible in stats
+          // Blocked while the window is full, and also while the budget is
+          // spent but its tail unacked — the tail-flush stall needs the same
+          // rewind/give-up machinery or an eaten final window spins forever.
+          if (cursor >= acked + gen->flow.window || cursor >= gen->flow.count) {
+            auto now = std::chrono::steady_clock::now();
+            if (gen->flow.retransmit_on_stall_ms > 0 &&
+                now - last_progress > std::chrono::milliseconds(gen->flow.retransmit_on_stall_ms) &&
+                now - last_rewind > std::chrono::milliseconds(gen->flow.retransmit_on_stall_ms)) {
+              // The unacked tail was eaten (driver restart tore down the
+              // rings it sat in): resend it. Loss stays visible because the
+              // retransmissions inflate stats.frames past the budget.
+              cursor = acked;
+              last_rewind = now;
+              gen->stats.rewinds.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            if (now - last_progress > std::chrono::milliseconds(give_up_ms)) {
+              // Consumer wedged: leave the shortfall visible in stats, and
+              // name the stalled queue with its last heartbeat counters.
+              gen->stats.gave_up.store(true, std::memory_order_relaxed);
+              LogPeerGaveUp("threaded", gen->index, cursor, gen->flow.count, last_acked,
+                            true);
+              return;
             }
             std::this_thread::yield();
             continue;
@@ -123,6 +174,7 @@ void EtherLink::RunPeersSerial(std::vector<PeerFlow> flows, const std::function<
     auto gen = std::make_unique<PeerGen>();
     gen->flow = std::move(flow);
     gen->frame_digest = FrameHash({gen->flow.frame.data(), gen->flow.frame.size()});
+    gen->index = peers_.size();
     peers_.push_back(std::move(gen));
   }
   auto last_progress = std::chrono::steady_clock::now();
@@ -153,7 +205,17 @@ void EtherLink::RunPeersSerial(std::vector<PeerFlow> flows, const std::function<
       last_progress = std::chrono::steady_clock::now();
     } else if (pump == nullptr || std::chrono::steady_clock::now() - last_progress >
                                       std::chrono::seconds(60)) {
-      break;  // consumer wedged (or unpumpable): leave the shortfall visible
+      // Consumer wedged (or unpumpable): leave the shortfall visible, naming
+      // every flow that still had budget and where its consumer stood.
+      for (auto& gen : peers_) {
+        if (gen->sent < gen->flow.count) {
+          gen->stats.gave_up.store(true, std::memory_order_relaxed);
+          bool paced = gen->flow.acked != nullptr;
+          LogPeerGaveUp("serial", gen->index, gen->sent, gen->flow.count,
+                        paced ? gen->flow.acked() : 0, paced);
+        }
+      }
+      break;
     }
     if (pump != nullptr) {
       pump();

@@ -92,6 +92,14 @@ class EtherLink {
     uint64_t count = 0;
     uint32_t window = 48;
     std::function<uint64_t()> acked;
+    // Go-back-N recovery for crash benchmarks: when window-blocked with no
+    // consumer progress for this long, rewind the send cursor to the acked
+    // position and resend the unacked tail (a driver restart eats whatever
+    // sat in the rings — without retransmit the flow is window-blocked
+    // forever, which is a transport problem, not a consumer wedge). 0
+    // disables; every retransmitted frame still counts in stats.frames, so
+    // crash loss stays visible as sent - delivered.
+    uint64_t retransmit_on_stall_ms = 0;
   };
 
   // Per-generator counters. frames/bytes mirror stats() but split by flow;
@@ -102,6 +110,12 @@ class EtherLink {
     std::atomic<uint64_t> frames{0};
     std::atomic<uint64_t> bytes{0};
     std::atomic<uint64_t> frame_hash{0};
+    // The generator abandoned its budget after the give-up stall bound; the
+    // flow's last heartbeat (what it sent, what the consumer acked) is logged
+    // at the moment it quits so a wedged queue is attributable from CI logs.
+    std::atomic<bool> gave_up{false};
+    // Go-back-N rewinds performed (each one resends the unacked window tail).
+    std::atomic<uint64_t> rewinds{0};
   };
 
   // Spawns one generator thread per flow, transmitting from `side`.
@@ -131,6 +145,7 @@ class EtherLink {
     PeerStats stats;
     uint64_t frame_digest = 0;  // FrameHash(flow.frame), computed once
     uint64_t sent = 0;
+    size_t index = 0;  // flow number (== the SUT queue BuildQueueFlows pinned)
     std::thread thread;
   };
 

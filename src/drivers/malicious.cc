@@ -399,6 +399,44 @@ Status BufferReuseAttackDriver::FireReusedFrees(int32_t id, int times) {
   return Status::Ok();
 }
 
+Status StaleReplayDriver::Probe(uml::DriverEnv& env) {
+  env_ = &env;
+  uint8_t mac[6] = {0xba, 0xd5, 0x7a, 0x00, 0x00, 0x04};
+  uml::NetDriverOps ops;
+  ops.open = []() { return Status::Ok(); };
+  ops.stop = []() { return Status::Ok(); };
+  // Accept every transmit, stash the handle, never free: the handle leaks
+  // into attacker-persisted storage and the staging buffer stays in flight
+  // (what Teardown must quarantine when this instance is killed).
+  ops.xmit = [this](uint64_t, uint32_t, int32_t pool_buffer_id, uint16_t) {
+    if (pool_buffer_id >= 0) {
+      notebook_->push_back(pool_buffer_id);
+    }
+    return Status::Ok();
+  };
+  ops.xmit_chain = [this](const std::vector<uml::TxFrag>& frags, uint16_t) {
+    for (const uml::TxFrag& frag : frags) {
+      if (frag.pool_buffer_id >= 0) {
+        notebook_->push_back(frag.pool_buffer_id);
+      }
+    }
+    return Status::Ok();
+  };
+  return env.RegisterNetdev(mac, std::move(ops));
+}
+
+Status StaleReplayDriver::ReplayFrees() { return ReplayFreesWith({}); }
+
+Status StaleReplayDriver::ReplayFreesWith(const std::vector<int32_t>& current) {
+  std::vector<int32_t> ids = *notebook_;
+  ids.insert(ids.end(), current.begin(), current.end());
+  if (ids.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "nothing to replay");
+  }
+  env_->FreeTxBuffers(0, ids);
+  return Status::Ok();
+}
+
 Status DescRewriteAttackDriver::Probe(uml::DriverEnv& env) {
   env_ = &env;
   SUD_RETURN_IF_ERROR(env.PciEnableDevice());

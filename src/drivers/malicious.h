@@ -43,6 +43,10 @@
 //   BufferReuseAttackDriver free-buffer downcalls reusing one pool buffer id
 //                          across a "chain" (double-use/double-free): the
 //                          pool must tolerate and count it, never corrupt
+//   StaleReplayDriver      harvests real pool handles pre-crash into attacker-
+//                          persisted storage, then — as the post-restart
+//                          instance — replays them as free batches: the pool's
+//                          epoch validation must reject and count every one
 
 #ifndef SUD_SRC_DRIVERS_MALICIOUS_H_
 #define SUD_SRC_DRIVERS_MALICIOUS_H_
@@ -288,6 +292,32 @@ class BufferReuseAttackDriver : public uml::Driver {
 
  private:
   uml::DriverEnv* env_ = nullptr;
+};
+
+// The restart-time replay attacker. The pre-crash instance behaves like a
+// buggy-but-plausible driver: it accepts transmits and records every pool
+// buffer handle it is given into `notebook` (modeling state the attacker
+// stashed outside the process — a file, a colluding peer) WITHOUT ever
+// freeing them, so the kill also strands in-flight staging (the quarantine
+// case). The post-restart instance replays the notebook as coalesced
+// free-buffer batches; every id names a dead epoch and the pool must reject
+// and count each one without touching the live free list.
+class StaleReplayDriver : public uml::Driver {
+ public:
+  explicit StaleReplayDriver(std::vector<int32_t>* notebook) : notebook_(notebook) {}
+
+  const char* name() const override { return "stale-replay"; }
+  Status Probe(uml::DriverEnv& env) override;
+
+  // Replays every notebook handle in one coalesced free batch.
+  Status ReplayFrees();
+  // Replays the notebook with `current` live handles appended: the mixed
+  // batch — stale ids must be rejected while the live ones free normally.
+  Status ReplayFreesWith(const std::vector<int32_t>& current);
+
+ private:
+  uml::DriverEnv* env_ = nullptr;
+  std::vector<int32_t>* notebook_;
 };
 
 // Arms a window of benign TX descriptors, rings the doorbell, and — timed by

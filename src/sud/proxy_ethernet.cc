@@ -338,6 +338,16 @@ Result<std::string> EthernetProxy::Ioctl(uint32_t cmd) {
   return std::string(reply.value().inline_data.begin(), reply.value().inline_data.end());
 }
 
+void EthernetProxy::OnDriverRestart() {
+  consecutive_full_.store(0, std::memory_order_relaxed);
+  for (auto& bundle : rx_bundle_) {
+    // Guard-copied packets whose NAPI flush died with the driver: dropping
+    // them here is part of the bounded, counted crash loss (the copies are
+    // private skbs — nothing references the dead epoch's shared buffers).
+    bundle.clear();
+  }
+}
+
 void EthernetProxy::HandleDowncall(UchanMsg& msg, uint16_t shard) {
   switch (msg.opcode) {
     case kEthDownRegisterNetdev: {

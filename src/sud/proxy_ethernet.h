@@ -83,6 +83,16 @@ class EthernetProxy : public kern::NetDeviceOps {
 
   kern::NetDevice* netdev() { return netdev_; }
 
+  // Supervisor hook, called between Kill and the replacement Start (no pump
+  // threads alive): drops per-queue rx bundles still referencing the dead
+  // instance's buffers and resets the hung-driver accounting so the fresh
+  // driver does not inherit its predecessor's strikes.
+  void OnDriverRestart();
+
+  // Give-up hook: the supervisor unregistered the interface; drop the raw
+  // pointer so nothing dereferences the dead netdev.
+  void DetachNetdev() { netdev_ = nullptr; }
+
   struct Stats {
     std::atomic<uint64_t> xmit_upcalls{0};
     std::atomic<uint64_t> xmit_batches{0};      // StartXmitBatch crossings

@@ -94,10 +94,14 @@ Status SudDeviceContext::Bind(kern::Process* proc) {
     shards_->set_downcall_flush_handler(downcall_flush_handler_);
   }
   irq_in_flight_.fill(false);
+  irq_pended_.fill(false);
   interrupts_while_masked_ = 0;
   dma_ = std::make_unique<DmaSpace>(&machine.dram(), &machine.iommu(), source_id());
+  // Each bind is a new pool epoch: handles issued to the previous (dead)
+  // driver instance fail validation everywhere in the fresh one.
+  ++bind_generation_;
   pool_ = std::make_unique<SharedBufferPool>(dma_.get(), options_.pool_buffers,
-                                             options_.pool_buffer_bytes);
+                                             options_.pool_buffer_bytes, bind_generation_);
   // A zero-buffer pool is legal (non-networking device classes may never
   // exchange bulk data); the pool then reports kUnavailable on Alloc.
   if (options_.pool_buffers > 0) {
@@ -258,6 +262,11 @@ void SudDeviceContext::OnDeviceInterrupt(uint16_t queue, uint16_t msi_source_id)
     // MSI is masked, yet an interrupt arrived: it cannot have come from the
     // device's MSI logic — this is a stray DMA write to the MSI address
     // (Section 3.2.2) or remapping passthrough. Count toward a storm.
+    // It can ALSO be a genuine message that raced the mask flip (the device
+    // checked the mask bit before a coalesce set it); the source id already
+    // matched, so pend the queue — a spurious re-poll is harmless, a lost
+    // edge wedges the queue forever.
+    irq_pended_[queue] = true;
     ++interrupts_while_masked_;
     if (irq_stats_.remap_blocked || irq_stats_.msi_page_unmapped) {
       // Escalation already applied and yet delivery happened: accounting
@@ -285,6 +294,10 @@ void SudDeviceContext::OnDeviceInterrupt(uint16_t queue, uint16_t msi_source_id)
     // first: mask further MSIs so an unresponsive driver cannot storm us.
     // (MSI masking is per function, not per message — so a storm on one
     // queue throttles them all until the ack, as on real hardware.)
+    // Pend the queue: this edge may have fired for work the driver's poll
+    // already missed (frame landed after the ring read, before the ack),
+    // and a window-blocked sender will never produce another edge.
+    irq_pended_[queue] = true;
     machine.cpu().Charge(kAccountKernel, machine.cpu().costs().pci_config_access);
     device_->config().set_msi_masked(true);
     ++irq_stats_.mask_events;
@@ -342,15 +355,43 @@ Status SudDeviceContext::InterruptAck(uint16_t queue) {
   std::lock_guard<std::recursive_mutex> lock(irq_mu_);
   irq_in_flight_[queue] = false;
   interrupts_while_masked_ = 0;
+  Status fired = Status::Ok();
   if (device_->config().msi_masked() && !irq_stats_.remap_blocked &&
       !irq_stats_.msi_page_unmapped) {
     kernel_->machine().cpu().Charge(kAccountKernel,
                                     kernel_->machine().cpu().costs().pci_config_access);
     device_->config().set_msi_masked(false);
     // A masked interrupt pends and fires on unmask, per the PCI spec.
-    return device_->FirePendingMsi();
+    fired = device_->FirePendingMsi();
   }
-  return Status::Ok();
+  // Redeliver edges this layer swallowed mid-handling (coalesced while in
+  // flight, or raced a mask flip): the work they signalled is already in the
+  // descriptor rings, and no further edge may ever come — a window-blocked
+  // generator stops transmitting at exactly one full window. One upcall per
+  // pended queue; a queue FirePendingMsi just re-raised is skipped (its new
+  // in-flight interrupt already covers the re-poll).
+  for (uint32_t q = 0; q < num_queues_; ++q) {
+    if (!irq_pended_[q]) {
+      continue;
+    }
+    if (irq_in_flight_[q]) {
+      continue;  // still being handled; that queue's own ack sweeps it
+    }
+    irq_pended_[q] = false;
+    irq_in_flight_[q] = true;
+    ++irq_stats_.forwarded;
+    kernel_->machine().cpu().Charge(kAccountKernel,
+                                    kernel_->machine().cpu().costs().interrupt_entry);
+    UchanMsg msg;
+    msg.opcode = kOpInterrupt;
+    msg.args[0] = q;
+    if (!shards_->shard(q).SendAsync(std::move(msg)).ok()) {
+      // Shard ring full: keep the pend; the next ack on any queue retries.
+      irq_in_flight_[q] = false;
+      irq_pended_[q] = true;
+    }
+  }
+  return fired;
 }
 
 void SudDeviceContext::Teardown() {
@@ -366,6 +407,11 @@ void SudDeviceContext::Teardown() {
     process_->RevokeIoPorts(granted_io_base_, granted_io_count_);
     process_->UncchargeMemory(static_cast<uint64_t>(options_.pool_buffers) *
                               options_.pool_buffer_bytes);
+  }
+  if (pool_ != nullptr) {
+    // TX staging the dead driver never completed: those buffers leave with
+    // the dying epoch (counted loss), never back into a live free list.
+    quarantined_buffers_ += pool_->outstanding();
   }
   if (dma_ != nullptr) {
     dma_->ReleaseAll();

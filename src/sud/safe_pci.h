@@ -165,6 +165,17 @@ class SudDeviceContext {
   // Base of the contiguous vector range; queue q fires vector_base + q.
   uint8_t irq_vector() const { return vector_base_; }
 
+  // Bind generation: bumped on every successful Bind and stamped into the
+  // pool's handle epoch, so buffer ids from a dead (pre-restart) instance
+  // can never be honored by the live one.
+  uint32_t bind_generation() const { return bind_generation_.load(std::memory_order_relaxed); }
+  // TX-staging buffers still in the driver's hands at Teardown, quarantined
+  // with the dying epoch (cumulative across restarts): the counted in-flight
+  // loss a crash can cause.
+  uint64_t quarantined_buffers() const {
+    return quarantined_buffers_.load(std::memory_order_relaxed);
+  }
+
   // Full reclamation (driver killed / device revoked).
   void Teardown();
 
@@ -184,6 +195,8 @@ class SudDeviceContext {
   uint32_t num_queues_ = 1;
   bool bound_ = false;
   bool torn_down_ = false;
+  std::atomic<uint32_t> bind_generation_{0};
+  std::atomic<uint64_t> quarantined_buffers_{0};
 
   std::unique_ptr<UchanShardSet> shards_;  // one uchan ring pair per queue
   std::unique_ptr<DmaSpace> dma_;
@@ -198,6 +211,11 @@ class SudDeviceContext {
   // OnDeviceInterrupt on the same call stack.
   std::recursive_mutex irq_mu_;
   std::array<bool, kSudMaxQueues> irq_in_flight_{};
+  // Genuine device MSIs swallowed while their queue's interrupt was in
+  // flight (or the function masked): the signalled work already sits in the
+  // descriptor ring, and a window-blocked sender may never produce another
+  // edge — so InterruptAck redelivers exactly one upcall per pended queue.
+  std::array<bool, kSudMaxQueues> irq_pended_{};
   uint32_t interrupts_while_masked_ = 0;
   InterruptStats irq_stats_;
 

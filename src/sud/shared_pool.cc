@@ -2,8 +2,16 @@
 
 namespace sud {
 
-SharedBufferPool::SharedBufferPool(DmaSpace* dma, uint32_t count, uint32_t buffer_bytes)
-    : dma_(dma), count_(count), buffer_bytes_(buffer_bytes) {}
+SharedBufferPool::SharedBufferPool(DmaSpace* dma, uint32_t count, uint32_t buffer_bytes,
+                                   uint32_t epoch)
+    : dma_(dma),
+      count_(count > kMaxBuffers ? kMaxBuffers : count),
+      buffer_bytes_(buffer_bytes),
+      epoch_(epoch & kEpochMask) {
+  if (epoch_ == 0) {
+    epoch_ = 1;  // epoch 0 never exists, so zero-extended raw ints never match
+  }
+}
 
 Status SharedBufferPool::Init() {
   if (initialized_) {
@@ -21,13 +29,37 @@ Status SharedBufferPool::Init() {
     return window.status();
   }
   host_base_ = window.value().data();
-  free_list_.reserve(count_);
   allocated_.assign(count_, false);
-  for (int32_t id = static_cast<int32_t>(count_) - 1; id >= 0; --id) {
-    free_list_.push_back(id);
+  gen_.assign(count_, 1);
+  free_list_.reserve(count_);
+  for (int32_t index = static_cast<int32_t>(count_) - 1; index >= 0; --index) {
+    free_list_.push_back(index);
   }
   initialized_ = true;
   return Status::Ok();
+}
+
+int32_t SharedBufferPool::ValidateLocked(int32_t id, bool* stale_epoch) const {
+  if (stale_epoch != nullptr) {
+    *stale_epoch = false;
+  }
+  if (id < 0) {
+    return -1;
+  }
+  uint32_t bits = static_cast<uint32_t>(id);
+  uint32_t index = bits & (kMaxBuffers - 1);
+  uint32_t gen = (bits >> kIndexBits) & kGenMask;
+  uint32_t epoch = (bits >> (kIndexBits + kGenBits)) & kEpochMask;
+  if (epoch != epoch_) {
+    if (stale_epoch != nullptr) {
+      *stale_epoch = epoch != 0;  // 0 is garbage, not a dead epoch
+    }
+    return -1;
+  }
+  if (index >= count_ || gen != gen_[index]) {
+    return -1;
+  }
+  return static_cast<int32_t>(index);
 }
 
 Result<int32_t> SharedBufferPool::Alloc() {
@@ -38,41 +70,69 @@ Result<int32_t> SharedBufferPool::Alloc() {
   if (free_list_.empty()) {
     return Status(ErrorCode::kExhausted, "shared buffer pool exhausted");
   }
-  int32_t id = free_list_.back();
+  int32_t index = free_list_.back();
   free_list_.pop_back();
-  allocated_[id] = true;
-  return id;
+  allocated_[index] = true;
+  ++allocated_count_;
+  return EncodeLocked(static_cast<uint32_t>(index));
 }
 
 void SharedBufferPool::Free(int32_t id) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (!IsValidId(id) || !allocated_[id]) {
+  bool stale_epoch = false;
+  int32_t index = ValidateLocked(id, &stale_epoch);
+  if (index < 0 || !allocated_[index]) {
     ++double_frees_;
+    if (stale_epoch) {
+      ++stale_frees_;
+    }
     return;
   }
-  allocated_[id] = false;
-  free_list_.push_back(id);
+  allocated_[index] = false;
+  --allocated_count_;
+  // Retire the handle: the generation moves on, so replaying this id — even
+  // after the buffer is reallocated — is a counted rejection, not a free.
+  gen_[index] = (gen_[index] + 1) & kGenMask;
+  if (gen_[index] == 0) {
+    gen_[index] = 1;
+  }
+  free_list_.push_back(index);
 }
 
 Result<ByteSpan> SharedBufferPool::Buffer(int32_t id) {
-  if (!initialized_ || !IsValidId(id)) {
+  if (!initialized_) {
     return Status(ErrorCode::kInvalidArgument, "bad buffer id");
   }
-  return ByteSpan(host_base_ + static_cast<uint64_t>(id) * buffer_bytes_, buffer_bytes_);
+  std::lock_guard<std::mutex> lock(mu_);
+  int32_t index = ValidateLocked(id);
+  if (index < 0) {
+    return Status(ErrorCode::kInvalidArgument, "bad buffer id");
+  }
+  return ByteSpan(host_base_ + static_cast<uint64_t>(index) * buffer_bytes_, buffer_bytes_);
 }
 
 Result<uint64_t> SharedBufferPool::BufferIova(int32_t id) const {
-  if (!initialized_ || !IsValidId(id)) {
+  if (!initialized_) {
     return Status(ErrorCode::kInvalidArgument, "bad buffer id");
   }
-  return region_.iova + static_cast<uint64_t>(id) * buffer_bytes_;
+  std::lock_guard<std::mutex> lock(mu_);
+  int32_t index = ValidateLocked(id);
+  if (index < 0) {
+    return Status(ErrorCode::kInvalidArgument, "bad buffer id");
+  }
+  return region_.iova + static_cast<uint64_t>(index) * buffer_bytes_;
 }
 
 Result<uint64_t> SharedBufferPool::BufferPaddr(int32_t id) const {
-  if (!initialized_ || !IsValidId(id)) {
+  if (!initialized_) {
     return Status(ErrorCode::kInvalidArgument, "bad buffer id");
   }
-  return region_.paddr + static_cast<uint64_t>(id) * buffer_bytes_;
+  std::lock_guard<std::mutex> lock(mu_);
+  int32_t index = ValidateLocked(id);
+  if (index < 0) {
+    return Status(ErrorCode::kInvalidArgument, "bad buffer id");
+  }
+  return region_.paddr + static_cast<uint64_t>(index) * buffer_bytes_;
 }
 
 }  // namespace sud

@@ -7,6 +7,15 @@
 // upcalls and receive downcalls exchange buffer ids instead of copying
 // (Section 3.1.2) — and also what makes the TOCTOU attack possible, since
 // the driver can keep writing a buffer after handing it to the kernel.
+//
+// Buffer ids are epoch-tagged handles, not raw indices. A handle encodes
+// the buffer index, a per-buffer allocation generation (bumped on every
+// free, so a handle dies the moment its buffer is returned) and the pool
+// epoch (the device-context bind generation). A restarted driver gets a
+// pool with a new epoch, so every id the *previous* instance ever held —
+// including ids it squirreled away to replay after the crash — fails
+// validation. Rejected frees are tolerated and counted; the stale-epoch
+// subset is counted separately so restart-time replay attacks are visible.
 
 #ifndef SUD_SRC_SUD_SHARED_POOL_H_
 #define SUD_SRC_SUD_SHARED_POOL_H_
@@ -22,37 +31,69 @@ namespace sud {
 
 class SharedBufferPool {
  public:
+  // Handle layout (31 usable bits; bit 31 stays 0 so handles are positive):
+  //   bits  0..11  buffer index            (pools up to 4096 buffers)
+  //   bits 12..21  per-buffer generation   (1..1023, wraps, never 0)
+  //   bits 22..30  pool epoch              (1..511, wraps, never 0)
+  // Generation and epoch never being 0 means small raw integers — the ids a
+  // pre-epoch driver believed in, or a guessing attacker's first tries —
+  // are never valid handles.
+  static constexpr int kIndexBits = 12;
+  static constexpr int kGenBits = 10;
+  static constexpr int kEpochBits = 9;
+  static constexpr uint32_t kMaxBuffers = 1u << kIndexBits;
+
   // Carves `count` buffers of `buffer_bytes` out of `dma` (one contiguous
-  // cacheable region).
-  SharedBufferPool(DmaSpace* dma, uint32_t count = 512, uint32_t buffer_bytes = 2048);
+  // cacheable region). `epoch` tags every handle this pool instance issues;
+  // the device context passes its bind generation.
+  SharedBufferPool(DmaSpace* dma, uint32_t count = 512, uint32_t buffer_bytes = 2048,
+                   uint32_t epoch = 1);
 
   Status Init();
 
-  // sud_alloc: returns a buffer id, or kExhausted. Thread-safe: the proxy
+  // sud_alloc: returns a buffer handle, or kExhausted. Thread-safe: the proxy
   // allocates on the kernel's transmit path while per-queue driver threads
   // return buffers via free downcalls.
   Result<int32_t> Alloc();
-  // sud_free: returns the buffer to the pool. Double frees are tolerated
-  // and counted (a malicious driver shouldn't corrupt the free list).
+  // sud_free: returns the buffer to the pool. Double frees, garbage ids and
+  // stale handles (dead generation or dead epoch) are tolerated and counted
+  // (a malicious driver shouldn't corrupt the free list).
   void Free(int32_t id);
 
-  bool IsValidId(int32_t id) const { return id >= 0 && static_cast<uint32_t>(id) < count_; }
+  // Full handle validation: index in range, generation current, epoch ours.
+  bool IsValidId(int32_t id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ValidateLocked(id) >= 0;
+  }
   uint32_t buffer_bytes() const { return buffer_bytes_; }
   uint32_t count() const { return count_; }
+  uint32_t epoch() const { return epoch_; }
   uint32_t free_count() const {
     std::lock_guard<std::mutex> lock(mu_);
     return static_cast<uint32_t>(free_list_.size());
   }
+  // Buffers currently handed out (the in-flight TX staging a crash strands:
+  // what Teardown quarantines).
+  uint32_t outstanding() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return allocated_count_;
+  }
+  // Every rejected free (double frees, garbage, stale handles).
   uint64_t double_frees() const {
     std::lock_guard<std::mutex> lock(mu_);
     return double_frees_;
   }
+  // The subset of rejected frees whose handle named a dead pool epoch — a
+  // replay from before a crash/restart.
+  uint64_t stale_frees() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stale_frees_;
+  }
 
   // Shared view of buffer `id` (both sides use this; the device reaches the
-  // same bytes via BufferIova through the IOMMU). The host window base and
-  // per-buffer (iova, paddr) pairs are resolved once at Init, so the
-  // steady-state packet path is pure arithmetic — no region-map or radix-tree
-  // walk per packet.
+  // same bytes via BufferIova through the IOMMU). Validation checks the full
+  // handle, so a stale id from a dead epoch or a freed buffer is refused
+  // everywhere an id can be presented.
   Result<ByteSpan> Buffer(int32_t id);
   // The device-visible address of buffer `id`.
   Result<uint64_t> BufferIova(int32_t id) const;
@@ -61,18 +102,32 @@ class SharedBufferPool {
   Result<uint64_t> BufferPaddr(int32_t id) const;
 
  private:
+  static constexpr uint32_t kGenMask = (1u << kGenBits) - 1;
+  static constexpr uint32_t kEpochMask = (1u << kEpochBits) - 1;
+
+  int32_t EncodeLocked(uint32_t index) const {
+    return static_cast<int32_t>(index | (gen_[index] << kIndexBits) |
+                                (epoch_ << (kIndexBits + kGenBits)));
+  }
+  // Returns the buffer index, or -1 if the handle is garbage/stale. Sets
+  // `*stale_epoch` when the failure is specifically a dead pool epoch.
+  int32_t ValidateLocked(int32_t id, bool* stale_epoch = nullptr) const;
+
   DmaSpace* dma_;
   uint32_t count_;
   uint32_t buffer_bytes_;
+  uint32_t epoch_;
   DmaRegion region_{};
   uint8_t* host_base_ = nullptr;  // host view of the whole pool region
   bool initialized_ = false;
-  // Guards the free list and allocation bitmap only; Buffer/BufferIova are
-  // pure arithmetic over state fixed at Init.
+  // Guards the free list, allocation bitmap and per-buffer generations.
   mutable std::mutex mu_;
   std::vector<int32_t> free_list_;
   std::vector<bool> allocated_;
+  std::vector<uint32_t> gen_;  // per-buffer generation, 1..kGenMask
+  uint32_t allocated_count_ = 0;
   uint64_t double_frees_ = 0;
+  uint64_t stale_frees_ = 0;
 };
 
 }  // namespace sud

@@ -9,12 +9,18 @@ DriverHost::DriverHost(kern::Kernel* kernel, SudDeviceContext* ctx, std::string 
     : kernel_(kernel), ctx_(ctx), name_(std::move(name)), uid_(uid) {}
 
 DriverHost::~DriverHost() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (running_) {
-    (void)Kill();
+    (void)KillLocked();
   }
 }
 
 Status DriverHost::Start(std::unique_ptr<Driver> driver, Mode mode) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  return StartLocked(std::move(driver), mode);
+}
+
+Status DriverHost::StartLocked(std::unique_ptr<Driver> driver, Mode mode) {
   if (running_) {
     return Status(ErrorCode::kAlreadyExists, name_ + " already running");
   }
@@ -36,7 +42,7 @@ Status DriverHost::Start(std::unique_ptr<Driver> driver, Mode mode) {
   Status probed = driver_->Probe(*runtime_);
   if (!probed.ok()) {
     SUD_LOG(kWarning) << name_ << ": probe failed: " << probed.ToString();
-    (void)Kill();
+    (void)KillLocked();
     return probed;
   }
 
@@ -70,6 +76,11 @@ void DriverHost::QueueThreadLoop(uint16_t queue) {
 }
 
 Status DriverHost::Kill() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  return KillLocked();
+}
+
+Status DriverHost::KillLocked() {
   if (!running_) {
     return Status(ErrorCode::kUnavailable, name_ + " not running");
   }
@@ -93,16 +104,43 @@ Status DriverHost::Kill() {
 }
 
 Status DriverHost::Restart(std::unique_ptr<Driver> driver, Mode mode) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (running_) {
-    SUD_RETURN_IF_ERROR(Kill());
+    SUD_RETURN_IF_ERROR(KillLocked());
   }
-  return Start(std::move(driver), mode);
+  return StartLocked(std::move(driver), mode);
+}
+
+uint64_t DriverHost::queue_progress(uint16_t queue) const {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!running_ || runtime_ == nullptr) {
+    return 0;
+  }
+  return runtime_->queue_progress(queue);
+}
+
+uint64_t DriverHost::pending_upcalls(uint16_t queue) const {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!running_ || queue >= ctx_->num_queues()) {
+    return 0;
+  }
+  return ctx_->ctl(queue).pending_upcalls();
+}
+
+uint32_t DriverHost::pool_outstanding() const {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!running_) {
+    return 0;
+  }
+  return ctx_->pool().outstanding();
 }
 
 void DriverHost::Pump() {
   // Comatose drivers never service their uchan (that is the point), and in
   // the threaded modes the pump threads own the dispatch loop — draining from
-  // this thread too would race their per-queue rx arrays.
+  // this thread too would race their per-queue rx arrays. The lifecycle lock
+  // keeps runtime_ alive against a concurrent supervisor Kill.
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (running_ && runtime_ != nullptr && mode_ == Mode::kPumped) {
     runtime_->ProcessPending();
   }

@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,6 +46,9 @@ class DriverHost {
   DriverHost& operator=(const DriverHost&) = delete;
 
   // Spawns the process, binds the device, probes the driver.
+  // Start/Kill/Restart serialize on a lifecycle mutex: the supervisor's
+  // watchdog thread and an administrator Kill may race, and exactly one
+  // must win with the other seeing a consistent before-or-after state.
   Status Start(std::unique_ptr<Driver> driver, Mode mode = Mode::kPumped);
 
   // kill -9: stop the thread (if any), mark the process dead, tear down the
@@ -68,10 +72,22 @@ class DriverHost {
   kern::Process* process() { return process_; }
   UmlRuntime* runtime() { return runtime_.get(); }
   Driver* driver() { return driver_.get(); }
+  // The device context (stable across restarts — owned by the SafePciModule).
+  SudDeviceContext* ctx() { return ctx_; }
+
+  // Watchdog-safe snapshots: each takes the lifecycle lock, so a supervisor
+  // thread can sample them while another thread kills or restarts the host
+  // (runtime_ and the uchan shards are replaced under that same lock).
+  // All return 0 when the host is not running.
+  uint64_t queue_progress(uint16_t queue) const;
+  uint64_t pending_upcalls(uint16_t queue) const;
+  uint32_t pool_outstanding() const;
 
  private:
   void ThreadLoop();
   void QueueThreadLoop(uint16_t queue);
+  Status StartLocked(std::unique_ptr<Driver> driver, Mode mode);
+  Status KillLocked();
 
   kern::Kernel* kernel_;
   SudDeviceContext* ctx_;
@@ -82,8 +98,11 @@ class DriverHost {
   std::unique_ptr<Driver> driver_;
   std::vector<std::thread> threads_;  // one (kThreaded) or one per shard
   std::atomic<bool> stop_requested_{false};
-  bool running_ = false;
+  std::atomic<bool> running_{false};
   Mode mode_ = Mode::kPumped;
+  // Serializes Start/Kill/Restart (supervisor recovery vs concurrent admin
+  // kill); never held while pump threads dispatch.
+  mutable std::mutex lifecycle_mu_;
 };
 
 }  // namespace sud::uml

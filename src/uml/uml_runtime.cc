@@ -1,5 +1,6 @@
 #include "src/uml/uml_runtime.h"
 
+
 #include <cstring>
 
 #include "src/base/bytes.h"
@@ -345,6 +346,7 @@ Status UmlRuntime::RunOnce(uint64_t timeout_ms) {
     Result<UchanMsg> msg = ctx_->ctl(q).Wait(0);
     if (msg.ok()) {
       Dispatch(msg.value());
+      queue_progress_[q].fetch_add(1, std::memory_order_relaxed);
       return Status::Ok();
     }
     if (msg.status().code() != ErrorCode::kTimedOut) {
@@ -357,6 +359,7 @@ Status UmlRuntime::RunOnce(uint64_t timeout_ms) {
     return msg.status();
   }
   Dispatch(msg.value());
+  queue_progress_[0].fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -373,6 +376,7 @@ Status UmlRuntime::RunOnceQueue(uint16_t queue, uint64_t timeout_ms) {
   for (UchanMsg& msg : batch.value()) {
     Dispatch(msg);
   }
+  queue_progress_[queue].fetch_add(batch.value().size(), std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -442,7 +446,12 @@ void UmlRuntime::Dispatch(UchanMsg& msg) {
         // edge-suppressed, and the driver sleeps forever on a ring full of
         // done descriptors (the threaded traffic-generator peers widened
         // this window enough for TSAN runs to hit it every time).
-        (void)InterruptAck();
+        // Ack the queue the upcall names, not queue 0: with no handler
+        // registered yet (the restart window between Bind and the fresh
+        // driver's RequestIrq) an upcall for queue q>0 must still clear
+        // q's in-flight flag, or every later MSI on q coalesces into a
+        // mask that no ack will ever lift.
+        (void)InterruptAckQueue(queue);
         if (irq_handler_) {
           irq_handler_();
         }

@@ -116,6 +116,15 @@ class UmlRuntime : public DriverEnv {
   };
   const Stats& stats() const { return stats_; }
 
+  // Per-queue driver heartbeat: upcalls serviced on each shard. The
+  // supervisor's watchdog reads these — a queue with pending upcalls whose
+  // counter stops advancing is a wedged driver, no hand-fed report needed.
+  uint64_t queue_progress(uint16_t queue) const {
+    return queue < kSudMaxQueues
+               ? queue_progress_[queue].load(std::memory_order_relaxed)
+               : 0;
+  }
+
   SudDeviceContext* ctx() { return ctx_; }
 
  private:
@@ -153,6 +162,7 @@ class UmlRuntime : public DriverEnv {
   AudioDriverOps audio_ops_;
   bool audio_registered_ = false;
   Stats stats_;
+  std::array<std::atomic<uint64_t>, kSudMaxQueues> queue_progress_{};
 };
 
 }  // namespace sud::uml

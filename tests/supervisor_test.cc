@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "src/drivers/malicious.h"
 #include "src/uml/supervisor.h"
 #include "tests/harness.h"
@@ -71,6 +75,111 @@ TEST(Supervisor, RecoversFromHungDriver) {
   int received = 0;
   bench.kernel.net().Find("eth0")->set_rx_sink([&](const kern::Skb&) { ++received; });
   std::vector<uint8_t> payload(64, 0x2);
+  ASSERT_TRUE(bench.PeerSend(1, 80, {payload.data(), payload.size()}).ok());
+  bench.host->Pump();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Supervisor, RecoversWithoutShadowNetdev) {
+  // No ShadowNetdev call: the supervisor has no recorded interface to
+  // replay. Recovery must still complete — only the config replay (bring-up,
+  // MTU) is skipped, leaving the fresh interface administratively down.
+  NetBench bench;
+  ASSERT_TRUE(bench.StartSut().ok());
+  uml::DriverSupervisor supervisor(&bench.kernel, bench.host.get(), MakeE1000e);
+
+  ASSERT_TRUE(bench.host->Kill().ok());
+  EXPECT_TRUE(supervisor.CheckAndRecover());
+  EXPECT_EQ(supervisor.restarts(), 1u);
+
+  // Without replay the kernel's up flag is stale: the netdev still claims
+  // up from before the kill, but the fresh driver never saw an Open upcall —
+  // the administrator must cycle the interface by hand (the exact toil the
+  // shadow replay automates).
+  kern::NetDevice* dev = bench.kernel.net().Find("eth0");
+  ASSERT_NE(dev, nullptr);
+  ASSERT_TRUE(bench.kernel.net().BringDown("eth0").ok());
+  ASSERT_TRUE(bench.kernel.net().BringUp("eth0").ok());
+  int received = 0;
+  dev->set_rx_sink([&](const kern::Skb&) { ++received; });
+  std::vector<uint8_t> payload(64, 0x3);
+  ASSERT_TRUE(bench.PeerSend(1, 80, {payload.data(), payload.size()}).ok());
+  bench.host->Pump();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Supervisor, FailedReplacementStillConsumesBudget) {
+  // A replacement whose Start fails must still burn a restart from the
+  // budget: otherwise a persistently-broken factory gives the supervisor an
+  // infinite retry loop instead of a march toward gave_up().
+  NetBench bench;
+  ASSERT_TRUE(bench.StartSut().ok());
+  class ProbeFailDriver : public uml::Driver {
+   public:
+    const char* name() const override { return "probe-fail"; }
+    Status Probe(uml::DriverEnv&) override {
+      return Status(ErrorCode::kUnavailable, "replacement firmware missing");
+    }
+  };
+  uml::DriverSupervisor::Options sup_options;
+  sup_options.max_restarts = 3;
+  uml::DriverSupervisor supervisor(
+      &bench.kernel, bench.host.get(), []() { return std::make_unique<ProbeFailDriver>(); },
+      sup_options);
+  supervisor.ShadowNetdev("eth0");
+
+  ASSERT_TRUE(bench.host->Kill().ok());
+  EXPECT_FALSE(supervisor.CheckAndRecover());  // Start failed: no recovery...
+  EXPECT_EQ(supervisor.restarts(), 1u);        // ...but the budget moved.
+  EXPECT_EQ(supervisor.stats().dead_recoveries, 1u);
+  EXPECT_FALSE(supervisor.gave_up());
+
+  EXPECT_FALSE(supervisor.CheckAndRecover());
+  EXPECT_FALSE(supervisor.CheckAndRecover());
+  EXPECT_EQ(supervisor.restarts(), 3u);
+  EXPECT_FALSE(supervisor.CheckAndRecover());  // past max: terminal give-up
+  EXPECT_TRUE(supervisor.gave_up());
+  EXPECT_EQ(supervisor.restarts(), 3u);
+}
+
+TEST(Supervisor, RecoveryRacesConcurrentKill) {
+  // An administrator's kill -9 racing the supervisor's own recovery: the
+  // host's lifecycle lock and the supervisor's mutex must serialize the two
+  // so neither sees a half-torn-down context. Outcome-wise any interleaving
+  // is fine; the invariant is no crash, no deadlock, and a final recovery
+  // that restores service.
+  NetBench bench;
+  ASSERT_TRUE(bench.StartSut().ok());
+  uml::DriverSupervisor::Options sup_options;
+  sup_options.max_restarts = 64;  // headroom: every kill below may cost one
+  uml::DriverSupervisor supervisor(&bench.kernel, bench.host.get(), MakeE1000e,
+                                   sup_options);
+  supervisor.ShadowNetdev("eth0");
+
+  std::atomic<bool> done{false};
+  std::thread recoverer([&]() {
+    while (!done.load(std::memory_order_relaxed)) {
+      (void)supervisor.CheckAndRecover();
+      std::this_thread::yield();
+    }
+  });
+  for (int i = 0; i < 8; ++i) {
+    (void)bench.host->Kill();  // may race a restart that already replaced it
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  done.store(true, std::memory_order_relaxed);
+  recoverer.join();
+
+  // Whatever the final interleaving left behind, one more supervision step
+  // must land in a running, serviceable state.
+  (void)supervisor.CheckAndRecover();
+  ASSERT_TRUE(bench.host->running());
+  EXPECT_FALSE(supervisor.gave_up());
+  EXPECT_GE(supervisor.restarts(), 1u);
+  EXPECT_TRUE(bench.kernel.net().Find("eth0")->is_up());
+  int received = 0;
+  bench.kernel.net().Find("eth0")->set_rx_sink([&](const kern::Skb&) { ++received; });
+  std::vector<uint8_t> payload(64, 0x4);
   ASSERT_TRUE(bench.PeerSend(1, 80, {payload.data(), payload.size()}).ok());
   bench.host->Pump();
   EXPECT_EQ(received, 1);
