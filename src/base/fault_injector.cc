@@ -1,0 +1,172 @@
+#include "src/base/fault_injector.h"
+
+#include <algorithm>
+
+namespace sud {
+
+namespace {
+// splitmix64 (same constants as base/rng.h): one fetch_add of the gamma is a
+// thread-safe draw — concurrent callers get distinct, deterministic states.
+constexpr uint64_t kGamma = 0x9e3779b97f4a7c15ull;
+
+uint64_t Mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+std::atomic<bool> FaultInjector::armed_flag_{false};
+
+FaultInjector& FaultInjector::Get() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+uint64_t FaultInjector::Fnv1a(std::string_view bytes) {
+  uint64_t hash = 1469598103934665603ull;
+  for (char c : bytes) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+void FaultInjector::SeedSiteLocked(Site* site) {
+  site->rng.store(seed_.load(std::memory_order_relaxed) ^ Fnv1a(site->name),
+                  std::memory_order_relaxed);
+  site->hits.store(0, std::memory_order_relaxed);
+  site->fires.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::Arm(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_.store(seed, std::memory_order_relaxed);
+  for (auto& [name, site] : sites_) {
+    SeedSiteLocked(site.get());
+  }
+  armed_flag_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm() { armed_flag_.store(false, std::memory_order_relaxed); }
+
+FaultInjector::Site* FaultInjector::FindOrCreate(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(name);
+  if (it != sites_.end()) {
+    return it->second.get();
+  }
+  auto site = std::make_unique<Site>(std::string(name));
+  Site* raw = site.get();
+  SeedSiteLocked(raw);
+  // Key the map by the Site's own name storage: stable for the Site's life.
+  sites_.emplace(std::string_view(raw->name), std::move(site));
+  return raw;
+}
+
+const FaultInjector::Site* FaultInjector::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(name);
+  return it == sites_.end() ? nullptr : it->second.get();
+}
+
+void FaultInjector::Configure(std::string_view site_name, const Schedule& schedule) {
+  Site* site = FindOrCreate(site_name);
+  site->a.store(schedule.a, std::memory_order_relaxed);
+  site->b.store(schedule.b, std::memory_order_relaxed);
+  // Mode last: a site evaluated mid-Configure sees either the old schedule
+  // or the complete new one, never a hybrid with a live mode.
+  site->mode.store(static_cast<uint32_t>(schedule.mode), std::memory_order_release);
+}
+
+void FaultInjector::ClearSchedules() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, site] : sites_) {
+    site->mode.store(static_cast<uint32_t>(Mode::kOff), std::memory_order_relaxed);
+    site->a.store(0, std::memory_order_relaxed);
+    site->b.store(0, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, site] : sites_) {
+    SeedSiteLocked(site.get());
+  }
+}
+
+bool FaultInjector::ShouldFire(std::string_view site_name) {
+  Site* site = FindOrCreate(site_name);
+  uint64_t hit = site->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  Mode mode =
+      static_cast<Mode>(site->mode.load(std::memory_order_acquire));
+  bool fire = false;
+  switch (mode) {
+    case Mode::kOff:
+      break;
+    case Mode::kProbability: {
+      uint64_t denom = site->b.load(std::memory_order_relaxed);
+      uint64_t numer = site->a.load(std::memory_order_relaxed);
+      uint64_t draw = Mix(site->rng.fetch_add(kGamma, std::memory_order_relaxed) + kGamma);
+      fire = denom != 0 && (draw % denom) < numer;
+      break;
+    }
+    case Mode::kEveryNth: {
+      uint64_t n = site->a.load(std::memory_order_relaxed);
+      fire = n != 0 && hit % n == 0;
+      break;
+    }
+    case Mode::kOneShotAt:
+      fire = hit == site->a.load(std::memory_order_relaxed);
+      break;
+    case Mode::kBurst: {
+      uint64_t start = site->a.load(std::memory_order_relaxed);
+      uint64_t len = site->b.load(std::memory_order_relaxed);
+      fire = hit >= start && hit - start < len;
+      break;
+    }
+  }
+  if (fire) {
+    site->fires.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fire;
+}
+
+uint64_t FaultInjector::hits(std::string_view site_name) const {
+  const Site* site = Find(site_name);
+  return site == nullptr ? 0 : site->hits.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::fires(std::string_view site_name) const {
+  const Site* site = Find(site_name);
+  return site == nullptr ? 0 : site->fires.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::total_fires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, site] : sites_) {
+    total += site->fires.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<FaultInjector::SiteSnapshot> FaultInjector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SiteSnapshot> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) {
+    SiteSnapshot snap;
+    snap.name = site->name;
+    snap.mode = static_cast<Mode>(site->mode.load(std::memory_order_relaxed));
+    snap.hits = site->hits.load(std::memory_order_relaxed);
+    snap.fires = site->fires.load(std::memory_order_relaxed);
+    out.push_back(std::move(snap));
+  }
+  // Deterministic order for JSON output.
+  std::sort(out.begin(), out.end(),
+            [](const SiteSnapshot& l, const SiteSnapshot& r) { return l.name < r.name; });
+  return out;
+}
+
+}  // namespace sud

@@ -1,0 +1,137 @@
+// FaultInjector: a process-wide, seed-deterministic fault-injection engine.
+//
+// Every trust boundary in the stack registers a *named site* (e.g.
+// "hw.pcie.dma_read", "uchan.down.drop") and asks the engine whether the
+// fault fires at that point. Sites are evaluated only while the engine is
+// armed; the disarmed hot path is a single relaxed atomic load, so
+// production/bench builds pay nothing and the fig8 modeled rows stay
+// bit-identical with the engine compiled in.
+//
+// Determinism: Arm(seed) fixes the whole run. Each site draws from its own
+// splitmix64 stream seeded `seed ^ fnv1a(site_name)`, so adding a new site
+// (or reordering evaluations across threads) never perturbs another site's
+// decisions, and a given (seed, site, hit-number) tuple always resolves the
+// same way. Draws are lock-free (fetch_add of the splitmix64 gamma), safe
+// from concurrent pump threads.
+//
+// Schedules, per site:
+//   * Probability(n, d)  — fire on ~n/d of hits (deterministic per stream);
+//   * EveryNth(n)        — fire on hits n, 2n, 3n, ... (hits count from 1);
+//   * OneShotAt(k)       — fire exactly once, on hit k;
+//   * Burst(start, len)  — fire on every hit in [start, start + len).
+//
+// Counters: every evaluation while armed counts a *hit*, every injection a
+// *fire*, per site — the soak bench publishes the whole registry snapshot so
+// a storm's shape is auditable from the JSON artifact.
+
+#ifndef SUD_SRC_BASE_FAULT_INJECTOR_H_
+#define SUD_SRC_BASE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sud {
+
+class FaultInjector {
+ public:
+  enum class Mode : uint32_t { kOff = 0, kProbability, kEveryNth, kOneShotAt, kBurst };
+
+  struct Schedule {
+    Mode mode = Mode::kOff;
+    // Meaning by mode: kProbability {a=numerator, b=denominator};
+    // kEveryNth {a=n}; kOneShotAt {a=hit number}; kBurst {a=start, b=length}.
+    uint64_t a = 0;
+    uint64_t b = 0;
+  };
+
+  static Schedule Probability(uint64_t numerator, uint64_t denominator) {
+    return Schedule{Mode::kProbability, numerator, denominator == 0 ? 1 : denominator};
+  }
+  static Schedule EveryNth(uint64_t n) { return Schedule{Mode::kEveryNth, n, 0}; }
+  static Schedule OneShotAt(uint64_t hit) { return Schedule{Mode::kOneShotAt, hit, 0}; }
+  static Schedule Burst(uint64_t start, uint64_t length) {
+    return Schedule{Mode::kBurst, start, length};
+  }
+  static Schedule Off() { return Schedule{}; }
+
+  struct SiteSnapshot {
+    std::string name;
+    Mode mode = Mode::kOff;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  static FaultInjector& Get();
+
+  // The macro's first gate: true only between Arm() and Disarm(). Relaxed —
+  // a site that races an Arm/Disarm edge may miss the first evaluation,
+  // which is fine (fault storms are not edge-triggered protocols).
+  static bool armed() { return armed_flag_.load(std::memory_order_relaxed); }
+
+  // Arms the engine for a deterministic run: reseeds every site from `seed`
+  // and zeroes all hit/fire counters. Schedules persist across Arm calls.
+  void Arm(uint64_t seed);
+  // Stops all evaluation. Schedules and counters are retained (the soak
+  // reads the registry after disarming).
+  void Disarm();
+
+  // Installs (or replaces) a site's schedule. Creating the site on first
+  // mention; Off() leaves the site registered but never firing.
+  void Configure(std::string_view site, const Schedule& schedule);
+  // Returns every registered site to Off().
+  void ClearSchedules();
+  void ResetCounters();
+
+  // The armed-path evaluation. Called via SUD_FAULT_POINT, never directly
+  // from hot code (the macro supplies the disarmed fast path).
+  bool ShouldFire(std::string_view site);
+
+  uint64_t seed() const { return seed_.load(std::memory_order_relaxed); }
+  // Counter introspection (zeroes for a never-touched site).
+  uint64_t hits(std::string_view site) const;
+  uint64_t fires(std::string_view site) const;
+  uint64_t total_fires() const;
+  std::vector<SiteSnapshot> Snapshot() const;
+
+  static uint64_t Fnv1a(std::string_view bytes);
+
+ private:
+  struct Site {
+    explicit Site(std::string site_name) : name(std::move(site_name)) {}
+    const std::string name;
+    // Schedule fields are atomics so Configure from a control thread is
+    // visible to pump threads without a lock on the evaluation path.
+    std::atomic<uint32_t> mode{0};
+    std::atomic<uint64_t> a{0};
+    std::atomic<uint64_t> b{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> fires{0};
+    std::atomic<uint64_t> rng{0};  // splitmix64 state; draw = fetch_add(gamma)
+  };
+
+  FaultInjector() = default;
+  Site* FindOrCreate(std::string_view name);
+  const Site* Find(std::string_view name) const;
+  void SeedSiteLocked(Site* site);
+
+  static std::atomic<bool> armed_flag_;
+
+  mutable std::mutex mu_;  // guards sites_ map shape (Site contents are atomic)
+  std::unordered_map<std::string_view, std::unique_ptr<Site>> sites_;
+  std::atomic<uint64_t> seed_{0};
+};
+
+// A fault site. Compiles to one relaxed load when the engine is disarmed;
+// use as `if (SUD_FAULT_POINT("layer.site")) { <counted failure path> }`.
+#define SUD_FAULT_POINT(site) \
+  (::sud::FaultInjector::armed() && ::sud::FaultInjector::Get().ShouldFire(site))
+
+}  // namespace sud
+
+#endif  // SUD_SRC_BASE_FAULT_INJECTOR_H_

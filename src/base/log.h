@@ -8,6 +8,8 @@
 #ifndef SUD_SRC_BASE_LOG_H_
 #define SUD_SRC_BASE_LOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <sstream>
@@ -40,12 +42,29 @@ class Logger {
   // Replaces the sink; returns the previous one.
   Sink SwapSink(Sink sink);
 
+  // True while any LogCapture is alive. Rate limiting disengages so tests
+  // asserting exact record counts see every occurrence.
+  static bool capturing() { return capture_depth_.load(std::memory_order_relaxed) > 0; }
+
  private:
+  friend class LogCapture;
   Logger();
+  static std::atomic<int> capture_depth_;
   std::mutex mu_;
   Sink sink_;
   LogLevel min_level_ = LogLevel::kWarning;
 };
+
+// Per-callsite state for SUD_LOG_RL (hot-path rate-limited logging).
+struct LogRateState {
+  std::atomic<uint64_t> count{0};
+};
+
+// Admission decision for one occurrence at a rate-limited callsite: the
+// first few always log (returns 0), after which only every Nth logs
+// (returning how many were suppressed since the last logged one); -1 means
+// suppress. Bypassed (always 0) while a LogCapture is active.
+int64_t LogRateAdmit(LogRateState& state);
 
 // RAII capture of all log records at or above `level`; restores the previous
 // sink on destruction. Used by tests to assert "the IOMMU reported a fault".
@@ -77,7 +96,13 @@ class LogCapture {
 class LogMessage {
  public:
   explicit LogMessage(LogLevel level) : level_(level) {}
-  ~LogMessage() { Logger::Get().Log(level_, stream_.str()); }
+  LogMessage(LogLevel level, int64_t suppressed) : level_(level), suppressed_(suppressed) {}
+  ~LogMessage() {
+    if (suppressed_ > 0) {
+      stream_ << " (+" << suppressed_ << " suppressed)";
+    }
+    Logger::Get().Log(level_, stream_.str());
+  }
 
   template <typename T>
   LogMessage& operator<<(const T& value) {
@@ -87,10 +112,25 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  int64_t suppressed_ = 0;
   std::ostringstream stream_;
 };
 
 #define SUD_LOG(level) ::sud::LogMessage(::sud::LogLevel::level)
+
+// Rate-limited variant for hot paths (per-packet drop reports under a fault
+// storm): the first occurrences log normally, after which a periodic summary
+// carries the suppressed count. Per-callsite state; exact-count semantics
+// are preserved under LogCapture (the limiter admits everything while a
+// capture is active).
+#define SUD_LOG_RL(level)                                             \
+  if (int64_t sud_rl_suppressed = [] {                                \
+        static ::sud::LogRateState sud_rl_state;                      \
+        return ::sud::LogRateAdmit(sud_rl_state);                     \
+      }();                                                            \
+      sud_rl_suppressed < 0) {                                        \
+  } else                                                              \
+    ::sud::LogMessage(::sud::LogLevel::level, sud_rl_suppressed)
 
 }  // namespace sud
 

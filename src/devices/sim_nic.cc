@@ -21,7 +21,28 @@ constexpr uint32_t kPhyBmsr = 1;
 constexpr uint32_t kPhyId1 = 2;
 constexpr uint16_t kPhyBmsrLinkUp = 1u << 2;
 constexpr uint16_t kPhyId1Value = 0x02a8;
+
+// Completion writebacks are retried through transient DMA faults: a
+// swallowed writeback leaves a descriptor the driver's in-order reap can
+// never pass (a published-but-holed ring), which is a wedge rather than a
+// confinement. Bounded, because a malicious driver CAN make the fault
+// persistent (ring pages mapped read-only) — then the hole wedges only that
+// driver's own queue, which is the sandbox working.
+constexpr int kWritebackRetries = 8;
 }  // namespace
+
+Status SimNic::PublishRetry(hw::DescRingEngine& engine, uint32_t index, uint8_t status) {
+  Status published = engine.PublishStatus(index, status);
+  for (int retry = 0; !published.ok() && retry < kWritebackRetries; ++retry) {
+    stats_.dma_errors.fetch_add(1, std::memory_order_relaxed);
+    published = engine.PublishStatus(index, status);
+  }
+  if (!published.ok()) {
+    SUD_LOG_RL(kWarning) << name() << ": completion writeback failed after retries; "
+                         << "descriptor " << index << " left unpublished";
+  }
+  return published;
+}
 
 Status SimNic::FabricRingMem::Read(uint64_t addr, ByteSpan out) {
   Status status = nic_->DmaRead(addr, out);
@@ -362,11 +383,11 @@ void SimNic::DropTxChainLocked(uint32_t q, const TxPendingDesc& last, bool eop) 
   hw::DescRingEngine& engine = engines_[q]->tx;
   stats_.tx_dropped_chain.fetch_add(1, std::memory_order_relaxed);
   for (const TxPendingDesc& pending : tx_chain_descs_[q]) {
-    (void)engine.PublishStatus(pending.index,
-                               static_cast<uint8_t>(pending.status | kNicDescStatusDone));
+    (void)PublishRetry(engine, pending.index,
+                       static_cast<uint8_t>(pending.status | kNicDescStatusDone));
   }
-  (void)engine.PublishStatus(last.index,
-                             static_cast<uint8_t>(last.status | kNicDescStatusDone));
+  (void)PublishRetry(engine, last.index,
+                     static_cast<uint8_t>(last.status | kNicDescStatusDone));
   tx_chain_frame_[q].clear();
   tx_chain_descs_[q].clear();
   tx_skip_to_eop_[q] = !eop;
@@ -410,8 +431,8 @@ void SimNic::ProcessTxRing(uint32_t q) {
       // Resyncing after a dropped chain: everything up to AND INCLUDING the
       // EOP that terminates the dropped frame belongs to it — recycled with
       // DD, never gathered, never transmitted.
-      (void)engine.PublishStatus(consumed.index,
-                                 static_cast<uint8_t>(consumed.status | kNicDescStatusDone));
+      (void)PublishRetry(engine, consumed.index,
+                         static_cast<uint8_t>(consumed.status | kNicDescStatusDone));
       completed_any = true;
       if (eop) {
         tx_skip_to_eop_[q] = false;
@@ -451,8 +472,8 @@ void SimNic::ProcessTxRing(uint32_t q) {
     // Whole frame gathered: publish every fragment's completion in ring
     // order (DD release-published last per descriptor), then the wire hop.
     for (const TxPendingDesc& pending : chain) {
-      (void)engine.PublishStatus(pending.index,
-                                 static_cast<uint8_t>(pending.status | kNicDescStatusDone));
+      (void)PublishRetry(engine, pending.index,
+                         static_cast<uint8_t>(pending.status | kNicDescStatusDone));
     }
     stats_.tx_frames.fetch_add(1, std::memory_order_relaxed);
     queue_stats_[q].tx_frames.fetch_add(1, std::memory_order_relaxed);
@@ -532,6 +553,9 @@ SimNic::RxOutcome SimNic::ReceiveIntoRingLocked(uint32_t q, ConstByteSpan frame)
     uint32_t owned_here = (regs.tail + regs.size() - index) % regs.size();
     Result<NicDescriptor> desc = engine.Fetch(index, owned_here);
     if (!desc.ok()) {
+      // The fetch faulted in the IOMMU (or an injected transient fault): the
+      // whole frame is dropped, and counted — never a silent loss.
+      stats_.rx_dropped_dma.fetch_add(1, std::memory_order_relaxed);
       AccumulateEngineStats(engine, &engines_[q]->rx_folded);
       return RxOutcome::kDropped;
     }
@@ -540,6 +564,7 @@ SimNic::RxOutcome SimNic::ReceiveIntoRingLocked(uint32_t q, ConstByteSpan frame)
     Status status = DmaWrite(chain_desc[i].buffer_addr, frame.subspan(off, chunk));
     if (!status.ok()) {
       stats_.dma_errors.fetch_add(1, std::memory_order_relaxed);
+      stats_.rx_dropped_dma.fetch_add(1, std::memory_order_relaxed);
       AccumulateEngineStats(engine, &engines_[q]->rx_folded);
       return RxOutcome::kDropped;
     }
@@ -553,12 +578,31 @@ SimNic::RxOutcome SimNic::ReceiveIntoRingLocked(uint32_t q, ConstByteSpan frame)
   for (uint32_t i = 0; i < needed; ++i) {
     uint32_t index = (regs.head + i) % regs.size();
     size_t chunk = frame.size() - off < bufsz ? frame.size() - off : bufsz;
-    (void)engine.WriteBackLength(index, static_cast<uint16_t>(chunk));
+    Status wrote = engine.WriteBackLength(index, static_cast<uint16_t>(chunk));
+    for (int retry = 0; !wrote.ok() && retry < kWritebackRetries; ++retry) {
+      stats_.dma_errors.fetch_add(1, std::memory_order_relaxed);
+      wrote = engine.WriteBackLength(index, static_cast<uint16_t>(chunk));
+    }
     uint8_t status = kNicDescStatusDone;
     if (i + 1 == needed) {
       status |= kNicDescStatusEop;
     }
-    (void)engine.PublishStatus(index, status);
+    if (wrote.ok()) {
+      wrote = PublishRetry(engine, index, status);
+    }
+    if (!wrote.ok()) {
+      if (i == 0) {
+        // Nothing published yet: the head has not advanced, so the frame can
+        // still be dropped WHOLE and counted — the slot is reused for the
+        // next delivery.
+        stats_.rx_dropped_dma.fetch_add(1, std::memory_order_relaxed);
+        AccumulateEngineStats(engine, &engines_[q]->rx_folded);
+        return RxOutcome::kDropped;
+      }
+      // Mid-chain hole after retries: earlier descriptors are already
+      // published, so the frame cannot be withdrawn. PublishRetry logged it;
+      // only a persistently faulting (malicious) ring reaches this.
+    }
     off += chunk;
   }
   regs.head = (regs.head + needed) % regs.size();

@@ -201,6 +201,11 @@ class SimNic : public hw::PciDevice, public EtherEndpoint {
     // whole: descriptors recycled, nothing on the wire, device live.
     std::atomic<uint64_t> tx_dropped_chain{0};
     std::atomic<uint64_t> dma_errors{0};  // descriptor/buffer DMA faulted (confined)
+    // RX frames dropped whole because a descriptor fetch or buffer write
+    // faulted: the conservation counter for the receive DMA path (dma_errors
+    // above stays the raw fault diagnostic and overlaps tx_dropped_chain on
+    // transmit faults, so audits sum THIS plus tx_dropped_chain instead).
+    std::atomic<uint64_t> rx_dropped_dma{0};
     // Descriptor-engine fabric accounting, summed over every queue:
     // transactions that fetched descriptors (cacheline bursts), descriptors
     // they carried, and completion writebacks.
@@ -266,6 +271,10 @@ class SimNic : public hw::PciDevice, public EtherEndpoint {
   // Reaps queue q's armed TX descriptors. Takes queue_mu_[q] itself; the lock
   // is released around each EtherLink::Transmit (see the threading comment).
   void ProcessTxRing(uint32_t q);
+  // PublishStatus with bounded retries through transient DMA faults (each
+  // fault counted in dma_errors): a swallowed completion writeback would
+  // strand a descriptor the driver's in-order reap can never pass.
+  Status PublishRetry(hw::DescRingEngine& engine, uint32_t index, uint8_t status);
   // Writes one frame into queue q's ring, scattering it across an EOP chain
   // when it exceeds the per-descriptor buffer size. The caller raises the RX
   // interrupt (one per delivered frame) AFTER releasing queue_mu_[q].

@@ -177,6 +177,42 @@ Status E1000eDriver::ArmRxDescriptor(uint16_t queue, uint32_t index) {
   return qs.rx_eng->Arm(index, desc);
 }
 
+namespace {
+// Re-arm attempts per slot per drain pass before the barrier takes over.
+constexpr int kRearmRetries = 4;
+}  // namespace
+
+void E1000eDriver::DrainRearmBacklog(uint16_t queue, uint64_t rx_base) {
+  QueueState& qs = queues_[queue];
+  bool advanced = false;
+  uint32_t last = 0;
+  while (!qs.pending_rearm.empty()) {
+    uint32_t index = qs.pending_rearm.front();
+    Status armed = ArmRxDescriptor(queue, index);
+    for (int retry = 0; !armed.ok() && retry < kRearmRetries; ++retry) {
+      stats_.rearm_retries.fetch_add(1, std::memory_order_relaxed);
+      armed = ArmRxDescriptor(queue, index);
+    }
+    if (!armed.ok()) {
+      // The slot is still unarmed: leave it (and everything behind it) in
+      // the FIFO. The tail stops at the last slot that really is armed; the
+      // next reap pass retries from here.
+      break;
+    }
+    qs.pending_rearm.pop_front();
+    last = index;
+    advanced = true;
+  }
+  if (advanced) {
+    (void)env_->MmioWrite32(0, rx_base + 0x18, last);
+  }
+}
+
+void E1000eDriver::ArmRxAndAdvanceTail(uint16_t queue, uint32_t index, uint64_t rx_base) {
+  queues_[queue].pending_rearm.push_back(index);
+  DrainRearmBacklog(queue, rx_base);
+}
+
 Status E1000eDriver::Open() {
   // Arena sizing invariants (net_limits.h), asserted at ring setup: every
   // queue's ring of buffer slices must fit its share of the RX arena, the
@@ -242,6 +278,7 @@ Status E1000eDriver::Open() {
     qs.chain.clear();
     qs.chain_bytes = 0;
     qs.skip_to_eop = false;
+    qs.pending_rearm.clear();
     SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, rx_base + 0x10, 0));
     // Tail one behind head: the full ring minus one is armed, as on real HW.
     SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, rx_base + 0x18, kRxDescriptors - 1));
@@ -423,13 +460,10 @@ void E1000eDriver::RecycleChain(uint16_t queue) {
   if (qs.chain.empty()) {
     return;
   }
-  uint32_t last = qs.chain_start;
   for (size_t i = 0; i < qs.chain.size(); ++i) {
-    uint32_t index = (qs.chain_start + static_cast<uint32_t>(i)) % kRxDescriptors;
-    (void)ArmRxDescriptor(queue, index);
-    last = index;
+    qs.pending_rearm.push_back((qs.chain_start + static_cast<uint32_t>(i)) % kRxDescriptors);
   }
-  (void)env_->MmioWrite32(0, QueueRegBase(devices::kNicRegRdbal, queue) + 0x18, last);
+  DrainRearmBacklog(queue, QueueRegBase(devices::kNicRegRdbal, queue));
   qs.chain.clear();
   qs.chain_bytes = 0;
 }
@@ -438,6 +472,9 @@ void E1000eDriver::ReapRxRing(uint16_t queue) {
   QueueState& qs = queues_[queue];
   uint64_t rx_base = QueueRegBase(devices::kNicRegRdbal, queue);
   size_t max_frame = kern::MaxFrameBytes(mtu_);
+  // Slots a previous pass could not re-arm (transient DMA-view fault): retry
+  // them first, so the ring recovers its capacity once the fault clears.
+  DrainRearmBacklog(queue, rx_base);
   while (true) {
     // The device publishes DD last (release); pair it with an acquire load
     // before trusting the descriptor's other fields — the delivery may be
@@ -461,8 +498,7 @@ void E1000eDriver::ReapRxRing(uint16_t queue) {
       // Resyncing after a dropped chain: everything up to AND INCLUDING the
       // EOP that terminates the dropped frame belongs to it — recycling it
       // as-is, never parsing mid-frame tail bytes as a fresh frame.
-      (void)ArmRxDescriptor(queue, index);
-      (void)env_->MmioWrite32(0, rx_base + 0x18, index);
+      ArmRxAndAdvanceTail(queue, index, rx_base);
       if (eop) {
         qs.skip_to_eop = false;
       }
@@ -505,9 +541,7 @@ void E1000eDriver::ReapRxRing(uint16_t queue) {
       // footprint (arm + tail write per packet).
       (void)env_->NetifRx(qs.chain[0].iova, qs.chain[0].len, queue);
       stats_.rx_delivered.fetch_add(1, std::memory_order_relaxed);
-      uint32_t index = qs.chain_start;
-      (void)ArmRxDescriptor(queue, index);
-      (void)env_->MmioWrite32(0, rx_base + 0x18, index);
+      ArmRxAndAdvanceTail(queue, qs.chain_start, rx_base);
       qs.chain.clear();
       qs.chain_bytes = 0;
     } else {

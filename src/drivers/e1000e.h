@@ -107,6 +107,10 @@ class E1000eDriver : public uml::Driver {
     std::atomic<uint64_t> rx_chain_dropped{0};   // torn/endless/oversize chains dropped
     std::atomic<uint64_t> interrupts{0};
     std::atomic<uint64_t> free_batches{0};  // coalesced completion downcalls
+    // RX re-arm attempts repeated after a transient descriptor-write fault
+    // (injected DMA-view failures): the re-arm barrier retries in place and
+    // the tail doorbell never passes a slot that is still unarmed.
+    std::atomic<uint64_t> rearm_retries{0};
   };
   const Stats& stats() const { return stats_; }
   // Descriptor-window accounting summed over every ring engine: DmaView
@@ -169,6 +173,12 @@ class E1000eDriver : public uml::Driver {
     // Resync after a dropped chain: descriptors are recycled unparsed until
     // the EOP that terminates the dropped frame passes by.
     bool skip_to_eop = false;
+    // RX slots whose re-arm failed even after the bounded retries, in ring
+    // order. They form a BARRIER: the tail doorbell never advances past the
+    // first of them — an unarmed slot handed back to the device still shows
+    // stale DD state, and the device would re-deliver a stale frame from it.
+    // Retried at the head of every reap pass.
+    std::deque<uint32_t> pending_rearm;
     // Pool buffer ids in flight per TX slot (-1 when in-kernel bounce).
     std::vector<int32_t> tx_slot_buffer;
     // Whether the TX slot carries a frame's last fragment (CMD.EOP as we
@@ -196,6 +206,13 @@ class E1000eDriver : public uml::Driver {
   void ReapTxCompletions(uint16_t queue);
   void ReapRxRing(uint16_t queue);
   Status ArmRxDescriptor(uint16_t queue, uint32_t index);
+  // Queues `index` for re-arm and drains the backlog (arm + one tail write).
+  void ArmRxAndAdvanceTail(uint16_t queue, uint32_t index, uint64_t rx_base);
+  // Arms as many pending slots as the DMA window allows, in ring order, with
+  // bounded per-slot retries, then advances the tail to the last armed slot.
+  // Stops (leaving the barrier in place) at the first slot that stays
+  // unarmed.
+  void DrainRearmBacklog(uint16_t queue, uint64_t rx_base);
   // Re-arms every descriptor of the pending chain and hands them back to the
   // device with one tail write; clears the chain state.
   void RecycleChain(uint16_t queue);

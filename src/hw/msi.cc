@@ -1,6 +1,7 @@
 #include "src/hw/msi.h"
 
 #include "src/base/bytes.h"
+#include "src/base/fault_injector.h"
 #include "src/base/log.h"
 
 namespace sud::hw {
@@ -19,10 +20,25 @@ Status MsiController::HandleWrite(uint16_t source_id, uint64_t addr, uint16_t da
     }
     vector = remapped.value();
   }
+  // Injected lost edge: the posted write vanishes on the "bus" before the
+  // APIC sees it. A NIC consumer recovers without help — the next delivery's
+  // edge drains the ring NAPI-style, and a lost *tail* interrupt is nudged
+  // back to life by the generator's stall retransmit. Counted, never silent.
+  if (SUD_FAULT_POINT("hw.msi.lost")) {
+    injected_lost_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
   delivered_[vector].fetch_add(1, std::memory_order_relaxed);
   total_delivered_.fetch_add(1, std::memory_order_relaxed);
   if (handler_) {
     handler_(vector, source_id);
+    // Injected spurious edge: the same doorbell rings twice. The safe_pci
+    // layer tolerates it by design (an in-flight queue coalesces/pends the
+    // extra edge, an idle one takes a harmless empty poll + ack).
+    if (SUD_FAULT_POINT("hw.msi.spurious")) {
+      injected_spurious_.fetch_add(1, std::memory_order_relaxed);
+      handler_(vector, source_id);
+    }
   }
   return Status::Ok();
 }

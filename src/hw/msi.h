@@ -41,12 +41,20 @@ class MsiController {
   }
   uint64_t total_delivered() const { return total_delivered_.load(std::memory_order_relaxed); }
   uint64_t blocked() const { return blocked_.load(std::memory_order_relaxed); }
+  // Injected-fault accounting ("hw.msi.lost" / "hw.msi.spurious" sites):
+  // edges the engine swallowed before the APIC, and extra edges it rang.
+  uint64_t injected_lost() const { return injected_lost_.load(std::memory_order_relaxed); }
+  uint64_t injected_spurious() const {
+    return injected_spurious_.load(std::memory_order_relaxed);
+  }
   void ResetCounters() {
     for (auto& count : delivered_) {
       count.store(0, std::memory_order_relaxed);
     }
     total_delivered_.store(0, std::memory_order_relaxed);
     blocked_.store(0, std::memory_order_relaxed);
+    injected_lost_.store(0, std::memory_order_relaxed);
+    injected_spurious_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -57,6 +65,8 @@ class MsiController {
   std::array<std::atomic<uint64_t>, 256> delivered_{};
   std::atomic<uint64_t> total_delivered_{0};
   std::atomic<uint64_t> blocked_{0};
+  std::atomic<uint64_t> injected_lost_{0};
+  std::atomic<uint64_t> injected_spurious_{0};
 };
 
 }  // namespace sud::hw

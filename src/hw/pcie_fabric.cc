@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/bytes.h"
+#include "src/base/fault_injector.h"
 #include "src/base/log.h"
 
 namespace sud::hw {
@@ -37,6 +38,13 @@ Status RootComplex::DmaWrite(uint16_t source_id, uint64_t addr, ConstByteSpan da
 
 Status RootComplex::Access(uint16_t source_id, uint64_t addr, ByteSpan out, ConstByteSpan in,
                            bool is_write) {
+  // Injected transient fault: the whole transaction aborts, exactly like an
+  // IOMMU fault would abort it — callers already treat that as
+  // whole-frame-or-nothing (counted in their dma_errors / drop stats).
+  if (SUD_FAULT_POINT(is_write ? "hw.pcie.dma_write" : "hw.pcie.dma_read")) {
+    ++dropped_;
+    return Status(ErrorCode::kIommuFault, "injected transient dma fault");
+  }
   // Hardware splits bursts at page boundaries; do the same so the IOMMU
   // never sees a page-crossing access.
   uint64_t total = is_write ? in.size() : out.size();

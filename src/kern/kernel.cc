@@ -62,7 +62,7 @@ void Kernel::HandleInterrupt(uint8_t vector, uint16_t source_id) {
   auto it = irq_handlers_.find(vector);
   if (it == irq_handlers_.end()) {
     spurious_interrupts_.fetch_add(1, std::memory_order_relaxed);
-    SUD_LOG(kWarning) << "spurious interrupt vector " << int{vector} << " from source "
+    SUD_LOG_RL(kWarning) << "spurious interrupt vector " << int{vector} << " from source "
                       << Hex(source_id);
     return;
   }

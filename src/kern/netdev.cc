@@ -163,7 +163,7 @@ Status NetSubsystem::NetifRx(NetDevice* device, SkbPtr skb, uint16_t queue) {
   if (!view.valid()) {
     device->stats().rx_dropped++;
     device->stats().driver_errors++;
-    SUD_LOG(kWarning) << device->name() << ": driver delivered runt packet, dropping";
+    SUD_LOG_RL(kWarning) << device->name() << ": driver delivered runt packet, dropping";
     return Status(ErrorCode::kInvalidArgument, "runt packet");
   }
   // Checksum pass. Under SUD the proxy fuses its guard-copy with this pass

@@ -92,6 +92,10 @@ struct NetDeviceStats {
   // Frag skbs folded flat for a non-SG driver (the skb_linearize fallback):
   // each one is a full-frame copy the scatter/gather path avoids.
   std::atomic<uint64_t> tx_linearized{0};
+  // TX frames refused because the shared staging pool had no buffer (counted
+  // backpressure under memory pressure — a subset of tx_dropped, never a
+  // silent loss).
+  std::atomic<uint64_t> tx_no_buffer{0};
   std::atomic<uint64_t> rx_packets{0};
   std::atomic<uint64_t> rx_dropped{0};
   std::atomic<uint64_t> rx_bad_checksum{0};

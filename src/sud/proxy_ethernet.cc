@@ -43,7 +43,7 @@ void EthernetProxy::NoteXmitFull() {
   if (consecutive_full_.fetch_add(1, std::memory_order_relaxed) + 1 >=
       options_.hung_threshold) {
     stats_.hung_reports.fetch_add(1, std::memory_order_relaxed);
-    SUD_LOG(kWarning) << "ethernet driver not consuming buffers; reporting hung";
+    SUD_LOG_RL(kWarning) << "ethernet driver not consuming buffers; reporting hung";
     consecutive_full_.store(0, std::memory_order_relaxed);
   }
 }
@@ -106,6 +106,9 @@ Status EthernetProxy::StageXmitChain(const kern::Skb& skb, UchanMsg* msg, uint16
       Result<int32_t> buffer_id = ctx_->pool().Alloc();
       if (!buffer_id.ok()) {
         stats_.xmit_dropped.fetch_add(1, std::memory_order_relaxed);
+        if (netdev_ != nullptr) {
+          netdev_->stats().tx_no_buffer++;
+        }
         NoteXmitFull();
         staging = Status(ErrorCode::kQueueFull, "no shared buffers (driver slow or hung)");
         return;
@@ -147,6 +150,7 @@ Status EthernetProxy::StageXmitChain(const kern::Skb& skb, UchanMsg* msg, uint16
   cpu.ChargeBytes(kAccountKernel, cpu.costs().per_byte_copy, total);
 
   msg->opcode = kEthUpXmitChain;
+  msg->droppable = true;  // loss-tolerant data plane: fault-injection eligible
   msg->args[0] = queue;
   msg->args[1] = count;
   msg->buffer_id = ids[0];
@@ -209,11 +213,18 @@ Status EthernetProxy::PrepareXmit(kern::Skb& skb, UchanMsg* msg, uint16_t queue)
   Result<int32_t> buffer_id = ctx_->pool().Alloc();
   if (!buffer_id.ok()) {
     stats_.xmit_dropped.fetch_add(1, std::memory_order_relaxed);
+    if (netdev_ != nullptr) {
+      netdev_->stats().tx_no_buffer++;
+    }
     NoteXmitFull();
     return Status(ErrorCode::kQueueFull, "no shared buffers (driver slow or hung)");
   }
   Result<ByteSpan> buffer = ctx_->pool().Buffer(buffer_id.value());
   if (!buffer.ok()) {
+    // Freshly allocated id failed validation (torn-down pool): return the
+    // buffer and count the drop — never a silent loss or a leaked buffer.
+    ctx_->pool().Free(buffer_id.value());
+    stats_.xmit_dropped.fetch_add(1, std::memory_order_relaxed);
     return buffer.status();
   }
   size_t len = skb.data_len();
@@ -225,6 +236,7 @@ Status EthernetProxy::PrepareXmit(kern::Skb& skb, UchanMsg* msg, uint16_t queue)
   cpu.ChargeBytes(kAccountKernel, cpu.costs().per_byte_copy, len);
 
   msg->opcode = kEthUpXmit;
+  msg->droppable = true;  // loss-tolerant data plane: fault-injection eligible
   msg->args[0] = queue;
   msg->buffer_id = buffer_id.value();
   msg->buffer_len = static_cast<uint32_t>(len);
@@ -276,8 +288,15 @@ size_t EthernetProxy::StartXmitBatch(std::vector<kern::SkbPtr> skbs, uint16_t qu
     // account them like the per-packet path would (drop + hung detection).
     for (size_t rest = msgs.size() + 1; rest < skbs.size(); ++rest) {
       stats_.xmit_dropped.fetch_add(1, std::memory_order_relaxed);
+      if (netdev_ != nullptr) {
+        netdev_->stats().tx_no_buffer++;
+      }
       NoteXmitFull();
     }
+  } else if (!staging.ok() && msgs.size() + 1 < skbs.size()) {
+    // Any other staging failure mid-burst also drops the unstaged tail:
+    // count those frames too (the failing frame was counted in PrepareXmit).
+    stats_.xmit_dropped.fetch_add(skbs.size() - msgs.size() - 1, std::memory_order_relaxed);
   }
   if (msgs.empty()) {
     return 0;
@@ -340,6 +359,9 @@ Result<std::string> EthernetProxy::Ioctl(uint32_t cmd) {
 
 void EthernetProxy::OnDriverRestart() {
   consecutive_full_.store(0, std::memory_order_relaxed);
+  // The replacement driver binds a FRESH uchan set whose seqs restart at 1:
+  // the dedup watermarks must restart with them.
+  last_rx_seq_.fill(0);
   for (auto& bundle : rx_bundle_) {
     // Guard-copied packets whose NAPI flush died with the driver: dropping
     // them here is part of the bounded, counted crash loss (the copies are
@@ -373,6 +395,11 @@ void EthernetProxy::HandleDowncall(UchanMsg& msg, uint16_t shard) {
       // Feature bits: only bits the kernel knows are honoured; everything
       // else a driver claims is ignored.
       driver_sg_ = (msg.args[2] & kEthFeatureSg) != 0;
+      // A register_netdev marks a new driver generation speaking a freshly
+      // bound uchan whose seqs restart at 1 — the netif_rx dedup watermarks
+      // must restart with it. The supervisor's OnDriverRestart also resets
+      // them, but an administrator's manual kill+start bypasses it.
+      last_rx_seq_.fill(0);
       if (netdev_ != nullptr) {
         // A restarted driver re-registering: keep the existing interface and
         // refresh the MAC (shadow-driver-style recovery, Section 2).
@@ -456,6 +483,14 @@ void EthernetProxy::HandleFreeBuffer(UchanMsg& msg) {
 }
 
 void EthernetProxy::HandleNetifRx(UchanMsg& msg, uint16_t shard) {
+  if (msg.seq != 0 && msg.seq <= last_rx_seq_[shard]) {
+    // Duplicated delivery (channel fault or replay): the shard's seqs are
+    // strictly increasing, so a non-advancing one was already handled.
+    stats_.rx_dups_rejected.fetch_add(1, std::memory_order_relaxed);
+    msg.error = 0;  // tolerated, not a downcall failure
+    return;
+  }
+  last_rx_seq_[shard] = msg.seq;
   stats_.rx_downcalls.fetch_add(1, std::memory_order_relaxed);
   if (netdev_ == nullptr) {
     msg.error = static_cast<int32_t>(ErrorCode::kUnavailable);
@@ -550,7 +585,7 @@ void EthernetProxy::FinishRxSkb(kern::SkbPtr skb, bool checksum_ok, size_t frame
     if (frame_bytes < kern::kPacketMinSize) {
       netdev_->stats().rx_dropped++;
       netdev_->stats().driver_errors++;
-      SUD_LOG(kWarning) << netdev_->name() << ": driver delivered runt packet, dropping";
+      SUD_LOG_RL(kWarning) << netdev_->name() << ": driver delivered runt packet, dropping";
     } else {
       netdev_->stats().rx_bad_checksum++;
       netdev_->stats().rx_dropped++;
@@ -563,6 +598,13 @@ void EthernetProxy::FinishRxSkb(kern::SkbPtr skb, bool checksum_ok, size_t frame
 }
 
 void EthernetProxy::HandleNetifRxChain(UchanMsg& msg, uint16_t shard) {
+  if (msg.seq != 0 && msg.seq <= last_rx_seq_[shard]) {
+    // Same per-shard monotonic-seq dedup as the single-buffer path.
+    stats_.rx_dups_rejected.fetch_add(1, std::memory_order_relaxed);
+    msg.error = 0;  // tolerated, not a downcall failure
+    return;
+  }
+  last_rx_seq_[shard] = msg.seq;
   stats_.rx_downcalls.fetch_add(1, std::memory_order_relaxed);
   stats_.rx_chain_downcalls.fetch_add(1, std::memory_order_relaxed);
   if (netdev_ == nullptr) {

@@ -103,6 +103,11 @@ class EthernetProxy : public kern::NetDeviceOps {
     std::atomic<uint64_t> rx_chain_downcalls{0};  // multi-fragment netif_rx messages
     std::atomic<uint64_t> rx_bad_buffer_id{0};  // malicious buffer ids rejected
     std::atomic<uint64_t> rx_bad_chain{0};      // malformed/oversize chains rejected
+    // netif_rx downcalls whose per-shard sequence number was not strictly
+    // greater than the last one seen: a duplicated (replayed or
+    // fault-injected) delivery, rejected before any guard copy. Neither a
+    // loss nor a delivery in the conservation books.
+    std::atomic<uint64_t> rx_dups_rejected{0};
     std::atomic<uint64_t> free_batches{0};      // coalesced free-buffer messages
     std::atomic<uint64_t> hung_reports{0};
     std::atomic<uint64_t> guard_copies{0};
@@ -164,6 +169,12 @@ class EthernetProxy : public kern::NetDeviceOps {
   // Guard-copied packets awaiting the end-of-entry NetifRxBatch delivery,
   // one bundle per queue (only ever touched from that shard's pump thread).
   std::array<std::vector<kern::SkbPtr>, kSudMaxQueues> rx_bundle_;
+  // Highest downcall seq accepted per shard for netif_rx delivery: shard
+  // seqs are assigned monotonically at enqueue and the channel preserves
+  // per-shard order, so any non-increasing seq is a duplicate. Touched only
+  // from that shard's pump thread; reset (with the fresh uchan's seq space)
+  // on driver restart.
+  std::array<uint64_t, kSudMaxQueues> last_rx_seq_{};
   Stats stats_;
   ToctouHook toctou_hook_;
 };

@@ -313,7 +313,13 @@ void SudDeviceContext::OnDeviceInterrupt(uint16_t queue, uint16_t msi_source_id)
   msg.args[0] = queue;
   Status status = shards_->shard(queue).SendAsync(std::move(msg));
   if (!status.ok()) {
-    // Ring full: treat like an unacknowledged interrupt — mask.
+    // Ring full even after the channel's bounded retry: treat like an
+    // unacknowledged interrupt — mask. The upcall was never delivered, so
+    // no ack for it can ever arrive: the in-flight flag must come back off
+    // and the queue must pend, or it wedges forever. The next ack on ANY
+    // queue (or the pended-MSI refire on unmask) redelivers.
+    irq_in_flight_[queue] = false;
+    irq_pended_[queue] = true;
     machine.cpu().Charge(kAccountKernel, machine.cpu().costs().pci_config_access);
     device_->config().set_msi_masked(true);
     ++irq_stats_.mask_events;

@@ -1,5 +1,7 @@
 #include "src/sud/shared_pool.h"
 
+#include "src/base/fault_injector.h"
+
 namespace sud {
 
 SharedBufferPool::SharedBufferPool(DmaSpace* dma, uint32_t count, uint32_t buffer_bytes,
@@ -67,6 +69,13 @@ Result<int32_t> SharedBufferPool::Alloc() {
     return Status(ErrorCode::kUnavailable, "pool not initialized");
   }
   std::lock_guard<std::mutex> lock(mu_);
+  // Injected memory pressure: the pool reports exhaustion with buffers still
+  // free. Callers must treat it exactly like a genuinely empty free list —
+  // counted TX backpressure, never silent loss or partial staging.
+  if (SUD_FAULT_POINT("sud.pool.alloc")) {
+    ++injected_exhausted_;
+    return Status(ErrorCode::kExhausted, "shared buffer pool exhausted (injected)");
+  }
   if (free_list_.empty()) {
     return Status(ErrorCode::kExhausted, "shared buffer pool exhausted");
   }

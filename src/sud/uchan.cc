@@ -1,13 +1,21 @@
 #include "src/sud/uchan.h"
 
 #include <chrono>
+#include <iterator>
 
+#include "src/base/fault_injector.h"
 #include "src/base/log.h"
 
 namespace sud {
 
 namespace {
 constexpr size_t kInitialReplySlots = 64;  // power of two
+// Bounded retry/backoff on a full kernel-to-user ring: a burst-filled ring
+// is congestion, not a verdict on the driver, so the kernel gives it a short
+// chance to drain before the drop becomes final. A genuinely hung driver
+// still fails — just these few hundred microseconds later.
+constexpr int kRingFullRetries = 2;
+constexpr uint64_t kRingFullBackoffUs = 100;
 }  // namespace
 
 const CpuCosts& Uchan::costs() const {
@@ -142,10 +150,16 @@ Status Uchan::EnqueueUpcallLocked(UchanMsg&& msg) {
   if (ring_count_ >= config_.ring_entries) {
     // Section 3.1.1: "if the device driver's queue is full, the kernel can
     // wait a short period of time to determine if the user-space driver is
-    // making any progress at all" — modelled as an immediate kQueueFull the
-    // proxy converts into a hung-driver report after its grace policy.
-    stats_.upcalls_dropped_full++;
+    // making any progress at all" — the short wait is the bounded retry in
+    // SendAsync/SendAsyncBatch; callers count the drop when they give up.
     return Status(ErrorCode::kQueueFull, "kernel-to-user ring full");
+  }
+  // Forced ring-full injection, restricted to loss-tolerant messages: the
+  // existing backpressure machinery (counted drop, staged-buffer reclaim,
+  // hung-driver grace policy) is exactly what must engage.
+  if (msg.droppable && SUD_FAULT_POINT("uchan.up.ring_full")) {
+    stats_.injected_ring_full++;
+    return Status(ErrorCode::kQueueFull, "kernel-to-user ring full (injected)");
   }
   ChargeKernelLocked(costs().uchan_msg);
   if (driver_idle_) {
@@ -163,6 +177,11 @@ Status Uchan::EnqueueUpcallLocked(UchanMsg&& msg) {
 }
 
 UchanMsg Uchan::PopUpcallLocked() {
+  if (ring_count_ >= config_.ring_entries) {
+    // The ring just stopped being full: wake any sender in its bounded
+    // ring-full backoff.
+    space_cv_.notify_all();
+  }
   UchanMsg msg = std::move(ring_[ring_head_]);
   ring_head_ = (ring_head_ + 1) % config_.ring_entries;
   --ring_count_;
@@ -178,6 +197,9 @@ Result<UchanMsg> Uchan::SendSync(UchanMsg msg) {
   stats_.upcalls_sync++;
   Status enq = EnqueueUpcallLocked(std::move(msg));
   if (!enq.ok()) {
+    if (enq.code() == ErrorCode::kQueueFull) {
+      stats_.upcalls_dropped_full++;
+    }
     return enq;
   }
   InsertPendingLocked(seq);
@@ -228,14 +250,43 @@ Result<UchanMsg> Uchan::SendSync(UchanMsg msg) {
   return reply;
 }
 
+// Gives a kQueueFull enqueue its bounded second chance: runs the pump (the
+// driver's inline dispatch, single-threaded harnesses) or waits briefly for
+// the driver threads to pop something. Returns the final enqueue status;
+// `msg` is untouched on failure (EnqueueUpcallLocked moves only on success).
+Status Uchan::RetryEnqueueLocked(UchanMsg& msg, Status status,
+                                 std::unique_lock<std::mutex>& lock) {
+  for (int attempt = 0;
+       !status.ok() && status.code() == ErrorCode::kQueueFull && attempt < kRingFullRetries &&
+       !shutdown_;
+       ++attempt) {
+    stats_.ring_full_retries++;
+    if (user_pump_) {
+      auto pump = user_pump_;
+      lock.unlock();
+      pump();
+      lock.lock();
+    } else {
+      space_cv_.wait_for(lock, std::chrono::microseconds(kRingFullBackoffUs));
+    }
+    status = EnqueueUpcallLocked(std::move(msg));
+  }
+  return status;
+}
+
 Status Uchan::SendAsync(UchanMsg msg) {
   std::unique_lock<std::mutex> lock(mu_);
   msg.seq = next_seq_++;
   msg.needs_reply = false;
   stats_.upcalls_async++;
   Status status = EnqueueUpcallLocked(std::move(msg));
+  if (!status.ok()) {
+    status = RetryEnqueueLocked(msg, status, lock);
+  }
   if (status.ok()) {
     upcall_cv_.notify_all();
+  } else if (status.code() == ErrorCode::kQueueFull) {
+    stats_.upcalls_dropped_full++;
   }
   return status;
 }
@@ -247,16 +298,29 @@ Result<size_t> Uchan::SendAsyncBatch(std::vector<UchanMsg> msgs) {
   }
   stats_.upcall_batches++;
   size_t enqueued = 0;
-  for (UchanMsg& msg : msgs) {
+  for (size_t i = 0; i < msgs.size(); ++i) {
+    UchanMsg& msg = msgs[i];
     msg.seq = next_seq_++;
     msg.needs_reply = false;
     stats_.upcalls_async++;
-    if (!EnqueueUpcallLocked(std::move(msg)).ok()) {
-      // Ring filled mid-batch: drop the tail (each drop already counted in
-      // upcalls_dropped_full by EnqueueUpcallLocked).
-      for (size_t rest = enqueued + 1; rest < msgs.size(); ++rest) {
-        stats_.upcalls_async++;
-        stats_.upcalls_dropped_full++;
+    Status status = EnqueueUpcallLocked(std::move(msg));
+    if (!status.ok() && status.code() == ErrorCode::kQueueFull) {
+      if (enqueued > 0) {
+        // Wake the driver on what is already queued before backing off.
+        upcall_cv_.notify_all();
+      }
+      status = RetryEnqueueLocked(msg, status, lock);
+    }
+    if (!status.ok()) {
+      if (status.code() == ErrorCode::kQueueFull) {
+        // Ring stayed full through the bounded retry: drop this message and
+        // the rest of the batch (counted; the caller reclaims resources).
+        for (size_t rest = i; rest < msgs.size(); ++rest) {
+          if (rest > i) {
+            stats_.upcalls_async++;
+          }
+          stats_.upcalls_dropped_full++;
+        }
       }
       break;
     }
@@ -348,16 +412,20 @@ Status Uchan::DowncallSync(UchanMsg& msg) {
     return Status(ErrorCode::kUnavailable, "uchan shut down");
   }
   stats_.downcalls_sync++;
+  msg.seq = next_seq_++;
   // A synchronous downcall always enters the kernel, flushing any batch
-  // first (batched messages must stay ordered ahead of this one).
+  // first (batched messages must stay ordered ahead of this one). The flush
+  // runs the same injected delivery loop as FlushDowncalls: a netif_rx batch
+  // piggybacking on an interrupt-ack's kernel entry — the common pumped-mode
+  // path — faces the same drop/dup/delay faults as one on its own entry. An
+  // injected delay may park part of the batch for the next entry; the sync
+  // message itself still runs now (it is never droppable, and a control call
+  // overtaking stalled data traffic is exactly the fault being modeled).
   std::vector<UchanMsg> batch;
   batch.swap(downcall_batch_);
   ChargeDriverLocked(costs().syscall);
   stats_.downcall_batches++;
-  for (UchanMsg& queued : batch) {
-    ChargeKernelLocked(costs().uchan_msg);
-    RunDowncallLocked(queued, lock);
-  }
+  DeliverBatchLocked(batch, lock);
   ChargeKernelLocked(costs().uchan_msg);
   RunDowncallLocked(msg, lock);
   Status status = msg.error == 0 ? Status::Ok()
@@ -377,6 +445,10 @@ Status Uchan::DowncallAsync(UchanMsg msg) {
       return Status(ErrorCode::kUnavailable, "uchan shut down");
     }
     stats_.downcalls_async++;
+    // Seq at enqueue time, under the lock: per-shard monotonic across every
+    // downcall, which is what lets the proxy reject an injected duplicate
+    // (same seq twice) without a message-id table.
+    msg.seq = next_seq_++;
     if (config_.batch_async_downcalls) {
       downcall_batch_.push_back(std::move(msg));
       return Status::Ok();
@@ -396,6 +468,9 @@ Status Uchan::DowncallAsyncBatch(std::vector<UchanMsg> msgs) {
       return Status(ErrorCode::kUnavailable, "uchan shut down");
     }
     stats_.downcalls_async += msgs.size();
+    for (UchanMsg& msg : msgs) {
+      msg.seq = next_seq_++;
+    }
     if (downcall_batch_.empty()) {
       downcall_batch_ = std::move(msgs);
     } else {
@@ -411,6 +486,46 @@ Status Uchan::DowncallAsyncBatch(std::vector<UchanMsg> msgs) {
   return Status::Ok();
 }
 
+// The one delivery loop every flushed batch goes through — whether the batch
+// rides its own kernel entry (FlushDowncalls) or piggybacks on a synchronous
+// downcall's entry (DowncallSync). Keeping injection here, in the shared
+// path, is what makes drop/dup/delay coverage independent of WHICH kernel
+// entry happened to carry a message.
+void Uchan::DeliverBatchLocked(std::vector<UchanMsg>& batch,
+                               std::unique_lock<std::mutex>& lock) {
+  const bool inject = FaultInjector::armed();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    UchanMsg& msg = batch[i];
+    if (inject && msg.droppable) {
+      if (SUD_FAULT_POINT("uchan.down.delay")) {
+        // Bounded delay: the tail of this flush rides the NEXT flush instead,
+        // spliced at the front so relative order is preserved. A stall the
+        // receiver must tolerate, never a loss or a reorder.
+        stats_.injected_delays++;
+        downcall_batch_.insert(downcall_batch_.begin(),
+                               std::make_move_iterator(batch.begin() + static_cast<long>(i)),
+                               std::make_move_iterator(batch.end()));
+        break;
+      }
+      if (SUD_FAULT_POINT("uchan.down.drop")) {
+        // Swallowed in flight; counted so the conservation audit can close.
+        stats_.injected_drops++;
+        continue;
+      }
+      if (SUD_FAULT_POINT("uchan.down.dup")) {
+        // Deliver a copy first, then the original: the receiver sees the same
+        // seq twice and must reject the second by its monotonic-seq check.
+        stats_.injected_dups++;
+        UchanMsg copy = msg;
+        ChargeKernelLocked(costs().uchan_msg);
+        RunDowncallLocked(copy, lock);
+      }
+    }
+    ChargeKernelLocked(costs().uchan_msg);
+    RunDowncallLocked(msg, lock);
+  }
+}
+
 void Uchan::FlushDowncalls() {
   std::unique_lock<std::mutex> lock(mu_);
   if (downcall_batch_.empty() || shutdown_) {
@@ -421,10 +536,7 @@ void Uchan::FlushDowncalls() {
   // One kernel entry for the whole batch: the batching win of Section 3.1.2.
   ChargeDriverLocked(costs().syscall);
   stats_.downcall_batches++;
-  for (UchanMsg& msg : batch) {
-    ChargeKernelLocked(costs().uchan_msg);
-    RunDowncallLocked(msg, lock);
-  }
+  DeliverBatchLocked(batch, lock);
   auto flush_handler = downcall_flush_handler_;
   lock.unlock();
   if (flush_handler) {
@@ -443,6 +555,7 @@ void Uchan::Shutdown() {
   downcall_batch_.clear();
   upcall_cv_.notify_all();
   reply_cv_.notify_all();
+  space_cv_.notify_all();  // senders parked in the ring-full backoff
 }
 
 bool Uchan::is_shutdown() const {

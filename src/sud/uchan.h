@@ -56,6 +56,12 @@ struct UchanMsg {
   uint32_t opcode = 0;
   uint64_t seq = 0;
   bool needs_reply = false;
+  // Loss-tolerant data-plane message (netif_rx downcalls, xmit upcalls).
+  // ONLY these are eligible for injected drop/duplicate/delay and forced
+  // ring-full: losing a free-buffer message would leak a pool buffer forever
+  // and losing an interrupt ack would wedge a queue — neither is a fault the
+  // channel can produce without also being a harness bug.
+  bool droppable = false;
   std::array<uint64_t, 6> args{};
   std::vector<uint8_t> inline_data;  // small marshalled payloads
   int32_t buffer_id = -1;            // shared-pool buffer handle, or -1
@@ -83,6 +89,19 @@ class Uchan {
     uint64_t downcalls_async = 0;
     uint64_t downcall_batches = 0;  // flushes (kernel entries for downcalls)
     uint64_t wakeups = 0;           // driver woken from "select"
+    // Bounded backoff on a full kernel-to-user ring: SendAsync/SendAsyncBatch
+    // retries taken before a drop became final (successful retries are why
+    // this can exceed upcalls_dropped_full).
+    uint64_t ring_full_retries = 0;
+    // Fault-injection accounting — every injected channel fault is counted
+    // here so the soak's conservation audit can close its books exactly:
+    // "uchan.up.ring_full" forced rejections, "uchan.down.drop" messages
+    // swallowed in flight, "uchan.down.dup" second deliveries,
+    // "uchan.down.delay" flush deferrals (a stall, never a loss).
+    uint64_t injected_ring_full = 0;
+    uint64_t injected_drops = 0;
+    uint64_t injected_dups = 0;
+    uint64_t injected_delays = 0;
     // Per-channel CpuModel accounting: the simulated nanoseconds THIS channel
     // charged to each side. With one uchan per NIC queue these are the
     // per-queue crossing costs the multi-queue benches report.
@@ -100,6 +119,11 @@ class Uchan {
       downcalls_async += other.downcalls_async;
       downcall_batches += other.downcall_batches;
       wakeups += other.wakeups;
+      ring_full_retries += other.ring_full_retries;
+      injected_ring_full += other.injected_ring_full;
+      injected_drops += other.injected_drops;
+      injected_dups += other.injected_dups;
+      injected_delays += other.injected_delays;
       kernel_ns += other.kernel_ns;
       driver_ns += other.driver_ns;
       return *this;
@@ -182,6 +206,14 @@ class Uchan {
   };
 
   Status EnqueueUpcallLocked(UchanMsg&& msg);
+  // Delivers a flushed downcall batch through the fault-injected loop (drop/
+  // dup/delay for droppable messages); shared by FlushDowncalls and the
+  // batch-first flush inside DowncallSync. A delayed tail is re-parked at the
+  // front of downcall_batch_.
+  void DeliverBatchLocked(std::vector<UchanMsg>& batch, std::unique_lock<std::mutex>& lock);
+  // Bounded ring-full retry/backoff for the async send paths; `msg` is
+  // intact on failure (EnqueueUpcallLocked moves only on success).
+  Status RetryEnqueueLocked(UchanMsg& msg, Status status, std::unique_lock<std::mutex>& lock);
   void RunDowncallLocked(UchanMsg& msg, std::unique_lock<std::mutex>& lock);
   // Blocks until the ring is non-empty (or timeout/shutdown); returns Ok when
   // at least one message is dequeueable. Charges the select/read syscall when
@@ -201,6 +233,7 @@ class Uchan {
   mutable std::mutex mu_;
   std::condition_variable upcall_cv_;  // driver sleeping in "select"
   std::condition_variable reply_cv_;   // kernel waiting for a sync reply
+  std::condition_variable space_cv_;   // kernel backing off a full ring
 
   // Kernel-to-user ring: pre-sized, head + count, no node allocation.
   std::vector<UchanMsg> ring_;

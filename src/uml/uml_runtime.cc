@@ -1,9 +1,13 @@
 #include "src/uml/uml_runtime.h"
 
 
+#include <chrono>
 #include <cstring>
+#include <string>
+#include <thread>
 
 #include "src/base/bytes.h"
+#include "src/base/fault_injector.h"
 #include "src/base/log.h"
 #include "src/kern/net_limits.h"
 
@@ -15,6 +19,19 @@ namespace {
 // array: flushing every queue would touch other pump threads' slots, and
 // cross-shard ordering is deliberately undefined anyway.
 thread_local uint16_t t_current_pump_queue = 0;
+
+// Per-queue pump-stall site names, built once: the hot path hands the fault
+// engine a stable string_view, never a fresh allocation.
+std::string_view PumpStallSite(uint16_t queue) {
+  static const std::array<std::string, kSudMaxQueues> kNames = [] {
+    std::array<std::string, kSudMaxQueues> names;
+    for (size_t q = 0; q < names.size(); ++q) {
+      names[q] = "uml.pump.stall.q" + std::to_string(q);
+    }
+    return names;
+  }();
+  return kNames[queue < kSudMaxQueues ? queue : 0];
+}
 }  // namespace
 
 UmlRuntime::UmlRuntime(kern::Kernel* kernel, SudDeviceContext* ctx, kern::Process* proc)
@@ -101,6 +118,12 @@ Result<DmaRegion> UmlRuntime::DmaAllocCaching(uint64_t bytes) {
 }
 
 Result<ByteSpan> UmlRuntime::DmaView(uint64_t iova, uint64_t len) {
+  // Injected transient mapping failure: drivers must treat a dead window the
+  // way they treat any DMA error — skip/retry the descriptor, never crash and
+  // never deliver a frame they could not read.
+  if (SUD_FAULT_POINT("uml.dmaview.fail")) {
+    return Status(ErrorCode::kUnavailable, "dma window unavailable (injected)");
+  }
   return ctx_->dma().HostView(iova, len);
 }
 
@@ -210,6 +233,7 @@ Status UmlRuntime::NetifRx(uint64_t frame_iova, uint32_t len, uint16_t queue) {
   }
   UchanMsg msg;
   msg.opcode = kEthDownNetifRx;
+  msg.droppable = true;  // loss-tolerant data plane: fault-injection eligible
   msg.args[0] = frame_iova;
   msg.args[1] = len;
   return QueueRxDowncall(std::move(msg), queue, len);
@@ -227,6 +251,7 @@ Status UmlRuntime::NetifRxChain(const std::vector<DmaFrag>& frags, uint16_t queu
   }
   UchanMsg msg;
   msg.opcode = kEthDownNetifRxChain;
+  msg.droppable = true;  // loss-tolerant data plane: fault-injection eligible
   msg.args[0] = frags.size();
   msg.inline_data.resize(frags.size() * kNetifRxChainFragBytes);
   uint64_t total = 0;
@@ -365,6 +390,15 @@ Status UmlRuntime::RunOnce(uint64_t timeout_ms) {
 
 Status UmlRuntime::RunOnceQueue(uint16_t queue, uint64_t timeout_ms) {
   t_current_pump_queue = queue;
+  // Injected pump stall: this pass services NOTHING — no flush, no WaitBatch,
+  // no dispatch, no progress bump. A Burst schedule here freezes the queue's
+  // heartbeat while upcalls pile up, which is exactly the signature the
+  // supervisor's watchdog must catch.
+  if (SUD_FAULT_POINT(PumpStallSite(queue))) {
+    stats_.injected_pump_stalls.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    return Status(ErrorCode::kTimedOut, "pump stalled (injected)");
+  }
   FlushRxPendingQueue(queue, /*enter_kernel=*/false);
   constexpr size_t kDispatchBurst = 64;
   Result<std::vector<UchanMsg>> batch = ctx_->ctl(queue).WaitBatch(timeout_ms, kDispatchBurst);
@@ -486,10 +520,14 @@ void UmlRuntime::Dispatch(UchanMsg& msg) {
           xmit = net_ops_.xmit(iova.value(), msg.buffer_len, msg.buffer_id, queue);
         }
       }
-      if (!xmit.ok() && msg.buffer_id >= 0) {
-        // Refused (ring full, interface down): nothing was armed, so nothing
-        // will ever reap this buffer — return it like the chain path does.
-        FreeTxBuffer(msg.buffer_id);
+      if (!xmit.ok()) {
+        stats_.xmit_refused.fetch_add(1, std::memory_order_relaxed);
+        if (msg.buffer_id >= 0) {
+          // Refused (ring full, interface down): nothing was armed, so
+          // nothing will ever reap this buffer — return it like the chain
+          // path does.
+          FreeTxBuffer(msg.buffer_id);
+        }
       }
       return;
     }
@@ -524,7 +562,7 @@ void UmlRuntime::Dispatch(UchanMsg& msg) {
       }
       if (!ok) {
         stats_.xmit_chains_rejected.fetch_add(1, std::memory_order_relaxed);
-        SUD_LOG(kWarning) << "sud-uml: malformed xmit chain upcall rejected before arming";
+        SUD_LOG_RL(kWarning) << "sud-uml: malformed xmit chain upcall rejected before arming";
         return;
       }
       stats_.xmit_chain_upcalls.fetch_add(1, std::memory_order_relaxed);
@@ -538,6 +576,7 @@ void UmlRuntime::Dispatch(UchanMsg& msg) {
         xmit = net_ops_.xmit(frags[0].iova, frags[0].len, frags[0].pool_buffer_id, queue);
       }
       if (!xmit.ok()) {
+        stats_.xmit_refused.fetch_add(1, std::memory_order_relaxed);
         // Refused (ring full, interface down, no op): the driver armed
         // nothing, so nothing will ever reap these buffers — return the
         // whole chain now or the pool drains one refusal at a time.

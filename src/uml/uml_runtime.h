@@ -113,6 +113,13 @@ class UmlRuntime : public DriverEnv {
     // Malformed kEthUpXmitChain messages (count/payload mismatch, bogus pool
     // ids, over-cap or oversize records) rejected before any DMA arming.
     std::atomic<uint64_t> xmit_chains_rejected{0};
+    // Pump passes swallowed by the "uml.pump.stall.qN" fault sites (the
+    // injected wedge the supervisor's watchdog must detect).
+    std::atomic<uint64_t> injected_pump_stalls{0};
+    // Transmit upcalls the driver refused (ring full, interface down, DMA
+    // window unavailable): the frame is gone but its staging buffers were
+    // returned — a counted drop on the TX conservation ledger.
+    std::atomic<uint64_t> xmit_refused{0};
   };
   const Stats& stats() const { return stats_; }
 

@@ -284,6 +284,144 @@ class NetBench {
   uint16_t flow_frames_base_ = 0;
 };
 
+// Conservation ledger: every frame a generator put on the wire (RX
+// direction) or the stack accepted for transmit (TX direction) must end a
+// drained run either delivered or counted in exactly ONE per-layer drop
+// counter — a fault that loses a frame without advancing a counter is a
+// silent loss, which the fault-soak bench treats as a failure. Sample
+// CollectLedger() before and after a run and audit the delta.
+//
+// Caveat: the uchan, runtime and SUT-driver counters live in the driver
+// process and are replaced by a supervisor restart, so an EXACT audit window
+// must not span one (crash/watchdog phases use bounded-loss accounting — the
+// ledger then reports how much of the loss was counted vs eaten by the kill).
+struct ConservationLedger {
+  // RX direction: wire -> SUT stack.
+  uint64_t rx_delivered = 0;             // SUT netdev rx_packets
+  uint64_t rx_stack_dropped = 0;         // SUT netdev rx_dropped (runt/digest/firewall)
+  uint64_t nic_rx_oversize = 0;          // SUT NIC MAC-level drops
+  uint64_t nic_rx_no_desc = 0;           // SUT NIC backlog overflow
+  uint64_t nic_rx_dma = 0;               // SUT NIC descriptor/buffer DMA faults
+  uint64_t driver_rx_chain_dropped = 0;  // driver reassembly drops
+  uint64_t uchan_injected_drops = 0;     // netif_rx downcalls eaten by injection
+  // TX direction: SUT stack -> peer stack.
+  uint64_t tx_accepted = 0;              // SUT netdev tx_packets
+  uint64_t tx_stack_dropped = 0;         // SUT netdev tx_dropped (staging/ring-full)
+  uint64_t xmit_refused = 0;             // driver refused the transmit upcall
+  uint64_t xmit_chains_rejected = 0;     // malformed chain upcalls rejected
+  uint64_t nic_tx_dropped_chain = 0;     // SUT NIC whole-chain drops (incl. DMA faults)
+  uint64_t peer_rx_oversize = 0;
+  uint64_t peer_rx_no_desc = 0;
+  uint64_t peer_rx_dma = 0;
+  uint64_t peer_driver_rx_chain_dropped = 0;
+  uint64_t tx_delivered = 0;             // peer netdev rx_packets
+  uint64_t peer_stack_dropped = 0;       // peer netdev rx_dropped
+  // Tolerated faults: neither a delivery nor a loss.
+  uint64_t rx_dups_rejected = 0;         // duplicated netif_rx messages refused
+  uint64_t uchan_injected_dups = 0;      // duplications the channel introduced
+  // Diagnostics. digest_mismatches is a subset of rx_stack_dropped (never
+  // summed twice); pool_outstanding is an absolute sample, not a delta.
+  uint64_t digest_mismatches = 0;        // SUT netdev rx_bad_checksum
+  uint64_t pool_outstanding = 0;
+
+  ConservationLedger operator-(const ConservationLedger& base) const {
+    ConservationLedger d = *this;
+    d.rx_delivered -= base.rx_delivered;
+    d.rx_stack_dropped -= base.rx_stack_dropped;
+    d.nic_rx_oversize -= base.nic_rx_oversize;
+    d.nic_rx_no_desc -= base.nic_rx_no_desc;
+    d.nic_rx_dma -= base.nic_rx_dma;
+    d.driver_rx_chain_dropped -= base.driver_rx_chain_dropped;
+    d.uchan_injected_drops -= base.uchan_injected_drops;
+    d.tx_accepted -= base.tx_accepted;
+    d.tx_stack_dropped -= base.tx_stack_dropped;
+    d.xmit_refused -= base.xmit_refused;
+    d.xmit_chains_rejected -= base.xmit_chains_rejected;
+    d.nic_tx_dropped_chain -= base.nic_tx_dropped_chain;
+    d.peer_rx_oversize -= base.peer_rx_oversize;
+    d.peer_rx_no_desc -= base.peer_rx_no_desc;
+    d.peer_rx_dma -= base.peer_rx_dma;
+    d.peer_driver_rx_chain_dropped -= base.peer_driver_rx_chain_dropped;
+    d.tx_delivered -= base.tx_delivered;
+    d.peer_stack_dropped -= base.peer_stack_dropped;
+    d.rx_dups_rejected -= base.rx_dups_rejected;
+    d.uchan_injected_dups -= base.uchan_injected_dups;
+    d.digest_mismatches -= base.digest_mismatches;
+    return d;  // pool_outstanding stays the endpoint sample
+  }
+
+  // Frames the RX path lost WITH a counter advancing.
+  uint64_t RxCountedLosses() const {
+    return rx_stack_dropped + nic_rx_oversize + nic_rx_no_desc + nic_rx_dma +
+           driver_rx_chain_dropped + uchan_injected_drops;
+  }
+  // Frames the TX path lost with a counter advancing, past netdev acceptance.
+  uint64_t TxCountedLosses() const {
+    return xmit_refused + xmit_chains_rejected + nic_tx_dropped_chain + peer_rx_oversize +
+           peer_rx_no_desc + peer_rx_dma + peer_driver_rx_chain_dropped + peer_stack_dropped;
+  }
+  // Exact conservation over a fully drained, restart-free window.
+  bool RxConserved(uint64_t wire_sent) const {
+    return wire_sent == rx_delivered + RxCountedLosses();
+  }
+  bool TxConserved(uint64_t attempts) const {
+    return attempts == tx_accepted + tx_stack_dropped &&
+           tx_accepted == tx_delivered + TxCountedLosses();
+  }
+};
+
+inline ConservationLedger CollectLedger(NetBench& bench) {
+  ConservationLedger ledger;
+  kern::NetDevice* sut = bench.kernel.net().Find(bench.SutIfname());
+  kern::NetDevice* peer = bench.peer_env != nullptr ? bench.peer_env->netdev() : nullptr;
+  if (sut != nullptr) {
+    ledger.rx_delivered = sut->stats().rx_packets.load();
+    ledger.rx_stack_dropped = sut->stats().rx_dropped.load();
+    ledger.digest_mismatches = sut->stats().rx_bad_checksum.load();
+    ledger.tx_accepted = sut->stats().tx_packets.load();
+    ledger.tx_stack_dropped = sut->stats().tx_dropped.load();
+  }
+  ledger.nic_rx_oversize = bench.sut_nic.stats().rx_dropped_oversize.load();
+  ledger.nic_rx_no_desc = bench.sut_nic.stats().rx_dropped_no_desc.load();
+  ledger.nic_rx_dma = bench.sut_nic.stats().rx_dropped_dma.load();
+  ledger.nic_tx_dropped_chain = bench.sut_nic.stats().tx_dropped_chain.load();
+  ledger.peer_rx_oversize = bench.peer_nic.stats().rx_dropped_oversize.load();
+  ledger.peer_rx_no_desc = bench.peer_nic.stats().rx_dropped_no_desc.load();
+  ledger.peer_rx_dma = bench.peer_nic.stats().rx_dropped_dma.load();
+  // The CURRENT SUT driver: a supervisor restart replaces the instance the
+  // bench's sut_driver pointer captured, so prefer the host's live one.
+  drivers::E1000eDriver* sut_driver = bench.sut_driver;
+  if (bench.host != nullptr && bench.host->driver() != nullptr) {
+    sut_driver = static_cast<drivers::E1000eDriver*>(bench.host->driver());
+  }
+  if (sut_driver != nullptr) {
+    ledger.driver_rx_chain_dropped = sut_driver->stats().rx_chain_dropped.load();
+  }
+  if (bench.peer_driver != nullptr) {
+    ledger.peer_driver_rx_chain_dropped = bench.peer_driver->stats().rx_chain_dropped.load();
+  }
+  if (peer != nullptr) {
+    ledger.tx_delivered = peer->stats().rx_packets.load();
+    ledger.peer_stack_dropped = peer->stats().rx_dropped.load();
+  }
+  if (bench.ctx != nullptr) {
+    for (uint32_t q = 0; q < bench.nic_queues_; ++q) {
+      Uchan::Stats shard = bench.ctx->ctl(q).stats();
+      ledger.uchan_injected_drops += shard.injected_drops;
+      ledger.uchan_injected_dups += shard.injected_dups;
+    }
+    ledger.pool_outstanding = bench.ctx->pool().outstanding();
+  }
+  if (bench.proxy != nullptr) {
+    ledger.rx_dups_rejected = bench.proxy->stats().rx_dups_rejected.load();
+  }
+  if (bench.host != nullptr && bench.host->runtime() != nullptr) {
+    ledger.xmit_refused = bench.host->runtime()->stats().xmit_refused.load();
+    ledger.xmit_chains_rejected = bench.host->runtime()->stats().xmit_chains_rejected.load();
+  }
+  return ledger;
+}
+
 }  // namespace sud::testing
 
 #endif  // SUD_TESTS_HARNESS_H_

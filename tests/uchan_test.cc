@@ -6,6 +6,7 @@
 
 #include <thread>
 
+#include "src/base/fault_injector.h"
 #include "src/base/log.h"
 #include "src/base/rng.h"
 #include "src/sud/uchan.h"
@@ -407,6 +408,128 @@ TEST(UchanShards, ShutdownAllKillsEveryShard) {
   shards.ShutdownAll();
   EXPECT_EQ(shards.shard(0).SendAsync(UchanMsg{}).code(), ErrorCode::kUnavailable);
   EXPECT_EQ(shards.shard(1).SendAsync(UchanMsg{}).code(), ErrorCode::kUnavailable);
+}
+
+// ---- fault injection --------------------------------------------------------
+// The injector is process-global: every test restores the disarmed,
+// schedule-free state on exit so neighbouring tests never see a stale fault.
+
+class UchanFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FaultInjector::Get().Disarm();
+    FaultInjector::Get().ClearSchedules();
+  }
+};
+
+UchanMsg Droppable(uint32_t opcode) {
+  UchanMsg msg;
+  msg.opcode = opcode;
+  msg.droppable = true;
+  return msg;
+}
+
+TEST_F(UchanFaultTest, InjectedRingFullOnlyRefusesDroppableMessages) {
+  Uchan uchan;
+  FaultInjector::Get().Configure("uchan.up.ring_full", FaultInjector::EveryNth(1));
+  FaultInjector::Get().Arm(42);
+  // Control-plane (non-droppable) messages are never eligible for injection.
+  ASSERT_TRUE(uchan.SendAsync(UchanMsg{}).ok());
+  // A droppable message is refused on the first attempt and on every bounded
+  // retry, then dropped — exactly the counted backpressure path.
+  EXPECT_EQ(uchan.SendAsync(Droppable(1)).code(), ErrorCode::kQueueFull);
+  Uchan::Stats stats = uchan.stats();
+  EXPECT_EQ(stats.upcalls_dropped_full, 1u);
+  EXPECT_GE(stats.ring_full_retries, 1u);
+  // One injection per enqueue attempt: the first try plus each retry.
+  EXPECT_EQ(stats.injected_ring_full, stats.ring_full_retries + 1);
+  // Disarming restores service instantly; no residue in the channel.
+  FaultInjector::Get().Disarm();
+  ASSERT_TRUE(uchan.SendAsync(Droppable(2)).ok());
+  EXPECT_EQ(uchan.pending_upcalls(), 2u);
+}
+
+TEST_F(UchanFaultTest, InjectedRingFullOneShotSurvivesViaBoundedRetry) {
+  Uchan uchan;
+  // Fire exactly once, on the first enqueue: the bounded retry's second
+  // attempt must land the message without a drop.
+  FaultInjector::Get().Configure("uchan.up.ring_full", FaultInjector::OneShotAt(1));
+  FaultInjector::Get().Arm(7);
+  ASSERT_TRUE(uchan.SendAsync(Droppable(9)).ok());
+  Uchan::Stats stats = uchan.stats();
+  EXPECT_EQ(stats.injected_ring_full, 1u);
+  EXPECT_EQ(stats.ring_full_retries, 1u);
+  EXPECT_EQ(stats.upcalls_dropped_full, 0u);
+  Result<UchanMsg> msg = uchan.Wait(0);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg.value().opcode, 9u);
+}
+
+TEST_F(UchanFaultTest, InjectedDelayDefersFlushTailWithoutReorder) {
+  Uchan uchan;
+  std::vector<uint32_t> handled;
+  uchan.set_downcall_handler([&](UchanMsg& msg) { handled.push_back(msg.opcode); });
+  FaultInjector::Get().Configure("uchan.down.delay", FaultInjector::OneShotAt(3));
+  FaultInjector::Get().Arm(3);
+  for (uint32_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(uchan.DowncallAsync(Droppable(i)).ok());
+  }
+  // The flush rides the WaitBatch kernel entry, which still times out cleanly
+  // on the empty upcall ring while the injector is armed.
+  EXPECT_EQ(uchan.WaitBatch(0, 8).status().code(), ErrorCode::kTimedOut);
+  // The delay fired on message 3: the tail {3, 4} parked for the next flush.
+  EXPECT_EQ(handled, (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(uchan.stats().injected_delays, 1u);
+  // The parked tail rides the next flush AHEAD of newer traffic: a stall,
+  // never a reorder.
+  ASSERT_TRUE(uchan.DowncallAsync(Droppable(5)).ok());
+  EXPECT_EQ(uchan.WaitBatch(0, 8).status().code(), ErrorCode::kTimedOut);
+  EXPECT_EQ(handled, (std::vector<uint32_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(uchan.stats().injected_drops, 0u);  // and never a loss
+}
+
+TEST_F(UchanFaultTest, InjectedDupDeliversTheSameSeqTwice) {
+  Uchan uchan;
+  std::vector<std::pair<uint32_t, uint64_t>> handled;  // (opcode, seq)
+  uchan.set_downcall_handler(
+      [&](UchanMsg& msg) { handled.emplace_back(msg.opcode, msg.seq); });
+  FaultInjector::Get().Configure("uchan.down.dup", FaultInjector::EveryNth(2));
+  FaultInjector::Get().Arm(11);
+  for (uint32_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(uchan.DowncallAsync(Droppable(i)).ok());
+  }
+  EXPECT_EQ(uchan.WaitBatch(0, 8).status().code(), ErrorCode::kTimedOut);
+  // Hits 2 and 4 duplicated: the copy is delivered first with the ORIGINAL
+  // seq, which is what lets a receiver reject it by its monotonic-seq check.
+  ASSERT_EQ(handled.size(), 6u);
+  EXPECT_EQ(handled[0].first, 1u);
+  EXPECT_EQ(handled[1].first, 2u);
+  EXPECT_EQ(handled[2].first, 2u);
+  EXPECT_EQ(handled[1].second, handled[2].second);
+  EXPECT_EQ(handled[3].first, 3u);
+  EXPECT_EQ(handled[4].first, 4u);
+  EXPECT_EQ(handled[5].first, 4u);
+  EXPECT_EQ(handled[4].second, handled[5].second);
+  EXPECT_EQ(uchan.stats().injected_dups, 2u);
+}
+
+TEST_F(UchanFaultTest, InjectedDropIsCountedNeverSilent) {
+  Uchan uchan;
+  std::vector<uint32_t> handled;
+  uchan.set_downcall_handler([&](UchanMsg& msg) { handled.push_back(msg.opcode); });
+  FaultInjector::Get().Configure("uchan.down.drop", FaultInjector::EveryNth(2));
+  FaultInjector::Get().Arm(5);
+  for (uint32_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(uchan.DowncallAsync(Droppable(i)).ok());
+  }
+  (void)uchan.Wait(0);
+  // Messages 2 and 4 swallowed in flight — but each one counted, so a
+  // conservation audit over (delivered + injected_drops) still closes.
+  EXPECT_EQ(handled, (std::vector<uint32_t>{1, 3}));
+  Uchan::Stats stats = uchan.stats();
+  EXPECT_EQ(stats.injected_drops, 2u);
+  EXPECT_EQ(stats.downcalls_async, 4u);
+  EXPECT_EQ(handled.size() + stats.injected_drops, stats.downcalls_async);
 }
 
 // Property: random interleavings of async upcalls and waits preserve FIFO
