@@ -33,9 +33,11 @@
 // uchan crossing counts per packet and the *simulator's own* wall-clock per
 // run — so the perf trajectory of the reproduction is tracked across PRs.
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/base/log.h"
@@ -397,15 +399,36 @@ Row RunUdpRr(bool is_sud) {
   int requests = 0;
   netdev->set_rx_sink([&](const kern::Skb&) { ++requests; });
 
+  // The netperf client is a threaded EtherLink RR peer (the Optiplex as its
+  // own machine), transmitting each request on the wire from its own thread.
+  // Replies are acked by the serving loop's served-transaction counter — not
+  // raw wire frames — so request t+1 leaves only after the server fully
+  // finished transaction t. That strict alternation is UDP_RR's one-in-flight
+  // semantics AND what keeps the per-transaction charge shape (request
+  // landed; Pump; reply; Pump) bit-identical to the serial bench.
+  std::atomic<uint64_t> served{0};
+  devices::EtherLink::RrFlow client;
+  client.request = kern::BuildPacket(kMacA, kMacB, 7001, 7002,
+                                     {payload.data(), payload.size()});
+  client.transactions = kRrTransactions;
+  client.replies = [&served]() { return served.load(std::memory_order_acquire); };
+  uint64_t requests_base = bench.link.stats().frames[1].load();
+  bench.link.StartRrPeers({std::move(client)}, /*side=*/1);
+
   for (int txn = 0; txn < kRrTransactions; ++txn) {
-    (void)bench.PeerSend(7001, 7002, {payload.data(), payload.size()});
+    // The request is fully DMA'd into the SUT NIC once frames[1] advances.
+    while (bench.link.stats().frames[1].load() < requests_base + txn + 1) {
+      std::this_thread::yield();
+    }
     config.Pump();  // request reaches the app
     auto reply = kern::BuildPacket(kMacB, kMacA, 7002, 7001,
                                    {payload.data(), payload.size()});
     (void)bench.kernel.net().Transmit(netdev,
                                       kern::MakeSkb({reply.data(), reply.size()}));
     config.Pump();  // reply transmitted
+    served.store(static_cast<uint64_t>(txn) + 1, std::memory_order_release);
   }
+  bench.link.JoinPeers();
 
   double cpu_ns = TotalCpu(bench);
   double server_ns_per_txn = cpu_ns / kRrTransactions;

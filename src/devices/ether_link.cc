@@ -40,8 +40,6 @@ Status EtherLink::Transmit(int side, ConstByteSpan frame) {
     ++stats_.dropped;
     return Status(ErrorCode::kInvalidArgument, "oversize frame");
   }
-  stats_.frames[side]++;
-  stats_.bytes[side] += frame.size();
   if (frame.size() < kEthMinFrame) {
     std::vector<uint8_t> padded(kEthMinFrame, 0);
     std::copy(frame.begin(), frame.end(), padded.begin());
@@ -49,6 +47,11 @@ Status EtherLink::Transmit(int side, ConstByteSpan frame) {
   } else {
     peer->DeliverFrame(frame);
   }
+  // Counted AFTER delivery: a thread observing frames[side] advance may rely
+  // on the frame being fully in the receiving endpoint (the RR serving loop
+  // paces its pumps on exactly that).
+  stats_.frames[side]++;
+  stats_.bytes[side] += frame.size();
   return Status::Ok();
 }
 
@@ -149,6 +152,88 @@ void EtherLink::StartPeers(std::vector<PeerFlow> flows, int side, uint64_t give_
         last_progress = std::chrono::steady_clock::now();
       }
     });
+  }
+}
+
+void EtherLink::AddRrGen(RrFlow flow) {
+  auto gen = std::make_unique<PeerGen>();
+  gen->flow.frame = std::move(flow.request);
+  gen->flow.count = flow.transactions;
+  gen->rr_replies = std::move(flow.replies);
+  gen->frame_digest = FrameHash({gen->flow.frame.data(), gen->flow.frame.size()});
+  gen->index = peers_.size();
+  peers_.push_back(std::move(gen));
+}
+
+void EtherLink::StartRrPeers(std::vector<RrFlow> flows, int side, uint64_t give_up_ms) {
+  JoinPeers();
+  peers_.clear();
+  peers_stop_.store(false, std::memory_order_relaxed);
+  for (RrFlow& flow : flows) {
+    AddRrGen(std::move(flow));
+  }
+  for (auto& gen_ptr : peers_) {
+    PeerGen* gen = gen_ptr.get();
+    gen->thread = std::thread([this, gen, side, give_up_ms]() {
+      auto last_progress = std::chrono::steady_clock::now();
+      while (gen->sent < gen->flow.count && !peers_stop_.load(std::memory_order_relaxed)) {
+        TransmitFromPeer(side, *gen);
+        // One transaction in flight: block until the server answered THIS
+        // request before the next leaves. The reply clock only runs while
+        // blocked, so a slow-but-live server is never abandoned.
+        while (gen->rr_replies() < gen->sent &&
+               !peers_stop_.load(std::memory_order_relaxed)) {
+          if (std::chrono::steady_clock::now() - last_progress >
+              std::chrono::milliseconds(give_up_ms)) {
+            gen->stats.gave_up.store(true, std::memory_order_relaxed);
+            LogPeerGaveUp("rr", gen->index, gen->sent, gen->flow.count, gen->rr_replies(),
+                          true);
+            return;
+          }
+          std::this_thread::yield();
+        }
+        last_progress = std::chrono::steady_clock::now();
+      }
+    });
+  }
+}
+
+void EtherLink::RunRrPeersSerial(std::vector<RrFlow> flows, const std::function<void()>& serve,
+                                 int side) {
+  JoinPeers();
+  peers_.clear();
+  for (RrFlow& flow : flows) {
+    AddRrGen(std::move(flow));
+  }
+  auto last_progress = std::chrono::steady_clock::now();
+  for (;;) {
+    bool all_done = true;
+    for (auto& gen : peers_) {
+      if (gen->sent >= gen->flow.count) {
+        continue;
+      }
+      all_done = false;
+      TransmitFromPeer(side, *gen);
+      bool answered = true;
+      while (gen->rr_replies() < gen->sent) {
+        if (serve == nullptr || std::chrono::steady_clock::now() - last_progress >
+                                    std::chrono::seconds(60)) {
+          gen->stats.gave_up.store(true, std::memory_order_relaxed);
+          LogPeerGaveUp("rr-serial", gen->index, gen->sent, gen->flow.count,
+                        gen->rr_replies(), true);
+          answered = false;
+          break;
+        }
+        serve();
+      }
+      if (!answered) {
+        return;  // a wedged server wedges every flow; leave the shortfall visible
+      }
+      last_progress = std::chrono::steady_clock::now();
+    }
+    if (all_done) {
+      break;
+    }
   }
 }
 

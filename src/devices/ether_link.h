@@ -118,11 +118,34 @@ class EtherLink {
     std::atomic<uint64_t> rewinds{0};
   };
 
+  // One request/response flow — netperf's UDP_RR client: the generator
+  // transmits `request`, then blocks until `replies()` passes the transaction
+  // number before sending the next, so exactly one transaction is ever in
+  // flight. What counts as a reply is the caller's: link frames from the
+  // other side for a wire-level client, or a served-transaction counter when
+  // the bench needs strict alternation with its own serving loop (fig8's
+  // UDP_RR keeps its charge pattern bit-identical that way).
+  struct RrFlow {
+    std::vector<uint8_t> request;
+    uint64_t transactions = 0;
+    std::function<uint64_t()> replies;  // responses observed so far (required)
+  };
+
   // Spawns one generator thread per flow, transmitting from `side`.
   // `give_up_ms` bounds how long a window-blocked generator waits without
   // consumer progress before abandoning its budget (CI can never wedge; the
   // shortfall shows up in peer_stats).
   void StartPeers(std::vector<PeerFlow> flows, int side = 1, uint64_t give_up_ms = 60000);
+  // Spawns one client thread per RR flow, transmitting from `side`. Stats
+  // land in peer_stats() like the flood generators'; a client whose reply
+  // never comes gives up after `give_up_ms` without progress (gave_up set).
+  void StartRrPeers(std::vector<RrFlow> flows, int side = 1, uint64_t give_up_ms = 60000);
+  // Serial replay of the same RR flows on the caller's thread: transmit a
+  // flow's request, then invoke `serve` until its reply arrives, round-robin
+  // across flows — the single-threaded equivalent the determinism tests
+  // compare the threaded clients against.
+  void RunRrPeersSerial(std::vector<RrFlow> flows, const std::function<void()>& serve,
+                        int side = 1);
   // Blocks until every generator sent its budget (or gave up / was stopped).
   void JoinPeers();
   // Asks generators to exit after their current frame, then joins them.
@@ -142,12 +165,18 @@ class EtherLink {
  private:
   struct PeerGen {
     PeerFlow flow;
+    // RR clients reuse flow.frame/flow.count for the request and transaction
+    // budget; a non-null rr_replies is what marks the generator as RR.
+    std::function<uint64_t()> rr_replies;
     PeerStats stats;
     uint64_t frame_digest = 0;  // FrameHash(flow.frame), computed once
     uint64_t sent = 0;
     size_t index = 0;  // flow number (== the SUT queue BuildQueueFlows pinned)
     std::thread thread;
   };
+
+  // Moves an RrFlow into a PeerGen slot in peers_ (shared by both RR modes).
+  void AddRrGen(RrFlow flow);
 
   // Transmits one frame of `gen`'s flow and folds it into the flow counters.
   void TransmitFromPeer(int side, PeerGen& gen);

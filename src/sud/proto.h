@@ -47,11 +47,15 @@ inline constexpr uint64_t kEthFeatureSg = 1ull << 0;  // NETIF_F_SG
 // args[0]: frame iova, args[1]: length. Delivered on the RX queue's shard.
 inline constexpr uint32_t kEthDownNetifRx = kOpDownDeviceClassBase + 1;  // "netif_rx" (async, buffer)
 inline constexpr uint32_t kEthDownSetCarrier = kOpDownDeviceClassBase + 2;  // args[0]: 0/1 (mirror)
-// Single layout: args[0]: buffer id, inline_data empty (the legacy message).
-// Coalesced layout (TX completion batching): args[0]: id count, inline_data:
-// that many little-endian int32 buffer ids — one message per reap pass
-// instead of one per transmitted buffer.
+// Unified layout: args[0]: id count, inline_data: that many little-endian
+// int32 buffer ids. A single completion is a batch of one; a TX reap pass
+// coalesces its whole sweep into one message. (The legacy empty-payload
+// single-id layout is gone — one schema covers every free.)
 inline constexpr uint32_t kEthDownFreeBuffer = kOpDownDeviceClassBase + 3;
+inline constexpr size_t kFreeBufferIdBytes = 4;
+// Static cap on one free batch (a reap pass can never legitimately carry
+// more ids than this many pool buffers).
+inline constexpr size_t kMaxFreeBufferIds = 1024;
 // netif_rx for an EOP-chained multi-descriptor frame. args[0]: fragment
 // count; inline_data: that many (LE64 iova, LE32 len) records — 12 bytes
 // each. The kernel side re-validates EVERYTHING: the count against the
@@ -85,6 +89,17 @@ inline constexpr uint32_t kUsbDownKeyEvent = kOpDownDeviceClassBase + 48;  // ar
 // Scan-result marshalling for kWifiUpScan replies: each record is
 // 6 (bssid) + 1 (channel) + 1 (signal) + 32 (ssid, NUL-padded) bytes.
 inline constexpr size_t kWifiScanRecordBytes = 40;
+inline constexpr size_t kMaxScanRecords = 64;
+inline constexpr size_t kMaxSsidBytes = 32;
+// kWifiDownSetBitrates payload: implicit-count LE32 rate records.
+inline constexpr size_t kWifiBitrateBytes = 4;
+inline constexpr size_t kMaxWifiBitrates = 64;
+
+// Device-class messages defined above (Ethernet 5 up + 5 down, wireless
+// 3 + 3, audio 3 + 2, USB 1). Every one must have a wire_schema registry
+// entry — wire_schema.cc static_asserts on this count, so adding a message
+// here without a schema fails the build. Bump when adding an opcode.
+inline constexpr size_t kProtoMessageCount = 22;
 
 }  // namespace sud
 

@@ -8,7 +8,8 @@ namespace sud {
 
 AudioProxy::AudioProxy(kern::Kernel* kernel, SudDeviceContext* ctx)
     : kernel_(kernel), ctx_(ctx) {
-  ctx_->set_downcall_handler([this](UchanMsg& msg, uint16_t /*queue*/) { HandleDowncall(msg); });
+  ctx_->set_downcall_handler(
+      [this](UchanMsg& msg, uint16_t shard) { HandleDowncall(msg, shard); });
 }
 
 Status AudioProxy::OpenStream(const kern::PcmConfig& config) {
@@ -69,7 +70,31 @@ Status AudioProxy::WriteSamples(ConstByteSpan samples) {
   return Status::Ok();
 }
 
-void AudioProxy::HandleDowncall(UchanMsg& msg) {
+void AudioProxy::HandleDowncall(UchanMsg& msg, uint16_t shard) {
+  // Schema-certify the shape before any handler parses a byte. Malformed
+  // free-buffer batches are still tolerated: the ids the payload actually
+  // carries are real completions, salvaged exactly like the ethernet proxy.
+  wire::Malform verdict = wire::ValidateStructure(wire::Dir::kDown, msg, shard);
+  if (verdict != wire::Malform::kNone) {
+    wire_rejects_.Count(wire::Dir::kDown, msg.opcode);
+    if (verdict != wire::Malform::kUnknownOpcode && msg.opcode == kEthDownFreeBuffer) {
+      SUD_LOG(kAttack) << "audio proxy: malformed free-buffer batch, salvaging payload ids";
+      size_t salvage = wire::FreeBufferPayloadCount(msg);
+      for (size_t i = 0; i < salvage; ++i) {
+        ctx_->pool().Free(wire::DecodeFreeBufferId(msg, i));
+      }
+      msg.error = 0;
+      return;
+    }
+    if (verdict == wire::Malform::kUnknownOpcode) {
+      SUD_LOG(kWarning) << "audio proxy: unknown downcall opcode " << msg.opcode;
+    } else {
+      SUD_LOG(kAttack) << "audio proxy: malformed downcall " << msg.opcode << " rejected ("
+                       << wire::MalformName(verdict) << ")";
+    }
+    msg.error = static_cast<int32_t>(ErrorCode::kInvalidArgument);
+    return;
+  }
   switch (msg.opcode) {
     case kAudioDownRegister: {
       if (pcm_ != nullptr) {
@@ -93,10 +118,14 @@ void AudioProxy::HandleDowncall(UchanMsg& msg) {
       }
       msg.error = 0;
       return;
-    case kEthDownFreeBuffer:  // shared-pool buffer return (generic)
-      ctx_->pool().Free(static_cast<int32_t>(msg.args[0]));
+    case kEthDownFreeBuffer: {  // shared-pool buffer return (generic)
+      size_t count = wire::FreeBufferCount(msg);
+      for (size_t i = 0; i < count; ++i) {
+        ctx_->pool().Free(wire::DecodeFreeBufferId(msg, i));
+      }
       msg.error = 0;
       return;
+    }
     case kOpInterruptAck:
       msg.error = static_cast<int32_t>(ctx_->InterruptAck().code());
       return;

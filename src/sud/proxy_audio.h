@@ -13,6 +13,7 @@
 #include "src/kern/kernel.h"
 #include "src/sud/proto.h"
 #include "src/sud/safe_pci.h"
+#include "src/sud/wire_schema.h"
 
 namespace sud {
 
@@ -34,13 +35,17 @@ class AudioProxy : public kern::PcmOps {
   };
   const Stats& stats() const { return stats_; }
 
+  // Structural (wire-schema) rejections at the downcall boundary, per message.
+  const wire::RejectStats& wire_rejects() const { return wire_rejects_; }
+
  private:
-  void HandleDowncall(UchanMsg& msg);
+  void HandleDowncall(UchanMsg& msg, uint16_t shard);
 
   kern::Kernel* kernel_;
   SudDeviceContext* ctx_;
   kern::PcmDevice* pcm_ = nullptr;
   Stats stats_;
+  wire::RejectStats wire_rejects_;
 };
 
 }  // namespace sud

@@ -2,7 +2,6 @@
 
 #include <cstring>
 
-#include "src/base/bytes.h"
 #include "src/base/log.h"
 #include "src/devices/ether_link.h"
 #include "src/kern/net_limits.h"
@@ -66,10 +65,9 @@ uint32_t EthernetProxy::DeclaredMtu(uint64_t declared) const {
 
 size_t EthernetProxy::StagedBufferIds(const UchanMsg& msg, int32_t* out) {
   if (msg.opcode == kEthUpXmitChain) {
-    size_t count = msg.inline_data.size() / kXmitChainFragBytes;
+    size_t count = wire::XmitChainCount(msg);
     for (size_t i = 0; i < count; ++i) {
-      out[i] = static_cast<int32_t>(
-          LoadLe32(msg.inline_data.data() + i * kXmitChainFragBytes));
+      out[i] = wire::DecodeXmitFrag(msg, i).pool_id;
     }
     return count;
   }
@@ -149,18 +147,8 @@ Status EthernetProxy::StageXmitChain(const kern::Skb& skb, UchanMsg* msg, uint16
   // charges, just scattered across the chain's buffers.
   cpu.ChargeBytes(kAccountKernel, cpu.costs().per_byte_copy, total);
 
-  msg->opcode = kEthUpXmitChain;
-  msg->droppable = true;  // loss-tolerant data plane: fault-injection eligible
-  msg->args[0] = queue;
-  msg->args[1] = count;
-  msg->buffer_id = ids[0];
-  msg->buffer_len = static_cast<uint32_t>(total);
-  msg->inline_data.resize(count * kXmitChainFragBytes);
-  for (size_t i = 0; i < count; ++i) {
-    uint8_t* record = msg->inline_data.data() + i * kXmitChainFragBytes;
-    StoreLe32(record, static_cast<uint32_t>(ids[i]));
-    StoreLe32(record + 4, lens[i]);
-  }
+  wire::EncodeXmitChain(queue, ids.data(), lens.data(), count, static_cast<uint32_t>(total),
+                        msg);
   stats_.xmit_chain_upcalls.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
@@ -371,12 +359,18 @@ void EthernetProxy::OnDriverRestart() {
 }
 
 void EthernetProxy::HandleDowncall(UchanMsg& msg, uint16_t shard) {
+  // Schema-certify the shape (opcode known, control lane on shard 0, args in
+  // their static bounds, payload well-formed, MAC exactly six bytes) before
+  // any handler parses a byte. Semantic checks — DMA-space lookups, the
+  // interface's declared MTU, queue-count clamps — stay in the handlers
+  // below, with their historical counters.
+  wire::Malform verdict = wire::ValidateStructure(wire::Dir::kDown, msg, shard);
+  if (verdict != wire::Malform::kNone) {
+    RejectDowncall(msg, shard, verdict);
+    return;
+  }
   switch (msg.opcode) {
     case kEthDownRegisterNetdev: {
-      if (msg.inline_data.size() != 6) {
-        msg.error = static_cast<int32_t>(ErrorCode::kInvalidArgument);
-        return;
-      }
       // The driver's advertised queue count, clamped to the shards the
       // kernel actually exported: a malicious count cannot grow the
       // attack surface.
@@ -457,43 +451,98 @@ void EthernetProxy::HandleDowncall(UchanMsg& msg, uint16_t shard) {
 }
 
 void EthernetProxy::HandleFreeBuffer(UchanMsg& msg) {
-  if (msg.inline_data.empty()) {
-    // Legacy single-id layout: args[0] is the buffer id.
-    ctx_->pool().Free(static_cast<int32_t>(msg.args[0]));
-    msg.error = 0;
-    return;
+  // Unified layout, schema-certified: args[0] ids in the payload (one
+  // message per TX reap pass; a single completion is a batch of one).
+  size_t count = wire::FreeBufferCount(msg);
+  if (count > 1) {
+    stats_.free_batches.fetch_add(1, std::memory_order_relaxed);
   }
-  // Coalesced layout: args[0] = count, inline_data = count LE32 ids (one
-  // message per TX reap pass). A count that disagrees with the payload is a
-  // malformed (malicious) message; free what the payload actually carries.
-  size_t count = msg.inline_data.size() / 4;
-  if (msg.args[0] != count) {
-    if (netdev_ != nullptr) {
-      netdev_->stats().driver_errors++;
-    }
-    SUD_LOG(kAttack) << "free-buffer batch count " << msg.args[0]
-                     << " disagrees with payload (" << count << " ids)";
-  }
-  stats_.free_batches.fetch_add(1, std::memory_order_relaxed);
   for (size_t i = 0; i < count; ++i) {
     // Bogus ids are tolerated and counted by the pool (double_frees).
-    ctx_->pool().Free(static_cast<int32_t>(LoadLe32(msg.inline_data.data() + i * 4)));
+    ctx_->pool().Free(wire::DecodeFreeBufferId(msg, i));
   }
   msg.error = 0;
 }
 
-void EthernetProxy::HandleNetifRx(UchanMsg& msg, uint16_t shard) {
+bool EthernetProxy::RxDowncallProlog(UchanMsg& msg, uint16_t shard, bool chain) {
   if (msg.seq != 0 && msg.seq <= last_rx_seq_[shard]) {
     // Duplicated delivery (channel fault or replay): the shard's seqs are
     // strictly increasing, so a non-advancing one was already handled.
     stats_.rx_dups_rejected.fetch_add(1, std::memory_order_relaxed);
     msg.error = 0;  // tolerated, not a downcall failure
-    return;
+    return false;
   }
   last_rx_seq_[shard] = msg.seq;
   stats_.rx_downcalls.fetch_add(1, std::memory_order_relaxed);
+  if (chain) {
+    stats_.rx_chain_downcalls.fetch_add(1, std::memory_order_relaxed);
+  }
   if (netdev_ == nullptr) {
     msg.error = static_cast<int32_t>(ErrorCode::kUnavailable);
+    return false;
+  }
+  return true;
+}
+
+void EthernetProxy::RejectDowncall(UchanMsg& msg, uint16_t shard, wire::Malform verdict) {
+  wire_rejects_.Count(wire::Dir::kDown, msg.opcode);
+  if (verdict == wire::Malform::kUnknownOpcode) {
+    SUD_LOG(kWarning) << "ethernet proxy: unknown downcall opcode " << msg.opcode;
+    msg.error = static_cast<int32_t>(ErrorCode::kInvalidArgument);
+    return;
+  }
+  switch (msg.opcode) {
+    case kEthDownNetifRx:
+    case kEthDownNetifRxChain: {
+      // A structurally malformed delivery leaves the same books behind as a
+      // semantically rejected one always did: the dedup watermark advances,
+      // the downcall counters bump, and the attack lands in the historical
+      // rx_bad_* counter.
+      bool chain = msg.opcode == kEthDownNetifRxChain;
+      if (!RxDowncallProlog(msg, shard, chain)) {
+        return;
+      }
+      if (chain) {
+        stats_.rx_bad_chain.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        stats_.rx_bad_buffer_id.fetch_add(1, std::memory_order_relaxed);
+      }
+      netdev_->stats().driver_errors++;
+      SUD_LOG(kAttack) << "netif_rx" << (chain ? " chain" : "")
+                       << " downcall structurally malformed ("
+                       << wire::MalformName(verdict) << ")";
+      msg.error = static_cast<int32_t>(ErrorCode::kInvalidArgument);
+      return;
+    }
+    case kEthDownFreeBuffer: {
+      // Tolerate-and-salvage: a count that disagrees with the payload is a
+      // malformed (malicious) message, but the ids the payload actually
+      // carries are real completions — free them or the pool leaks on the
+      // driver's word alone.
+      if (netdev_ != nullptr) {
+        netdev_->stats().driver_errors++;
+      }
+      SUD_LOG(kAttack) << "free-buffer batch count " << msg.args[0]
+                       << " disagrees with payload (" << wire::FreeBufferPayloadCount(msg)
+                       << " ids)";
+      stats_.free_batches.fetch_add(1, std::memory_order_relaxed);
+      size_t salvage = wire::FreeBufferPayloadCount(msg);
+      for (size_t i = 0; i < salvage; ++i) {
+        ctx_->pool().Free(wire::DecodeFreeBufferId(msg, i));
+      }
+      msg.error = 0;
+      return;
+    }
+    default:
+      SUD_LOG(kAttack) << "ethernet proxy: malformed downcall " << msg.opcode << " rejected ("
+                       << wire::MalformName(verdict) << ")";
+      msg.error = static_cast<int32_t>(ErrorCode::kInvalidArgument);
+      return;
+  }
+}
+
+void EthernetProxy::HandleNetifRx(UchanMsg& msg, uint16_t shard) {
+  if (!RxDowncallProlog(msg, shard, /*chain=*/false)) {
     return;
   }
   // The downcall carries (iova, len) into the driver's own DMA space: the
@@ -598,52 +647,34 @@ void EthernetProxy::FinishRxSkb(kern::SkbPtr skb, bool checksum_ok, size_t frame
 }
 
 void EthernetProxy::HandleNetifRxChain(UchanMsg& msg, uint16_t shard) {
-  if (msg.seq != 0 && msg.seq <= last_rx_seq_[shard]) {
-    // Same per-shard monotonic-seq dedup as the single-buffer path.
-    stats_.rx_dups_rejected.fetch_add(1, std::memory_order_relaxed);
-    msg.error = 0;  // tolerated, not a downcall failure
+  if (!RxDowncallProlog(msg, shard, /*chain=*/true)) {
     return;
   }
-  last_rx_seq_[shard] = msg.seq;
-  stats_.rx_downcalls.fetch_add(1, std::memory_order_relaxed);
-  stats_.rx_chain_downcalls.fetch_add(1, std::memory_order_relaxed);
-  if (netdev_ == nullptr) {
-    msg.error = static_cast<int32_t>(ErrorCode::kUnavailable);
-    return;
-  }
-  // The downcall carries an EOP chain's fragment list — driver-marshalled
-  // bytes, trusted for NOTHING. Bound the count by the chain cap (derived
-  // from net_limits, not from anything the driver claims), require the
-  // advertised count to match the payload, and re-validate every fragment
-  // against the driver's own DMA space before a single byte is copied.
+  // The schema certified the chain's SHAPE (count vs payload vs the chain
+  // cap, per-fragment lengths, the jumbo total). The fragment list is still
+  // driver-marshalled: re-validate the SEMANTIC facts — every fragment
+  // within the driver's own DMA space, the total within the INTERFACE's
+  // maximum frame (the MTU the driver declared at registration, not the
+  // global jumbo ceiling: a standard-MTU interface rejects jumbo-sized
+  // chains outright) — before a single byte is copied.
   auto reject = [&](const char* why) {
     stats_.rx_bad_chain.fetch_add(1, std::memory_order_relaxed);
     netdev_->stats().driver_errors++;
     SUD_LOG(kAttack) << "netif_rx chain rejected: " << why;
     msg.error = static_cast<int32_t>(ErrorCode::kInvalidArgument);
   };
-  size_t count = msg.inline_data.size() / kNetifRxChainFragBytes;
-  if (count == 0 || count > kern::kMaxChainFrags ||
-      msg.inline_data.size() % kNetifRxChainFragBytes != 0 || msg.args[0] != count) {
-    reject("fragment count malformed or over the chain cap");
-    return;
-  }
-  // The total is bounded by the INTERFACE's maximum frame (the MTU the
-  // driver declared at registration), not the global jumbo ceiling: a
-  // standard-MTU interface rejects jumbo-sized chains outright.
+  size_t count = wire::RxChainCount(msg);
   size_t max_frame = netdev_->max_frame_bytes();
   ByteSpan views[kern::kMaxChainFrags];
   uint64_t total = 0;
   for (size_t i = 0; i < count; ++i) {
-    const uint8_t* record = msg.inline_data.data() + i * kNetifRxChainFragBytes;
-    uint64_t iova = LoadLe64(record);
-    uint32_t len = LoadLe32(record + 8);
-    total += len;
-    if (len == 0 || total > max_frame) {
+    wire::RxFrag frag = wire::DecodeRxFrag(msg, i);
+    total += frag.len;
+    if (total > max_frame) {
       reject("fragment lengths exceed the interface frame maximum");
       return;
     }
-    Result<ByteSpan> view = ctx_->dma().HostView(iova, len);
+    Result<ByteSpan> view = ctx_->dma().HostView(frag.iova, frag.len);
     if (!view.ok()) {
       reject("fragment outside the driver's dma space");
       return;

@@ -51,6 +51,7 @@
 #include "src/kern/netdev.h"
 #include "src/sud/proto.h"
 #include "src/sud/safe_pci.h"
+#include "src/sud/wire_schema.h"
 
 namespace sud {
 
@@ -114,6 +115,11 @@ class EthernetProxy : public kern::NetDeviceOps {
   };
   const Stats& stats() const { return stats_; }
 
+  // Structural (wire-schema) rejections at the downcall boundary, per
+  // message. The per-attack counters above (rx_bad_buffer_id, rx_bad_chain)
+  // keep their historical meaning and cover structural AND semantic rejects.
+  const wire::RejectStats& wire_rejects() const { return wire_rejects_; }
+
   // Test seam modelling a perfectly-timed concurrent attacker: invoked (when
   // set) at the moment between the firewall pre-check and the delivery copy
   // in the *vulnerable* (guard_copy=false) configuration, and after the
@@ -123,6 +129,17 @@ class EthernetProxy : public kern::NetDeviceOps {
 
  private:
   void HandleDowncall(UchanMsg& msg, uint16_t shard);
+  // Structural rejection: counts the message in wire_rejects_ and applies the
+  // per-opcode disposition (rx rejects keep their historical counters and
+  // dedup/prologue ordering; malformed free batches are tolerated and their
+  // payload ids salvaged; everything else is refused with kInvalidArgument).
+  void RejectDowncall(UchanMsg& msg, uint16_t shard, wire::Malform verdict);
+  // Shared head of the netif_rx paths — dedup against the shard's seq
+  // watermark, the downcall counters, the netdev-liveness check — run for
+  // accepted AND structurally rejected deliveries so the accounting a
+  // malformed message leaves behind matches what it always was. Returns false
+  // when the message is already fully handled (dup or no netdev).
+  bool RxDowncallProlog(UchanMsg& msg, uint16_t shard, bool chain);
   void HandleNetifRx(UchanMsg& msg, uint16_t shard);
   // netif_rx for an EOP-chained frame: re-validates the fragment list
   // (count, addresses, total) and guard-copies fragment-by-fragment into ONE
@@ -176,6 +193,7 @@ class EthernetProxy : public kern::NetDeviceOps {
   // on driver restart.
   std::array<uint64_t, kSudMaxQueues> last_rx_seq_{};
   Stats stats_;
+  wire::RejectStats wire_rejects_;
   ToctouHook toctou_hook_;
 };
 

@@ -8,7 +8,8 @@ namespace sud {
 
 WirelessProxy::WirelessProxy(kern::Kernel* kernel, SudDeviceContext* ctx)
     : kernel_(kernel), ctx_(ctx) {
-  ctx_->set_downcall_handler([this](UchanMsg& msg, uint16_t /*queue*/) { HandleDowncall(msg); });
+  ctx_->set_downcall_handler(
+      [this](UchanMsg& msg, uint16_t shard) { HandleDowncall(msg, shard); });
 }
 
 uint32_t WirelessProxy::EnableFeatures(uint32_t requested) {
@@ -44,18 +45,18 @@ Result<std::vector<kern::ScanResult>> WirelessProxy::Scan() {
   if (reply.value().error != 0) {
     return Status(static_cast<ErrorCode>(reply.value().error), "scan failed in driver");
   }
-  const std::vector<uint8_t>& raw = reply.value().inline_data;
-  std::vector<kern::ScanResult> results;
-  for (size_t off = 0; off + kWifiScanRecordBytes <= raw.size(); off += kWifiScanRecordBytes) {
-    kern::ScanResult result;
-    std::memcpy(result.bssid.data(), raw.data() + off, 6);
-    result.channel = raw[off + 6];
-    result.signal_dbm = static_cast<int8_t>(raw[off + 7]);
-    const char* ssid = reinterpret_cast<const char*>(raw.data() + off + 8);
-    result.ssid.assign(ssid, strnlen(ssid, 32));
-    results.push_back(std::move(result));
+  // The reply payload is driver-marshalled: certify its record shape against
+  // the schema before decoding — a ragged or oversize result list is an
+  // attack on the scan parser, not a tolerable fuzz.
+  const wire::MessageSchema* schema = wire::FindSchema(wire::Dir::kUp, kWifiUpScan);
+  wire::Malform verdict = wire::ValidateReplyStructure(*schema, reply.value());
+  if (verdict != wire::Malform::kNone) {
+    wire_rejects_.Count(wire::Dir::kUp, kWifiUpScan);
+    SUD_LOG(kAttack) << "wireless proxy: malformed scan reply rejected ("
+                     << wire::MalformName(verdict) << ")";
+    return Status(ErrorCode::kInvalidArgument, "malformed scan reply");
   }
-  return results;
+  return wire::DecodeScanResults(reply.value().inline_data);
 }
 
 Status WirelessProxy::Associate(const std::string& ssid) {
@@ -76,7 +77,21 @@ Status WirelessProxy::Associate(const std::string& ssid) {
   return Status::Ok();
 }
 
-void WirelessProxy::HandleDowncall(UchanMsg& msg) {
+void WirelessProxy::HandleDowncall(UchanMsg& msg, uint16_t shard) {
+  // Schema-certify the shape before any handler parses a byte (the wireless
+  // lanes are all control traffic: anything off shard 0 is malformed).
+  wire::Malform verdict = wire::ValidateStructure(wire::Dir::kDown, msg, shard);
+  if (verdict != wire::Malform::kNone) {
+    wire_rejects_.Count(wire::Dir::kDown, msg.opcode);
+    if (verdict == wire::Malform::kUnknownOpcode) {
+      SUD_LOG(kWarning) << "wireless proxy: unknown downcall opcode " << msg.opcode;
+    } else {
+      SUD_LOG(kAttack) << "wireless proxy: malformed downcall " << msg.opcode << " rejected ("
+                       << wire::MalformName(verdict) << ")";
+    }
+    msg.error = static_cast<int32_t>(ErrorCode::kInvalidArgument);
+    return;
+  }
   switch (msg.opcode) {
     case kWifiDownRegister: {
       mirrored_supported_features_ = static_cast<uint32_t>(msg.args[0]);
@@ -104,11 +119,7 @@ void WirelessProxy::HandleDowncall(UchanMsg& msg) {
     case kWifiDownSetBitrates: {
       // Mirror update: currently-available bitrates (Section 3.3).
       if (wdev_ != nullptr) {
-        std::vector<uint32_t> rates;
-        for (size_t off = 0; off + 4 <= msg.inline_data.size(); off += 4) {
-          rates.push_back(LoadLe32(msg.inline_data.data() + off));
-        }
-        wdev_->set_bitrates(std::move(rates));
+        wdev_->set_bitrates(wire::DecodeBitrates(msg));
       }
       msg.error = 0;
       return;

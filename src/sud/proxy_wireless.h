@@ -18,6 +18,7 @@
 #include "src/kern/wireless.h"
 #include "src/sud/proto.h"
 #include "src/sud/safe_pci.h"
+#include "src/sud/wire_schema.h"
 
 namespace sud {
 
@@ -39,14 +40,19 @@ class WirelessProxy : public kern::WirelessOps {
   };
   const Stats& stats() const { return stats_; }
 
+  // Structural (wire-schema) rejections at this boundary — downcall shapes
+  // and malformed scan-reply payloads both count here, per message.
+  const wire::RejectStats& wire_rejects() const { return wire_rejects_; }
+
  private:
-  void HandleDowncall(UchanMsg& msg);
+  void HandleDowncall(UchanMsg& msg, uint16_t shard);
 
   kern::Kernel* kernel_;
   SudDeviceContext* ctx_;
   kern::WirelessDevice* wdev_ = nullptr;
   uint32_t mirrored_supported_features_ = 0;  // the static mirror (§3.1.1)
   Stats stats_;
+  wire::RejectStats wire_rejects_;
 };
 
 }  // namespace sud

@@ -1,0 +1,245 @@
+// Declarative wire schema for the uchan protocol: ONE definition per message
+// (direction, sync/async, queue discipline, per-arg bounds, inline-payload
+// record layout), from which everything else derives —
+//
+//   * the typed encode/decode codec both sides marshal through (no hand-rolled
+//     StoreLe32/LoadLe32 at the call sites),
+//   * the structural validator that runs at the trust boundary BEFORE the
+//     semantic checks (pool-id resolution, DMA-space lookups, MTU clamps stay
+//     in the handlers — but they never parse garbage: by the time a handler
+//     sees a message, its shape is schema-certified),
+//   * the per-message rejection stat every boundary counts malformed traffic
+//     in (RejectStats), and
+//   * the structure-aware protocol fuzzer (bench/fuzz_wire.cc), which reads
+//     the same table to build valid messages and bounded mutations of them.
+//
+// The split between structural and semantic is deliberate and load-bearing:
+// structural facts are STATIC (stride, counts vs payload, compile-time field
+// bounds like the jumbo ceiling or the chain cap) and belong here; anything
+// that depends on runtime state (which pool ids resolve, the interface's
+// declared MTU, the driver's DMA mappings) stays in the handler that owns
+// that state, with its historical counters. A message can therefore fail
+// structurally (counted in RejectStats) or semantically (counted where it
+// always was) — the attack-matrix containment accounting is unchanged.
+
+#ifndef SUD_SRC_SUD_WIRE_SCHEMA_H_
+#define SUD_SRC_SUD_WIRE_SCHEMA_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/kern/wireless.h"
+#include "src/sud/proto.h"
+#include "src/sud/safe_pci.h"
+#include "src/sud/uchan.h"
+
+namespace sud::wire {
+
+// Message direction. Opcode spaces OVERLAP across directions (kOpInterrupt
+// and kOpInterruptAck are both 1; kEthUpOpen and kEthDownRegisterNetdev are
+// both kOpDeviceClassBase+0), so every registry lookup is keyed by BOTH.
+enum class Dir : uint8_t {
+  kUp,    // kernel -> driver (upcall), dispatched by UmlRuntime
+  kDown,  // driver -> kernel (downcall), dispatched by a proxy
+};
+
+enum class Rpc : uint8_t { kSync, kAsync };
+
+// Queue discipline: control messages ride shard 0 only; packet-path messages
+// ride the shard of the queue they belong to (any shard is legal — the
+// receiver trusts the SHARD, never a marshalled queue index).
+enum class Lane : uint8_t { kControl, kQueue };
+
+enum class FieldType : uint8_t { kU8, kI8, kLe32, kLe64, kBytes };
+
+// One field of an inline-payload record. min/max bound scalar fields
+// (inclusive, STATIC values only); kBytes fields are opaque spans.
+struct FieldSpec {
+  const char* name = nullptr;
+  FieldType type = FieldType::kLe32;
+  uint16_t offset = 0;
+  uint16_t size = 0;
+  uint64_t min = 0;
+  uint64_t max = UINT64_MAX;
+};
+
+inline constexpr size_t kMaxRecordFields = 4;
+
+struct RecordSpec {
+  uint16_t bytes = 0;  // record stride; payload size must be a multiple
+  std::array<FieldSpec, kMaxRecordFields> fields{};
+  uint8_t num_fields = 0;
+  // If >= 0: index of the field whose values, summed over every record, must
+  // not exceed sum_max (the xmit/rx chains' static total-frame ceiling).
+  int8_t sum_field = -1;
+  uint64_t sum_max = 0;
+};
+
+enum class PayloadKind : uint8_t {
+  kNone,        // inline_data must be empty
+  kFixedBytes,  // inline_data must be exactly fixed_bytes long
+  kRawBounded,  // free-form bytes, size within [min_bytes, max_bytes]
+  kRecords,     // an array of RecordSpec-shaped records
+};
+
+// One args[i] slot. A null name means the slot is UNUSED and must be zero
+// on the wire (forged garbage in dead slots is malformed, not ignored).
+struct ArgSpec {
+  const char* name = nullptr;
+  uint64_t max = UINT64_MAX;  // inclusive static bound
+};
+
+struct MessageSchema {
+  uint32_t opcode = 0;
+  const char* name = nullptr;  // the rejection-stat name
+  Dir dir = Dir::kDown;
+  Rpc rpc = Rpc::kSync;
+  Lane lane = Lane::kControl;
+  bool droppable = false;       // loss-tolerant data plane (fault-injectable)
+  bool carries_buffer = false;  // buffer_id/buffer_len legal on this message
+  uint32_t max_buffer_len = UINT32_MAX;
+  std::array<ArgSpec, 6> args{};
+  PayloadKind payload = PayloadKind::kNone;
+  uint32_t fixed_bytes = 0;  // kFixedBytes
+  uint32_t min_bytes = 0;    // kRawBounded
+  uint32_t max_bytes = 0;    // kRawBounded
+  // kRecords: the args slot carrying the record count (-1: count is implicit
+  // from the payload size), and the static record-count bounds.
+  int8_t count_arg = -1;
+  uint32_t min_records = 0;
+  uint32_t max_records = 0;
+  RecordSpec record{};
+  // Sync messages whose REPLY carries a record payload (kWifiUpScan).
+  PayloadKind reply_payload = PayloadKind::kNone;
+  RecordSpec reply_record{};
+  uint32_t reply_max_records = 0;
+};
+
+// Structural verdicts, most specific first. kNone means the shape is valid.
+enum class Malform : uint8_t {
+  kNone = 0,
+  kUnknownOpcode,  // no schema for (dir, opcode)
+  kWrongLane,      // control-lane message delivered on a queue shard
+  kArgRange,       // an args slot out of bounds (or a dead slot non-zero),
+                   // or an illegal buffer_id/buffer_len attachment
+  kPayloadSize,    // inline payload size violates the schema shape
+  kCountMismatch,  // count arg disagrees with the payload, or count bounds
+  kFieldRange,     // a record field outside its static bound (or sum cap)
+};
+
+const char* MalformName(Malform verdict);
+
+// ---- registry ---------------------------------------------------------------
+
+// Generic (device-class-independent) messages: interrupt forwarding up;
+// interrupt_ack / request_region / pci_find_capability down.
+inline constexpr size_t kGenericMessageCount = 4;
+inline constexpr size_t kRegistryCapacity = kProtoMessageCount + kGenericMessageCount;
+
+const MessageSchema* FindSchema(Dir dir, uint32_t opcode);
+const MessageSchema& SchemaAt(size_t index);
+constexpr size_t SchemaCount() { return kRegistryCapacity; }
+// Registry index of (dir, opcode), or -1 when unknown.
+int SchemaIndexOf(Dir dir, uint32_t opcode);
+
+// ---- validator --------------------------------------------------------------
+
+// Structural validation of a request message as delivered on `shard`. Static
+// shape only — see the header comment for the structural/semantic split.
+Malform ValidateStructure(Dir dir, const UchanMsg& msg, uint16_t shard = 0);
+
+// Structural validation of a sync REPLY's payload against the request
+// schema's reply layout (kNone for schemas whose replies carry no records).
+Malform ValidateReplyStructure(const MessageSchema& schema, const UchanMsg& reply);
+
+// ---- rejection accounting ---------------------------------------------------
+
+// The uniform per-message rejection stat: one counter per registry entry plus
+// one for unknown opcodes. Each trust boundary (every proxy, the runtime)
+// owns one and bumps it for every structural rejection.
+class RejectStats {
+ public:
+  void Count(Dir dir, uint32_t opcode) {
+    int index = SchemaIndexOf(dir, opcode);
+    size_t slot = index < 0 ? kRegistryCapacity : static_cast<size_t>(index);
+    counts_[slot].fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t rejected(Dir dir, uint32_t opcode) const {
+    int index = SchemaIndexOf(dir, opcode);
+    return index < 0 ? 0 : counts_[static_cast<size_t>(index)].load(std::memory_order_relaxed);
+  }
+  uint64_t unknown_opcode() const {
+    return counts_[kRegistryCapacity].load(std::memory_order_relaxed);
+  }
+  uint64_t total() const {
+    uint64_t sum = 0;
+    for (const auto& c : counts_) {
+      sum += c.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+  // (schema name, count) for every non-zero slot; unknown opcodes report as
+  // "unknown_opcode".
+  std::vector<std::pair<std::string, uint64_t>> NonZero() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kRegistryCapacity + 1> counts_{};
+};
+
+// ---- typed codec ------------------------------------------------------------
+// Encoders marshal EXACTLY what they are given — including hostile shapes a
+// malicious driver asks for (over-cap chains, criminal totals): honesty lives
+// at the receiving boundary's validator, not in the sender's marshaller.
+
+struct XmitFrag {
+  int32_t pool_id = 0;
+  uint32_t len = 0;
+};
+
+struct RxFrag {
+  uint64_t iova = 0;
+  uint32_t len = 0;
+};
+
+// kEthUpXmitChain: args[0] = TX queue, args[1] = count, one 8-byte
+// {le32 pool id, le32 len} record per fragment; buffer_id/buffer_len carry
+// the head fragment and the frame total for the staging bookkeeping.
+void EncodeXmitChain(uint16_t queue, const int32_t* ids, const uint32_t* lens, size_t count,
+                     uint32_t total_bytes, UchanMsg* msg);
+size_t XmitChainCount(const UchanMsg& msg);
+XmitFrag DecodeXmitFrag(const UchanMsg& msg, size_t index);
+
+// kEthDownNetifRxChain: args[0] = count, one 12-byte {le64 iova, le32 len}
+// record per fragment.
+void EncodeRxChain(const RxFrag* frags, size_t count, UchanMsg* msg);
+size_t RxChainCount(const UchanMsg& msg);
+RxFrag DecodeRxFrag(const UchanMsg& msg, size_t index);
+
+// kEthDownFreeBuffer, unified layout: args[0] = id count, one 4-byte le32
+// buffer id per record — a single completion is simply a batch of one (the
+// legacy empty-payload single-id layout is gone from the protocol).
+void EncodeFreeBuffers(const int32_t* ids, size_t count, UchanMsg* msg);
+size_t FreeBufferCount(const UchanMsg& msg);
+int32_t DecodeFreeBufferId(const UchanMsg& msg, size_t index);
+// Salvage view for the tolerate-and-free disposition on malformed batches:
+// the ids the PAYLOAD actually carries, whatever the count arg claims.
+size_t FreeBufferPayloadCount(const UchanMsg& msg);
+
+// kWifiDownSetBitrates: implicit-count le32 rate records (mirror update).
+void EncodeBitrates(const std::vector<uint32_t>& rates, UchanMsg* msg);
+std::vector<uint32_t> DecodeBitrates(const UchanMsg& msg);
+
+// kWifiUpScan reply records: 6 (bssid) + 1 (channel) + 1 (signal) + 32
+// (ssid, NUL-padded; truncated to 31 so the last byte stays NUL).
+void EncodeScanResults(const std::vector<kern::ScanResult>& results,
+                       std::vector<uint8_t>* out);
+std::vector<kern::ScanResult> DecodeScanResults(const std::vector<uint8_t>& payload);
+
+}  // namespace sud::wire
+
+#endif  // SUD_SRC_SUD_WIRE_SCHEMA_H_

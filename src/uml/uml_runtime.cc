@@ -6,7 +6,6 @@
 #include <string>
 #include <thread>
 
-#include "src/base/bytes.h"
 #include "src/base/fault_injector.h"
 #include "src/base/log.h"
 #include "src/kern/net_limits.h"
@@ -249,18 +248,15 @@ Status UmlRuntime::NetifRxChain(const std::vector<DmaFrag>& frags, uint16_t queu
   if (frags.size() == 1) {
     return NetifRx(frags[0].iova, frags[0].len, queue);
   }
-  UchanMsg msg;
-  msg.opcode = kEthDownNetifRxChain;
-  msg.droppable = true;  // loss-tolerant data plane: fault-injection eligible
-  msg.args[0] = frags.size();
-  msg.inline_data.resize(frags.size() * kNetifRxChainFragBytes);
+  std::vector<wire::RxFrag> records;
+  records.reserve(frags.size());
   uint64_t total = 0;
-  for (size_t i = 0; i < frags.size(); ++i) {
-    uint8_t* record = msg.inline_data.data() + i * kNetifRxChainFragBytes;
-    StoreLe64(record, frags[i].iova);
-    StoreLe32(record + 8, frags[i].len);
-    total += frags[i].len;
+  for (const DmaFrag& frag : frags) {
+    records.push_back(wire::RxFrag{frag.iova, frag.len});
+    total += frag.len;
   }
+  UchanMsg msg;
+  wire::EncodeRxChain(records.data(), records.size(), &msg);
   return QueueRxDowncall(std::move(msg), queue, total);
 }
 
@@ -280,8 +276,7 @@ void UmlRuntime::NetifCarrierOff() {
 
 void UmlRuntime::FreeTxBuffer(int32_t pool_buffer_id) {
   UchanMsg msg;
-  msg.opcode = kEthDownFreeBuffer;
-  msg.args[0] = static_cast<uint64_t>(pool_buffer_id);
+  wire::EncodeFreeBuffers(&pool_buffer_id, 1, &msg);
   (void)AsyncDowncall(std::move(msg));
 }
 
@@ -292,26 +287,12 @@ void UmlRuntime::FreeTxBuffers(uint16_t queue, const std::vector<int32_t>& pool_
   if (queue >= ctx_->num_queues()) {
     queue = 0;
   }
-  if (pool_buffer_ids.size() == 1) {
-    // Single completion: the legacy one-id message, on the queue's shard.
-    FlushRxPendingQueue(queue, /*enter_kernel=*/false);
-    UchanMsg msg;
-    msg.opcode = kEthDownFreeBuffer;
-    msg.args[0] = static_cast<uint64_t>(pool_buffer_ids[0]);
-    (void)ctx_->ctl(queue).DowncallAsync(std::move(msg));
-    return;
-  }
-  // TX completion coalescing: one message carries the whole reap pass
-  // (args[0] = count, ids as little-endian int32s in inline_data) instead of
-  // one kEthDownFreeBuffer per transmitted buffer.
+  // TX completion coalescing: one message carries the whole reap pass (a
+  // single completion is simply a batch of one) instead of one
+  // kEthDownFreeBuffer per transmitted buffer.
   FlushRxPendingQueue(queue, /*enter_kernel=*/false);
   UchanMsg msg;
-  msg.opcode = kEthDownFreeBuffer;
-  msg.args[0] = pool_buffer_ids.size();
-  msg.inline_data.resize(pool_buffer_ids.size() * 4);
-  for (size_t i = 0; i < pool_buffer_ids.size(); ++i) {
-    StoreLe32(msg.inline_data.data() + i * 4, static_cast<uint32_t>(pool_buffer_ids[i]));
-  }
+  wire::EncodeFreeBuffers(pool_buffer_ids.data(), pool_buffer_ids.size(), &msg);
   (void)ctx_->ctl(queue).DowncallAsync(std::move(msg));
 }
 
@@ -333,11 +314,7 @@ void UmlRuntime::WifiBssChange(bool associated) {
 
 void UmlRuntime::WifiSetBitrates(const std::vector<uint32_t>& rates) {
   UchanMsg msg;
-  msg.opcode = kWifiDownSetBitrates;
-  msg.inline_data.resize(rates.size() * 4);
-  for (size_t i = 0; i < rates.size(); ++i) {
-    StoreLe32(msg.inline_data.data() + i * 4, rates[i]);
-  }
+  wire::EncodeBitrates(rates, &msg);
   (void)AsyncDowncall(std::move(msg));
 }
 
@@ -370,7 +347,7 @@ Status UmlRuntime::RunOnce(uint64_t timeout_ms) {
   for (uint16_t q = 1; q < ctx_->num_queues(); ++q) {
     Result<UchanMsg> msg = ctx_->ctl(q).Wait(0);
     if (msg.ok()) {
-      Dispatch(msg.value());
+      Dispatch(msg.value(), q);
       queue_progress_[q].fetch_add(1, std::memory_order_relaxed);
       return Status::Ok();
     }
@@ -383,7 +360,7 @@ Status UmlRuntime::RunOnce(uint64_t timeout_ms) {
   if (!msg.ok()) {
     return msg.status();
   }
-  Dispatch(msg.value());
+  Dispatch(msg.value(), 0);
   queue_progress_[0].fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
@@ -408,7 +385,7 @@ Status UmlRuntime::RunOnceQueue(uint16_t queue, uint64_t timeout_ms) {
     return batch.status();
   }
   for (UchanMsg& msg : batch.value()) {
-    Dispatch(msg);
+    Dispatch(msg, queue);
   }
   queue_progress_[queue].fetch_add(batch.value().size(), std::memory_order_relaxed);
   return Status::Ok();
@@ -444,8 +421,36 @@ void UmlRuntime::ProcessPending() {
   } while (any);
 }
 
-void UmlRuntime::Dispatch(UchanMsg& msg) {
+void UmlRuntime::RejectUpcall(UchanMsg& msg, wire::Malform verdict) {
+  wire_rejects_.Count(wire::Dir::kUp, msg.opcode);
+  if (verdict == wire::Malform::kUnknownOpcode) {
+    stats_.unknown_upcalls.fetch_add(1, std::memory_order_relaxed);
+    SUD_LOG(kWarning) << "sud-uml: unknown upcall opcode " << msg.opcode;
+  } else if (msg.opcode == kEthUpXmitChain) {
+    stats_.xmit_chains_rejected.fetch_add(1, std::memory_order_relaxed);
+    SUD_LOG_RL(kWarning) << "sud-uml: malformed xmit chain upcall rejected before arming";
+  } else {
+    SUD_LOG_RL(kWarning) << "sud-uml: malformed upcall " << msg.opcode << " rejected ("
+                         << wire::MalformName(verdict) << ")";
+  }
+  if (msg.needs_reply) {
+    UchanMsg reply;
+    reply.error = static_cast<int32_t>(ErrorCode::kInvalidArgument);
+    ctx_->ctl().Reply(msg, std::move(reply));
+  }
+}
+
+void UmlRuntime::Dispatch(UchanMsg& msg, uint16_t shard) {
   stats_.upcalls_dispatched.fetch_add(1, std::memory_order_relaxed);
+  // Schema-certify the shape (opcode known, lane right for the shard, args in
+  // their static bounds, payload well-formed) before any handler parses a
+  // byte. Semantic checks — which pool ids resolve, what the pool's buffer
+  // size is — stay below, with their historical counters.
+  wire::Malform verdict = wire::ValidateStructure(wire::Dir::kUp, msg, shard);
+  if (verdict != wire::Malform::kNone) {
+    RejectUpcall(msg, verdict);
+    return;
+  }
   switch (msg.opcode) {
     case kOpInterrupt: {
       stats_.irq_upcalls.fetch_add(1, std::memory_order_relaxed);
@@ -533,32 +538,26 @@ void UmlRuntime::Dispatch(UchanMsg& msg) {
     }
     case kEthUpXmitChain: {
       stats_.inline_dispatches.fetch_add(1, std::memory_order_relaxed);
-      // The fragment records are kernel-crossing data: re-validate every one
-      // against the pool BEFORE any descriptor is armed — count against
-      // payload and the chain cap, every buffer id resolvable, every length
-      // within one staging buffer, the total within the jumbo maximum. A
-      // correct proxy never fails these; a forged or corrupted message must
-      // never reach the DMA path.
-      size_t count = msg.inline_data.size() / kXmitChainFragBytes;
-      bool ok = net_registered_ && count > 0 && count <= kern::kMaxChainFrags &&
-                msg.inline_data.size() % kXmitChainFragBytes == 0 && msg.args[1] == count;
+      // The schema already certified the shape (count vs payload vs the chain
+      // cap, lengths within the jumbo total). The fragment records are still
+      // kernel-crossing data: re-validate the SEMANTIC facts — every buffer
+      // id resolvable, every length within one staging buffer — BEFORE any
+      // descriptor is armed. A correct proxy never fails these; a forged or
+      // corrupted message must never reach the DMA path.
+      size_t count = wire::XmitChainCount(msg);
+      bool ok = net_registered_;
       std::vector<TxFrag> frags;
-      uint64_t total = 0;
       if (ok) {
         frags.reserve(count);
         for (size_t i = 0; i < count; ++i) {
-          const uint8_t* record = msg.inline_data.data() + i * kXmitChainFragBytes;
-          int32_t id = static_cast<int32_t>(LoadLe32(record));
-          uint32_t len = LoadLe32(record + 4);
-          Result<uint64_t> iova = ctx_->pool().BufferIova(id);
-          if (!iova.ok() || len == 0 || len > ctx_->pool().buffer_bytes()) {
+          wire::XmitFrag frag = wire::DecodeXmitFrag(msg, i);
+          Result<uint64_t> iova = ctx_->pool().BufferIova(frag.pool_id);
+          if (!iova.ok() || frag.len > ctx_->pool().buffer_bytes()) {
             ok = false;
             break;
           }
-          total += len;
-          frags.push_back(TxFrag{iova.value(), len, id});
+          frags.push_back(TxFrag{iova.value(), frag.len, frag.pool_id});
         }
-        ok = ok && total <= kern::kJumboMaxFrameBytes;
       }
       if (!ok) {
         stats_.xmit_chains_rejected.fetch_add(1, std::memory_order_relaxed);
@@ -613,15 +612,7 @@ void UmlRuntime::Dispatch(UchanMsg& msg) {
       if (wifi_registered_ && wifi_ops_.scan) {
         Result<std::vector<kern::ScanResult>> results = wifi_ops_.scan();
         if (results.ok()) {
-          for (const kern::ScanResult& r : results.value()) {
-            size_t off = reply.inline_data.size();
-            reply.inline_data.resize(off + kWifiScanRecordBytes, 0);
-            std::memcpy(reply.inline_data.data() + off, r.bssid.data(), 6);
-            reply.inline_data[off + 6] = r.channel;
-            reply.inline_data[off + 7] = static_cast<uint8_t>(r.signal_dbm);
-            std::memcpy(reply.inline_data.data() + off + 8, r.ssid.data(),
-                        std::min<size_t>(r.ssid.size(), 31));
-          }
+          wire::EncodeScanResults(results.value(), &reply.inline_data);
           reply.error = 0;
         } else {
           reply.error = static_cast<int32_t>(results.status().code());

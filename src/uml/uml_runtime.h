@@ -34,6 +34,7 @@
 #include "src/kern/kernel.h"
 #include "src/sud/proto.h"
 #include "src/sud/safe_pci.h"
+#include "src/sud/wire_schema.h"
 #include "src/uml/driver_env.h"
 
 namespace sud::uml {
@@ -123,6 +124,11 @@ class UmlRuntime : public DriverEnv {
   };
   const Stats& stats() const { return stats_; }
 
+  // Structural (wire-schema) rejections at the upcall boundary, per message.
+  // Semantic rejections (unresolvable pool ids, oversize-for-pool lengths)
+  // keep their historical counters (xmit_chains_rejected above).
+  const wire::RejectStats& wire_rejects() const { return wire_rejects_; }
+
   // Per-queue driver heartbeat: upcalls serviced on each shard. The
   // supervisor's watchdog reads these — a queue with pending upcalls whose
   // counter stops advancing is a wedged driver, no hand-fed report needed.
@@ -135,7 +141,13 @@ class UmlRuntime : public DriverEnv {
   SudDeviceContext* ctx() { return ctx_; }
 
  private:
-  void Dispatch(UchanMsg& msg);
+  // Dispatches one upcall delivered on `shard` (the lane the wire-schema
+  // validator certifies control messages against).
+  void Dispatch(UchanMsg& msg, uint16_t shard);
+  // Structural rejection: counts the message in wire_rejects_, preserves the
+  // historical per-opcode counters, and replies kInvalidArgument when the
+  // sender is waiting.
+  void RejectUpcall(UchanMsg& msg, wire::Malform verdict);
   Status SyncDowncall(uint32_t opcode, UchanMsg* msg);
   // Every control downcall funnels through these so the pending rx arrays
   // always enter the kernel *before* later downcalls on their shard (ring
@@ -169,6 +181,7 @@ class UmlRuntime : public DriverEnv {
   AudioDriverOps audio_ops_;
   bool audio_registered_ = false;
   Stats stats_;
+  wire::RejectStats wire_rejects_;
   std::array<std::atomic<uint64_t>, kSudMaxQueues> queue_progress_{};
 };
 

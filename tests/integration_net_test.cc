@@ -481,6 +481,252 @@ TEST(IntegrationNet, TxScatterGatherSerialVsThreadedDeterminism) {
   }
 }
 
+// UDP_RR client as a threaded EtherLink peer vs the serial replay of the
+// same flow: both must complete every transaction with identical request
+// digests and identical SUT counters. The serving loop is the same in both
+// runs (request lands; pump; reply; pump); what differs is whose thread
+// transmits the requests — the wire-level reply ack (link frames from the
+// SUT side) is what sequences the client in both.
+TEST(IntegrationNet, RrThreadedClientMatchesSerialReplay) {
+  constexpr uint64_t kTransactions = 200;
+  std::vector<uint8_t> payload(64, 0x5a);
+  auto request = kern::BuildPacket(kMacA, kMacB, 7001, 7002,
+                                   {payload.data(), payload.size()});
+  const uint64_t request_digest =
+      kTransactions * devices::EtherLink::FrameHash({request.data(), request.size()});
+
+  struct RunResult {
+    uint64_t requests_seen = 0;
+    uint64_t client_frames = 0;
+    uint64_t client_hash = 0;
+    bool gave_up = false;
+    uint64_t rx_packets = 0;
+    uint64_t tx_packets = 0;
+  };
+  auto collect = [&](NetBench& bench) {
+    RunResult result;
+    kern::NetDevice* netdev = bench.kernel.net().Find(bench.SutIfname());
+    result.client_frames = bench.link.peer_stats(0).frames.load();
+    result.client_hash = bench.link.peer_stats(0).frame_hash.load();
+    result.gave_up = bench.link.peer_stats(0).gave_up.load();
+    result.rx_packets = netdev->stats().rx_packets.load();
+    result.tx_packets = netdev->stats().tx_packets.load();
+    return result;
+  };
+  auto make_flow = [&](NetBench& bench, uint64_t replies_base) {
+    devices::EtherLink::RrFlow flow;
+    flow.request = request;
+    flow.transactions = kTransactions;
+    // Wire-level ack: a transaction is complete once the SUT's reply frame
+    // finished its DMA into the peer endpoint (frames[0] counts after
+    // delivery).
+    flow.replies = [link = &bench.link, replies_base]() {
+      return link->stats().frames[0].load() - replies_base;
+    };
+    return flow;
+  };
+  auto send_reply = [&](NetBench& bench, kern::NetDevice* netdev) {
+    auto reply = kern::BuildPacket(kMacB, kMacA, 7002, 7001,
+                                   {payload.data(), payload.size()});
+    (void)bench.kernel.net().Transmit(netdev,
+                                      kern::MakeSkb({reply.data(), reply.size()}));
+  };
+
+  // Serial replay: the client transmits on the bench thread, `serve` pumps
+  // the SUT and answers each pending request until the reply hits the wire.
+  RunResult serial;
+  {
+    NetBench bench;
+    ASSERT_TRUE(bench.StartSut(uml::DriverHost::Mode::kPumped).ok());
+    kern::NetDevice* netdev = bench.kernel.net().Find(bench.SutIfname());
+    uint64_t requests = 0;
+    uint64_t replied = 0;
+    netdev->set_rx_sink([&](const kern::Skb&) { ++requests; });
+    uint64_t replies_base = bench.link.stats().frames[0].load();
+    bench.link.RunRrPeersSerial({make_flow(bench, replies_base)}, [&]() {
+      bench.host->Pump();
+      if (requests > replied) {
+        send_reply(bench, netdev);
+        bench.host->Pump();
+        ++replied;
+      }
+    });
+    serial = collect(bench);
+    serial.requests_seen = requests;
+  }
+
+  // Threaded client: same flow, requests transmitted from the client's own
+  // thread; the bench thread runs the identical serving loop.
+  RunResult threaded;
+  {
+    NetBench bench;
+    ASSERT_TRUE(bench.StartSut(uml::DriverHost::Mode::kPumped).ok());
+    kern::NetDevice* netdev = bench.kernel.net().Find(bench.SutIfname());
+    std::atomic<uint64_t> requests{0};
+    netdev->set_rx_sink([&](const kern::Skb&) {
+      requests.fetch_add(1, std::memory_order_relaxed);
+    });
+    uint64_t requests_base = bench.link.stats().frames[1].load();
+    uint64_t replies_base = bench.link.stats().frames[0].load();
+    bench.link.StartRrPeers({make_flow(bench, replies_base)}, /*side=*/1);
+    for (uint64_t txn = 0; txn < kTransactions; ++txn) {
+      while (bench.link.stats().frames[1].load() < requests_base + txn + 1) {
+        std::this_thread::yield();
+      }
+      bench.host->Pump();  // request reaches the rx sink
+      send_reply(bench, netdev);
+      bench.host->Pump();  // reply reaches the wire -> acks the client
+    }
+    bench.link.JoinPeers();
+    threaded = collect(bench);
+    threaded.requests_seen = requests.load();
+  }
+
+  EXPECT_FALSE(serial.gave_up);
+  EXPECT_FALSE(threaded.gave_up);
+  EXPECT_EQ(serial.client_frames, kTransactions);
+  EXPECT_EQ(threaded.client_frames, serial.client_frames);
+  EXPECT_EQ(serial.client_hash, request_digest);
+  EXPECT_EQ(threaded.client_hash, serial.client_hash);
+  EXPECT_EQ(serial.requests_seen, kTransactions);
+  EXPECT_EQ(threaded.requests_seen, serial.requests_seen);
+  EXPECT_EQ(serial.rx_packets, kTransactions);
+  EXPECT_EQ(threaded.rx_packets, serial.rx_packets);
+  EXPECT_EQ(serial.tx_packets, kTransactions);
+  EXPECT_EQ(threaded.tx_packets, serial.tx_packets);
+}
+
+// Concurrent transmit ENTRY: one kernel thread per flow calling
+// NetSubsystem::Transmit simultaneously (the multi-core stack), against a
+// serial replay of the same flows. The shared state on that path — staging
+// pool, per-queue uchan rings, proxy/netdev counters — must keep the counts
+// exact and the wire digest bit-identical under any interleaving.
+TEST(IntegrationNet, ConcurrentTxSendersMatchSerialPerQueue) {
+  constexpr uint32_t kQueues = 4;
+  constexpr uint64_t kPerQueue = 256;
+  constexpr uint64_t kWindow = 16;  // in-flight cap per sender, under ring depth
+  std::vector<uint8_t> payload(256, 0x3c);
+
+  // One frame per queue, source ports searched so transmit steering pins
+  // flow q to queue q (the TxScatterGather pinning).
+  std::array<std::vector<uint8_t>, kQueues> flow_frames;
+  uint64_t expected_digest = 0;
+  uint16_t next_port = 45000;
+  for (uint32_t q = 0; q < kQueues; ++q) {
+    for (;; ++next_port) {
+      auto frame = kern::BuildPacket(kMacA, kMacB, next_port, 80,
+                                     {payload.data(), payload.size()});
+      if (kern::FlowQueue({frame.data(), frame.size()}, kQueues) == q) {
+        flow_frames[q] = std::move(frame);
+        ++next_port;
+        break;
+      }
+    }
+    expected_digest += kPerQueue * devices::EtherLink::FrameHash(
+                                       {flow_frames[q].data(), flow_frames[q].size()});
+  }
+
+  struct WireRecorder : devices::EtherEndpoint {
+    std::atomic<uint64_t> frames{0};
+    std::atomic<uint64_t> digest{0};
+    void DeliverFrame(ConstByteSpan frame) override {
+      frames.fetch_add(1, std::memory_order_relaxed);
+      digest.fetch_add(devices::EtherLink::FrameHash(frame), std::memory_order_relaxed);
+    }
+  };
+
+  struct RunResult {
+    std::vector<uint64_t> tx_per_queue;
+    uint64_t wire_frames = 0;
+    uint64_t wire_digest = 0;
+    uint64_t tx_packets = 0;
+  };
+  auto run = [&](uml::DriverHost::Mode mode) {
+    NetBench::Options options;
+    options.nic_queues = kQueues;
+    options.start_peer = false;
+    NetBench bench(options);
+    WireRecorder wire;
+    bench.link.Attach(1, &wire);
+    EXPECT_TRUE(bench.StartSut(mode).ok());
+    kern::NetDevice* netdev = bench.kernel.net().Find("eth0");
+
+    // One sender's budget: window-paced against the NIC's per-queue transmit
+    // counter (frames the driver actually pushed through), retrying when the
+    // burst outruns the staging pool or the ring. `drain` is what a blocked
+    // sender does while it waits — pump on the serial host, yield when the
+    // driver threads drain on their own.
+    auto send_flow = [&](uint32_t q, const std::function<void()>& drain) {
+      uint64_t sent = 0;
+      while (sent < kPerQueue) {
+        while (sent - bench.sut_nic.queue_stats(static_cast<uint16_t>(q))
+                          .tx_frames.load() >= kWindow) {
+          drain();
+        }
+        Status status = bench.kernel.net().Transmit(
+            netdev, kern::MakeSkb({flow_frames[q].data(), flow_frames[q].size()}));
+        if (status.ok()) {
+          ++sent;
+        } else {
+          drain();
+        }
+      }
+    };
+
+    if (mode == uml::DriverHost::Mode::kPumped) {
+      for (uint32_t q = 0; q < kQueues; ++q) {
+        send_flow(q, [&]() { bench.host->Pump(); });
+      }
+      auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      while (wire.frames.load() < kPerQueue * kQueues &&
+             std::chrono::steady_clock::now() < deadline) {
+        bench.host->Pump();
+      }
+    } else {
+      std::vector<std::thread> senders;
+      for (uint32_t q = 0; q < kQueues; ++q) {
+        senders.emplace_back(
+            [&, q]() { send_flow(q, []() { std::this_thread::yield(); }); });
+      }
+      for (std::thread& sender : senders) {
+        sender.join();
+      }
+      auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      while (wire.frames.load() < kPerQueue * kQueues &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+    }
+
+    RunResult result;
+    for (uint32_t q = 0; q < kQueues; ++q) {
+      result.tx_per_queue.push_back(
+          bench.sut_nic.queue_stats(static_cast<uint16_t>(q)).tx_frames.load());
+    }
+    result.wire_frames = wire.frames.load();
+    result.wire_digest = wire.digest.load();
+    result.tx_packets = netdev->stats().tx_packets.load();
+    if (mode == uml::DriverHost::Mode::kThreadedPerQueue) {
+      EXPECT_TRUE(bench.host->Kill().ok());
+    }
+    return result;
+  };
+
+  RunResult serial = run(uml::DriverHost::Mode::kPumped);
+  RunResult threaded = run(uml::DriverHost::Mode::kThreadedPerQueue);
+
+  EXPECT_EQ(serial.wire_frames, kPerQueue * kQueues);
+  EXPECT_EQ(threaded.wire_frames, serial.wire_frames);
+  EXPECT_EQ(serial.wire_digest, expected_digest);
+  EXPECT_EQ(threaded.wire_digest, expected_digest);
+  EXPECT_EQ(serial.tx_packets, kPerQueue * kQueues);
+  EXPECT_EQ(threaded.tx_packets, serial.tx_packets);
+  for (uint32_t q = 0; q < kQueues; ++q) {
+    EXPECT_EQ(serial.tx_per_queue[q], kPerQueue) << "queue " << q;
+    EXPECT_EQ(threaded.tx_per_queue[q], serial.tx_per_queue[q]) << "queue " << q;
+  }
+}
+
 // The torn/endless-chain regressions, played against the driver's reap by
 // forging descriptor state in ring memory (the "malicious device" of the
 // SoK's device-side attack surface — this driver also runs in-kernel, where
