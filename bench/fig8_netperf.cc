@@ -29,7 +29,7 @@
 // from the simulated mechanisms. Expected shape: equal throughput on
 // streams, ~8-30% relative CPU overhead, ~2x CPU on UDP_RR.
 //
-// Besides the table, the bench writes BENCH_fig8.json — modeled results,
+// Besides the table, the bench writes BENCH_fig8_netperf.json — modeled results,
 // uchan crossing counts per packet and the *simulator's own* wall-clock per
 // run — so the perf trajectory of the reproduction is tracked across PRs.
 
@@ -96,6 +96,12 @@ struct Row {
   // the frag-chained transmit deletes).
   double tx_desc_per_pkt = 0;
   double tx_copies_per_pkt = 0;
+  // RX delivery copies per packet (both drivers): the proxy's guard copies —
+  // fallback copies under sealed delivery included, so a "zero-copy" row that
+  // silently copied reports it. 0 for the in-kernel driver (DMA lands in the
+  // skb) and 0 is the REQUIRED value on the sealed (ZC) rows: the exit gate
+  // fails the bench otherwise.
+  double rx_copies_per_pkt = 0;
   // Per-queue channel accounting (one entry per uchan shard): the simulated
   // nanoseconds each queue's channel charged to either side. Single-queue
   // rows have one entry; the multi-queue ablation reports the full fan-out.
@@ -110,10 +116,19 @@ struct Config {
   std::unique_ptr<NetBench> bench;
   bool is_sud;
 
-  static Config Make(bool is_sud) {
+  // `sealed` (SUD only) selects the zero-copy verified delivery
+  // configuration: RX pages are IOMMU-write-sealed and verified in place
+  // (no guard copy), with unseal-side IOTLB invalidations riding the queued
+  // batch one sync per NAPI bundle. sealed=false keeps the guard-copy
+  // ablation bit-identical to the historical rows.
+  static Config Make(bool is_sud, bool sealed = false) {
     NetBench::Options options;
     options.start_sut = is_sud;
+    options.proxy.sealed_delivery = sealed;
     Config config{std::make_unique<NetBench>(options), is_sud};
+    if (sealed) {
+      config.bench->machine.iommu().set_queued_invalidation(true);
+    }
     if (is_sud) {
       Status status = config.bench->StartSut();
       if (!status.ok()) {
@@ -171,6 +186,7 @@ struct Config {
   struct DescSnapshot {
     uint64_t fetch = 0, writeback = 0, windows = 0;
     uint64_t tx_frames = 0, tx_descs = 0, tx_linearized = 0;
+    uint64_t guard_copies = 0;
   };
   DescSnapshot SnapDesc() const {
     const devices::SimNic::Stats& nic = bench->sut_nic.stats();
@@ -183,6 +199,9 @@ struct Config {
     kern::NetDevice* netdev = bench->kernel.net().Find(bench->SutIfname());
     if (netdev != nullptr) {
       snap.tx_linearized = netdev->stats().tx_linearized.load();
+    }
+    if (bench->proxy != nullptr) {
+      snap.guard_copies = bench->proxy->stats().guard_copies.load();
     }
     return snap;
   }
@@ -198,6 +217,8 @@ struct Config {
       row->tx_copies_per_pkt =
           static_cast<double>(now.tx_linearized - base.tx_linearized) / tx_frames;
     }
+    row->rx_copies_per_pkt =
+        static_cast<double>(now.guard_copies - base.guard_copies) / packets;
   }
 };
 
@@ -238,8 +259,26 @@ class WallTimer {
 // TCP_STREAM: the SUT receives a stream of MSS-sized segments. The link is
 // the bottleneck; packets arrive in bursts of 16 (interrupt coalescing) and
 // SUD-UML batches the resulting netif_rx downcalls (Section 5.1).
-Row RunTcpStream(bool is_sud) {
-  Config config = Config::Make(is_sud);
+// Prints the IOMMU seal ledger after a sealed (zero-copy) run: seals must
+// balance unseals (no page left write-revoked after the skbs drain) and the
+// queued-invalidation batching shows up as shootdowns << unseals.
+void PrintSealStats(const char* label, NetBench& bench) {
+  const hw::SealStats& seal = bench.machine.iommu().seal_stats();
+  const sud::EthernetProxy::Stats& proxy = bench.proxy->stats();
+  std::printf(
+      "  [%s] seals=%llu unseals=%llu shootdowns=%llu blocked_writes=%llu "
+      "sealed_deliveries=%llu fallback_copies=%llu quarantined=%llu\n",
+      label, static_cast<unsigned long long>(seal.seals),
+      static_cast<unsigned long long>(seal.unseals),
+      static_cast<unsigned long long>(seal.shootdowns),
+      static_cast<unsigned long long>(seal.blocked_writes),
+      static_cast<unsigned long long>(proxy.sealed_deliveries.load()),
+      static_cast<unsigned long long>(proxy.sealed_fallback_copies.load()),
+      static_cast<unsigned long long>(proxy.sealed_quarantined.load()));
+}
+
+Row RunTcpStream(bool is_sud, bool sealed = false) {
+  Config config = Config::Make(is_sud, sealed);
   config.EnableNapi();
   NetBench& bench = *config.bench;
   bench.machine.cpu().Reset();
@@ -255,12 +294,18 @@ Row RunTcpStream(bool is_sud) {
   double wall_ns = kStreamPackets * kTcpWireBytesPerSeg * 8.0;  // 1 Gb/s: 8 ns/byte
   double cpu_ns = TotalCpu(bench) + kStreamPackets * kTcpAppNsPerPkt;
   double throughput_mbps = kTcpMss * 8.0 * kStreamPackets / wall_ns * 1000.0;
-  Row row{"TCP_STREAM", config.name(), throughput_mbps, "Mbits/sec",
-          /*cpu_pct=*/0, is_sud ? 941.0 : 941.0, is_sud ? 13.0 : 12.0};
+  // No paper row for the sealed configuration: the paper chose the guard copy
+  // precisely because it did not measure revocation (Section 3.1.2).
+  Row row{sealed ? "TCP_STREAM ZC" : "TCP_STREAM", config.name(), throughput_mbps,
+          "Mbits/sec",
+          /*cpu_pct=*/0, sealed ? 0.0 : 941.0, sealed ? 0.0 : (is_sud ? 13.0 : 12.0)};
   config.FillUchanCounters(&row, kStreamPackets);
   config.FillDescCounters(&row, kStreamPackets, desc_base);
   row.cpu_pct = ModelCpuPct(row, cpu_ns, wall_ns);
   row.sim_wall_us = timer.ElapsedUs();
+  if (sealed) {
+    PrintSealStats("TCP_STREAM ZC", bench);
+  }
   return row;
 }
 
@@ -308,11 +353,15 @@ Row RunUdpTx(bool is_sud) {
 // linearize copies. The link is the bottleneck at the jumbo wire occupancy;
 // the number the row exists for is CPU%-per-byte (and tx_copies_per_pkt=0),
 // which the paper's 1500-byte testbed could not show.
-Row RunTcpStreamJumboTx(bool is_sud) {
+Row RunTcpStreamJumboTx(bool is_sud, bool sealed = false) {
   NetBench::Options options;
   options.start_sut = is_sud;
   options.mtu = static_cast<uint32_t>(kern::kJumboMtu);
   options.peer_mtu = static_cast<uint32_t>(kern::kJumboMtu);
+  // sealed (SUD only): the TX mirror of zero-copy delivery — descriptors arm
+  // straight from sealed kernel frag pages grant-mapped into the device's
+  // IOMMU domain; nothing is staged into pool buffers.
+  options.proxy.sealed_tx = sealed;
   Config config{std::make_unique<NetBench>(options), is_sud};
   if (is_sud) {
     (void)config.bench->StartSut();
@@ -328,27 +377,40 @@ Row RunTcpStreamJumboTx(bool is_sud) {
   std::vector<uint8_t> payload(kJumboTcpMss, 0x5a);
   constexpr int kBurst = 8;
   for (int sent = 0; sent < kStreamPackets; sent += kBurst) {
-    (void)bench.SutSendFragBurst(80, 33000, {payload.data(), payload.size()}, kBurst,
-                                 kJumboHeadBytes, kJumboFragBytes);
+    Status sent_status =
+        sealed ? bench.SutSendDramFragBurst(80, 33000, {payload.data(), payload.size()},
+                                            kBurst, kJumboHeadBytes, kJumboFragBytes)
+               : bench.SutSendFragBurst(80, 33000, {payload.data(), payload.size()}, kBurst,
+                                        kJumboHeadBytes, kJumboFragBytes);
+    (void)sent_status;
     config.Pump();  // driver drains the xmit chains, the device gathers
   }
   double wall_ns = kStreamPackets * kJumboTcpWireBytesPerSeg * 8.0;  // 1 Gb/s: 8 ns/byte
   double cpu_ns = TotalCpu(bench) + kStreamPackets * kTcpAppNsPerPkt;
   double throughput_mbps = kJumboTcpMss * 8.0 * kStreamPackets / wall_ns * 1000.0;
   // No paper row to compare against: the testbed had no jumbo path.
-  Row row{"TCP_STREAM 9K", config.name(), throughput_mbps, "Mbits/sec",
+  Row row{sealed ? "TCP_STREAM 9K TXZC" : "TCP_STREAM 9K", config.name(), throughput_mbps,
+          "Mbits/sec",
           /*cpu_pct=*/0, /*paper_value=*/0, /*paper_cpu=*/0};
   config.FillUchanCounters(&row, kStreamPackets);
   config.FillDescCounters(&row, kStreamPackets, desc_base);
   row.cpu_pct = ModelCpuPct(row, cpu_ns, wall_ns);
   row.sim_wall_us = timer.ElapsedUs();
+  if (sealed && bench.proxy != nullptr) {
+    const sud::EthernetProxy::Stats& proxy = bench.proxy->stats();
+    std::printf("  [TCP_STREAM 9K TXZC] tx_grants=%llu tx_grant_frames=%llu "
+                "tx_grant_fallbacks=%llu\n",
+                static_cast<unsigned long long>(proxy.tx_grants.load()),
+                static_cast<unsigned long long>(proxy.tx_grant_frames.load()),
+                static_cast<unsigned long long>(proxy.tx_grant_fallbacks.load()));
+  }
   return row;
 }
 
 // UDP_STREAM RX: the peer floods 64-byte packets at the SUT; the paper's
 // receiver keeps up (238 vs 235 Kpps), limited by the sender's rate.
-Row RunUdpRx(bool is_sud) {
-  Config config = Config::Make(is_sud);
+Row RunUdpRx(bool is_sud, bool sealed = false) {
+  Config config = Config::Make(is_sud, sealed);
   config.EnableNapi();
   NetBench& bench = *config.bench;
   bench.machine.cpu().Reset();
@@ -374,13 +436,17 @@ Row RunUdpRx(bool is_sud) {
   double pps = std::min(sender_rate_pps, capacity_pps);
   double wall_ns = kStreamPackets / pps * 1e9;
   double cpu_ns = kernel_ns + driver_ns + kStreamPackets * kUdpRxAppNsPerPkt;
-  Row row{"UDP_STREAM RX", config.name(),
+  Row row{sealed ? "UDP_STREAM RX ZC" : "UDP_STREAM RX", config.name(),
           pps * (delivered / double(kStreamPackets)) / 1000.0, "Kpackets/sec",
-          /*cpu_pct=*/0, is_sud ? 235.0 : 238.0, is_sud ? 26.0 : 20.0};
+          /*cpu_pct=*/0, sealed ? 0.0 : (is_sud ? 235.0 : 238.0),
+          sealed ? 0.0 : (is_sud ? 26.0 : 20.0)};
   config.FillUchanCounters(&row, kStreamPackets);
   config.FillDescCounters(&row, kStreamPackets, desc_base);
   row.cpu_pct = ModelCpuPct(row, cpu_ns, wall_ns);
   row.sim_wall_us = timer.ElapsedUs();
+  if (sealed) {
+    PrintSealStats("UDP_STREAM RX ZC", bench);
+  }
   return row;
 }
 
@@ -474,11 +540,13 @@ void WriteJson(const std::vector<Row>& rows, const char* path) {
                  "\"paper_cpu_pct\": %.1f, \"uchan_crossings_per_pkt\": %.4f, "
                  "\"uchan_msgs_per_pkt\": %.4f, \"desc_dma_per_pkt\": %.4f, "
                  "\"desc_windows_per_pkt\": %.4f, \"tx_desc_per_pkt\": %.4f, "
-                 "\"tx_copies_per_pkt\": %.4f, \"sim_wall_us\": %.0f",
+                 "\"tx_copies_per_pkt\": %.4f, \"rx_copies_per_pkt\": %.4f, "
+                 "\"sim_wall_us\": %.0f",
                  row.test.c_str(), row.driver.c_str(), row.value, row.unit.c_str(), row.cpu_pct,
                  row.paper_value, row.paper_cpu, row.uchan_crossings_per_pkt,
                  row.uchan_msgs_per_pkt, row.desc_dma_per_pkt, row.desc_windows_per_pkt,
-                 row.tx_desc_per_pkt, row.tx_copies_per_pkt, row.sim_wall_us);
+                 row.tx_desc_per_pkt, row.tx_copies_per_pkt, row.rx_copies_per_pkt,
+                 row.sim_wall_us);
     // Per-queue channel accounting (one entry per uchan shard).
     std::fprintf(out, ", \"queue_kernel_ns\": [");
     for (size_t q = 0; q < row.queue_kernel_ns.size(); ++q) {
@@ -515,6 +583,13 @@ int main() {
   // the paper's table so the historical row order never moves).
   rows.push_back(sud::RunTcpStreamJumboTx(false));
   rows.push_back(sud::RunTcpStreamJumboTx(true));
+  // Zero-copy verified delivery rows (SUD only): seal the page, verify the
+  // checksum in place, deliver by reference. Appended after every historical
+  // row so indices 0-9 never move and the guard-copy rows above stay the
+  // runtime-selectable ablation.
+  rows.push_back(sud::RunTcpStream(true, /*sealed=*/true));       // row 10
+  rows.push_back(sud::RunUdpRx(true, /*sealed=*/true));           // row 11
+  rows.push_back(sud::RunTcpStreamJumboTx(true, /*sealed=*/true));  // row 12
   sud::Print(rows);
 
   // Shape assertions printed for the record.
@@ -533,6 +608,30 @@ int main() {
               "tx chain %.1f desc/pkt, linearize copies %.1f/pkt (must be 0 on SG)\n",
               rows[8].value == rows[9].value ? "equal" : "UNEQUAL", pct(8, 9),
               rows[9].tx_desc_per_pkt, rows[9].tx_copies_per_pkt);
-  sud::WriteJson(rows, "BENCH_fig8.json");
-  return 0;
+  std::printf("  Zero-copy    : guard-copy rows %.1f rx copies/pkt; sealed rows "
+              "%.2f / %.2f rx copies/pkt, TXZC %.2f tx copies/pkt "
+              "(all three must be 0)\n",
+              rows[1].rx_copies_per_pkt, rows[10].rx_copies_per_pkt,
+              rows[11].rx_copies_per_pkt, rows[12].tx_copies_per_pkt);
+  std::printf("  Zero-copy CPU: TCP_STREAM %+.0f%% vs guard copy, UDP RX %+.0f%%, "
+              "9K TX %+.0f%%\n",
+              pct(1, 10), pct(5, 11), pct(9, 12));
+  sud::WriteJson(rows, "BENCH_fig8_netperf.json");
+
+  // Exit gate: the zero-copy rows must actually be zero-copy. A nonzero
+  // rx_copies_per_pkt on a sealed row means delivery fell back to the guard
+  // copy; a nonzero tx_copies_per_pkt on the TXZC row means the proxy staged
+  // (or the kernel linearized) instead of granting. CI fails on this.
+  int exit_code = 0;
+  if (rows[10].rx_copies_per_pkt != 0 || rows[11].rx_copies_per_pkt != 0) {
+    std::fprintf(stderr, "FAIL: sealed delivery rows report rx copies (%.4f, %.4f)\n",
+                 rows[10].rx_copies_per_pkt, rows[11].rx_copies_per_pkt);
+    exit_code = 1;
+  }
+  if (rows[12].tx_copies_per_pkt != 0 || rows[12].rx_copies_per_pkt != 0) {
+    std::fprintf(stderr, "FAIL: TXZC row reports copies (tx %.4f, rx %.4f)\n",
+                 rows[12].tx_copies_per_pkt, rows[12].rx_copies_per_pkt);
+    exit_code = 1;
+  }
+  return exit_code;
 }

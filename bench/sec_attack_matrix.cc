@@ -729,6 +729,145 @@ Cell RunQuarantine(NetBench::Options options, const std::string& config) {
   return {"teardown quarantine", config, contained, note};
 }
 
+// ---- Seal-bypass attacks: the zero-copy delivery window (this PR) -------
+//
+// Sealed delivery replaces the guard copy with IOMMU page revocation: the
+// RX page is write-sealed, the checksum verified IN PLACE, and the kernel
+// handed an skb referencing the shared bytes. The cells below attack the
+// three windows that substitution opens: the delivered page's lifetime, the
+// unseal on free, and the verdict computation itself.
+
+// Every page of the driver's DMA space the IOMMU currently write-seals.
+std::vector<uint64_t> SealedPagesOf(NetBench& bench) {
+  std::vector<uint64_t> pages;
+  uint16_t source = bench.ctx->source_id();
+  for (const auto& [base, region] : bench.ctx->dma().regions()) {
+    for (uint64_t off = 0; off < region.bytes; off += hw::kPageSize) {
+      if (bench.machine.iommu().IsWriteSealed(source, region.iova + off)) {
+        pages.push_back(region.iova + off);
+      }
+    }
+  }
+  return pages;
+}
+
+// The malicious driver's move: aim the device's DMA at `page` and fire. The
+// root complex's translation is where the seal answers; a blocked write
+// never reaches memory.
+bool DeviceWriteBlocked(NetBench& bench, uint64_t page) {
+  return !bench.machine.iommu()
+              .Translate(bench.ctx->source_id(), page, 64, /*is_write=*/true)
+              .ok();
+}
+
+// Driver DMA-writes a DELIVERED page: the skb is in the stack (a socket
+// queue holds it), the driver re-arms the device at the same buffer. The
+// write must fault, be counted, and the page must unseal — becoming
+// device-writable again — only once the skb dies.
+Cell RunSealedPageWrite(NetBench::Options options, const std::string& config) {
+  options.proxy.sealed_delivery = true;
+  NetBench bench(options);
+  if (!bench.StartSut().ok()) {
+    return {"sealed-page DMA write", config, false, "sut failed to start"};
+  }
+  bench.MaskPeerIrq();
+  bench.proxy->set_hold_rx_for_test(true);
+  std::vector<uint8_t> payload(256, 0x44);
+  (void)bench.PeerSend(4000, 80, {payload.data(), payload.size()});
+  bench.host->Pump();
+  std::vector<uint64_t> sealed = SealedPagesOf(bench);
+  uint64_t blocked_before = bench.machine.iommu().seal_stats().blocked_writes;
+  bool blocked = !sealed.empty() && DeviceWriteBlocked(bench, sealed[0]);
+  uint64_t blocked_count = bench.machine.iommu().seal_stats().blocked_writes - blocked_before;
+  // The skb dies (socket drains): the page must unseal and the device's own
+  // re-arm write must work again.
+  bench.proxy->set_hold_rx_for_test(false);
+  bench.proxy->TakeHeldRx();
+  bool recycled = !sealed.empty() &&
+                  !bench.machine.iommu().IsWriteSealed(bench.ctx->source_id(), sealed[0]) &&
+                  !DeviceWriteBlocked(bench, sealed[0]);
+  bool contained = bench.proxy->stats().sealed_deliveries.load() == 1 && blocked &&
+                   blocked_count == 1 && recycled;
+  char note[96];
+  std::snprintf(note, sizeof(note),
+                "%zu page(s) sealed; write faulted while skb live, page recycled after free",
+                sealed.size());
+  return {"sealed-page DMA write", config, contained, note};
+}
+
+// Unseal race on free: the driver delivers the SAME buffer twice (fresh
+// seqs, both individually valid). When the first skb is freed, the page must
+// STAY sealed — the second skb still references the shared bytes — and only
+// the last free may unseal. A non-refcounted seal would reopen the TOCTOU
+// window here.
+Cell RunUnsealRaceOnFree(NetBench::Options options, const std::string& config) {
+  options.proxy.sealed_delivery = true;
+  NetBench bench(options);
+  auto attack = std::make_unique<drivers::DupDeliveryDriver>();
+  auto* p = attack.get();
+  (void)bench.host->Start(std::move(attack));
+  bench.proxy->set_hold_rx_for_test(true);
+  std::vector<uint8_t> payload(200, 0x51);
+  auto frame = kern::BuildPacket(testing::kMacA, testing::kMacB, 4100, 80,
+                                 {payload.data(), payload.size()});
+  Result<int> accepted = p->DeliverSameBuffer({frame.data(), frame.size()}, 2);
+  bench.host->Pump();
+  std::vector<uint64_t> sealed = SealedPagesOf(bench);
+  std::vector<kern::SkbPtr> held = bench.proxy->TakeHeldRx();
+  uint16_t source = bench.ctx->source_id();
+  bool refcounted = accepted.ok() && accepted.value() == 2 && sealed.size() == 1 &&
+                    held.size() == 2;
+  // The race: free ONE of the two skbs referencing the page.
+  if (!held.empty()) {
+    held.pop_back();
+  }
+  bool still_sealed = refcounted && bench.machine.iommu().IsWriteSealed(source, sealed[0]) &&
+                      DeviceWriteBlocked(bench, sealed[0]);
+  // The LAST free unseals.
+  held.clear();
+  bool unsealed = refcounted && !bench.machine.iommu().IsWriteSealed(source, sealed[0]);
+  bool contained = refcounted && still_sealed && unsealed;
+  char note[96];
+  std::snprintf(note, sizeof(note),
+                "dup delivery refcounted: page sealed across first free, unsealed on last");
+  return {"unseal race on free", config, contained, note};
+}
+
+// Sealed-page write during the VERDICT window: the attacker fires its device
+// DMA write between the seal and the in-place checksum — exactly where the
+// guard copy used to protect. The write must fault against the seal and the
+// verdict (computed over the sealed, unchanged bytes) must stand.
+Cell RunVerdictWindowWrite(NetBench::Options options, const std::string& config) {
+  options.proxy.sealed_delivery = true;
+  NetBench bench(options);
+  if (!bench.StartSut().ok()) {
+    return {"verdict-window write", config, false, "sut failed to start"};
+  }
+  bench.MaskPeerIrq();
+  bench.proxy->set_hold_rx_for_test(true);
+  int hook_fired = 0;
+  int window_blocked = 0;
+  bench.proxy->set_toctou_hook([&](ByteSpan) {
+    // Perfectly timed: the seal is on, the checksum has not run yet.
+    ++hook_fired;
+    for (uint64_t page : SealedPagesOf(bench)) {
+      window_blocked += DeviceWriteBlocked(bench, page) ? 1 : 0;
+    }
+  });
+  std::vector<uint8_t> payload(256, 0x55);
+  (void)bench.PeerSend(4200, 80, {payload.data(), payload.size()});
+  bench.host->Pump();
+  std::vector<kern::SkbPtr> held = bench.proxy->TakeHeldRx();
+  bool verdict_stable = held.size() == 1 && held[0]->checksum_verified;
+  uint64_t blocked = bench.machine.iommu().seal_stats().blocked_writes;
+  bool contained = hook_fired == 1 && window_blocked >= 1 && verdict_stable && blocked >= 1;
+  held.clear();
+  char note[96];
+  std::snprintf(note, sizeof(note),
+                "%d in-window write(s) faulted on the seal, checksum verdict stable", window_blocked);
+  return {"verdict-window write", config, contained, note};
+}
+
 }  // namespace
 }  // namespace sud
 
@@ -773,6 +912,9 @@ int main() {
     cells.push_back(RunUpgradeWindowDma(config.options, config.name));
     cells.push_back(RunWatchdogStall(config.options, config.name));
     cells.push_back(RunQuarantine(config.options, config.name));
+    cells.push_back(RunSealedPageWrite(config.options, config.name));
+    cells.push_back(RunUnsealRaceOnFree(config.options, config.name));
+    cells.push_back(RunVerdictWindowWrite(config.options, config.name));
   }
   // The vulnerable no-ACS configuration, to show the attack is real.
   cells.push_back(RunP2p(Config(hw::IommuMode::kIntelVtd, false, false), "ACS OFF (vulnerable)"));

@@ -55,6 +55,8 @@ struct CpuCosts {
   SimTime pci_config_access = 400;   // config-space read/write (mask path)
   SimTime irq_remap_update = 4500;   // rewriting an interrupt-remapping entry
   SimTime mmio_access = 60;          // one device register read/write
+  SimTime iommu_seal = 90;           // one PTE permission flip (seal or unseal)
+  SimTime iotlb_shootdown = 450;     // one synchronous IOTLB invalidation
 };
 
 // The accounts charged by the simulated stack. kOther absorbs ad-hoc string

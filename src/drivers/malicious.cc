@@ -232,6 +232,37 @@ Status RetaAttackDriver::Concentrate() {
   return Status::Ok();
 }
 
+Status DupDeliveryDriver::Probe(uml::DriverEnv& env) {
+  env_ = &env;
+  uint8_t mac[6] = {0xba, 0xdc, 0x8a, 0x00, 0x00, 0x07};
+  uml::NetDriverOps ops;
+  ops.open = []() { return Status::Ok(); };
+  ops.stop = []() { return Status::Ok(); };
+  SUD_RETURN_IF_ERROR(env.RegisterNetdev(mac, std::move(ops)));
+  // One page: the whole attack is aimed at that page's seal refcount.
+  Result<DmaRegion> buffers = env.DmaAllocCaching(hw::kPageSize);
+  if (!buffers.ok()) {
+    return buffers.status();
+  }
+  buffers_ = buffers.value();
+  return Status::Ok();
+}
+
+Result<int> DupDeliveryDriver::DeliverSameBuffer(ConstByteSpan frame, int times) {
+  Result<ByteSpan> view = env_->DmaView(buffers_.iova, frame.size());
+  if (!view.ok()) {
+    return view.status();
+  }
+  std::memcpy(view.value().data(), frame.data(), frame.size());
+  int accepted = 0;
+  for (int i = 0; i < times; ++i) {
+    if (env_->NetifRx(buffers_.iova, static_cast<uint32_t>(frame.size())).ok()) {
+      ++accepted;
+    }
+  }
+  return accepted;
+}
+
 Status ChainAttackDriver::Probe(uml::DriverEnv& env) {
   env_ = &env;
   // A plausible netdev so the chain downcalls reach the proxy's validation,

@@ -47,6 +47,11 @@
 //                          persisted storage, then — as the post-restart
 //                          instance — replays them as free batches: the pool's
 //                          epoch validation must reject and count every one
+//   DupDeliveryDriver      delivers the SAME RX buffer repeatedly via fresh
+//                          netif_rx downcalls: under sealed (zero-copy)
+//                          delivery the page's seal must be refcounted — the
+//                          first skb free must NOT unseal while a second
+//                          delivered skb still references the page
 
 #ifndef SUD_SRC_DRIVERS_MALICIOUS_H_
 #define SUD_SRC_DRIVERS_MALICIOUS_H_
@@ -209,6 +214,25 @@ class RetaAttackDriver : public uml::Driver {
  private:
   uml::DriverEnv* env_ = nullptr;
   uint8_t victim_queue_;
+};
+
+// Delivers one page-aligned RX buffer of its own DMA space over and over:
+// each netif_rx is individually well-formed (valid packet, fresh seq), but
+// the set references the same page N times. The unseal-on-free race this
+// arms: if the proxy unsealed on the FIRST skb's release, the remaining
+// delivered skbs would reference writable shared bytes.
+class DupDeliveryDriver : public uml::Driver {
+ public:
+  const char* name() const override { return "dup-delivery"; }
+  Status Probe(uml::DriverEnv& env) override;
+  // Writes `frame` into the buffer and delivers it `times` times; returns
+  // how many deliveries the kernel accepted.
+  Result<int> DeliverSameBuffer(ConstByteSpan frame, int times);
+  uint64_t buffer_iova() const { return buffers_.iova; }
+
+ private:
+  uml::DriverEnv* env_ = nullptr;
+  DmaRegion buffers_{};
 };
 
 // Forges netif_rx chain downcalls — the marshalled form of an EOP

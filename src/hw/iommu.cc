@@ -195,6 +195,98 @@ Status Iommu::Unmap(uint16_t source_id, uint64_t iova, uint64_t len) {
   return Status::Ok();
 }
 
+Status Iommu::SealWrite(uint16_t source_id, uint64_t iova, uint64_t len) {
+  std::lock_guard<SpinLock> lock(mu_);
+  if (!IsPageAligned(iova) || len == 0) {
+    return Status(ErrorCode::kInvalidArgument, "iommu seal not page aligned");
+  }
+  auto it = contexts_.find(source_id);
+  if (it == contexts_.end()) {
+    return Status(ErrorCode::kNotFound, "no iommu context for source " + Hex(source_id));
+  }
+  uint64_t span = PageAlignUp(len);
+  // All-or-nothing: every covered page must be mapped, or nothing changes.
+  for (uint64_t off = 0; off < span; off += kPageSize) {
+    const Pte* pte = LookupPte(it->second, iova + off);
+    if (pte == nullptr || !pte->present) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "seal range not fully mapped at " + Hex(iova + off));
+    }
+  }
+  for (uint64_t off = 0; off < span; off += kPageSize) {
+    Pte* pte = LookupPte(it->second, iova + off, /*create=*/false);
+    if (pte->sealed) {
+      continue;  // idempotent: an already-sealed page costs nothing
+    }
+    pte->sealed = true;
+    seal_stats_.seals++;
+    // Synchronous shootdown, always: a cached writable IOTLB entry would let
+    // a racing device write land AFTER the seal — exactly the TOCTOU window
+    // the seal exists to close — so seal-side invalidation never queues.
+    IotlbInvalidatePageNoCount(source_id, iova + off);
+    iotlb_stats_.invalidations++;
+    seal_stats_.shootdowns++;
+    if (cpu_ != nullptr) {
+      cpu_->Charge(kAccountKernel, cpu_->costs().iommu_seal + cpu_->costs().iotlb_shootdown);
+    }
+  }
+  return Status::Ok();
+}
+
+Status Iommu::UnsealWrite(uint16_t source_id, uint64_t iova, uint64_t len) {
+  std::lock_guard<SpinLock> lock(mu_);
+  if (!IsPageAligned(iova) || len == 0) {
+    return Status(ErrorCode::kInvalidArgument, "iommu unseal not page aligned");
+  }
+  auto it = contexts_.find(source_id);
+  if (it == contexts_.end()) {
+    return Status(ErrorCode::kNotFound, "no iommu context for source " + Hex(source_id));
+  }
+  uint64_t span = PageAlignUp(len);
+  for (uint64_t off = 0; off < span; off += kPageSize) {
+    const Pte* pte = LookupPte(it->second, iova + off);
+    if (pte == nullptr || !pte->present) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "unseal range not fully mapped at " + Hex(iova + off));
+    }
+  }
+  for (uint64_t off = 0; off < span; off += kPageSize) {
+    Pte* pte = LookupPte(it->second, iova + off, /*create=*/false);
+    if (!pte->sealed) {
+      continue;
+    }
+    pte->sealed = false;
+    seal_stats_.unseals++;
+    if (cpu_ != nullptr) {
+      cpu_->Charge(kAccountKernel, cpu_->costs().iommu_seal);
+    }
+    // A stale *sealed* IOTLB entry fails safe (it over-blocks, never admits a
+    // write), so unseal-side invalidation may ride the queued batch — the
+    // Section 6 "new hardware" amortization that makes revocation affordable.
+    if (queued_invalidation_) {
+      invalidation_queue_.emplace_back(source_id, PageAlignDown(iova + off));
+    } else {
+      IotlbInvalidatePageNoCount(source_id, iova + off);
+      iotlb_stats_.invalidations++;
+      seal_stats_.shootdowns++;
+      if (cpu_ != nullptr) {
+        cpu_->Charge(kAccountKernel, cpu_->costs().iotlb_shootdown);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+bool Iommu::IsWriteSealed(uint16_t source_id, uint64_t iova) const {
+  std::lock_guard<SpinLock> lock(mu_);
+  auto it = contexts_.find(source_id);
+  if (it == contexts_.end()) {
+    return false;
+  }
+  const Pte* pte = LookupPte(it->second, PageAlignDown(iova));
+  return pte != nullptr && pte->present && pte->sealed;
+}
+
 Result<uint64_t> Iommu::Translate(uint16_t source_id, uint64_t iova, uint64_t len, bool is_write) {
   std::lock_guard<SpinLock> lock(mu_);
   auto it = contexts_.find(source_id);
@@ -225,6 +317,10 @@ Result<uint64_t> Iommu::Translate(uint16_t source_id, uint64_t iova, uint64_t le
     IotlbInsert(source_id, page, entry);
   }
 
+  if (is_write && entry.sealed) {
+    seal_stats_.blocked_writes++;
+    return Fault(source_id, iova, is_write, "write to sealed page");
+  }
   if (is_write && !entry.writable) {
     return Fault(source_id, iova, is_write, "write to read-only mapping");
   }
@@ -273,8 +369,14 @@ void Iommu::SyncInvalidations() {
     IotlbInvalidatePageNoCount(source_id, iova);
   }
   if (!invalidation_queue_.empty()) {
-    // A queued batch costs one synchronisation, not one per page.
+    // A queued batch costs one synchronisation, not one per page — the
+    // amortization that makes unseal-side revocation affordable; count it as
+    // one shootdown in the seal accounting too.
     iotlb_stats_.invalidations++;
+    seal_stats_.shootdowns++;
+    if (cpu_ != nullptr) {
+      cpu_->Charge(kAccountKernel, cpu_->costs().iotlb_shootdown);
+    }
   }
   invalidation_queue_.clear();
 }

@@ -64,6 +64,17 @@ struct IommuFaultRecord {
   SimTime when;
 };
 
+// Seal/unseal accounting: the page-revocation alternative to the guard copy
+// (Section 3.1.2's tradeoff, quantified). `shootdowns` counts the IOTLB
+// invalidations the permission transitions forced — the cost the paper cites
+// as the reason it copied instead.
+struct SealStats {
+  uint64_t seals = 0;           // pages transitioned writable -> sealed
+  uint64_t unseals = 0;         // pages transitioned sealed -> writable
+  uint64_t shootdowns = 0;      // synchronous IOTLB invalidations those forced
+  uint64_t blocked_writes = 0;  // device DMA writes rejected by a seal
+};
+
 // One contiguous, coalesced mapping range, as reported by WalkMappings.
 struct IoMapping {
   uint64_t iova_start;
@@ -105,6 +116,24 @@ class Iommu {
   Status Map(uint16_t source_id, uint64_t iova, uint64_t paddr, uint64_t len, bool readable,
              bool writable);
   Status Unmap(uint16_t source_id, uint64_t iova, uint64_t len);
+
+  // --- write sealing (per-page permission downgrade on an EXISTING mapping).
+  // SealWrite revokes device write permission for every page covering
+  // [iova, iova+len) without unmap/remap churn: the PTE keeps its paddr and
+  // base permissions, only the seal bit flips, and each transitioned page
+  // pays a synchronous IOTLB shootdown (a cached writable entry would let a
+  // racing DMA write land after the seal — the TOCTOU this exists to close).
+  // UnsealWrite restores write permission; its invalidations may ride the
+  // queued-invalidation batch when that feature is on, because a stale
+  // *sealed* IOTLB entry fails safe (it can only over-block, never admit a
+  // write). Both are idempotent per page and all-or-nothing per range: if any
+  // covered page is unmapped, nothing changes and an error returns. `iova`
+  // must be page-aligned; `len` is rounded up to whole pages.
+  Status SealWrite(uint16_t source_id, uint64_t iova, uint64_t len);
+  Status UnsealWrite(uint16_t source_id, uint64_t iova, uint64_t len);
+  // True iff the page containing `iova` is present and write-sealed.
+  bool IsWriteSealed(uint16_t source_id, uint64_t iova) const;
+  const SealStats& seal_stats() const { return seal_stats_; }
 
   // --- the data path. Translates a [iova, iova+len) access; the access must
   // not cross an unmapped page. On failure a fault is logged and the
@@ -163,6 +192,10 @@ class Iommu {
     bool readable = false;
     bool writable = false;
     bool present = false;
+    // Write seal: overrides `writable` for device DMA writes while the page
+    // stays device-readable. Kept separate from `writable` so UnsealWrite
+    // restores the original permission without the caller re-supplying it.
+    bool sealed = false;
   };
   struct TableL1 {  // leaf level: 512 PTEs
     std::array<Pte, 512> ptes{};
@@ -240,6 +273,8 @@ class Iommu {
 
   bool queued_invalidation_ = false;
   std::vector<std::pair<uint16_t, uint64_t>> invalidation_queue_;
+
+  SealStats seal_stats_;
 
   std::vector<IommuFaultRecord> faults_;
 };

@@ -22,7 +22,9 @@
 #include <array>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/base/bytes.h"
@@ -43,7 +45,30 @@ struct Skb {
   explicit Skb(std::vector<uint8_t> bytes) : heap_(std::move(bytes)), len_(heap_.size()) {}
   explicit Skb(ConstByteSpan bytes) { Assign(bytes); }
 
+  // Extern storage plus frag release hooks fire exactly once, at death: the
+  // sealed-delivery unseal and TX grant releases ride them. Skbs travel as
+  // SkbPtr; copying one would double-fire the hooks, so copies are deleted.
+  Skb(const Skb&) = delete;
+  Skb& operator=(const Skb&) = delete;
+  ~Skb() {
+    if (release_) {
+      release_();
+    }
+  }
+
+  // Zero-copy delivery (the sealed RX path): the skb references `len` bytes
+  // the caller guarantees immutable for the skb's lifetime — the IOMMU seal
+  // is that guarantee — and `release` runs at skb destruction (the unseal /
+  // buffer-recycle point). No byte is copied.
+  void AssignExtern(const uint8_t* bytes, size_t len, std::function<void()> release) {
+    extern_data_ = bytes;
+    len_ = len;
+    release_ = std::move(release);
+  }
+  bool is_extern() const { return extern_data_ != nullptr; }
+
   void Assign(ConstByteSpan bytes) {
+    extern_data_ = nullptr;
     len_ = bytes.size();
     if (len_ <= kInlineCapacity) {
       heap_.clear();
@@ -60,6 +85,7 @@ struct Skb {
   // copy in the same pass, setting checksum_verified accordingly. Returns
   // false for runts and checksum mismatches.
   bool AssignAndVerifyChecksum(ConstByteSpan bytes) {
+    extern_data_ = nullptr;
     len_ = bytes.size();
     if (len_ <= kInlineCapacity) {
       heap_.clear();
@@ -115,15 +141,40 @@ struct Skb {
   // buffer); only the transmit path builds frag skbs.
   bool is_linear() const { return tx_frags_.empty(); }
   size_t nr_frags() const { return tx_frags_.size(); }
-  ConstByteSpan tx_frag(size_t i) const {
-    return ConstByteSpan(tx_frags_[i].data(), tx_frags_[i].size());
+  ConstByteSpan tx_frag(size_t i) const { return tx_frags_[i].view; }
+  // Nonzero iff fragment `i` is DRAM-backed (a sealed grant candidate): the
+  // physical address of its first byte. Owned fragments report 0.
+  uint64_t tx_frag_paddr(size_t i) const { return tx_frags_[i].paddr; }
+  bool has_dram_frags() const {
+    for (const TxFrag& frag : tx_frags_) {
+      if (frag.paddr != 0) {
+        return true;
+      }
+    }
+    return false;
   }
   // Head bytes plus every fragment: the length the wire will carry.
   size_t total_len() const { return len_ + tx_frag_bytes_; }
   void AppendTxFrag(ConstByteSpan bytes) {
     tx_frag_bytes_ += bytes.size();
-    tx_frags_.emplace_back(bytes.begin(), bytes.end());
+    TxFrag frag;
+    frag.owned.assign(bytes.begin(), bytes.end());
+    frag.view = ConstByteSpan(frag.owned.data(), frag.owned.size());
+    tx_frags_.push_back(std::move(frag));
   }
+  // A fragment living in DRAM the skb does NOT own (page-cache model): the
+  // transmit path can arm descriptors straight from it through a read-only
+  // IOMMU grant instead of staging a copy. The backing pages must outlive the
+  // skb; wire a reclaim into set_release if they need freeing.
+  void AppendDramFrag(uint64_t paddr, ConstByteSpan bytes) {
+    tx_frag_bytes_ += bytes.size();
+    TxFrag frag;
+    frag.view = bytes;
+    frag.paddr = paddr;
+    tx_frags_.push_back(std::move(frag));
+  }
+  // Death hook for skbs whose storage needs reclaiming (DRAM frag pages).
+  void set_release(std::function<void()> release) { release_ = std::move(release); }
 
   // skb_linearize: folds the fragments into the contiguous head storage, the
   // fallback for drivers without SG. Bounded like AppendFrag: a frame that
@@ -133,8 +184,8 @@ struct Skb {
     if (total_len() > max_len) {
       return false;
     }
-    for (const std::vector<uint8_t>& frag : tx_frags_) {
-      if (!AppendFrag(ConstByteSpan(frag.data(), frag.size()), max_len)) {
+    for (const TxFrag& frag : tx_frags_) {
+      if (!AppendFrag(frag.view, max_len)) {
         return false;  // unreachable given the pre-check; defence in depth
       }
     }
@@ -143,20 +194,43 @@ struct Skb {
     return true;
   }
 
-  uint8_t* data() { return heap_.empty() ? inline_.data() : heap_.data(); }
-  const uint8_t* data() const { return heap_.empty() ? inline_.data() : heap_.data(); }
+  // Extern storage is immutable by contract (the seal enforces it); the
+  // const_cast below only serves callers that treat data() as a read handle —
+  // the receive stack never mutates a delivered skb.
+  uint8_t* data() {
+    if (extern_data_ != nullptr) {
+      return const_cast<uint8_t*>(extern_data_);
+    }
+    return heap_.empty() ? inline_.data() : heap_.data();
+  }
+  const uint8_t* data() const {
+    if (extern_data_ != nullptr) {
+      return extern_data_;
+    }
+    return heap_.empty() ? inline_.data() : heap_.data();
+  }
   size_t data_len() const { return len_; }
   ConstByteSpan span() const { return ConstByteSpan(data(), len_); }
   ByteSpan mutable_span() { return ByteSpan(data(), len_); }
   PacketView view() const { return PacketView{span()}; }
 
  private:
+  // One skb_shinfo fragment: either an owned buffer (`owned` non-empty,
+  // `view` into it) or a DRAM-backed reference (`view` into the DRAM window,
+  // `paddr` set, nothing owned).
+  struct TxFrag {
+    std::vector<uint8_t> owned;
+    ConstByteSpan view;
+    uint64_t paddr = 0;
+  };
+
   std::array<uint8_t, kInlineCapacity> inline_;
   std::vector<uint8_t> heap_;  // jumbo overflow only
+  const uint8_t* extern_data_ = nullptr;  // sealed zero-copy delivery
   size_t len_ = 0;
-  // TX frag array (skb_shinfo): owned fragment buffers past the head.
-  std::vector<std::vector<uint8_t>> tx_frags_;
+  std::vector<TxFrag> tx_frags_;
   size_t tx_frag_bytes_ = 0;
+  std::function<void()> release_;  // fired once, at destruction
 };
 
 using SkbPtr = std::unique_ptr<Skb>;

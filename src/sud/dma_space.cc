@@ -34,6 +34,30 @@ Result<DmaRegion> DmaSpace::Alloc(uint64_t bytes, bool coherent) {
   return region;
 }
 
+Result<DmaRegion> DmaSpace::MapExternal(uint64_t paddr, uint64_t bytes) {
+  if (bytes == 0 || !hw::IsPageAligned(paddr)) {
+    return Status(ErrorCode::kInvalidArgument, "external dma grant not page aligned");
+  }
+  uint64_t rounded = hw::PageAlignUp(bytes);
+  uint64_t iova = next_iova_;
+  Status mapped = iommu_->Map(source_id_, iova, paddr, rounded, /*readable=*/true,
+                              /*writable=*/false);
+  if (!mapped.ok()) {
+    return mapped;
+  }
+  next_iova_ += rounded;
+  DmaRegion region{iova, paddr, rounded, /*coherent=*/false, /*external=*/true};
+  Result<ByteSpan> window = dram_->Window(region.paddr, region.bytes);
+  if (!window.ok()) {
+    (void)iommu_->Unmap(source_id_, iova, rounded);
+    return window.status();
+  }
+  region.host_base = window.value().data();
+  regions_[iova] = region;
+  mru_region_.store(nullptr, std::memory_order_release);
+  return region;
+}
+
 Status DmaSpace::Free(uint64_t iova) {
   auto it = regions_.find(iova);
   if (it == regions_.end()) {
@@ -41,7 +65,9 @@ Status DmaSpace::Free(uint64_t iova) {
   }
   const DmaRegion& region = it->second;
   (void)iommu_->Unmap(source_id_, region.iova, region.bytes);
-  dram_->FreePages(region.paddr, region.bytes / hw::kPageSize);
+  if (!region.external) {
+    dram_->FreePages(region.paddr, region.bytes / hw::kPageSize);
+  }
   regions_.erase(it);
   mru_region_.store(nullptr, std::memory_order_release);
   return Status::Ok();
@@ -87,7 +113,9 @@ Result<uint64_t> DmaSpace::IovaToPaddr(uint64_t iova) const {
 void DmaSpace::ReleaseAll() {
   for (const auto& [iova, region] : regions_) {
     (void)iommu_->Unmap(source_id_, region.iova, region.bytes);
-    dram_->FreePages(region.paddr, region.bytes / hw::kPageSize);
+    if (!region.external) {
+      dram_->FreePages(region.paddr, region.bytes / hw::kPageSize);
+    }
   }
   regions_.clear();
   mru_region_.store(nullptr, std::memory_order_release);

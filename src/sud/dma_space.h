@@ -35,6 +35,9 @@ struct DmaRegion {
   uint64_t paddr = 0;
   uint64_t bytes = 0;
   bool coherent = false;
+  // External regions map DRAM the caller owns (TX grant pages): Free and
+  // ReleaseAll unmap them from the IOMMU but never return the pages.
+  bool external = false;
   // Host pointer to the region's backing DRAM window, resolved once at Alloc
   // so the per-packet HostView is pure pointer arithmetic.
   uint8_t* host_base = nullptr;
@@ -57,7 +60,14 @@ class DmaSpace {
   // attribute on real hardware).
   Result<DmaRegion> Alloc(uint64_t bytes, bool coherent);
 
-  // Frees one region by IOVA (must match an Alloc).
+  // Maps caller-owned DRAM pages (page-aligned `paddr`) into the device's IO
+  // page table READ-ONLY and returns the grant region. This is the sealed TX
+  // path: kernel frag pages become device-readable without a staging copy,
+  // and read-only IS the seal — a driver-directed device write faults. The
+  // pages are not owned: Free unmaps without returning them to DRAM.
+  Result<DmaRegion> MapExternal(uint64_t paddr, uint64_t bytes);
+
+  // Frees one region by IOVA (must match an Alloc or MapExternal).
   Status Free(uint64_t iova);
 
   // The driver's view of a region's memory (host pointer into DRAM).
@@ -78,6 +88,8 @@ class DmaSpace {
 
   const std::map<uint64_t, DmaRegion>& regions() const { return regions_; }
   uint16_t source_id() const { return source_id_; }
+  // The device's IOMMU: the proxy seals/unseals delivered RX pages through it.
+  hw::Iommu* iommu() const { return iommu_; }
   uint64_t total_bytes() const;
 
  private:

@@ -1,12 +1,45 @@
 #include "src/sud/proxy_ethernet.h"
 
+#include <algorithm>
 #include <cstring>
+#include <memory>
 
+#include "src/base/fault_injector.h"
 #include "src/base/log.h"
 #include "src/devices/ether_link.h"
 #include "src/kern/net_limits.h"
 
 namespace sud {
+
+namespace {
+
+// One sealed-TX frame's grant set: the read-only external IOMMU mapping plus
+// the skb whose DRAM frag pages back it. Each grant chunk's release closure
+// holds a shared_ptr, so the group — and with it the mapping and the pages —
+// lives exactly until the driver has freed every chunk (TX reap), however the
+// chunks interleave with other frames. The epoch guard keeps a post-crash
+// destruction (the dead pool's slots being reaped) from touching the
+// successor instance's IO space: quarantined grants unmap nothing, they are
+// already gone with the dead context, and only the kernel pages get reclaimed
+// (by the skb's own release hook).
+struct TxGrantGroup {
+  SudDeviceContext* ctx;
+  uint64_t region_iova;
+  uint32_t epoch;
+  kern::SkbPtr skb;
+
+  TxGrantGroup(SudDeviceContext* ctx, uint64_t region_iova, uint32_t epoch)
+      : ctx(ctx), region_iova(region_iova), epoch(epoch) {}
+  TxGrantGroup(const TxGrantGroup&) = delete;
+  TxGrantGroup& operator=(const TxGrantGroup&) = delete;
+  ~TxGrantGroup() {
+    if (ctx->bind_generation() == epoch) {
+      (void)ctx->dma().Free(region_iova);
+    }
+  }
+};
+
+}  // namespace
 
 EthernetProxy::EthernetProxy(kern::Kernel* kernel, SudDeviceContext* ctx, Options options)
     : kernel_(kernel), ctx_(ctx), options_(options) {
@@ -78,10 +111,39 @@ size_t EthernetProxy::StagedBufferIds(const UchanMsg& msg, int32_t* out) {
   return 0;
 }
 
-Status EthernetProxy::StageXmitChain(const kern::Skb& skb, UchanMsg* msg, uint16_t queue) {
+Status EthernetProxy::StageXmitChain(kern::SkbPtr& skb_ptr, UchanMsg* msg, uint16_t queue) {
+  kern::Skb& skb = *skb_ptr;
   CpuModel& cpu = kernel_->machine().cpu();
   uint32_t buffer_bytes = ctx_->pool().buffer_bytes();
   size_t total = skb.total_len();
+  // Sealed TX: DRAM-backed frags (page-cache pages the kernel owns) cross as
+  // read-only grants — one external mapping spanning the frame's frag pages,
+  // per-chunk grant handles in the ordinary chain records — instead of
+  // staging copies. Read-only IS the seal: a driver-directed device write to
+  // a granted page faults in the IOMMU. A mapping failure degrades to the
+  // counted staging-copy fallback, never a dropped frame.
+  std::shared_ptr<TxGrantGroup> group;
+  uint64_t grant_lo = 0;
+  if (options_.sealed_tx && skb.has_dram_frags()) {
+    uint64_t lo = UINT64_MAX;
+    uint64_t hi = 0;
+    for (size_t i = 0; i < skb.nr_frags(); ++i) {
+      uint64_t paddr = skb.tx_frag_paddr(i);
+      if (paddr == 0) {
+        continue;
+      }
+      lo = std::min(lo, hw::PageAlignDown(paddr));
+      hi = std::max(hi, hw::PageAlignUp(paddr + skb.tx_frag(i).size()));
+    }
+    Result<DmaRegion> region = ctx_->dma().MapExternal(lo, hi - lo);
+    if (region.ok()) {
+      group = std::make_shared<TxGrantGroup>(ctx_, region.value().iova,
+                                             ctx_->bind_generation());
+      grant_lo = lo;
+    } else {
+      stats_.tx_grant_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   // Stage head then frags, chunking every segment by the pool buffer size —
   // per-fragment staging into STANDARD buffers, where the old path memcpy'd
   // the linearized frame into one oversized one. The record list is bounded
@@ -92,8 +154,10 @@ Status EthernetProxy::StageXmitChain(const kern::Skb& skb, UchanMsg* msg, uint16
   std::array<int32_t, kern::kMaxChainFrags> ids;
   std::array<uint32_t, kern::kMaxChainFrags> lens;
   size_t count = 0;
+  size_t copied_bytes = 0;  // bytes that paid a staging memcpy
   Status staging = Status::Ok();
   auto stage_segment = [&](ConstByteSpan segment) {
+    copied_bytes += segment.size();
     size_t off = 0;
     while (off < segment.size() && staging.ok()) {
       if (count >= kern::kMaxChainFrags) {
@@ -125,12 +189,46 @@ Status EthernetProxy::StageXmitChain(const kern::Skb& skb, UchanMsg* msg, uint16
       off += chunk;
     }
   };
+  // Grant staging: same chunking, same records, no memcpy — the handle
+  // resolves (driver-side, unchanged) to the granted IOVA inside the
+  // frame's external mapping.
+  auto grant_segment = [&](ConstByteSpan segment, uint64_t paddr) {
+    size_t off = 0;
+    while (off < segment.size() && staging.ok()) {
+      if (count >= kern::kMaxChainFrags) {
+        stats_.xmit_dropped.fetch_add(1, std::memory_order_relaxed);
+        staging = Status(ErrorCode::kInvalidArgument, "frame exceeds the staging chain cap");
+        return;
+      }
+      size_t chunk = segment.size() - off < buffer_bytes ? segment.size() - off : buffer_bytes;
+      uint64_t iova = group->region_iova + (paddr + off - grant_lo);
+      Result<int32_t> grant_id = ctx_->pool().GrantExternal(
+          iova, static_cast<uint32_t>(chunk), [group]() mutable { group.reset(); });
+      if (!grant_id.ok()) {
+        stats_.xmit_dropped.fetch_add(1, std::memory_order_relaxed);
+        staging = grant_id.status();
+        return;
+      }
+      stats_.tx_grants.fetch_add(1, std::memory_order_relaxed);
+      ids[count] = grant_id.value();
+      lens[count] = static_cast<uint32_t>(chunk);
+      ++count;
+      off += chunk;
+    }
+  };
   stage_segment(skb.span());
   for (size_t i = 0; i < skb.nr_frags() && staging.ok(); ++i) {
-    stage_segment(skb.tx_frag(i));
+    if (group != nullptr && skb.tx_frag_paddr(i) != 0) {
+      grant_segment(skb.tx_frag(i), skb.tx_frag_paddr(i));
+    } else {
+      stage_segment(skb.tx_frag(i));
+    }
   }
   if (!staging.ok()) {
     for (size_t i = 0; i < count; ++i) {
+      // Freeing a minted grant fires its release closure: the group's
+      // refcount unwinds with the ids, and the external mapping dies with
+      // the local reference below.
       ctx_->pool().Free(ids[i]);
     }
     return staging;
@@ -143,13 +241,20 @@ Status EthernetProxy::StageXmitChain(const kern::Skb& skb, UchanMsg* msg, uint16
     // Ablation: model an intermediate bounce buffer (one extra pass).
     cpu.ChargeBytes(kAccountKernel, cpu.costs().per_byte_copy, total);
   }
-  // One staging pass over the frame — the same per-byte cost the linear path
-  // charges, just scattered across the chain's buffers.
-  cpu.ChargeBytes(kAccountKernel, cpu.costs().per_byte_copy, total);
+  // One staging pass over the copied bytes — the same per-byte cost the
+  // linear path charges, just scattered across the chain's buffers. Granted
+  // bytes pay nothing: that is the copy this path deletes.
+  cpu.ChargeBytes(kAccountKernel, cpu.costs().per_byte_copy, copied_bytes);
 
   wire::EncodeXmitChain(queue, ids.data(), lens.data(), count, static_cast<uint32_t>(total),
                         msg);
   stats_.xmit_chain_upcalls.fetch_add(1, std::memory_order_relaxed);
+  if (group != nullptr && count > 0) {
+    // The frag pages must outlive the device's reads: the frame's skb moves
+    // into the grant group and dies when the last grant chunk is freed.
+    group->skb = std::move(skb_ptr);
+    stats_.tx_grant_frames.fetch_add(1, std::memory_order_relaxed);
+  }
   return Status::Ok();
 }
 
@@ -164,11 +269,12 @@ size_t EthernetProxy::StagedChainRecords(const kern::Skb& skb) const {
   return records;
 }
 
-Status EthernetProxy::PrepareXmit(kern::Skb& skb, UchanMsg* msg, uint16_t queue) {
+Status EthernetProxy::PrepareXmit(kern::SkbPtr& skb_ptr, UchanMsg* msg, uint16_t queue) {
+  kern::Skb& skb = *skb_ptr;
   CpuModel& cpu = kernel_->machine().cpu();
   if (!skb.is_linear()) {
     if (driver_sg_ && StagedChainRecords(skb) <= kern::kMaxChainFrags) {
-      return StageXmitChain(skb, msg, queue);
+      return StageXmitChain(skb_ptr, msg, queue);
     }
     // Linearize fallback: non-SG drivers always, and — like the real stack
     // linearizing skbs over MAX_SKB_FRAGS — frames whose fragment geometry
@@ -190,7 +296,7 @@ Status EthernetProxy::PrepareXmit(kern::Skb& skb, UchanMsg* msg, uint16_t queue)
   if (skb.data_len() > ctx_->pool().buffer_bytes()) {
     if (driver_sg_) {
       // A linear frame larger than one buffer still chains for an SG driver.
-      return StageXmitChain(skb, msg, queue);
+      return StageXmitChain(skb_ptr, msg, queue);
     }
     // Never truncate: a frame one staging buffer cannot hold is dropped
     // whole (only reachable by handing the interface frames above its MTU —
@@ -235,7 +341,7 @@ Status EthernetProxy::StartXmit(kern::SkbPtr skb) {
   uint16_t queue =
       netdev_ != nullptr ? kern::FlowQueue(skb->span(), netdev_->num_queues()) : 0;
   UchanMsg msg;
-  SUD_RETURN_IF_ERROR(PrepareXmit(*skb, &msg, queue));
+  SUD_RETURN_IF_ERROR(PrepareXmit(skb, &msg, queue));
   // The ring consumes msg; keep just the ids for the failure path.
   int32_t staged[kern::kMaxChainFrags];
   size_t staged_count = StagedBufferIds(msg, staged);
@@ -265,7 +371,7 @@ size_t EthernetProxy::StartXmitBatch(std::vector<kern::SkbPtr> skbs, uint16_t qu
   Status staging = Status::Ok();
   for (kern::SkbPtr& skb : skbs) {
     UchanMsg msg;
-    staging = PrepareXmit(*skb, &msg, queue);
+    staging = PrepareXmit(skb, &msg, queue);
     if (!staging.ok()) {
       break;  // pool exhausted: the tail of the burst is dropped
     }
@@ -351,9 +457,11 @@ void EthernetProxy::OnDriverRestart() {
   // the dedup watermarks must restart with them.
   last_rx_seq_.fill(0);
   for (auto& bundle : rx_bundle_) {
-    // Guard-copied packets whose NAPI flush died with the driver: dropping
-    // them here is part of the bounded, counted crash loss (the copies are
-    // private skbs — nothing references the dead epoch's shared buffers).
+    // Packets whose NAPI flush died with the driver: dropping them here is
+    // part of the bounded, counted crash loss. Guard copies are private
+    // skbs; sealed (extern) skbs fire their release hooks right here, and
+    // the epoch guard in ReleaseSealedPages turns each into a counted
+    // quarantine instead of an unseal into the dead context's IO space.
     bundle.clear();
   }
 }
@@ -570,8 +678,21 @@ void EthernetProxy::HandleNetifRx(UchanMsg& msg, uint16_t shard) {
   ByteSpan shared = buffer.value();
   CpuModel& cpu = kernel_->machine().cpu();
 
+  bool force_guard = false;
+  if (options_.sealed_delivery) {
+    if (TrySealedDeliver(iova, shared, shard)) {
+      msg.error = 0;  // rejection by checksum is not a downcall failure
+      return;
+    }
+    // The seal did not happen (unaligned buffer, injected or genuine
+    // failure): degrade to the guard copy — counted, and FORCED even in the
+    // vulnerable ablation, so a failed seal never turns into an unverified
+    // shared-byte delivery.
+    stats_.sealed_fallback_copies.fetch_add(1, std::memory_order_relaxed);
+    force_guard = true;
+  }
   kern::SkbPtr skb;
-  if (options_.guard_copy) {
+  if (options_.guard_copy || force_guard) {
     // Safe ordering: copy out of shared memory *first*, then let the stack
     // filter the private copy. The copy is fused with the checksum pass both
     // in the model (one charged pass, Section 3.1.2) and on the simulator's
@@ -620,6 +741,87 @@ void EthernetProxy::HandleNetifRx(UchanMsg& msg, uint16_t shard) {
     }
     msg.error = 0;
     return;
+  }
+}
+
+bool EthernetProxy::TrySealedDeliver(uint64_t iova, ByteSpan shared, uint16_t shard) {
+  // Page-granular revocation needs page-isolated RX buffers: a seal covering
+  // a neighbouring in-flight buffer's bytes would block the device's own
+  // writes to it. Only page-aligned deliveries qualify (the single-queue
+  // 16 KB arena layout; an 8-queue arena's 2 KB buffers never will).
+  if (!hw::IsPageAligned(iova)) {
+    return false;
+  }
+  // Injected seal failure (fault site "iommu.seal"): nothing sealed, nothing
+  // delivered — the caller degrades to the counted guard-copy fallback.
+  if (SUD_FAULT_POINT("iommu.seal")) {
+    return false;
+  }
+  hw::Iommu* iommu = ctx_->dma().iommu();
+  uint16_t source = ctx_->source_id();
+  uint32_t epoch = ctx_->bind_generation();
+  uint64_t len = hw::PageAlignUp(shared.size());
+  {
+    std::lock_guard<std::mutex> lock(seal_mu_);
+    Status sealed = iommu->SealWrite(source, iova, len);
+    if (!sealed.ok()) {
+      return false;
+    }
+    for (uint64_t off = 0; off < len; off += hw::kPageSize) {
+      SealRef& ref = sealed_pages_[iova + off];
+      ++ref.refs;
+      ref.epoch = epoch;
+    }
+  }
+  auto skb = std::make_unique<kern::Skb>();
+  skb->AssignExtern(shared.data(), shared.size(),
+                    [this, iova, len, epoch] { ReleaseSealedPages(iova, len, epoch); });
+  if (toctou_hook_) {
+    // The verdict window, adversarially: the attacker fires its rewrite NOW,
+    // between the seal and the checksum — and hits the seal instead of the
+    // verdict. (The guard-copy path survives this by owning a copy; this
+    // path survives it by revocation.)
+    toctou_hook_(shared);
+  }
+  // Verify the transport checksum IN PLACE over the sealed bytes. The seal
+  // replaces the private copy as the TOCTOU guarantee, so the charged pass
+  // is checksum-only — exactly what the fused guard copy charged. The copy
+  // itself is what this path deletes.
+  bool checksum_ok = skb->VerifyChecksumPrivate();
+  CpuModel& cpu = kernel_->machine().cpu();
+  cpu.ChargeBytes(kAccountKernel, cpu.costs().per_byte_checksum, shared.size());
+  stats_.sealed_deliveries.fetch_add(1, std::memory_order_relaxed);
+  size_t frame_bytes = skb->data_len();
+  FinishRxSkb(std::move(skb), checksum_ok, frame_bytes, shard);
+  return true;
+}
+
+void EthernetProxy::ReleaseSealedPages(uint64_t base, uint64_t len, uint32_t epoch) {
+  std::lock_guard<std::mutex> lock(seal_mu_);
+  for (uint64_t off = 0; off < len; off += hw::kPageSize) {
+    uint64_t page = base + off;
+    auto it = sealed_pages_.find(page);
+    if (it == sealed_pages_.end() || it->second.epoch != epoch) {
+      continue;  // a fresh epoch owns this page now; not ours to touch
+    }
+    if (--it->second.refs > 0) {
+      continue;  // another live skb still references the page
+    }
+    sealed_pages_.erase(it);
+    if (ctx_->bind_generation() != epoch) {
+      // The epoch quarantine, extended to seals: this skb outlived its
+      // driver instance. The dead context's IO space is already reclaimed
+      // (or a successor's is live in its place) — crash-reap never unseals
+      // across the epoch.
+      stats_.sealed_quarantined.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Status unsealed = ctx_->dma().iommu()->UnsealWrite(ctx_->source_id(), page, hw::kPageSize);
+    if (!unsealed.ok()) {
+      // Same-generation teardown window (driver killed, successor not yet
+      // bound): the IOMMU context is gone and the page leaves quarantined.
+      stats_.sealed_quarantined.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -717,7 +919,23 @@ void EthernetProxy::DeliverRxBundle(uint16_t shard) {
   std::vector<kern::SkbPtr> bundle;
   bundle.swap(rx_bundle_[shard]);
   stats_.rx_bundles.fetch_add(1, std::memory_order_relaxed);
+  if (hold_rx_.load(std::memory_order_relaxed)) {
+    // Test seam: the modeled socket queue retains the delivery — sealed skbs
+    // stay alive (and their pages sealed) past this kernel entry.
+    std::lock_guard<std::mutex> lock(hold_mu_);
+    for (kern::SkbPtr& skb : bundle) {
+      held_rx_.push_back(std::move(skb));
+    }
+    return;
+  }
   (void)kernel_->net().NetifRxBatch(netdev_, std::move(bundle), shard);
+  if (options_.sealed_delivery) {
+    // Skbs died inside the batch; their unseals queued their IOTLB
+    // invalidations (when the IOMMU batches). One sync here amortizes the
+    // shootdown over the whole NAPI bundle — the Section 6 answer to the
+    // per-packet invalidation cost that made the paper pick the copy.
+    ctx_->dma().iommu()->SyncInvalidations();
+  }
 }
 
 }  // namespace sud

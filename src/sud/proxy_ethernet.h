@@ -44,6 +44,8 @@
 #include <array>
 #include <atomic>
 #include <functional>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -61,6 +63,18 @@ class EthernetProxy : public kern::NetDeviceOps {
     bool zero_copy = true;
     bool guard_copy = true;
     bool fuse_guard_with_checksum = true;
+    // Sealed zero-copy verified delivery (the revocation alternative the
+    // paper priced out of reach, Section 3.1.2): on netif_rx the proxy
+    // write-seals the buffer's pages in the IOMMU, verifies the transport
+    // checksum IN PLACE over the sealed bytes, and hands the stack an skb
+    // referencing the shared region — no guard copy. The pages unseal when
+    // the skb dies. Only page-aligned deliveries (a page-isolated RX arena,
+    // e.g. the single-queue 16 KB layout) qualify; everything else — and any
+    // seal failure — degrades to the counted guard-copy fallback.
+    bool sealed_delivery = false;
+    // TX mirror: DRAM-backed skb frags (page-cache model) arm descriptors
+    // through read-only IOMMU grants instead of staging copies into the pool.
+    bool sealed_tx = false;
     // Consecutive full-ring transmissions before the driver is reported hung.
     uint32_t hung_threshold = 8;
   };
@@ -112,6 +126,21 @@ class EthernetProxy : public kern::NetDeviceOps {
     std::atomic<uint64_t> free_batches{0};      // coalesced free-buffer messages
     std::atomic<uint64_t> hung_reports{0};
     std::atomic<uint64_t> guard_copies{0};
+    // Frames delivered by reference under an IOMMU write seal (no copy).
+    std::atomic<uint64_t> sealed_deliveries{0};
+    // Deliveries that wanted the sealed path but fell back to the guard copy
+    // (unaligned buffer, injected or genuine seal failure): counted so a
+    // "zero-copy" configuration silently copying is visible.
+    std::atomic<uint64_t> sealed_fallback_copies{0};
+    // Sealed pages whose skb outlived its driver instance: the epoch guard
+    // kept crash-reap from unsealing into a dead (or successor) IO space.
+    std::atomic<uint64_t> sealed_quarantined{0};
+    // TX grant chunks minted (descriptors armed straight from kernel pages).
+    std::atomic<uint64_t> tx_grants{0};
+    // Frames whose DRAM frags crossed as grants instead of staging copies.
+    std::atomic<uint64_t> tx_grant_frames{0};
+    // Frames that wanted TX grants but staged copies (mapping failure).
+    std::atomic<uint64_t> tx_grant_fallbacks{0};
   };
   const Stats& stats() const { return stats_; }
 
@@ -127,6 +156,19 @@ class EthernetProxy : public kern::NetDeviceOps {
   using ToctouHook = std::function<void(ByteSpan shared_buffer)>;
   void set_toctou_hook(ToctouHook hook) { toctou_hook_ = std::move(hook); }
 
+  // Test seam modelling a socket queue that retains delivered skbs: while
+  // set, rx bundles park in a held list instead of entering the stack, so a
+  // sealed delivery can stay alive across a driver crash. TakeHeldRx hands
+  // the held skbs back (dropping the result releases/unseals them — outside
+  // any proxy lock).
+  void set_hold_rx_for_test(bool hold) { hold_rx_.store(hold, std::memory_order_relaxed); }
+  std::vector<kern::SkbPtr> TakeHeldRx() {
+    std::lock_guard<std::mutex> lock(hold_mu_);
+    std::vector<kern::SkbPtr> held;
+    held.swap(held_rx_);
+    return held;
+  }
+
  private:
   void HandleDowncall(UchanMsg& msg, uint16_t shard);
   // Structural rejection: counts the message in wire_rejects_ and applies the
@@ -141,6 +183,17 @@ class EthernetProxy : public kern::NetDeviceOps {
   // when the message is already fully handled (dup or no netdev).
   bool RxDowncallProlog(UchanMsg& msg, uint16_t shard, bool chain);
   void HandleNetifRx(UchanMsg& msg, uint16_t shard);
+  // The sealed zero-copy delivery attempt: write-seal the buffer's pages,
+  // verify the checksum in place, hand the stack an extern skb whose death
+  // unseals. Returns false (nothing delivered, nothing sealed) when the
+  // delivery does not qualify or the seal fails — the caller falls back to
+  // the guard copy.
+  bool TrySealedDeliver(uint64_t iova, ByteSpan shared, uint16_t shard);
+  // Extern-skb death hook: drops the seal ledger references for the skb's
+  // pages and unseals the ones whose last reference this was — unless the
+  // bind generation moved on (crash-reap quarantine: never unseal a dead
+  // epoch's page into a successor's IO space).
+  void ReleaseSealedPages(uint64_t base, uint64_t len, uint32_t epoch);
   // netif_rx for an EOP-chained frame: re-validates the fragment list
   // (count, addresses, total) and guard-copies fragment-by-fragment into ONE
   // private skb before any verdict.
@@ -154,11 +207,15 @@ class EthernetProxy : public kern::NetDeviceOps {
   // SG frag skbs, and the linearize fallback (an extra charged full-frame
   // copy) for frag skbs headed at a non-SG driver. On failure the hung-driver
   // accounting has already been applied and nothing stays allocated.
-  Status PrepareXmit(kern::Skb& skb, UchanMsg* msg, uint16_t queue);
+  // Takes the skb by owning pointer: the sealed-TX path moves it into the
+  // frame's grant group (its DRAM frag pages must outlive the device's
+  // reads); every other path leaves it with the caller.
+  Status PrepareXmit(kern::SkbPtr& skb, UchanMsg* msg, uint16_t queue);
   // Stages one frame across per-fragment pool buffers as a kEthUpXmitChain
   // message: head and frags chunked by the pool buffer size, bounded by
-  // kern::kMaxChainFrags.
-  Status StageXmitChain(const kern::Skb& skb, UchanMsg* msg, uint16_t queue);
+  // kern::kMaxChainFrags. Under sealed_tx, DRAM-backed frags cross as
+  // read-only grants instead of staged copies (same records, no memcpy).
+  Status StageXmitChain(kern::SkbPtr& skb, UchanMsg* msg, uint16_t queue);
   // Extracts every pool buffer id a staged xmit message references (the
   // single buffer_id, or the chain's whole record list) into `out`, which
   // must hold kern::kMaxChainFrags entries; returns how many. The failure
@@ -183,6 +240,29 @@ class EthernetProxy : public kern::NetDeviceOps {
   // in the marshalled feature bits): selects chain staging vs linearize.
   bool driver_sg_ = false;
   std::atomic<uint32_t> consecutive_full_{0};
+  Stats stats_;
+  wire::RejectStats wire_rejects_;
+  ToctouHook toctou_hook_;
+  // One sealed RX page: how many live extern skbs reference it, and the bind
+  // generation it was sealed under. Refcounted because a malicious driver
+  // can deliver the same buffer twice (fresh seqs): the seal is idempotent
+  // and the page must stay sealed until the LAST referencing skb dies.
+  struct SealRef {
+    uint32_t refs = 0;
+    uint32_t epoch = 0;
+  };
+  // Guards the seal ledger. Skb release hooks run on the shard pump threads
+  // (end-of-entry bundle delivery), the supervisor's restart path and test
+  // teardown; the ledger is the one structure they all touch.
+  std::mutex seal_mu_;
+  std::map<uint64_t, SealRef> sealed_pages_;  // keyed by page address (iova)
+  std::atomic<bool> hold_rx_{false};
+  std::mutex hold_mu_;
+  // NOTE: every member an extern skb's release hook touches (stats_, the
+  // seal ledger, ctx_) is declared ABOVE the containers that may still hold
+  // such skbs at destruction (held_rx_, rx_bundle_), so the hooks fire while
+  // those members are alive.
+  std::vector<kern::SkbPtr> held_rx_;
   // Guard-copied packets awaiting the end-of-entry NetifRxBatch delivery,
   // one bundle per queue (only ever touched from that shard's pump thread).
   std::array<std::vector<kern::SkbPtr>, kSudMaxQueues> rx_bundle_;
@@ -192,9 +272,6 @@ class EthernetProxy : public kern::NetDeviceOps {
   // from that shard's pump thread; reset (with the fresh uchan's seq space)
   // on driver restart.
   std::array<uint64_t, kSudMaxQueues> last_rx_seq_{};
-  Stats stats_;
-  wire::RejectStats wire_rejects_;
-  ToctouHook toctou_hook_;
 };
 
 }  // namespace sud

@@ -37,6 +37,14 @@ Status SharedBufferPool::Init() {
   for (int32_t index = static_cast<int32_t>(count_) - 1; index >= 0; --index) {
     free_list_.push_back(index);
   }
+  // Grant slots live in the index space above the staged buffers.
+  uint32_t grant_count = kMaxBuffers - count_;
+  grant_slots_.assign(grant_count, GrantSlot{});
+  grant_gen_.assign(grant_count, 1);
+  grant_free_.reserve(grant_count);
+  for (uint32_t slot = grant_count; slot > 0; --slot) {
+    grant_free_.push_back(slot - 1);
+  }
   initialized_ = true;
   return Status::Ok();
 }
@@ -58,10 +66,43 @@ int32_t SharedBufferPool::ValidateLocked(int32_t id, bool* stale_epoch) const {
     }
     return -1;
   }
-  if (index >= count_ || gen != gen_[index]) {
+  if (index >= count_) {
+    // Grant slot: active and its persistent generation current.
+    uint32_t slot = index - count_;
+    if (slot >= grant_slots_.size() || !grant_slots_[slot].active || gen != grant_gen_[slot]) {
+      return -1;
+    }
+    return static_cast<int32_t>(index);
+  }
+  if (gen != gen_[index]) {
     return -1;
   }
   return static_cast<int32_t>(index);
+}
+
+Result<int32_t> SharedBufferPool::GrantExternal(uint64_t iova, uint32_t len,
+                                                std::function<void()> release) {
+  if (!initialized_) {
+    return Status(ErrorCode::kUnavailable, "pool not initialized");
+  }
+  if (len == 0 || len > buffer_bytes_) {
+    // The driver-side semantic check bounds every fragment by one staging
+    // buffer; a grant that couldn't pass it would be armed nowhere.
+    return Status(ErrorCode::kInvalidArgument, "grant length exceeds buffer size");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (grant_free_.empty()) {
+    return Status(ErrorCode::kExhausted, "grant slots exhausted");
+  }
+  uint32_t slot = grant_free_.back();
+  grant_free_.pop_back();
+  GrantSlot& grant = grant_slots_[slot];
+  grant.iova = iova;
+  grant.len = len;
+  grant.active = true;
+  grant.release = std::move(release);
+  ++active_grants_;
+  return EncodeGrantLocked(count_ + slot);
 }
 
 Result<int32_t> SharedBufferPool::Alloc() {
@@ -87,25 +128,48 @@ Result<int32_t> SharedBufferPool::Alloc() {
 }
 
 void SharedBufferPool::Free(int32_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  bool stale_epoch = false;
-  int32_t index = ValidateLocked(id, &stale_epoch);
-  if (index < 0 || !allocated_[index]) {
-    ++double_frees_;
-    if (stale_epoch) {
-      ++stale_frees_;
+  std::function<void()> release;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool stale_epoch = false;
+    int32_t index = ValidateLocked(id, &stale_epoch);
+    if (index < 0 || (index < static_cast<int32_t>(count_) && !allocated_[index])) {
+      ++double_frees_;
+      if (stale_epoch) {
+        ++stale_frees_;
+      }
+      return;
     }
-    return;
+    if (index >= static_cast<int32_t>(count_)) {
+      // Grant retired: bump the slot's persistent generation (replay of this
+      // id is a counted rejection forever) and fire the release hook outside
+      // the lock — it re-enters the proxy (unseal, unmap, skb destruction).
+      uint32_t slot = static_cast<uint32_t>(index) - count_;
+      GrantSlot& grant = grant_slots_[slot];
+      release = std::move(grant.release);
+      grant = GrantSlot{};
+      grant_gen_[slot] = (grant_gen_[slot] + 1) & kGenMask;
+      if (grant_gen_[slot] == 0) {
+        grant_gen_[slot] = 1;
+      }
+      grant_free_.push_back(slot);
+      --active_grants_;
+    } else {
+      allocated_[index] = false;
+      --allocated_count_;
+      // Retire the handle: the generation moves on, so replaying this id —
+      // even after the buffer is reallocated — is a counted rejection, not a
+      // free.
+      gen_[index] = (gen_[index] + 1) & kGenMask;
+      if (gen_[index] == 0) {
+        gen_[index] = 1;
+      }
+      free_list_.push_back(index);
+    }
   }
-  allocated_[index] = false;
-  --allocated_count_;
-  // Retire the handle: the generation moves on, so replaying this id — even
-  // after the buffer is reallocated — is a counted rejection, not a free.
-  gen_[index] = (gen_[index] + 1) & kGenMask;
-  if (gen_[index] == 0) {
-    gen_[index] = 1;
+  if (release) {
+    release();
   }
-  free_list_.push_back(index);
 }
 
 Result<ByteSpan> SharedBufferPool::Buffer(int32_t id) {
@@ -114,7 +178,8 @@ Result<ByteSpan> SharedBufferPool::Buffer(int32_t id) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   int32_t index = ValidateLocked(id);
-  if (index < 0) {
+  if (index < 0 || index >= static_cast<int32_t>(count_)) {
+    // Grants have no pool-side storage to expose.
     return Status(ErrorCode::kInvalidArgument, "bad buffer id");
   }
   return ByteSpan(host_base_ + static_cast<uint64_t>(index) * buffer_bytes_, buffer_bytes_);
@@ -129,6 +194,9 @@ Result<uint64_t> SharedBufferPool::BufferIova(int32_t id) const {
   if (index < 0) {
     return Status(ErrorCode::kInvalidArgument, "bad buffer id");
   }
+  if (index >= static_cast<int32_t>(count_)) {
+    return grant_slots_[static_cast<uint32_t>(index) - count_].iova;
+  }
   return region_.iova + static_cast<uint64_t>(index) * buffer_bytes_;
 }
 
@@ -138,7 +206,7 @@ Result<uint64_t> SharedBufferPool::BufferPaddr(int32_t id) const {
   }
   std::lock_guard<std::mutex> lock(mu_);
   int32_t index = ValidateLocked(id);
-  if (index < 0) {
+  if (index < 0 || index >= static_cast<int32_t>(count_)) {
     return Status(ErrorCode::kInvalidArgument, "bad buffer id");
   }
   return region_.paddr + static_cast<uint64_t>(index) * buffer_bytes_;

@@ -21,6 +21,7 @@
 #define SUD_SRC_SUD_SHARED_POOL_H_
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -60,6 +61,22 @@ class SharedBufferPool {
   // (a malicious driver shouldn't corrupt the free list).
   void Free(int32_t id);
 
+  // TX grant: hands out a handle for a device-readable EXTERNAL range (a
+  // sealed kernel frag page the DmaSpace mapped read-only) from the index
+  // space above `count()`. A grant rides the same wire records, the same
+  // epoch/generation validation and the same free downcall as a staged
+  // buffer — the driver cannot tell the difference — but BufferIova resolves
+  // to the granted IOVA instead of pool storage, so descriptors arm straight
+  // from the sealed page with no staging copy. `len` must fit one staging
+  // buffer (the driver-side per-fragment bound). `release` fires after the
+  // grant's free is accepted, outside the pool lock.
+  Result<int32_t> GrantExternal(uint64_t iova, uint32_t len, std::function<void()> release);
+  // Grants currently outstanding (also included in outstanding()).
+  uint32_t active_grants() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return active_grants_;
+  }
+
   // Full handle validation: index in range, generation current, epoch ours.
   bool IsValidId(int32_t id) const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -72,11 +89,11 @@ class SharedBufferPool {
     std::lock_guard<std::mutex> lock(mu_);
     return static_cast<uint32_t>(free_list_.size());
   }
-  // Buffers currently handed out (the in-flight TX staging a crash strands:
-  // what Teardown quarantines).
+  // Buffers currently handed out, grants included (the in-flight TX staging
+  // a crash strands: what Teardown quarantines).
   uint32_t outstanding() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return allocated_count_;
+    return allocated_count_ + active_grants_;
   }
   // Every rejected free (double frees, garbage, stale handles).
   uint64_t double_frees() const {
@@ -115,9 +132,22 @@ class SharedBufferPool {
     return static_cast<int32_t>(index | (gen_[index] << kIndexBits) |
                                 (epoch_ << (kIndexBits + kGenBits)));
   }
-  // Returns the buffer index, or -1 if the handle is garbage/stale. Sets
-  // `*stale_epoch` when the failure is specifically a dead pool epoch.
+  int32_t EncodeGrantLocked(uint32_t index) const {
+    return static_cast<int32_t>(index | (grant_gen_[index - count_] << kIndexBits) |
+                                (epoch_ << (kIndexBits + kGenBits)));
+  }
+  // Returns the buffer index (grant indices included, >= count_), or -1 if
+  // the handle is garbage/stale. Sets `*stale_epoch` when the failure is
+  // specifically a dead pool epoch.
   int32_t ValidateLocked(int32_t id, bool* stale_epoch = nullptr) const;
+
+  // One grant slot; slot s backs pool index count_ + s.
+  struct GrantSlot {
+    uint64_t iova = 0;
+    uint32_t len = 0;
+    bool active = false;
+    std::function<void()> release;
+  };
 
   DmaSpace* dma_;
   uint32_t count_;
@@ -131,6 +161,10 @@ class SharedBufferPool {
   std::vector<int32_t> free_list_;
   std::vector<bool> allocated_;
   std::vector<uint32_t> gen_;  // per-buffer generation, 1..kGenMask
+  std::vector<GrantSlot> grant_slots_;   // indices [count_, kMaxBuffers)
+  std::vector<uint32_t> grant_gen_;      // persistent per-slot generation
+  std::vector<uint32_t> grant_free_;     // free slot offsets
+  uint32_t active_grants_ = 0;
   uint32_t allocated_count_ = 0;
   uint64_t double_frees_ = 0;
   uint64_t stale_frees_ = 0;

@@ -7,6 +7,7 @@
 #ifndef SUD_TESTS_HARNESS_H_
 #define SUD_TESTS_HARNESS_H_
 
+#include <cstring>
 #include <memory>
 
 #include "src/devices/ether_link.h"
@@ -44,6 +45,43 @@ struct WireRecorder : devices::EtherEndpoint {
     return true;
   }
 };
+
+// Builds a frag skb whose payload fragments are DRAM-BACKED (the page-cache
+// shape a sendfile-style transmit produces): `head_len` bytes stay in the
+// linear head, the remainder is written ONCE into a contiguous DRAM block and
+// referenced — not copied — in `frag_len`-sized fragments carrying their
+// physical addresses. Under EthernetProxy::Options::sealed_tx these frags
+// cross as read-only IOMMU grants with zero staging copies. The skb's release
+// hook frees the pages at death (after TX reap frees the last grant chunk).
+// Returns nullptr when DRAM is exhausted.
+inline kern::SkbPtr MakeDramFragSkb(hw::PhysicalMemory& dram, ConstByteSpan frame,
+                                    size_t head_len, size_t frag_len) {
+  if (head_len >= frame.size() || frag_len == 0) {
+    return kern::MakeSkb(frame);
+  }
+  size_t body = frame.size() - head_len;
+  uint64_t pages = hw::PageAlignUp(body) / hw::kPageSize;
+  Result<uint64_t> paddr = dram.AllocPages(pages);
+  if (!paddr.ok()) {
+    return nullptr;
+  }
+  Result<ByteSpan> window = dram.Window(paddr.value(), body);
+  if (!window.ok()) {
+    dram.FreePages(paddr.value(), pages);
+    return nullptr;
+  }
+  std::memcpy(window.value().data(), frame.data() + head_len, body);
+  auto skb = std::make_unique<kern::Skb>(frame.subspan(0, head_len));
+  for (size_t off = 0; off < body; off += frag_len) {
+    size_t chunk = body - off < frag_len ? body - off : frag_len;
+    skb->AppendDramFrag(paddr.value() + off,
+                        ConstByteSpan(window.value().data() + off, chunk));
+  }
+  hw::PhysicalMemory* dram_ptr = &dram;
+  uint64_t base = paddr.value();
+  skb->set_release([dram_ptr, base, pages] { dram_ptr->FreePages(base, pages); });
+  return skb;
+}
 
 // A machine with one switch, the SUT NIC and a trusted peer NIC linked by
 // Gigabit Ethernet. The SUT runs under SUD (untrusted driver process); the
@@ -245,6 +283,25 @@ class NetBench {
     for (int i = 0; i < count; ++i) {
       skbs.push_back(kern::MakeFragSkb(ConstByteSpan(frame.data(), frame.size()),
                                        head_len, frag_len));
+    }
+    return kernel.net().TransmitBatch(SutIfname(), std::move(skbs)).status();
+  }
+
+  // Like SutSendFragBurst, but the fragments are DRAM-backed page-cache
+  // pages (MakeDramFragSkb): the sealed-TX grant shape. Frames too large for
+  // DRAM are reported, never silently truncated.
+  Status SutSendDramFragBurst(uint16_t src_port, uint16_t dst_port, ConstByteSpan payload,
+                              int count, size_t head_len = 128, size_t frag_len = 2048) {
+    auto frame = kern::BuildPacket(kMacB, kMacA, src_port, dst_port, payload);
+    std::vector<kern::SkbPtr> skbs;
+    skbs.reserve(count);
+    for (int i = 0; i < count; ++i) {
+      kern::SkbPtr skb = MakeDramFragSkb(machine.dram(), ConstByteSpan(frame.data(), frame.size()),
+                                         head_len, frag_len);
+      if (skb == nullptr) {
+        return Status(ErrorCode::kExhausted, "dram exhausted building frag skbs");
+      }
+      skbs.push_back(std::move(skb));
     }
     return kernel.net().TransmitBatch(SutIfname(), std::move(skbs)).status();
   }
