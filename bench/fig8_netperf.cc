@@ -510,6 +510,154 @@ Row RunUdpRr(bool is_sud) {
   return row;
 }
 
+// Whether every ITR row delivered all its traffic (exit-gated in main: a
+// moderation wedge — a deferred MSI that never flushes — must fail CI, not
+// just skew a number).
+bool g_itr_rows_complete = true;
+
+// UDP_RR under per-queue interrupt moderation (EITR = `itr_units` * 256ns).
+// Same one-in-flight client as RunUdpRr; the serving loop additionally runs
+// SimNic::Tick so moderation windows expire and deferred MSIs flush (the
+// plain RR loop never ticks the NIC — with EITR armed it would wedge).
+//
+// HONEST ACCOUNTING: moderation helps floods (see RunUdpRxItrFlood) and
+// hurts one-in-flight latency. A request landing inside a closed window
+// waits, on average, half the window for its deferred MSI, so the modeled
+// RTT gains itr_units * kNicItrUnitNs / 2 — a modeled penalty (the
+// simulator's Tick is not a clock), recorded as such.
+Row RunUdpRrItr(uint32_t itr_units) {
+  Config config = Config::Make(true);
+  NetBench& bench = *config.bench;
+  if (bench.sut_driver != nullptr) {
+    (void)bench.sut_driver->ProgramItr(itr_units);
+  }
+  bench.machine.cpu().Reset();
+  Config::DescSnapshot desc_base = config.SnapDesc();
+  WallTimer timer;
+
+  std::vector<uint8_t> payload(kUdpPayload, 0x33);
+  kern::NetDevice* netdev = bench.kernel.net().Find(bench.SutIfname());
+  int requests = 0;
+  netdev->set_rx_sink([&](const kern::Skb&) { ++requests; });
+
+  std::atomic<uint64_t> served{0};
+  devices::EtherLink::RrFlow client;
+  client.request = kern::BuildPacket(kMacA, kMacB, 7001, 7002,
+                                     {payload.data(), payload.size()});
+  client.transactions = kRrTransactions;
+  client.replies = [&served]() { return served.load(std::memory_order_acquire); };
+  uint64_t requests_base = bench.link.stats().frames[1].load();
+  bench.link.StartRrPeers({std::move(client)}, /*side=*/1);
+
+  for (int txn = 0; txn < kRrTransactions; ++txn) {
+    while (bench.link.stats().frames[1].load() < requests_base + txn + 1) {
+      std::this_thread::yield();
+    }
+    // The request's MSI may be parked behind a moderation window: tick the
+    // NIC until the window expires and the deferred interrupt delivers it
+    // (each Tick advances kNicItrUnitsPerTick of the window). Bounded so a
+    // wedge fails visibly instead of hanging the bench.
+    config.Pump();
+    for (int guard = 0; requests <= txn && guard < 64; ++guard) {
+      bench.sut_nic.Tick();
+      config.Pump();
+    }
+    auto reply = kern::BuildPacket(kMacB, kMacA, 7002, 7001,
+                                   {payload.data(), payload.size()});
+    (void)bench.kernel.net().Transmit(netdev,
+                                      kern::MakeSkb({reply.data(), reply.size()}));
+    config.Pump();
+    bench.sut_nic.Tick();  // let the TX-reap side's window expire too
+    served.store(static_cast<uint64_t>(txn) + 1, std::memory_order_release);
+  }
+  bench.link.JoinPeers();
+  if (requests != kRrTransactions) {
+    std::fprintf(stderr, "FAIL: UDP_RR ITR=%u served %d/%d requests\n", itr_units, requests,
+                 kRrTransactions);
+    g_itr_rows_complete = false;
+  }
+
+  double cpu_ns = TotalCpu(bench);
+  double server_ns_per_txn = cpu_ns / kRrTransactions;
+  double itr_wait_ns = itr_units * devices::kNicItrUnitNs / 2.0;  // modeled
+  double rtt_ns = kRrClientBaseNs + server_ns_per_txn / 2.0 + itr_wait_ns;
+  double tps = 1e9 / rtt_ns;
+  char test[32];
+  std::snprintf(test, sizeof(test), "UDP_RR ITR%u", itr_units);
+  Row row{test, config.name(), tps, "Tx/sec", 100.0 * server_ns_per_txn / rtt_ns, 0.0, 0.0};
+  config.FillUchanCounters(&row, 2 * kRrTransactions);
+  config.FillDescCounters(&row, 2 * kRrTransactions, desc_base);
+  row.sim_wall_us = timer.ElapsedUs();
+  std::printf("  [%s] suppressed=%llu modeled_itr_wait=%.0fns\n", test,
+              static_cast<unsigned long long>(bench.sut_nic.stats().itr_suppressed.load()),
+              itr_wait_ns);
+  return row;
+}
+
+// The other side of the tradeoff: a 4-queue UDP receive flood, measured by
+// interrupts per packet. With EITR armed, bursts landing inside an open
+// window coalesce onto one deferred MSI per window per queue, cutting the
+// per-packet interrupt-entry charge that dominates small-packet RX CPU.
+Row RunUdpRxItrFlood(uint32_t itr_units) {
+  constexpr int kFloodPackets = 20000;
+  NetBench::Options options;
+  options.nic_queues = 4;
+  NetBench bench(options);
+  Status status = bench.StartSut();
+  if (!status.ok()) {
+    std::fprintf(stderr, "sut start failed: %s\n", status.ToString().c_str());
+  }
+  bench.MaskPeerIrq();
+  if (bench.sut_driver != nullptr) {
+    (void)bench.sut_driver->ProgramItr(itr_units);
+  }
+  bench.machine.cpu().Reset();
+  WallTimer timer;
+
+  std::vector<uint8_t> payload(kUdpPayload, 0x22);
+  kern::NetDevice* netdev = bench.kernel.net().Find(bench.SutIfname());
+  uint64_t irq_base = bench.kernel.interrupts_handled();
+  for (int sent = 0; sent < kFloodPackets; sent += 16) {
+    (void)bench.PeerSendFlowBurst(5100, 5001, {payload.data(), payload.size()}, 16, 16);
+    bench.host->Pump();
+    bench.sut_nic.Tick();
+  }
+  for (int drain = 0; drain < 16; ++drain) {  // flush trailing deferred MSIs
+    bench.sut_nic.Tick();
+    bench.host->Pump();
+  }
+  uint64_t delivered = netdev->stats().rx_packets.load();
+  uint64_t irqs = bench.kernel.interrupts_handled() - irq_base;
+  uint64_t suppressed = bench.sut_nic.stats().itr_suppressed.load();
+  if (delivered != static_cast<uint64_t>(kFloodPackets)) {
+    std::fprintf(stderr, "FAIL: UDP RX flood ITR=%u delivered %llu/%d\n", itr_units,
+                 static_cast<unsigned long long>(delivered), kFloodPackets);
+    g_itr_rows_complete = false;
+  }
+
+  // Modeled exactly like RunUdpRx: the sender's rate bounds the test unless
+  // the per-packet rx path (now with fewer interrupt entries) is worse.
+  double sender_rate_pps = 240000.0;
+  double kernel_ns = static_cast<double>(bench.machine.cpu().busy(kAccountKernel));
+  double driver_ns = static_cast<double>(bench.machine.cpu().busy(kAccountDriver));
+  double rx_path_ns = (kernel_ns + driver_ns) / kFloodPackets + kUdpRxAppNsPerPkt;
+  double capacity_pps = 1e9 / rx_path_ns * kCores;
+  double pps = std::min(sender_rate_pps, capacity_pps);
+  double wall_ns = kFloodPackets / pps * 1e9;
+  double cpu_ns = kernel_ns + driver_ns + kFloodPackets * kUdpRxAppNsPerPkt;
+  char test[32];
+  std::snprintf(test, sizeof(test), "UDP_RX 4Q ITR%u", itr_units);
+  Row row{test, "Untrusted driver", pps * (delivered / double(kFloodPackets)) / 1000.0,
+          "Kpackets/sec", /*cpu_pct=*/0, 0.0, 0.0};
+  row.cpu_pct = ModelCpuPct(row, cpu_ns, wall_ns);
+  row.sim_wall_us = timer.ElapsedUs();
+  std::printf("  [%s] irqs/pkt=%.4f suppressed=%llu delivered=%llu\n", test,
+              static_cast<double>(irqs) / kFloodPackets,
+              static_cast<unsigned long long>(suppressed),
+              static_cast<unsigned long long>(delivered));
+  return row;
+}
+
 void Print(const std::vector<Row>& rows) {
   std::printf("\nFigure 8: netperf results, e1000e in-kernel vs under SUD\n");
   std::printf("%-14s %-17s %14s %-13s %7s | %10s %9s\n", "Test", "Driver", "Measured", "Unit",
@@ -590,6 +738,19 @@ int main() {
   rows.push_back(sud::RunTcpStream(true, /*sealed=*/true));       // row 10
   rows.push_back(sud::RunUdpRx(true, /*sealed=*/true));           // row 11
   rows.push_back(sud::RunTcpStreamJumboTx(true, /*sealed=*/true));  // row 12
+  // Interrupt-moderation sweep (SUD only), appended after every historical
+  // row so indices 0-12 never move. ITR0 re-runs the RR loop with the
+  // tick-and-flush scaffolding but moderation OFF — it must stay within
+  // noise of row 7 (printed below as the scaffolding sanity check). The RR
+  // rows record moderation's latency COST; the 4-queue RX flood rows record
+  // its interrupt-rate benefit. Both directions are reported, neither is
+  // cherry-picked.
+  rows.push_back(sud::RunUdpRrItr(0));        // row 13
+  rows.push_back(sud::RunUdpRrItr(31));       // row 14: ~8us windows
+  rows.push_back(sud::RunUdpRrItr(125));      // row 15: ~32us windows
+  rows.push_back(sud::RunUdpRxItrFlood(0));   // row 16
+  rows.push_back(sud::RunUdpRxItrFlood(31));  // row 17
+  rows.push_back(sud::RunUdpRxItrFlood(125)); // row 18
   sud::Print(rows);
 
   // Shape assertions printed for the record.
@@ -616,6 +777,11 @@ int main() {
   std::printf("  Zero-copy CPU: TCP_STREAM %+.0f%% vs guard copy, UDP RX %+.0f%%, "
               "9K TX %+.0f%%\n",
               pct(1, 10), pct(5, 11), pct(9, 12));
+  std::printf("  ITR          : RR ITR0 %.0f vs plain RR %.0f Tx/sec (scaffolding check); "
+              "RR latency cost ITR31 %.2fx, ITR125 %.2fx; "
+              "RX flood CPU ITR31 %+.0f%%, ITR125 %+.0f%%\n",
+              rows[13].value, rows[7].value, rows[13].value / rows[14].value,
+              rows[13].value / rows[15].value, pct(16, 17), pct(16, 18));
   sud::WriteJson(rows, "BENCH_fig8_netperf.json");
 
   // Exit gate: the zero-copy rows must actually be zero-copy. A nonzero
@@ -631,6 +797,10 @@ int main() {
   if (rows[12].tx_copies_per_pkt != 0 || rows[12].rx_copies_per_pkt != 0) {
     std::fprintf(stderr, "FAIL: TXZC row reports copies (tx %.4f, rx %.4f)\n",
                  rows[12].tx_copies_per_pkt, rows[12].rx_copies_per_pkt);
+    exit_code = 1;
+  }
+  if (!sud::g_itr_rows_complete) {
+    std::fprintf(stderr, "FAIL: an ITR row lost traffic (moderation wedge)\n");
     exit_code = 1;
   }
   return exit_code;

@@ -4,6 +4,8 @@
 // evaluation ("we tested SUD's security by constructing explicit test cases
 // for the attacks...") as one reproducible binary.
 
+#include <algorithm>
+#include <array>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -11,6 +13,8 @@
 #include "src/base/bytes.h"
 #include "src/base/log.h"
 #include "src/drivers/malicious.h"
+#include "src/kern/flow_table.h"
+#include "src/kern/rss_rebalancer.h"
 #include "src/uml/supervisor.h"
 #include "tests/harness.h"
 
@@ -186,6 +190,93 @@ Cell RunRetaStarvation(NetBench::Options options, const std::string& config) {
                 "spread %d queues -> starved %d -> rebalanced %d (all frames delivered)",
                 spread(balanced), spread(starved), spread(rebalanced));
   return {"RETA starvation", config, starvation_visible && rebalance_works && conserved, note};
+}
+
+// Forged RSS load statistics: the adaptive RETA rebalancer consumes a
+// per-bucket load picture that ultimately derives from driver-visible
+// traffic — a compromised driver can try to poison that control loop with
+// forged observations. Three forgeries, each fed straight into the
+// rebalancer for many control ticks while REAL 4-queue traffic flows:
+//   all-zero:    pretend the NIC is idle (freeze the balancer forever);
+//   all-max:     saturate every counter (overflow the plan arithmetic);
+//   oscillating: alternate the "hot" queue every tick (livelock the loop,
+//                thrash the device RETA with unbounded reprograms).
+// Contained means: every adopted table stays in-bounds, reprograms respect
+// the rate limits (the device's own RETA write counter agrees), the control
+// loop terminates, and traffic still flows conserved afterward.
+Cell RunForgedLoadStats(NetBench::Options options, const std::string& config,
+                        const char* mode) {
+  options.nic_queues = 4;
+  NetBench bench(options);
+  char name[48];
+  std::snprintf(name, sizeof(name), "forged load stats (%s)", mode);
+  if (!bench.StartSut().ok()) {
+    return {name, config, false, "sut failed to start"};
+  }
+  bench.MaskPeerIrq();
+  kern::NetDevice* netdev = bench.kernel.net().Find(bench.SutIfname());
+
+  kern::RssRebalancer::Options balancer_options;
+  balancer_options.num_queues = 4;
+  balancer_options.min_interval_ticks = 4;
+  balancer_options.window_ticks = 64;
+  balancer_options.max_reprograms_per_window = 8;
+  kern::RssRebalancer balancer(balancer_options);
+
+  // The forged control loop, with real traffic flowing underneath the whole
+  // time (the attack must not need a quiet NIC to be judged).
+  constexpr int kTicks = 256;
+  std::vector<uint8_t> payload(256, 0x6b);
+  uint64_t rx_before = netdev->stats().rx_packets.load();
+  uint64_t reta_dwords_before = bench.sut_nic.stats().reta_writes.load();
+  uint64_t reprograms = 0;
+  bool tables_in_bounds = true;
+  std::array<uint64_t, kern::kFlowBuckets> forged{};
+  for (int tick = 0; tick < kTicks; ++tick) {
+    if (std::string(mode) == "all-zero") {
+      forged.fill(0);
+    } else if (std::string(mode) == "all-max") {
+      forged.fill(~0ull);
+    } else {  // oscillating: every bucket of one queue "scorching", rotating
+      for (uint32_t b = 0; b < kern::kFlowBuckets; ++b) {
+        forged[b] = (b % 4 == static_cast<uint32_t>(tick) % 4) ? (1u << 16) : 1;
+      }
+    }
+    kern::RssRebalancer::Table plan{};
+    if (balancer.Observe(forged, &plan)) {
+      ++reprograms;
+      for (uint32_t b = 0; b < kern::kFlowBuckets; ++b) {
+        tables_in_bounds = tables_in_bounds && plan[b] < 4;
+      }
+      (void)bench.sut_driver->ProgramReta(plan);
+    }
+    (void)bench.PeerSendFlowBurst(22000, 80, {payload.data(), payload.size()}, 16, 16);
+    bench.host->Pump();
+  }
+  // Device-side truth: RETA dword writes counted by the NIC itself must
+  // agree with the bounded reprogram count (32 dwords per full table), and
+  // whatever was last programmed steers in-bounds by construction.
+  uint64_t reta_dwords = bench.sut_nic.stats().reta_writes.load() - reta_dwords_before;
+  std::array<uint8_t, devices::kNicRetaEntries> reta = bench.sut_nic.RetaSnapshot();
+  bool device_in_bounds = true;
+  for (uint8_t entry : reta) {
+    device_in_bounds = device_in_bounds && entry < devices::kNicNumQueues;
+  }
+  uint64_t rate_bound =
+      std::min<uint64_t>(kTicks / balancer_options.min_interval_ticks + 1,
+                         (kTicks / balancer_options.window_ticks + 1) *
+                             balancer_options.max_reprograms_per_window);
+  bool rate_limited = reprograms <= rate_bound && reta_dwords == reprograms * 32;
+  uint64_t delivered = netdev->stats().rx_packets.load() - rx_before;
+  bool traffic_flows = delivered == static_cast<uint64_t>(kTicks) * 16 &&
+                       netdev->stats().rx_dropped.load() == 0;
+  char note[96];
+  std::snprintf(note, sizeof(note),
+                "%llu reprograms (bound %llu), tables in-bounds, %llu/%d frames delivered",
+                (unsigned long long)reprograms, (unsigned long long)rate_bound,
+                (unsigned long long)delivered, kTicks * 16);
+  return {name, config, tables_in_bounds && device_in_bounds && rate_limited && traffic_flows,
+          note};
 }
 
 // Torn/endless EOP chains, marshalled: forged netif_rx chain downcalls with
@@ -896,6 +987,9 @@ int main() {
     cells.push_back(RunIoPortAttack(config.options, config.name));
     cells.push_back(RunResourceHog(config.options, config.name));
     cells.push_back(RunRetaStarvation(config.options, config.name));
+    cells.push_back(RunForgedLoadStats(config.options, config.name, "all-zero"));
+    cells.push_back(RunForgedLoadStats(config.options, config.name, "all-max"));
+    cells.push_back(RunForgedLoadStats(config.options, config.name, "oscillating"));
     cells.push_back(RunTornChain(config.options, config.name));
     cells.push_back(RunDescRewrite(config.options, config.name));
     cells.push_back(RunTxEndlessChain(config.options, config.name));

@@ -4,10 +4,16 @@
 
 #include "src/base/bytes.h"
 #include "src/base/log.h"
+#include "src/kern/flow_table.h"
 #include "src/kern/net_limits.h"
 #include "src/kern/packet.h"
 
 namespace sud::devices {
+
+// The kern-side flow tracker observes load at RETA granularity (hash % 128
+// on both sides); the two constants must never drift apart.
+static_assert(kern::kFlowBuckets == kNicRetaEntries,
+              "FlowTable bucket count must match the device RETA size");
 
 namespace {
 // MDIC register fields (simplified): [15:0] data, [20:16] phy reg,
@@ -101,6 +107,16 @@ void SimNic::Reset() {
     reta_[i].store(0, std::memory_order_relaxed);
   }
   reta_programmed_.store(false, std::memory_order_relaxed);
+  for (uint32_t i = 0; i < kNicRssKeyDwords; ++i) {
+    rssrk_[i].store(0, std::memory_order_relaxed);
+  }
+  rss_dst_salt_.store(0, std::memory_order_relaxed);
+  rss_src_salt_.store(0, std::memory_order_relaxed);
+  for (uint32_t q = 0; q < kNicNumQueues; ++q) {
+    eitr_[q].store(0, std::memory_order_relaxed);
+    itr_window_[q].store(0, std::memory_order_relaxed);
+    itr_pending_[q].store(0, std::memory_order_relaxed);
+  }
   // Receive-address registers come up holding the EEPROM MAC, as on real HW.
   ral0_ = LoadLe32(mac_.data());
   rah0_ = kNicRahValid | LoadLe16(mac_.data() + 4);
@@ -119,7 +135,12 @@ uint32_t SimNic::SteerQueue(ConstByteSpan frame) const {
   if (queues <= 1) {
     return 0;
   }
-  uint32_t hash = kern::FlowHash(frame);
+  // Keyed hash under the programmed RSSRK. The unprogrammed (all-zero) key
+  // folds to zero salts, making this the historical unkeyed FlowHash
+  // bit-for-bit — every pre-key steering row stays byte-stable.
+  kern::RssKeyFold fold{rss_dst_salt_.load(std::memory_order_relaxed),
+                        rss_src_salt_.load(std::memory_order_relaxed)};
+  uint32_t hash = kern::FlowHashKeyed(frame, fold);
   if (!reta_programmed_.load(std::memory_order_relaxed)) {
     // Unprogrammed table: the historical hash % queues, bit-for-bit.
     return hash % queues;
@@ -128,6 +149,24 @@ uint32_t SimNic::SteerQueue(ConstByteSpan frame) const {
   // reduction keeps the lookup in-bounds even while MRQC shrinks mid-flight.
   uint8_t entry = reta_[hash % kNicRetaEntries].load(std::memory_order_relaxed);
   return entry % queues;
+}
+
+std::array<uint8_t, kNicRetaEntries> SimNic::RetaSnapshot() const {
+  std::array<uint8_t, kNicRetaEntries> table;
+  for (uint32_t i = 0; i < kNicRetaEntries; ++i) {
+    table[i] = reta_[i].load(std::memory_order_relaxed);
+  }
+  return table;
+}
+
+void SimNic::RefoldRssKey() {
+  uint8_t key[kNicRssKeyDwords * 4];
+  for (uint32_t i = 0; i < kNicRssKeyDwords; ++i) {
+    StoreLe32(key + 4 * i, rssrk_[i].load(std::memory_order_relaxed));
+  }
+  kern::RssKeyFold fold = kern::FoldRssKey(ConstByteSpan(key, sizeof(key)));
+  rss_dst_salt_.store(fold.dst_salt, std::memory_order_relaxed);
+  rss_src_salt_.store(fold.src_salt, std::memory_order_relaxed);
 }
 
 // Resolves a per-queue ring register: `reg_offset` is the offset within the
@@ -187,6 +226,12 @@ uint32_t SimNic::MmioRead(int bar, uint64_t offset) {
       value |= static_cast<uint32_t>(reta_[base + b].load(std::memory_order_relaxed)) << (8 * b);
     }
     return value;
+  }
+  if (offset >= kNicRegRssrk && offset < kNicRegRssrk + 4 * kNicRssKeyDwords) {
+    return rssrk_[(offset - kNicRegRssrk) / 4].load(std::memory_order_relaxed);
+  }
+  if (offset >= kNicRegEitr && offset < kNicRegEitr + 4 * kNicNumQueues) {
+    return eitr_[(offset - kNicRegEitr) / 4].load(std::memory_order_relaxed);
   }
   switch (offset) {
     case kNicRegCtrl:
@@ -266,6 +311,18 @@ void SimNic::MmioWrite(int bar, uint64_t offset, uint32_t value) {
                             std::memory_order_relaxed);
     }
     reta_programmed_.store(true, std::memory_order_relaxed);
+    stats_.reta_writes.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (offset >= kNicRegRssrk && offset < kNicRegRssrk + 4 * kNicRssKeyDwords) {
+    rssrk_[(offset - kNicRegRssrk) / 4].store(value, std::memory_order_relaxed);
+    RefoldRssKey();
+    return;
+  }
+  if (offset >= kNicRegEitr && offset < kNicRegEitr + 4 * kNicNumQueues) {
+    // Bits 15:0, like the hardware register. 0 turns moderation off; an open
+    // window is left to expire on its own (the pending latch still flushes).
+    eitr_[(offset - kNicRegEitr) / 4].store(value & 0xffffu, std::memory_order_relaxed);
     return;
   }
   switch (offset) {
@@ -351,6 +408,56 @@ void SimNic::AccumulateEngineStats(const hw::DescRingEngine& engine,
   *folded = s;
 }
 
+bool SimNic::ItrGate(uint32_t q) {
+  uint32_t eitr = eitr_[q].load(std::memory_order_relaxed);
+  if (eitr == 0) {
+    return false;  // moderation off: every event signals (historical behaviour)
+  }
+  if (itr_window_[q].load(std::memory_order_relaxed) != 0) {
+    // Inside the throttle window: latch, count, absorb. (Two delivery
+    // threads racing the window-open check can both signal — moderation is
+    // a rate shaper, not a correctness fence; the kernel side's in-flight
+    // coalescing already tolerates duplicate MSIs.)
+    itr_pending_[q].store(1, std::memory_order_relaxed);
+    stats_.itr_suppressed.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  itr_window_[q].store(eitr, std::memory_order_relaxed);
+  return false;
+}
+
+void SimNic::ItrTick(uint32_t q) {
+  uint32_t remaining = itr_window_[q].load(std::memory_order_relaxed);
+  if (remaining == 0) {
+    return;
+  }
+  remaining = remaining > kNicItrUnitsPerTick ? remaining - kNicItrUnitsPerTick : 0;
+  itr_window_[q].store(remaining, std::memory_order_relaxed);
+  if (remaining != 0) {
+    return;
+  }
+  // Window expired: the deferred MSI, but only if its cause is still both
+  // pending and unmasked (the driver may have polled and acked meanwhile —
+  // then the latch dissolves, exactly like a hardware timer finding ICR
+  // clear).
+  if (itr_pending_[q].exchange(0, std::memory_order_relaxed) == 0) {
+    return;
+  }
+  uint32_t interesting = multi_queue() ? (NicIntRxQueue(q) | NicIntTxQueue(q)) : ~0u;
+  if ((icr_.load(std::memory_order_relaxed) & ims_.load(std::memory_order_relaxed) &
+       interesting) == 0) {
+    return;
+  }
+  // Re-open the window before signalling: sustained load converges to one
+  // MSI per window, the moderation contract.
+  itr_window_[q].store(eitr_[q].load(std::memory_order_relaxed), std::memory_order_relaxed);
+  if (multi_queue()) {
+    (void)RaiseMsi(static_cast<uint8_t>(q));
+  } else {
+    (void)RaiseMsi();
+  }
+}
+
 void SimNic::SetInterruptCause(uint32_t bits) {
   // MSIs are edge-triggered on the assertion of a new cause: if the
   // interrupt condition was already pending (driver has not read ICR yet),
@@ -358,7 +465,7 @@ void SimNic::SetInterruptCause(uint32_t bits) {
   uint32_t ims = ims_.load(std::memory_order_relaxed);
   uint32_t old_icr = icr_.fetch_or(bits, std::memory_order_relaxed);
   bool was_asserted = (old_icr & ims) != 0;
-  if (!was_asserted && ((old_icr | bits) & ims) != 0) {
+  if (!was_asserted && ((old_icr | bits) & ims) != 0 && !ItrGate(0)) {
     (void)RaiseMsi();
   }
 }
@@ -367,6 +474,9 @@ void SimNic::RaiseQueueInterrupt(uint32_t q, uint32_t bits) {
   icr_.fetch_or(bits, std::memory_order_relaxed);
   if ((ims_.load(std::memory_order_relaxed) & bits) == 0) {
     return;
+  }
+  if (ItrGate(q)) {
+    return;  // absorbed into the window's deferred MSI (ItrTick raises it)
   }
   // MSI-X-style auto-clear: each event signals its message; coalescing is
   // the kernel side's job (in-flight masking + per-vector pending), so a
@@ -678,6 +788,9 @@ void SimNic::Tick() {
     // Device-side TX reap: real silicon fetches armed descriptors on its own
     // schedule, not only at the doorbell edge. (No-op when head == tail.)
     ProcessTxRing(q);
+    // The moderation timer advances on the device's own clock, outside every
+    // queue lock (the deferred MSI can synchronously run a driver handler).
+    ItrTick(q);
   }
 }
 

@@ -134,6 +134,26 @@ inline constexpr uint64_t kNicRegRah0 = 0x5404;
 // 82574's RETA offset. Each byte names the queue its hash bucket steers to.
 inline constexpr uint64_t kNicRegReta = 0x5c00;
 inline constexpr uint32_t kNicRetaEntries = 128;
+// RSS random key (RSSRK): the driver-programmable 40-byte hash key, 10
+// dwords right after the RETA block (the 82574 layout). The device folds the
+// key into the two endpoint salts of kern::FlowHashKeyed at write time; an
+// all-zero (or never-programmed) key folds to zero salts, which reproduces
+// the historical unkeyed steering bit-for-bit. ANY key value steers
+// in-bounds — the hash feeds the same %-reductions the RETA path already
+// clamps with — so a hostile key can skew the spread but never escape it.
+inline constexpr uint64_t kNicRegRssrk = 0x5c80;
+inline constexpr uint32_t kNicRssKeyDwords = 10;
+// Per-queue interrupt throttle (EITR-style): minimum gap between MSI
+// messages for queue q, in 256 ns units (bits 15:0; 0 disables moderation,
+// which is the reset state — all historical interrupt behaviour is
+// bit-identical until a driver programs a nonzero value). The throttle
+// clock advances kNicItrUnitsPerTick units per SimNic::Tick; an event
+// arriving inside the window sets a pending latch (counted in
+// stats.itr_suppressed) and the expiring timer raises ONE deferred MSI for
+// the whole window.
+inline constexpr uint64_t kNicRegEitr = 0x1680;  // + 4 * queue
+inline constexpr uint32_t kNicItrUnitNs = 256;
+inline constexpr uint32_t kNicItrUnitsPerTick = 32;  // ~8.2 us of timer per Tick
 // Multiple receive queues command: the number of RSS queues (0 or 1 =
 // single-queue legacy behaviour; 2..kNicNumQueues = multi-queue mode with
 // per-queue MSI messages and auto-cleared per-queue causes).
@@ -212,6 +232,12 @@ class SimNic : public hw::PciDevice, public EtherEndpoint {
     std::atomic<uint64_t> desc_fetch_dma{0};
     std::atomic<uint64_t> desc_fetched{0};
     std::atomic<uint64_t> desc_writeback_dma{0};
+    // Interrupt-moderation accounting: events whose MSI the EITR throttle
+    // absorbed into the window's single deferred message.
+    std::atomic<uint64_t> itr_suppressed{0};
+    // RETA dword writes (32 per full table program): the audit counter the
+    // forged-load-stats attack cells bound the reprogram rate with.
+    std::atomic<uint64_t> reta_writes{0};
   };
   const Stats& stats() const { return stats_; }
   struct QueueStats {
@@ -226,6 +252,11 @@ class SimNic : public hw::PciDevice, public EtherEndpoint {
   // The queue the device would steer `frame` to right now (RETA when
   // programmed, hash % queues otherwise). Exposed for tests/benches.
   uint32_t SteerQueue(ConstByteSpan frame) const;
+  // Audit read-back of the live indirection table (the pre-masked bytes the
+  // steering path actually consults) — what the attack matrix checks stays
+  // in-bounds and what the supervisor replay test compares after recovery.
+  std::array<uint8_t, kNicRetaEntries> RetaSnapshot() const;
+  bool reta_programmed() const { return reta_programmed_.load(std::memory_order_relaxed); }
 
  private:
   // Per-queue ring doorbell/geometry registers (one block per queue).
@@ -321,6 +352,29 @@ class SimNic : public hw::PciDevice, public EtherEndpoint {
   // keeps the unprogrammed device bit-compatible with hash % queues.
   std::array<std::atomic<uint8_t>, kNicRetaEntries> reta_{};
   std::atomic<bool> reta_programmed_{false};
+
+  // RSS key (RSSRK) dwords plus the two endpoint salts they fold to. The
+  // fold is recomputed at write time; delivery threads read the salts
+  // relaxed — a lookup racing a reprogram may mix old/new salts for one
+  // frame, which mis-SPREADS but can never mis-BOUND (the hash output is
+  // %-reduced downstream regardless).
+  std::array<std::atomic<uint32_t>, kNicRssKeyDwords> rssrk_{};
+  std::atomic<uint64_t> rss_dst_salt_{0};
+  std::atomic<uint64_t> rss_src_salt_{0};
+  void RefoldRssKey();
+
+  // EITR state: per-queue throttle value, remaining window units, and the
+  // pending latch. All atomics — events arrive on delivery threads, the
+  // timer advances on whichever thread calls Tick.
+  std::array<std::atomic<uint32_t>, kNicNumQueues> eitr_{};
+  std::array<std::atomic<uint32_t>, kNicNumQueues> itr_window_{};
+  std::array<std::atomic<uint8_t>, kNicNumQueues> itr_pending_{};
+  // True = this event's MSI is absorbed (window open, pending latched);
+  // false = raise now (and a fresh window opens if moderation is on).
+  bool ItrGate(uint32_t q);
+  // One Tick of the queue's throttle clock: close expired windows and raise
+  // the deferred MSI the pending latch owes. Called OUTSIDE the queue locks.
+  void ItrTick(uint32_t q);
 
   // Frames that arrived while queue q had no armed RX descriptor.
   std::array<std::deque<std::vector<uint8_t>>, kNicNumQueues> rx_backlog_;

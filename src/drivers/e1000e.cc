@@ -62,6 +62,26 @@ Status E1000eDriver::ProgramReta(const std::array<uint8_t, devices::kNicRetaEntr
   return Status::Ok();
 }
 
+Status E1000eDriver::ProgramRssKey(const std::array<uint8_t, kern::kRssKeyBytes>& key) {
+  static_assert(kern::kRssKeyBytes == 4 * devices::kNicRssKeyDwords,
+                "RSSRK register block and the kern key width must agree");
+  for (uint32_t i = 0; i < devices::kNicRssKeyDwords; ++i) {
+    uint32_t value = 0;
+    for (uint32_t b = 0; b < 4; ++b) {
+      value |= static_cast<uint32_t>(key[4 * i + b]) << (8 * b);
+    }
+    SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegRssrk + 4 * i, value));
+  }
+  return Status::Ok();
+}
+
+Status E1000eDriver::ProgramItr(uint32_t itr_units) {
+  for (uint32_t q = 0; q < num_queues_; ++q) {
+    SUD_RETURN_IF_ERROR(env_->MmioWrite32(0, devices::kNicRegEitr + 4 * q, itr_units));
+  }
+  return Status::Ok();
+}
+
 uint64_t E1000eDriver::desc_window_maps() const {
   uint64_t total = 0;
   for (uint32_t q = 0; q < num_queues_; ++q) {

@@ -65,6 +65,7 @@
 #include "src/devices/sim_nic.h"
 #include "src/hw/desc_ring.h"
 #include "src/kern/net_limits.h"
+#include "src/kern/packet.h"
 #include "src/uml/driver_env.h"
 
 namespace sud::drivers {
@@ -96,6 +97,15 @@ class E1000eDriver : public uml::Driver {
   Status ProgramReta(const std::array<uint8_t, devices::kNicRetaEntries>& table);
   // The identity layout Open() programs: entry i -> i % num_queues.
   static std::array<uint8_t, devices::kNicRetaEntries> IdentityReta(uint32_t num_queues);
+  // Programs the device's 40-byte RSS hash key (RSSRK). The all-zero key is
+  // the identity: steering stays bit-for-bit the historical unkeyed hash.
+  // Open() deliberately does NOT program a key, so this — like ProgramReta —
+  // is a post-open operator call the device clamps against regardless of
+  // content.
+  Status ProgramRssKey(const std::array<uint8_t, kern::kRssKeyBytes>& key);
+  // Programs every open queue's EITR interrupt-moderation timer (256 ns
+  // units; 0 = off, the reset default every historical row ran under).
+  Status ProgramItr(uint32_t itr_units);
 
   struct Stats {
     std::atomic<uint64_t> tx_queued{0};          // frames (not descriptors)

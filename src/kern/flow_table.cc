@@ -1,0 +1,114 @@
+#include "src/kern/flow_table.h"
+
+namespace sud::kern {
+
+namespace {
+
+uint32_t RoundUpPow2(uint32_t v) {
+  if (v < 2) {
+    return 2;
+  }
+  --v;
+  v |= v >> 1;
+  v |= v >> 2;
+  v |= v >> 4;
+  v |= v >> 8;
+  v |= v >> 16;
+  return v + 1;
+}
+
+}  // namespace
+
+FlowTable::FlowTable() : FlowTable(Options()) {}
+
+FlowTable::FlowTable(const Options& options)
+    : capacity_(RoundUpPow2(options.capacity)),
+      mask_(capacity_ - 1),
+      max_probe_(options.max_probe == 0 ? 1 : options.max_probe),
+      expiry_generations_(options.expiry_generations == 0 ? 1 : options.expiry_generations),
+      slots_(new Slot[capacity_]) {}
+
+void FlowTable::Record(uint32_t hash, uint16_t queue) {
+  bucket_load_[hash % kFlowBuckets].fetch_add(1, std::memory_order_relaxed);
+  uint32_t now = generation_.load(std::memory_order_relaxed);
+  uint64_t want = MakeTag(now, hash);
+  uint32_t index = hash & mask_;
+  uint32_t step = 0;
+  while (step < max_probe_) {
+    Slot& slot = slots_[index];
+    uint64_t tag = slot.tag.load(std::memory_order_acquire);
+    if (tag != 0 && TagHash(tag) == hash) {
+      // Our flow. Refresh its generation (losing the CAS just means another
+      // thread refreshed it first) and count the packet.
+      if (TagGeneration(tag) != now) {
+        (void)slot.tag.compare_exchange_strong(tag, want, std::memory_order_acq_rel,
+                                               std::memory_order_acquire);
+      }
+      slot.packets.fetch_add(1, std::memory_order_relaxed);
+      slot.queue.store(queue, std::memory_order_relaxed);
+      records_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (tag == 0 || Expired(tag, now)) {
+      // Empty or dead slot: claim it by CAS. On failure re-examine the SAME
+      // slot without consuming a probe step — the winner may have been
+      // another recorder of OUR hash (the CAS loser then lands in the
+      // our-flow branch above). No livelock: a failed CAS means the tag
+      // moved to a freshly claimed value, which is either our hash or a
+      // live collision that advances the probe.
+      if (slot.tag.compare_exchange_strong(tag, want, std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+        slot.packets.store(1, std::memory_order_relaxed);
+        slot.queue.store(queue, std::memory_order_relaxed);
+        (tag == 0 ? inserts_ : recycles_).fetch_add(1, std::memory_order_relaxed);
+        records_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      continue;
+    }
+    // Live collision: probe on.
+    ++step;
+    index = (index + 1) & mask_;
+    probe_steps_.fetch_add(1, std::memory_order_relaxed);
+  }
+  insert_failures_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FlowTable::AdvanceGeneration() {
+  generation_.fetch_add(1, std::memory_order_relaxed);
+  for (auto& load : bucket_load_) {
+    // Halving decay: racing Record adds can slip between the load and the
+    // store, which under-counts a handful of packets per tick — acceptable
+    // for a load OBSERVATION structure (the rebalancer clamps its inputs
+    // anyway; nothing here is a conservation ledger).
+    load.store(load.load(std::memory_order_relaxed) / 2, std::memory_order_relaxed);
+  }
+}
+
+uint32_t FlowTable::LiveFlows() const {
+  uint32_t now = generation_.load(std::memory_order_relaxed);
+  uint32_t live = 0;
+  for (uint32_t i = 0; i < capacity_; ++i) {
+    uint64_t tag = slots_[i].tag.load(std::memory_order_relaxed);
+    live += (tag != 0 && !Expired(tag, now)) ? 1 : 0;
+  }
+  return live;
+}
+
+void FlowTable::SnapshotBucketLoad(std::array<uint64_t, kFlowBuckets>* out) const {
+  for (uint32_t b = 0; b < kFlowBuckets; ++b) {
+    (*out)[b] = bucket_load_[b].load(std::memory_order_relaxed);
+  }
+}
+
+FlowTable::Stats FlowTable::stats() const {
+  Stats s;
+  s.records = records_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.recycles = recycles_.load(std::memory_order_relaxed);
+  s.insert_failures = insert_failures_.load(std::memory_order_relaxed);
+  s.probe_steps = probe_steps_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace sud::kern

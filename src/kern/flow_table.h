@@ -1,0 +1,125 @@
+// FlowTable: a cache-friendly O(1) tracker for millions of concurrent flows.
+//
+// Production RSS only balances if the kernel can SEE per-bucket load, and at
+// 1M+ concurrent flows with Zipf churn that observation structure must cost
+// O(1) per packet with zero per-flow heap traffic. This table is the flat
+// array the paper's "heavy traffic from millions of users" axis needs:
+//
+//  - Open addressing over a power-of-two slot array, 16 bytes per slot
+//    (one atomic tag + packet count + last queue), linear probing bounded by
+//    max_probe. No buckets, no chains, no allocation after construction.
+//  - Generation-based expiry: flows are never individually deleted. A
+//    coarse generation clock ticks (AdvanceGeneration); a slot whose flow
+//    was last touched `expiry_generations` ticks ago is dead and is recycled
+//    IN PLACE by the next insert that probes over it. Flow death is thus
+//    O(1) amortized and needs no background sweeper.
+//  - Concurrent recorders: per-queue pump/delivery threads call Record
+//    simultaneously. Slots are claimed by CAS on the packed
+//    (generation << 32 | flow hash) tag; counters are relaxed atomics. The
+//    table never locks and never blocks a packet.
+//  - Per-bucket load: every Record also bumps one of kFlowBuckets
+//    (= the device RETA's 128 entries, same hash % 128 mapping) load
+//    counters, halved on each generation tick so the rebalancer sees a
+//    recency-weighted load picture rather than all of history.
+//
+// Bounded memory is a confinement property here, not just a perf one: the
+// table is sized at construction and a flow storm can only evict dead flows
+// or fail inserts (counted) — it can never grow kernel memory.
+
+#ifndef SUD_SRC_KERN_FLOW_TABLE_H_
+#define SUD_SRC_KERN_FLOW_TABLE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace sud::kern {
+
+// One load bucket per device RETA entry (devices::kNicRetaEntries == 128 —
+// static_asserted where the two meet; kern cannot include devices headers).
+inline constexpr uint32_t kFlowBuckets = 128;
+
+class FlowTable {
+ public:
+  struct Options {
+    // Slot count, rounded up to a power of two. 2^21 slots = 32 MiB tracks
+    // 1M+ live flows below 50% load factor.
+    uint32_t capacity = 1u << 21;
+    // Linear-probe bound: an insert that cannot find a free or dead slot
+    // within this many steps fails (counted), it never scans the table.
+    uint32_t max_probe = 64;
+    // A flow untouched for this many generation ticks is dead and its slot
+    // recyclable.
+    uint32_t expiry_generations = 2;
+  };
+
+  struct Stats {
+    uint64_t records = 0;          // packets recorded against a tracked flow
+    uint64_t inserts = 0;          // new flows admitted into empty slots
+    uint64_t recycles = 0;         // dead flows evicted in place
+    uint64_t insert_failures = 0;  // probe bound hit, packet not tracked
+    uint64_t probe_steps = 0;      // total extra probe steps (collision cost)
+  };
+
+  FlowTable();  // default Options
+  explicit FlowTable(const Options& options);
+
+  // Records one packet of flow `hash` steered to `queue`. Lock-free,
+  // thread-safe, O(max_probe) worst case.
+  void Record(uint32_t hash, uint16_t queue);
+
+  // Ticks the flow-death clock and halves every bucket-load counter (the
+  // recency decay). Call from the control loop, not the packet path.
+  void AdvanceGeneration();
+
+  // Flows alive right now (touched within expiry_generations ticks).
+  // O(capacity) walk — bench/test instrumentation, not a packet-path call.
+  uint32_t LiveFlows() const;
+
+  // Recency-weighted packet load per RETA bucket.
+  void SnapshotBucketLoad(std::array<uint64_t, kFlowBuckets>* out) const;
+
+  Stats stats() const;
+  uint32_t capacity() const { return capacity_; }
+  uint32_t generation() const { return generation_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Slot {
+    // (generation << 32) | flow hash; 0 = never used. Generations start at 1
+    // so a hash of 0 (runt frames) still makes a nonzero tag.
+    std::atomic<uint64_t> tag{0};
+    std::atomic<uint32_t> packets{0};
+    std::atomic<uint32_t> queue{0};
+  };
+  static uint64_t MakeTag(uint32_t generation, uint32_t hash) {
+    return (static_cast<uint64_t>(generation) << 32) | hash;
+  }
+  static uint32_t TagGeneration(uint64_t tag) { return static_cast<uint32_t>(tag >> 32); }
+  static uint32_t TagHash(uint64_t tag) { return static_cast<uint32_t>(tag); }
+  bool Expired(uint64_t tag, uint32_t now) const {
+    return TagGeneration(tag) + expiry_generations_ <= now;
+  }
+
+  uint32_t capacity_;
+  uint32_t mask_;
+  uint32_t max_probe_;
+  uint32_t expiry_generations_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint32_t> generation_{1};
+
+  std::array<std::atomic<uint64_t>, kFlowBuckets> bucket_load_{};
+
+  // Sharded relaxed counters would be overkill; contended adds on these are
+  // off the common path (records is the only hot one and is per-packet
+  // anyway alongside the netdev stats adds).
+  std::atomic<uint64_t> records_{0};
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> recycles_{0};
+  std::atomic<uint64_t> insert_failures_{0};
+  std::atomic<uint64_t> probe_steps_{0};
+};
+
+}  // namespace sud::kern
+
+#endif  // SUD_SRC_KERN_FLOW_TABLE_H_

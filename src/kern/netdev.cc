@@ -186,6 +186,9 @@ Status NetSubsystem::NetifRx(NetDevice* device, SkbPtr skb, uint16_t queue) {
   if (queue < kNetMaxQueues) {
     device->queue_stats(queue).rx_packets++;
   }
+  if (FlowTable* flows = device->flow_table()) {
+    flows->Record(FlowHash(skb->span()), queue);
+  }
   if (device->rx_sink()) {
     device->rx_sink()(*skb);
   }

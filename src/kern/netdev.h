@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/kern/flow_table.h"
 #include "src/kern/net_limits.h"
 #include "src/kern/skb.h"
 
@@ -164,6 +165,18 @@ class NetDevice {
   void set_rx_sink(RxSink sink) { rx_sink_ = std::move(sink); }
   const RxSink& rx_sink() const { return rx_sink_; }
 
+  // Flow-scale observation: when enabled, every ACCEPTED receive records its
+  // flow hash + queue into the O(1) FlowTable, whose per-bucket load feeds
+  // the RSS rebalancer. Off by default (a nullptr check per packet, nothing
+  // more). Enable before traffic starts — the pointer itself is not guarded
+  // against concurrent receives, only the table's internals are.
+  void EnableFlowTracking(const FlowTable::Options& options) {
+    flow_table_ = std::make_unique<FlowTable>(options);
+  }
+  void EnableFlowTracking() { flow_table_ = std::make_unique<FlowTable>(); }
+  FlowTable* flow_table() { return flow_table_.get(); }
+  const FlowTable* flow_table() const { return flow_table_.get(); }
+
  private:
   friend class NetSubsystem;
   std::string name_;
@@ -177,6 +190,7 @@ class NetDevice {
   NetDeviceStats stats_;
   std::array<NetQueueStats, kNetMaxQueues> queue_stats_;
   RxSink rx_sink_;
+  std::unique_ptr<FlowTable> flow_table_;
 };
 
 class NetSubsystem {

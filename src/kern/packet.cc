@@ -48,20 +48,39 @@ uint64_t Mix64(uint64_t key) {
 
 }  // namespace
 
-uint32_t FlowHash(ConstByteSpan frame) {
+uint32_t FlowHashKeyed(ConstByteSpan frame, const RssKeyFold& fold) {
   if (frame.size() < kPacketMinSize) {
     return 0;
   }
   // Hash each endpoint's identity (MAC + port) separately, then combine with
-  // XOR: commutative, so the flow's RX frames (dst=A,src=B, ports x->y) and
-  // its TX replies (dst=B,src=A, ports y->x) hash identically — the
-  // direction symmetry that pins a flow to ONE queue in both directions.
-  // Cheaper than a real Toeplitz hash but shares its spreading property.
+  // XOR: commutative, so with the identity key the flow's RX frames
+  // (dst=A,src=B, ports x->y) and its TX replies (dst=B,src=A, ports y->x)
+  // hash identically — the direction symmetry that pins a flow to ONE queue
+  // in both directions. Cheaper than a real Toeplitz hash but shares its
+  // spreading property; the per-endpoint salts are the keyed part.
   uint64_t dst_endpoint = (LoadLe64(frame.data()) & 0xffffffffffffull)  // dst mac
                           | (static_cast<uint64_t>(LoadLe16(frame.data() + 16)) << 48);
   uint64_t src_endpoint = (LoadLe64(frame.data() + 6) & 0xffffffffffffull)  // src mac
                           | (static_cast<uint64_t>(LoadLe16(frame.data() + 14)) << 48);
-  return static_cast<uint32_t>(Mix64(dst_endpoint) ^ Mix64(src_endpoint));
+  return static_cast<uint32_t>(Mix64(dst_endpoint ^ fold.dst_salt) ^
+                               Mix64(src_endpoint ^ fold.src_salt));
+}
+
+uint32_t FlowHash(ConstByteSpan frame) { return FlowHashKeyed(frame, RssKeyFold{}); }
+
+RssKeyFold FoldRssKey(ConstByteSpan key) {
+  // Five 64-bit key words (missing bytes zero), combined with rotations only
+  // — no added constants, so the all-zero key folds to zero salts and the
+  // keyed hash degenerates to the historical unkeyed one bit-for-bit.
+  uint64_t words[5] = {0, 0, 0, 0, 0};
+  for (size_t i = 0; i < key.size() && i < kRssKeyBytes; ++i) {
+    words[i / 8] |= static_cast<uint64_t>(key[i]) << (8 * (i % 8));
+  }
+  auto rotl = [](uint64_t v, int s) { return (v << s) | (v >> (64 - s)); };
+  RssKeyFold fold;
+  fold.dst_salt = words[0] ^ rotl(words[2], 21) ^ rotl(words[4], 42);
+  fold.src_salt = words[1] ^ rotl(words[3], 21) ^ rotl(words[4], 17);
+  return fold;
 }
 
 std::vector<uint8_t> BuildPacket(const uint8_t dst_mac[6], const uint8_t src_mac[6],

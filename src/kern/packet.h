@@ -59,6 +59,32 @@ struct PacketView {
 // to the same queue in both directions. Runt frames hash to 0.
 uint32_t FlowHash(ConstByteSpan frame);
 
+// Keyed variant: real NICs compute the Toeplitz hash under a driver-
+// programmable 40-byte secret key (so a remote attacker cannot precompute
+// which flows collide onto one queue). The stand-in folds the key into two
+// 64-bit endpoint salts once at programming time (RssKeyFold), and the
+// per-packet hash mixes each endpoint XOR its salt. The IDENTITY key (all
+// zeros, or the key never programmed) folds to zero salts, making
+// FlowHashKeyed(frame, {}) bit-for-bit identical to FlowHash(frame) — the
+// property that keeps every historical steering row byte-stable. A nonzero
+// key trades the direction-symmetry of the unkeyed hash (dst/src salts
+// differ) for collision secrecy, exactly like real Toeplitz with asymmetric
+// key words. Any key value yields in-bounds steering: the hash output is
+// reduced modulo the RETA size and the live queue count downstream no matter
+// what was programmed — hostile keys are clamped by construction.
+inline constexpr size_t kRssKeyBytes = 40;
+
+struct RssKeyFold {
+  uint64_t dst_salt = 0;
+  uint64_t src_salt = 0;
+};
+
+// Folds up to kRssKeyBytes of `key` (missing bytes read as zero) into the
+// two endpoint salts. An all-zero key folds to {0, 0}.
+RssKeyFold FoldRssKey(ConstByteSpan key);
+
+uint32_t FlowHashKeyed(ConstByteSpan frame, const RssKeyFold& fold);
+
 // The queue FlowHash steers `frame` to among `num_queues` queues.
 inline uint16_t FlowQueue(ConstByteSpan frame, uint16_t num_queues) {
   return num_queues > 1 ? static_cast<uint16_t>(FlowHash(frame) % num_queues) : 0;

@@ -1,0 +1,121 @@
+#include "src/kern/rss_rebalancer.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sud::kern {
+
+namespace {
+
+// max/mean per-queue load for `table` over `load` (1.0 = balanced). A queue
+// with zero assigned load still counts toward the mean: starving a queue IS
+// imbalance.
+double ImbalanceOf(const std::array<uint64_t, kFlowBuckets>& load,
+                   const RssRebalancer::Table& table, uint32_t queues) {
+  std::array<uint64_t, 256> per_queue{};  // table entries are uint8_t
+  uint64_t total = 0;
+  for (uint32_t b = 0; b < kFlowBuckets; ++b) {
+    per_queue[table[b] % queues] += load[b];
+    total += load[b];
+  }
+  if (total == 0) {
+    return 1.0;
+  }
+  uint64_t max = 0;
+  for (uint32_t q = 0; q < queues; ++q) {
+    max = std::max(max, per_queue[q]);
+  }
+  double mean = static_cast<double>(total) / queues;
+  return static_cast<double>(max) / mean;
+}
+
+}  // namespace
+
+RssRebalancer::RssRebalancer(const Options& options) : options_(options) {
+  if (options_.num_queues == 0) {
+    options_.num_queues = 1;
+  }
+  if (options_.min_interval_ticks == 0) {
+    options_.min_interval_ticks = 1;
+  }
+  for (uint32_t b = 0; b < kFlowBuckets; ++b) {
+    current_[b] = static_cast<uint8_t>(b % options_.num_queues);
+  }
+}
+
+bool RssRebalancer::Observe(const std::array<uint64_t, kFlowBuckets>& bucket_load, Table* out) {
+  ++tick_;
+  ++stats_.observations;
+  if (tick_ - window_start_tick_ >= options_.window_ticks) {
+    window_start_tick_ = tick_;
+    window_reprograms_ = 0;
+  }
+
+  // Defense 1: clamp before any arithmetic. The observation may come from a
+  // compromised driver's forged statistics.
+  std::array<uint64_t, kFlowBuckets> load{};
+  uint64_t total = 0;
+  for (uint32_t b = 0; b < kFlowBuckets; ++b) {
+    load[b] = bucket_load[b];
+    if (load[b] > options_.max_credible_load) {
+      load[b] = options_.max_credible_load;
+      ++stats_.clamped_inputs;
+    }
+    total += load[b];
+  }
+  if (total == 0) {
+    ++stats_.skipped_empty;
+    return false;
+  }
+
+  double imbalance = ImbalanceOf(load, current_, options_.num_queues);
+  last_imbalance_ = imbalance;
+  if (options_.num_queues < 2 || imbalance <= options_.imbalance_threshold) {
+    ++stats_.skipped_balanced;
+    return false;
+  }
+
+  // Defense 3: the rate limiter answers BEFORE any plan is computed, so an
+  // oscillating forgery costs the control loop a bounded amount of work too.
+  if (tick_ - last_reprogram_tick_ < options_.min_interval_ticks ||
+      window_reprograms_ >= options_.max_reprograms_per_window) {
+    ++stats_.skipped_rate;
+    return false;
+  }
+
+  // Greedy LPT: heaviest bucket first onto the lightest queue. Stable order
+  // (load desc, bucket index asc) keeps the plan deterministic.
+  std::array<uint32_t, kFlowBuckets> order;
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return load[a] != load[b] ? load[a] > load[b] : a < b;
+  });
+  Table plan{};
+  std::array<uint64_t, 256> per_queue{};
+  for (uint32_t bucket : order) {
+    uint32_t lightest = 0;
+    for (uint32_t q = 1; q < options_.num_queues; ++q) {
+      if (per_queue[q] < per_queue[lightest]) {
+        lightest = q;
+      }
+    }
+    plan[bucket] = static_cast<uint8_t>(lightest);
+    per_queue[lightest] += load[bucket];
+  }
+
+  // Defense 2: hysteresis on predicted relative gain.
+  double planned = ImbalanceOf(load, plan, options_.num_queues);
+  if ((imbalance - planned) / imbalance < options_.min_gain) {
+    ++stats_.skipped_hysteresis;
+    return false;
+  }
+
+  current_ = plan;
+  last_reprogram_tick_ = tick_;
+  ++window_reprograms_;
+  ++stats_.reprograms;
+  *out = current_;
+  return true;
+}
+
+}  // namespace sud::kern

@@ -1,0 +1,106 @@
+// RssRebalancer: adaptive RETA computation from observed per-bucket load.
+//
+// The RPS-style control loop the ROADMAP's million-flow item calls for: the
+// FlowTable observes recency-weighted packet load per RETA bucket (128
+// buckets, hash % 128 — the device's own indirection granularity); this
+// class turns that observation into a rebalanced 128-entry table when — and
+// only when — moving buckets would actually help. The caller (operator
+// control loop, bench, supervisor replay hook) programs the result through
+// the legitimate E1000eDriver::ProgramReta path, where the device clamps
+// every entry again — a hostile table can never steer out of bounds, and
+// neither can a buggy rebalancer.
+//
+// Three defenses make the rebalancer safe to feed UNTRUSTED statistics (a
+// compromised driver can forge the per-queue picture it reports upward):
+//
+//  1. Input clamping: every bucket load is clamped to max_credible_load
+//    before any arithmetic — an all-max forgery cannot overflow the sums or
+//    dominate a later honest observation, and a zero-total observation
+//    (all-zero forgery, or a genuinely idle NIC) is skipped outright.
+//  2. Hysteresis: reprogramming requires BOTH measured imbalance above
+//    imbalance_threshold AND a predicted relative improvement of at least
+//    min_gain. Mice churn that jitters the load picture without moving the
+//    max/mean ratio cannot thrash the RETA.
+//  3. Rate limiting: at most one reprogram per min_interval_ticks, and at
+//    most max_reprograms_per_window per window_ticks. An oscillating
+//    forgery (alternating hot queues every observation) converges to the
+//    rate floor instead of livelocking the control loop — bounded
+//    reprograms/interval is the attack-matrix containment criterion.
+//
+// The balancing itself is greedy LPT (longest processing time): buckets
+// sorted by load descending, each assigned to the currently lightest queue.
+// Heavy hitters land first and spread across queues; ties break toward the
+// lowest queue index so the result is deterministic.
+//
+// Not thread-safe: one control-loop owner calls Observe. The OUTPUT table is
+// plain data; publication to the device is the caller's (already-clamped)
+// MMIO path.
+
+#ifndef SUD_SRC_KERN_RSS_REBALANCER_H_
+#define SUD_SRC_KERN_RSS_REBALANCER_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/kern/flow_table.h"
+
+namespace sud::kern {
+
+class RssRebalancer {
+ public:
+  using Table = std::array<uint8_t, kFlowBuckets>;
+
+  struct Options {
+    uint32_t num_queues = 1;
+    // Rebalance only when max/mean per-queue load exceeds this.
+    double imbalance_threshold = 1.15;
+    // ... and only when the greedy plan predicts at least this relative
+    // improvement of the max/mean ratio (the mice-churn hysteresis).
+    double min_gain = 0.05;
+    // Rate limits (in Observe ticks): minimum spacing and a windowed cap.
+    uint32_t min_interval_ticks = 4;
+    uint32_t window_ticks = 64;
+    uint32_t max_reprograms_per_window = 8;
+    // Per-bucket load clamp applied before any arithmetic.
+    uint64_t max_credible_load = 1ull << 30;
+  };
+
+  struct Stats {
+    uint64_t observations = 0;
+    uint64_t reprograms = 0;
+    uint64_t skipped_empty = 0;       // zero total load (idle, or all-zero forgery)
+    uint64_t skipped_balanced = 0;    // imbalance under threshold
+    uint64_t skipped_hysteresis = 0;  // predicted gain under min_gain
+    uint64_t skipped_rate = 0;        // rate limiter refused
+    uint64_t clamped_inputs = 0;      // bucket loads clamped to max_credible_load
+  };
+
+  explicit RssRebalancer(const Options& options);
+
+  // One control-loop tick over an observed per-bucket load snapshot.
+  // Returns true and fills *out with the freshly adopted table when the
+  // caller should reprogram the device; false when the current table stands.
+  bool Observe(const std::array<uint64_t, kFlowBuckets>& bucket_load, Table* out);
+
+  // The table the rebalancer currently considers programmed (identity at
+  // construction).
+  const Table& current() const { return current_; }
+  // max/mean per-queue load of the latest non-empty observation under the
+  // CURRENT table (1.0 = perfectly balanced).
+  double last_imbalance() const { return last_imbalance_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Options options_;
+  Table current_{};
+  double last_imbalance_ = 1.0;
+  uint64_t tick_ = 0;
+  uint64_t last_reprogram_tick_ = 0;
+  uint64_t window_start_tick_ = 0;
+  uint32_t window_reprograms_ = 0;
+  Stats stats_;
+};
+
+}  // namespace sud::kern
+
+#endif  // SUD_SRC_KERN_RSS_REBALANCER_H_

@@ -1,0 +1,459 @@
+// Million-flow RSS unit tests: the O(1) FlowTable (insert/refresh/recycle/
+// probe bound), the adaptive RETA rebalancer (convergence, hysteresis, rate
+// limiting, forged-statistics containment), the keyed Toeplitz-style flow
+// hash (identity-key bit-for-bit property, device RSSRK programming), ITR
+// interrupt moderation, and the 4-queue serial-vs-threaded determinism of
+// the flow-tracking receive path.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/kern/flow_table.h"
+#include "src/kern/packet.h"
+#include "src/kern/rss_rebalancer.h"
+#include "tests/harness.h"
+
+namespace sud {
+namespace {
+
+using kern::FlowTable;
+using kern::kFlowBuckets;
+using kern::RssRebalancer;
+using testing::NetBench;
+
+// ---------------------------------------------------------------------------
+// FlowTable
+
+TEST(FlowTable, InsertRefreshAndCount) {
+  FlowTable::Options options;
+  options.capacity = 64;
+  FlowTable table(options);
+  EXPECT_EQ(table.capacity(), 64u);
+  EXPECT_EQ(table.LiveFlows(), 0u);
+
+  table.Record(0x1111, 2);
+  table.Record(0x1111, 2);  // same flow: refresh, not a second slot
+  table.Record(0x2222, 1);
+  EXPECT_EQ(table.LiveFlows(), 2u);
+  FlowTable::Stats stats = table.stats();
+  EXPECT_EQ(stats.records, 3u);
+  EXPECT_EQ(stats.inserts, 2u);
+  EXPECT_EQ(stats.recycles, 0u);
+  EXPECT_EQ(stats.insert_failures, 0u);
+}
+
+TEST(FlowTable, HashZeroFlowIsStillTracked) {
+  // Generations start at 1 precisely so a runt frame hashing to 0 makes a
+  // nonzero tag and is distinguishable from an empty slot.
+  FlowTable::Options options;
+  options.capacity = 16;
+  FlowTable table(options);
+  table.Record(0, 0);
+  table.Record(0, 0);
+  EXPECT_EQ(table.LiveFlows(), 1u);
+  EXPECT_EQ(table.stats().inserts, 1u);
+}
+
+TEST(FlowTable, GenerationExpiryRecyclesInPlace) {
+  FlowTable::Options options;
+  options.capacity = 16;
+  options.expiry_generations = 2;
+  FlowTable table(options);
+
+  table.Record(0x0010, 0);  // index 0 (16 & 15)
+  EXPECT_EQ(table.LiveFlows(), 1u);
+
+  // One tick: still within expiry_generations, still alive.
+  table.AdvanceGeneration();
+  EXPECT_EQ(table.LiveFlows(), 1u);
+  // Second tick: dead — but the slot is NOT swept; it is recycled lazily.
+  table.AdvanceGeneration();
+  EXPECT_EQ(table.LiveFlows(), 0u);
+
+  // A new flow colliding into the same slot recycles it in place.
+  table.Record(0x0020, 1);  // index 0 as well (32 & 15)
+  EXPECT_EQ(table.LiveFlows(), 1u);
+  FlowTable::Stats stats = table.stats();
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.recycles, 1u);
+}
+
+TEST(FlowTable, RefreshKeepsFlowAliveAcrossTicks) {
+  FlowTable::Options options;
+  options.capacity = 16;
+  options.expiry_generations = 2;
+  FlowTable table(options);
+  table.Record(0x0777, 0);
+  for (int tick = 0; tick < 6; ++tick) {
+    table.AdvanceGeneration();
+    table.Record(0x0777, 0);  // touched every tick: never expires
+  }
+  EXPECT_EQ(table.LiveFlows(), 1u);
+  EXPECT_EQ(table.stats().inserts, 1u);
+  EXPECT_EQ(table.stats().recycles, 0u);
+}
+
+TEST(FlowTable, ProbeBoundFailsInsertInsteadOfScanning) {
+  FlowTable::Options options;
+  options.capacity = 8;
+  options.max_probe = 2;
+  FlowTable table(options);
+  // max_probe bounds the SLOTS EXAMINED: two distinct live flows hashing to
+  // index 0 (multiples of 8) fill slots 0..1; every further collider
+  // exhausts the 2-slot probe budget and must FAIL, not walk the table.
+  table.Record(8, 0);
+  table.Record(16, 0);
+  table.Record(24, 0);
+  table.Record(32, 0);
+  FlowTable::Stats stats = table.stats();
+  EXPECT_EQ(stats.insert_failures, 2u);
+  EXPECT_EQ(table.LiveFlows(), 2u);
+  EXPECT_GE(stats.probe_steps, 2u);
+}
+
+TEST(FlowTable, BucketLoadSnapshotsAndDecays) {
+  FlowTable table(FlowTable::Options{.capacity = 64});
+  // Bucket index is hash % kFlowBuckets — the device RETA's own mapping.
+  for (int i = 0; i < 4; ++i) {
+    table.Record(5, 0);
+  }
+  table.Record(5 + kFlowBuckets, 1);  // same bucket, different flow
+  std::array<uint64_t, kFlowBuckets> load{};
+  table.SnapshotBucketLoad(&load);
+  EXPECT_EQ(load[5], 5u);
+  EXPECT_EQ(load[6], 0u);
+  table.AdvanceGeneration();  // halving recency decay
+  table.SnapshotBucketLoad(&load);
+  EXPECT_EQ(load[5], 2u);
+}
+
+// ---------------------------------------------------------------------------
+// RssRebalancer
+
+RssRebalancer::Options FourQueueOptions() {
+  RssRebalancer::Options options;
+  options.num_queues = 4;
+  options.min_interval_ticks = 1;
+  return options;
+}
+
+TEST(RssRebalancer, StartsIdentityAndSpreadsHeavyBucket) {
+  RssRebalancer balancer(FourQueueOptions());
+  for (uint32_t b = 0; b < kFlowBuckets; ++b) {
+    EXPECT_EQ(balancer.current()[b], b % 4);
+  }
+
+  // One scorching bucket on queue 0's identity stripe plus uniform mice:
+  // queue 0 carries ~4x its share.
+  std::array<uint64_t, kFlowBuckets> load{};
+  for (uint32_t b = 0; b < kFlowBuckets; ++b) {
+    load[b] = 10;
+  }
+  load[0] = 4000;
+  RssRebalancer::Table table{};
+  ASSERT_TRUE(balancer.Observe(load, &table));
+  EXPECT_GT(balancer.last_imbalance(), 1.15);
+
+  // The plan must be in-bounds and strictly better than identity on the
+  // load it was computed from.
+  for (uint32_t b = 0; b < kFlowBuckets; ++b) {
+    EXPECT_LT(table[b], 4);
+  }
+  std::array<uint64_t, 4> per_queue{};
+  for (uint32_t b = 0; b < kFlowBuckets; ++b) {
+    per_queue[table[b]] += load[b];
+  }
+  uint64_t total = 4000 + 10 * (kFlowBuckets - 1);
+  uint64_t max = *std::max_element(per_queue.begin(), per_queue.end());
+  double planned = static_cast<double>(max) / (static_cast<double>(total) / 4);
+  EXPECT_LT(planned, balancer.last_imbalance());
+
+  // Re-observing the SAME load under the adopted plan: balanced, no thrash.
+  EXPECT_FALSE(balancer.Observe(load, &table));
+  EXPECT_GE(balancer.stats().skipped_balanced + balancer.stats().skipped_hysteresis, 1u);
+}
+
+TEST(RssRebalancer, DeterministicPlan) {
+  std::array<uint64_t, kFlowBuckets> load{};
+  for (uint32_t b = 0; b < kFlowBuckets; ++b) {
+    load[b] = (b * 37) % 101;
+  }
+  RssRebalancer a(FourQueueOptions());
+  RssRebalancer b(FourQueueOptions());
+  RssRebalancer::Table ta{}, tb{};
+  ASSERT_EQ(a.Observe(load, &ta), b.Observe(load, &tb));
+  EXPECT_EQ(ta, tb);
+}
+
+TEST(RssRebalancer, HysteresisIgnoresMiceJitter) {
+  RssRebalancer::Options options = FourQueueOptions();
+  options.imbalance_threshold = 1.15;
+  RssRebalancer balancer(options);
+  // Near-uniform load with jitter: under the threshold, never reprogrammed.
+  std::array<uint64_t, kFlowBuckets> load{};
+  for (int round = 0; round < 32; ++round) {
+    for (uint32_t b = 0; b < kFlowBuckets; ++b) {
+      load[b] = 100 + ((b + round) % 7);
+    }
+    RssRebalancer::Table table{};
+    EXPECT_FALSE(balancer.Observe(load, &table));
+  }
+  EXPECT_EQ(balancer.stats().reprograms, 0u);
+  EXPECT_EQ(balancer.stats().skipped_balanced, 32u);
+}
+
+TEST(RssRebalancer, AllZeroForgeryIsSkipped) {
+  RssRebalancer balancer(FourQueueOptions());
+  std::array<uint64_t, kFlowBuckets> zero{};
+  RssRebalancer::Table table{};
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_FALSE(balancer.Observe(zero, &table));
+  }
+  EXPECT_EQ(balancer.stats().skipped_empty, 16u);
+  EXPECT_EQ(balancer.stats().reprograms, 0u);
+  // The table never moved off identity.
+  for (uint32_t b = 0; b < kFlowBuckets; ++b) {
+    EXPECT_EQ(balancer.current()[b], b % 4);
+  }
+}
+
+TEST(RssRebalancer, AllMaxForgeryIsClampedAndBalanced) {
+  RssRebalancer balancer(FourQueueOptions());
+  std::array<uint64_t, kFlowBuckets> forged;
+  forged.fill(~0ull);  // would overflow any unclamped sum
+  RssRebalancer::Table table{};
+  EXPECT_FALSE(balancer.Observe(forged, &table));  // uniform => balanced
+  EXPECT_EQ(balancer.stats().clamped_inputs, static_cast<uint64_t>(kFlowBuckets));
+  EXPECT_EQ(balancer.stats().skipped_balanced, 1u);
+  for (uint32_t b = 0; b < kFlowBuckets; ++b) {
+    EXPECT_EQ(balancer.current()[b], b % 4);
+  }
+}
+
+TEST(RssRebalancer, OscillatingForgeryHitsRateFloorNotLivelock) {
+  RssRebalancer::Options options = FourQueueOptions();
+  options.min_interval_ticks = 4;
+  options.window_ticks = 64;
+  options.max_reprograms_per_window = 8;
+  RssRebalancer balancer(options);
+
+  // Alternate which bucket looks scorching every observation — the worst
+  // thrash a forger can induce. Reprograms must respect BOTH limits.
+  std::array<uint64_t, kFlowBuckets> load{};
+  uint64_t accepted = 0;
+  constexpr int kTicks = 256;
+  for (int tick = 0; tick < kTicks; ++tick) {
+    load.fill(1);
+    load[(tick % 2) * 5] = 1u << 20;
+    RssRebalancer::Table table{};
+    if (balancer.Observe(load, &table)) {
+      ++accepted;
+      for (uint32_t b = 0; b < kFlowBuckets; ++b) {
+        ASSERT_LT(table[b], 4);  // always in-bounds, even mid-thrash
+      }
+    }
+  }
+  EXPECT_EQ(balancer.stats().observations, static_cast<uint64_t>(kTicks));
+  // Spacing limit: at most one reprogram per min_interval_ticks.
+  EXPECT_LE(accepted, static_cast<uint64_t>(kTicks) / options.min_interval_ticks + 1);
+  // Window limit: at most max_reprograms_per_window per window.
+  EXPECT_LE(accepted, (static_cast<uint64_t>(kTicks) / options.window_ticks + 1) *
+                          options.max_reprograms_per_window);
+  EXPECT_GT(balancer.stats().skipped_rate, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Keyed flow hash + device RSSRK
+
+TEST(KeyedHash, ZeroKeyFoldsToZeroSalts) {
+  std::array<uint8_t, kern::kRssKeyBytes> zero{};
+  kern::RssKeyFold fold = kern::FoldRssKey({zero.data(), zero.size()});
+  EXPECT_EQ(fold.dst_salt, 0u);
+  EXPECT_EQ(fold.src_salt, 0u);
+}
+
+TEST(KeyedHash, IdentityKeyIsBitForBitFlowHash) {
+  kern::RssKeyFold identity{};
+  for (uint16_t port = 1; port < 64; ++port) {
+    auto frame = kern::BuildPacket(testing::kMacA, testing::kMacB, port,
+                                   static_cast<uint16_t>(port * 3 + 7), {});
+    ConstByteSpan span{frame.data(), frame.size()};
+    EXPECT_EQ(kern::FlowHashKeyed(span, identity), kern::FlowHash(span));
+  }
+}
+
+TEST(KeyedHash, NonZeroKeyReshufflesSteering) {
+  std::array<uint8_t, kern::kRssKeyBytes> key{};
+  for (size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<uint8_t>(0xa5 + i * 29);
+  }
+  kern::RssKeyFold fold = kern::FoldRssKey({key.data(), key.size()});
+  EXPECT_TRUE(fold.dst_salt != 0 || fold.src_salt != 0);
+  // Same frames, different key: at least one flow must steer differently
+  // (otherwise the key does nothing).
+  int moved = 0;
+  for (uint16_t port = 1; port < 64; ++port) {
+    auto frame = kern::BuildPacket(testing::kMacA, testing::kMacB, port, 80, {});
+    ConstByteSpan span{frame.data(), frame.size()};
+    moved += (kern::FlowHashKeyed(span, fold) % 4) != (kern::FlowHash(span) % 4) ? 1 : 0;
+  }
+  EXPECT_GT(moved, 0);
+}
+
+TEST(KeyedHash, DeviceRssrkProgramKeepsSteeringInBounds) {
+  NetBench::Options options;
+  options.nic_queues = 4;
+  NetBench bench(options);
+  ASSERT_TRUE(bench.StartSut().ok());
+  bench.MaskPeerIrq();
+  kern::NetDevice* netdev = bench.kernel.net().Find(bench.SutIfname());
+
+  // Hostile all-ones key: steering must stay a permutation of [0, queues).
+  std::array<uint8_t, kern::kRssKeyBytes> key;
+  key.fill(0xff);
+  ASSERT_TRUE(bench.sut_driver->ProgramRssKey(key).ok());
+
+  std::vector<uint8_t> payload(64, 0x3c);
+  constexpr int kCount = 512;
+  for (int sent = 0; sent < kCount; sent += 16) {
+    ASSERT_TRUE(
+        bench.PeerSendFlowBurst(25000, 80, {payload.data(), payload.size()}, 16, 16).ok());
+    bench.host->Pump();
+  }
+  uint64_t delivered = 0;
+  for (uint16_t q = 0; q < 4; ++q) {
+    delivered += netdev->queue_stats(q).rx_packets.load();
+  }
+  EXPECT_EQ(delivered, static_cast<uint64_t>(kCount));
+  EXPECT_EQ(netdev->stats().rx_packets.load(), static_cast<uint64_t>(kCount));
+  EXPECT_EQ(netdev->stats().rx_dropped.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ITR interrupt moderation
+
+uint64_t FloodAndCountInterrupts(NetBench& bench, int packets) {
+  std::vector<uint8_t> payload(64, 0x44);
+  uint64_t before = bench.kernel.interrupts_handled();
+  for (int sent = 0; sent < packets; sent += 16) {
+    (void)bench.PeerSendFlowBurst(26000, 80, {payload.data(), payload.size()}, 16, 16);
+    bench.host->Pump();
+    bench.sut_nic.Tick();  // advances the ITR window; flushes deferred MSIs
+  }
+  // Drain any interrupt still parked behind an open moderation window.
+  for (int i = 0; i < 8; ++i) {
+    bench.sut_nic.Tick();
+    bench.host->Pump();
+  }
+  return bench.kernel.interrupts_handled() - before;
+}
+
+TEST(Itr, ModerationSuppressesInterruptsWithoutLosingPackets) {
+  constexpr int kPackets = 1024;
+
+  NetBench::Options options;
+  options.nic_queues = 4;
+
+  uint64_t irqs_off, irqs_on;
+  {
+    NetBench bench(options);
+    ASSERT_TRUE(bench.StartSut().ok());
+    bench.MaskPeerIrq();
+    irqs_off = FloodAndCountInterrupts(bench, kPackets);
+    kern::NetDevice* netdev = bench.kernel.net().Find(bench.SutIfname());
+    ASSERT_EQ(netdev->stats().rx_packets.load(), static_cast<uint64_t>(kPackets));
+    EXPECT_EQ(bench.sut_nic.stats().itr_suppressed.load(), 0u);  // EITR=0: off
+  }
+  {
+    NetBench bench(options);
+    ASSERT_TRUE(bench.StartSut().ok());
+    bench.MaskPeerIrq();
+    // 32 units = one SimNic::Tick per window (~8.2us of moderated quiet).
+    ASSERT_TRUE(bench.sut_driver->ProgramItr(32).ok());
+    irqs_on = FloodAndCountInterrupts(bench, kPackets);
+    kern::NetDevice* netdev = bench.kernel.net().Find(bench.SutIfname());
+    // No wedge, no loss: every packet still delivered.
+    EXPECT_EQ(netdev->stats().rx_packets.load(), static_cast<uint64_t>(kPackets));
+    EXPECT_EQ(netdev->stats().rx_dropped.load(), 0u);
+    EXPECT_GT(bench.sut_nic.stats().itr_suppressed.load(), 0u);
+  }
+  // The whole point: fewer interrupts for the same packets.
+  EXPECT_LT(irqs_on, irqs_off);
+}
+
+// ---------------------------------------------------------------------------
+// Serial vs threaded determinism of the flow-tracking path
+
+struct FlowScaleDigest {
+  uint64_t delivered = 0;
+  uint32_t live_flows = 0;
+  uint64_t records = 0;
+  uint64_t inserts = 0;
+  std::array<uint64_t, kFlowBuckets> bucket_load{};
+};
+
+// Runs the same 4-queue RSS-pinned flood serial (pumped) or threaded
+// (one pump thread + one generator thread per queue) with flow tracking on,
+// and digests the table state. Per-packet interleavings differ across modes;
+// every AGGREGATE the rebalancer consumes must not.
+FlowScaleDigest RunFlowScale(bool threaded) {
+  constexpr uint32_t kQueues = 4;
+  constexpr uint64_t kPackets = 4000;
+  constexpr uint32_t kWindow = 256;
+
+  NetBench::Options options;
+  options.nic_queues = kQueues;
+  NetBench bench(options);
+  EXPECT_TRUE(bench
+                  .StartSut(threaded ? uml::DriverHost::Mode::kThreadedPerQueue
+                                     : uml::DriverHost::Mode::kPumped)
+                  .ok());
+  bench.MaskPeerIrq();
+  kern::NetDevice* netdev = bench.kernel.net().Find(bench.SutIfname());
+  netdev->EnableFlowTracking(FlowTable::Options{.capacity = 4096});
+
+  std::vector<uint8_t> payload(256, 0x7e);
+  std::vector<devices::EtherLink::PeerFlow> flows =
+      bench.BuildQueueFlows(kQueues, {payload.data(), payload.size()}, kPackets, kWindow);
+  auto delivered = [netdev]() { return netdev->stats().rx_packets.load(); };
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  if (threaded) {
+    bench.link.StartPeers(std::move(flows), /*side=*/1);
+    bench.link.JoinPeers();
+    while (delivered() < kPackets && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+  } else {
+    bench.link.RunPeersSerial(std::move(flows), [&]() { bench.host->Pump(); }, /*side=*/1);
+    for (int spin = 0; spin < 1000 && delivered() < kPackets; ++spin) {
+      bench.host->Pump();
+    }
+  }
+
+  FlowScaleDigest digest;
+  digest.delivered = delivered();
+  FlowTable* table = netdev->flow_table();
+  digest.live_flows = table->LiveFlows();
+  digest.records = table->stats().records;
+  digest.inserts = table->stats().inserts;
+  table->SnapshotBucketLoad(&digest.bucket_load);
+  return digest;
+}
+
+TEST(FlowScale, SerialVsThreadedSameAggregates) {
+  FlowScaleDigest serial = RunFlowScale(false);
+  FlowScaleDigest threaded = RunFlowScale(true);
+  EXPECT_EQ(serial.delivered, 4000u);
+  EXPECT_EQ(threaded.delivered, serial.delivered);
+  EXPECT_EQ(threaded.live_flows, serial.live_flows);
+  EXPECT_EQ(threaded.records, serial.records);
+  EXPECT_EQ(threaded.inserts, serial.inserts);
+  EXPECT_EQ(threaded.bucket_load, serial.bucket_load);
+}
+
+}  // namespace
+}  // namespace sud

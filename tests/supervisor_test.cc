@@ -9,6 +9,7 @@
 
 #include "src/base/fault_injector.h"
 #include "src/drivers/malicious.h"
+#include "src/kern/rss_rebalancer.h"
 #include "src/uml/supervisor.h"
 #include "tests/harness.h"
 
@@ -184,6 +185,63 @@ TEST(Supervisor, RecoveryRacesConcurrentKill) {
   ASSERT_TRUE(bench.PeerSend(1, 80, {payload.data(), payload.size()}).ok());
   bench.host->Pump();
   EXPECT_EQ(received, 1);
+}
+
+TEST(Supervisor, KillMidRebalanceReplaysRetaViaConfigHook) {
+  // A kill -9 lands after the RSS rebalancer has moved the RETA off identity.
+  // A naively restarted driver re-initialises the device to the identity
+  // table, silently undoing the balancer's work until its next control tick.
+  // The supervisor's config-replay hook must restore the rebalanced table as
+  // part of recovery, exactly like it replays bring-up and MTU.
+  NetBench::Options options;
+  options.nic_queues = 4;
+  NetBench bench(options);
+  ASSERT_TRUE(bench.StartSut().ok());
+  uml::DriverSupervisor supervisor(
+      &bench.kernel, bench.host.get(),
+      []() -> std::unique_ptr<uml::Driver> {
+        return std::make_unique<drivers::E1000eDriver>(4);
+      });
+  supervisor.ShadowNetdev("eth0");
+
+  // Derive a genuine rebalanced table: one scorching bucket, the balancer
+  // spreads its queue's remaining buckets away from it.
+  kern::RssRebalancer::Options balancer_options;
+  balancer_options.num_queues = 4;
+  balancer_options.min_interval_ticks = 1;
+  kern::RssRebalancer balancer(balancer_options);
+  std::array<uint64_t, kern::kFlowBuckets> load{};
+  load.fill(10);
+  load[0] = 4000;
+  kern::RssRebalancer::Table rebalanced{};
+  ASSERT_TRUE(balancer.Observe(load, &rebalanced));
+  ASSERT_NE(rebalanced, drivers::E1000eDriver::IdentityReta(4));
+  ASSERT_TRUE(bench.sut_driver->ProgramReta(rebalanced).ok());
+  ASSERT_EQ(bench.sut_nic.RetaSnapshot(), rebalanced);
+
+  // The control plane registers the steering state it wants to survive
+  // restarts; the supervisor replays it after every successful recovery.
+  supervisor.set_config_replay([rebalanced](uml::DriverHost* host) {
+    auto* driver = static_cast<drivers::E1000eDriver*>(host->driver());
+    (void)driver->ProgramReta(rebalanced);
+  });
+
+  ASSERT_TRUE(bench.host->Kill().ok());
+  EXPECT_TRUE(supervisor.CheckAndRecover());
+  EXPECT_EQ(supervisor.restarts(), 1u);
+
+  // The fresh driver's init wrote identity; the replay hook must have
+  // overwritten it with the rebalanced table.
+  EXPECT_EQ(bench.sut_nic.RetaSnapshot(), rebalanced);
+
+  // And service is intact: steered traffic still arrives.
+  EXPECT_TRUE(bench.kernel.net().Find("eth0")->is_up());
+  int received = 0;
+  bench.kernel.net().Find("eth0")->set_rx_sink([&](const kern::Skb&) { ++received; });
+  std::vector<uint8_t> payload(64, 0x5);
+  ASSERT_TRUE(bench.PeerSendFlowBurst(23000, 80, {payload.data(), payload.size()}, 16, 16).ok());
+  bench.host->Pump();
+  EXPECT_EQ(received, 16);
 }
 
 // ---- injected pump stalls and the per-queue watchdog ------------------------
